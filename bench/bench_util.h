@@ -1,0 +1,61 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench regenerates one table or figure from the paper. Absolute
+// numbers come from our simulated substrate, so they are not expected to
+// match the paper's testbed; each bench prints the paper's published values
+// alongside ours so the *shape* (who wins, by what factor, where the
+// crossovers fall) can be compared directly.
+//
+// Set SEER_BENCH_FULL=1 to run at the paper's full scale (all measured
+// days, more seeds); the default "fast" scale finishes in seconds per
+// machine.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace seer {
+namespace bench {
+
+inline bool FullScale() {
+  const char* v = std::getenv("SEER_BENCH_FULL");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+// Days to simulate for a machine measured for `paper_days` days.
+inline int ScaledDays(int paper_days) {
+  if (FullScale()) {
+    return paper_days;
+  }
+  return paper_days < 56 ? paper_days : 56;
+}
+
+// Disconnection count for the live-usage benches.
+inline int ScaledDisconnections(int paper_count) {
+  if (FullScale()) {
+    return paper_count;
+  }
+  return paper_count < 48 ? paper_count : 48;
+}
+
+inline int SeedCount() { return FullScale() ? 5 : 2; }
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("scale: %s (set SEER_BENCH_FULL=1 for the paper's full scale)\n",
+              FullScale() ? "FULL" : "fast");
+  std::printf("================================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace bench
+}  // namespace seer
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,150 @@
+// Section 5.3 — Implementation cost microbenchmarks.
+//
+// The paper reports: ~35 us of CPU per traced system call on a 133 MHz
+// Pentium (tracing must be much cheaper than the open itself), about two
+// minutes of CPU to form clusters (rare, deferrable), and roughly 1 KB of
+// memory per tracked file. These google-benchmark microbenchmarks measure
+// the same three costs in our implementation; the expectation is the
+// *relationship* (tracing nanoseconds-to-microseconds per call, clustering
+// seconds-scale at tens of thousands of files, memory ~hundreds of bytes
+// to ~1KB per file), not the absolute 1997 numbers.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/core/correlator.h"
+#include "src/core/hoard.h"
+#include "src/observer/observer.h"
+#include "src/process/syscall_tracer.h"
+#include "src/workload/environment.h"
+#include "src/workload/user_model.h"
+
+namespace seer {
+namespace {
+
+// Full per-syscall pipeline cost: tracer -> observer -> correlator.
+void BM_TracedOpenClose(benchmark::State& state) {
+  SimFilesystem fs;
+  fs.MkdirAll("/home/u/proj");
+  for (int i = 0; i < 64; ++i) {
+    fs.CreateFile("/home/u/proj/f" + std::to_string(i), 1000);
+  }
+  ProcessTable procs;
+  SimClock clock;
+  SyscallTracer tracer(&fs, &procs, &clock);
+  Observer observer(ObserverConfig{}, &fs);
+  Correlator correlator;
+  observer.set_sink(&correlator);
+  tracer.AddSink(&observer);
+  const Pid pid = procs.SpawnInit(1000, "/home/u/proj");
+  int i = 0;
+  for (auto _ : state) {
+    const auto r = tracer.Open(pid, "f" + std::to_string(i++ % 64), false);
+    tracer.Close(pid, r.fd);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_TracedOpenClose);
+
+// Tracer alone (no SEER attached) — the baseline syscall cost.
+void BM_UntracedOpenClose(benchmark::State& state) {
+  SimFilesystem fs;
+  fs.MkdirAll("/home/u");
+  fs.CreateFile("/home/u/f", 1000);
+  ProcessTable procs;
+  SimClock clock;
+  SyscallTracer tracer(&fs, &procs, &clock);
+  const Pid pid = procs.SpawnInit(1000, "/home/u");
+  for (auto _ : state) {
+    const auto r = tracer.Open(pid, "f", false);
+    tracer.Close(pid, r.fd);
+  }
+}
+BENCHMARK(BM_UntracedOpenClose);
+
+// Builds a correlator loaded with `n_files` interrelated files.
+std::unique_ptr<Correlator> LoadedCorrelator(int n_files) {
+  auto correlator = std::make_unique<Correlator>();
+  // 16-file "projects": realistic cluster granularity.
+  Time t = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    // Two passes so every pair inside a project has observations; each
+    // project runs in its own process stream.
+    for (int f = 0; f < n_files; ++f) {
+      const int project = f / 16;
+      FileReference ref;
+      ref.pid = 1 + project;
+      ref.kind = RefKind::kPoint;
+      ref.path = "/p" + std::to_string(project) + "/f" + std::to_string(f % 16);
+      ref.time = (t += 1000);
+      correlator->OnReference(ref);
+    }
+  }
+  return correlator;
+}
+
+// Clustering cost as a function of file count (the paper: ~2 CPU minutes
+// for ~20,000 files on 1997 hardware; ours should be far faster and scale
+// linearly — see also bench/clustering_scale).
+void BM_BuildClusters(benchmark::State& state) {
+  const int n_files = static_cast<int>(state.range(0));
+  auto correlator = LoadedCorrelator(n_files);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(correlator->BuildClusters());
+  }
+  state.SetComplexityN(n_files);
+}
+BENCHMARK(BM_BuildClusters)->Range(1 << 8, 1 << 14)->Complexity(benchmark::oN);
+
+// Hoard selection on top of clustering.
+void BM_ChooseHoard(benchmark::State& state) {
+  auto correlator = LoadedCorrelator(4096);
+  const ClusterSet clusters = correlator->BuildClusters();
+  HoardManager manager(64ull << 20);
+  const std::set<std::string> always;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manager.ChooseHoard(*correlator, clusters, always,
+                                                 [](const std::string&) { return 14'000ull; }));
+  }
+}
+BENCHMARK(BM_ChooseHoard);
+
+// Memory per tracked file (paper: ~1 KB/file, deliberately unoptimised).
+void BM_MemoryPerFile(benchmark::State& state) {
+  const int n_files = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto correlator = LoadedCorrelator(n_files);
+    benchmark::DoNotOptimize(correlator->MemoryBytes());
+  }
+  auto correlator = LoadedCorrelator(n_files);
+  state.counters["bytes_per_file"] =
+      static_cast<double>(correlator->MemoryBytes()) / static_cast<double>(n_files);
+}
+BENCHMARK(BM_MemoryPerFile)->Arg(1 << 12)->Iterations(1);
+
+// End-to-end workload generation rate (events/second of simulator time).
+void BM_WorkloadGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimFilesystem fs;
+    Rng rng(7);
+    const UserEnvironment env = BuildEnvironment(&fs, EnvironmentConfig{}, &rng);
+    ProcessTable procs;
+    SimClock clock;
+    SyscallTracer tracer(&fs, &procs, &clock);
+    Observer observer(ObserverConfig{}, &fs);
+    Correlator correlator;
+    observer.set_sink(&correlator);
+    tracer.AddSink(&observer);
+    UserModel user(&tracer, &env, UserModelConfig{}, 7);
+    state.ResumeTiming();
+    user.RunActiveHours(0.2);
+    state.counters["events"] = static_cast<double>(tracer.events_emitted());
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace seer
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Replication-substrate comparison (Sections 2, 4.4).
+//
+// SEER is substrate-portable: the same hoarding decisions ride on RUMOR
+// (peer reconciliation, no remote access, misses invisible to the
+// substrate), CHEAP RUMOR (master-slave), or CODA (remote access +
+// callbacks, misses directly observable). This bench runs the identical
+// live-usage workload over each substrate and reports what differs — the
+// transport and conflict behaviour — and what must not differ — the
+// severity-0 guarantee and the general miss picture, which come from SEER,
+// not the substrate.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sim/live_sim.h"
+
+namespace seer {
+namespace {
+
+void Run(ReplicatorKind kind, const char* label) {
+  const MachineProfile profile = GetMachineProfile('F');
+  LiveSimConfig config;
+  config.seed = 9090;
+  config.replicator = kind;
+  config.disconnections_override = bench::ScaledDisconnections(profile.disconnections);
+  const LiveSimResult r = RunLiveUsage(profile, config);
+
+  const ReplicationStats& s = r.replication;
+  size_t misses = 0;
+  for (const auto& d : r.disconnections) {
+    misses += d.misses.size();
+  }
+  std::printf("%-12s fetched %5llu (%6.1f MB)  evicted %5llu  remote %4llu  "
+              "push %4llu  pull %3llu  conflicts %2llu | failed discs %zu, misses %zu, sev0 %zu\n",
+              label, static_cast<unsigned long long>(s.files_fetched),
+              static_cast<double>(s.bytes_fetched) / 1048576.0,
+              static_cast<unsigned long long>(s.files_evicted),
+              static_cast<unsigned long long>(s.remote_accesses),
+              static_cast<unsigned long long>(s.pushed_updates),
+              static_cast<unsigned long long>(s.pulled_updates),
+              static_cast<unsigned long long>(s.conflicts_detected), r.failures_any_severity(),
+              misses, r.failures_by_severity()[0]);
+}
+
+}  // namespace
+}  // namespace seer
+
+int main() {
+  using namespace seer;
+  bench::PrintHeader(
+      "Replication substrate comparison, machine F live usage (identical\n"
+      "workload and hoard decisions on all three substrates)");
+  Run(ReplicatorKind::kRumor, "rumor");
+  Run(ReplicatorKind::kCheapRumor, "cheap-rumor");
+  Run(ReplicatorKind::kCoda, "coda");
+  bench::PrintRule();
+  std::printf(
+      "expected: coda shows remote accesses (connected misses serviced and\n"
+      "cached); rumor/cheap-rumor show none; conflict counts stay small and\n"
+      "equal across substrates (same update pattern); severity-0 is zero\n"
+      "everywhere — the guarantee comes from SEER's critical-file handling,\n"
+      "not from the substrate.\n");
+  return 0;
+}

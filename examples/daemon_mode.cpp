@@ -1,0 +1,113 @@
+// Deployment-shaped SEER: asynchronous correlator + periodic hoard daemon.
+//
+// In the deployed system the observer must stay microseconds-cheap on the
+// syscall path while the correlator daemon lags safely behind, and the
+// user never has to announce disconnections — a timer refills the hoard
+// (Section 2). This example wires exactly that: syscalls flow through the
+// observer into an AsyncCorrelator's bounded queue, a worker thread
+// maintains the tables, and a HoardDaemon refreshes a 30 MB hoard every
+// four simulated hours. A surprise disconnection at the end shows the user
+// surviving on whatever the last periodic fill chose.
+//
+//   $ ./daemon_mode
+#include <cstdio>
+
+#include "src/core/async_pipeline.h"
+#include "src/core/hoard_daemon.h"
+#include "src/observer/observer.h"
+#include "src/process/syscall_tracer.h"
+#include "src/replication/replicators.h"
+#include "src/sim/trackers.h"
+#include "src/workload/environment.h"
+#include "src/workload/user_model.h"
+
+using namespace seer;
+
+int main() {
+  // --- substrate -------------------------------------------------------------
+  SimFilesystem fs;
+  Rng rng(606);
+  EnvironmentConfig env_config;
+  env_config.num_projects = 5;
+  env_config.size_scale = 5.0;
+  const UserEnvironment env = BuildEnvironment(&fs, env_config, &rng);
+  ProcessTable processes;
+  SimClock clock;
+  SyscallTracer tracer(&fs, &processes, &clock);
+
+  // --- SEER in daemon shape ---------------------------------------------------
+  Observer observer(ObserverConfig{}, &fs);
+  observer.PretrainProgramHistory(env.find, 10'000, 9'000);
+  AsyncCorrelator correlator;  // worker thread owns the tables
+  observer.set_sink(&correlator);
+  MissLog miss_log;
+  observer.set_miss_listener(&miss_log);
+  tracer.AddSink(&observer);
+
+  const auto size_of = [&fs](const std::string& path) -> uint64_t {
+    const auto info = fs.Stat(path);
+    return info.has_value() ? info->size : 14'000;
+  };
+  RumorReplicator replication{size_of};
+  ReplicationHook hook(&replication);
+  tracer.AddSink(&hook);
+
+  HoardManager manager(30ull << 20);
+  // The daemon queries through the async pipeline: drain, then fill under
+  // the pipeline's lock.
+  HoardDaemon::Config daemon_config;
+  daemon_config.interval = 4 * kMicrosPerHour;
+  size_t fills = 0;
+  // Wrap the daemon's clustering path through the AsyncCorrelator.
+  auto refill = [&](Time now) {
+    correlator.Drain();
+    correlator.Query([&](const Correlator& c) {
+      for (const auto& path : miss_log.TakeFilesToHoard()) {
+        manager.Pin(path);
+      }
+      const ClusterSet clusters = c.BuildClusters();
+      const HoardSelection sel =
+          manager.ChooseHoard(c, clusters, observer.always_hoard(), size_of);
+      replication.SetHoard(sel.files);
+      ++fills;
+      std::printf("  [t=%5.1fh] hoard refill #%zu: %zu files, %.1f MB (%zu projects)\n",
+                  static_cast<double>(now) / kMicrosPerHour, fills, sel.files.size(),
+                  static_cast<double>(sel.bytes_used) / 1048576.0, sel.projects_hoarded);
+      return 0;
+    });
+  };
+
+  // --- a working day, no user interaction -------------------------------------
+  UserModel user(&tracer, &env, UserModelConfig{}, 606);
+  user.set_miss_log(&miss_log);
+  user.SeedHistory();
+
+  std::printf("== connected: 12 simulated hours, periodic refills ==\n");
+  Time next_check = clock.now();
+  const Time end = clock.now() + 12 * kMicrosPerHour;
+  Time last_fill = -1;
+  while (clock.now() < end) {
+    user.RunActiveHours(0.5);
+    if (last_fill < 0 || clock.now() - last_fill >= daemon_config.interval) {
+      refill(clock.now());
+      last_fill = clock.now();
+    }
+    (void)next_check;
+  }
+  std::printf("pipeline: %zu messages enqueued, %zu processed, queue peak %zu\n",
+              correlator.enqueued(), correlator.processed(), correlator.high_watermark());
+
+  // --- surprise disconnection ---------------------------------------------------
+  std::printf("\n== surprise disconnection: nobody warned SEER ==\n");
+  replication.OnDisconnect(clock.now());
+  miss_log.StartDisconnection(clock.now());
+  tracer.set_availability_filter(
+      [&replication](const std::string& path) { return replication.Access(path); });
+  user.set_availability(
+      [&replication](const std::string& path) { return replication.IsLocal(path); });
+  user.RunActiveHours(2.0);
+  std::printf("misses during the surprise disconnection: %zu\n",
+              miss_log.CurrentDisconnectionMissCount());
+  std::printf("(the last periodic refill is what saved — or failed — the user)\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// A day in the life of a disconnected laptop.
+//
+// Runs the full system end to end: a synthetic developer works connected,
+// SEER fills a 40 MB hoard, the Rumor replication substrate fetches it, the
+// laptop disconnects, the user keeps working (mostly on hoarded projects,
+// occasionally tripping over a miss and reporting it), and at reconnection
+// Rumor reconciles local and remote updates — including a deliberately
+// injected conflict.
+//
+//   $ ./disconnected_laptop
+#include <cstdio>
+
+#include "src/core/correlator.h"
+#include "src/core/hoard.h"
+#include "src/observer/observer.h"
+#include "src/process/syscall_tracer.h"
+#include "src/replication/replicators.h"
+#include "src/sim/trackers.h"
+#include "src/workload/environment.h"
+#include "src/workload/user_model.h"
+
+using namespace seer;
+
+int main() {
+  // --- environment and SEER stack -----------------------------------------
+  SimFilesystem fs;
+  Rng rng(2024);
+  EnvironmentConfig env_config;
+  env_config.num_projects = 6;
+  env_config.size_scale = 6.0;
+  const UserEnvironment env = BuildEnvironment(&fs, env_config, &rng);
+
+  ProcessTable processes;
+  SimClock clock;
+  SyscallTracer tracer(&fs, &processes, &clock);
+  Observer observer(ObserverConfig{}, &fs);
+  observer.PretrainProgramHistory(env.find, 10'000, 9'000);
+  Correlator correlator;
+  observer.set_sink(&correlator);
+  MissLog miss_log;
+  observer.set_miss_listener(&miss_log);
+
+  const auto size_of = [&fs](const std::string& path) -> uint64_t {
+    const auto info = fs.Stat(path);
+    return info.has_value() ? info->size : 14'000;
+  };
+  RumorReplicator replication{size_of};
+  ReplicationHook hook(&replication);
+  tracer.AddSink(&observer);
+  tracer.AddSink(&hook);
+
+  UserModel user(&tracer, &env, UserModelConfig{}, 99);
+  user.set_miss_log(&miss_log);
+  user.SeedHistory();
+
+  // --- connected work -------------------------------------------------------
+  std::printf("== connected: the user works for two hours ==\n");
+  user.RunActiveHours(2.0);
+  std::printf("traced %llu events; correlator knows %zu files\n",
+              static_cast<unsigned long long>(tracer.events_emitted()),
+              correlator.files().size());
+
+  // A colleague edits one of our files on the servers meanwhile.
+  const std::string& shared_file = env.projects[0].sources[0];
+  replication.RecordRemoteUpdate(shared_file, clock.now());
+  std::printf("(a peer updated %s remotely)\n\n", shared_file.c_str());
+
+  // --- hoard fill ------------------------------------------------------------
+  std::printf("== disconnection imminent: SEER fills a 40 MB hoard ==\n");
+  HoardManager hoard(40ull << 20);
+  const ClusterSet clusters = correlator.BuildClusters();
+  const HoardSelection sel =
+      hoard.ChooseHoard(correlator, clusters, observer.always_hoard(), size_of);
+  replication.SetHoard(sel.files);
+  std::printf("%zu projects hoarded (%zu skipped), %.1f MB of %.1f MB used;\n",
+              sel.projects_hoarded, sel.projects_skipped,
+              static_cast<double>(sel.bytes_used) / 1048576.0,
+              static_cast<double>(sel.budget_bytes) / 1048576.0);
+  std::printf("replication fetched %llu files (%.1f MB)\n\n",
+              static_cast<unsigned long long>(replication.stats().files_fetched),
+              static_cast<double>(replication.stats().bytes_fetched) / 1048576.0);
+
+  // --- disconnected work ------------------------------------------------------
+  std::printf("== disconnected: three hours of active use ==\n");
+  replication.OnDisconnect(clock.now());
+  miss_log.StartDisconnection(clock.now());
+  tracer.set_availability_filter(
+      [&replication](const std::string& path) { return replication.Access(path); });
+  user.set_availability(
+      [&replication](const std::string& path) { return replication.IsLocal(path); });
+  // The user also edits the same file the peer changed: a conflict brews.
+  user.RunActiveHours(3.0);
+  replication.RecordLocalUpdate(shared_file, clock.now());
+
+  std::printf("misses this disconnection: %zu\n", miss_log.CurrentDisconnectionMissCount());
+  for (const auto& miss : miss_log.records()) {
+    std::printf("  [%s sev=%d] %s\n", miss.automatic ? "auto  " : "manual",
+                static_cast<int>(miss.severity), miss.path.c_str());
+  }
+
+  // --- reconnection -------------------------------------------------------------
+  std::printf("\n== reconnection: Rumor reconciles ==\n");
+  tracer.set_availability_filter(nullptr);
+  user.set_availability(nullptr);
+  miss_log.EndDisconnection();
+  replication.OnReconnect(clock.now());
+  const ReplicationStats& stats = replication.stats();
+  std::printf("pushed %llu updates, pulled %llu, conflicts detected %llu / resolved %llu\n",
+              static_cast<unsigned long long>(stats.pushed_updates),
+              static_cast<unsigned long long>(stats.pulled_updates),
+              static_cast<unsigned long long>(stats.conflicts_detected),
+              static_cast<unsigned long long>(stats.conflicts_resolved));
+
+  const auto to_hoard = miss_log.TakeFilesToHoard();
+  std::printf("%zu missed files queued for the next hoard fill\n", to_hoard.size());
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Web-cache prefetching with SEER's predictive machinery (Section 7).
+//
+// The paper's future work proposes applying its inference methods to Web
+// caching. This example simulates browsing sessions over a set of sites —
+// each page pulls in its embedded resources, and users hop between related
+// pages — then compares a plain LRU cache against the same cache augmented
+// with the AccessPredictor's prefetch sets.
+//
+//   $ ./web_prefetch
+#include <cstdio>
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/access_predictor.h"
+#include "src/util/rng.h"
+
+using namespace seer;
+
+namespace {
+
+struct Page {
+  std::string url;
+  std::vector<std::string> resources;  // always fetched with the page
+  std::vector<int> links;              // pages the user follows from here
+};
+
+// A tiny web: `sites` clusters of `pages_per_site` pages; intra-site links
+// dominate.
+std::vector<Page> BuildWeb(int sites, int pages_per_site, Rng* rng) {
+  std::vector<Page> web;
+  for (int s = 0; s < sites; ++s) {
+    for (int p = 0; p < pages_per_site; ++p) {
+      Page page;
+      page.url = "site" + std::to_string(s) + "/page" + std::to_string(p);
+      const int resources = 2 + static_cast<int>(rng->NextBounded(3));
+      for (int r = 0; r < resources; ++r) {
+        page.resources.push_back("site" + std::to_string(s) + "/res" + std::to_string(p) + "_" +
+                                 std::to_string(r));
+      }
+      for (int l = 0; l < 3; ++l) {
+        const bool intra = rng->NextBool(0.9);
+        const int target_site = intra ? s : static_cast<int>(rng->NextBounded(sites));
+        page.links.push_back(target_site * pages_per_site +
+                             static_cast<int>(rng->NextBounded(pages_per_site)));
+      }
+      web.push_back(std::move(page));
+    }
+  }
+  return web;
+}
+
+// A fixed-capacity LRU cache of URLs.
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  bool Access(const std::string& url) {
+    const bool hit = index_.count(url) != 0;
+    Touch(url);
+    return hit;
+  }
+
+  void Insert(const std::string& url) { Touch(url); }
+
+ private:
+  void Touch(const std::string& url) {
+    if (index_.count(url) != 0) {
+      order_.erase(std::find(order_.begin(), order_.end(), url));
+    }
+    order_.push_back(url);
+    index_.insert(url);
+    while (order_.size() > capacity_) {
+      index_.erase(order_.front());
+      order_.pop_front();
+    }
+  }
+
+  size_t capacity_;
+  std::deque<std::string> order_;
+  std::set<std::string> index_;
+};
+
+}  // namespace
+
+int main() {
+  Rng rng(77);
+  const auto web = BuildWeb(8, 6, &rng);
+
+  AccessPredictor predictor;
+  LruCache plain(40);
+  LruCache prefetching(40);
+
+  size_t requests = 0;
+  size_t plain_hits = 0;
+  size_t prefetch_hits = 0;
+
+  int page_index = 0;
+  for (int step = 0; step < 4'000; ++step) {
+    const Page& page = web[static_cast<size_t>(page_index)];
+
+    // The browser fetches the page and its resources.
+    std::vector<std::string> urls = {page.url};
+    urls.insert(urls.end(), page.resources.begin(), page.resources.end());
+    for (const auto& url : urls) {
+      ++requests;
+      plain_hits += plain.Access(url) ? 1 : 0;
+      prefetch_hits += prefetching.Access(url) ? 1 : 0;
+      predictor.OnAccess(url);
+    }
+    // The prefetching cache pulls in what the predictor thinks comes next.
+    for (const auto& url : predictor.PredictRelated(page.url, 6)) {
+      prefetching.Insert(url);
+    }
+
+    // Follow a link (occasionally jump somewhere new entirely).
+    if (rng.NextBool(0.1) || page.links.empty()) {
+      page_index = static_cast<int>(rng.NextBounded(web.size()));
+    } else {
+      page_index = page.links[rng.NextBounded(page.links.size())];
+    }
+  }
+
+  std::printf("requests: %zu\n", requests);
+  std::printf("plain LRU cache hit rate:        %.1f%%\n",
+              100.0 * static_cast<double>(plain_hits) / static_cast<double>(requests));
+  std::printf("SEER-prefetching cache hit rate: %.1f%%\n",
+              100.0 * static_cast<double>(prefetch_hits) / static_cast<double>(requests));
+  std::printf("\nprefetch set for %s:\n", web[0].url.c_str());
+  for (const auto& url : predictor.PredictRelated(web[0].url, 6)) {
+    std::printf("  %s\n", url.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "src/baselines/coda_priority.h"
+
+#include <algorithm>
+
+#include "src/util/path.h"
+
+namespace seer {
+
+void CodaHoardProfile::SetPriority(const std::string& prefix, int priority) {
+  prefix_priority_[NormalizePath(prefix)] = priority;
+}
+
+int CodaHoardProfile::PriorityOf(const std::string& path) const {
+  int best = 0;
+  size_t best_len = 0;
+  for (const auto& [prefix, priority] : prefix_priority_) {
+    if (IsUnder(path, prefix) && prefix.size() >= best_len) {
+      best = priority;
+      best_len = prefix.size();
+    }
+  }
+  return best;
+}
+
+CodaHoardProfile CodaHoardProfile::GenericDefault() {
+  CodaHoardProfile p;
+  p.SetPriority("/bin", 600);
+  p.SetPriority("/usr/bin", 600);
+  p.SetPriority("/lib", 800);
+  p.SetPriority("/usr/lib", 800);
+  p.SetPriority("/etc", 900);
+  p.SetPriority("/home", 100);
+  return p;
+}
+
+void CodaPriorityTracker::OnEvent(const TraceEvent& event) { lru_.OnEvent(event); }
+
+double CodaPriorityTracker::Score(const std::string& path, Time last_ref, Time now) const {
+  const double age_hours =
+      static_cast<double>(now - last_ref) / static_cast<double>(kMicrosPerHour);
+  const double priority = static_cast<double>(profile_.PriorityOf(path));
+  switch (variant_) {
+    case CodaVariant::kPureProfile:
+      // Profile dominates; recency only as a small tie-break.
+      return priority * 1e6 - age_hours;
+    case CodaVariant::kHybrid:
+      return hybrid_weight_ * priority - (1.0 - hybrid_weight_) * age_hours;
+    case CodaVariant::kBounded:
+      // CODA's shape: young files ordered by recency regardless of
+      // priority; past the bound, the profile priority takes over.
+      if (age_hours <= age_bound_hours_) {
+        return 1e9 - age_hours;  // recency regime, above every old file
+      }
+      return priority - age_hours * 1e-3;
+  }
+  return -age_hours;
+}
+
+std::vector<std::string> CodaPriorityTracker::CoverageOrder(Time now) const {
+  struct Entry {
+    std::string path;
+    double score;
+  };
+  std::vector<Entry> entries;
+  for (const auto& path : lru_.CoverageOrder()) {
+    const auto last = lru_.LastReference(path);
+    entries.push_back({path, Score(path, last.value_or(0), now)});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) { return a.score > b.score; });
+  std::vector<std::string> out;
+  out.reserve(entries.size());
+  for (auto& e : entries) {
+    out.push_back(std::move(e.path));
+  }
+  return out;
+}
+
+}  // namespace seer

@@ -1,0 +1,73 @@
+#include "src/baselines/lru.h"
+
+#include <algorithm>
+
+namespace seer {
+
+void LruTracker::OnEvent(const TraceEvent& e) {
+  if (!e.ok()) {
+    return;
+  }
+  switch (e.op) {
+    case Op::kOpen:
+    case Op::kCreate:
+    case Op::kExec:
+    case Op::kStat:
+    case Op::kChmod:
+    case Op::kLink:
+      break;
+    case Op::kRename: {
+      // The new name inherits the reference; the old name is gone.
+      last_ref_.erase(e.path);
+      last_seq_.erase(e.path);
+      last_ref_[e.path2] = e.time;
+      last_seq_[e.path2] = e.seq;
+      return;
+    }
+    case Op::kUnlink: {
+      last_ref_.erase(e.path);
+      last_seq_.erase(e.path);
+      return;
+    }
+    default:
+      return;  // closes, directory ops, process ops
+  }
+  last_ref_[e.path] = e.time;
+  last_seq_[e.path] = e.seq;
+}
+
+std::vector<std::string> LruTracker::CoverageOrder() const {
+  struct Entry {
+    const std::string* path;
+    Time time;
+    uint64_t seq;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(last_ref_.size());
+  for (const auto& [path, time] : last_ref_) {
+    const auto seq_it = last_seq_.find(path);
+    entries.push_back({&path, time, seq_it == last_seq_.end() ? 0 : seq_it->second});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.time != b.time) {
+      return a.time > b.time;
+    }
+    return a.seq > b.seq;
+  });
+  std::vector<std::string> out;
+  out.reserve(entries.size());
+  for (const Entry& e : entries) {
+    out.push_back(*e.path);
+  }
+  return out;
+}
+
+std::optional<Time> LruTracker::LastReference(const std::string& path) const {
+  const auto it = last_ref_.find(path);
+  if (it == last_ref_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace seer

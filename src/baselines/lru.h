@@ -1,0 +1,46 @@
+// Strict-LRU hoarding baseline.
+//
+// Early disconnected-operation systems loaded the hoard with the most
+// recently referenced files (Section 6.1). This tracker consumes the raw
+// trace — with none of SEER's filtering, which is precisely why a find scan
+// destroys its history (Section 4.1) — and produces the recency ordering
+// that the miss-free hoard size algorithm of Section 5.1.2 needs:
+//   1. sort all files by last reference time before the disconnection;
+//   2. mark the files referenced during the disconnection;
+//   3. find the last marked file;
+//   4. the miss-free hoard size is the sum of sizes down to that file.
+#ifndef SRC_BASELINES_LRU_H_
+#define SRC_BASELINES_LRU_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/process/syscall_tracer.h"
+#include "src/trace/event.h"
+
+namespace seer {
+
+class LruTracker : public TraceSink {
+ public:
+  // TraceSink: every successful path-bearing file operation refreshes the
+  // file's recency. Directory operations are ignored (they are namespace,
+  // not content).
+  void OnEvent(const TraceEvent& event) override;
+
+  // Most-recent-first ordering of every file ever referenced.
+  std::vector<std::string> CoverageOrder() const;
+
+  std::optional<Time> LastReference(const std::string& path) const;
+
+  size_t tracked_files() const { return last_ref_.size(); }
+
+ private:
+  std::map<std::string, Time> last_ref_;
+  std::map<std::string, uint64_t> last_seq_;  // tie-break for equal times
+};
+
+}  // namespace seer
+
+#endif  // SRC_BASELINES_LRU_H_

@@ -1,0 +1,80 @@
+#include "src/core/access_predictor.h"
+
+#include <algorithm>
+
+namespace seer {
+
+SeerParams AccessPredictor::DefaultParams() {
+  SeerParams params;
+  params.dir_distance_weight = 0.0;  // keys are opaque, not tree paths
+  return params;
+}
+
+AccessPredictor::AccessPredictor(const SeerParams& params, uint64_t seed)
+    : correlator_(params, seed) {}
+
+void AccessPredictor::OnAccess(const std::string& key, int stream) {
+  OnAccess(key, stream, logical_clock_ += kMicrosPerSecond);
+}
+
+void AccessPredictor::OnAccess(const std::string& key, int stream, Time time) {
+  FileReference ref;
+  ref.pid = stream;
+  ref.kind = RefKind::kPoint;
+  ref.path = key;
+  ref.time = time;
+  correlator_.OnReference(ref);
+}
+
+std::vector<std::string> AccessPredictor::PredictRelated(const std::string& key,
+                                                         size_t limit) const {
+  std::vector<std::string> out;
+  const FileId id = correlator_.files().Find(key);
+  if (id == kInvalidFileId) {
+    return out;
+  }
+  struct Scored {
+    double distance;
+    const std::string* key;
+  };
+  std::vector<Scored> scored;
+  for (const Neighbor& nb : correlator_.relations().NeighborsOf(id)) {
+    const FileRecord& rec = correlator_.files().Get(nb.id);
+    if (!rec.deleted && !rec.excluded) {
+      scored.push_back({nb.MeanDistance(correlator_.params().mean_kind), &rec.path});
+    }
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.distance < b.distance; });
+  for (const Scored& s : scored) {
+    if (out.size() >= limit) {
+      break;
+    }
+    out.push_back(*s.key);
+  }
+  return out;
+}
+
+std::vector<std::string> AccessPredictor::PrefetchSet(const std::string& key,
+                                                      size_t limit) const {
+  std::vector<std::string> out;
+  const FileId id = correlator_.files().Find(key);
+  if (id == kInvalidFileId) {
+    return out;
+  }
+  const ClusterSet clusters = correlator_.BuildClusters();
+  for (const uint32_t c : clusters.ClustersOf(id)) {
+    for (const FileId member : clusters.clusters[c].members) {
+      if (member == id || out.size() >= limit) {
+        continue;
+      }
+      const FileRecord& rec = correlator_.files().Get(member);
+      if (!rec.deleted && std::find(out.begin(), out.end(), rec.path) == out.end()) {
+        out.push_back(rec.path);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace seer

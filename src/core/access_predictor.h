@@ -1,0 +1,50 @@
+// Generalised access prediction (Section 7, future work).
+//
+// The paper closes by observing that SEER's predictive and inferential
+// methods should apply beyond hoarding — to Web caching, network file
+// systems, and directory reorganisation. AccessPredictor packages the
+// machinery for such uses: it accepts a stream of accesses to arbitrary
+// keys (URLs, file names, database pages) on one or more logical streams,
+// runs the same per-stream semantic-distance measurement and shared-
+// neighbor clustering, and answers "what is likely to be wanted next,
+// given this access?" — the question a prefetching cache asks.
+#ifndef SRC_CORE_ACCESS_PREDICTOR_H_
+#define SRC_CORE_ACCESS_PREDICTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/correlator.h"
+
+namespace seer {
+
+class AccessPredictor {
+ public:
+  // Keys are opaque, so the directory-distance adjustment is disabled by
+  // default; pass custom params to re-enable it for path-like keys.
+  static SeerParams DefaultParams();
+
+  explicit AccessPredictor(const SeerParams& params = DefaultParams(), uint64_t seed = 0xacce55);
+
+  // Records one access to `key` on logical stream `stream` (a browser tab,
+  // a client connection, ...). Time is a logical tick unless provided.
+  void OnAccess(const std::string& key, int stream = 0);
+  void OnAccess(const std::string& key, int stream, Time time);
+
+  // Keys semantically nearest to `key`, closest first (up to `limit`).
+  std::vector<std::string> PredictRelated(const std::string& key, size_t limit = 8) const;
+
+  // The whole project/cluster around `key` — a prefetch set.
+  std::vector<std::string> PrefetchSet(const std::string& key, size_t limit = 32) const;
+
+  size_t known_keys() const { return correlator_.files().size(); }
+  const Correlator& correlator() const { return correlator_; }
+
+ private:
+  Correlator correlator_;
+  Time logical_clock_ = 0;
+};
+
+}  // namespace seer
+
+#endif  // SRC_CORE_ACCESS_PREDICTOR_H_

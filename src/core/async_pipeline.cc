@@ -1,0 +1,163 @@
+#include "src/core/async_pipeline.h"
+
+#include <algorithm>
+
+namespace seer {
+
+AsyncCorrelator::AsyncCorrelator(const SeerParams& params, uint64_t seed, size_t queue_capacity)
+    : capacity_(queue_capacity == 0 ? 1 : queue_capacity), correlator_(params, seed) {
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+AsyncCorrelator::~AsyncCorrelator() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+}
+
+void AsyncCorrelator::Enqueue(Message message) {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_not_full_.wait(lock, [this] { return queue_.size() < capacity_ || stopping_; });
+  if (stopping_) {
+    return;
+  }
+  queue_.push_back(std::move(message));
+  ++enqueued_;
+  high_watermark_ = std::max(high_watermark_, queue_.size());
+  lock.unlock();
+  queue_not_empty_.notify_one();
+}
+
+void AsyncCorrelator::OnReference(const FileReference& ref) {
+  Message m;
+  m.kind = Message::Kind::kReference;
+  m.ref = ref;
+  Enqueue(std::move(m));
+}
+
+void AsyncCorrelator::OnProcessFork(Pid parent, Pid child) {
+  Message m;
+  m.kind = Message::Kind::kFork;
+  m.parent = parent;
+  m.child = child;
+  Enqueue(std::move(m));
+}
+
+void AsyncCorrelator::OnProcessExit(Pid pid) {
+  Message m;
+  m.kind = Message::Kind::kExit;
+  m.child = pid;
+  Enqueue(std::move(m));
+}
+
+void AsyncCorrelator::OnFileDeleted(const std::string& path, Time time) {
+  Message m;
+  m.kind = Message::Kind::kDeleted;
+  m.path = path;
+  m.time = time;
+  Enqueue(std::move(m));
+}
+
+void AsyncCorrelator::OnFileRenamed(const std::string& from, const std::string& to, Time time) {
+  Message m;
+  m.kind = Message::Kind::kRenamed;
+  m.path = from;
+  m.path2 = to;
+  m.time = time;
+  Enqueue(std::move(m));
+}
+
+void AsyncCorrelator::OnFileExcluded(const std::string& path) {
+  Message m;
+  m.kind = Message::Kind::kExcluded;
+  m.path = path;
+  Enqueue(std::move(m));
+}
+
+void AsyncCorrelator::WorkerLoop() {
+  for (;;) {
+    Message message;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_not_empty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) {
+        // stopping_ with an empty queue: signal any drain waiters and exit.
+        drained_.notify_all();
+        return;
+      }
+      message = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    {
+      std::lock_guard<std::mutex> lock(correlator_mutex_);
+      switch (message.kind) {
+        case Message::Kind::kReference:
+          correlator_.OnReference(message.ref);
+          break;
+        case Message::Kind::kFork:
+          correlator_.OnProcessFork(message.parent, message.child);
+          break;
+        case Message::Kind::kExit:
+          correlator_.OnProcessExit(message.child);
+          break;
+        case Message::Kind::kDeleted:
+          correlator_.OnFileDeleted(message.path, message.time);
+          break;
+        case Message::Kind::kRenamed:
+          correlator_.OnFileRenamed(message.path, message.path2, message.time);
+          break;
+        case Message::Kind::kExcluded:
+          correlator_.OnFileExcluded(message.path);
+          break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      ++processed_;
+      if (queue_.empty()) {
+        drained_.notify_all();
+      }
+    }
+    queue_not_full_.notify_one();
+  }
+}
+
+void AsyncCorrelator::Drain() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  drained_.wait(lock, [this] { return processed_ == enqueued_ || stopping_; });
+}
+
+ClusterSet AsyncCorrelator::BuildClusters() {
+  return Query([](const Correlator& c) { return c.BuildClusters(); });
+}
+
+double AsyncCorrelator::Distance(const std::string& from, const std::string& to) {
+  return Query([&](const Correlator& c) { return c.Distance(from, to); });
+}
+
+size_t AsyncCorrelator::KnownFiles() {
+  return Query([](const Correlator& c) { return c.files().size(); });
+}
+
+size_t AsyncCorrelator::enqueued() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return enqueued_;
+}
+
+size_t AsyncCorrelator::processed() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return processed_;
+}
+
+size_t AsyncCorrelator::high_watermark() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return high_watermark_;
+}
+
+}  // namespace seer

@@ -1,0 +1,208 @@
+#include "src/core/clustering.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/path.h"
+
+namespace seer {
+
+namespace {
+
+// Disjoint-set union with path halving.
+class Dsu {
+ public:
+  explicit Dsu(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) {
+      parent_[i] = static_cast<uint32_t>(i);
+    }
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) {
+      parent_[b] = a;
+    }
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace
+
+const std::vector<uint32_t>& ClusterSet::ClustersOf(FileId id) const {
+  static const std::vector<uint32_t> kEmpty;
+  const auto it = membership.find(id);
+  return it == membership.end() ? kEmpty : it->second;
+}
+
+ClusterBuilder::ClusterBuilder(const SeerParams& params, const FileTable* files,
+                               const RelationTable* relations)
+    : params_(params), files_(files), relations_(relations) {}
+
+uint64_t ClusterBuilder::PairKey(FileId a, FileId b) const {
+  const FileId lo = std::min(a, b);
+  const FileId hi = std::max(a, b);
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+void ClusterBuilder::AddInvestigatedPair(FileId a, FileId b, double strength) {
+  if (a == b) {
+    return;
+  }
+  investigated_[PairKey(a, b)] += strength;
+}
+
+void ClusterBuilder::ClearInvestigatedPairs() { investigated_.clear(); }
+
+double ClusterBuilder::InvestigatedStrength(FileId a, FileId b) const {
+  const auto it = investigated_.find(PairKey(a, b));
+  return it == investigated_.end() ? 0.0 : it->second;
+}
+
+double ClusterBuilder::AdjustedSharedCount(FileId from, FileId to) const {
+  // Raw shared-neighbor count over the relation table's (partial)
+  // knowledge.
+  std::vector<FileId> a = relations_->LiveNeighborIds(from);
+  std::vector<FileId> b = relations_->LiveNeighborIds(to);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  size_t shared = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++shared;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+
+  double x = static_cast<double>(shared);
+  // Directory distance is evidence of separation: subtract (Section 3.3.3).
+  if (params_.dir_distance_weight > 0.0) {
+    x -= params_.dir_distance_weight *
+         static_cast<double>(DirectoryDistance(files_->Get(from).path, files_->Get(to).path));
+  }
+  // Investigator relations are evidence of closeness: add.
+  x += params_.investigator_weight * InvestigatedStrength(from, to);
+  return x;
+}
+
+ClusterSet ClusterBuilder::Build(const std::vector<FileId>& candidates) const {
+  // Dense re-index so the DSU array covers only candidate files.
+  std::unordered_map<FileId, uint32_t> index;
+  index.reserve(candidates.size());
+  for (uint32_t i = 0; i < candidates.size(); ++i) {
+    index.emplace(candidates[i], i);
+  }
+
+  // Candidate pairs: (F, G) where G is in F's relation list, plus every
+  // investigated pair — the latter are tested regardless of whether a
+  // semantic distance was ever stored (Section 3.3.3).
+  struct Pair {
+    uint32_t a;
+    uint32_t b;
+    double x;
+  };
+  std::vector<Pair> near_pairs;
+  std::vector<Pair> far_pairs;
+
+  auto consider = [&](FileId f, FileId g) {
+    const auto ia = index.find(f);
+    const auto ib = index.find(g);
+    if (ia == index.end() || ib == index.end()) {
+      return;
+    }
+    const double x = AdjustedSharedCount(f, g);
+    if (x >= static_cast<double>(params_.cluster_near)) {
+      near_pairs.push_back({ia->second, ib->second, x});
+    } else if (x >= static_cast<double>(params_.cluster_far)) {
+      far_pairs.push_back({ia->second, ib->second, x});
+    }
+  };
+
+  std::set<uint64_t> seen;
+  for (const FileId f : candidates) {
+    for (const FileId g : relations_->LiveNeighborIds(f)) {
+      if (f != g && seen.insert(PairKey(f, g) * 2 + (f > g ? 1 : 0)).second) {
+        consider(f, g);
+      }
+    }
+  }
+  for (const auto& [key, strength] : investigated_) {
+    const FileId a = static_cast<FileId>(key >> 32);
+    const FileId b = static_cast<FileId>(key & 0xffffffffu);
+    if (seen.insert(key * 2).second) {
+      consider(a, b);
+    }
+    if (seen.insert(key * 2 + 1).second) {
+      consider(b, a);
+    }
+  }
+
+  // Phase one: combine clusters of pairs sharing at least kn neighbors.
+  Dsu dsu(candidates.size());
+  for (const Pair& p : near_pairs) {
+    dsu.Union(p.a, p.b);
+  }
+
+  // Materialise phase-one clusters.
+  std::unordered_map<uint32_t, uint32_t> root_to_cluster;
+  std::vector<std::set<FileId>> members;
+  std::vector<uint32_t> cluster_of(candidates.size());
+  for (uint32_t i = 0; i < candidates.size(); ++i) {
+    const uint32_t root = dsu.Find(i);
+    auto [it, inserted] = root_to_cluster.emplace(root, static_cast<uint32_t>(members.size()));
+    if (inserted) {
+      members.emplace_back();
+    }
+    members[it->second].insert(candidates[i]);
+    cluster_of[i] = it->second;
+  }
+
+  // Phase two: overlap clusters of pairs sharing at least kf (but fewer
+  // than kn) neighbors — each file joins the other's cluster, with no
+  // merge.
+  for (const Pair& p : far_pairs) {
+    if (cluster_of[p.a] == cluster_of[p.b]) {
+      continue;  // already together
+    }
+    members[cluster_of[p.b]].insert(candidates[p.a]);
+    members[cluster_of[p.a]].insert(candidates[p.b]);
+  }
+
+  ClusterSet out;
+  out.clusters.reserve(members.size());
+  std::set<std::vector<FileId>> emitted;
+  for (auto& m : members) {
+    Cluster c;
+    c.members.assign(m.begin(), m.end());
+    // Overlapping two singletons yields two identical clusters; keep one.
+    if (!emitted.insert(c.members).second) {
+      continue;
+    }
+    const uint32_t cluster_index = static_cast<uint32_t>(out.clusters.size());
+    for (const FileId id : c.members) {
+      out.membership[id].push_back(cluster_index);
+    }
+    out.clusters.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace seer

@@ -1,0 +1,77 @@
+// Project clustering — the modified Jarvis-Patrick algorithm of
+// Section 3.3.2 plus the shared-neighbor-count adjustments of
+// Section 3.3.3.
+//
+// The classic Jarvis-Patrick algorithm computes each point's n nearest
+// neighbors (O(N^2)) and merges the clusters of any two points sharing more
+// than k of them. SEER's variation:
+//   * reuses the relation table's existing per-file neighbor lists, giving
+//     O(N) time;
+//   * uses two thresholds, kn (near) and kf (far) with kn > kf: sharing at
+//     least kn neighbors combines the two clusters outright, while sharing
+//     at least kf (but fewer than kn) *overlaps* them — each file is added
+//     to the other's cluster, without merging, so files can belong to
+//     several projects at once;
+//   * adjusts the shared-neighbor count with extra evidence: directory
+//     distance is subtracted (files far apart in the tree are less likely
+//     to cluster), and external-investigator relation strengths are added —
+//     and investigated pairs are tested even when no semantic distance was
+//     ever stored, so a sufficiently strong investigator can force files
+//     into one project.
+#ifndef SRC_CORE_CLUSTERING_H_
+#define SRC_CORE_CLUSTERING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/file_table.h"
+#include "src/core/params.h"
+#include "src/core/relation_table.h"
+
+namespace seer {
+
+struct Cluster {
+  std::vector<FileId> members;  // sorted, unique
+};
+
+struct ClusterSet {
+  std::vector<Cluster> clusters;
+  // file -> indices into `clusters` (a file may belong to several).
+  std::unordered_map<FileId, std::vector<uint32_t>> membership;
+
+  // Clusters containing `id`; empty if unknown.
+  const std::vector<uint32_t>& ClustersOf(FileId id) const;
+};
+
+class ClusterBuilder {
+ public:
+  ClusterBuilder(const SeerParams& params, const FileTable* files,
+                 const RelationTable* relations);
+
+  // Registers investigator evidence for an unordered pair; strengths from
+  // multiple investigators accumulate (Section 3.3.3).
+  void AddInvestigatedPair(FileId a, FileId b, double strength);
+  void ClearInvestigatedPairs();
+
+  // Runs both phases over the given candidate files (normally
+  // FileTable::LiveIds()). Files related to nothing become singleton
+  // clusters.
+  ClusterSet Build(const std::vector<FileId>& candidates) const;
+
+  // Adjusted shared-neighbor count for an ordered pair (x in Table 1).
+  double AdjustedSharedCount(FileId from, FileId to) const;
+
+ private:
+  uint64_t PairKey(FileId a, FileId b) const;
+  double InvestigatedStrength(FileId a, FileId b) const;
+
+  SeerParams params_;
+  const FileTable* files_;
+  const RelationTable* relations_;
+  std::unordered_map<uint64_t, double> investigated_;
+};
+
+}  // namespace seer
+
+#endif  // SRC_CORE_CLUSTERING_H_

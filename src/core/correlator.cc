@@ -1,0 +1,137 @@
+#include "src/core/correlator.h"
+
+namespace seer {
+
+Correlator::Correlator(const SeerParams& params, uint64_t seed)
+    : params_(params),
+      relations_(params, &files_, seed),
+      streams_(params),
+      clusters_(params, &files_, &relations_) {}
+
+void Correlator::OnReference(const FileReference& ref) {
+  ++references_processed_;
+  const FileId id = files_.Intern(ref.path);
+  files_.RecordReference(id, ref.time, ++global_ref_seq_);
+
+  std::vector<DistanceObservation> observations;
+  switch (ref.kind) {
+    case RefKind::kBegin:
+      observations = streams_.OnBegin(ref.pid, id, ref.time);
+      break;
+    case RefKind::kEnd:
+      streams_.OnEnd(ref.pid, id);
+      return;
+    case RefKind::kPoint:
+      observations = streams_.OnPoint(ref.pid, id, ref.time);
+      break;
+  }
+  for (const DistanceObservation& obs : observations) {
+    const FileRecord& from = files_.Get(obs.from);
+    if (from.deleted || from.excluded) {
+      continue;
+    }
+    relations_.Observe(obs.from, obs.to, obs.distance);
+  }
+}
+
+void Correlator::OnProcessFork(Pid parent, Pid child) { streams_.OnFork(parent, child); }
+
+void Correlator::OnProcessExit(Pid pid) { streams_.OnExit(pid); }
+
+void Correlator::OnFileDeleted(const std::string& path, Time /*time*/) {
+  const FileId id = files_.Find(path);
+  if (id == kInvalidFileId) {
+    return;
+  }
+  // Deletion is soft; relationship data survives for a grace period in
+  // case the name is immediately reused (Section 4.8). Entries whose grace
+  // period has now expired are purged for real.
+  for (const FileId expired : files_.MarkDeleted(id, params_.delete_delay)) {
+    relations_.Purge(expired);
+  }
+}
+
+void Correlator::OnFileRenamed(const std::string& from, const std::string& to, Time /*time*/) {
+  const FileId id = files_.Find(from);
+  if (id == kInvalidFileId) {
+    // Renaming a file we never saw: just intern the new name.
+    files_.Intern(to);
+    return;
+  }
+  files_.RenameFile(id, to);
+}
+
+void Correlator::OnFileExcluded(const std::string& path) {
+  const FileId id = files_.Find(path);
+  if (id == kInvalidFileId) {
+    return;
+  }
+  files_.GetMutable(id).excluded = true;
+  relations_.Purge(id);
+}
+
+void Correlator::AddInvestigator(std::unique_ptr<Investigator> investigator) {
+  investigators_.push_back(std::move(investigator));
+}
+
+void Correlator::AddInvestigatedRelation(const InvestigatedRelation& relation) {
+  std::vector<FileId> ids;
+  ids.reserve(relation.files.size());
+  for (const auto& path : relation.files) {
+    ids.push_back(files_.Intern(path));
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      clusters_.AddInvestigatedPair(ids[i], ids[j], relation.strength);
+    }
+  }
+}
+
+void Correlator::RunInvestigators(const SimFilesystem& fs) {
+  if (investigators_.empty()) {
+    return;
+  }
+  std::vector<std::string> candidates;
+  for (const FileId id : files_.LiveIds()) {
+    candidates.push_back(files_.Get(id).path);
+  }
+  clusters_.ClearInvestigatedPairs();
+  for (const auto& inv : investigators_) {
+    for (const auto& relation : inv->Investigate(fs, candidates)) {
+      AddInvestigatedRelation(relation);
+    }
+  }
+}
+
+ClusterSet Correlator::BuildClusters() const { return clusters_.Build(files_.LiveIds()); }
+
+double Correlator::Distance(const std::string& from, const std::string& to) const {
+  const FileId a = files_.Find(from);
+  const FileId b = files_.Find(to);
+  if (a == kInvalidFileId || b == kInvalidFileId) {
+    return -1.0;
+  }
+  return relations_.DistanceOrNegative(a, b);
+}
+
+std::vector<std::string> Correlator::NeighborPaths(const std::string& path) const {
+  std::vector<std::string> out;
+  const FileId id = files_.Find(path);
+  if (id == kInvalidFileId) {
+    return out;
+  }
+  for (const FileId nb : relations_.LiveNeighborIds(id)) {
+    out.push_back(files_.Get(nb).path);
+  }
+  return out;
+}
+
+size_t Correlator::MemoryBytes() const {
+  size_t bytes = relations_.MemoryBytes() + streams_.MemoryBytes();
+  for (FileId id = 0; id < files_.size(); ++id) {
+    bytes += sizeof(FileRecord) + files_.Get(id).path.size();
+  }
+  return bytes;
+}
+
+}  // namespace seer

@@ -1,0 +1,91 @@
+// The SEER correlator.
+//
+// Consumes the observer's cleaned reference stream, measures semantic
+// distances between file references on a per-process basis, maintains the
+// per-file nearest-neighbor relation table, and — when new hoard contents
+// are to be chosen — runs the clustering algorithm to group files into
+// projects (Section 2). External investigators can be registered; their
+// relations are folded into the clustering decision (Sections 3.2, 3.3.3).
+#ifndef SRC_CORE_CORRELATOR_H_
+#define SRC_CORE_CORRELATOR_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/clustering.h"
+#include "src/core/file_table.h"
+#include "src/core/investigator.h"
+#include "src/core/params.h"
+#include "src/core/reference_streams.h"
+#include "src/core/relation_table.h"
+#include "src/observer/reference.h"
+
+namespace seer {
+
+class Correlator : public ReferenceSink {
+ public:
+  explicit Correlator(const SeerParams& params = SeerParams(), uint64_t seed = 0x5ee8);
+
+  // --- ReferenceSink ------------------------------------------------------
+  void OnReference(const FileReference& ref) override;
+  void OnProcessFork(Pid parent, Pid child) override;
+  void OnProcessExit(Pid pid) override;
+  void OnFileDeleted(const std::string& path, Time time) override;
+  void OnFileRenamed(const std::string& from, const std::string& to, Time time) override;
+  void OnFileExcluded(const std::string& path) override;
+
+  // --- Investigators ------------------------------------------------------
+
+  // Registers an investigator; it runs against all known live files each
+  // time RunInvestigators() is called (typically just before clustering).
+  void AddInvestigator(std::unique_ptr<Investigator> investigator);
+  void RunInvestigators(const SimFilesystem& fs);
+
+  // Direct injection of relations (e.g. from a replayed investigator log).
+  void AddInvestigatedRelation(const InvestigatedRelation& relation);
+
+  // --- Clustering & queries ----------------------------------------------
+
+  // Groups all live files into (possibly overlapping) projects.
+  ClusterSet BuildClusters() const;
+
+  const FileTable& files() const { return files_; }
+  const RelationTable& relations() const { return relations_; }
+  const SeerParams& params() const { return params_; }
+
+  // Mean semantic distance from -> to, or negative when untracked.
+  double Distance(const std::string& from, const std::string& to) const;
+
+  // Neighbor paths of a file, for diagnostics.
+  std::vector<std::string> NeighborPaths(const std::string& path) const;
+
+  uint64_t references_processed() const { return references_processed_; }
+
+  // Approximate resident bytes (file table + relation lists + streams),
+  // for the Section 5.3 memory bench.
+  size_t MemoryBytes() const;
+
+  // --- persistence ------------------------------------------------------------
+  // Saves the learned database (parameters, file table, relation table) in
+  // a versioned text format; per-process reference streams are transient
+  // and not saved. LoadFrom reconstructs a correlator; returns null and
+  // fills `error` on malformed input.
+  void SaveTo(std::ostream& out) const;
+  static std::unique_ptr<Correlator> LoadFrom(std::istream& in, std::string* error = nullptr);
+
+ private:
+  SeerParams params_;
+  FileTable files_;
+  RelationTable relations_;
+  ReferenceStreams streams_;
+  ClusterBuilder clusters_;
+  std::vector<std::unique_ptr<Investigator>> investigators_;
+  uint64_t references_processed_ = 0;
+  uint64_t global_ref_seq_ = 0;
+};
+
+}  // namespace seer
+
+#endif  // SRC_CORE_CORRELATOR_H_

@@ -1,0 +1,112 @@
+#include "src/core/file_table.h"
+
+#include <algorithm>
+
+namespace seer {
+
+FileId FileTable::Intern(std::string_view path) {
+  const auto it = by_path_.find(std::string(path));
+  if (it != by_path_.end()) {
+    FileRecord& rec = records_[it->second];
+    if (rec.deleted) {
+      // Name reuse after deletion: resurrect the record so relationship
+      // information built under the old name survives (Section 4.8).
+      rec.deleted = false;
+    }
+    return it->second;
+  }
+  const FileId id = static_cast<FileId>(records_.size());
+  FileRecord rec;
+  rec.path = std::string(path);
+  records_.push_back(std::move(rec));
+  by_path_.emplace(records_.back().path, id);
+  return id;
+}
+
+FileId FileTable::Find(std::string_view path) const {
+  const auto it = by_path_.find(std::string(path));
+  return it == by_path_.end() ? kInvalidFileId : it->second;
+}
+
+void FileTable::RecordReference(FileId id, Time time, uint64_t seq) {
+  FileRecord& rec = records_[id];
+  rec.last_ref_time = time;
+  rec.last_ref_seq = seq;
+  ++rec.ref_count;
+}
+
+std::vector<FileId> FileTable::MarkDeleted(FileId id, uint64_t delete_delay) {
+  FileRecord& rec = records_[id];
+  if (!rec.deleted) {
+    rec.deleted = true;
+    rec.deleted_at_deletion_count = ++deletion_count_;
+    pending_purge_.push_back(id);
+  }
+  // Expire entries whose grace period (measured in total deletions,
+  // Section 4.8) has elapsed — and which are still deleted.
+  std::vector<FileId> expired;
+  while (!pending_purge_.empty()) {
+    const FileId head = pending_purge_.front();
+    const FileRecord& head_rec = records_[head];
+    if (!head_rec.deleted) {
+      pending_purge_.pop_front();  // resurrected meanwhile
+      continue;
+    }
+    if (deletion_count_ - head_rec.deleted_at_deletion_count < delete_delay) {
+      break;
+    }
+    expired.push_back(head);
+    pending_purge_.pop_front();
+  }
+  return expired;
+}
+
+void FileTable::RenameFile(FileId from, std::string_view to) {
+  FileRecord& rec = records_[from];
+  // If the target name already has a record, retire it: the rename
+  // replaced that file.
+  const FileId existing = Find(to);
+  if (existing != kInvalidFileId && existing != from) {
+    records_[existing].deleted = true;
+    by_path_.erase(records_[existing].path);
+    records_[existing].path.clear();
+  }
+  by_path_.erase(rec.path);
+  rec.path = std::string(to);
+  by_path_.emplace(rec.path, from);
+}
+
+FileId FileTable::RestoreRecord(const FileRecord& record) {
+  const FileId id = static_cast<FileId>(records_.size());
+  records_.push_back(record);
+  if (!record.path.empty()) {
+    by_path_.emplace(records_.back().path, id);
+  }
+  return id;
+}
+
+void FileTable::RebuildPurgeQueue() {
+  std::vector<FileId> deleted;
+  for (FileId id = 0; id < records_.size(); ++id) {
+    if (records_[id].deleted) {
+      deleted.push_back(id);
+    }
+  }
+  std::sort(deleted.begin(), deleted.end(), [this](FileId a, FileId b) {
+    return records_[a].deleted_at_deletion_count < records_[b].deleted_at_deletion_count;
+  });
+  pending_purge_.assign(deleted.begin(), deleted.end());
+}
+
+std::vector<FileId> FileTable::LiveIds() const {
+  std::vector<FileId> out;
+  out.reserve(records_.size());
+  for (FileId id = 0; id < records_.size(); ++id) {
+    if (!records_[id].deleted && !records_[id].excluded && !records_[id].path.empty()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace seer

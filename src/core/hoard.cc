@@ -1,0 +1,177 @@
+#include "src/core/hoard.h"
+
+#include <algorithm>
+
+namespace seer {
+
+HoardSelection HoardManager::ChooseHoard(const Correlator& correlator,
+                                         const ClusterSet& clusters,
+                                         const std::set<std::string>& always_hoard,
+                                         const SizeFn& size_of) const {
+  HoardSelection sel;
+  sel.budget_bytes = budget_bytes_;
+  // The conservative all-directories-hoarded space assumption
+  // (Section 4.6): charged before any file competes for the budget.
+  sel.bytes_used = reserved_bytes_;
+
+  auto add_file = [&](const std::string& path) {
+    if (sel.files.count(path) != 0) {
+      return;
+    }
+    sel.bytes_used += size_of(path);
+    sel.files.insert(path);
+  };
+
+  // Unconditional contents first: critical files, dot-files, non-files,
+  // frequent files, and explicit user pins. These are included regardless
+  // of the budget — the paper treats them as outside SEER's discretion.
+  for (const auto& path : always_hoard) {
+    add_file(path);
+  }
+  for (const auto& path : pinned_) {
+    add_file(path);
+  }
+
+  // Rank projects by activity: a project is as recent as its most recently
+  // referenced member.
+  const FileTable& files = correlator.files();
+  struct Ranked {
+    uint64_t priority = 0;
+    uint32_t index = 0;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(clusters.clusters.size());
+  for (uint32_t i = 0; i < clusters.clusters.size(); ++i) {
+    uint64_t priority = 0;
+    for (const FileId id : clusters.clusters[i].members) {
+      priority = std::max(priority, files.Get(id).last_ref_seq);
+    }
+    ranked.push_back({priority, i});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) { return a.priority > b.priority; });
+
+  // Greedily take whole projects while they fit. By default a project that
+  // does not fit is skipped whole — partial projects are never hoarded
+  // (Section 2); in the ablation mode it contributes its most recent
+  // members instead.
+  for (const Ranked& r : ranked) {
+    const Cluster& cluster = clusters.clusters[r.index];
+    uint64_t extra = 0;
+    for (const FileId id : cluster.members) {
+      const FileRecord& rec = files.Get(id);
+      if (rec.deleted || rec.path.empty()) {
+        continue;
+      }
+      if (sel.files.count(rec.path) == 0) {
+        extra += size_of(rec.path);
+      }
+    }
+    if (sel.bytes_used + extra > budget_bytes_) {
+      if (!allow_partial_) {
+        ++sel.projects_skipped;
+        continue;
+      }
+      // Partial fill (ablation mode): take the project's members most
+      // recently referenced first, while they fit.
+      std::vector<std::pair<uint64_t, FileId>> by_recency;
+      for (const FileId id : cluster.members) {
+        const FileRecord& rec = files.Get(id);
+        if (!rec.deleted && !rec.path.empty()) {
+          by_recency.emplace_back(rec.last_ref_seq, id);
+        }
+      }
+      std::sort(by_recency.rbegin(), by_recency.rend());
+      bool took_any = false;
+      for (const auto& [seq, id] : by_recency) {
+        const std::string& path = files.Get(id).path;
+        const uint64_t bytes = sel.files.count(path) != 0 ? 0 : size_of(path);
+        if (sel.bytes_used + bytes <= budget_bytes_) {
+          add_file(path);
+          took_any = true;
+        }
+      }
+      if (took_any) {
+        ++sel.projects_hoarded;
+      } else {
+        ++sel.projects_skipped;
+      }
+      continue;
+    }
+    for (const FileId id : cluster.members) {
+      const FileRecord& rec = files.Get(id);
+      if (!rec.deleted && !rec.path.empty()) {
+        add_file(rec.path);
+      }
+    }
+    ++sel.projects_hoarded;
+  }
+  return sel;
+}
+
+void MissLog::RecordManual(const std::string& path, Time time, MissSeverity severity) {
+  MissRecord rec;
+  rec.path = path;
+  rec.time = time;
+  rec.severity = severity;
+  rec.automatic = false;
+  records_.push_back(std::move(rec));
+  pending_hoard_.insert(path);
+  seen_this_disconnection_.insert(path);
+}
+
+void MissLog::OnNotLocalAccess(const std::string& path, Pid /*pid*/, Time time) {
+  if (!seen_this_disconnection_.insert(path).second) {
+    return;  // already recorded this disconnection
+  }
+  MissRecord rec;
+  rec.path = path;
+  rec.time = time;
+  rec.severity = MissSeverity::kMinor;
+  rec.automatic = true;
+  records_.push_back(std::move(rec));
+  pending_hoard_.insert(path);
+}
+
+void MissLog::StartDisconnection(Time /*time*/) {
+  disconnected_ = true;
+  disconnection_start_index_ = records_.size();
+  seen_this_disconnection_.clear();
+}
+
+void MissLog::EndDisconnection() {
+  disconnected_ = false;
+  seen_this_disconnection_.clear();
+}
+
+size_t MissLog::CurrentDisconnectionMissCount() const {
+  return records_.size() - disconnection_start_index_;
+}
+
+std::vector<std::string> MissLog::TakeFilesToHoard() {
+  std::vector<std::string> out(pending_hoard_.begin(), pending_hoard_.end());
+  pending_hoard_.clear();
+  return out;
+}
+
+size_t MissLog::CountAtSeverity(MissSeverity severity) const {
+  size_t n = 0;
+  for (const auto& rec : records_) {
+    if (!rec.automatic && rec.severity == severity) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t MissLog::automatic_count() const {
+  size_t n = 0;
+  for (const auto& rec : records_) {
+    if (rec.automatic) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace seer

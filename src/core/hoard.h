@@ -1,0 +1,133 @@
+// Hoard selection and hoard-miss accounting.
+//
+// When new hoard contents are to be chosen, SEER examines the projects, in
+// order of how recently they were active, and selects the highest-priority
+// projects until the maximum hoard size is reached — only complete projects
+// are hoarded, under the assumption that a partial project is not enough to
+// make progress (Section 2). Frequently-referenced files, critical files,
+// and non-file objects are included unconditionally (Sections 4.2, 4.3,
+// 4.6), as are any files the user pinned by hand (rarely needed, Section 2).
+//
+// MissLog implements the two miss-tracking paths of Section 4.4: the manual
+// reporting program (with the 0-4 severity scale) and the automatic
+// detector that notices accesses to files that exist but are not hoarded.
+#ifndef SRC_CORE_HOARD_H_
+#define SRC_CORE_HOARD_H_
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/clustering.h"
+#include "src/core/correlator.h"
+#include "src/observer/observer.h"
+
+namespace seer {
+
+// Severity scale of Section 4.4 (lower is worse).
+enum class MissSeverity : uint8_t {
+  kUnusable = 0,        // computer unusable until reconnection
+  kTaskChange = 1,      // current task must change
+  kActivityChange = 2,  // same task, different activity
+  kMinor = 3,           // little or no trouble
+  kPreload = 4,         // not needed now; preload for the future
+};
+
+struct HoardSelection {
+  std::set<std::string> files;
+  uint64_t bytes_used = 0;
+  uint64_t budget_bytes = 0;
+  size_t projects_hoarded = 0;
+  size_t projects_skipped = 0;  // complete projects that did not fit
+
+  bool Contains(const std::string& path) const { return files.count(path) != 0; }
+};
+
+class HoardManager {
+ public:
+  using SizeFn = std::function<uint64_t(const std::string& path)>;
+
+  explicit HoardManager(uint64_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+  void set_budget_bytes(uint64_t bytes) { budget_bytes_ = bytes; }
+  uint64_t budget_bytes() const { return budget_bytes_; }
+
+  // Space charged before any file is chosen. Directory hoarding is the
+  // replication substrate's decision, but SEER conservatively assumes all
+  // directories are hoarded when computing space (Section 4.6).
+  void set_reserved_bytes(uint64_t bytes) { reserved_bytes_ = bytes; }
+  uint64_t reserved_bytes() const { return reserved_bytes_; }
+
+  // The paper hoards only complete projects, assuming partial projects are
+  // not enough to make progress (Section 2). Enabling partial fill makes a
+  // project that does not fit contribute its most recently used members
+  // instead — the ablation bench/live sim quantify the difference.
+  void set_allow_partial_projects(bool allow) { allow_partial_ = allow; }
+  bool allow_partial_projects() const { return allow_partial_; }
+
+  // Explicit user hoarding instructions (kept across selections).
+  void Pin(const std::string& path) { pinned_.insert(path); }
+  void Unpin(const std::string& path) { pinned_.erase(path); }
+  const std::set<std::string>& pinned() const { return pinned_; }
+
+  // Chooses hoard contents: always-hoard and pinned files first, then whole
+  // projects by descending activity until the budget is exhausted.
+  // `size_of` supplies per-file sizes (unknown files may be given a
+  // synthetic size by the caller).
+  HoardSelection ChooseHoard(const Correlator& correlator, const ClusterSet& clusters,
+                             const std::set<std::string>& always_hoard,
+                             const SizeFn& size_of) const;
+
+ private:
+  uint64_t budget_bytes_;
+  uint64_t reserved_bytes_ = 0;
+  std::set<std::string> pinned_;
+  bool allow_partial_ = false;
+};
+
+struct MissRecord {
+  std::string path;
+  Time time = 0;
+  MissSeverity severity = MissSeverity::kMinor;
+  bool automatic = false;
+};
+
+class MissLog : public MissListener {
+ public:
+  // Manual reporting: the user runs the miss program, which records the
+  // event and arranges for the file (and its project) to be hoarded at the
+  // next reconnection.
+  void RecordManual(const std::string& path, Time time, MissSeverity severity);
+
+  // Automatic detection (fed by the observer's kNotLocal signal). At most
+  // one automatic record per path per disconnection.
+  void OnNotLocalAccess(const std::string& path, Pid pid, Time time) override;
+
+  // Disconnection bracketing for per-disconnection queries.
+  void StartDisconnection(Time time);
+  void EndDisconnection();
+
+  const std::vector<MissRecord>& records() const { return records_; }
+
+  // Misses recorded during the current disconnection.
+  size_t CurrentDisconnectionMissCount() const;
+
+  // Files to force into the hoard at the next reconnection; clears the
+  // pending set.
+  std::vector<std::string> TakeFilesToHoard();
+
+  size_t CountAtSeverity(MissSeverity severity) const;
+  size_t automatic_count() const;
+
+ private:
+  std::vector<MissRecord> records_;
+  std::set<std::string> pending_hoard_;
+  std::set<std::string> seen_this_disconnection_;
+  size_t disconnection_start_index_ = 0;
+  bool disconnected_ = false;
+};
+
+}  // namespace seer
+
+#endif  // SRC_CORE_HOARD_H_

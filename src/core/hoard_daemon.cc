@@ -1,0 +1,46 @@
+#include "src/core/hoard_daemon.h"
+
+namespace seer {
+
+HoardDaemon::HoardDaemon(Correlator* correlator, Observer* observer, HoardManager* manager,
+                         MissLog* miss_log, InstallFn install, HoardManager::SizeFn size_of,
+                         Config config)
+    : correlator_(correlator),
+      observer_(observer),
+      manager_(manager),
+      miss_log_(miss_log),
+      install_(std::move(install)),
+      size_of_(std::move(size_of)),
+      config_(config) {}
+
+bool HoardDaemon::MaybeRefill(Time now) {
+  if (last_fill_ >= 0 && now - last_fill_ < config_.interval) {
+    return false;
+  }
+  ForceRefill(now);
+  return true;
+}
+
+HoardSelection HoardDaemon::ForceRefill(Time now) {
+  // Files the user missed since the last fill are pinned so they (and, via
+  // clustering, their projects) come along this time (Section 4.4).
+  if (miss_log_ != nullptr) {
+    for (const auto& path : miss_log_->TakeFilesToHoard()) {
+      manager_->Pin(path);
+    }
+  }
+  if (config_.investigate_fs != nullptr) {
+    correlator_->RunInvestigators(*config_.investigate_fs);
+  }
+  const ClusterSet clusters = correlator_->BuildClusters();
+  last_selection_ =
+      manager_->ChooseHoard(*correlator_, clusters, observer_->always_hoard(), size_of_);
+  if (install_) {
+    install_(last_selection_.files);
+  }
+  last_fill_ = now;
+  ++refills_;
+  return last_selection_;
+}
+
+}  // namespace seer

@@ -1,0 +1,68 @@
+// Automated periodic hoard filling.
+//
+// SEER normally learns about an imminent disconnection from the user, but
+// even that interaction can be eliminated by refilling the hoard on a
+// timer (Section 2). The daemon owns the refill recipe: run investigators
+// (optional), cluster, honour pending miss pins, choose the hoard, and
+// hand the target set to the replication substrate through an install
+// callback — keeping this module free of any substrate dependency.
+#ifndef SRC_CORE_HOARD_DAEMON_H_
+#define SRC_CORE_HOARD_DAEMON_H_
+
+#include <functional>
+#include <set>
+#include <string>
+
+#include "src/core/correlator.h"
+#include "src/core/hoard.h"
+#include "src/observer/observer.h"
+
+namespace seer {
+
+struct HoardDaemonConfig {
+  Time interval = 6 * kMicrosPerHour;  // refill period
+  // When set, investigators run against this filesystem before each
+  // clustering pass.
+  const SimFilesystem* investigate_fs = nullptr;
+};
+
+class HoardDaemon {
+ public:
+  // Receives the chosen hoard contents (the replication substrate's
+  // SetHoard, typically).
+  using InstallFn = std::function<void(const std::set<std::string>& target)>;
+
+  using Config = HoardDaemonConfig;
+
+  HoardDaemon(Correlator* correlator, Observer* observer, HoardManager* manager,
+              MissLog* miss_log, InstallFn install, HoardManager::SizeFn size_of,
+              Config config = {});
+
+  // Refills if the interval has elapsed since the last fill. Returns true
+  // when a refill happened. Call this from the simulation's event loop (or
+  // a timer in a live deployment).
+  bool MaybeRefill(Time now);
+
+  // Unconditional refill (the "disconnection imminent" path).
+  HoardSelection ForceRefill(Time now);
+
+  Time last_fill_time() const { return last_fill_; }
+  size_t refill_count() const { return refills_; }
+  const HoardSelection& last_selection() const { return last_selection_; }
+
+ private:
+  Correlator* correlator_;
+  Observer* observer_;
+  HoardManager* manager_;
+  MissLog* miss_log_;
+  InstallFn install_;
+  HoardManager::SizeFn size_of_;
+  Config config_;
+  Time last_fill_ = -1;
+  size_t refills_ = 0;
+  HoardSelection last_selection_;
+};
+
+}  // namespace seer
+
+#endif  // SRC_CORE_HOARD_DAEMON_H_

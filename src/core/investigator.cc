@@ -1,0 +1,214 @@
+#include "src/core/investigator.h"
+
+#include <sstream>
+
+#include "src/util/path.h"
+
+namespace seer {
+
+namespace {
+
+bool IsSourceExtension(const std::string& ext) {
+  return ext == "c" || ext == "cc" || ext == "cpp" || ext == "cxx" || ext == "h" ||
+         ext == "hh" || ext == "hpp";
+}
+
+// Trims leading/trailing spaces and tabs.
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) {
+    ++b;
+  }
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::vector<std::string> IncludeScanner::ParseIncludes(const std::string& source) {
+  std::vector<std::string> out;
+  std::istringstream in(source);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view t = Trim(line);
+    if (t.size() < 10 || t[0] != '#') {
+      continue;
+    }
+    std::string_view rest = Trim(t.substr(1));
+    if (rest.compare(0, 7, "include") != 0) {
+      continue;
+    }
+    rest = Trim(rest.substr(7));
+    if (rest.size() < 2 || rest.front() != '"') {
+      continue;  // angle-bracket includes are ignored
+    }
+    const size_t close = rest.find('"', 1);
+    if (close == std::string_view::npos || close == 1) {
+      continue;
+    }
+    out.emplace_back(rest.substr(1, close - 1));
+  }
+  return out;
+}
+
+std::vector<std::string> IncludeScanner::ParseSystemIncludes(const std::string& source) {
+  std::vector<std::string> out;
+  std::istringstream in(source);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view t = Trim(line);
+    if (t.size() < 10 || t[0] != '#') {
+      continue;
+    }
+    std::string_view rest = Trim(t.substr(1));
+    if (rest.compare(0, 7, "include") != 0) {
+      continue;
+    }
+    rest = Trim(rest.substr(7));
+    if (rest.size() < 2 || rest.front() != '<') {
+      continue;
+    }
+    const size_t close = rest.find('>', 1);
+    if (close == std::string_view::npos || close == 1) {
+      continue;
+    }
+    out.emplace_back(rest.substr(1, close - 1));
+  }
+  return out;
+}
+
+std::vector<InvestigatedRelation> IncludeScanner::Investigate(
+    const SimFilesystem& fs, const std::vector<std::string>& candidates) {
+  std::vector<InvestigatedRelation> relations;
+  for (const auto& path : candidates) {
+    if (!IsSourceExtension(Extension(path))) {
+      continue;
+    }
+    const auto content = fs.ReadContent(path);
+    if (!content.has_value()) {
+      continue;
+    }
+    InvestigatedRelation rel;
+    rel.strength = strength_;
+    rel.files.push_back(path);
+    for (const auto& inc : ParseIncludes(*content)) {
+      const std::string target = AbsolutePath(Dirname(path), inc);
+      if (fs.Exists(target)) {
+        rel.files.push_back(target);
+      }
+    }
+    if (rel.files.size() > 1) {
+      relations.push_back(std::move(rel));
+    }
+  }
+  return relations;
+}
+
+std::vector<std::pair<std::string, std::vector<std::string>>> MakefileInvestigator::ParseRules(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::vector<std::string>>> rules;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '\t' || line[0] == '#') {
+      continue;  // recipe lines and comments
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      continue;
+    }
+    const std::string target(Trim(std::string_view(line).substr(0, colon)));
+    if (target.empty() || target.find(' ') != std::string::npos || target == ".PHONY") {
+      continue;
+    }
+    std::vector<std::string> deps;
+    std::istringstream dep_stream(line.substr(colon + 1));
+    std::string dep;
+    while (dep_stream >> dep) {
+      deps.push_back(dep);
+    }
+    rules.emplace_back(target, std::move(deps));
+  }
+  return rules;
+}
+
+std::vector<InvestigatedRelation> MakefileInvestigator::Investigate(
+    const SimFilesystem& fs, const std::vector<std::string>& candidates) {
+  std::vector<InvestigatedRelation> relations;
+  for (const auto& path : candidates) {
+    const std::string base = Basename(path);
+    if (base != "Makefile" && base != "makefile") {
+      continue;
+    }
+    const auto content = fs.ReadContent(path);
+    if (!content.has_value()) {
+      continue;
+    }
+    const std::string dir = Dirname(path);
+    for (const auto& [target, deps] : ParseRules(*content)) {
+      InvestigatedRelation rel;
+      rel.strength = strength_;
+      rel.files.push_back(path);
+      const std::string target_abs = AbsolutePath(dir, target);
+      if (fs.Exists(target_abs)) {
+        rel.files.push_back(target_abs);
+      }
+      for (const auto& dep : deps) {
+        const std::string dep_abs = AbsolutePath(dir, dep);
+        if (fs.Exists(dep_abs)) {
+          rel.files.push_back(dep_abs);
+        }
+      }
+      if (rel.files.size() > 1) {
+        relations.push_back(std::move(rel));
+      }
+    }
+  }
+  return relations;
+}
+
+std::vector<std::string> HotLinkInvestigator::ParseLinks(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view t = Trim(line);
+    if (t.compare(0, 5, "LINK:") != 0) {
+      continue;
+    }
+    const std::string_view target = Trim(t.substr(5));
+    if (!target.empty()) {
+      out.emplace_back(target);
+    }
+  }
+  return out;
+}
+
+std::vector<InvestigatedRelation> HotLinkInvestigator::Investigate(
+    const SimFilesystem& fs, const std::vector<std::string>& candidates) {
+  std::vector<InvestigatedRelation> relations;
+  for (const auto& path : candidates) {
+    const auto content = fs.ReadContent(path);
+    if (!content.has_value() || content->find("LINK:") == std::string::npos) {
+      continue;
+    }
+    InvestigatedRelation rel;
+    rel.strength = strength_;
+    rel.files.push_back(path);
+    for (const auto& link : ParseLinks(*content)) {
+      const std::string target = AbsolutePath(Dirname(path), link);
+      if (fs.Exists(target)) {
+        rel.files.push_back(target);
+      }
+    }
+    if (rel.files.size() > 1) {
+      relations.push_back(std::move(rel));
+    }
+  }
+  return relations;
+}
+
+}  // namespace seer

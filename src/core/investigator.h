@@ -1,0 +1,115 @@
+// External investigators.
+//
+// An external investigator is an auxiliary program that examines selected
+// files, extracts application-specific relationship information, and feeds
+// it to the correlator as groups of related files with a strength weight
+// (Section 3.2). The clustering stage adds the strength to the
+// shared-neighbor count (Section 3.3.3), so a strong enough investigator
+// can force files into one project.
+//
+// Two concrete investigators ship with the library:
+//   * IncludeScanner — reads C/C++ sources for #include "..." lines (the
+//     paper's example investigator);
+//   * MakefileInvestigator — parses `target: dep...` rules, able to
+//     identify every file needed to build a program (the paper's suggested
+//     extension).
+#ifndef SRC_CORE_INVESTIGATOR_H_
+#define SRC_CORE_INVESTIGATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/vfs/sim_filesystem.h"
+
+namespace seer {
+
+// A group of mutually related files; every pair inside the group receives
+// `strength` as additional shared-neighbor evidence.
+struct InvestigatedRelation {
+  std::vector<std::string> files;
+  double strength = 1.0;
+};
+
+class Investigator {
+ public:
+  virtual ~Investigator() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Examines `candidates` (absolute paths) against the filesystem and
+  // returns any discovered relations.
+  virtual std::vector<InvestigatedRelation> Investigate(
+      const SimFilesystem& fs, const std::vector<std::string>& candidates) = 0;
+};
+
+// Discovers `#include "relative/path.h"` relationships in C/C++ sources.
+// Only quoted includes are followed (angle-bracket system headers are the
+// frequently-referenced-file filter's business). Relative targets are
+// resolved against the including file's directory.
+class IncludeScanner : public Investigator {
+ public:
+  explicit IncludeScanner(double strength = 4.0) : strength_(strength) {}
+
+  std::string Name() const override { return "include-scanner"; }
+
+  std::vector<InvestigatedRelation> Investigate(
+      const SimFilesystem& fs, const std::vector<std::string>& candidates) override;
+
+  // Extracts quoted include targets from one source text (exposed for
+  // testing).
+  static std::vector<std::string> ParseIncludes(const std::string& source);
+
+  // Extracts angle-bracket (system) include targets. The scanner itself
+  // ignores these — system headers are the frequent-file filter's business —
+  // but the workload's simulated compiler needs them to open the right
+  // headers.
+  static std::vector<std::string> ParseSystemIncludes(const std::string& source);
+
+ private:
+  double strength_;
+};
+
+// Discovers `target: dep1 dep2 ...` rules in files named "Makefile" or
+// "makefile". Each rule yields one relation containing the target and all
+// of its dependencies, resolved against the Makefile's directory.
+class MakefileInvestigator : public Investigator {
+ public:
+  explicit MakefileInvestigator(double strength = 6.0) : strength_(strength) {}
+
+  std::string Name() const override { return "makefile"; }
+
+  std::vector<InvestigatedRelation> Investigate(
+      const SimFilesystem& fs, const std::vector<std::string>& candidates) override;
+
+  // Parses rules from one Makefile text; returns (target, deps) pairs.
+  static std::vector<std::pair<std::string, std::vector<std::string>>> ParseRules(
+      const std::string& text);
+
+ private:
+  double strength_;
+};
+
+// Discovers document embedding links — the analogue of WINDOWS OLE "hot
+// links" the paper names as a third source of relationship information
+// (Section 3.2). Our document format marks embeddings with lines of the
+// form "LINK: relative/or/absolute/path"; each document yields one relation
+// containing itself and every resolvable link target.
+class HotLinkInvestigator : public Investigator {
+ public:
+  explicit HotLinkInvestigator(double strength = 5.0) : strength_(strength) {}
+
+  std::string Name() const override { return "hot-links"; }
+
+  std::vector<InvestigatedRelation> Investigate(
+      const SimFilesystem& fs, const std::vector<std::string>& candidates) override;
+
+  // Extracts link targets from one document body (exposed for testing).
+  static std::vector<std::string> ParseLinks(const std::string& text);
+
+ private:
+  double strength_;
+};
+
+}  // namespace seer
+
+#endif  // SRC_CORE_INVESTIGATOR_H_

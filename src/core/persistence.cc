@@ -1,0 +1,263 @@
+// Correlator database persistence.
+//
+// The paper left SEER's ~1 KB/file database in virtual memory and noted
+// that storing it on disk would be a straightforward later optimisation
+// (Section 5.3). This is the on-disk format: a versioned, line-oriented
+// text file holding the parameters, the file table, and the relation
+// table. Reference streams are per-process transient state and are not
+// persisted — after a reload, distance accumulation simply resumes with
+// fresh windows, exactly as it would after a reboot.
+//
+//   SEERDB 1
+//   params <n-lines>
+//   <FormatSeerParams() body>
+//   files <count> <deletion-count> <global-ref-seq>
+//   <escaped-path|-> <last-ref-time> <last-ref-seq> <ref-count>
+//       <deleted> <excluded> <deleted-at>        (one line per record)
+//   relations <update-count>
+//   list <from> <entries>
+//   <to> <log-sum> <linear-sum> <observations> <last-update>
+//   end
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/core/correlator.h"
+#include "src/core/params_io.h"
+#include "src/trace/trace_io.h"
+
+namespace seer {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+}
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string word;
+  while (in >> word) {
+    out.push_back(word);
+  }
+  return out;
+}
+
+template <typename T>
+bool ParseWord(const std::string& word, T* out) {
+  const auto [ptr, ec] = std::from_chars(word.data(), word.data() + word.size(), *out);
+  return ec == std::errc() && ptr == word.data() + word.size();
+}
+
+bool ParseWord(const std::string& word, double* out) {
+  // Accepts both decimal and the "%a" hex-float form ("0x1.8p+1"), which
+  // from_chars parses only without the 0x prefix.
+  std::string_view s(word);
+  bool negative = false;
+  if (!s.empty() && s.front() == '-') {
+    negative = true;
+    s.remove_prefix(1);
+  }
+  std::from_chars_result r{};
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    s.remove_prefix(2);
+    r = std::from_chars(s.data(), s.data() + s.size(), *out, std::chars_format::hex);
+  } else {
+    r = std::from_chars(s.data(), s.data() + s.size(), *out);
+  }
+  if (r.ec != std::errc() || r.ptr != s.data() + s.size()) {
+    return false;
+  }
+  if (negative) {
+    *out = -*out;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Correlator::SaveTo(std::ostream& out) const {
+  out << "SEERDB " << kFormatVersion << '\n';
+
+  const std::string params_text = FormatSeerParams(params_);
+  size_t param_lines = 0;
+  for (const char c : params_text) {
+    if (c == '\n') {
+      ++param_lines;
+    }
+  }
+  out << "params " << param_lines << '\n' << params_text;
+
+  out << "files " << files_.size() << ' ' << files_.deletion_count() << ' ' << global_ref_seq_
+      << '\n';
+  for (FileId id = 0; id < files_.size(); ++id) {
+    const FileRecord& rec = files_.Get(id);
+    out << (rec.path.empty() ? "-" : EscapePath(rec.path)) << ' ' << rec.last_ref_time << ' '
+        << rec.last_ref_seq << ' ' << rec.ref_count << ' ' << (rec.deleted ? 1 : 0) << ' '
+        << (rec.excluded ? 1 : 0) << ' ' << rec.deleted_at_deletion_count << '\n';
+  }
+
+  out << "relations " << relations_.update_count() << '\n';
+  for (FileId id = 0; id < files_.size(); ++id) {
+    const auto& neighbors = relations_.NeighborsOf(id);
+    if (neighbors.empty()) {
+      continue;
+    }
+    out << "list " << id << ' ' << neighbors.size() << '\n';
+    for (const Neighbor& nb : neighbors) {
+      // Hex float round-trips exactly through from_chars.
+      char log_buf[64];
+      char lin_buf[64];
+      std::snprintf(log_buf, sizeof(log_buf), "%a", nb.log_sum);
+      std::snprintf(lin_buf, sizeof(lin_buf), "%a", nb.linear_sum);
+      out << nb.id << ' ' << log_buf << ' ' << lin_buf << ' ' << nb.observations << ' '
+          << nb.last_update << '\n';
+    }
+  }
+  out << "end\n";
+}
+
+std::unique_ptr<Correlator> Correlator::LoadFrom(std::istream& in, std::string* error) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    SetError(error, "empty stream");
+    return nullptr;
+  }
+  int version = 0;
+  {
+    const auto words = SplitWords(line);
+    if (words.size() != 2 || words[0] != "SEERDB" || !ParseWord(words[1], &version) ||
+        version != kFormatVersion) {
+      SetError(error, "bad header: " + line);
+      return nullptr;
+    }
+  }
+
+  // --- params ---------------------------------------------------------------
+  if (!std::getline(in, line)) {
+    SetError(error, "truncated before params");
+    return nullptr;
+  }
+  size_t param_lines = 0;
+  {
+    const auto words = SplitWords(line);
+    if (words.size() != 2 || words[0] != "params" || !ParseWord(words[1], &param_lines)) {
+      SetError(error, "bad params header: " + line);
+      return nullptr;
+    }
+  }
+  std::string params_text;
+  for (size_t i = 0; i < param_lines; ++i) {
+    if (!std::getline(in, line)) {
+      SetError(error, "truncated inside params");
+      return nullptr;
+    }
+    params_text += line;
+    params_text += '\n';
+  }
+  std::string params_error;
+  const auto params = ParseSeerParams(params_text, SeerParams{}, &params_error);
+  if (!params.has_value()) {
+    SetError(error, "bad params: " + params_error);
+    return nullptr;
+  }
+
+  auto correlator = std::make_unique<Correlator>(*params);
+
+  // --- files -----------------------------------------------------------------
+  if (!std::getline(in, line)) {
+    SetError(error, "truncated before files");
+    return nullptr;
+  }
+  size_t file_count = 0;
+  uint64_t deletion_count = 0;
+  {
+    const auto words = SplitWords(line);
+    if (words.size() != 4 || words[0] != "files" || !ParseWord(words[1], &file_count) ||
+        !ParseWord(words[2], &deletion_count) ||
+        !ParseWord(words[3], &correlator->global_ref_seq_)) {
+      SetError(error, "bad files header: " + line);
+      return nullptr;
+    }
+  }
+  for (size_t i = 0; i < file_count; ++i) {
+    if (!std::getline(in, line)) {
+      SetError(error, "truncated inside files");
+      return nullptr;
+    }
+    const auto words = SplitWords(line);
+    FileRecord rec;
+    int deleted = 0;
+    int excluded = 0;
+    if (words.size() != 7 || !ParseWord(words[1], &rec.last_ref_time) ||
+        !ParseWord(words[2], &rec.last_ref_seq) || !ParseWord(words[3], &rec.ref_count) ||
+        !ParseWord(words[4], &deleted) || !ParseWord(words[5], &excluded) ||
+        !ParseWord(words[6], &rec.deleted_at_deletion_count)) {
+      SetError(error, "bad file record: " + line);
+      return nullptr;
+    }
+    rec.path = words[0] == "-" ? "" : UnescapePath(words[0]);
+    rec.deleted = deleted != 0;
+    rec.excluded = excluded != 0;
+    correlator->files_.RestoreRecord(rec);
+  }
+  correlator->files_.set_deletion_count(deletion_count);
+  correlator->files_.RebuildPurgeQueue();
+
+  // --- relations ---------------------------------------------------------------
+  if (!std::getline(in, line)) {
+    SetError(error, "truncated before relations");
+    return nullptr;
+  }
+  uint64_t update_count = 0;
+  {
+    const auto words = SplitWords(line);
+    if (words.size() != 2 || words[0] != "relations" || !ParseWord(words[1], &update_count)) {
+      SetError(error, "bad relations header: " + line);
+      return nullptr;
+    }
+  }
+  while (std::getline(in, line)) {
+    if (line == "end") {
+      correlator->relations_.set_update_count(update_count);
+      return correlator;
+    }
+    const auto words = SplitWords(line);
+    FileId from = 0;
+    size_t entries = 0;
+    if (words.size() != 3 || words[0] != "list" || !ParseWord(words[1], &from) ||
+        !ParseWord(words[2], &entries) || from >= correlator->files_.size()) {
+      SetError(error, "bad list header: " + line);
+      return nullptr;
+    }
+    std::vector<Neighbor> neighbors;
+    neighbors.reserve(entries);
+    for (size_t i = 0; i < entries; ++i) {
+      if (!std::getline(in, line)) {
+        SetError(error, "truncated inside list");
+        return nullptr;
+      }
+      const auto nb_words = SplitWords(line);
+      Neighbor nb;
+      if (nb_words.size() != 5 || !ParseWord(nb_words[0], &nb.id) ||
+          !ParseWord(nb_words[1], &nb.log_sum) || !ParseWord(nb_words[2], &nb.linear_sum) ||
+          !ParseWord(nb_words[3], &nb.observations) || !ParseWord(nb_words[4], &nb.last_update) ||
+          nb.id >= correlator->files_.size()) {
+        SetError(error, "bad neighbor record: " + line);
+        return nullptr;
+      }
+      neighbors.push_back(nb);
+    }
+    correlator->relations_.RestoreList(from, std::move(neighbors));
+  }
+  SetError(error, "missing end marker");
+  return nullptr;
+}
+
+}  // namespace seer

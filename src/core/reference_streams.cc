@@ -1,0 +1,214 @@
+#include "src/core/reference_streams.h"
+
+#include <algorithm>
+
+namespace seer {
+
+namespace {
+
+// Sentinel pid used when per-process separation is disabled (ablation of
+// Section 4.7).
+constexpr Pid kGlobalStream = 0;
+
+}  // namespace
+
+ReferenceStreams::Stream& ReferenceStreams::GetStream(Pid pid) {
+  return streams_[params_.per_process_streams ? pid : kGlobalStream];
+}
+
+void ReferenceStreams::PruneWindow(Stream& s) {
+  const uint64_t horizon = static_cast<uint64_t>(params_.distance_horizon);
+  while (!s.window.empty()) {
+    const auto& [file, idx] = s.window.front();
+    const auto it = s.files.find(file);
+    const bool stale = it == s.files.end() || it->second.last_open_index != idx;
+    const bool expired = idx + horizon < s.open_counter;
+    if (stale) {
+      s.window.pop_front();
+      continue;
+    }
+    if (!expired) {
+      break;
+    }
+    // A file that is still open stays semantically at distance 0 to
+    // everything; it is tracked via open_nesting and its state survives the
+    // window (see OnEnd's compensation).
+    if (it->second.open_nesting == 0) {
+      s.files.erase(it);
+    }
+    s.window.pop_front();
+  }
+}
+
+std::vector<DistanceObservation> ReferenceStreams::Reference(Stream& s, FileId file, Time time,
+                                                             bool keep_open) {
+  const uint64_t idx = ++s.open_counter;
+  const uint64_t ref = ++s.ref_counter;
+  const double horizon = static_cast<double>(params_.distance_horizon);
+
+  // Evict entries that fell outside the horizon BEFORE collecting
+  // observations: only files within the last M opens may update
+  // (Section 3.1.3).
+  PruneWindow(s);
+
+  std::vector<DistanceObservation> obs;
+
+  // Distance-0 sources: files currently held open (lifetime measure only).
+  // These may not have window entries any more, so walk the state map for
+  // open files first; the map stays small because closed files age out.
+  if (params_.distance_kind == DistanceKind::kLifetime) {
+    for (const auto& [from, state] : s.files) {
+      if (from != file && state.open_nesting > 0) {
+        obs.push_back({from, file, 0.0});
+      }
+    }
+  }
+
+  for (const auto& [from, from_idx] : s.window) {
+    if (from == file) {
+      continue;
+    }
+    const auto it = s.files.find(from);
+    if (it == s.files.end() || it->second.last_open_index != from_idx) {
+      continue;  // superseded by a later open of the same file
+    }
+    const FileState& st = it->second;
+    double d = 0.0;
+    switch (params_.distance_kind) {
+      case DistanceKind::kLifetime: {
+        if (st.open_nesting > 0) {
+          continue;  // already emitted above
+        }
+        d = st.compensated ? horizon : static_cast<double>(idx - st.last_open_index);
+        break;
+      }
+      case DistanceKind::kSequence: {
+        d = static_cast<double>(ref - st.last_ref_index) - 1.0;
+        break;
+      }
+      case DistanceKind::kTemporal: {
+        d = static_cast<double>(time - st.last_open_time) /
+            static_cast<double>(kMicrosPerSecond);
+        break;
+      }
+    }
+    const double cap = params_.distance_kind == DistanceKind::kTemporal
+                           ? params_.temporal_horizon_seconds
+                           : horizon;
+    obs.push_back({from, file, std::min(d, cap)});
+  }
+
+  FileState& st = s.files[file];
+  st.last_open_index = idx;
+  st.last_ref_index = ref;
+  st.last_open_time = time;
+  st.compensated = false;
+  if (keep_open) {
+    ++st.open_nesting;
+  }
+  s.window.emplace_back(file, idx);
+  PruneWindow(s);
+  return obs;
+}
+
+std::vector<DistanceObservation> ReferenceStreams::OnBegin(Pid pid, FileId file, Time time) {
+  return Reference(GetStream(pid), file, time, /*keep_open=*/true);
+}
+
+std::vector<DistanceObservation> ReferenceStreams::OnPoint(Pid pid, FileId file, Time time) {
+  return Reference(GetStream(pid), file, time, /*keep_open=*/false);
+}
+
+void ReferenceStreams::OnEnd(Pid pid, FileId file) {
+  Stream& s = GetStream(pid);
+  const auto it = s.files.find(file);
+  if (it == s.files.end() || it->second.open_nesting == 0) {
+    return;  // close of a reference we never saw open — ignore
+  }
+  FileState& st = it->second;
+  --st.open_nesting;
+  if (st.open_nesting > 0) {
+    return;
+  }
+  const uint64_t horizon = static_cast<uint64_t>(params_.distance_horizon);
+  if (s.open_counter - st.last_open_index > horizon) {
+    // The open happened more than M opens ago: any true distance from it
+    // would exceed M. Re-stamp the file at the close point with the
+    // `compensated` flag so later references see exactly M — the paper's
+    // compensation insertion (Section 3.1.3).
+    st.last_open_index = s.open_counter;
+    st.compensated = true;
+    s.window.emplace_back(file, st.last_open_index);
+  }
+}
+
+void ReferenceStreams::OnFork(Pid parent, Pid child) {
+  if (!params_.per_process_streams || parent == child) {
+    return;
+  }
+  const auto it = streams_.find(parent);
+  if (it == streams_.end()) {
+    return;
+  }
+  // The child inherits a copy of the parent's reference history
+  // (Section 4.7) — but begins with nothing held open, since descriptors
+  // are not shared in our substrate.
+  Stream copy = it->second;
+  copy.parent = parent;
+  for (auto& [file, state] : copy.files) {
+    state.open_nesting = 0;
+  }
+  streams_[child] = std::move(copy);
+}
+
+void ReferenceStreams::OnExit(Pid pid) {
+  if (!params_.per_process_streams) {
+    return;
+  }
+  const auto it = streams_.find(pid);
+  if (it == streams_.end()) {
+    return;
+  }
+  Stream child = std::move(it->second);
+  streams_.erase(it);
+
+  const auto parent_it = streams_.find(child.parent);
+  if (parent_it == streams_.end()) {
+    return;
+  }
+  Stream& parent = parent_it->second;
+
+  // Merge: the child's recent history is replayed quietly into the parent
+  // so future parent references can relate to the child's files
+  // (Section 4.7). No observations are generated here — child-internal
+  // pairs were already measured inside the child's own stream.
+  for (const auto& [file, idx] : child.window) {
+    const auto st_it = child.files.find(file);
+    if (st_it == child.files.end() || st_it->second.last_open_index != idx) {
+      continue;
+    }
+    FileState& pst = parent.files[file];
+    if (pst.open_nesting > 0) {
+      continue;  // the parent itself holds it open; keep that state
+    }
+    pst.last_open_index = ++parent.open_counter;
+    pst.last_ref_index = ++parent.ref_counter;
+    pst.last_open_time = st_it->second.last_open_time;
+    pst.open_nesting = 0;
+    pst.compensated = false;
+    parent.window.emplace_back(file, pst.last_open_index);
+  }
+  PruneWindow(parent);
+}
+
+size_t ReferenceStreams::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [pid, s] : streams_) {
+    bytes += sizeof(Stream);
+    bytes += s.files.size() * (sizeof(FileId) + sizeof(FileState) + 16);
+    bytes += s.window.size() * sizeof(std::pair<FileId, uint64_t>);
+  }
+  return bytes;
+}
+
+}  // namespace seer

@@ -1,0 +1,95 @@
+// Per-process reference streams and semantic-distance measurement.
+//
+// Implements the three distance definitions of Section 3.1.1 — temporal,
+// sequence-based, and lifetime-based — on a per-process basis (Section 4.7):
+// each process has its own reference history, histories are inherited at
+// fork, and a child's recent history is merged back into its parent at exit
+// so relationships spanning the two can still be detected.
+//
+// For the production lifetime measure (Definition 3) the distance from an
+// open of A to a later open of B is 0 when A is still open, and otherwise
+// the number of intervening opens including B's own (equivalently,
+// openindex(B) - openindex(A) for the most recent open of A — the "closest
+// pair" rule of the paper's footnote). Distances larger than the horizon M
+// are clamped to M (the compensation insertion of Section 3.1.3), and only
+// files opened within the last M opens generate updates at all.
+#ifndef SRC_CORE_REFERENCE_STREAMS_H_
+#define SRC_CORE_REFERENCE_STREAMS_H_
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/file_table.h"
+#include "src/core/params.h"
+#include "src/trace/event.h"
+
+namespace seer {
+
+// One measured distance from an earlier reference to the current one.
+struct DistanceObservation {
+  FileId from = kInvalidFileId;
+  FileId to = kInvalidFileId;
+  double distance = 0.0;
+};
+
+class ReferenceStreams {
+ public:
+  explicit ReferenceStreams(const SeerParams& params) : params_(params) {}
+
+  // An open of `file` by `pid`: returns the distance observations from every
+  // file referenced within the horizon to `file`.
+  std::vector<DistanceObservation> OnBegin(Pid pid, FileId file, Time time);
+
+  // The matching close.
+  void OnEnd(Pid pid, FileId file);
+
+  // A point reference (open immediately followed by close).
+  std::vector<DistanceObservation> OnPoint(Pid pid, FileId file, Time time);
+
+  // Fork: the child inherits a copy of the parent's history.
+  void OnFork(Pid parent, Pid child);
+
+  // Exit: the process's recent history is merged into its parent's stream
+  // (quietly — no new observations; future parent references will see the
+  // child's files), then discarded.
+  void OnExit(Pid pid);
+
+  size_t stream_count() const { return streams_.size(); }
+
+  // Approximate bytes used (Section 5.3 memory accounting).
+  size_t MemoryBytes() const;
+
+ private:
+  struct FileState {
+    uint64_t last_open_index = 0;
+    uint64_t last_ref_index = 0;
+    Time last_open_time = 0;
+    uint32_t open_nesting = 0;
+    // Set when a long-held file closed outside the horizon: its true
+    // distance to later references exceeds M, so M is reported instead
+    // (the compensation insertion of Section 3.1.3).
+    bool compensated = false;
+  };
+
+  struct Stream {
+    Pid parent = 0;
+    uint64_t open_counter = 0;
+    uint64_t ref_counter = 0;
+    std::unordered_map<FileId, FileState> files;
+    // Recent opens, (file, open index); stale entries (superseded by a more
+    // recent open of the same file) are skipped lazily.
+    std::deque<std::pair<FileId, uint64_t>> window;
+  };
+
+  Stream& GetStream(Pid pid);
+  std::vector<DistanceObservation> Reference(Stream& s, FileId file, Time time, bool keep_open);
+  void PruneWindow(Stream& s);
+
+  SeerParams params_;
+  std::unordered_map<Pid, Stream> streams_;
+};
+
+}  // namespace seer
+
+#endif  // SRC_CORE_REFERENCE_STREAMS_H_

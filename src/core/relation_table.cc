@@ -1,0 +1,166 @@
+#include "src/core/relation_table.h"
+
+#include <cmath>
+
+namespace seer {
+
+double Neighbor::MeanDistance(MeanKind kind) const {
+  if (observations == 0) {
+    return 0.0;
+  }
+  if (kind == MeanKind::kArithmetic) {
+    return linear_sum / static_cast<double>(observations);
+  }
+  return std::exp(log_sum / static_cast<double>(observations));
+}
+
+RelationTable::RelationTable(const SeerParams& params, const FileTable* files, uint64_t seed)
+    : params_(params), files_(files), rng_(seed) {}
+
+void RelationTable::EnsureSize(FileId id) {
+  if (lists_.size() <= id) {
+    lists_.resize(id + 1);
+  }
+}
+
+void RelationTable::Observe(FileId from, FileId to, double distance) {
+  if (from == to) {
+    return;
+  }
+  EnsureSize(from);
+  ++update_count_;
+
+  const double floored =
+      distance > 0.0 ? distance : params_.geometric_zero_floor;
+  std::vector<Neighbor>& list = lists_[from];
+
+  // Existing entry: fold in the new observation.
+  for (Neighbor& nb : list) {
+    if (nb.id == to) {
+      nb.log_sum += std::log(floored);
+      nb.linear_sum += distance;
+      ++nb.observations;
+      nb.last_update = update_count_;
+      return;
+    }
+  }
+
+  Neighbor candidate;
+  candidate.id = to;
+  candidate.log_sum = std::log(floored);
+  candidate.linear_sum = distance;
+  candidate.observations = 1;
+  candidate.last_update = update_count_;
+
+  if (list.size() < static_cast<size_t>(params_.max_neighbors)) {
+    list.push_back(candidate);
+    return;
+  }
+
+  // Replacement priority 1: a neighbor marked for deletion.
+  for (Neighbor& nb : list) {
+    if (files_->Get(nb.id).deleted) {
+      nb = candidate;
+      return;
+    }
+  }
+
+  // Priority 2: the entry with the largest mean distance (random
+  // tie-break), replaced only when it is farther than the candidate.
+  size_t worst = 0;
+  double worst_dist = -1.0;
+  size_t ties = 0;
+  for (size_t i = 0; i < list.size(); ++i) {
+    const double d = list[i].MeanDistance(params_.mean_kind);
+    if (d > worst_dist) {
+      worst_dist = d;
+      worst = i;
+      ties = 1;
+    } else if (d == worst_dist) {
+      // Reservoir-style random tie-break.
+      ++ties;
+      if (rng_.NextBounded(ties) == 0) {
+        worst = i;
+      }
+    }
+  }
+  const double candidate_dist = candidate.MeanDistance(params_.mean_kind);
+  if (worst_dist > candidate_dist) {
+    list[worst] = candidate;
+    return;
+  }
+
+  // Priority 3: aging — a very old, inactive entry yields to fresh data so
+  // the table can track changes in user behaviour and shed incorrectly
+  // inferred relationships (Section 3.1.3).
+  size_t oldest = 0;
+  uint64_t oldest_update = UINT64_MAX;
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (list[i].last_update < oldest_update) {
+      oldest_update = list[i].last_update;
+      oldest = i;
+    }
+  }
+  if (update_count_ - oldest_update > params_.aging_updates) {
+    list[oldest] = candidate;
+  }
+}
+
+const std::vector<Neighbor>& RelationTable::NeighborsOf(FileId from) const {
+  if (from >= lists_.size()) {
+    return empty_;
+  }
+  return lists_[from];
+}
+
+std::vector<FileId> RelationTable::LiveNeighborIds(FileId from) const {
+  std::vector<FileId> out;
+  for (const Neighbor& nb : NeighborsOf(from)) {
+    const FileRecord& rec = files_->Get(nb.id);
+    if (!rec.deleted && !rec.excluded) {
+      out.push_back(nb.id);
+    }
+  }
+  return out;
+}
+
+double RelationTable::DistanceOrNegative(FileId from, FileId to) const {
+  for (const Neighbor& nb : NeighborsOf(from)) {
+    if (nb.id == to) {
+      return nb.MeanDistance(params_.mean_kind);
+    }
+  }
+  return -1.0;
+}
+
+void RelationTable::Purge(FileId id) {
+  if (id < lists_.size()) {
+    lists_[id].clear();
+    lists_[id].shrink_to_fit();
+  }
+  for (auto& list : lists_) {
+    for (size_t i = 0; i < list.size();) {
+      if (list[i].id == id) {
+        list[i] = list.back();
+        list.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+void RelationTable::RestoreList(FileId from, std::vector<Neighbor> neighbors) {
+  EnsureSize(from);
+  lists_[from] = std::move(neighbors);
+}
+
+size_t RelationTable::MemoryBytes() const {
+  size_t bytes = lists_.capacity() * sizeof(std::vector<Neighbor>);
+  for (const auto& list : lists_) {
+    bytes += list.capacity() * sizeof(Neighbor);
+  }
+  return bytes;
+}
+
+}  // namespace seer

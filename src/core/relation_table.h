@@ -1,0 +1,78 @@
+// Per-file nearest-neighbor relation table.
+//
+// Storing all O(N^2) pairwise distances is prohibitive (Section 3.1.3), so
+// SEER keeps, for each file, only the n closest neighbors it has observed.
+// Each entry accumulates the observed reference distances with a geometric
+// (or, for ablation, arithmetic) mean. When a closer candidate arrives and
+// the list is full, replacement follows the paper's priority:
+//   1. an entry whose file is marked for deletion;
+//   2. the entry with the largest current mean distance (ties broken
+//      randomly), replaced only if its mean exceeds the candidate's value;
+//   3. an aged entry — very old and inactive — may be replaced by a newer
+//      candidate regardless of distance.
+#ifndef SRC_CORE_RELATION_TABLE_H_
+#define SRC_CORE_RELATION_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/file_table.h"
+#include "src/core/params.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace seer {
+
+struct Neighbor {
+  FileId id = kInvalidFileId;
+  double log_sum = 0.0;       // geometric-mean accumulator (log space)
+  double linear_sum = 0.0;    // arithmetic-mean accumulator
+  uint32_t observations = 0;
+  uint64_t last_update = 0;   // global update counter value
+
+  double MeanDistance(MeanKind kind) const;
+};
+
+class RelationTable {
+ public:
+  RelationTable(const SeerParams& params, const FileTable* files, uint64_t seed = 0x5ee12);
+
+  // Records an observation `distance` for the ordered pair (from -> to).
+  void Observe(FileId from, FileId to, double distance);
+
+  // Neighbor list of `from` (unordered). Empty for unknown files.
+  const std::vector<Neighbor>& NeighborsOf(FileId from) const;
+
+  // Neighbor ids only (excluding deletion-marked and excluded files).
+  std::vector<FileId> LiveNeighborIds(FileId from) const;
+
+  // Mean distance from -> to, or a negative value when not tracked.
+  double DistanceOrNegative(FileId from, FileId to) const;
+
+  // Drops `id` from every list and clears its own list. Called when a file
+  // is purged after its deletion delay or excluded as frequent.
+  void Purge(FileId id);
+
+  uint64_t update_count() const { return update_count_; }
+
+  // Approximate bytes used, for the Section 5.3 memory accounting bench.
+  size_t MemoryBytes() const;
+
+  // --- persistence support --------------------------------------------------
+  void RestoreList(FileId from, std::vector<Neighbor> neighbors);
+  void set_update_count(uint64_t count) { update_count_ = count; }
+
+ private:
+  void EnsureSize(FileId id);
+
+  SeerParams params_;
+  const FileTable* files_;
+  std::vector<std::vector<Neighbor>> lists_;
+  uint64_t update_count_ = 0;
+  mutable Rng rng_;
+  std::vector<Neighbor> empty_;
+};
+
+}  // namespace seer
+
+#endif  // SRC_CORE_RELATION_TABLE_H_

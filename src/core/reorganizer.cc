@@ -1,0 +1,97 @@
+#include "src/core/reorganizer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/path.h"
+
+namespace seer {
+
+namespace {
+
+bool Frozen(const std::string& path, const ReorganizerConfig& config) {
+  for (const auto& prefix : config.frozen_prefixes) {
+    if (IsUnder(path, prefix)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ReorgSuggestion> SuggestReorganization(const Correlator& correlator,
+                                                   const ClusterSet& clusters,
+                                                   const ReorganizerConfig& config) {
+  const FileTable& files = correlator.files();
+  std::vector<ReorgSuggestion> suggestions;
+
+  for (const FileId id : files.LiveIds()) {
+    const FileRecord& rec = files.Get(id);
+    if (rec.path.empty() || Frozen(rec.path, config)) {
+      continue;
+    }
+
+    // Judge by the file's largest cluster.
+    const Cluster* largest = nullptr;
+    for (const uint32_t c : clusters.ClustersOf(id)) {
+      if (largest == nullptr || clusters.clusters[c].members.size() > largest->members.size()) {
+        largest = &clusters.clusters[c];
+      }
+    }
+    if (largest == nullptr || largest->members.size() < config.min_cluster_mates + 1) {
+      continue;
+    }
+
+    // Where do the cluster-mates live?
+    std::map<std::string, size_t> dir_votes;
+    size_t mates = 0;
+    for (const FileId mate : largest->members) {
+      if (mate == id) {
+        continue;
+      }
+      const FileRecord& mate_rec = files.Get(mate);
+      if (mate_rec.deleted || mate_rec.path.empty() || Frozen(mate_rec.path, config)) {
+        continue;
+      }
+      ++dir_votes[Dirname(mate_rec.path)];
+      ++mates;
+    }
+    if (mates < config.min_cluster_mates) {
+      continue;
+    }
+
+    std::string best_dir;
+    size_t best_votes = 0;
+    for (const auto& [dir, votes] : dir_votes) {
+      if (votes > best_votes) {
+        best_votes = votes;
+        best_dir = dir;
+      }
+    }
+    const std::string home_dir = Dirname(rec.path);
+    const double confidence = static_cast<double>(best_votes) / static_cast<double>(mates);
+    if (best_dir.empty() || best_dir == home_dir || confidence < config.min_confidence) {
+      continue;
+    }
+
+    ReorgSuggestion s;
+    s.path = rec.path;
+    s.from_dir = home_dir;
+    s.to_dir = best_dir;
+    s.confidence = confidence;
+    s.cluster_size = largest->members.size();
+    suggestions.push_back(std::move(s));
+  }
+
+  std::sort(suggestions.begin(), suggestions.end(),
+            [](const ReorgSuggestion& a, const ReorgSuggestion& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              return a.path < b.path;
+            });
+  return suggestions;
+}
+
+}  // namespace seer

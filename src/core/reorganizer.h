@@ -1,0 +1,54 @@
+// Directory reorganisation suggestions (Section 7, future work).
+//
+// The paper's closing section proposes applying SEER's inference to
+// "directory reorganization": if semantic clustering says a file belongs
+// to a project whose members overwhelmingly live in another directory, the
+// namespace probably mis-files it. The reorganizer scans a correlator's
+// clusters and, for each file whose cluster-mates are concentrated
+// elsewhere, suggests the move — with a confidence based on how lopsided
+// the concentration is.
+//
+// Suggestions are advisory: renaming is the user's (or a tool's) decision,
+// and executing a move through the tracer keeps the correlator's identity
+// tracking intact (Section 4.8 rename handling).
+#ifndef SRC_CORE_REORGANIZER_H_
+#define SRC_CORE_REORGANIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/correlator.h"
+
+namespace seer {
+
+struct ReorgSuggestion {
+  std::string path;        // the file that looks mis-filed
+  std::string from_dir;    // where it lives
+  std::string to_dir;      // where its project lives
+  double confidence = 0;   // fraction of cluster-mates in to_dir, (0.5, 1]
+  size_t cluster_size = 0;
+};
+
+struct ReorganizerConfig {
+  // A move is suggested only when at least this fraction of the file's
+  // cluster-mates share the target directory.
+  double min_confidence = 0.6;
+  // ...and the cluster has at least this many other members (tiny clusters
+  // carry no signal).
+  size_t min_cluster_mates = 4;
+  // Directories never suggested as sources or targets (system trees are
+  // organised by packaging, not by project).
+  std::vector<std::string> frozen_prefixes = {"/usr", "/bin", "/lib", "/etc", "/dev", "/sbin",
+                                              "/boot", "/tmp", "/var", "/proc"};
+};
+
+// Scans all clusters and returns suggestions ordered by descending
+// confidence. A file belonging to several clusters is judged by its
+// largest cluster.
+std::vector<ReorgSuggestion> SuggestReorganization(const Correlator& correlator,
+                                                   const ClusterSet& clusters,
+                                                   const ReorganizerConfig& config = {});
+
+}  // namespace seer
+
+#endif  // SRC_CORE_REORGANIZER_H_

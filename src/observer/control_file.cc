@@ -1,0 +1,187 @@
+#include "src/observer/control_file.h"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+namespace seer {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) {
+    ++b;
+  }
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+// Splits "key value" on the first run of whitespace.
+std::pair<std::string_view, std::string_view> SplitDirective(std::string_view line) {
+  const size_t pos = line.find_first_of(" \t");
+  if (pos == std::string_view::npos) {
+    return {line, ""};
+  }
+  return {line.substr(0, pos), Trim(line.substr(pos + 1))};
+}
+
+bool ParseBool(std::string_view value, bool* out) {
+  if (value == "on" || value == "true" || value == "1") {
+    *out = true;
+    return true;
+  }
+  if (value == "off" || value == "false" || value == "0") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+bool ParseDouble(std::string_view value, double* out) {
+  // std::from_chars for double is available in libstdc++ 11+.
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), *out);
+  return ec == std::errc() && ptr == value.data() + value.size();
+}
+
+bool ParseU64(std::string_view value, uint64_t* out) {
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), *out);
+  return ec == std::errc() && ptr == value.data() + value.size();
+}
+
+bool ParseMode(std::string_view value, MeaninglessMode* out) {
+  if (value == "control-list") {
+    *out = MeaninglessMode::kControlListOnly;
+  } else if (value == "any-dir-read") {
+    *out = MeaninglessMode::kAnyDirectoryRead;
+  } else if (value == "while-dir-open") {
+    *out = MeaninglessMode::kWhileDirectoryOpen;
+  } else if (value == "ratio") {
+    *out = MeaninglessMode::kRatioHeuristic;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string_view ModeName(MeaninglessMode mode) {
+  switch (mode) {
+    case MeaninglessMode::kControlListOnly:
+      return "control-list";
+    case MeaninglessMode::kAnyDirectoryRead:
+      return "any-dir-read";
+    case MeaninglessMode::kWhileDirectoryOpen:
+      return "while-dir-open";
+    case MeaninglessMode::kRatioHeuristic:
+      return "ratio";
+  }
+  return "ratio";
+}
+
+void Fail(std::string* error, int line_number, const std::string& message) {
+  if (error != nullptr) {
+    std::ostringstream out;
+    out << "line " << line_number << ": " << message;
+    *error = out.str();
+  }
+}
+
+}  // namespace
+
+std::optional<ObserverConfig> ParseObserverControlFile(std::string_view text,
+                                                       const ObserverConfig& base,
+                                                       std::string* error) {
+  ObserverConfig config = base;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int line_number = 0;
+  while (std::getline(in, raw)) {
+    ++line_number;
+    const std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    const auto [key, value] = SplitDirective(line);
+    bool ok = true;
+    if (key == "clear") {
+      config.meaningless_programs.clear();
+      config.transient_dirs.clear();
+      config.critical_prefixes.clear();
+    } else if (key == "meaningless") {
+      ok = !value.empty();
+      if (ok) {
+        config.meaningless_programs.insert(std::string(value));
+      }
+    } else if (key == "transient") {
+      ok = !value.empty();
+      if (ok) {
+        config.transient_dirs.emplace_back(value);
+      }
+    } else if (key == "critical") {
+      ok = !value.empty();
+      if (ok) {
+        config.critical_prefixes.emplace_back(value);
+      }
+    } else if (key == "dot-files") {
+      ok = ParseBool(value, &config.exclude_dot_files);
+    } else if (key == "frequent-threshold") {
+      ok = ParseDouble(value, &config.frequent_threshold) && config.frequent_threshold >= 0.0 &&
+           config.frequent_threshold <= 1.0;
+    } else if (key == "frequent-min-total") {
+      ok = ParseU64(value, &config.frequent_min_total);
+    } else if (key == "meaningless-mode") {
+      ok = ParseMode(value, &config.meaningless_mode);
+    } else if (key == "meaningless-ratio") {
+      ok = ParseDouble(value, &config.meaningless_ratio) && config.meaningless_ratio >= 0.0 &&
+           config.meaningless_ratio <= 1.0;
+    } else if (key == "meaningless-min-potential") {
+      ok = ParseU64(value, &config.meaningless_min_potential);
+    } else if (key == "getcwd-threshold") {
+      uint64_t v = 0;
+      ok = ParseU64(value, &v) && v > 0;
+      if (ok) {
+        config.getcwd_climb_threshold = static_cast<int>(v);
+      }
+    } else if (key == "collapse-stat-open") {
+      ok = ParseBool(value, &config.collapse_stat_open);
+    } else {
+      Fail(error, line_number, "unknown directive '" + std::string(key) + "'");
+      return std::nullopt;
+    }
+    if (!ok) {
+      Fail(error, line_number, "bad value '" + std::string(value) + "' for '" +
+                                   std::string(key) + "'");
+      return std::nullopt;
+    }
+  }
+  return config;
+}
+
+std::string FormatObserverControlFile(const ObserverConfig& config) {
+  std::ostringstream out;
+  out << "# SEER system control file\n";
+  out << "clear\n";
+  for (const auto& program : config.meaningless_programs) {
+    out << "meaningless " << program << '\n';
+  }
+  for (const auto& dir : config.transient_dirs) {
+    out << "transient " << dir << '\n';
+  }
+  for (const auto& prefix : config.critical_prefixes) {
+    out << "critical " << prefix << '\n';
+  }
+  out << "dot-files " << (config.exclude_dot_files ? "on" : "off") << '\n';
+  out << "frequent-threshold " << config.frequent_threshold << '\n';
+  out << "frequent-min-total " << config.frequent_min_total << '\n';
+  out << "meaningless-mode " << ModeName(config.meaningless_mode) << '\n';
+  out << "meaningless-ratio " << config.meaningless_ratio << '\n';
+  out << "meaningless-min-potential " << config.meaningless_min_potential << '\n';
+  out << "getcwd-threshold " << config.getcwd_climb_threshold << '\n';
+  out << "collapse-stat-open " << (config.collapse_stat_open ? "on" : "off") << '\n';
+  return out.str();
+}
+
+}  // namespace seer

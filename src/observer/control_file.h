@@ -1,0 +1,49 @@
+// System control file parsing.
+//
+// The paper's SEER is configured by small administrator-maintained control
+// files: hand-flagged meaningless programs (Section 4.1), transient
+// directories (Section 4.5), critical files and directories left outside
+// SEER's control (Section 4.3), and ignored non-file objects (Section 4.6).
+// This module parses a textual control file into an ObserverConfig:
+//
+//   # comment
+//   meaningless /usr/bin/xargs
+//   transient /tmp
+//   critical /etc
+//   dot-files on
+//   frequent-threshold 0.01
+//   frequent-min-total 1000
+//   meaningless-mode ratio          # control-list | any-dir-read |
+//                                   # while-dir-open | ratio
+//   meaningless-ratio 0.3
+//   meaningless-min-potential 20
+//   getcwd-threshold 2
+//   collapse-stat-open on
+//
+// Directives replace scalar settings and append to list settings; the
+// `clear` directive empties all list settings first (useful when the file
+// should fully define the configuration rather than extend the defaults).
+#ifndef SRC_OBSERVER_CONTROL_FILE_H_
+#define SRC_OBSERVER_CONTROL_FILE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/observer/observer_config.h"
+
+namespace seer {
+
+// Parses `text`, applying directives on top of `base`. Returns nullopt and
+// fills `error` (if non-null) with a line-numbered message on bad input.
+std::optional<ObserverConfig> ParseObserverControlFile(std::string_view text,
+                                                       const ObserverConfig& base = {},
+                                                       std::string* error = nullptr);
+
+// Renders a config back into control-file text (round-trips through the
+// parser).
+std::string FormatObserverControlFile(const ObserverConfig& config);
+
+}  // namespace seer
+
+#endif  // SRC_OBSERVER_CONTROL_FILE_H_

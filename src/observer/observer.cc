@@ -1,0 +1,382 @@
+#include "src/observer/observer.h"
+
+#include "src/util/path.h"
+
+namespace seer {
+
+Observer::Observer(ObserverConfig config, const SimFilesystem* fs)
+    : config_(std::move(config)), fs_(fs) {}
+
+Observer::ProcState& Observer::Proc(Pid pid) { return procs_[pid]; }
+
+bool Observer::IsMeaninglessProgram(const std::string& program) const {
+  if (config_.meaningless_programs.count(program) != 0) {
+    return true;
+  }
+  const auto it = program_history_.find(program);
+  if (it == program_history_.end()) {
+    return false;
+  }
+  const ProgramHistory& h = it->second;
+  return h.potential >= config_.meaningless_min_potential &&
+         static_cast<double>(h.actual) >=
+             config_.meaningless_ratio * static_cast<double>(h.potential);
+}
+
+bool Observer::ProcessMeaningless(const ProcState& proc) const {
+  // The control list applies under every mode (approach 1, retained for a
+  // few stragglers even in production).
+  if (proc.control_meaningless || config_.meaningless_programs.count(proc.program) != 0) {
+    return true;
+  }
+  switch (config_.meaningless_mode) {
+    case MeaninglessMode::kControlListOnly: {
+      return false;
+    }
+    case MeaninglessMode::kAnyDirectoryRead: {
+      // Approach 2: a process that has read a directory is meaningless for
+      // the rest of its lifetime. Simple — and wrong: editors read
+      // directories to implement filename completion.
+      return proc.has_read_directory;
+    }
+    case MeaninglessMode::kWhileDirectoryOpen: {
+      // Approach 3: meaningless only while a directory is open. Also
+      // wrong: find does not keep directories open while it works.
+      return proc.open_directories > 0;
+    }
+    case MeaninglessMode::kRatioHeuristic: {
+      // Approach 4 (production): compare what the process could know about
+      // (from reading directories) with what it actually touches, based on
+      // the program's history plus this execution's live counters.
+      uint64_t potential = proc.potential;
+      uint64_t actual = proc.actual;
+      const auto it = program_history_.find(proc.program);
+      if (it != program_history_.end()) {
+        potential += it->second.potential;
+        actual += it->second.actual;
+      }
+      return potential >= config_.meaningless_min_potential &&
+             static_cast<double>(actual) >=
+                 config_.meaningless_ratio * static_cast<double>(potential);
+    }
+  }
+  return false;
+}
+
+void Observer::PretrainProgramHistory(const std::string& program, uint64_t potential,
+                                       uint64_t actual) {
+  ProgramHistory& h = program_history_[program];
+  h.potential += potential;
+  h.actual += actual;
+  ++h.executions;
+}
+
+Observer::PathClass Observer::Classify(const std::string& path) {
+  for (const auto& dir : config_.transient_dirs) {
+    if (IsUnder(path, dir)) {
+      return PathClass::kTransient;
+    }
+  }
+  for (const auto& prefix : config_.critical_prefixes) {
+    if (IsUnder(path, prefix)) {
+      always_hoard_.insert(path);
+      return PathClass::kCritical;
+    }
+  }
+  if (config_.exclude_dot_files && IsDotFile(path)) {
+    always_hoard_.insert(path);
+    return PathClass::kCritical;
+  }
+  if (fs_ != nullptr) {
+    const auto info = fs_->Stat(path);
+    if (info.has_value() && info->kind != NodeKind::kRegular &&
+        info->kind != NodeKind::kDirectory) {
+      // Devices, pseudo-files and symlinks: essential, nearly free to hoard,
+      // and noisy as distance inputs (Section 4.6).
+      always_hoard_.insert(path);
+      return PathClass::kNonFile;
+    }
+  }
+  if (frequent_.count(path) != 0) {
+    return PathClass::kFrequent;
+  }
+  return PathClass::kNormal;
+}
+
+void Observer::CountAccess(ProcState& proc, const std::string& path) {
+  // heuristic-#4 "actual" counter: distinct files this process touches.
+  if (proc.touched.insert(path).second) {
+    ++proc.actual;
+  }
+
+  // Frequent-file accounting (Section 4.2).
+  ++total_accesses_;
+  const uint64_t count = ++access_counts_[path];
+  if (total_accesses_ >= config_.frequent_min_total && frequent_.count(path) == 0 &&
+      static_cast<double>(count) >
+          config_.frequent_threshold * static_cast<double>(total_accesses_)) {
+    frequent_.insert(path);
+    always_hoard_.insert(path);
+    if (sink_ != nullptr) {
+      sink_->OnFileExcluded(path);
+    }
+  }
+}
+
+void Observer::FlushPendingStat(ProcState& proc) {
+  if (proc.pending_stat.has_value()) {
+    FileReference ref = std::move(*proc.pending_stat);
+    proc.pending_stat.reset();
+    if (sink_ != nullptr) {
+      sink_->OnReference(ref);
+    }
+    ++references_emitted_;
+  }
+}
+
+void Observer::EmitReference(ProcState& proc, Pid pid, RefKind kind, const std::string& path,
+                             Time time, bool write, bool bypass_meaningless) {
+  if (proc.in_getcwd) {
+    ++references_filtered_;
+    return;
+  }
+  if (!bypass_meaningless && ProcessMeaningless(proc)) {
+    ++references_filtered_;
+    return;
+  }
+  const PathClass cls = Classify(path);
+  if (cls != PathClass::kNormal) {
+    ++references_filtered_;
+    return;
+  }
+  if (sink_ != nullptr) {
+    FileReference ref;
+    ref.pid = pid;
+    ref.kind = kind;
+    ref.path = path;
+    ref.time = time;
+    ref.write = write;
+    sink_->OnReference(ref);
+  }
+  ++references_emitted_;
+}
+
+void Observer::HandleOpen(const TraceEvent& e, ProcState& proc) {
+  // Opening a regular file ends any getcwd climb.
+  proc.in_getcwd = false;
+  proc.climb_streak = 0;
+
+  // A stat immediately followed by an open of the same file is a single
+  // access from the user's point of view (Section 4.8).
+  if (proc.pending_stat.has_value() && proc.pending_stat->path == e.path) {
+    proc.pending_stat.reset();
+  } else {
+    FlushPendingStat(proc);
+  }
+
+  CountAccess(proc, e.path);
+  EmitReference(proc, e.pid, RefKind::kBegin, e.path, e.time, e.write);
+}
+
+void Observer::HandleDirOps(const TraceEvent& e, ProcState& proc) {
+  switch (e.op) {
+    case Op::kOpenDir: {
+      ++proc.open_directories;
+      // getcwd climbs: each opendir targets the parent of the previous one.
+      if (!proc.last_opendir.empty() && e.path == Dirname(proc.last_opendir)) {
+        ++proc.climb_streak;
+        if (proc.climb_streak >= config_.getcwd_climb_threshold && !proc.in_getcwd) {
+          proc.in_getcwd = true;
+          // Retroactively forgive the directory reads that were actually
+          // part of the getcwd walk.
+          if (proc.potential >= proc.last_readdir_entries) {
+            proc.potential -= proc.last_readdir_entries;
+          } else {
+            proc.potential = 0;
+          }
+        }
+      } else {
+        proc.climb_streak = 0;
+        proc.in_getcwd = false;
+      }
+      proc.last_opendir = e.path;
+      break;
+    }
+    case Op::kReadDir: {
+      if (!proc.in_getcwd) {
+        const uint64_t entries = e.detail > 0 ? static_cast<uint64_t>(e.detail) : 0;
+        proc.potential += entries;
+        proc.last_readdir_entries = entries;
+        proc.has_read_directory = true;
+      }
+      break;
+    }
+    case Op::kCloseDir: {
+      if (proc.open_directories > 0) {
+        --proc.open_directories;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Observer::OnEvent(const TraceEvent& e) {
+  ++events_seen_;
+  ProcState& proc = Proc(e.pid);
+
+  // Failed accesses: kNoEnt is routine and uninformative (Section 4.4);
+  // kNotLocal is the automatic miss detector's signal.
+  if (!e.ok()) {
+    if (e.status == OpStatus::kNotLocal && miss_listener_ != nullptr &&
+        (e.op == Op::kOpen || e.op == Op::kExec)) {
+      miss_listener_->OnNotLocalAccess(e.path, e.pid, e.time);
+    }
+    return;
+  }
+
+  switch (e.op) {
+    case Op::kFork: {
+      FlushPendingStat(proc);
+      const Pid child = e.detail;
+      ProcState& child_state = Proc(child);
+      child_state.program = proc.program;
+      child_state.control_meaningless = proc.control_meaningless;
+      if (sink_ != nullptr) {
+        sink_->OnProcessFork(e.pid, child);
+      }
+      break;
+    }
+    case Op::kExec: {
+      FlushPendingStat(proc);
+      // End the previous image's lifetime reference.
+      if (!proc.program.empty()) {
+        EmitReference(proc, e.pid, RefKind::kEnd, proc.program, e.time, false,
+                      /*bypass_meaningless=*/true);
+      }
+      // Fold the old image's counters into its history before switching.
+      if (!proc.program.empty() && (proc.potential > 0 || proc.actual > 0)) {
+        ProgramHistory& h = program_history_[proc.program];
+        h.potential += proc.potential;
+        h.actual += proc.actual;
+        ++h.executions;
+      }
+      proc.program = e.path;
+      proc.control_meaningless = config_.meaningless_programs.count(e.path) != 0;
+      proc.potential = 0;
+      proc.actual = 0;
+      proc.touched.clear();
+      proc.in_getcwd = false;
+      proc.climb_streak = 0;
+      proc.has_read_directory = false;
+      proc.open_directories = 0;
+      // The execution itself is a begin-reference to the program image
+      // (Section 4.8: "executions ... treated as opens"). This holds even
+      // for a meaningless program: its *scanning* carries no information,
+      // but the binary itself must be hoarded for the user to run it.
+      CountAccess(proc, e.path);
+      EmitReference(proc, e.pid, RefKind::kBegin, e.path, e.time, false,
+                    /*bypass_meaningless=*/true);
+      break;
+    }
+    case Op::kExit: {
+      FlushPendingStat(proc);
+      if (!proc.program.empty()) {
+        EmitReference(proc, e.pid, RefKind::kEnd, proc.program, e.time, false,
+                      /*bypass_meaningless=*/true);
+        ProgramHistory& h = program_history_[proc.program];
+        h.potential += proc.potential;
+        h.actual += proc.actual;
+        ++h.executions;
+      }
+      if (sink_ != nullptr) {
+        sink_->OnProcessExit(e.pid);
+      }
+      procs_.erase(e.pid);
+      break;
+    }
+    case Op::kOpen:
+    case Op::kCreate: {
+      HandleOpen(e, proc);
+      break;
+    }
+    case Op::kClose: {
+      EmitReference(proc, e.pid, RefKind::kEnd, e.path, e.time, e.write);
+      break;
+    }
+    case Op::kStat: {
+      proc.in_getcwd = false;
+      proc.climb_streak = 0;
+      CountAccess(proc, e.path);
+      if (ProcessMeaningless(proc) || Classify(e.path) != PathClass::kNormal) {
+        ++references_filtered_;
+        break;
+      }
+      FileReference ref;
+      ref.pid = e.pid;
+      ref.kind = RefKind::kPoint;
+      ref.path = e.path;
+      ref.time = e.time;
+      ref.write = false;
+      if (config_.collapse_stat_open) {
+        FlushPendingStat(proc);
+        proc.pending_stat = std::move(ref);
+      } else if (sink_ != nullptr) {
+        sink_->OnReference(ref);
+        ++references_emitted_;
+      }
+      break;
+    }
+    case Op::kChmod: {
+      FlushPendingStat(proc);
+      CountAccess(proc, e.path);
+      EmitReference(proc, e.pid, RefKind::kPoint, e.path, e.time, true);
+      break;
+    }
+    case Op::kUnlink: {
+      FlushPendingStat(proc);
+      CountAccess(proc, e.path);
+      EmitReference(proc, e.pid, RefKind::kPoint, e.path, e.time, true);
+      if (sink_ != nullptr) {
+        sink_->OnFileDeleted(e.path, e.time);
+      }
+      always_hoard_.erase(e.path);
+      break;
+    }
+    case Op::kRename: {
+      FlushPendingStat(proc);
+      CountAccess(proc, e.path);
+      EmitReference(proc, e.pid, RefKind::kPoint, e.path, e.time, true);
+      if (sink_ != nullptr) {
+        sink_->OnFileRenamed(e.path, e.path2, e.time);
+      }
+      if (always_hoard_.erase(e.path) != 0) {
+        always_hoard_.insert(e.path2);
+      }
+      break;
+    }
+    case Op::kLink: {
+      FlushPendingStat(proc);
+      CountAccess(proc, e.path);
+      EmitReference(proc, e.pid, RefKind::kPoint, e.path, e.time, true);
+      break;
+    }
+    case Op::kMkdir:
+    case Op::kRmdir:
+    case Op::kChdir: {
+      // Directory namespace operations carry no per-file semantic signal;
+      // directory hoarding is the replication substrate's business
+      // (Section 4.6).
+      break;
+    }
+    case Op::kOpenDir:
+    case Op::kReadDir:
+    case Op::kCloseDir: {
+      HandleDirOps(e, proc);
+      break;
+    }
+  }
+}
+
+}  // namespace seer

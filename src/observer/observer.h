@@ -1,0 +1,148 @@
+// The SEER observer.
+//
+// Watches the traced syscall stream, classifies each access, converts
+// pathnames to absolute form (done upstream by the tracer in this
+// implementation), filters out activity that carries no semantic
+// information, and feeds clean per-process file references to the
+// correlator (Section 2).
+//
+// Implemented filters, each mirroring a subsection of "Real-World
+// Intrusions" (Section 4):
+//   4.1  meaningless processes — static control list, the
+//        potential-vs-actual directory-read heuristic with per-program
+//        history, and getcwd pattern detection;
+//   4.2  frequently-referenced files (shared libraries) — the 1% rule;
+//   4.3  critical files — control-file prefixes and dot-files, excluded
+//        from SEER's control and hoarded unconditionally;
+//   4.4  hoard-miss observation — kNotLocal accesses are surfaced to a
+//        MissListener rather than swallowed;
+//   4.5  temporary directories — ignored outright;
+//   4.6  non-files — devices/pseudo-objects always hoarded, never fed to
+//        the correlator; directory hoarding left to the replication layer;
+//   4.8  non-open references — point references, deletion delay (delegated
+//        to the correlator), stat-then-open collapse.
+#ifndef SRC_OBSERVER_OBSERVER_H_
+#define SRC_OBSERVER_OBSERVER_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "src/observer/observer_config.h"
+#include "src/observer/reference.h"
+#include "src/process/syscall_tracer.h"
+#include "src/trace/event.h"
+#include "src/vfs/sim_filesystem.h"
+
+namespace seer {
+
+// Receives accesses that failed with kNotLocal — the automatic hoard-miss
+// detector's raw input (Section 4.4).
+class MissListener {
+ public:
+  virtual ~MissListener() = default;
+  virtual void OnNotLocalAccess(const std::string& path, Pid pid, Time time) = 0;
+};
+
+class Observer : public TraceSink {
+ public:
+  // `fs` is consulted for object kinds (regular vs device vs symlink); it
+  // may be null, in which case every path is assumed to be a regular file.
+  Observer(ObserverConfig config, const SimFilesystem* fs);
+
+  void set_sink(ReferenceSink* sink) { sink_ = sink; }
+  void set_miss_listener(MissListener* listener) { miss_listener_ = listener; }
+
+  // TraceSink:
+  void OnEvent(const TraceEvent& event) override;
+
+  // Files that must be in every hoard regardless of distance calculations:
+  // critical files, dot-files, non-file objects, and frequent files.
+  const std::set<std::string>& always_hoard() const { return always_hoard_; }
+
+  // Current frequently-referenced set (subset of always_hoard()).
+  const std::set<std::string>& frequent_files() const { return frequent_; }
+
+  // True when the given program image is currently considered meaningless,
+  // either via the control file or via learned history.
+  bool IsMeaninglessProgram(const std::string& program) const;
+
+  // Seeds the per-program potential/actual history (Section 4.1) as if the
+  // program had been observed before tracing started. Simulations use this
+  // to model a machine whose observer has already learned its find-style
+  // scanners, as any real deployment quickly would.
+  void PretrainProgramHistory(const std::string& program, uint64_t potential, uint64_t actual);
+
+  // Introspection counters.
+  uint64_t events_seen() const { return events_seen_; }
+  uint64_t references_emitted() const { return references_emitted_; }
+  uint64_t references_filtered() const { return references_filtered_; }
+
+ private:
+  struct ProcState {
+    std::string program;
+    bool control_meaningless = false;  // program is on the control list
+    // Current-execution counters for heuristic #4.
+    uint64_t potential = 0;
+    uint64_t actual = 0;
+    std::set<std::string> touched;
+    // Approach-2/3 state (Section 4.1).
+    bool has_read_directory = false;
+    int open_directories = 0;
+    // getcwd detection.
+    std::string last_opendir;
+    int climb_streak = 0;
+    bool in_getcwd = false;
+    uint64_t last_readdir_entries = 0;
+    // stat-open collapse.
+    std::optional<FileReference> pending_stat;
+  };
+
+  struct ProgramHistory {
+    uint64_t potential = 0;
+    uint64_t actual = 0;
+    uint64_t executions = 0;
+  };
+
+  enum class PathClass {
+    kNormal,     // feed to the correlator
+    kCritical,   // always hoard, never feed
+    kNonFile,    // always hoard, never feed
+    kTransient,  // ignore outright
+    kFrequent,   // always hoard, never feed
+  };
+
+  ProcState& Proc(Pid pid);
+  PathClass Classify(const std::string& path);
+  bool ProcessMeaningless(const ProcState& proc) const;
+  void CountAccess(ProcState& proc, const std::string& path);
+  void FlushPendingStat(ProcState& proc);
+  void EmitReference(ProcState& proc, Pid pid, RefKind kind, const std::string& path, Time time,
+                     bool write, bool bypass_meaningless = false);
+  void HandleOpen(const TraceEvent& e, ProcState& proc);
+  void HandleDirOps(const TraceEvent& e, ProcState& proc);
+
+  ObserverConfig config_;
+  const SimFilesystem* fs_;
+  ReferenceSink* sink_ = nullptr;
+  MissListener* miss_listener_ = nullptr;
+
+  std::map<Pid, ProcState> procs_;
+  std::map<std::string, ProgramHistory> program_history_;
+
+  // Frequent-file accounting (Section 4.2).
+  std::map<std::string, uint64_t> access_counts_;
+  uint64_t total_accesses_ = 0;
+  std::set<std::string> frequent_;
+
+  std::set<std::string> always_hoard_;
+
+  uint64_t events_seen_ = 0;
+  uint64_t references_emitted_ = 0;
+  uint64_t references_filtered_ = 0;
+};
+
+}  // namespace seer
+
+#endif  // SRC_OBSERVER_OBSERVER_H_

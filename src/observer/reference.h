@@ -1,0 +1,58 @@
+// File references — the observer's output vocabulary.
+//
+// The observer reduces raw syscall events to a clean stream of per-process
+// *file references* (Section 3.1): an open begins a reference lifetime, a
+// close ends it, and non-open operations (stat, rename, unlink, ...) are
+// point references equivalent to an open immediately followed by a close
+// (Section 4.8). Process executions/exits are begin/end references to the
+// program image. The correlator consumes this stream.
+#ifndef SRC_OBSERVER_REFERENCE_H_
+#define SRC_OBSERVER_REFERENCE_H_
+
+#include <string>
+
+#include "src/trace/event.h"
+
+namespace seer {
+
+enum class RefKind : uint8_t {
+  kBegin,  // open (or exec): the reference lifetime starts
+  kEnd,    // close (or exit): the lifetime ends
+  kPoint,  // open immediately followed by close
+};
+
+struct FileReference {
+  Pid pid = 0;
+  RefKind kind = RefKind::kPoint;
+  std::string path;  // absolute, normalised
+  Time time = 0;
+  bool write = false;
+};
+
+// Consumer interface implemented by the correlator.
+class ReferenceSink {
+ public:
+  virtual ~ReferenceSink() = default;
+
+  virtual void OnReference(const FileReference& ref) = 0;
+
+  // Process lifecycle, needed for per-process reference streams: histories
+  // are inherited at fork and merged back at exit (Section 4.7).
+  virtual void OnProcessFork(Pid parent, Pid child) = 0;
+  virtual void OnProcessExit(Pid pid) = 0;
+
+  // Namespace changes the correlator must mirror. Deletion is soft: the
+  // correlator marks the file and purges it only after a delay measured in
+  // total deletions (Section 4.8).
+  virtual void OnFileDeleted(const std::string& path, Time time) = 0;
+  virtual void OnFileRenamed(const std::string& from, const std::string& to, Time time) = 0;
+
+  // The file has been reclassified (e.g. crossed the frequently-referenced
+  // threshold, Section 4.2) and must be dropped from distance and
+  // relationship calculations.
+  virtual void OnFileExcluded(const std::string& path) = 0;
+};
+
+}  // namespace seer
+
+#endif  // SRC_OBSERVER_REFERENCE_H_

@@ -1,0 +1,38 @@
+// Simulated clock.
+//
+// All trace timestamps come from a single monotonically advancing simulated
+// clock. Workload generators advance it to model user think time, compile
+// durations, interruptions, and suspensions; the tracer charges a small cost
+// per syscall so that back-to-back calls never share a timestamp.
+#ifndef SRC_PROCESS_CLOCK_H_
+#define SRC_PROCESS_CLOCK_H_
+
+#include "src/trace/event.h"
+
+namespace seer {
+
+class SimClock {
+ public:
+  explicit SimClock(Time start = 0) : now_(start) {}
+
+  Time now() const { return now_; }
+
+  void Advance(Time micros) {
+    if (micros > 0) {
+      now_ += micros;
+    }
+  }
+
+  void AdvanceSeconds(double seconds) {
+    Advance(static_cast<Time>(seconds * static_cast<double>(kMicrosPerSecond)));
+  }
+
+  void AdvanceHours(double hours) { AdvanceSeconds(hours * 3600.0); }
+
+ private:
+  Time now_;
+};
+
+}  // namespace seer
+
+#endif  // SRC_PROCESS_CLOCK_H_

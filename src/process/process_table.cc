@@ -1,0 +1,125 @@
+#include "src/process/process_table.h"
+
+namespace seer {
+
+ProcessTable::ProcessTable() = default;
+
+Pid ProcessTable::SpawnInit(Uid uid, std::string cwd) {
+  const Pid pid = next_pid_++;
+  Process p;
+  p.pid = pid;
+  p.ppid = 0;
+  p.uid = uid;
+  p.cwd = std::move(cwd);
+  p.program = "/sbin/init";
+  processes_.emplace(pid, std::move(p));
+  return pid;
+}
+
+Pid ProcessTable::Fork(Pid parent) {
+  const auto it = processes_.find(parent);
+  if (it == processes_.end() || !it->second.alive) {
+    return -1;
+  }
+  const Pid pid = next_pid_++;
+  Process child;
+  child.pid = pid;
+  child.ppid = parent;
+  child.uid = it->second.uid;
+  child.cwd = it->second.cwd;
+  child.program = it->second.program;
+  processes_.emplace(pid, std::move(child));
+  return pid;
+}
+
+bool ProcessTable::Exec(Pid pid, std::string program) {
+  Process* p = GetMutable(pid);
+  if (p == nullptr || !p->alive) {
+    return false;
+  }
+  p->program = std::move(program);
+  return true;
+}
+
+std::vector<OpenFile> ProcessTable::Exit(Pid pid) {
+  std::vector<OpenFile> leaked;
+  Process* p = GetMutable(pid);
+  if (p == nullptr || !p->alive) {
+    return leaked;
+  }
+  for (auto& [fd, file] : p->fds) {
+    leaked.push_back(std::move(file));
+  }
+  p->fds.clear();
+  p->alive = false;
+  return leaked;
+}
+
+bool ProcessTable::Alive(Pid pid) const {
+  const Process* p = Get(pid);
+  return p != nullptr && p->alive;
+}
+
+const Process* ProcessTable::Get(Pid pid) const {
+  const auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : &it->second;
+}
+
+Process* ProcessTable::GetMutable(Pid pid) {
+  const auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : &it->second;
+}
+
+Fd ProcessTable::AllocateFd(Pid pid, OpenFile file) {
+  Process* p = GetMutable(pid);
+  if (p == nullptr || !p->alive) {
+    return -1;
+  }
+  const Fd fd = p->next_fd++;
+  p->fds.emplace(fd, std::move(file));
+  return fd;
+}
+
+std::optional<OpenFile> ProcessTable::CloseFd(Pid pid, Fd fd) {
+  Process* p = GetMutable(pid);
+  if (p == nullptr) {
+    return std::nullopt;
+  }
+  const auto it = p->fds.find(fd);
+  if (it == p->fds.end()) {
+    return std::nullopt;
+  }
+  OpenFile file = std::move(it->second);
+  p->fds.erase(it);
+  return file;
+}
+
+const OpenFile* ProcessTable::LookupFd(Pid pid, Fd fd) const {
+  const Process* p = Get(pid);
+  if (p == nullptr) {
+    return nullptr;
+  }
+  const auto it = p->fds.find(fd);
+  return it == p->fds.end() ? nullptr : &it->second;
+}
+
+bool ProcessTable::SetCwd(Pid pid, std::string cwd) {
+  Process* p = GetMutable(pid);
+  if (p == nullptr || !p->alive) {
+    return false;
+  }
+  p->cwd = std::move(cwd);
+  return true;
+}
+
+size_t ProcessTable::live_count() const {
+  size_t n = 0;
+  for (const auto& [pid, p] : processes_) {
+    if (p.alive) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace seer

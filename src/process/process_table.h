@@ -1,0 +1,75 @@
+// Simulated process table.
+//
+// SEER separates reference streams per process and inherits reference
+// histories across fork (Section 4.7), so the substrate must model real
+// process lifecycles: fork, exec, exit, parent/child links, per-process
+// working directories, and per-process file-descriptor tables.
+#ifndef SRC_PROCESS_PROCESS_TABLE_H_
+#define SRC_PROCESS_PROCESS_TABLE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/trace/event.h"
+
+namespace seer {
+
+struct OpenFile {
+  std::string path;     // resolved absolute path
+  bool is_directory = false;
+  bool write = false;
+};
+
+struct Process {
+  Pid pid = 0;
+  Pid ppid = 0;
+  Uid uid = 0;
+  std::string cwd = "/";
+  std::string program;  // path of the current executable image
+  bool alive = true;
+  std::map<Fd, OpenFile> fds;
+  Fd next_fd = 3;  // 0-2 reserved for std streams
+};
+
+class ProcessTable {
+ public:
+  ProcessTable();
+
+  // Creates the initial process for a user session (parent = 0).
+  Pid SpawnInit(Uid uid, std::string cwd = "/");
+
+  // Forks `parent`; the child inherits uid, cwd and program (fds are NOT
+  // inherited — SEER pairs opens and closes per process, and the workloads
+  // never pass fds across fork).
+  Pid Fork(Pid parent);
+
+  // Replaces the process image.
+  bool Exec(Pid pid, std::string program);
+
+  // Marks the process dead and clears its fd table. Returns the fds that
+  // were still open (the kernel closes them implicitly).
+  std::vector<OpenFile> Exit(Pid pid);
+
+  bool Alive(Pid pid) const;
+  const Process* Get(Pid pid) const;
+  Process* GetMutable(Pid pid);
+
+  // fd bookkeeping.
+  Fd AllocateFd(Pid pid, OpenFile file);
+  std::optional<OpenFile> CloseFd(Pid pid, Fd fd);
+  const OpenFile* LookupFd(Pid pid, Fd fd) const;
+
+  bool SetCwd(Pid pid, std::string cwd);
+
+  size_t live_count() const;
+
+ private:
+  std::map<Pid, Process> processes_;
+  Pid next_pid_ = 1;
+};
+
+}  // namespace seer
+
+#endif  // SRC_PROCESS_PROCESS_TABLE_H_

@@ -1,0 +1,293 @@
+#include "src/process/syscall_tracer.h"
+
+#include "src/util/path.h"
+
+namespace seer {
+
+SyscallTracer::SyscallTracer(SimFilesystem* fs, ProcessTable* processes, SimClock* clock)
+    : fs_(fs), processes_(processes), clock_(clock) {}
+
+std::string SyscallTracer::Canonical(Pid pid, std::string_view path) const {
+  const Process* p = processes_->Get(pid);
+  const std::string abs = AbsolutePath(p != nullptr ? p->cwd : "/", path);
+  // Follow symlinks when the target exists; otherwise keep the lexical path
+  // (a failed open still has a meaningful name).
+  auto resolved = fs_->Resolve(abs);
+  return resolved.has_value() ? *resolved : abs;
+}
+
+bool SyscallTracer::Traced(Pid pid) const {
+  if (untraced_.count(pid) != 0) {
+    return false;
+  }
+  const Process* p = processes_->Get(pid);
+  if (p == nullptr) {
+    return false;
+  }
+  if (p->uid == 0 && !trace_superuser_) {
+    return false;
+  }
+  return true;
+}
+
+bool SyscallTracer::LocallyAvailable(const std::string& path) const {
+  return !availability_ || availability_(path);
+}
+
+void SyscallTracer::Emit(Pid pid, Op op, OpStatus status, std::string path, std::string path2,
+                         Fd fd, bool write, int32_t detail) {
+  clock_->Advance(syscall_cost_);
+  if (!Traced(pid)) {
+    return;
+  }
+  const Process* p = processes_->Get(pid);
+  TraceEvent e;
+  e.seq = ++seq_;
+  e.time = clock_->now();
+  e.pid = pid;
+  e.uid = p != nullptr ? p->uid : -1;
+  e.op = op;
+  e.status = status;
+  e.path = std::move(path);
+  e.path2 = std::move(path2);
+  e.fd = fd;
+  e.write = write;
+  e.detail = detail;
+  for (TraceSink* sink : sinks_) {
+    sink->OnEvent(e);
+  }
+}
+
+SyscallResult SyscallTracer::Fork(Pid parent) {
+  SyscallResult r;
+  const Pid child = processes_->Fork(parent);
+  if (child < 0) {
+    r.status = OpStatus::kNoEnt;
+    return r;
+  }
+  r.pid = child;
+  Emit(parent, Op::kFork, OpStatus::kOk, "", "", -1, false, child);
+  return r;
+}
+
+SyscallResult SyscallTracer::Exec(Pid pid, std::string_view path) {
+  SyscallResult r;
+  const std::string abs = Canonical(pid, path);
+  const auto info = fs_->Stat(abs);
+  if (!info.has_value() || info->kind == NodeKind::kDirectory) {
+    r.status = OpStatus::kNoEnt;
+  } else if (!LocallyAvailable(abs)) {
+    r.status = OpStatus::kNotLocal;
+  }
+  // Exec is traced before execution (Section 4.11): the event is emitted
+  // with the outcome the kernel is about to return.
+  Emit(pid, Op::kExec, r.status, abs, "", -1, false, 0);
+  if (r.ok()) {
+    processes_->Exec(pid, abs);
+  }
+  return r;
+}
+
+SyscallResult SyscallTracer::Exit(Pid pid) {
+  SyscallResult r;
+  if (!processes_->Alive(pid)) {
+    r.status = OpStatus::kNoEnt;
+    return r;
+  }
+  // Exit is traced before the process state is destroyed.
+  Emit(pid, Op::kExit, OpStatus::kOk, "", "", -1, false, 0);
+  processes_->Exit(pid);
+  return r;
+}
+
+SyscallResult SyscallTracer::Open(Pid pid, std::string_view path, bool write) {
+  SyscallResult r;
+  const std::string abs = Canonical(pid, path);
+  const auto info = fs_->Stat(abs);
+  if (!info.has_value()) {
+    r.status = OpStatus::kNoEnt;
+  } else if (info->kind == NodeKind::kDirectory) {
+    r.status = OpStatus::kAccess;  // use OpenDir for directories
+  } else if (!LocallyAvailable(abs)) {
+    r.status = OpStatus::kNotLocal;
+  }
+  if (r.ok()) {
+    r.fd = processes_->AllocateFd(pid, OpenFile{abs, false, write});
+    if (r.fd < 0) {
+      r.status = OpStatus::kAccess;
+    }
+  }
+  Emit(pid, Op::kOpen, r.status, abs, "", r.fd, write, 0);
+  return r;
+}
+
+SyscallResult SyscallTracer::Close(Pid pid, Fd fd) {
+  SyscallResult r;
+  auto file = processes_->CloseFd(pid, fd);
+  if (!file.has_value()) {
+    r.status = OpStatus::kNoEnt;
+    return r;  // closing a bad fd is not a traced reference
+  }
+  // The close event carries the path so downstream consumers need no fd map.
+  Emit(pid, file->is_directory ? Op::kCloseDir : Op::kClose, OpStatus::kOk, file->path, "", fd,
+       file->write, 0);
+  return r;
+}
+
+SyscallResult SyscallTracer::Create(Pid pid, std::string_view path, uint64_t size) {
+  SyscallResult r;
+  const std::string abs = Canonical(pid, path);
+  const VfsStatus st = fs_->CreateFile(abs, size, clock_->now());
+  if (st == VfsStatus::kExists) {
+    // creat() of an existing file truncates it; model as open-for-write.
+    fs_->Truncate(abs, size, clock_->now());
+    return Open(pid, abs, /*write=*/true);
+  }
+  if (st != VfsStatus::kOk) {
+    r.status = OpStatus::kNoEnt;
+    Emit(pid, Op::kCreate, r.status, abs, "", -1, true, 0);
+    return r;
+  }
+  r.fd = processes_->AllocateFd(pid, OpenFile{abs, false, true});
+  Emit(pid, Op::kCreate, OpStatus::kOk, abs, "", r.fd, true, 0);
+  return r;
+}
+
+SyscallResult SyscallTracer::Stat(Pid pid, std::string_view path) {
+  SyscallResult r;
+  const std::string abs = Canonical(pid, path);
+  if (!fs_->Exists(abs)) {
+    r.status = OpStatus::kNoEnt;
+  }
+  Emit(pid, Op::kStat, r.status, abs, "", -1, false, 0);
+  return r;
+}
+
+SyscallResult SyscallTracer::Chmod(Pid pid, std::string_view path) {
+  SyscallResult r;
+  const std::string abs = Canonical(pid, path);
+  if (!fs_->Exists(abs)) {
+    r.status = OpStatus::kNoEnt;
+  } else {
+    fs_->Touch(abs, clock_->now());
+  }
+  Emit(pid, Op::kChmod, r.status, abs, "", -1, true, 0);
+  return r;
+}
+
+SyscallResult SyscallTracer::Unlink(Pid pid, std::string_view path) {
+  SyscallResult r;
+  const std::string abs = Canonical(pid, path);
+  const VfsStatus st = fs_->Remove(abs);
+  if (st != VfsStatus::kOk) {
+    r.status = OpStatus::kNoEnt;
+  }
+  Emit(pid, Op::kUnlink, r.status, abs, "", -1, true, 0);
+  return r;
+}
+
+SyscallResult SyscallTracer::Rename(Pid pid, std::string_view from, std::string_view to) {
+  SyscallResult r;
+  const std::string abs_from = Canonical(pid, from);
+  const std::string abs_to = Canonical(pid, to);
+  const VfsStatus st = fs_->Rename(abs_from, abs_to);
+  if (st != VfsStatus::kOk) {
+    r.status = OpStatus::kNoEnt;
+  }
+  Emit(pid, Op::kRename, r.status, abs_from, abs_to, -1, true, 0);
+  return r;
+}
+
+SyscallResult SyscallTracer::Link(Pid pid, std::string_view target, std::string_view link_path) {
+  SyscallResult r;
+  const std::string abs_target = Canonical(pid, target);
+  const std::string abs_link = Canonical(pid, link_path);
+  const VfsStatus st = fs_->CreateSymlink(abs_link, abs_target);
+  if (st != VfsStatus::kOk) {
+    r.status = st == VfsStatus::kExists ? OpStatus::kAccess : OpStatus::kNoEnt;
+  }
+  Emit(pid, Op::kLink, r.status, abs_target, abs_link, -1, true, 0);
+  return r;
+}
+
+SyscallResult SyscallTracer::Mkdir(Pid pid, std::string_view path) {
+  SyscallResult r;
+  const std::string abs = Canonical(pid, path);
+  const VfsStatus st = fs_->Mkdir(abs);
+  if (st != VfsStatus::kOk) {
+    r.status = st == VfsStatus::kExists ? OpStatus::kAccess : OpStatus::kNoEnt;
+  }
+  Emit(pid, Op::kMkdir, r.status, abs, "", -1, true, 0);
+  return r;
+}
+
+SyscallResult SyscallTracer::Rmdir(Pid pid, std::string_view path) {
+  SyscallResult r;
+  const std::string abs = Canonical(pid, path);
+  const VfsStatus st = fs_->Rmdir(abs);
+  if (st != VfsStatus::kOk) {
+    r.status = OpStatus::kNoEnt;
+  }
+  Emit(pid, Op::kRmdir, r.status, abs, "", -1, true, 0);
+  return r;
+}
+
+SyscallResult SyscallTracer::OpenDir(Pid pid, std::string_view path) {
+  SyscallResult r;
+  const std::string abs = Canonical(pid, path);
+  const auto info = fs_->Stat(abs);
+  if (!info.has_value()) {
+    r.status = OpStatus::kNoEnt;
+  } else if (info->kind != NodeKind::kDirectory) {
+    r.status = OpStatus::kAccess;
+  }
+  if (r.ok()) {
+    r.fd = processes_->AllocateFd(pid, OpenFile{abs, true, false});
+  }
+  Emit(pid, Op::kOpenDir, r.status, abs, "", r.fd, false, 0);
+  return r;
+}
+
+SyscallResult SyscallTracer::ReadDir(Pid pid, Fd fd) {
+  SyscallResult r;
+  const OpenFile* file = processes_->LookupFd(pid, fd);
+  if (file == nullptr || !file->is_directory) {
+    r.status = OpStatus::kNoEnt;
+    return r;
+  }
+  int32_t entries = 0;
+  if (availability_) {
+    // While disconnected, a listing shows only what is locally replicated
+    // (plus directories, which the substrate keeps) — the raw material for
+    // "implied" hoard misses (Section 4.4).
+    for (const auto& name : fs_->ListDir(file->path)) {
+      const std::string child = file->path == "/" ? "/" + name : file->path + "/" + name;
+      const auto info = fs_->Stat(child);
+      const bool is_dir = info.has_value() && info->kind == NodeKind::kDirectory;
+      if (is_dir || LocallyAvailable(child)) {
+        ++entries;
+      }
+    }
+  } else {
+    entries = static_cast<int32_t>(fs_->DirEntryCount(file->path));
+  }
+  Emit(pid, Op::kReadDir, OpStatus::kOk, file->path, "", fd, false, entries);
+  return r;
+}
+
+SyscallResult SyscallTracer::CloseDir(Pid pid, Fd fd) { return Close(pid, fd); }
+
+SyscallResult SyscallTracer::Chdir(Pid pid, std::string_view path) {
+  SyscallResult r;
+  const std::string abs = Canonical(pid, path);
+  const auto info = fs_->Stat(abs);
+  if (!info.has_value() || info->kind != NodeKind::kDirectory) {
+    r.status = OpStatus::kNoEnt;
+  } else {
+    processes_->SetCwd(pid, abs);
+  }
+  Emit(pid, Op::kChdir, r.status, abs, "", -1, false, 0);
+  return r;
+}
+
+}  // namespace seer

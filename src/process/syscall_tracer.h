@@ -1,0 +1,123 @@
+// Simulated system-call tracing hook.
+//
+// The paper instrumented the Linux kernel so that completed system calls are
+// reported to SEER's observer, with exec and exit reported before execution
+// because their state is destroyed on completion (Section 4.11). This class
+// is the substrate equivalent: workload generators issue syscalls through
+// it, the calls execute against the SimFilesystem and ProcessTable, and
+// every registered sink receives a TraceEvent carrying the completion
+// status.
+//
+// Faithfully modelled behaviours:
+//   * superuser calls are not traced by default (deadlock avoidance,
+//     Section 4.10);
+//   * individual pids (SEER's own observer/correlator and replication
+//     daemons) can be marked untraced (Section 4.10);
+//   * close events carry the resolved path of the closed descriptor so
+//     downstream code need not replicate the kernel's fd table;
+//   * an availability filter lets the disconnection simulator turn an
+//     otherwise-successful open/exec of a non-hoarded file into a kNotLocal
+//     failure — the raw material for hoard-miss detection (Section 4.4).
+#ifndef SRC_PROCESS_SYSCALL_TRACER_H_
+#define SRC_PROCESS_SYSCALL_TRACER_H_
+
+#include <functional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/process/clock.h"
+#include "src/process/process_table.h"
+#include "src/trace/event.h"
+#include "src/vfs/sim_filesystem.h"
+
+namespace seer {
+
+// Receives each traced event immediately after (or, for exec/exit, just
+// before) the call completes.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnEvent(const TraceEvent& event) = 0;
+};
+
+struct SyscallResult {
+  OpStatus status = OpStatus::kOk;
+  Fd fd = -1;    // valid for Open/OpenDir on success
+  Pid pid = -1;  // valid for Fork on success
+
+  bool ok() const { return status == OpStatus::kOk; }
+};
+
+class SyscallTracer {
+ public:
+  SyscallTracer(SimFilesystem* fs, ProcessTable* processes, SimClock* clock);
+
+  // --- configuration ------------------------------------------------------
+
+  void AddSink(TraceSink* sink) { sinks_.push_back(sink); }
+  void set_trace_superuser(bool trace) { trace_superuser_ = trace; }
+
+  // Suppresses tracing for a pid (SEER's own daemons).
+  void MarkUntraced(Pid pid) { untraced_.insert(pid); }
+
+  // When set, a successful open/exec of an existing file is additionally
+  // checked for local availability; if the filter returns false the call
+  // fails with kNotLocal. Used by the disconnection simulator.
+  using AvailabilityFilter = std::function<bool(const std::string& path)>;
+  void set_availability_filter(AvailabilityFilter filter) { availability_ = std::move(filter); }
+
+  // Fixed CPU cost charged to the clock per syscall.
+  void set_syscall_cost(Time micros) { syscall_cost_ = micros; }
+
+  // --- syscall surface ----------------------------------------------------
+
+  SyscallResult Fork(Pid parent);
+  SyscallResult Exec(Pid pid, std::string_view path);
+  SyscallResult Exit(Pid pid);
+
+  SyscallResult Open(Pid pid, std::string_view path, bool write);
+  SyscallResult Close(Pid pid, Fd fd);
+  SyscallResult Create(Pid pid, std::string_view path, uint64_t size);
+  SyscallResult Stat(Pid pid, std::string_view path);
+  SyscallResult Chmod(Pid pid, std::string_view path);
+  SyscallResult Unlink(Pid pid, std::string_view path);
+  SyscallResult Rename(Pid pid, std::string_view from, std::string_view to);
+  SyscallResult Link(Pid pid, std::string_view target, std::string_view link_path);
+  SyscallResult Mkdir(Pid pid, std::string_view path);
+  SyscallResult Rmdir(Pid pid, std::string_view path);
+  SyscallResult OpenDir(Pid pid, std::string_view path);
+  SyscallResult ReadDir(Pid pid, Fd fd);  // one batch; detail = entry count
+  SyscallResult CloseDir(Pid pid, Fd fd);
+  SyscallResult Chdir(Pid pid, std::string_view path);
+
+  uint64_t events_emitted() const { return seq_; }
+  SimClock* clock() { return clock_; }
+  SimFilesystem* fs() { return fs_; }
+  ProcessTable* processes() { return processes_; }
+
+ private:
+  // Resolves `path` against the process cwd and symlinks. Returns the
+  // normalised absolute path even when the target does not exist.
+  std::string Canonical(Pid pid, std::string_view path) const;
+
+  bool Traced(Pid pid) const;
+  bool LocallyAvailable(const std::string& path) const;
+  void Emit(Pid pid, Op op, OpStatus status, std::string path, std::string path2, Fd fd,
+            bool write, int32_t detail);
+
+  SimFilesystem* fs_;
+  ProcessTable* processes_;
+  SimClock* clock_;
+  std::vector<TraceSink*> sinks_;
+  std::set<Pid> untraced_;
+  bool trace_superuser_ = false;
+  AvailabilityFilter availability_;
+  Time syscall_cost_ = 20;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace seer
+
+#endif  // SRC_PROCESS_SYSCALL_TRACER_H_

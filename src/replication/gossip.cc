@@ -1,0 +1,108 @@
+#include "src/replication/gossip.h"
+
+namespace seer {
+
+GossipNetwork::GossipNetwork(int replica_count) : replicas_(static_cast<size_t>(replica_count)) {}
+
+void GossipNetwork::Update(ReplicaId replica, const std::string& path) {
+  replicas_[replica][path].Increment(replica);
+}
+
+void GossipNetwork::ReconcilePair(ReplicaId a, ReplicaId b) {
+  ++stats_.reconciliations;
+  std::set<std::string> paths;
+  for (const auto& [path, vv] : replicas_[a]) {
+    paths.insert(path);
+  }
+  for (const auto& [path, vv] : replicas_[b]) {
+    paths.insert(path);
+  }
+  for (const auto& path : paths) {
+    VersionVector& va = replicas_[a][path];
+    VersionVector& vb = replicas_[b][path];
+    switch (va.Compare(vb)) {
+      case VectorOrder::kEqual:
+        break;
+      case VectorOrder::kDominates:
+        vb = va;
+        ++stats_.transfers;
+        break;
+      case VectorOrder::kDominated:
+        va = vb;
+        ++stats_.transfers;
+        break;
+      case VectorOrder::kConcurrent: {
+        ++stats_.conflicts_detected;
+        // Deterministic resolution: take the join and stamp a resolution
+        // event from the lower-numbered replica. Every other replica will
+        // see this version dominate and adopt it without re-conflicting —
+        // the property that makes epidemic conflict resolution converge.
+        va.MergeFrom(vb);
+        va.Increment(std::min(a, b));
+        vb = va;
+        ++stats_.conflicts_resolved;
+        ++stats_.transfers;
+        break;
+      }
+    }
+  }
+}
+
+bool GossipNetwork::Converged(const std::string& path) const {
+  const VersionVector* first = nullptr;
+  for (const auto& replica : replicas_) {
+    const auto it = replica.find(path);
+    const VersionVector* vv = it == replica.end() ? nullptr : &it->second;
+    if (first == nullptr) {
+      first = vv;
+      continue;
+    }
+    if (vv == nullptr || first == nullptr) {
+      return false;
+    }
+    if (first->Compare(*vv) != VectorOrder::kEqual) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool GossipNetwork::FullyConverged() const {
+  for (const auto& path : KnownFiles()) {
+    if (!Converged(path)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int GossipNetwork::SweepsToConverge(int max_sweeps) {
+  for (int sweep = 1; sweep <= max_sweeps; ++sweep) {
+    const int n = replica_count();
+    for (int i = 0; i < n; ++i) {
+      ReconcilePair(static_cast<ReplicaId>(i), static_cast<ReplicaId>((i + 1) % n));
+    }
+    if (FullyConverged()) {
+      return sweep;
+    }
+  }
+  return -1;
+}
+
+const VersionVector& GossipNetwork::Version(ReplicaId replica, const std::string& path) const {
+  static const VersionVector kEmpty;
+  const auto it = replicas_[replica].find(path);
+  return it == replicas_[replica].end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> GossipNetwork::KnownFiles() const {
+  std::set<std::string> paths;
+  for (const auto& replica : replicas_) {
+    for (const auto& [path, vv] : replica) {
+      paths.insert(path);
+    }
+  }
+  return std::vector<std::string>(paths.begin(), paths.end());
+}
+
+}  // namespace seer

@@ -1,0 +1,74 @@
+// Peer-to-peer anti-entropy reconciliation (the RUMOR model).
+//
+// RUMOR is a reconciliation-based, peer-to-peer optimistic replication
+// system: every replica accepts updates independently, and any two replicas
+// can reconcile pairwise whenever they can talk; updates and conflict
+// resolutions propagate epidemically until all replicas converge. The
+// two-replica RumorReplicator used by the live simulation is the laptop's
+// view of this protocol; GossipNetwork models the whole replica set so the
+// epidemic propagation and convergence properties can be exercised and
+// tested directly.
+#ifndef SRC_REPLICATION_GOSSIP_H_
+#define SRC_REPLICATION_GOSSIP_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/replication/version_vector.h"
+
+namespace seer {
+
+struct GossipStats {
+  uint64_t reconciliations = 0;
+  uint64_t transfers = 0;           // file versions copied between replicas
+  uint64_t conflicts_detected = 0;
+  uint64_t conflicts_resolved = 0;
+};
+
+class GossipNetwork {
+ public:
+  explicit GossipNetwork(int replica_count);
+
+  int replica_count() const { return static_cast<int>(replicas_.size()); }
+
+  // A local write at `replica`.
+  void Update(ReplicaId replica, const std::string& path);
+
+  // Pairwise reconciliation between two replicas: for every file either
+  // knows, the dominated side adopts the dominant version; concurrent
+  // versions conflict and are resolved deterministically (the join of the
+  // two vectors plus a resolution event attributed to the lower replica
+  // id), which every other pair will subsequently adopt without
+  // re-conflicting.
+  void ReconcilePair(ReplicaId a, ReplicaId b);
+
+  // True when all replicas hold identical version vectors for `path`.
+  bool Converged(const std::string& path) const;
+
+  // True when every known file has converged everywhere.
+  bool FullyConverged() const;
+
+  // Runs ring-topology anti-entropy sweeps (replica i reconciles with
+  // i+1 mod N) until convergence; returns the number of sweeps used, or -1
+  // if `max_sweeps` was not enough.
+  int SweepsToConverge(int max_sweeps);
+
+  const VersionVector& Version(ReplicaId replica, const std::string& path) const;
+
+  // All file paths any replica knows about.
+  std::vector<std::string> KnownFiles() const;
+
+  const GossipStats& stats() const { return stats_; }
+
+ private:
+  // replica -> path -> version
+  std::vector<std::map<std::string, VersionVector>> replicas_;
+  GossipStats stats_;
+};
+
+}  // namespace seer
+
+#endif  // SRC_REPLICATION_GOSSIP_H_

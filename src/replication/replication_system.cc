@@ -1,0 +1,85 @@
+#include "src/replication/replication_system.h"
+
+namespace seer {
+
+void ReplicationSystem::Fetch(const std::string& path) {
+  if (local_.insert(path).second) {
+    ++stats_.files_fetched;
+    stats_.bytes_fetched += SizeOf(path);
+  }
+}
+
+void ReplicationSystem::Evict(const std::string& path) {
+  if (local_.erase(path) != 0) {
+    ++stats_.files_evicted;
+    stats_.bytes_evicted += SizeOf(path);
+  }
+}
+
+void ReplicationSystem::SetHoard(const std::set<std::string>& target) {
+  // Evictions first (never a dirty file — its only up-to-date copy may be
+  // local).
+  std::vector<std::string> to_evict;
+  for (const auto& path : local_) {
+    if (target.count(path) == 0 && dirty_local_.count(path) == 0) {
+      to_evict.push_back(path);
+    }
+  }
+  for (const auto& path : to_evict) {
+    Evict(path);
+  }
+  if (connected_) {
+    for (const auto& path : target) {
+      Fetch(path);
+    }
+  }
+  // While disconnected, fetching is impossible; the hoard simply shrinks.
+}
+
+bool ReplicationSystem::Access(const std::string& path) {
+  if (IsLocal(path)) {
+    return true;
+  }
+  if (connected_ && SupportsRemoteAccess()) {
+    ++stats_.remote_accesses;
+    // Remote access also caches the object locally (the substrate will
+    // fetch on demand).
+    Fetch(path);
+    return true;
+  }
+  return false;
+}
+
+void ReplicationSystem::OnDisconnect(Time /*now*/) { connected_ = false; }
+
+void ReplicationSystem::OnReconnect(Time now) {
+  connected_ = true;
+  Reconcile(now);
+}
+
+void ReplicationSystem::RecordLocalUpdate(const std::string& path, Time /*now*/) {
+  if (IsLocal(path)) {
+    dirty_local_.insert(path);
+  }
+}
+
+void ReplicationSystem::RecordRemoteUpdate(const std::string& path, Time /*now*/) {
+  dirty_remote_.insert(path);
+}
+
+void ReplicationSystem::RecordLocalDelete(const std::string& path, Time /*now*/) {
+  if (local_.erase(path) != 0) {
+    deleted_local_.insert(path);
+  }
+  dirty_local_.erase(path);
+}
+
+void ReplicationSystem::RecordLocalCreate(const std::string& path, Time now) {
+  // A file created locally is local by definition and must propagate.
+  local_.insert(path);
+  dirty_local_.insert(path);
+  deleted_local_.erase(path);
+  (void)now;
+}
+
+}  // namespace seer

@@ -1,0 +1,121 @@
+// Abstract replication substrate.
+//
+// SEER deliberately does not move file contents itself: an underlying
+// replication system performs the hoarding transport, update propagation,
+// and conflict management (Section 2). SEER assumes very little about the
+// substrate — which is what makes it portable — but the substrate's
+// capabilities determine how hoard misses can be observed (Section 4.4):
+// with remote access (Ficus-style), a miss while connected silently becomes
+// a remote fetch; without it, a miss surfaces as a failed open that may be
+// indistinguishable from ENOENT.
+//
+// Three simulated substrates ship with the library:
+//   * RumorReplicator       — peer-to-peer reconciliation, user level;
+//   * CheapRumorReplicator  — custom master-slave service;
+//   * CodaReplicator        — remote access + server callbacks.
+#ifndef SRC_REPLICATION_REPLICATION_SYSTEM_H_
+#define SRC_REPLICATION_REPLICATION_SYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/trace/event.h"
+
+namespace seer {
+
+struct ReplicationStats {
+  uint64_t files_fetched = 0;
+  uint64_t bytes_fetched = 0;
+  uint64_t files_evicted = 0;
+  uint64_t bytes_evicted = 0;
+  uint64_t remote_accesses = 0;   // misses serviced remotely while connected
+  uint64_t pushed_updates = 0;    // local updates propagated at reconnect
+  uint64_t pulled_updates = 0;    // remote updates applied at reconnect
+  uint64_t conflicts_detected = 0;
+  uint64_t conflicts_resolved = 0;
+  uint64_t reconciliations = 0;
+};
+
+// Outcome of one reconciliation pass.
+struct ReconcileResult {
+  std::vector<std::string> pushed;
+  std::vector<std::string> pulled;
+  std::vector<std::string> conflicts;
+};
+
+class ReplicationSystem {
+ public:
+  using SizeFn = std::function<uint64_t(const std::string& path)>;
+
+  explicit ReplicationSystem(SizeFn size_of) : size_of_(std::move(size_of)) {}
+  virtual ~ReplicationSystem() = default;
+
+  virtual std::string Name() const = 0;
+
+  // --- capability probes (Section 4.4) -------------------------------------
+
+  // True when an access to a non-local object while connected is
+  // transparently serviced from a remote replica.
+  virtual bool SupportsRemoteAccess() const = 0;
+
+  // True when the substrate can tell a hoard miss apart from a reference
+  // to a nonexistent file.
+  virtual bool CanDetectMisses() const = 0;
+
+  // --- hoard control --------------------------------------------------------
+
+  // Brings the local replica set to exactly `target` (SEER's chosen hoard),
+  // fetching and evicting as needed. Files modified locally while
+  // disconnected are never evicted before reconciliation.
+  virtual void SetHoard(const std::set<std::string>& target);
+
+  bool IsLocal(const std::string& path) const { return local_.count(path) != 0; }
+  const std::set<std::string>& local_set() const { return local_; }
+
+  // Whether an access to `path` succeeds right now. While connected,
+  // substrates with remote access service any path (and count a remote
+  // access); otherwise the path must be hoarded.
+  virtual bool Access(const std::string& path);
+
+  // --- connectivity & updates ----------------------------------------------
+
+  virtual void OnDisconnect(Time now);
+  virtual void OnReconnect(Time now);
+  bool connected() const { return connected_; }
+
+  // A local write (the laptop user changed the file).
+  virtual void RecordLocalUpdate(const std::string& path, Time now);
+
+  // A remote write (someone changed the file on the servers/peers).
+  virtual void RecordRemoteUpdate(const std::string& path, Time now);
+
+  // Local namespace changes that must propagate.
+  virtual void RecordLocalDelete(const std::string& path, Time now);
+  virtual void RecordLocalCreate(const std::string& path, Time now);
+
+  // Runs reconciliation (normally at reconnect; Rumor can also run it
+  // peer-to-peer on demand).
+  virtual ReconcileResult Reconcile(Time now) = 0;
+
+  const ReplicationStats& stats() const { return stats_; }
+
+ protected:
+  uint64_t SizeOf(const std::string& path) const { return size_of_ ? size_of_(path) : 0; }
+  void Fetch(const std::string& path);
+  void Evict(const std::string& path);
+
+  SizeFn size_of_;
+  std::set<std::string> local_;
+  std::set<std::string> dirty_local_;   // locally updated since last reconcile
+  std::set<std::string> dirty_remote_;  // remotely updated since last reconcile
+  std::set<std::string> deleted_local_;
+  bool connected_ = true;
+  ReplicationStats stats_;
+};
+
+}  // namespace seer
+
+#endif  // SRC_REPLICATION_REPLICATION_SYSTEM_H_

@@ -1,0 +1,154 @@
+#include "src/replication/replicators.h"
+
+#include <algorithm>
+
+namespace seer {
+
+void RumorReplicator::RecordLocalUpdate(const std::string& path, Time now) {
+  ReplicationSystem::RecordLocalUpdate(path, now);
+  if (IsLocal(path)) {
+    local_versions_[path].Increment(kLaptopReplica);
+  }
+}
+
+void RumorReplicator::RecordRemoteUpdate(const std::string& path, Time now) {
+  ReplicationSystem::RecordRemoteUpdate(path, now);
+  peer_versions_[path].Increment(kPeerReplica);
+}
+
+ReconcileResult RumorReplicator::Reconcile(Time /*now*/) {
+  ReconcileResult result;
+  ++stats_.reconciliations;
+
+  // Walk every file either side has touched since the last reconciliation.
+  std::set<std::string> touched;
+  touched.insert(dirty_local_.begin(), dirty_local_.end());
+  touched.insert(dirty_remote_.begin(), dirty_remote_.end());
+  touched.insert(deleted_local_.begin(), deleted_local_.end());
+
+  for (const auto& path : touched) {
+    if (deleted_local_.count(path) != 0) {
+      // Deletion propagates unless the peer updated concurrently — then
+      // the peer's version survives (delete/update conflict).
+      if (dirty_remote_.count(path) != 0) {
+        ++stats_.conflicts_detected;
+        ++stats_.conflicts_resolved;
+        result.conflicts.push_back(path);
+        Fetch(path);  // peer's version comes back
+        peer_versions_[path].MergeFrom(local_versions_[path]);
+        local_versions_[path] = peer_versions_[path];
+      } else {
+        result.pushed.push_back(path);
+        ++stats_.pushed_updates;
+        local_versions_.erase(path);
+        peer_versions_.erase(path);
+      }
+      continue;
+    }
+
+    VersionVector& local = local_versions_[path];
+    VersionVector& peer = peer_versions_[path];
+    switch (local.Compare(peer)) {
+      case VectorOrder::kEqual:
+        break;
+      case VectorOrder::kDominates: {
+        result.pushed.push_back(path);
+        ++stats_.pushed_updates;
+        peer.MergeFrom(local);
+        break;
+      }
+      case VectorOrder::kDominated: {
+        ++stats_.pulled_updates;
+        result.pulled.push_back(path);
+        local.MergeFrom(peer);
+        break;
+      }
+      case VectorOrder::kConcurrent: {
+        ++stats_.conflicts_detected;
+        result.conflicts.push_back(path);
+        const bool local_wins = resolver_ ? resolver_(path) : true;
+        ++stats_.conflicts_resolved;
+        // Whichever side wins, both vectors converge to the join.
+        local.MergeFrom(peer);
+        local.Increment(local_wins ? kLaptopReplica : kPeerReplica);
+        peer = local;
+        break;
+      }
+    }
+  }
+  dirty_local_.clear();
+  dirty_remote_.clear();
+  deleted_local_.clear();
+  return result;
+}
+
+ReconcileResult CheapRumorReplicator::Reconcile(Time /*now*/) {
+  ReconcileResult result;
+  ++stats_.reconciliations;
+
+  for (const auto& path : dirty_local_) {
+    if (dirty_remote_.count(path) != 0) {
+      // Master also changed the file: master wins, local copy saved aside.
+      ++stats_.conflicts_detected;
+      ++stats_.conflicts_resolved;
+      saved_copies_.push_back(path + ".conflict");
+      result.conflicts.push_back(path);
+      ++stats_.pulled_updates;
+      result.pulled.push_back(path);
+    } else {
+      ++stats_.pushed_updates;
+      result.pushed.push_back(path);
+    }
+  }
+  for (const auto& path : dirty_remote_) {
+    if (dirty_local_.count(path) != 0) {
+      continue;  // handled above
+    }
+    if (IsLocal(path)) {
+      ++stats_.pulled_updates;
+      result.pulled.push_back(path);
+    }
+  }
+  for (const auto& path : deleted_local_) {
+    ++stats_.pushed_updates;
+    result.pushed.push_back(path);
+  }
+  dirty_local_.clear();
+  dirty_remote_.clear();
+  deleted_local_.clear();
+  return result;
+}
+
+ReconcileResult CodaReplicator::Reconcile(Time /*now*/) {
+  ReconcileResult result;
+  ++stats_.reconciliations;
+
+  for (const auto& path : dirty_local_) {
+    if (dirty_remote_.count(path) != 0) {
+      ++stats_.conflicts_detected;
+      ++stats_.conflicts_resolved;  // application-specific resolvers
+      result.conflicts.push_back(path);
+    } else {
+      ++stats_.pushed_updates;
+      result.pushed.push_back(path);
+    }
+  }
+  for (const auto& path : dirty_remote_) {
+    if (IsLocal(path) && dirty_local_.count(path) == 0) {
+      // Broken callback: the cached copy is stale; refresh it.
+      ++callbacks_broken_;
+      ++stats_.pulled_updates;
+      result.pulled.push_back(path);
+    }
+  }
+  for (const auto& path : deleted_local_) {
+    ++stats_.pushed_updates;
+    result.pushed.push_back(path);
+  }
+  dirty_local_.clear();
+  dirty_remote_.clear();
+  deleted_local_.clear();
+  return result;
+}
+
+}  // namespace seer

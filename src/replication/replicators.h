@@ -1,0 +1,96 @@
+// Concrete replication substrates.
+//
+// RumorReplicator — a simulation of the RUMOR user-level,
+// reconciliation-based optimistic replication system: both replicas (the
+// laptop and its home peer) accept updates independently; per-file version
+// vectors detect concurrent updates at reconciliation; conflicts are
+// resolved by a pluggable resolver (default: latest-writer-wins, with the
+// losing version counted). Misses cannot be detected by the substrate —
+// SEER must rely on the manual reporter and its own automatic detector.
+//
+// CheapRumorReplicator — a master-slave service: the servers are
+// authoritative; local updates are pushed at reconnect; a local update to a
+// file the master also changed is a conflict that the master wins (the
+// local version is saved aside, counted as resolved).
+//
+// CodaReplicator — Coda-style: while connected, an access to a non-cached
+// object is serviced remotely and cached (callbacks keep it fresh); the
+// substrate can therefore tell SEER about misses directly, and remote
+// updates invalidate cached copies at reconciliation.
+#ifndef SRC_REPLICATION_REPLICATORS_H_
+#define SRC_REPLICATION_REPLICATORS_H_
+
+#include <map>
+
+#include "src/replication/replication_system.h"
+#include "src/replication/version_vector.h"
+
+namespace seer {
+
+constexpr ReplicaId kLaptopReplica = 0;
+constexpr ReplicaId kPeerReplica = 1;
+
+// Chooses the surviving version for a conflicting file. Returns true when
+// the local version wins.
+using ConflictResolver = std::function<bool(const std::string& path)>;
+
+class RumorReplicator : public ReplicationSystem {
+ public:
+  explicit RumorReplicator(SizeFn size_of, ConflictResolver resolver = nullptr)
+      : ReplicationSystem(std::move(size_of)), resolver_(std::move(resolver)) {}
+
+  std::string Name() const override { return "rumor"; }
+  bool SupportsRemoteAccess() const override { return false; }
+  bool CanDetectMisses() const override { return false; }
+
+  void RecordLocalUpdate(const std::string& path, Time now) override;
+  void RecordRemoteUpdate(const std::string& path, Time now) override;
+  ReconcileResult Reconcile(Time now) override;
+
+  // Version inspection (for tests).
+  const VersionVector& LocalVersion(const std::string& path) { return local_versions_[path]; }
+  const VersionVector& PeerVersion(const std::string& path) { return peer_versions_[path]; }
+
+ private:
+  ConflictResolver resolver_;
+  std::map<std::string, VersionVector> local_versions_;
+  std::map<std::string, VersionVector> peer_versions_;
+};
+
+class CheapRumorReplicator : public ReplicationSystem {
+ public:
+  explicit CheapRumorReplicator(SizeFn size_of) : ReplicationSystem(std::move(size_of)) {}
+
+  std::string Name() const override { return "cheap-rumor"; }
+  bool SupportsRemoteAccess() const override { return false; }
+  bool CanDetectMisses() const override { return false; }
+
+  ReconcileResult Reconcile(Time now) override;
+
+  // Conflicting local versions saved aside as "<path>.conflict".
+  const std::vector<std::string>& saved_conflict_copies() const { return saved_copies_; }
+
+ private:
+  std::vector<std::string> saved_copies_;
+};
+
+class CodaReplicator : public ReplicationSystem {
+ public:
+  explicit CodaReplicator(SizeFn size_of) : ReplicationSystem(std::move(size_of)) {}
+
+  std::string Name() const override { return "coda"; }
+  bool SupportsRemoteAccess() const override { return true; }
+  bool CanDetectMisses() const override { return true; }
+
+  ReconcileResult Reconcile(Time now) override;
+
+  // Callback break count: remote updates that invalidated a cached copy.
+  uint64_t callbacks_broken() const { return callbacks_broken_; }
+
+ private:
+  uint64_t callbacks_broken_ = 0;
+};
+
+}  // namespace seer
+
+#endif  // SRC_REPLICATION_REPLICATORS_H_

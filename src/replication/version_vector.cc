@@ -1,0 +1,63 @@
+#include "src/replication/version_vector.h"
+
+#include <set>
+#include <sstream>
+
+namespace seer {
+
+VectorOrder VersionVector::Compare(const VersionVector& other) const {
+  bool left_ahead = false;
+  bool right_ahead = false;
+  std::set<ReplicaId> replicas;
+  for (const auto& [r, v] : counters_) {
+    replicas.insert(r);
+  }
+  for (const auto& [r, v] : other.counters_) {
+    replicas.insert(r);
+  }
+  for (const ReplicaId r : replicas) {
+    const uint64_t a = Get(r);
+    const uint64_t b = other.Get(r);
+    if (a > b) {
+      left_ahead = true;
+    } else if (b > a) {
+      right_ahead = true;
+    }
+  }
+  if (left_ahead && right_ahead) {
+    return VectorOrder::kConcurrent;
+  }
+  if (left_ahead) {
+    return VectorOrder::kDominates;
+  }
+  if (right_ahead) {
+    return VectorOrder::kDominated;
+  }
+  return VectorOrder::kEqual;
+}
+
+void VersionVector::MergeFrom(const VersionVector& other) {
+  for (const auto& [r, v] : other.counters_) {
+    uint64_t& mine = counters_[r];
+    if (v > mine) {
+      mine = v;
+    }
+  }
+}
+
+std::string VersionVector::ToString() const {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (const auto& [r, v] : counters_) {
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    out << r << ':' << v;
+  }
+  out << '}';
+  return out.str();
+}
+
+}  // namespace seer

@@ -1,0 +1,51 @@
+// Version vectors for optimistic replication.
+//
+// SEER sits atop a replication substrate (Rumor, Cheap Rumor, Coda, ...)
+// that moves file contents and reconciles concurrent updates. Our simulated
+// substrates use classic version vectors: one counter per replica,
+// incremented on local update; vector comparison classifies two replicas'
+// states as equal, dominated, or concurrent (a conflict).
+#ifndef SRC_REPLICATION_VERSION_VECTOR_H_
+#define SRC_REPLICATION_VERSION_VECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace seer {
+
+using ReplicaId = uint32_t;
+
+enum class VectorOrder : uint8_t {
+  kEqual,
+  kDominates,    // left strictly newer
+  kDominated,    // right strictly newer
+  kConcurrent,   // conflict
+};
+
+class VersionVector {
+ public:
+  void Increment(ReplicaId replica) { ++counters_[replica]; }
+
+  uint64_t Get(ReplicaId replica) const {
+    const auto it = counters_.find(replica);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  // Componentwise comparison of *this against `other`.
+  VectorOrder Compare(const VersionVector& other) const;
+
+  // Componentwise maximum (used after reconciliation).
+  void MergeFrom(const VersionVector& other);
+
+  bool Empty() const { return counters_.empty(); }
+
+  std::string ToString() const;
+
+ private:
+  std::map<ReplicaId, uint64_t> counters_;
+};
+
+}  // namespace seer
+
+#endif  // SRC_REPLICATION_VERSION_VECTOR_H_

@@ -1,0 +1,62 @@
+// Umbrella header for the SEER library.
+//
+// Pulls in the whole public API: the simulated OS substrate, the observer,
+// the correlator and its hoarding machinery, the replication systems, the
+// baselines, the synthetic workloads, and the evaluation harness. Fine-
+// grained consumers should include individual headers instead; this exists
+// for quick starts and exploratory code.
+#ifndef SRC_SEER_H_
+#define SRC_SEER_H_
+
+// Utilities.
+#include "src/util/path.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+// Trace model and formats.
+#include "src/trace/binary_trace.h"
+#include "src/trace/event.h"
+#include "src/trace/trace_io.h"
+
+// Simulated OS substrate.
+#include "src/process/clock.h"
+#include "src/process/process_table.h"
+#include "src/process/syscall_tracer.h"
+#include "src/vfs/sim_filesystem.h"
+
+// The observer (Section 4 heuristics).
+#include "src/observer/control_file.h"
+#include "src/observer/observer.h"
+#include "src/observer/observer_config.h"
+#include "src/observer/reference.h"
+
+// The correlator and hoarding core (Sections 2-3).
+#include "src/core/access_predictor.h"
+#include "src/core/async_pipeline.h"
+#include "src/core/clustering.h"
+#include "src/core/correlator.h"
+#include "src/core/hoard.h"
+#include "src/core/hoard_daemon.h"
+#include "src/core/investigator.h"
+#include "src/core/params.h"
+#include "src/core/params_io.h"
+#include "src/core/reorganizer.h"
+
+// Replication substrates.
+#include "src/replication/gossip.h"
+#include "src/replication/replication_system.h"
+#include "src/replication/replicators.h"
+#include "src/replication/version_vector.h"
+
+// Baselines and evaluation.
+#include "src/baselines/coda_priority.h"
+#include "src/baselines/lru.h"
+#include "src/sim/disconnect_model.h"
+#include "src/sim/live_sim.h"
+#include "src/sim/machine_sim.h"
+#include "src/sim/missfree.h"
+#include "src/workload/environment.h"
+#include "src/workload/machine_profile.h"
+#include "src/workload/user_model.h"
+
+#endif  // SRC_SEER_H_

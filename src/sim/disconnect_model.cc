@@ -1,0 +1,91 @@
+#include "src/sim/disconnect_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seer {
+
+std::vector<Interval> UnreachableIntervals(const std::vector<PingSample>& samples) {
+  std::vector<Interval> out;
+  bool down = false;
+  Time down_since = 0;
+  for (const PingSample& s : samples) {
+    if (!s.reachable && !down) {
+      down = true;
+      down_since = s.time;
+    } else if (s.reachable && down) {
+      down = false;
+      out.push_back({down_since, s.time});
+    }
+  }
+  if (down && !samples.empty()) {
+    out.push_back({down_since, samples.back().time});
+  }
+  return out;
+}
+
+std::vector<FilteredDisconnection> FilterDisconnections(
+    std::vector<Interval> raw, const std::vector<Interval>& suspensions,
+    const DisconnectFilterConfig& config) {
+  std::sort(raw.begin(), raw.end(),
+            [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+
+  // Merge disconnections separated by reconnections shorter than the
+  // threshold. (Discarding the brief reconnection lengthens the combined
+  // disconnection — a bias against the hoarding system, as the paper
+  // notes.)
+  std::vector<Interval> merged;
+  for (const Interval& d : raw) {
+    if (!merged.empty() && d.begin - merged.back().end < config.min_reconnection) {
+      merged.back().end = std::max(merged.back().end, d.end);
+    } else {
+      merged.push_back(d);
+    }
+  }
+
+  std::vector<FilteredDisconnection> out;
+  for (const Interval& d : merged) {
+    if (d.Duration() < config.min_disconnection) {
+      continue;  // brief blip; misses would not be bothersome
+    }
+    // Subtract suspension overlap: only active use counts (Section 5.1.1).
+    Time suspended = 0;
+    for (const Interval& s : suspensions) {
+      const Time begin = std::max(d.begin, s.begin);
+      const Time end = std::min(d.end, s.end);
+      if (end > begin) {
+        suspended += end - begin;
+      }
+    }
+    FilteredDisconnection f;
+    f.interval = d;
+    f.active_duration = d.Duration() - suspended;
+    if (f.active_duration <= 0) {
+      continue;  // machine completely unused (e.g. vacation): excluded
+    }
+    out.push_back(f);
+  }
+  return out;
+}
+
+DisconnectionSampler::DisconnectionSampler(double mean_hours, double median_hours,
+                                           double max_hours)
+    : max_hours_(max_hours) {
+  const double median = std::max(median_hours, 0.26);
+  const double mean = std::max(mean_hours, median * 1.0001);
+  mu_ = std::log(median);
+  sigma_ = std::sqrt(2.0 * std::log(mean / median));
+}
+
+double DisconnectionSampler::SampleHours(Rng& rng) const {
+  const double h = rng.NextLogNormal(mu_, sigma_);
+  // The 15-minute filter imposes the floor; the measurement period the cap.
+  return std::clamp(h, 0.25, max_hours_);
+}
+
+DisconnectionSampler SamplerFor(const MachineProfile& profile) {
+  return DisconnectionSampler(profile.mean_disc_hours, profile.median_disc_hours,
+                              profile.max_disc_hours);
+}
+
+}  // namespace seer

@@ -1,0 +1,254 @@
+#include "src/sim/live_sim.h"
+
+#include <algorithm>
+
+#include "src/core/correlator.h"
+#include "src/observer/observer.h"
+#include "src/process/syscall_tracer.h"
+#include "src/replication/replicators.h"
+#include "src/sim/disconnect_model.h"
+#include "src/sim/machine_sim.h"
+#include "src/sim/trackers.h"
+#include "src/workload/environment.h"
+#include "src/workload/user_model.h"
+
+namespace seer {
+
+namespace {
+
+constexpr double kMb = 1024.0 * 1024.0;
+
+std::unique_ptr<ReplicationSystem> MakeReplicator(ReplicatorKind kind,
+                                                  ReplicationSystem::SizeFn size_of) {
+  switch (kind) {
+    case ReplicatorKind::kRumor:
+      return std::make_unique<RumorReplicator>(std::move(size_of));
+    case ReplicatorKind::kCheapRumor:
+      return std::make_unique<CheapRumorReplicator>(std::move(size_of));
+    case ReplicatorKind::kCoda:
+      return std::make_unique<CodaReplicator>(std::move(size_of));
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool LiveDisconnection::HasManualMiss() const {
+  return std::any_of(misses.begin(), misses.end(),
+                     [](const MissRecord& m) { return !m.automatic; });
+}
+
+bool LiveDisconnection::HasMissAtSeverity(MissSeverity severity) const {
+  return std::any_of(misses.begin(), misses.end(), [severity](const MissRecord& m) {
+    return !m.automatic && m.severity == severity;
+  });
+}
+
+bool LiveDisconnection::HasAutomaticMiss() const {
+  return std::any_of(misses.begin(), misses.end(),
+                     [](const MissRecord& m) { return m.automatic; });
+}
+
+double LiveDisconnection::FirstMissHours(MissSeverity severity) const {
+  for (const MissRecord& m : misses) {  // records are chronological
+    if (!m.automatic && m.severity == severity) {
+      return static_cast<double>(m.time) / static_cast<double>(kMicrosPerHour);
+    }
+  }
+  return -1.0;
+}
+
+double LiveDisconnection::FirstAutomaticMissHours() const {
+  for (const MissRecord& m : misses) {
+    if (m.automatic) {
+      return static_cast<double>(m.time) / static_cast<double>(kMicrosPerHour);
+    }
+  }
+  return -1.0;
+}
+
+std::array<size_t, 5> LiveSimResult::failures_by_severity() const {
+  std::array<size_t, 5> out = {0, 0, 0, 0, 0};
+  for (const auto& d : disconnections) {
+    for (size_t s = 0; s < out.size(); ++s) {
+      if (d.HasMissAtSeverity(static_cast<MissSeverity>(s))) {
+        ++out[s];
+      }
+    }
+  }
+  return out;
+}
+
+size_t LiveSimResult::failures_any_severity() const {
+  size_t n = 0;
+  for (const auto& d : disconnections) {
+    if (d.HasManualMiss()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t LiveSimResult::failures_automatic() const {
+  size_t n = 0;
+  for (const auto& d : disconnections) {
+    if (d.HasAutomaticMiss()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+LiveSimResult RunLiveUsage(const MachineProfile& profile, const LiveSimConfig& config) {
+  LiveSimResult result;
+  result.machine = profile.name;
+  result.hoard_mb =
+      config.hoard_mb_override > 0.0 ? config.hoard_mb_override : profile.hoard_mb;
+
+  SimFilesystem fs;
+  Rng rng(config.seed ^ profile.seed_base ^ 0x11feULL);
+  const UserEnvironment env = BuildEnvironment(&fs, profile.env, &rng);
+
+  ProcessTable processes;
+  SimClock clock;
+  SyscallTracer tracer(&fs, &processes, &clock);
+
+  Observer observer(ObserverConfig{}, &fs);
+  // The machine ran its find-style scanners long before tracing began; the
+  // observer's program history already knows they are meaningless.
+  observer.PretrainProgramHistory(env.find, 10'000, 9'000);
+  Correlator correlator(config.params, config.seed ^ profile.seed_base);
+  observer.set_sink(&correlator);
+
+  MissLog miss_log;
+  observer.set_miss_listener(&miss_log);
+
+  const auto size_of = [&fs, &config](const std::string& path) -> uint64_t {
+    const auto info = fs.Stat(path);
+    return info.has_value() ? info->size : GeometricSizeForPath(path, config.seed);
+  };
+  std::unique_ptr<ReplicationSystem> replication =
+      MakeReplicator(config.replicator, size_of);
+  ReplicationHook repl_hook(replication.get());
+
+  tracer.AddSink(&observer);
+  tracer.AddSink(&repl_hook);
+
+  UserModel user(&tracer, &env, profile.user, config.seed ^ (profile.seed_base << 1));
+  user.set_miss_log(&miss_log);
+
+  // With a remote-access substrate (Coda), connected accesses to non-cached
+  // objects are serviced remotely and counted; without one, connected
+  // access is out-of-band (the user can always reach the servers) and the
+  // filter is only installed while disconnected.
+  const auto connected_filter = [&replication, &tracer] {
+    if (replication->SupportsRemoteAccess()) {
+      tracer.set_availability_filter(
+          [&replication](const std::string& path) { return replication->Access(path); });
+    } else {
+      tracer.set_availability_filter(nullptr);
+    }
+  };
+  connected_filter();
+
+  user.SeedHistory();
+
+  HoardManager hoard(static_cast<uint64_t>(result.hoard_mb * kMb));
+  hoard.set_allow_partial_projects(config.allow_partial_projects);
+  // Conservative directory-space assumption (Section 4.6): every directory
+  // is presumed hoarded. Each node costs one directory-entry record
+  // (matching SimFilesystem's per-entry directory size accounting).
+  hoard.set_reserved_bytes(fs.node_count() * 32);
+  DisconnectionSampler sampler = SamplerFor(profile);
+
+  const int disconnection_count = config.disconnections_override > 0
+                                      ? config.disconnections_override
+                                      : profile.disconnections;
+  // Connected active time between disconnections, scaled so total activity
+  // matches the profile's days at its daily rate.
+  const double total_active_hours =
+      profile.active_hours_per_day * static_cast<double>(profile.days_measured);
+  const double connected_active_mean = std::max(
+      0.1, 0.6 * total_active_hours / std::max(1, disconnection_count));
+
+  for (int d = 0; d < disconnection_count; ++d) {
+    // --- connected phase ----------------------------------------------------
+    const double connected_hours =
+        std::max(0.05, connected_active_mean * (0.5 + rng.NextDouble()));
+    user.RunActiveHours(connected_hours);
+
+    // Peers/servers may have changed things while we were connected too;
+    // model a burst of remote updates before the next reconcile.
+    if (rng.NextBool(config.remote_update_prob) && !env.projects.empty()) {
+      const auto& proj = env.projects[rng.NextBounded(env.projects.size())];
+      if (!proj.sources.empty()) {
+        replication->RecordRemoteUpdate(
+            proj.sources[rng.NextBounded(proj.sources.size())], clock.now());
+      }
+    }
+
+    // --- hoard fill (the user signals imminent disconnection) ---------------
+    for (const auto& path : miss_log.TakeFilesToHoard()) {
+      hoard.Pin(path);
+    }
+    const ClusterSet clusters = correlator.BuildClusters();
+    const HoardSelection selection =
+        hoard.ChooseHoard(correlator, clusters, observer.always_hoard(), size_of);
+    // Spare budget keeps extra replicas (the substrate has no reason to
+    // evict while space remains), so a generously sized hoard behaves like
+    // a full replica.
+    std::set<std::string> target = selection.files;
+    uint64_t used = selection.bytes_used;
+    for (const auto& path : fs.AllRegularFiles()) {
+      if (target.count(path) != 0) {
+        continue;
+      }
+      const uint64_t bytes = size_of(path);
+      if (used + bytes <= hoard.budget_bytes()) {
+        used += bytes;
+        target.insert(path);
+      }
+    }
+    replication->SetHoard(target);
+
+    // --- disconnected phase ---------------------------------------------------
+    replication->OnDisconnect(clock.now());
+    const Time disconnect_start = clock.now();
+    const size_t miss_index = miss_log.records().size();
+    miss_log.StartDisconnection(disconnect_start);
+    tracer.set_availability_filter(
+        [&replication](const std::string& path) { return replication->Access(path); });
+    user.set_availability(
+        [&replication](const std::string& path) { return replication->IsLocal(path); });
+
+    const double wall_hours = sampler.SampleHours(rng);
+    // Only part of a disconnection is active use; the rest is suspension
+    // (excluded from time-to-first-miss, Section 5.1.1).
+    const double active_hours =
+        std::min(wall_hours, std::max(0.1, wall_hours * (0.2 + 0.4 * rng.NextDouble())));
+    user.RunActiveHours(active_hours);
+
+    LiveDisconnection outcome;
+    outcome.wall_hours = wall_hours;
+    outcome.active_hours = active_hours;
+    for (size_t i = miss_index; i < miss_log.records().size(); ++i) {
+      MissRecord rec = miss_log.records()[i];
+      rec.time -= disconnect_start;  // store as offset into the disconnection
+      outcome.misses.push_back(std::move(rec));
+    }
+    result.disconnections.push_back(std::move(outcome));
+
+    // Suspended remainder, then reconnect.
+    clock.AdvanceHours(std::max(0.0, wall_hours - active_hours));
+    user.set_availability(nullptr);
+    miss_log.EndDisconnection();
+    replication->OnReconnect(clock.now());
+    connected_filter();
+  }
+
+  result.replication = replication->stats();
+  result.trace_events = tracer.events_emitted();
+  return result;
+}
+
+}  // namespace seer

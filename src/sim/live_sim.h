@@ -1,0 +1,71 @@
+// Live-usage simulation (Sections 5.1.1, 5.2.2 — Tables 4 and 5).
+//
+// Models SEER deployed on one machine with a real replication substrate:
+// the user works connected; before each disconnection SEER fills the hoard
+// (fixed budget from Table 4) and the replication system fetches/evicts;
+// during the disconnection only hoarded (or newly created) files are
+// accessible, the user mostly sticks to hoarded projects but occasionally
+// trips over a missing file and reports it at a severity, and the
+// automatic detector notices kNotLocal accesses; at reconnection the
+// substrate reconciles (remote updates and conflicts included) and missed
+// files are pinned for the next fill.
+#ifndef SRC_SIM_LIVE_SIM_H_
+#define SRC_SIM_LIVE_SIM_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/hoard.h"
+#include "src/core/params.h"
+#include "src/replication/replication_system.h"
+#include "src/workload/machine_profile.h"
+
+namespace seer {
+
+enum class ReplicatorKind : uint8_t { kRumor, kCheapRumor, kCoda };
+
+struct LiveDisconnection {
+  double wall_hours = 0.0;
+  double active_hours = 0.0;
+  std::vector<MissRecord> misses;  // manual and automatic, this disconnection
+
+  bool HasManualMiss() const;
+  bool HasMissAtSeverity(MissSeverity severity) const;
+  bool HasAutomaticMiss() const;
+  // Active hours from disconnection start to the first miss at `severity`
+  // (or first automatic miss); negative when none.
+  double FirstMissHours(MissSeverity severity) const;
+  double FirstAutomaticMissHours() const;
+};
+
+struct LiveSimConfig {
+  uint64_t seed = 1;
+  ReplicatorKind replicator = ReplicatorKind::kRumor;
+  int disconnections_override = 0;   // 0 = the profile's count
+  double hoard_mb_override = 0.0;    // 0 = the profile's Table 4 size
+  double remote_update_prob = 0.3;   // per reconnect: peers changed something
+  // Ablation of Section 2's whole-projects-only rule.
+  bool allow_partial_projects = false;
+  SeerParams params;
+};
+
+struct LiveSimResult {
+  char machine = '?';
+  double hoard_mb = 0.0;
+  std::vector<LiveDisconnection> disconnections;
+  ReplicationStats replication;
+  uint64_t trace_events = 0;
+
+  // Table 4 aggregates: disconnections with >=1 miss at each severity.
+  std::array<size_t, 5> failures_by_severity() const;
+  size_t failures_any_severity() const;   // >=1 manual miss
+  size_t failures_automatic() const;
+};
+
+LiveSimResult RunLiveUsage(const MachineProfile& profile, const LiveSimConfig& config);
+
+}  // namespace seer
+
+#endif  // SRC_SIM_LIVE_SIM_H_

@@ -1,0 +1,165 @@
+#include "src/sim/machine_sim.h"
+
+#include <memory>
+
+#include "src/baselines/lru.h"
+#include "src/core/correlator.h"
+#include "src/core/investigator.h"
+#include "src/observer/observer.h"
+#include "src/process/syscall_tracer.h"
+#include "src/sim/trackers.h"
+#include "src/workload/environment.h"
+#include "src/workload/user_model.h"
+
+namespace seer {
+
+namespace {
+
+constexpr double kMb = 1024.0 * 1024.0;
+
+uint64_t HashPath(const std::string& path) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : path) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t GeometricSizeForPath(const std::string& path, uint64_t seed) {
+  Rng rng(HashPath(path) ^ seed);
+  return rng.NextGeometric(kUnknownSizeGeometricP);
+}
+
+MissFreeSimResult RunMissFreeSimulation(const MachineProfile& profile,
+                                        const MissFreeSimConfig& config) {
+  MissFreeSimResult result;
+  result.machine = profile.name;
+
+  // --- wire the stack -------------------------------------------------------
+  SimFilesystem fs;
+  Rng env_rng(config.seed ^ profile.seed_base);
+  const UserEnvironment env = BuildEnvironment(&fs, profile.env, &env_rng);
+
+  ProcessTable processes;
+  SimClock clock;
+  SyscallTracer tracer(&fs, &processes, &clock);
+
+  Observer observer(config.observer, &fs);
+  // The machine ran its find-style scanners long before tracing began; the
+  // observer's program history already knows they are meaningless.
+  observer.PretrainProgramHistory(env.find, 10'000, 9'000);
+  Correlator correlator(config.params, config.seed ^ profile.seed_base);
+  observer.set_sink(&correlator);
+  if (config.use_investigators) {
+    correlator.AddInvestigator(std::make_unique<IncludeScanner>());
+    correlator.AddInvestigator(std::make_unique<MakefileInvestigator>());
+    correlator.AddInvestigator(std::make_unique<HotLinkInvestigator>());
+  }
+
+  LruTracker lru;
+  CodaPriorityTracker coda(config.coda_variant, CodaHoardProfile::GenericDefault());
+  WorkingSetTracker working_set;
+  tracer.AddSink(&observer);
+  tracer.AddSink(&lru);
+  if (config.include_coda) {
+    tracer.AddSink(&coda);
+  }
+  tracer.AddSink(&working_set);
+
+  UserModel user(&tracer, &env, profile.user, config.seed ^ (profile.seed_base << 1));
+
+  const SizeOfFn size_of = [&fs, &config](const std::string& path) -> uint64_t {
+    const auto info = fs.Stat(path);
+    if (info.has_value()) {
+      return info->size;
+    }
+    return GeometricSizeForPath(path, config.seed);
+  };
+
+  // --- run, period by period ------------------------------------------------
+  // Pre-trace history: the measured traces begin mid-way through a
+  // machine's life, so both managers start from a mature reference history.
+  user.SeedHistory();
+  const Time origin = clock.now();
+
+  const int days = config.days_override > 0 ? config.days_override : profile.days_measured;
+  const int period_days = static_cast<int>(config.period / kMicrosPerDay);
+  const int total_periods = std::max(1, days / std::max(1, period_days));
+
+  std::vector<double> ws_samples;
+  std::vector<double> seer_samples;
+  std::vector<double> lru_samples;
+  std::vector<double> coda_samples;
+
+  for (int p = 0; p < total_periods; ++p) {
+    // Infinitesimal reconnection: recompute both managers' fill orders from
+    // everything seen so far.
+    std::vector<std::string> seer_order;
+    std::vector<std::string> lru_order;
+    std::vector<std::string> coda_order;
+    const bool measured = p >= config.warmup_periods;
+    if (measured) {
+      if (config.use_investigators) {
+        correlator.RunInvestigators(fs);
+      }
+      const ClusterSet clusters = correlator.BuildClusters();
+      const auto universe = fs.AllRegularFiles();
+      seer_order =
+          WithTail(SeerCoverageOrder(correlator, clusters, observer.always_hoard()), universe);
+      lru_order = WithTail(lru.CoverageOrder(), universe);
+      if (config.include_coda) {
+        coda_order = WithTail(coda.CoverageOrder(clock.now()), universe);
+      }
+    }
+    working_set.Reset();
+
+    // Simulate the disconnection period: the user is active for the
+    // profile's hours each day, idle otherwise.
+    for (int d = 0; d < period_days; ++d) {
+      user.RunActiveHours(profile.active_hours_per_day);
+      const Time day_end = origin + static_cast<Time>(p) * config.period +
+                           static_cast<Time>(d + 1) * kMicrosPerDay;
+      if (clock.now() < day_end) {
+        clock.Advance(day_end - clock.now());
+      }
+    }
+
+    if (!measured) {
+      continue;
+    }
+    const std::set<std::string> referenced = working_set.ReferencedPreexisting();
+    PeriodStats stats;
+    stats.referenced_files = referenced.size();
+    stats.working_set_mb = static_cast<double>(WorkingSetBytes(referenced, size_of)) / kMb;
+    const MissFreeResult seer_mf = ComputeMissFree(seer_order, referenced, size_of);
+    const MissFreeResult lru_mf = ComputeMissFree(lru_order, referenced, size_of);
+    stats.seer_mb = static_cast<double>(seer_mf.bytes) / kMb;
+    stats.lru_mb = static_cast<double>(lru_mf.bytes) / kMb;
+    stats.uncovered_seer = seer_mf.uncovered;
+    stats.uncovered_lru = lru_mf.uncovered;
+    stats.deepest_seer = seer_mf.deepest;
+    stats.deepest_lru = lru_mf.deepest;
+    if (config.include_coda) {
+      const MissFreeResult coda_mf = ComputeMissFree(coda_order, referenced, size_of);
+      stats.coda_mb = static_cast<double>(coda_mf.bytes) / kMb;
+      coda_samples.push_back(stats.coda_mb);
+    }
+    result.periods.push_back(stats);
+
+    ws_samples.push_back(stats.working_set_mb);
+    seer_samples.push_back(stats.seer_mb);
+    lru_samples.push_back(stats.lru_mb);
+  }
+
+  result.working_set_mb = Summarize(ws_samples);
+  result.seer_mb = Summarize(seer_samples);
+  result.lru_mb = Summarize(lru_samples);
+  result.coda_mb = Summarize(coda_samples);
+  result.trace_events = tracer.events_emitted();
+  result.files_tracked = correlator.files().size();
+  return result;
+}
+
+}  // namespace seer

@@ -1,0 +1,78 @@
+// Trace-driven miss-free hoard size simulation (Sections 5.1.2, 5.2.1).
+//
+// Reproduces the methodology behind Figures 2 and 3: a machine's synthetic
+// trace is generated and processed on-line by the full SEER stack (observer
+// -> correlator) and by the LRU baseline; the timeline is chopped into
+// simulated disconnection periods of 24 hours or 7 days, separated by
+// infinitesimal reconnections during which each manager's fill order is
+// recomputed; and for every period we record the working set and the
+// miss-free hoard size each manager would have needed. File sizes come from
+// the simulated filesystem when known, otherwise from the paper's geometric
+// distribution (parameter 0.00007, mean 14284 bytes).
+#ifndef SRC_SIM_MACHINE_SIM_H_
+#define SRC_SIM_MACHINE_SIM_H_
+
+#include <vector>
+
+#include "src/baselines/coda_priority.h"
+#include "src/core/params.h"
+#include "src/observer/observer_config.h"
+#include "src/sim/missfree.h"
+#include "src/util/stats.h"
+#include "src/workload/machine_profile.h"
+
+namespace seer {
+
+// Geometric file-size parameter the paper used for unknown sizes.
+constexpr double kUnknownSizeGeometricP = 0.00007;
+
+struct PeriodStats {
+  double working_set_mb = 0.0;
+  double seer_mb = 0.0;
+  double lru_mb = 0.0;
+  double coda_mb = 0.0;  // only when MissFreeSimConfig::include_coda
+  size_t referenced_files = 0;
+  size_t uncovered_seer = 0;  // referenced files no SEER hoard could contain
+  size_t uncovered_lru = 0;
+  std::string deepest_seer;   // deepest referenced file in each order
+  std::string deepest_lru;
+};
+
+struct MissFreeSimConfig {
+  Time period = kMicrosPerDay;        // 24h; use 7*kMicrosPerDay for weekly
+  bool use_investigators = false;     // starred variants in Figure 2
+  uint64_t seed = 1;
+  int days_override = 0;              // 0 = the profile's measured days
+  int warmup_periods = 1;             // periods excluded from statistics
+  SeerParams params;
+  ObserverConfig observer;            // Section 4 heuristics configuration
+
+  // Also evaluate a Coda-inspired priority manager (Section 6.2). The
+  // paper ran three such schemes but did not report them because, without
+  // the hand management they were designed for, they performed worse than
+  // LRU; include_coda lets the ablation bench reproduce that observation.
+  bool include_coda = false;
+  CodaVariant coda_variant = CodaVariant::kBounded;
+};
+
+struct MissFreeSimResult {
+  char machine = '?';
+  std::vector<PeriodStats> periods;   // post-warmup
+  Summary working_set_mb;
+  Summary seer_mb;
+  Summary lru_mb;
+  Summary coda_mb;  // empty unless include_coda
+  uint64_t trace_events = 0;
+  size_t files_tracked = 0;
+};
+
+MissFreeSimResult RunMissFreeSimulation(const MachineProfile& profile,
+                                        const MissFreeSimConfig& config);
+
+// Deterministic per-path fallback size from the paper's geometric
+// distribution (stable across calls for a given path and seed).
+uint64_t GeometricSizeForPath(const std::string& path, uint64_t seed);
+
+}  // namespace seer
+
+#endif  // SRC_SIM_MACHINE_SIM_H_

@@ -1,0 +1,67 @@
+// Miss-free hoard size (Section 5.1.2).
+//
+// The miss-free hoard size of an algorithm for a disconnection period is
+// the smallest hoard that would have contained every file referenced in
+// the period, given the algorithm's fill order at the moment of
+// disconnection. It is linear, fine-grained, insensitive to the configured
+// hoard size, computable from traces, and it reflects what the user wants:
+// working as if connected.
+//
+// Every hoarding algorithm reduces to a *coverage order* — the sequence in
+// which it would add files as the budget grows. For LRU that is
+// most-recent-first; for SEER it is the unconditional files followed by
+// whole projects in activity order; for the Coda variants it is the
+// priority order. The miss-free size is then the cumulative size at the
+// deepest referenced file.
+#ifndef SRC_SIM_MISSFREE_H_
+#define SRC_SIM_MISSFREE_H_
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/clustering.h"
+#include "src/core/correlator.h"
+
+namespace seer {
+
+using SizeOfFn = std::function<uint64_t(const std::string& path)>;
+
+struct MissFreeResult {
+  // Bytes needed to cover every referenced file present in the order.
+  uint64_t bytes = 0;
+  // Referenced files absent from the coverage order entirely (no hoard of
+  // any size chosen by this algorithm would have contained them).
+  size_t uncovered = 0;
+  // The referenced file encountered deepest in the order (diagnostics).
+  std::string deepest;
+};
+
+// Computes the miss-free hoard size of `order` against the set of files
+// referenced during the period.
+MissFreeResult ComputeMissFree(const std::vector<std::string>& order,
+                               const std::set<std::string>& referenced,
+                               const SizeOfFn& size_of);
+
+// Sum of sizes of the referenced files — the working set, i.e. the space an
+// optimal hoarder would need.
+uint64_t WorkingSetBytes(const std::set<std::string>& referenced, const SizeOfFn& size_of);
+
+// SEER's coverage order: always-hoard files first, then whole projects in
+// descending activity order (each file at its first appearance), then
+// known-but-unclustered files by recency.
+std::vector<std::string> SeerCoverageOrder(const Correlator& correlator,
+                                           const ClusterSet& clusters,
+                                           const std::set<std::string>& always_hoard);
+
+// Appends `universe` files missing from `order` (sorted by path) so that
+// every algorithm can eventually cover the whole disk; keeps relative
+// order of the existing entries.
+std::vector<std::string> WithTail(std::vector<std::string> order,
+                                  const std::vector<std::string>& universe);
+
+}  // namespace seer
+
+#endif  // SRC_SIM_MISSFREE_H_

@@ -1,0 +1,84 @@
+#include "src/sim/trackers.h"
+
+namespace seer {
+
+void WorkingSetTracker::OnEvent(const TraceEvent& e) {
+  if (!e.ok()) {
+    return;
+  }
+  switch (e.op) {
+    case Op::kCreate:
+      created_.insert(e.path);
+      referenced_.insert(e.path);
+      ++reference_events_;
+      break;
+    case Op::kOpen:
+    case Op::kExec:
+    case Op::kStat:
+    case Op::kChmod:
+    case Op::kLink:
+      referenced_.insert(e.path);
+      ++reference_events_;
+      break;
+    case Op::kRename:
+      // The new name exists only because of an in-period action; treat it
+      // like a creation. If the old name was referenced it stays counted.
+      created_.insert(e.path2);
+      referenced_.insert(e.path2);
+      referenced_.insert(e.path);
+      ++reference_events_;
+      break;
+    case Op::kUnlink:
+      referenced_.insert(e.path);
+      ++reference_events_;
+      break;
+    default:
+      break;
+  }
+}
+
+void WorkingSetTracker::Reset() {
+  referenced_.clear();
+  created_.clear();
+  reference_events_ = 0;
+}
+
+std::set<std::string> WorkingSetTracker::ReferencedPreexisting() const {
+  std::set<std::string> out;
+  for (const auto& path : referenced_) {
+    if (created_.count(path) == 0) {
+      out.insert(path);
+    }
+  }
+  return out;
+}
+
+void ReplicationHook::OnEvent(const TraceEvent& e) {
+  if (!e.ok() || replication_ == nullptr) {
+    return;
+  }
+  switch (e.op) {
+    case Op::kOpen:
+      if (e.write) {
+        replication_->RecordLocalUpdate(e.path, e.time);
+      }
+      break;
+    case Op::kCreate:
+      replication_->RecordLocalCreate(e.path, e.time);
+      break;
+    case Op::kChmod:
+      replication_->RecordLocalUpdate(e.path, e.time);
+      break;
+    case Op::kUnlink:
+      replication_->RecordLocalDelete(e.path, e.time);
+      break;
+    case Op::kRename:
+      replication_->RecordLocalDelete(e.path, e.time);
+      replication_->RecordLocalCreate(e.path2, e.time);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace seer

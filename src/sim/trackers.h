@@ -1,0 +1,54 @@
+// Trace sinks used by the simulators.
+//
+// WorkingSetTracker records which files are referenced during the current
+// disconnection period (and which were created inside it, and therefore
+// need no hoarding). ReplicationHook forwards local filesystem mutations to
+// the replication substrate so reconciliation has something to do.
+#ifndef SRC_SIM_TRACKERS_H_
+#define SRC_SIM_TRACKERS_H_
+
+#include <set>
+#include <string>
+
+#include "src/process/syscall_tracer.h"
+#include "src/replication/replication_system.h"
+#include "src/trace/event.h"
+
+namespace seer {
+
+class WorkingSetTracker : public TraceSink {
+ public:
+  void OnEvent(const TraceEvent& event) override;
+
+  // Begins a new period; previous sets are discarded.
+  void Reset();
+
+  // Files referenced this period that were NOT created inside it — the set
+  // a hoard must have contained in advance.
+  std::set<std::string> ReferencedPreexisting() const;
+
+  const std::set<std::string>& referenced() const { return referenced_; }
+  const std::set<std::string>& created() const { return created_; }
+  size_t reference_events() const { return reference_events_; }
+
+ private:
+  std::set<std::string> referenced_;
+  std::set<std::string> created_;
+  size_t reference_events_ = 0;
+};
+
+// Bridges trace events to a ReplicationSystem: writes mark files dirty,
+// creations/deletions propagate, renames are delete+create.
+class ReplicationHook : public TraceSink {
+ public:
+  explicit ReplicationHook(ReplicationSystem* replication) : replication_(replication) {}
+
+  void OnEvent(const TraceEvent& event) override;
+
+ private:
+  ReplicationSystem* replication_;
+};
+
+}  // namespace seer
+
+#endif  // SRC_SIM_TRACKERS_H_

@@ -1,0 +1,170 @@
+#include "src/trace/binary_trace.h"
+
+#include <istream>
+#include <ostream>
+
+namespace seer {
+
+namespace {
+
+constexpr char kMagic[] = "SEERBT1\n";
+constexpr size_t kMagicLen = 8;
+
+// Paths longer than this are rejected as corruption when reading.
+constexpr uint64_t kMaxPathLen = 4096;
+constexpr uint64_t kMaxDictionary = 1u << 28;
+
+uint64_t Zigzag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t Unzigzag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace
+
+BinaryTraceWriter::BinaryTraceWriter(std::ostream& out) : out_(out) {
+  out_.write(kMagic, kMagicLen);
+}
+
+void BinaryTraceWriter::PutVarint(uint64_t value) {
+  while (value >= 0x80) {
+    out_.put(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out_.put(static_cast<char>(value));
+}
+
+void BinaryTraceWriter::PutZigzag(int64_t value) { PutVarint(Zigzag(value)); }
+
+void BinaryTraceWriter::PutPath(const std::string& path) {
+  const auto it = dictionary_.find(path);
+  if (it != dictionary_.end()) {
+    PutVarint(it->second);
+    return;
+  }
+  const uint32_t id = static_cast<uint32_t>(dictionary_.size());
+  dictionary_.emplace(path, id);
+  PutVarint(id);  // == current dictionary size: signals a new entry
+  PutVarint(path.size());
+  out_.write(path.data(), static_cast<std::streamsize>(path.size()));
+}
+
+void BinaryTraceWriter::Write(const TraceEvent& e) {
+  PutZigzag(static_cast<int64_t>(e.seq) - static_cast<int64_t>(last_seq_));
+  last_seq_ = e.seq;
+  PutZigzag(e.time - last_time_);
+  last_time_ = e.time;
+  PutVarint(static_cast<uint64_t>(e.pid));
+  PutZigzag(e.uid);
+  const uint8_t op_and_flags =
+      static_cast<uint8_t>(static_cast<uint8_t>(e.op) | (e.write ? 0x80 : 0));
+  out_.put(static_cast<char>(op_and_flags));
+  out_.put(static_cast<char>(e.status));
+  PutPath(e.path);
+  PutPath(e.path2);
+  PutZigzag(e.fd);
+  PutZigzag(e.detail);
+  ++events_written_;
+}
+
+BinaryTraceReader::BinaryTraceReader(std::istream& in) : in_(in) {
+  char magic[kMagicLen] = {};
+  in_.read(magic, kMagicLen);
+  ok_ = in_.gcount() == static_cast<std::streamsize>(kMagicLen) &&
+        std::equal(magic, magic + kMagicLen, kMagic);
+}
+
+bool BinaryTraceReader::GetVarint(uint64_t* value) {
+  *value = 0;
+  int shift = 0;
+  for (;;) {
+    const int byte = in_.get();
+    if (byte == EOF || shift > 63) {
+      return false;
+    }
+    *value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return true;
+    }
+    shift += 7;
+  }
+}
+
+bool BinaryTraceReader::GetZigzag(int64_t* value) {
+  uint64_t raw = 0;
+  if (!GetVarint(&raw)) {
+    return false;
+  }
+  *value = Unzigzag(raw);
+  return true;
+}
+
+bool BinaryTraceReader::GetPath(std::string* path) {
+  uint64_t id = 0;
+  if (!GetVarint(&id)) {
+    return false;
+  }
+  if (id < dictionary_.size()) {
+    *path = dictionary_[id];
+    return true;
+  }
+  if (id != dictionary_.size() || id >= kMaxDictionary) {
+    return false;  // corrupt: ids are assigned densely
+  }
+  uint64_t len = 0;
+  if (!GetVarint(&len) || len > kMaxPathLen) {
+    return false;
+  }
+  std::string bytes(len, '\0');
+  in_.read(bytes.data(), static_cast<std::streamsize>(len));
+  if (in_.gcount() != static_cast<std::streamsize>(len)) {
+    return false;
+  }
+  dictionary_.push_back(bytes);
+  *path = std::move(bytes);
+  return true;
+}
+
+std::optional<TraceEvent> BinaryTraceReader::Next() {
+  if (!ok_) {
+    return std::nullopt;
+  }
+  TraceEvent e;
+  int64_t seq_delta = 0;
+  int64_t time_delta = 0;
+  uint64_t pid = 0;
+  int64_t uid = 0;
+  if (!GetZigzag(&seq_delta) || !GetZigzag(&time_delta) || !GetVarint(&pid) ||
+      !GetZigzag(&uid)) {
+    return std::nullopt;
+  }
+  const int op_and_flags = in_.get();
+  const int status = in_.get();
+  if (op_and_flags == EOF || status == EOF ||
+      (op_and_flags & 0x7f) > static_cast<int>(Op::kChdir) ||
+      status > static_cast<int>(OpStatus::kNotLocal)) {
+    return std::nullopt;
+  }
+  int64_t fd = 0;
+  int64_t detail = 0;
+  if (!GetPath(&e.path) || !GetPath(&e.path2) || !GetZigzag(&fd) || !GetZigzag(&detail)) {
+    return std::nullopt;
+  }
+  last_seq_ = static_cast<uint64_t>(static_cast<int64_t>(last_seq_) + seq_delta);
+  last_time_ += time_delta;
+  e.seq = last_seq_;
+  e.time = last_time_;
+  e.pid = static_cast<Pid>(pid);
+  e.uid = static_cast<Uid>(uid);
+  e.op = static_cast<Op>(op_and_flags & 0x7f);
+  e.write = (op_and_flags & 0x80) != 0;
+  e.status = static_cast<OpStatus>(status);
+  e.fd = static_cast<Fd>(fd);
+  e.detail = static_cast<int32_t>(detail);
+  ++events_read_;
+  return e;
+}
+
+}  // namespace seer

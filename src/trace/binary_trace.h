@@ -1,0 +1,79 @@
+// Compact binary trace format.
+//
+// The paper's heaviest machine logged ~326 million operations; at that
+// scale the human-readable text format (trace_io.h) is too bulky for
+// archival. The binary format keeps long-running trace collection cheap:
+//
+//   * magic header "SEERBT1\n";
+//   * varint (LEB128) integers, zigzag for signed fields;
+//   * sequence numbers and timestamps delta-encoded against the previous
+//     event (monotone streams shrink to 1-2 bytes each);
+//   * paths interned in a growing dictionary: an event carries only the
+//     dictionary index, with the bytes emitted once on first use.
+//
+// The reader is streaming and stops cleanly at truncation (a partial final
+// event is dropped, matching how a crash-interrupted trace file looks).
+#ifndef SRC_TRACE_BINARY_TRACE_H_
+#define SRC_TRACE_BINARY_TRACE_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/event.h"
+
+namespace seer {
+
+class BinaryTraceWriter {
+ public:
+  // Writes the header immediately.
+  explicit BinaryTraceWriter(std::ostream& out);
+
+  void Write(const TraceEvent& event);
+
+  size_t events_written() const { return events_written_; }
+  size_t dictionary_size() const { return dictionary_.size(); }
+
+ private:
+  void PutVarint(uint64_t value);
+  void PutZigzag(int64_t value);
+  // Emits the dictionary index for `path` (adding it on first use).
+  void PutPath(const std::string& path);
+
+  std::ostream& out_;
+  std::unordered_map<std::string, uint32_t> dictionary_;
+  uint64_t last_seq_ = 0;
+  Time last_time_ = 0;
+  size_t events_written_ = 0;
+};
+
+class BinaryTraceReader {
+ public:
+  // Validates the header; ok() is false on a bad magic.
+  explicit BinaryTraceReader(std::istream& in);
+
+  bool ok() const { return ok_; }
+
+  // Next event, or nullopt at end of stream / truncation.
+  std::optional<TraceEvent> Next();
+
+  size_t events_read() const { return events_read_; }
+
+ private:
+  bool GetVarint(uint64_t* value);
+  bool GetZigzag(int64_t* value);
+  bool GetPath(std::string* path);
+
+  std::istream& in_;
+  bool ok_ = false;
+  std::vector<std::string> dictionary_;
+  uint64_t last_seq_ = 0;
+  Time last_time_ = 0;
+  size_t events_read_ = 0;
+};
+
+}  // namespace seer
+
+#endif  // SRC_TRACE_BINARY_TRACE_H_

@@ -1,0 +1,99 @@
+#include "src/trace/event.h"
+
+#include <array>
+
+namespace seer {
+
+namespace {
+
+struct OpNameEntry {
+  Op op;
+  std::string_view name;
+};
+
+constexpr std::array<OpNameEntry, 17> kOpNames = {{
+    {Op::kOpen, "open"},
+    {Op::kClose, "close"},
+    {Op::kExec, "exec"},
+    {Op::kExit, "exit"},
+    {Op::kFork, "fork"},
+    {Op::kStat, "stat"},
+    {Op::kChmod, "chmod"},
+    {Op::kCreate, "create"},
+    {Op::kUnlink, "unlink"},
+    {Op::kRename, "rename"},
+    {Op::kLink, "link"},
+    {Op::kMkdir, "mkdir"},
+    {Op::kRmdir, "rmdir"},
+    {Op::kOpenDir, "opendir"},
+    {Op::kReadDir, "readdir"},
+    {Op::kCloseDir, "closedir"},
+    {Op::kChdir, "chdir"},
+}};
+
+constexpr std::array<std::string_view, 4> kStatusNames = {"ok", "noent", "access", "notlocal"};
+
+}  // namespace
+
+std::string_view OpName(Op op) {
+  for (const auto& e : kOpNames) {
+    if (e.op == op) {
+      return e.name;
+    }
+  }
+  return "unknown";
+}
+
+bool ParseOp(std::string_view name, Op* out) {
+  for (const auto& e : kOpNames) {
+    if (e.name == name) {
+      *out = e.op;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view OpStatusName(OpStatus status) {
+  return kStatusNames[static_cast<size_t>(status)];
+}
+
+bool ParseOpStatus(std::string_view name, OpStatus* out) {
+  for (size_t i = 0; i < kStatusNames.size(); ++i) {
+    if (kStatusNames[i] == name) {
+      *out = static_cast<OpStatus>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsPointReference(Op op) {
+  switch (op) {
+    case Op::kStat:
+    case Op::kChmod:
+    case Op::kCreate:
+    case Op::kUnlink:
+    case Op::kRename:
+    case Op::kLink:
+    case Op::kMkdir:
+    case Op::kRmdir:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool HasPath(Op op) {
+  switch (op) {
+    case Op::kClose:
+    case Op::kExit:
+    case Op::kFork:
+    case Op::kCloseDir:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace seer

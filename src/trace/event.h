@@ -1,0 +1,93 @@
+// Trace event model.
+//
+// SEER's observer consumes a stream of completed system calls delivered by a
+// kernel trace hook (Section 4.11). We reproduce the same schema: each event
+// carries the issuing process, the operation, the path(s) involved, the
+// completion status, and a timestamp. Events are also the unit of the
+// on-disk trace format used by the trace-driven simulations of Section 5.
+#ifndef SRC_TRACE_EVENT_H_
+#define SRC_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace seer {
+
+using Pid = int32_t;
+using Uid = int32_t;
+using Fd = int32_t;
+
+// Microseconds since the start of the trace.
+using Time = int64_t;
+
+constexpr Time kMicrosPerSecond = 1'000'000;
+constexpr Time kMicrosPerHour = 3'600 * kMicrosPerSecond;
+constexpr Time kMicrosPerDay = 24 * kMicrosPerHour;
+
+// Operation kinds, modelled on the Linux syscalls SEER traced.
+enum class Op : uint8_t {
+  kOpen,      // open(path) for read and/or write; fd on success
+  kClose,     // close(fd)
+  kExec,      // execve(path) — traced before execution (Section 4.11)
+  kExit,      // process exit — traced before execution
+  kFork,      // fork(); `child` holds the new pid
+  kStat,      // attribute examination (stat/access)
+  kChmod,     // attribute modification (chmod/chown/utime)
+  kCreate,    // creation of a regular file (open with O_CREAT on a new file)
+  kUnlink,    // file deletion
+  kRename,    // rename(path -> path2)
+  kLink,      // alternative name creation (hard or symbolic link)
+  kMkdir,     // directory creation
+  kRmdir,     // directory removal
+  kOpenDir,   // opening a directory for reading (the `find` signature)
+  kReadDir,   // reading directory entries; `detail` = entries returned
+  kCloseDir,  // closing a directory fd
+  kChdir,     // change of working directory
+};
+
+// Completion status. The observer needs success/failure because failed opens
+// are common (Section 4.4) and must not be treated as references — yet a
+// failed open of a file known to exist elsewhere is an automatic hoard miss.
+enum class OpStatus : uint8_t {
+  kOk,
+  kNoEnt,    // target does not exist
+  kAccess,   // permission denied
+  kNotLocal, // exists in the namespace but is not in the local hoard
+};
+
+struct TraceEvent {
+  uint64_t seq = 0;    // monotonically increasing sequence number
+  Time time = 0;       // microseconds since trace start
+  Pid pid = 0;
+  Uid uid = 0;
+  Op op = Op::kOpen;
+  OpStatus status = OpStatus::kOk;
+  std::string path;    // primary path (absolute once past the observer)
+  std::string path2;   // rename/link target; empty otherwise
+  Fd fd = -1;          // fd for open/close pairing; -1 when not applicable
+  bool write = false;  // open-for-write intent
+  int32_t detail = 0;  // op-specific: fork child pid, readdir entry count
+
+  bool ok() const { return status == OpStatus::kOk; }
+};
+
+// Human-readable op name ("open", "unlink", ...).
+std::string_view OpName(Op op);
+
+// Inverse of OpName; returns false on an unknown name.
+bool ParseOp(std::string_view name, Op* out);
+
+std::string_view OpStatusName(OpStatus status);
+bool ParseOpStatus(std::string_view name, OpStatus* out);
+
+// True for operations that SEER treats as point-in-time references — an
+// open immediately followed by a close (Section 4.8).
+bool IsPointReference(Op op);
+
+// True for ops that carry a meaningful primary path.
+bool HasPath(Op op);
+
+}  // namespace seer
+
+#endif  // SRC_TRACE_EVENT_H_

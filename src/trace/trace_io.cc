@@ -1,0 +1,161 @@
+#include "src/trace/trace_io.h"
+
+#include <cctype>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace seer {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+bool NeedsEscape(char c) {
+  return c == ' ' || c == '%' || static_cast<unsigned char>(c) < 0x20;
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+// Splits a line on single spaces.
+std::vector<std::string_view> SplitFields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') {
+      ++i;
+    }
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ') {
+      ++i;
+    }
+    if (i > start) {
+      fields.push_back(line.substr(start, i - start));
+    }
+  }
+  return fields;
+}
+
+template <typename T>
+bool ParseInt(std::string_view s, T* out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+std::string EscapePath(std::string_view path) {
+  std::string out;
+  out.reserve(path.size());
+  for (char c : path) {
+    if (NeedsEscape(c)) {
+      out += '%';
+      out += kHexDigits[(static_cast<unsigned char>(c) >> 4) & 0xf];
+      out += kHexDigits[static_cast<unsigned char>(c) & 0xf];
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapePath(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '%' && i + 2 < escaped.size()) {
+      const int hi = HexValue(escaped[i + 1]);
+      const int lo = HexValue(escaped[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>((hi << 4) | lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += escaped[i];
+  }
+  return out;
+}
+
+std::string FormatEvent(const TraceEvent& e) {
+  std::ostringstream out;
+  out << e.seq << ' ' << e.time << ' ' << e.pid << ' ' << e.uid << ' ' << OpName(e.op) << ' '
+      << OpStatusName(e.status) << ' ' << (e.path.empty() ? "-" : EscapePath(e.path)) << ' '
+      << (e.path2.empty() ? "-" : EscapePath(e.path2)) << ' ' << e.fd << ' ' << (e.write ? 1 : 0)
+      << ' ' << e.detail;
+  return out.str();
+}
+
+std::optional<TraceEvent> ParseEventLine(std::string_view line) {
+  const auto fields = SplitFields(line);
+  if (fields.size() != 11) {
+    return std::nullopt;
+  }
+  TraceEvent e;
+  int write_flag = 0;
+  if (!ParseInt(fields[0], &e.seq) || !ParseInt(fields[1], &e.time) ||
+      !ParseInt(fields[2], &e.pid) || !ParseInt(fields[3], &e.uid) ||
+      !ParseOp(fields[4], &e.op) || !ParseOpStatus(fields[5], &e.status) ||
+      !ParseInt(fields[8], &e.fd) || !ParseInt(fields[9], &write_flag) ||
+      !ParseInt(fields[10], &e.detail)) {
+    return std::nullopt;
+  }
+  e.write = write_flag != 0;
+  if (fields[6] != "-") {
+    e.path = UnescapePath(fields[6]);
+  }
+  if (fields[7] != "-") {
+    e.path2 = UnescapePath(fields[7]);
+  }
+  return e;
+}
+
+void TraceWriter::Write(const TraceEvent& event) {
+  out_ << FormatEvent(event) << '\n';
+  ++events_written_;
+}
+
+std::optional<TraceEvent> TraceReader::Next() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    auto event = ParseEventLine(line);
+    if (event.has_value()) {
+      return event;
+    }
+    ++malformed_lines_;
+  }
+  return std::nullopt;
+}
+
+std::vector<TraceEvent> ReadAllEvents(std::istream& in) {
+  TraceReader reader(in);
+  std::vector<TraceEvent> events;
+  while (auto e = reader.Next()) {
+    events.push_back(std::move(*e));
+  }
+  return events;
+}
+
+void WriteAllEvents(std::ostream& out, const std::vector<TraceEvent>& events) {
+  TraceWriter writer(out);
+  for (const auto& e : events) {
+    writer.Write(e);
+  }
+}
+
+}  // namespace seer

@@ -1,0 +1,72 @@
+// Trace serialisation.
+//
+// Traces are stored one event per line in a plain-text format so they can be
+// inspected, grepped, and diffed:
+//
+//   seq time pid uid op status path path2 fd write detail
+//
+// Paths are %-escaped (space, '%', and control characters), and an absent
+// path is written as "-". The reader is tolerant of blank lines and
+// '#'-comments so traces can be annotated by hand.
+#ifndef SRC_TRACE_TRACE_IO_H_
+#define SRC_TRACE_TRACE_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/trace/event.h"
+
+namespace seer {
+
+// Escapes a path for the trace format.
+std::string EscapePath(std::string_view path);
+
+// Reverses EscapePath.
+std::string UnescapePath(std::string_view escaped);
+
+// Formats one event as a trace line (no trailing newline).
+std::string FormatEvent(const TraceEvent& event);
+
+// Parses one trace line; returns nullopt for malformed input.
+std::optional<TraceEvent> ParseEventLine(std::string_view line);
+
+// Streaming writer.
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::ostream& out) : out_(out) {}
+
+  void Write(const TraceEvent& event);
+  size_t events_written() const { return events_written_; }
+
+ private:
+  std::ostream& out_;
+  size_t events_written_ = 0;
+};
+
+// Streaming reader.
+class TraceReader {
+ public:
+  explicit TraceReader(std::istream& in) : in_(in) {}
+
+  // Reads the next event; returns nullopt at end of stream. Malformed lines
+  // are counted and skipped.
+  std::optional<TraceEvent> Next();
+
+  size_t malformed_lines() const { return malformed_lines_; }
+
+ private:
+  std::istream& in_;
+  size_t malformed_lines_ = 0;
+};
+
+// Convenience: parse an entire stream into memory.
+std::vector<TraceEvent> ReadAllEvents(std::istream& in);
+
+// Convenience: write all events to a stream.
+void WriteAllEvents(std::ostream& out, const std::vector<TraceEvent>& events);
+
+}  // namespace seer
+
+#endif  // SRC_TRACE_TRACE_IO_H_

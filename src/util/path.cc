@@ -1,0 +1,132 @@
+#include "src/util/path.h"
+
+namespace seer {
+
+std::vector<std::string> SplitPath(std::string_view path) {
+  std::vector<std::string> parts;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      ++i;
+    }
+    if (i > start) {
+      parts.emplace_back(path.substr(start, i - start));
+    }
+  }
+  return parts;
+}
+
+std::string NormalizePath(std::string_view path) {
+  const bool absolute = !path.empty() && path.front() == '/';
+  std::vector<std::string> stack;
+  for (auto& part : SplitPath(path)) {
+    if (part == ".") {
+      continue;
+    }
+    if (part == "..") {
+      if (!stack.empty() && stack.back() != "..") {
+        stack.pop_back();
+      } else if (!absolute) {
+        stack.push_back("..");
+      }
+      // ".." at the root of an absolute path is dropped.
+      continue;
+    }
+    stack.push_back(std::move(part));
+  }
+  std::string out;
+  if (absolute) {
+    out = "/";
+  }
+  for (size_t i = 0; i < stack.size(); ++i) {
+    if (i > 0) {
+      out += '/';
+    }
+    out += stack[i];
+  }
+  if (out.empty()) {
+    out = absolute ? "/" : ".";
+  }
+  return out;
+}
+
+std::string JoinPath(std::string_view base, std::string_view rel) {
+  if (!rel.empty() && rel.front() == '/') {
+    return NormalizePath(rel);
+  }
+  std::string combined(base);
+  if (!combined.empty() && combined.back() != '/') {
+    combined += '/';
+  }
+  combined += rel;
+  return NormalizePath(combined);
+}
+
+std::string AbsolutePath(std::string_view cwd, std::string_view path) {
+  if (!path.empty() && path.front() == '/') {
+    return NormalizePath(path);
+  }
+  return JoinPath(cwd, path);
+}
+
+std::string Dirname(std::string_view path) {
+  const size_t pos = path.find_last_of('/');
+  if (pos == std::string_view::npos) {
+    return ".";
+  }
+  if (pos == 0) {
+    return "/";
+  }
+  return std::string(path.substr(0, pos));
+}
+
+std::string Basename(std::string_view path) {
+  const size_t pos = path.find_last_of('/');
+  if (pos == std::string_view::npos) {
+    return std::string(path);
+  }
+  return std::string(path.substr(pos + 1));
+}
+
+bool IsDotFile(std::string_view path) {
+  const std::string base = Basename(path);
+  return base.size() > 1 && base.front() == '.' && base != ".." && base != ".";
+}
+
+bool IsUnder(std::string_view path, std::string_view dir) {
+  const std::string p = NormalizePath(path);
+  std::string d = NormalizePath(dir);
+  if (d == "/") {
+    return !p.empty() && p.front() == '/';
+  }
+  if (p == d) {
+    return true;
+  }
+  d += '/';
+  return p.size() > d.size() && p.compare(0, d.size(), d) == 0;
+}
+
+int DirectoryDistance(std::string_view path_a, std::string_view path_b) {
+  const auto a = SplitPath(Dirname(NormalizePath(path_a)));
+  const auto b = SplitPath(Dirname(NormalizePath(path_b)));
+  size_t common = 0;
+  while (common < a.size() && common < b.size() && a[common] == b[common]) {
+    ++common;
+  }
+  return static_cast<int>((a.size() - common) + (b.size() - common));
+}
+
+std::string Extension(std::string_view path) {
+  const std::string base = Basename(path);
+  const size_t pos = base.find_last_of('.');
+  if (pos == std::string::npos || pos == 0 || pos + 1 == base.size()) {
+    return "";
+  }
+  return base.substr(pos + 1);
+}
+
+}  // namespace seer

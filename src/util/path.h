@@ -1,0 +1,59 @@
+// Pathname utilities.
+//
+// SEER's observer converts every reference to an absolute, normalised path
+// before it reaches the correlator (Section 2), and the clustering stage
+// uses a directory-distance measure that is zero for files in the same
+// directory and grows with separation (Section 3.2). These helpers implement
+// both, plus the dot-file test used by the critical-file heuristic
+// (Section 4.3).
+#ifndef SRC_UTIL_PATH_H_
+#define SRC_UTIL_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seer {
+
+// Splits a path into components, ignoring empty segments ("//" collapses).
+std::vector<std::string> SplitPath(std::string_view path);
+
+// Joins `base` and `rel`: if `rel` is absolute it wins; otherwise the two
+// are concatenated and normalised.
+std::string JoinPath(std::string_view base, std::string_view rel);
+
+// Lexically normalises a path: collapses "//", resolves "." and "..".
+// The result is absolute if the input was absolute. ".." at the root is
+// dropped (as the kernel does).
+std::string NormalizePath(std::string_view path);
+
+// Converts `path` to absolute form against `cwd` (itself absolute), then
+// normalises. This mirrors the observer's pathname canonicalisation.
+std::string AbsolutePath(std::string_view cwd, std::string_view path);
+
+// Directory part of a path ("/a/b/c" -> "/a/b"; "/a" -> "/"; "/" -> "/").
+std::string Dirname(std::string_view path);
+
+// Final component ("/a/b/c" -> "c"; "/" -> "").
+std::string Basename(std::string_view path);
+
+// True when the final component begins with '.', e.g. "/home/u/.login".
+// Such files are excluded from SEER's control and always hoarded
+// (Section 4.3).
+bool IsDotFile(std::string_view path);
+
+// True when `path` is lexically inside `dir` (or equal to it).
+bool IsUnder(std::string_view path, std::string_view dir);
+
+// Directory distance between two files (Section 3.2): 0 when the files
+// share a directory, and otherwise the number of tree edges between the two
+// containing directories (components removed from each side beyond the
+// common prefix). "/a/b/x" vs "/a/b/y" -> 0; "/a/b/x" vs "/a/c/y" -> 2.
+int DirectoryDistance(std::string_view path_a, std::string_view path_b);
+
+// File extension without the dot ("foo.cc" -> "cc", none -> "").
+std::string Extension(std::string_view path);
+
+}  // namespace seer
+
+#endif  // SRC_UTIL_PATH_H_

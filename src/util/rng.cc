@@ -1,0 +1,25 @@
+#include "src/util/rng.h"
+
+namespace seer {
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  if (n == 0) {
+    return 0;
+  }
+  // Inverse-CDF sampling by rejection against the continuous envelope
+  // f(x) = x^-s on [1, n+1). Adequate for simulation-scale n.
+  const double b = std::pow(static_cast<double>(n) + 1.0, 1.0 - s);
+  for (;;) {
+    const double u = NextDouble();
+    const double x = std::pow(u * (b - 1.0) + 1.0, 1.0 / (1.0 - s));
+    const uint64_t k = static_cast<uint64_t>(x);
+    if (k >= 1 && k <= n) {
+      const double ratio = std::pow(static_cast<double>(k) / x, s);
+      if (NextDouble() < ratio) {
+        return k - 1;
+      }
+    }
+  }
+}
+
+}  // namespace seer

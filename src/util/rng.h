@@ -1,0 +1,123 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All SEER simulations must be reproducible from a seed, so we ship our own
+// small generator (xoshiro256**, seeded via SplitMix64) rather than relying
+// on implementation-defined std::default_random_engine behaviour.
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace seer {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state.
+// Reference: Sebastiano Vigna, http://prng.di.unimi.it/splitmix64.c
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256**: fast, high-quality 64-bit generator.
+// Satisfies the C++ UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x5eedbeefcafef00dULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) {
+      s = sm.Next();
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<uint64_t>::max(); }
+
+  result_type operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Uniform integer in [0, bound). bound must be > 0. Uses rejection
+  // sampling to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound) {
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Geometric distribution on {1, 2, ...} with success probability p.
+  // Mean is 1/p. This is the distribution the paper uses for unknown file
+  // sizes (p = 0.00007, mean ~14284 bytes).
+  uint64_t NextGeometric(double p) {
+    const double u = 1.0 - NextDouble();  // in (0, 1]
+    const double v = std::log(u) / std::log1p(-p);
+    return 1 + static_cast<uint64_t>(v);
+  }
+
+  // Exponential distribution with the given mean.
+  double NextExponential(double mean) { return -mean * std::log(1.0 - NextDouble()); }
+
+  // Log-normal distribution parameterised by the mean/sigma of the
+  // underlying normal.
+  double NextLogNormal(double mu, double sigma) { return std::exp(mu + sigma * NextNormal()); }
+
+  // Standard normal via Box-Muller (one value per call; the pair's second
+  // value is intentionally discarded to keep the generator state simple).
+  double NextNormal() {
+    double u1 = 1.0 - NextDouble();
+    double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  // Zipf-like rank selection over [0, n): rank r is chosen with probability
+  // proportional to 1/(r+1)^s. Used for skewed file popularity.
+  uint64_t NextZipf(uint64_t n, double s);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace seer
+
+#endif  // SRC_UTIL_RNG_H_

@@ -1,0 +1,66 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+
+namespace seer {
+
+namespace {
+
+// z-value for a two-sided 99% confidence interval under the normal
+// approximation.
+constexpr double kZ99 = 2.5758293035489004;
+
+}  // namespace
+
+Summary Summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) {
+    return s;
+  }
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+
+  Welford w;
+  for (double x : samples) {
+    w.Add(x);
+    s.total += x;
+  }
+  s.mean = w.Mean();
+  s.stddev = w.Stddev();
+
+  const size_t n = samples.size();
+  if (n % 2 == 1) {
+    s.median = samples[n / 2];
+  } else {
+    s.median = 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  }
+
+  if (n > 1) {
+    s.ci99_half_width = kZ99 * s.stddev / std::sqrt(static_cast<double>(n));
+  }
+  return s;
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  if (p <= 0.0) {
+    return samples.front();
+  }
+  if (p >= 100.0) {
+    return samples.back();
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) {
+    return samples.back();
+  }
+  return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
+}  // namespace seer

@@ -1,0 +1,121 @@
+// Descriptive statistics used by SEER's evaluation harness.
+//
+// The paper reports mean, median, standard deviation, max, and 99%
+// confidence intervals (Figure 2, Tables 3 and 5). `Summary` computes all of
+// these from a sample vector; `RunningGeometricMean` implements the on-line
+// geometric-mean reduction of Section 3.1.2; `Welford` provides an on-line
+// mean/variance accumulator for streaming statistics.
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace seer {
+
+// One-pass mean/variance accumulator (Welford's algorithm).
+class Welford {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  size_t count() const { return count_; }
+  double Mean() const { return mean_; }
+
+  // Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double Variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+
+  double Stddev() const { return std::sqrt(Variance()); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// On-line geometric mean. The paper reduces the multiple semantic distances
+// between two files to a single value with a geometric mean because small
+// distances carry more significance than large ones (Section 3.1.2). We
+// accumulate in log space to avoid overflow; a zero observation is mapped to
+// a configurable floor (distance 0 is meaningful but log 0 is not).
+class RunningGeometricMean {
+ public:
+  // `zero_floor` replaces zero observations; it must be in (0, 1] so that a
+  // run of zero distances produces a mean below any nonzero distance.
+  explicit RunningGeometricMean(double zero_floor = 0.5) : zero_floor_(zero_floor) {}
+
+  void Add(double x) {
+    const double v = x > 0.0 ? x : zero_floor_;
+    log_sum_ += std::log(v);
+    ++count_;
+  }
+
+  size_t count() const { return count_; }
+
+  double Mean() const {
+    return count_ == 0 ? 0.0 : std::exp(log_sum_ / static_cast<double>(count_));
+  }
+
+  // Serialisation support for persisting relation tables.
+  double log_sum() const { return log_sum_; }
+  void Restore(double log_sum, size_t count) {
+    log_sum_ = log_sum;
+    count_ = count;
+  }
+
+ private:
+  double zero_floor_;
+  double log_sum_ = 0.0;
+  size_t count_ = 0;
+};
+
+// Arithmetic-mean counterpart kept for the ablation bench (the paper tried
+// the arithmetic mean first and rejected it; bench/ablation_params shows why).
+class RunningArithmeticMean {
+ public:
+  void Add(double x) {
+    sum_ += x;
+    ++count_;
+  }
+  size_t count() const { return count_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+ private:
+  double sum_ = 0.0;
+  size_t count_ = 0;
+};
+
+// Full-sample summary statistics.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double total = 0.0;
+
+  // Half-width of the 99% confidence interval for the mean (normal
+  // approximation; the paper's CI bars in Figure 2 are reported the same
+  // way, as +/- bounds about the mean).
+  double ci99_half_width = 0.0;
+};
+
+// Computes a Summary from a sample. The input is copied (it must be sorted
+// to find the median); callers on hot paths should use Welford instead.
+Summary Summarize(std::vector<double> samples);
+
+// Percentile with linear interpolation; p in [0, 100]. Sorts a copy.
+double Percentile(std::vector<double> samples, double p);
+
+}  // namespace seer
+
+#endif  // SRC_UTIL_STATS_H_

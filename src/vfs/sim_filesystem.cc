@@ -1,0 +1,309 @@
+#include "src/vfs/sim_filesystem.h"
+
+#include "src/util/path.h"
+
+namespace seer {
+
+namespace {
+
+constexpr int kMaxSymlinkHops = 8;
+
+// Average directory-entry overhead charged per child when reporting
+// directory sizes; hoard space calculations conservatively assume all
+// directories are hoarded (Section 4.6).
+constexpr uint64_t kDirEntryBytes = 32;
+
+}  // namespace
+
+std::string_view NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kRegular:
+      return "regular";
+    case NodeKind::kDirectory:
+      return "directory";
+    case NodeKind::kSymlink:
+      return "symlink";
+    case NodeKind::kDevice:
+      return "device";
+    case NodeKind::kPseudo:
+      return "pseudo";
+  }
+  return "unknown";
+}
+
+SimFilesystem::SimFilesystem() {
+  nodes_["/"] = NodeInfo{NodeKind::kDirectory, 0, 0, ""};
+}
+
+bool SimFilesystem::ParentIsDir(const std::string& normalized) const {
+  const std::string parent = Dirname(normalized);
+  const auto it = nodes_.find(parent);
+  return it != nodes_.end() && it->second.kind == NodeKind::kDirectory;
+}
+
+VfsStatus SimFilesystem::Insert(std::string_view path, NodeInfo info) {
+  const std::string p = NormalizePath(path);
+  if (p == "/") {
+    return VfsStatus::kExists;
+  }
+  if (nodes_.count(p) != 0) {
+    return VfsStatus::kExists;
+  }
+  if (!ParentIsDir(p)) {
+    return nodes_.count(Dirname(p)) != 0 ? VfsStatus::kNotDir : VfsStatus::kNoEnt;
+  }
+  nodes_.emplace(p, std::move(info));
+  return VfsStatus::kOk;
+}
+
+VfsStatus SimFilesystem::Mkdir(std::string_view path) {
+  return Insert(path, NodeInfo{NodeKind::kDirectory, 0, 0, ""});
+}
+
+VfsStatus SimFilesystem::MkdirAll(std::string_view path) {
+  const std::string p = NormalizePath(path);
+  std::string prefix = "/";
+  for (const auto& part : SplitPath(p)) {
+    if (prefix.back() != '/') {
+      prefix += '/';
+    }
+    prefix += part;
+    const auto it = nodes_.find(prefix);
+    if (it == nodes_.end()) {
+      const VfsStatus st = Mkdir(prefix);
+      if (st != VfsStatus::kOk) {
+        return st;
+      }
+    } else if (it->second.kind != NodeKind::kDirectory) {
+      return VfsStatus::kNotDir;
+    }
+  }
+  return VfsStatus::kOk;
+}
+
+VfsStatus SimFilesystem::CreateFile(std::string_view path, uint64_t size, Time mtime) {
+  return Insert(path, NodeInfo{NodeKind::kRegular, size, mtime, ""});
+}
+
+VfsStatus SimFilesystem::CreateSymlink(std::string_view path, std::string_view target) {
+  return Insert(path, NodeInfo{NodeKind::kSymlink, 0, 0, std::string(target)});
+}
+
+VfsStatus SimFilesystem::CreateSpecial(std::string_view path, NodeKind kind) {
+  return Insert(path, NodeInfo{kind, 0, 0, ""});
+}
+
+VfsStatus SimFilesystem::Remove(std::string_view path) {
+  const std::string p = NormalizePath(path);
+  const auto it = nodes_.find(p);
+  if (it == nodes_.end()) {
+    return VfsStatus::kNoEnt;
+  }
+  if (it->second.kind == NodeKind::kDirectory) {
+    return VfsStatus::kIsDir;
+  }
+  nodes_.erase(it);
+  contents_.erase(p);
+  return VfsStatus::kOk;
+}
+
+VfsStatus SimFilesystem::Rmdir(std::string_view path) {
+  const std::string p = NormalizePath(path);
+  if (p == "/") {
+    return VfsStatus::kNotEmpty;
+  }
+  const auto it = nodes_.find(p);
+  if (it == nodes_.end()) {
+    return VfsStatus::kNoEnt;
+  }
+  if (it->second.kind != NodeKind::kDirectory) {
+    return VfsStatus::kNotDir;
+  }
+  if (DirEntryCount(p) != 0) {
+    return VfsStatus::kNotEmpty;
+  }
+  nodes_.erase(it);
+  return VfsStatus::kOk;
+}
+
+VfsStatus SimFilesystem::Rename(std::string_view from, std::string_view to) {
+  const std::string f = NormalizePath(from);
+  const std::string t = NormalizePath(to);
+  const auto it = nodes_.find(f);
+  if (it == nodes_.end()) {
+    return VfsStatus::kNoEnt;
+  }
+  if (!ParentIsDir(t)) {
+    return VfsStatus::kNoEnt;
+  }
+  if (it->second.kind == NodeKind::kDirectory) {
+    // Move the whole subtree. Collect first: erasing while iterating a
+    // std::map range we are also inserting into is fragile.
+    if (IsUnder(t, f)) {
+      return VfsStatus::kNotDir;  // cannot move a directory into itself
+    }
+    std::vector<std::pair<std::string, NodeInfo>> moved;
+    std::vector<std::string> old_keys;
+    const std::string prefix = f + "/";
+    for (auto sub = nodes_.lower_bound(prefix);
+         sub != nodes_.end() && sub->first.compare(0, prefix.size(), prefix) == 0; ++sub) {
+      moved.emplace_back(t + "/" + sub->first.substr(prefix.size()), sub->second);
+      old_keys.push_back(sub->first);
+    }
+    moved.emplace_back(t, it->second);
+    old_keys.push_back(f);
+    for (const auto& key : old_keys) {
+      nodes_.erase(key);
+    }
+    for (auto& [p, info] : moved) {
+      nodes_[p] = std::move(info);
+    }
+    // Relocate any stored contents under the old prefix.
+    std::vector<std::pair<std::string, std::string>> moved_contents;
+    for (auto c = contents_.lower_bound(prefix);
+         c != contents_.end() && c->first.compare(0, prefix.size(), prefix) == 0;) {
+      moved_contents.emplace_back(t + "/" + c->first.substr(prefix.size()),
+                                  std::move(c->second));
+      c = contents_.erase(c);
+    }
+    for (auto& [p, content] : moved_contents) {
+      contents_[p] = std::move(content);
+    }
+    return VfsStatus::kOk;
+  }
+  NodeInfo info = it->second;
+  nodes_.erase(it);
+  nodes_[t] = std::move(info);  // rename over an existing target replaces it
+  const auto content_it = contents_.find(f);
+  if (content_it != contents_.end()) {
+    contents_[t] = std::move(content_it->second);
+    contents_.erase(content_it);
+  } else {
+    contents_.erase(t);
+  }
+  return VfsStatus::kOk;
+}
+
+VfsStatus SimFilesystem::Truncate(std::string_view path, uint64_t new_size, Time mtime) {
+  const std::string p = NormalizePath(path);
+  const auto it = nodes_.find(p);
+  if (it == nodes_.end()) {
+    return VfsStatus::kNoEnt;
+  }
+  if (it->second.kind == NodeKind::kDirectory) {
+    return VfsStatus::kIsDir;
+  }
+  it->second.size = new_size;
+  it->second.mtime = mtime;
+  return VfsStatus::kOk;
+}
+
+VfsStatus SimFilesystem::Touch(std::string_view path, Time mtime) {
+  const std::string p = NormalizePath(path);
+  const auto it = nodes_.find(p);
+  if (it == nodes_.end()) {
+    return VfsStatus::kNoEnt;
+  }
+  it->second.mtime = mtime;
+  return VfsStatus::kOk;
+}
+
+bool SimFilesystem::Exists(std::string_view path) const {
+  return nodes_.count(NormalizePath(path)) != 0;
+}
+
+std::optional<NodeInfo> SimFilesystem::Stat(std::string_view path) const {
+  const std::string p = NormalizePath(path);
+  const auto it = nodes_.find(p);
+  if (it == nodes_.end()) {
+    return std::nullopt;
+  }
+  NodeInfo info = it->second;
+  if (info.kind == NodeKind::kDirectory) {
+    info.size = kDirEntryBytes * DirEntryCount(p);
+  }
+  return info;
+}
+
+std::optional<std::string> SimFilesystem::Resolve(std::string_view path) const {
+  std::string p = NormalizePath(path);
+  for (int hop = 0; hop < kMaxSymlinkHops; ++hop) {
+    const auto it = nodes_.find(p);
+    if (it == nodes_.end()) {
+      return std::nullopt;
+    }
+    if (it->second.kind != NodeKind::kSymlink) {
+      return p;
+    }
+    p = AbsolutePath(Dirname(p), it->second.symlink_target);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> SimFilesystem::ListDir(std::string_view path) const {
+  std::vector<std::string> out;
+  const std::string p = NormalizePath(path);
+  const auto it = nodes_.find(p);
+  if (it == nodes_.end() || it->second.kind != NodeKind::kDirectory) {
+    return out;
+  }
+  const std::string prefix = (p == "/") ? "/" : p + "/";
+  for (auto sub = nodes_.lower_bound(prefix);
+       sub != nodes_.end() && sub->first.compare(0, prefix.size(), prefix) == 0; ++sub) {
+    const std::string_view rest(sub->first.data() + prefix.size(),
+                                sub->first.size() - prefix.size());
+    if (!rest.empty() && rest.find('/') == std::string_view::npos) {
+      out.emplace_back(rest);
+    }
+  }
+  return out;
+}
+
+size_t SimFilesystem::DirEntryCount(std::string_view path) const {
+  return ListDir(path).size();
+}
+
+std::vector<std::string> SimFilesystem::AllRegularFiles() const {
+  std::vector<std::string> out;
+  for (const auto& [p, info] : nodes_) {
+    if (info.kind == NodeKind::kRegular) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+VfsStatus SimFilesystem::WriteContent(std::string_view path, std::string content, Time mtime) {
+  const std::string p = NormalizePath(path);
+  const auto it = nodes_.find(p);
+  if (it == nodes_.end()) {
+    return VfsStatus::kNoEnt;
+  }
+  if (it->second.kind == NodeKind::kDirectory) {
+    return VfsStatus::kIsDir;
+  }
+  it->second.size = content.size();
+  it->second.mtime = mtime;
+  contents_[p] = std::move(content);
+  return VfsStatus::kOk;
+}
+
+std::optional<std::string> SimFilesystem::ReadContent(std::string_view path) const {
+  const auto it = contents_.find(NormalizePath(path));
+  if (it == contents_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+uint64_t SimFilesystem::TotalRegularBytes() const {
+  uint64_t total = 0;
+  for (const auto& [p, info] : nodes_) {
+    if (info.kind == NodeKind::kRegular) {
+      total += info.size;
+    }
+  }
+  return total;
+}
+
+}  // namespace seer

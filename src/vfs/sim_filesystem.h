@@ -1,0 +1,127 @@
+// Simulated filesystem.
+//
+// The paper's SEER ran against a live Linux filesystem; our substrate is an
+// in-memory tree that provides the same observable surface: a hierarchical
+// namespace of regular files, directories, symbolic links, device nodes and
+// pseudo-files (Section 4.6), with sizes, existence checks, creation,
+// deletion, and rename. Workload generators populate it and issue syscalls
+// against it through the SyscallTracer; the hoarding simulators query it for
+// file sizes and kinds.
+#ifndef SRC_VFS_SIM_FILESYSTEM_H_
+#define SRC_VFS_SIM_FILESYSTEM_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/trace/event.h"
+
+namespace seer {
+
+enum class NodeKind : uint8_t {
+  kRegular,
+  kDirectory,
+  kSymlink,
+  kDevice,  // e.g. /dev/tty1 — near-zero size, critical (Section 4.6)
+  kPseudo,  // e.g. /proc entries
+};
+
+std::string_view NodeKindName(NodeKind kind);
+
+struct NodeInfo {
+  NodeKind kind = NodeKind::kRegular;
+  uint64_t size = 0;          // bytes; directories report their entry overhead
+  Time mtime = 0;             // last modification
+  std::string symlink_target; // set for kSymlink
+};
+
+// Outcome of path-based operations, mirroring the errno subset the observer
+// cares about.
+enum class VfsStatus : uint8_t {
+  kOk,
+  kNoEnt,
+  kExists,
+  kNotDir,
+  kIsDir,
+  kNotEmpty,
+  kLoop,  // symlink resolution exceeded the hop limit
+};
+
+class SimFilesystem {
+ public:
+  SimFilesystem();
+
+  // --- Namespace construction -------------------------------------------
+
+  // Creates a directory; parents must exist. Fails with kExists/kNoEnt.
+  VfsStatus Mkdir(std::string_view path);
+
+  // Creates a directory and all missing ancestors.
+  VfsStatus MkdirAll(std::string_view path);
+
+  // Creates a regular file of `size` bytes; parent directory must exist.
+  VfsStatus CreateFile(std::string_view path, uint64_t size, Time mtime = 0);
+
+  // Creates a symlink at `path` pointing at `target`.
+  VfsStatus CreateSymlink(std::string_view path, std::string_view target);
+
+  // Creates a device or pseudo node.
+  VfsStatus CreateSpecial(std::string_view path, NodeKind kind);
+
+  // --- Mutation -----------------------------------------------------------
+
+  VfsStatus Remove(std::string_view path);              // file/symlink/special
+  VfsStatus Rmdir(std::string_view path);               // empty directory only
+  VfsStatus Rename(std::string_view from, std::string_view to);
+  VfsStatus Truncate(std::string_view path, uint64_t new_size, Time mtime);
+  VfsStatus Touch(std::string_view path, Time mtime);   // update mtime
+
+  // --- Inspection ---------------------------------------------------------
+
+  bool Exists(std::string_view path) const;
+  std::optional<NodeInfo> Stat(std::string_view path) const;
+
+  // Follows symlinks on the final component (up to 8 hops) and returns the
+  // resolved path, or nullopt when resolution fails.
+  std::optional<std::string> Resolve(std::string_view path) const;
+
+  // Names of immediate children of a directory (sorted).
+  std::vector<std::string> ListDir(std::string_view path) const;
+
+  // Number of immediate children; 0 for non-directories. Cheaper than
+  // ListDir — used by the meaningless-process potential-access counter.
+  size_t DirEntryCount(std::string_view path) const;
+
+  // All regular-file paths in the tree (sorted). Used to compute working
+  // sets and hoard budgets.
+  std::vector<std::string> AllRegularFiles() const;
+
+  // Sum of regular-file sizes.
+  uint64_t TotalRegularBytes() const;
+
+  size_t node_count() const { return nodes_.size(); }
+
+  // --- Content (optional) --------------------------------------------------
+  // Most simulated files are size-only, but external investigators
+  // (Section 3.2) read real bytes: synthetic C sources carry #include lines
+  // and Makefiles carry dependency rules. Setting content also updates the
+  // node size.
+
+  VfsStatus WriteContent(std::string_view path, std::string content, Time mtime = 0);
+  std::optional<std::string> ReadContent(std::string_view path) const;
+
+ private:
+  VfsStatus Insert(std::string_view path, NodeInfo info);
+  bool ParentIsDir(const std::string& normalized) const;
+
+  // Keyed by normalised absolute path; "/" is always present.
+  std::map<std::string, NodeInfo> nodes_;
+  std::map<std::string, std::string> contents_;
+};
+
+}  // namespace seer
+
+#endif  // SRC_VFS_SIM_FILESYSTEM_H_

@@ -1,0 +1,212 @@
+#include "src/workload/environment.h"
+
+#include <sstream>
+
+namespace seer {
+
+namespace {
+
+// Rounds a double size to bytes with a sane floor.
+uint64_t Bytes(double v) { return v < 64.0 ? 64 : static_cast<uint64_t>(v); }
+
+void CreateTool(SimFilesystem* fs, const std::string& path, uint64_t size) {
+  fs->CreateFile(path, size);
+}
+
+}  // namespace
+
+UserEnvironment BuildEnvironment(SimFilesystem* fs, const EnvironmentConfig& config, Rng* rng) {
+  UserEnvironment env;
+  env.home = "/home/" + config.user;
+
+  // --- system tree ---------------------------------------------------------
+  for (const char* dir : {"/bin", "/usr", "/usr/bin", "/usr/lib", "/usr/include", "/lib",
+                          "/etc", "/dev", "/tmp", "/var", "/var/tmp", "/var/spool",
+                          "/var/spool/mail", "/home", "/usr/share", "/usr/share/dict", "/sbin",
+                          "/boot"}) {
+    fs->MkdirAll(dir);
+  }
+  fs->MkdirAll(env.home);
+
+  // Shared libraries: every program references them, which is exactly the
+  // noise the frequent-file filter must absorb (Section 4.2).
+  for (const char* lib : {"/lib/libc.so", "/lib/libm.so", "/lib/ld.so", "/usr/lib/libX11.so"}) {
+    fs->CreateFile(lib, Bytes(300'000 + rng->NextBounded(400'000)));
+    env.shared_libs.emplace_back(lib);
+  }
+
+  // Tool binaries.
+  for (const std::string& tool :
+       {env.sh, env.editor, env.compiler, env.linker, env.make, env.find, env.mailer,
+        env.formatter, env.pager, env.ls, std::string("/usr/bin/xargs"),
+        std::string("/usr/bin/grep"), std::string("/usr/bin/rdist")}) {
+    CreateTool(fs, tool, Bytes(40'000 + rng->NextBounded(300'000)));
+  }
+
+  // Critical system files (left outside SEER's control, Section 4.3).
+  for (const char* f : {"/etc/passwd", "/etc/fstab", "/etc/hosts", "/etc/termcap",
+                        "/etc/resolv.conf", "/sbin/init", "/boot/vmlinuz"}) {
+    fs->CreateFile(f, Bytes(500 + rng->NextBounded(20'000)));
+  }
+
+  // Device and pseudo nodes (always hoarded, Section 4.6).
+  fs->CreateSpecial("/dev/console", NodeKind::kDevice);
+  fs->CreateSpecial("/dev/null", NodeKind::kDevice);
+  fs->CreateSpecial("/dev/tty1", NodeKind::kDevice);
+  fs->MkdirAll("/proc");
+  fs->CreateSpecial("/proc/meminfo", NodeKind::kPseudo);
+
+  // System headers, included by compiles; individually none should cross
+  // the 1% frequent threshold, unlike the shared libraries.
+  for (int i = 0; i < config.num_system_headers; ++i) {
+    std::ostringstream name;
+    name << "/usr/include/sys" << i << ".h";
+    fs->CreateFile(name.str(), Bytes(1'000 + rng->NextBounded(8'000)));
+    env.system_headers.push_back(name.str());
+  }
+  fs->CreateFile("/usr/share/dict/words", 200'000);
+
+  // --- user home -----------------------------------------------------------
+
+  // Dot files: personal startup/configuration (Section 4.3).
+  for (const char* dot : {".login", ".cshrc", ".emacs", ".mailrc", ".plan"}) {
+    const std::string path = env.home + "/" + dot;
+    fs->CreateFile(path, Bytes(200 + rng->NextBounded(4'000)));
+    env.dot_files.push_back(path);
+  }
+
+  // Projects: genuine #include structure plus a Makefile so the external
+  // investigators have something real to read.
+  for (int p = 0; p < config.num_projects; ++p) {
+    ProjectInfo proj;
+    std::ostringstream dir;
+    dir << env.home << "/proj" << p;
+    proj.dir = dir.str();
+    fs->MkdirAll(proj.dir);
+
+    for (int h = 0; h < config.headers_per_project; ++h) {
+      std::ostringstream path;
+      path << proj.dir << "/mod" << h << ".h";
+      fs->CreateFile(path.str(), 0);
+      std::ostringstream content;
+      content << "/* header " << h << " of project " << p << " */\n";
+      fs->WriteContent(path.str(), content.str() + std::string(Bytes(
+          config.size_scale * (800 + rng->NextBounded(4'000))), '/'));
+      proj.headers.push_back(path.str());
+    }
+
+    for (int s = 0; s < config.sources_per_project; ++s) {
+      std::ostringstream path;
+      path << proj.dir << "/mod" << s << ".c";
+      fs->CreateFile(path.str(), 0);
+      // Each source includes a few project headers and a system header.
+      std::ostringstream content;
+      for (int k = 0; k < config.includes_per_source && !proj.headers.empty(); ++k) {
+        const auto& header =
+            proj.headers[(s + k) % proj.headers.size()];
+        content << "#include \"" << header.substr(proj.dir.size() + 1) << "\"\n";
+      }
+      // System headers follow a Zipf popularity law — a few (the stdio.h
+      // analogues) are included by nearly everything and will cross the
+      // frequent-file threshold, while the tail is source-specific.
+      content << "#include <sys"
+              << rng->NextZipf(static_cast<uint64_t>(config.num_system_headers), 1.4)
+              << ".h>\n";
+      content << std::string(Bytes(config.size_scale * (2'000 + rng->NextBounded(20'000))), 'x');
+      fs->WriteContent(path.str(), content.str());
+      proj.sources.push_back(path.str());
+
+      std::ostringstream obj;
+      obj << proj.dir << "/mod" << s << ".o";
+      proj.objects.push_back(obj.str());  // created on first build
+    }
+
+    proj.binary = proj.dir + "/prog";
+
+    proj.makefile = proj.dir + "/Makefile";
+    fs->CreateFile(proj.makefile, 0);
+    std::ostringstream mk;
+    mk << "prog:";
+    for (const auto& obj : proj.objects) {
+      mk << ' ' << obj.substr(proj.dir.size() + 1);
+    }
+    mk << '\n' << "\tcc -o prog *.o\n";
+    for (size_t s = 0; s < proj.sources.size(); ++s) {
+      mk << proj.objects[s].substr(proj.dir.size() + 1) << ": "
+         << proj.sources[s].substr(proj.dir.size() + 1);
+      for (int k = 0; k < config.includes_per_source && !proj.headers.empty(); ++k) {
+        mk << ' ' << proj.headers[(s + k) % proj.headers.size()].substr(proj.dir.size() + 1);
+      }
+      mk << '\n' << "\tcc -c $<\n";
+    }
+    fs->WriteContent(proj.makefile, mk.str());
+
+    for (int n = 0; n < config.notes_per_project; ++n) {
+      std::ostringstream path;
+      path << proj.dir << (n == 0 ? "/README" : "/NOTES");
+      if (n > 1) {
+        path << n;
+      }
+      fs->CreateFile(path.str(),
+                     Bytes(config.size_scale * (1'000 + rng->NextBounded(10'000))));
+      proj.notes.push_back(path.str());
+    }
+    env.projects.push_back(std::move(proj));
+  }
+
+  // Documents with support files (styles, figures).
+  fs->MkdirAll(env.home + "/doc");
+  for (int d = 0; d < config.num_documents; ++d) {
+    DocumentInfo doc;
+    std::ostringstream path;
+    path << env.home << "/doc/paper" << d << ".ms";
+    doc.path = path.str();
+    fs->CreateFile(doc.path, 0);
+    for (int s = 0; s < config.support_per_document; ++s) {
+      std::ostringstream sup;
+      sup << env.home << "/doc/paper" << d << (s == 0 ? ".refs" : ".fig");
+      if (s > 1) {
+        sup << s;
+      }
+      fs->CreateFile(sup.str(), Bytes(config.size_scale * (2'000 + rng->NextBounded(30'000))));
+      doc.support.push_back(sup.str());
+    }
+    // The document embeds its support files via hot links (the OLE
+    // analogue of Section 3.2), so the HotLinkInvestigator has real input.
+    std::ostringstream body;
+    for (const auto& support : doc.support) {
+      body << "LINK: " << support << "\n";
+    }
+    body << std::string(Bytes(config.size_scale * (10'000 + rng->NextBounded(80'000))), 't');
+    fs->WriteContent(doc.path, body.str());
+    env.documents.push_back(std::move(doc));
+  }
+
+  // Mail.
+  fs->MkdirAll(env.home + "/mail");
+  env.mailbox = "/var/spool/mail/" + config.user;
+  fs->CreateFile(env.mailbox, Bytes(config.size_scale * (50'000 + rng->NextBounded(200'000))));
+  for (int m = 0; m < config.num_mail_folders; ++m) {
+    std::ostringstream path;
+    path << env.home << "/mail/folder" << m;
+    fs->CreateFile(path.str(), Bytes(config.size_scale * (20'000 + rng->NextBounded(100'000))));
+    env.mail_folders.push_back(path.str());
+  }
+
+  // Clutter: files that exist but are rarely or never used. Their presence
+  // is what makes hoarding matter — most disks are mostly wastage
+  // (Section 5.2.1).
+  fs->MkdirAll(env.home + "/old");
+  for (int i = 0; i < config.num_misc_files; ++i) {
+    std::ostringstream path;
+    path << env.home << "/old/junk" << i;
+    // Wastage is not proportional to how busy the user is; old archives
+    // and core dumps are the same size on every machine.
+    fs->CreateFile(path.str(), Bytes(20'000 + rng->NextBounded(400'000)));
+    env.misc_files.push_back(path.str());
+  }
+
+  return env;
+}
+
+}  // namespace seer

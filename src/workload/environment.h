@@ -1,0 +1,85 @@
+// Synthetic user environment builder.
+//
+// The paper's evaluation used multi-month traces from nine real users'
+// laptops — data we cannot have. This builder populates a SimFilesystem
+// with a realistic 1990s-UNIX-workstation namespace (system binaries,
+// shared libraries, /etc, /dev, system headers, dot-files) plus a
+// parameterised user home: software projects with genuine #include
+// structure and Makefiles, documents, and mail. The UserEnvironment handle
+// it returns tells the workload generators where everything is; the
+// reference patterns those generators produce exhibit the semantic locality
+// SEER exploits (projects, attention shifts) as well as the noise it must
+// reject (find scans, getcwd, shared libraries, temporaries).
+#ifndef SRC_WORKLOAD_ENVIRONMENT_H_
+#define SRC_WORKLOAD_ENVIRONMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/vfs/sim_filesystem.h"
+
+namespace seer {
+
+struct ProjectInfo {
+  std::string dir;
+  std::string makefile;
+  std::string binary;                 // build output (exists after first build)
+  std::vector<std::string> sources;   // .c files
+  std::vector<std::string> headers;   // .h files
+  std::vector<std::string> objects;   // .o files (created by builds)
+  std::vector<std::string> notes;     // README / TODO / design notes
+};
+
+struct DocumentInfo {
+  std::string path;                   // the document itself
+  std::vector<std::string> support;   // style files, figures, bibliography
+};
+
+struct UserEnvironment {
+  std::string home;
+  std::vector<ProjectInfo> projects;
+  std::vector<DocumentInfo> documents;
+  std::string mailbox;                       // inbox
+  std::vector<std::string> mail_folders;
+  std::vector<std::string> dot_files;        // ~/.login etc.
+  std::vector<std::string> shared_libs;      // /lib/libc.so ...
+  std::vector<std::string> system_headers;   // /usr/include/...
+  std::vector<std::string> misc_files;       // rarely used clutter
+
+  // Tool binaries the workloads exec.
+  std::string sh = "/bin/sh";
+  std::string editor = "/usr/bin/emacs";
+  std::string compiler = "/usr/bin/cc";
+  std::string linker = "/usr/bin/ld";
+  std::string make = "/usr/bin/make";
+  std::string find = "/usr/bin/find";
+  std::string mailer = "/usr/bin/mail";
+  std::string formatter = "/usr/bin/troff";
+  std::string pager = "/usr/bin/less";
+  std::string ls = "/bin/ls";
+};
+
+struct EnvironmentConfig {
+  std::string user = "user";
+  int num_projects = 6;
+  int sources_per_project = 8;
+  int headers_per_project = 5;
+  int includes_per_source = 3;  // project headers included per source
+  int notes_per_project = 2;
+  int num_documents = 4;
+  int support_per_document = 3;
+  int num_mail_folders = 4;
+  int num_misc_files = 240;     // unused clutter (wastage; Section 5.2.1)
+  int num_system_headers = 40;
+
+  // Size scale multiplier; 1.0 gives a working set of a few MB per project.
+  double size_scale = 1.0;
+};
+
+// Builds the namespace into `fs` and returns the environment handle.
+UserEnvironment BuildEnvironment(SimFilesystem* fs, const EnvironmentConfig& config, Rng* rng);
+
+}  // namespace seer
+
+#endif  // SRC_WORKLOAD_ENVIRONMENT_H_

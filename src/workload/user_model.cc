@@ -1,0 +1,596 @@
+#include "src/workload/user_model.h"
+
+#include <algorithm>
+
+#include "src/core/investigator.h"
+#include "src/util/path.h"
+
+namespace seer {
+
+UserModel::UserModel(SyscallTracer* tracer, const UserEnvironment* env, UserModelConfig config,
+                     uint64_t seed)
+    : tracer_(tracer), env_(env), config_(std::move(config)), rng_(seed) {
+  project_built_.assign(env_->projects.size(), false);
+  // The login session: one long-lived shell owns everything the user does.
+  login_shell_ = tracer_->processes()->SpawnInit(1000, env_->home);
+  tracer_->Exec(login_shell_, env_->sh);
+  OpenSharedLibs(login_shell_);
+  // Shells read the user's startup files.
+  for (const auto& dot : env_->dot_files) {
+    const auto r = tracer_->Open(login_shell_, dot, false);
+    if (r.ok()) {
+      tracer_->Close(login_shell_, r.fd);
+    }
+  }
+}
+
+bool UserModel::Available(const std::string& path) const {
+  return !availability_ || availability_(path);
+}
+
+bool UserModel::ProjectAvailable(int index) const {
+  if (!availability_) {
+    return true;
+  }
+  // The user judges a project by its primary files.
+  const ProjectInfo& proj = env_->projects[index];
+  if (!proj.sources.empty() && !Available(proj.sources[0])) {
+    return false;
+  }
+  return proj.makefile.empty() || Available(proj.makefile);
+}
+
+void UserModel::Think(double mean_seconds) {
+  tracer_->clock()->AdvanceSeconds(rng_.NextExponential(mean_seconds));
+}
+
+Pid UserModel::ForkExec(Pid shell, const std::string& program) {
+  const auto fork_result = tracer_->Fork(shell);
+  if (!fork_result.ok()) {
+    return -1;
+  }
+  const Pid child = fork_result.pid;
+  tracer_->Exec(child, program);
+  OpenSharedLibs(child);
+  return child;
+}
+
+void UserModel::OpenSharedLibs(Pid pid) {
+  // The dynamic loader maps the shared libraries on every exec — the
+  // universal-link noise of Section 4.2.
+  for (const auto& lib : env_->shared_libs) {
+    const auto r = tracer_->Open(pid, lib, false);
+    if (r.ok()) {
+      tracer_->Close(pid, r.fd);
+    }
+  }
+}
+
+Fd UserModel::OpenOrMiss(Pid pid, const std::string& path, bool write, MissSeverity severity,
+                         bool report_manual) {
+  const auto r = tracer_->Open(pid, path, write);
+  if (r.ok()) {
+    return r.fd;
+  }
+  if (r.status == OpStatus::kNotLocal && report_manual && miss_log_ != nullptr) {
+    // The user runs the miss-recording program, which both logs the miss
+    // (with a severity code) and schedules the file for hoarding
+    // (Section 4.4).
+    miss_log_->RecordManual(path, tracer_->clock()->now(), severity);
+  }
+  return -1;
+}
+
+MissSeverity UserModel::DrawWorkMissSeverity() {
+  const double roll = rng_.NextDouble();
+  if (roll < 0.05) {
+    return MissSeverity::kTaskChange;
+  }
+  if (roll < 0.33) {
+    return MissSeverity::kActivityChange;
+  }
+  return MissSeverity::kMinor;
+}
+
+void UserModel::GetcwdWalk(Pid pid, const std::string& dir) {
+  // The getcwd library routine climbs the tree, opening and reading each
+  // ancestor directory (Section 4.1).
+  std::string current = dir;
+  for (int depth = 0; depth < 16; ++depth) {
+    const auto r = tracer_->OpenDir(pid, current);
+    if (r.ok()) {
+      tracer_->ReadDir(pid, r.fd);
+      tracer_->CloseDir(pid, r.fd);
+    }
+    if (current == "/") {
+      break;
+    }
+    current = Dirname(current);
+  }
+}
+
+void UserModel::MaybeProbeMisc(Pid pid) {
+  if (env_->misc_files.empty() || !rng_.NextBool(config_.misc_probe_prob)) {
+    return;
+  }
+  // An application spawns a helper that checks an optional data file; the
+  // user never notices when this fails, but the automatic detector does
+  // (Section 4.4). Helpers favour the same few optional files (Zipf), as
+  // real ones do. The probe runs in its own process, so its references form
+  // an independent stream (Section 4.7) instead of contaminating the
+  // spawning application's stream.
+  const auto& path = env_->misc_files[rng_.NextZipf(env_->misc_files.size(), 2.0)];
+  const Pid helper = ForkExec(pid, env_->pager);
+  if (helper < 0) {
+    return;
+  }
+  tracer_->Stat(helper, path);
+  const Fd fd = OpenOrMiss(helper, path, false, MissSeverity::kMinor, /*report_manual=*/false);
+  if (fd >= 0) {
+    Think(config_.mean_action_seconds);
+    tracer_->Close(helper, fd);
+  }
+  tracer_->Exit(helper);
+}
+
+void UserModel::EditFile(Pid editor, const std::string& path) {
+  // stat-then-open: the editor checks writability first (Section 4.8).
+  tracer_->Stat(editor, path);
+  const Fd fd = OpenOrMiss(editor, path, false, DrawWorkMissSeverity(),
+                           /*report_manual=*/true);
+  if (fd < 0) {
+    return;
+  }
+  Think(60.0);  // the user actually edits for a while
+  tracer_->Close(editor, fd);
+
+  // Save through a temporary in the same directory, then rename over the
+  // original — the classic editor save dance (exercises rename handling,
+  // Section 4.8). Content is preserved so #include structure survives.
+  const std::string tmp = path + "#tmp#";
+  const auto content = tracer_->fs()->ReadContent(path);
+  const auto info = tracer_->fs()->Stat(path);
+  const auto create = tracer_->Create(editor, tmp, info.has_value() ? info->size : 1024);
+  if (create.ok() || create.fd >= 0) {
+    if (content.has_value()) {
+      tracer_->fs()->WriteContent(tmp, *content, tracer_->clock()->now());
+    }
+    tracer_->Close(editor, create.fd);
+    tracer_->Rename(editor, tmp, path);
+  }
+}
+
+void UserModel::CompileOne(Pid shell, const ProjectInfo& proj, size_t source_index) {
+  const Pid cc = ForkExec(shell, env_->compiler);
+  if (cc < 0) {
+    return;
+  }
+  const std::string& source = proj.sources[source_index];
+  // The compiler holds the source open for the whole compilation while the
+  // headers are opened and closed in sequence — the example that motivates
+  // lifetime semantic distance (Section 3.1.1).
+  const Fd src_fd = OpenOrMiss(cc, source, false, DrawWorkMissSeverity(),
+                               /*report_manual=*/true);
+  if (src_fd >= 0) {
+    const auto content = tracer_->fs()->ReadContent(source);
+    if (content.has_value()) {
+      for (const auto& inc : IncludeScanner::ParseIncludes(*content)) {
+        const std::string header = AbsolutePath(Dirname(source), inc);
+        const Fd h = OpenOrMiss(cc, header, false, MissSeverity::kActivityChange,
+                                /*report_manual=*/true);
+        if (h >= 0) {
+          tracer_->Close(cc, h);
+        }
+      }
+    }
+    // The source's own system headers (a compile opens the same fixed set
+    // every time).
+    if (content.has_value()) {
+      for (const auto& sys : IncludeScanner::ParseSystemIncludes(*content)) {
+        const auto r = tracer_->Open(cc, "/usr/include/" + sys, false);
+        if (r.ok()) {
+          tracer_->Close(cc, r.fd);
+        }
+      }
+    }
+    // Emit the object file.
+    const std::string& object = proj.objects[source_index];
+    const auto obj = tracer_->Create(cc, object,
+                                     2 * (tracer_->fs()->Stat(source)->size / 3) + 1'000);
+    if (obj.fd >= 0) {
+      tracer_->Close(cc, obj.fd);
+    }
+    tracer_->Close(cc, src_fd);
+  }
+  tracer_->clock()->AdvanceSeconds(2.0 + rng_.NextDouble() * 6.0);  // compile time
+  tracer_->Exit(cc);
+}
+
+void UserModel::BuildProject(Pid shell, const ProjectInfo& proj, bool multitask) {
+  const Pid make = ForkExec(shell, env_->make);
+  if (make < 0) {
+    return;
+  }
+  const Fd mk = OpenOrMiss(make, proj.makefile, false, DrawWorkMissSeverity(),
+                           /*report_manual=*/true);
+  if (mk < 0) {
+    tracer_->Exit(make);
+    return;
+  }
+
+  // make stats everything to decide what is stale (attribute examination,
+  // Section 4.8).
+  for (const auto& s : proj.sources) {
+    tracer_->Stat(make, s);
+  }
+  for (const auto& o : proj.objects) {
+    tracer_->Stat(make, o);
+  }
+
+  const bool first_build = !project_built_[static_cast<size_t>(current_project_)];
+  const size_t count = proj.sources.size();
+  for (size_t i = 0; i < count; ++i) {
+    // Incremental builds recompile a subset.
+    if (!first_build && !rng_.NextBool(0.4)) {
+      continue;
+    }
+    CompileOne(make, proj, i);
+    // Multitasking: halfway through a long build, the user reads mail in
+    // another window, interleaving an independent reference stream
+    // (Section 4.7).
+    if (multitask && i == count / 2) {
+      MailSession(login_shell_);
+    }
+  }
+
+  // Link step.
+  const Pid ld = ForkExec(make, env_->linker);
+  if (ld >= 0) {
+    uint64_t total = 0;
+    for (const auto& object : proj.objects) {
+      const auto r = tracer_->Open(ld, object, false);
+      if (r.ok()) {
+        const auto info = tracer_->fs()->Stat(object);
+        total += info.has_value() ? info->size : 0;
+        tracer_->Close(ld, r.fd);
+      }
+    }
+    const auto bin = tracer_->Create(ld, proj.binary, total + 20'000);
+    if (bin.fd >= 0) {
+      tracer_->Close(ld, bin.fd);
+    }
+    tracer_->Exit(ld);
+  }
+
+  tracer_->Close(make, mk);
+  tracer_->Exit(make);
+  project_built_[static_cast<size_t>(current_project_)] = true;
+}
+
+void UserModel::DevSession(Pid shell) {
+  const ProjectInfo& proj = env_->projects[static_cast<size_t>(current_project_)];
+
+  const Pid editor = ForkExec(shell, env_->editor);
+  if (editor < 0) {
+    return;
+  }
+  tracer_->Chdir(editor, proj.dir);
+  if (rng_.NextBool(config_.getcwd_prob)) {
+    GetcwdWalk(editor, proj.dir);
+  }
+  // Editors read directories for filename completion — meaningful programs
+  // that read directories must not be flagged meaningless (Section 4.1).
+  const auto dir = tracer_->OpenDir(editor, proj.dir);
+  if (dir.ok()) {
+    tracer_->ReadDir(editor, dir.fd);
+    tracer_->CloseDir(editor, dir.fd);
+  }
+
+  // Edit a few related files.
+  const size_t edits = 1 + rng_.NextBounded(3);
+  for (size_t e = 0; e < edits && !proj.sources.empty(); ++e) {
+    EditFile(editor, proj.sources[rng_.NextBounded(proj.sources.size())]);
+    if (!proj.headers.empty() && rng_.NextBool(0.5)) {
+      EditFile(editor, proj.headers[rng_.NextBounded(proj.headers.size())]);
+    }
+  }
+  // Scratch file in /tmp (Section 4.5).
+  const auto tmp = tracer_->Create(editor, "/tmp/ed" + std::to_string(editor), 4'096);
+  if (tmp.fd >= 0) {
+    tracer_->Close(editor, tmp.fd);
+    tracer_->Unlink(editor, "/tmp/ed" + std::to_string(editor));
+  }
+  // Consult the notes sometimes.
+  if (!proj.notes.empty() && rng_.NextBool(0.3)) {
+    const Fd fd = OpenOrMiss(editor, proj.notes[rng_.NextBounded(proj.notes.size())], false,
+                             MissSeverity::kMinor, /*report_manual=*/true);
+    if (fd >= 0) {
+      Think(30.0);
+      tracer_->Close(editor, fd);
+    }
+  }
+  MaybeProbeMisc(editor);
+  tracer_->Exit(editor);
+
+  // Build after editing.
+  BuildProject(shell, proj, rng_.NextBool(config_.multitask_prob));
+
+  // Run the result.
+  if (tracer_->fs()->Exists(proj.binary)) {
+    const Pid prog = ForkExec(shell, proj.binary);
+    if (prog >= 0) {
+      Think(10.0);
+      tracer_->Exit(prog);
+    }
+  }
+}
+
+void UserModel::DocSession(Pid shell) {
+  if (env_->documents.empty()) {
+    return;
+  }
+  const DocumentInfo& doc = env_->documents[static_cast<size_t>(current_document_)];
+  const Pid editor = ForkExec(shell, env_->editor);
+  if (editor < 0) {
+    return;
+  }
+  tracer_->Chdir(editor, Dirname(doc.path));
+  EditFile(editor, doc.path);
+  for (const auto& support : doc.support) {
+    const Fd fd = OpenOrMiss(editor, support, false, MissSeverity::kMinor,
+                             /*report_manual=*/true);
+    if (fd >= 0) {
+      Think(config_.mean_action_seconds);
+      tracer_->Close(editor, fd);
+    }
+  }
+  tracer_->Exit(editor);
+
+  // Format the document: troff reads everything and writes a temp output.
+  const Pid fmt = ForkExec(shell, env_->formatter);
+  if (fmt >= 0) {
+    const Fd d = OpenOrMiss(fmt, doc.path, false, DrawWorkMissSeverity(),
+                            /*report_manual=*/true);
+    if (d >= 0) {
+      for (const auto& support : doc.support) {
+        const auto r = tracer_->Open(fmt, support, false);
+        if (r.ok()) {
+          tracer_->Close(fmt, r.fd);
+        }
+      }
+      const auto out = tracer_->Create(fmt, "/tmp/fmt" + std::to_string(fmt), 50'000);
+      if (out.fd >= 0) {
+        tracer_->Close(fmt, out.fd);
+      }
+      tracer_->Close(fmt, d);
+    }
+    tracer_->Exit(fmt);
+  }
+}
+
+void UserModel::MailSession(Pid shell) {
+  const Pid mail = ForkExec(shell, env_->mailer);
+  if (mail < 0) {
+    return;
+  }
+  const Fd inbox = OpenOrMiss(mail, env_->mailbox, true, MissSeverity::kActivityChange,
+                              /*report_manual=*/true);
+  if (inbox >= 0) {
+    Think(30.0);
+    // File a message into a folder.
+    if (!env_->mail_folders.empty() && rng_.NextBool(0.5)) {
+      const auto& folder = env_->mail_folders[rng_.NextBounded(env_->mail_folders.size())];
+      const Fd f = OpenOrMiss(mail, folder, true, MissSeverity::kMinor, /*report_manual=*/true);
+      if (f >= 0) {
+        tracer_->Close(mail, f);
+      }
+    }
+    // Compose through a temp file.
+    const std::string tmp = "/tmp/mail" + std::to_string(mail);
+    const auto t = tracer_->Create(mail, tmp, 2'000);
+    if (t.fd >= 0) {
+      tracer_->Close(mail, t.fd);
+      tracer_->Unlink(mail, tmp);
+    }
+    tracer_->Close(mail, inbox);
+  }
+  MaybeProbeMisc(mail);
+  tracer_->Exit(mail);
+}
+
+void UserModel::FindScan(Pid shell) {
+  const Pid find = ForkExec(shell, env_->find);
+  if (find < 0) {
+    return;
+  }
+  // Depth-first walk over a subtree ("find ~/projN -name ..."), opening
+  // every directory and stat-ing every file — exactly the
+  // semantic-information-free access pattern of Section 4.1. It also
+  // destroys the LRU history of everything it touches.
+  std::vector<std::string> roots;
+  roots.push_back(env_->home + "/old");
+  roots.push_back(env_->home + "/doc");
+  for (const auto& proj : env_->projects) {
+    roots.push_back(proj.dir);
+  }
+  std::vector<std::string> stack = {roots[rng_.NextBounded(roots.size())]};
+  int visited = 0;
+  while (!stack.empty() && visited < 2'000) {
+    const std::string dir = stack.back();
+    stack.pop_back();
+    const auto d = tracer_->OpenDir(find, dir);
+    if (!d.ok()) {
+      continue;
+    }
+    tracer_->ReadDir(find, d.fd);
+    // find reads the whole directory, closes it, and only then visits the
+    // entries — the behaviour that defeated the paper's approach #3
+    // (meaningless-while-directory-open), Section 4.1.
+    tracer_->CloseDir(find, d.fd);
+    for (const auto& name : tracer_->fs()->ListDir(dir)) {
+      const std::string path = dir + "/" + name;
+      const auto info = tracer_->fs()->Stat(path);
+      ++visited;
+      if (info.has_value() && info->kind == NodeKind::kDirectory) {
+        stack.push_back(path);
+      } else {
+        tracer_->Stat(find, path);
+      }
+    }
+  }
+  tracer_->Exit(find);
+}
+
+void UserModel::LsSession(Pid shell) {
+  const Pid ls = ForkExec(shell, env_->ls);
+  if (ls < 0) {
+    return;
+  }
+  const ProjectInfo& proj = env_->projects.empty()
+                                ? ProjectInfo{}
+                                : env_->projects[static_cast<size_t>(current_project_)];
+  if (!proj.dir.empty()) {
+    const auto d = tracer_->OpenDir(ls, proj.dir);
+    if (d.ok()) {
+      tracer_->ReadDir(ls, d.fd);
+      tracer_->CloseDir(ls, d.fd);
+    }
+    // Implied miss (Section 4.4): the listing is short of a file the user
+    // expected; no open is ever attempted, but the user records the miss so
+    // it will be hoarded next time.
+    if (availability_ && miss_log_ != nullptr) {
+      for (const auto& note : proj.notes) {
+        if (!Available(note)) {
+          miss_log_->RecordManual(note, tracer_->clock()->now(), MissSeverity::kPreload);
+          break;
+        }
+      }
+    }
+  }
+  tracer_->Exit(ls);
+}
+
+void UserModel::PickNextProject() {
+  if (!rng_.NextBool(config_.attention_shift_prob) || env_->projects.empty()) {
+    return;
+  }
+  // Attention shift. While disconnected the user plans ahead, devoting
+  // themselves to hoarded projects — but occasionally forgets
+  // (Section 5.2.2).
+  const bool try_anything = !availability_ || rng_.NextBool(config_.unavailable_attempt_prob);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int candidate = static_cast<int>(rng_.NextBounded(env_->projects.size()));
+    if (candidate == current_project_) {
+      continue;
+    }
+    if (try_anything || ProjectAvailable(candidate)) {
+      current_project_ = candidate;
+      break;
+    }
+  }
+  current_document_ = static_cast<int>(rng_.NextBounded(
+      std::max<size_t>(1, env_->documents.size())));
+}
+
+void UserModel::SeedHistory() {
+  const int saved_project = current_project_;
+  for (size_t p = 0; p < env_->projects.size(); ++p) {
+    current_project_ = static_cast<int>(p);
+    const ProjectInfo& proj = env_->projects[p];
+    const Pid editor = ForkExec(login_shell_, env_->editor);
+    if (editor >= 0) {
+      tracer_->Chdir(editor, proj.dir);
+      for (const auto& note : proj.notes) {
+        const auto r = tracer_->Open(editor, note, false);
+        if (r.ok()) {
+          tracer_->Close(editor, r.fd);
+        }
+      }
+      tracer_->Exit(editor);
+    }
+    BuildProject(login_shell_, proj, /*multitask=*/false);
+  }
+  current_project_ = saved_project;
+
+  const Pid reader = ForkExec(login_shell_, env_->pager);
+  if (reader >= 0) {
+    for (const auto& doc : env_->documents) {
+      const auto r = tracer_->Open(reader, doc.path, false);
+      if (r.ok()) {
+        tracer_->Close(reader, r.fd);
+      }
+      for (const auto& support : doc.support) {
+        const auto s = tracer_->Open(reader, support, false);
+        if (s.ok()) {
+          tracer_->Close(reader, s.fd);
+        }
+      }
+    }
+    // The favoured optional files have been probed before, too.
+    for (size_t i = 0; i < env_->misc_files.size() && i < 12; ++i) {
+      const auto r = tracer_->Open(reader, env_->misc_files[i], false);
+      if (r.ok()) {
+        tracer_->Close(reader, r.fd);
+      }
+    }
+    for (const auto& folder : env_->mail_folders) {
+      const auto r = tracer_->Open(reader, folder, false);
+      if (r.ok()) {
+        tracer_->Close(reader, r.fd);
+      }
+    }
+    tracer_->Exit(reader);
+  }
+  MailSession(login_shell_);
+  // The machine has seen find scans before, so the observer's program
+  // history already knows find is meaningless when tracing begins.
+  FindScan(login_shell_);
+  FindScan(login_shell_);
+}
+
+void UserModel::RunOneSession() {
+  ++sessions_run_;
+  PickNextProject();
+
+  if (rng_.NextBool(config_.find_prob)) {
+    FindScan(login_shell_);
+  }
+  if (rng_.NextBool(config_.ls_prob)) {
+    LsSession(login_shell_);
+  }
+
+  // Severity-4 preload wish: the user notices something worth hoarding for
+  // later without needing it now (Section 4.4).
+  if (availability_ && miss_log_ != nullptr && rng_.NextBool(config_.preload_note_prob) &&
+      !env_->misc_files.empty()) {
+    const auto& path = env_->misc_files[rng_.NextBounded(env_->misc_files.size())];
+    if (!Available(path)) {
+      miss_log_->RecordManual(path, tracer_->clock()->now(), MissSeverity::kPreload);
+    }
+  }
+
+  const double total =
+      config_.dev_weight + config_.doc_weight + config_.mail_weight;
+  const double roll = rng_.NextDouble() * (total > 0 ? total : 1.0);
+  if (roll < config_.dev_weight) {
+    DevSession(login_shell_);
+  } else if (roll < config_.dev_weight + config_.doc_weight) {
+    DocSession(login_shell_);
+  } else {
+    MailSession(login_shell_);
+  }
+
+  Think(config_.mean_session_gap_seconds);
+}
+
+void UserModel::RunUntil(Time target) {
+  while (tracer_->clock()->now() < target) {
+    RunOneSession();
+  }
+}
+
+void UserModel::RunActiveHours(double hours) {
+  RunUntil(tracer_->clock()->now() + static_cast<Time>(hours * 3600.0 * kMicrosPerSecond));
+}
+
+}  // namespace seer

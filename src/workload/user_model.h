@@ -1,0 +1,148 @@
+// Synthetic user behaviour model.
+//
+// Generates the reference streams the paper's evaluation depends on, by
+// driving syscalls through the SyscallTracer:
+//   * software development sessions — edit/compile/link cycles where the
+//     compiler holds the source open while headers cycle (the motivating
+//     example for lifetime semantic distance, Section 3.1.1), with make
+//     basing decisions on attribute examination (Section 4.8);
+//   * document and mail sessions (other projects, for attention shifts);
+//   * noise the observer must reject: find scans (Section 4.1), getcwd
+//     walks inside the editor (Section 4.1), shared-library opens on every
+//     exec (Section 4.2), temporary files (Section 4.5);
+//   * multitasking: mail is read while a long build runs, interleaving
+//     independent reference streams (Section 4.7);
+//   * disconnection awareness: like the paper's users (Section 5.2.2), the
+//     simulated user knows roughly what is hoarded, mostly works on
+//     available projects, occasionally trips over a missing file and
+//     reports it at an appropriate severity (Section 4.4).
+#ifndef SRC_WORKLOAD_USER_MODEL_H_
+#define SRC_WORKLOAD_USER_MODEL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/hoard.h"
+#include "src/process/syscall_tracer.h"
+#include "src/util/rng.h"
+#include "src/workload/environment.h"
+
+namespace seer {
+
+struct UserModelConfig {
+  // Session mix (weights, normalised internally).
+  double dev_weight = 0.55;
+  double doc_weight = 0.20;
+  double mail_weight = 0.25;
+
+  // Probability of switching to a different project between sessions —
+  // the attention shifts where LRU hoarding falls apart (Section 6.1).
+  double attention_shift_prob = 0.15;
+
+  // Noise generators.
+  double find_prob = 0.02;     // run a find scan before a session
+  double ls_prob = 0.15;       // list the project directory before a session
+  double getcwd_prob = 0.25;   // editor asks for its working directory
+  double misc_probe_prob = 0.01;  // app probes an optional rarely-used file
+
+  // Multitasking: probability that a build is accompanied by concurrent
+  // mail reading.
+  double multitask_prob = 0.5;
+
+  // Mean think-time between sessions, seconds (exponential).
+  double mean_session_gap_seconds = 240.0;
+  // Mean per-action think time within a session, seconds.
+  double mean_action_seconds = 8.0;
+
+  // Disconnected behaviour.
+  double unavailable_attempt_prob = 0.06;  // tries a non-hoarded project
+  double preload_note_prob = 0.002;        // records a severity-4 preload wish
+};
+
+class UserModel {
+ public:
+  UserModel(SyscallTracer* tracer, const UserEnvironment* env, UserModelConfig config,
+            uint64_t seed);
+
+  // --- disconnection plumbing ---------------------------------------------
+
+  // The user's (approximate) knowledge of what is hoarded. Null means
+  // everything is available (connected).
+  using Availability = std::function<bool(const std::string& path)>;
+  void set_availability(Availability availability) { availability_ = std::move(availability); }
+
+  // Where manual miss reports go while disconnected (may be null).
+  void set_miss_log(MissLog* log) { miss_log_ = log; }
+
+  // --- driving -------------------------------------------------------------
+
+  // Runs sessions until the simulated clock reaches `target`.
+  void RunUntil(Time target);
+
+  // Runs sessions for the given number of active hours.
+  void RunActiveHours(double hours);
+
+  // Runs exactly one session (for tests).
+  void RunOneSession();
+
+  // Simulates the machine's pre-trace life: every project is built once,
+  // every document opened, mail read, and the favoured optional files
+  // probed. The paper's traces begin mid-way through a user's life, so
+  // first-ever references to long-standing files are not representative;
+  // seeding gives every hoarding algorithm the same mature starting
+  // history.
+  void SeedHistory();
+
+  int current_project() const { return current_project_; }
+  uint64_t sessions_run() const { return sessions_run_; }
+
+ private:
+  bool Available(const std::string& path) const;
+  bool ProjectAvailable(int index) const;
+  void Think(double mean_seconds);
+
+  // Session bodies. All take the shell pid they fork from.
+  void DevSession(Pid shell);
+  void LsSession(Pid shell);
+  void DocSession(Pid shell);
+  void MailSession(Pid shell);
+  void FindScan(Pid shell);
+  void GetcwdWalk(Pid pid, const std::string& dir);
+  void BuildProject(Pid shell, const ProjectInfo& proj, bool multitask);
+  void CompileOne(Pid shell, const ProjectInfo& proj, size_t source_index);
+  void EditFile(Pid editor, const std::string& path);
+  void MaybeProbeMisc(Pid pid);
+  void OpenSharedLibs(Pid pid);
+  Pid ForkExec(Pid shell, const std::string& program);
+
+  // Attempts to open `path`; on a kNotLocal failure records a miss at
+  // `severity` (manual reports only when the user notices, i.e. severity
+  // better than kMinor or explicitly requested). Returns the fd or -1.
+  Fd OpenOrMiss(Pid pid, const std::string& path, bool write, MissSeverity severity,
+                bool report_manual);
+
+  // Severity the user assigns when a primary work file is missing: usually
+  // they fall back within the task (the paper's misses were dominated by
+  // severities 2-3; severity 1 was rare).
+  MissSeverity DrawWorkMissSeverity();
+
+  void PickNextProject();
+
+  SyscallTracer* tracer_;
+  const UserEnvironment* env_;
+  UserModelConfig config_;
+  Rng rng_;
+  Availability availability_;
+  MissLog* miss_log_ = nullptr;
+
+  Pid login_shell_ = -1;
+  int current_project_ = 0;
+  int current_document_ = 0;
+  uint64_t sessions_run_ = 0;
+  std::vector<bool> project_built_;
+};
+
+}  // namespace seer
+
+#endif  // SRC_WORKLOAD_USER_MODEL_H_

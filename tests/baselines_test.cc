@@ -1,0 +1,183 @@
+// Tests for the LRU baseline and the Coda-inspired priority schemes,
+// including the paper's 4-step miss-free hoard size algorithm for LRU
+// (Section 5.1.2).
+#include <gtest/gtest.h>
+
+#include "src/baselines/coda_priority.h"
+#include "src/baselines/lru.h"
+#include "src/sim/missfree.h"
+
+namespace seer {
+namespace {
+
+TraceEvent Ev(Op op, const std::string& path, Time time, uint64_t seq,
+              OpStatus status = OpStatus::kOk) {
+  TraceEvent e;
+  e.op = op;
+  e.path = path;
+  e.time = time;
+  e.seq = seq;
+  e.status = status;
+  return e;
+}
+
+TEST(LruTracker, MostRecentFirst) {
+  LruTracker lru;
+  lru.OnEvent(Ev(Op::kOpen, "/a", 10, 1));
+  lru.OnEvent(Ev(Op::kOpen, "/b", 20, 2));
+  lru.OnEvent(Ev(Op::kOpen, "/c", 30, 3));
+  lru.OnEvent(Ev(Op::kOpen, "/a", 40, 4));  // /a refreshed
+  const auto order = lru.CoverageOrder();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "/a");
+  EXPECT_EQ(order[1], "/c");
+  EXPECT_EQ(order[2], "/b");
+}
+
+TEST(LruTracker, FailedAccessesIgnored) {
+  LruTracker lru;
+  lru.OnEvent(Ev(Op::kOpen, "/a", 10, 1, OpStatus::kNoEnt));
+  EXPECT_EQ(lru.tracked_files(), 0u);
+}
+
+TEST(LruTracker, StatCountsAsReference) {
+  LruTracker lru;
+  lru.OnEvent(Ev(Op::kOpen, "/a", 10, 1));
+  lru.OnEvent(Ev(Op::kStat, "/b", 20, 2));
+  EXPECT_EQ(lru.CoverageOrder()[0], "/b");
+}
+
+TEST(LruTracker, UnlinkForgets) {
+  LruTracker lru;
+  lru.OnEvent(Ev(Op::kOpen, "/a", 10, 1));
+  lru.OnEvent(Ev(Op::kUnlink, "/a", 20, 2));
+  EXPECT_EQ(lru.tracked_files(), 0u);
+}
+
+TEST(LruTracker, RenameTransfersRecency) {
+  LruTracker lru;
+  lru.OnEvent(Ev(Op::kOpen, "/old", 10, 1));
+  TraceEvent mv = Ev(Op::kRename, "/old", 20, 2);
+  mv.path2 = "/new";
+  lru.OnEvent(mv);
+  EXPECT_FALSE(lru.LastReference("/old").has_value());
+  EXPECT_TRUE(lru.LastReference("/new").has_value());
+}
+
+TEST(LruTracker, DirectoryOpsIgnored) {
+  LruTracker lru;
+  lru.OnEvent(Ev(Op::kOpenDir, "/dir", 10, 1));
+  lru.OnEvent(Ev(Op::kReadDir, "/dir", 11, 2));
+  EXPECT_EQ(lru.tracked_files(), 0u);
+}
+
+TEST(LruTracker, TieBreakBySequence) {
+  LruTracker lru;
+  lru.OnEvent(Ev(Op::kOpen, "/a", 10, 1));
+  lru.OnEvent(Ev(Op::kOpen, "/b", 10, 2));  // same timestamp, later seq
+  EXPECT_EQ(lru.CoverageOrder()[0], "/b");
+}
+
+// The paper's 4-step LRU miss-free computation: the hoard must reach the
+// oldest file referenced during the period.
+TEST(LruMissFree, PaperAlgorithm) {
+  LruTracker lru;
+  // Before disconnection: e (oldest) ... a (newest), sizes all 10.
+  lru.OnEvent(Ev(Op::kOpen, "/e", 10, 1));
+  lru.OnEvent(Ev(Op::kOpen, "/d", 20, 2));
+  lru.OnEvent(Ev(Op::kOpen, "/c", 30, 3));
+  lru.OnEvent(Ev(Op::kOpen, "/b", 40, 4));
+  lru.OnEvent(Ev(Op::kOpen, "/a", 50, 5));
+
+  // During disconnection the user touches /a and /d. LRU must keep
+  // everything down to /d: {a, b, c, d} = 40 bytes.
+  const auto result = ComputeMissFree(lru.CoverageOrder(), {"/a", "/d"},
+                                      [](const std::string&) -> uint64_t { return 10; });
+  EXPECT_EQ(result.bytes, 40u);
+  EXPECT_EQ(result.uncovered, 0u);
+}
+
+TEST(LruMissFree, UncoveredFilesReported) {
+  LruTracker lru;
+  lru.OnEvent(Ev(Op::kOpen, "/a", 10, 1));
+  const auto result = ComputeMissFree(lru.CoverageOrder(), {"/a", "/never-seen"},
+                                      [](const std::string&) -> uint64_t { return 10; });
+  EXPECT_EQ(result.uncovered, 1u);
+}
+
+// A find-style scan refreshes everything, destroying the recency signal —
+// the paper's core criticism of LRU hoarding (Section 4.1).
+TEST(LruTracker, FindScanDestroysHistory) {
+  LruTracker lru;
+  // The user worked on /proj/a then /proj/b.
+  lru.OnEvent(Ev(Op::kOpen, "/proj/a", 10, 1));
+  lru.OnEvent(Ev(Op::kOpen, "/proj/b", 20, 2));
+  // find stats a pile of junk afterwards.
+  for (int i = 0; i < 50; ++i) {
+    lru.OnEvent(Ev(Op::kStat, "/junk/" + std::to_string(i), 100 + i, 10 + i));
+  }
+  const auto order = lru.CoverageOrder();
+  // The junk now outranks the real working files.
+  const auto pos_a = std::find(order.begin(), order.end(), "/proj/a") - order.begin();
+  EXPECT_GE(pos_a, 50);
+}
+
+// --- Coda variants ----------------------------------------------------------------
+
+TEST(CodaPriority, PureProfileOrdersByPriority) {
+  CodaHoardProfile profile;
+  profile.SetPriority("/important", 100);
+  profile.SetPriority("/meh", 1);
+  CodaPriorityTracker coda(CodaVariant::kPureProfile, profile);
+  coda.OnEvent(Ev(Op::kOpen, "/meh/x", 100, 1));
+  coda.OnEvent(Ev(Op::kOpen, "/important/y", 10, 2));  // older but prioritized
+  const auto order = coda.CoverageOrder(200);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "/important/y");
+}
+
+TEST(CodaPriority, BoundedRecentFilesFirst) {
+  CodaHoardProfile profile;
+  profile.SetPriority("/system", 1000);
+  CodaPriorityTracker coda(CodaVariant::kBounded, profile, 0.5, /*age_bound_hours=*/1.0);
+  const Time now = 10 * kMicrosPerHour;
+  coda.OnEvent(Ev(Op::kOpen, "/system/lib", 1 * kMicrosPerHour, 1));  // old, high prio
+  coda.OnEvent(Ev(Op::kOpen, "/home/u/doc", now - kMicrosPerHour / 2, 2));  // young
+  const auto order = coda.CoverageOrder(now);
+  EXPECT_EQ(order[0], "/home/u/doc") << "within the bound, recency governs";
+  EXPECT_EQ(order[1], "/system/lib");
+}
+
+TEST(CodaPriority, BoundedOldFilesByProfile) {
+  CodaHoardProfile profile;
+  profile.SetPriority("/system", 1000);
+  CodaPriorityTracker coda(CodaVariant::kBounded, profile, 0.5, 1.0);
+  const Time now = 100 * kMicrosPerHour;
+  coda.OnEvent(Ev(Op::kOpen, "/system/lib", 1 * kMicrosPerHour, 1));
+  coda.OnEvent(Ev(Op::kOpen, "/home/u/doc", 2 * kMicrosPerHour, 2));  // old too
+  const auto order = coda.CoverageOrder(now);
+  EXPECT_EQ(order[0], "/system/lib") << "past the bound, the profile governs";
+}
+
+TEST(CodaPriority, HybridBalances) {
+  CodaHoardProfile profile;
+  profile.SetPriority("/p", 10);
+  CodaPriorityTracker coda(CodaVariant::kHybrid, profile, 0.5);
+  coda.OnEvent(Ev(Op::kOpen, "/p/prioritized", 0, 1));
+  coda.OnEvent(Ev(Op::kOpen, "/q/recent", 9 * kMicrosPerHour, 2));
+  // Priority contribution 5 vs age penalty: /p is 10h old (-5), /q 1h (-0.5).
+  const auto order = coda.CoverageOrder(10 * kMicrosPerHour);
+  EXPECT_EQ(order[0], "/p/prioritized");
+}
+
+TEST(CodaProfile, LongestPrefixWins) {
+  CodaHoardProfile profile;
+  profile.SetPriority("/home", 10);
+  profile.SetPriority("/home/u/proj", 99);
+  EXPECT_EQ(profile.PriorityOf("/home/u/proj/a.c"), 99);
+  EXPECT_EQ(profile.PriorityOf("/home/u/other"), 10);
+  EXPECT_EQ(profile.PriorityOf("/elsewhere"), 0);
+}
+
+}  // namespace
+}  // namespace seer

@@ -1,0 +1,188 @@
+// Tests for the compact binary trace format.
+#include "src/trace/binary_trace.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/process/syscall_tracer.h"
+#include "src/trace/trace_io.h"
+#include "src/util/rng.h"
+#include "src/vfs/sim_filesystem.h"
+#include "src/workload/environment.h"
+#include "src/workload/user_model.h"
+
+namespace seer {
+namespace {
+
+TraceEvent RandomEvent(Rng* rng, uint64_t seq, Time time) {
+  TraceEvent e;
+  e.seq = seq;
+  e.time = time;
+  e.pid = static_cast<Pid>(1 + rng->NextBounded(500));
+  e.uid = static_cast<Uid>(rng->NextBounded(2000));
+  e.op = static_cast<Op>(rng->NextBounded(17));
+  e.status = static_cast<OpStatus>(rng->NextBounded(4));
+  e.write = rng->NextBool(0.3);
+  e.fd = static_cast<Fd>(rng->NextInRange(-1, 200));
+  e.detail = static_cast<int32_t>(rng->NextInRange(-5, 1000));
+  e.path = "/dir" + std::to_string(rng->NextBounded(20)) + "/file" +
+           std::to_string(rng->NextBounded(40));
+  if (rng->NextBool(0.2)) {
+    e.path2 = e.path + ".new";
+  }
+  return e;
+}
+
+TEST(BinaryTrace, RoundTripRandomEvents) {
+  Rng rng(41);
+  std::vector<TraceEvent> events;
+  uint64_t seq = 0;
+  Time t = 0;
+  for (int i = 0; i < 2'000; ++i) {
+    seq += 1 + rng.NextBounded(3);
+    t += static_cast<Time>(rng.NextBounded(1'000'000));
+    events.push_back(RandomEvent(&rng, seq, t));
+  }
+
+  std::stringstream buffer;
+  BinaryTraceWriter writer(buffer);
+  for (const auto& e : events) {
+    writer.Write(e);
+  }
+  EXPECT_EQ(writer.events_written(), events.size());
+
+  BinaryTraceReader reader(buffer);
+  ASSERT_TRUE(reader.ok());
+  for (const auto& expected : events) {
+    const auto got = reader.Next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->seq, expected.seq);
+    EXPECT_EQ(got->time, expected.time);
+    EXPECT_EQ(got->pid, expected.pid);
+    EXPECT_EQ(got->uid, expected.uid);
+    EXPECT_EQ(got->op, expected.op);
+    EXPECT_EQ(got->status, expected.status);
+    EXPECT_EQ(got->write, expected.write);
+    EXPECT_EQ(got->fd, expected.fd);
+    EXPECT_EQ(got->detail, expected.detail);
+    EXPECT_EQ(got->path, expected.path);
+    EXPECT_EQ(got->path2, expected.path2);
+  }
+  EXPECT_FALSE(reader.Next().has_value());
+}
+
+TEST(BinaryTrace, MuchSmallerThanText) {
+  // A realistic workload trace, both encodings.
+  SimFilesystem fs;
+  Rng rng(4);
+  const UserEnvironment env = BuildEnvironment(&fs, EnvironmentConfig{}, &rng);
+  ProcessTable processes;
+  SimClock clock;
+  SyscallTracer tracer(&fs, &processes, &clock);
+
+  std::stringstream text;
+  std::stringstream binary;
+  struct Both : TraceSink {
+    TraceWriter* t;
+    BinaryTraceWriter* b;
+    void OnEvent(const TraceEvent& e) override {
+      t->Write(e);
+      b->Write(e);
+    }
+  } sink;
+  TraceWriter text_writer(text);
+  BinaryTraceWriter binary_writer(binary);
+  sink.t = &text_writer;
+  sink.b = &binary_writer;
+  tracer.AddSink(&sink);
+
+  UserModel user(&tracer, &env, UserModelConfig{}, 4);
+  user.RunActiveHours(0.3);
+  ASSERT_GT(text_writer.events_written(), 500u);
+
+  const size_t text_bytes = text.str().size();
+  const size_t binary_bytes = binary.str().size();
+  EXPECT_LT(binary_bytes * 4, text_bytes)
+      << "binary " << binary_bytes << " vs text " << text_bytes
+      << ": expected at least 4x compaction";
+
+  // And it round-trips identically.
+  BinaryTraceReader reader(binary);
+  ASSERT_TRUE(reader.ok());
+  std::istringstream text_in(text.str());
+  TraceReader text_reader(text_in);
+  while (auto expected = text_reader.Next()) {
+    const auto got = reader.Next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->seq, expected->seq);
+    EXPECT_EQ(got->path, expected->path);
+  }
+  EXPECT_FALSE(reader.Next().has_value());
+}
+
+TEST(BinaryTrace, BadMagicRejected) {
+  std::stringstream buffer("not a binary trace");
+  BinaryTraceReader reader(buffer);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_FALSE(reader.Next().has_value());
+}
+
+TEST(BinaryTrace, TruncationStopsCleanly) {
+  std::stringstream buffer;
+  BinaryTraceWriter writer(buffer);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    writer.Write(RandomEvent(&rng, i + 1, (i + 1) * 1'000));
+  }
+  const std::string full = buffer.str();
+
+  for (const double frac : {0.3, 0.6, 0.95}) {
+    std::stringstream cut(full.substr(0, static_cast<size_t>(full.size() * frac)));
+    BinaryTraceReader reader(cut);
+    ASSERT_TRUE(reader.ok());
+    size_t read = 0;
+    while (reader.Next().has_value()) {
+      ++read;
+    }
+    EXPECT_LT(read, 50u) << frac;
+  }
+}
+
+TEST(BinaryTrace, GarbageAfterHeaderHandled) {
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string data = "SEERBT1\n";
+    const size_t len = 5 + rng.NextBounded(200);
+    for (size_t i = 0; i < len; ++i) {
+      data += static_cast<char>(rng.NextBounded(256));
+    }
+    std::stringstream buffer(data);
+    BinaryTraceReader reader(buffer);
+    ASSERT_TRUE(reader.ok());
+    size_t read = 0;
+    while (reader.Next().has_value() && read < 10'000) {
+      ++read;  // must terminate without crashing
+    }
+  }
+}
+
+TEST(BinaryTrace, DictionaryDeduplicatesPaths) {
+  std::stringstream buffer;
+  BinaryTraceWriter writer(buffer);
+  TraceEvent e;
+  e.op = Op::kOpen;
+  e.path = "/the/same/long/path/every/time/file.c";
+  for (int i = 0; i < 100; ++i) {
+    e.seq = static_cast<uint64_t>(i);
+    e.time = i;
+    writer.Write(e);
+  }
+  EXPECT_EQ(writer.dictionary_size(), 2u);  // the path and ""
+  // 100 events referencing a 38-byte path must cost far less than
+  // 100 * 38 bytes.
+  EXPECT_LT(buffer.str().size(), 1'500u);
+}
+
+}  // namespace
+}  // namespace seer

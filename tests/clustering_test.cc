@@ -1,0 +1,238 @@
+// Tests for the modified Jarvis-Patrick clustering of Section 3.3,
+// including the paper's seven-file worked example (Table 2).
+#include "src/core/clustering.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace seer {
+namespace {
+
+class ClusterHarness {
+ public:
+  explicit ClusterHarness(SeerParams params = MakeParams())
+      : params_(params), relations_(params_, &files_), builder_(params_, &files_, &relations_) {}
+
+  static SeerParams MakeParams() {
+    SeerParams p;
+    p.cluster_near = 6;  // kn
+    p.cluster_far = 3;   // kf
+    p.dir_distance_weight = 0.0;
+    return p;
+  }
+
+  FileId Id(const std::string& name) {
+    // All files share one directory so directory distance is zero.
+    return files_.Intern("/w/" + name);
+  }
+
+  // Declares that `from` lists `to` with an effective shared-neighbor count
+  // of `x` (delivered via the investigated-pair channel, which the builder
+  // adds to the raw shared count — zero here since no distances exist).
+  void Relate(const std::string& from, const std::string& to, int x) {
+    builder_.AddInvestigatedPair(Id(from), Id(to), static_cast<double>(x));
+  }
+
+  // Builds clusters over the given files and returns them as sets of names.
+  std::vector<std::set<std::string>> Build(const std::vector<std::string>& names) {
+    std::vector<FileId> ids;
+    for (const auto& n : names) {
+      ids.push_back(Id(n));
+    }
+    const ClusterSet set = builder_.Build(ids);
+    std::vector<std::set<std::string>> out;
+    for (const Cluster& c : set.clusters) {
+      std::set<std::string> members;
+      for (const FileId id : c.members) {
+        const std::string& path = files_.Get(id).path;
+        members.insert(path.substr(3));  // strip "/w/"
+      }
+      out.push_back(std::move(members));
+    }
+    return out;
+  }
+
+  FileTable& files() { return files_; }
+  RelationTable& relations() { return relations_; }
+  ClusterBuilder& builder() { return builder_; }
+
+ private:
+  SeerParams params_;
+  FileTable files_;
+  RelationTable relations_;
+  ClusterBuilder builder_;
+};
+
+bool HasCluster(const std::vector<std::set<std::string>>& clusters,
+                const std::set<std::string>& expected) {
+  return std::find(clusters.begin(), clusters.end(), expected) != clusters.end();
+}
+
+// Table 2 / Section 3.3.2 worked example: files A..G, with kn = 6, kf = 3.
+// Phase one combines {A,B,C} (A~B, B~C at kn) and {D,E,F,G} (D~E, F~G, G~D
+// at kn). Phase two sees A~C (already together) and C~D (kf): C joins D's
+// cluster and D joins C's. Final clusters: {A,B,C,D} and {C,D,E,F,G}.
+TEST(Clustering, PaperTable2Example) {
+  ClusterHarness h;
+  h.Relate("A", "B", 6);
+  h.Relate("A", "C", 3);
+  h.Relate("B", "C", 6);
+  h.Relate("C", "D", 3);
+  h.Relate("D", "E", 6);
+  h.Relate("F", "G", 6);
+  h.Relate("G", "D", 6);
+
+  const auto clusters = h.Build({"A", "B", "C", "D", "E", "F", "G"});
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_TRUE(HasCluster(clusters, {"A", "B", "C", "D"}));
+  EXPECT_TRUE(HasCluster(clusters, {"C", "D", "E", "F", "G"}));
+}
+
+// Files C and D end up in BOTH final clusters — overlapping membership is
+// the point of the two-threshold variation.
+TEST(Clustering, OverlapMembershipRecorded) {
+  ClusterHarness h;
+  h.Relate("A", "B", 6);
+  h.Relate("B", "C", 6);
+  h.Relate("C", "D", 3);
+  h.Relate("D", "E", 6);
+
+  std::vector<FileId> ids;
+  for (const std::string n : {"A", "B", "C", "D", "E"}) {
+    ids.push_back(h.Id(n));
+  }
+  const ClusterSet set = h.builder().Build(ids);
+  EXPECT_EQ(set.ClustersOf(h.Id("C")).size(), 2u);
+  EXPECT_EQ(set.ClustersOf(h.Id("D")).size(), 2u);
+  EXPECT_EQ(set.ClustersOf(h.Id("A")).size(), 1u);
+}
+
+TEST(Clustering, BelowKfNoAction) {
+  ClusterHarness h;
+  h.Relate("A", "B", 2);  // below kf = 3
+  const auto clusters = h.Build({"A", "B"});
+  ASSERT_EQ(clusters.size(), 2u);  // two singletons
+  EXPECT_TRUE(HasCluster(clusters, {"A"}));
+  EXPECT_TRUE(HasCluster(clusters, {"B"}));
+}
+
+TEST(Clustering, UnrelatedFilesBecomeSingletons) {
+  ClusterHarness h;
+  const auto clusters = h.Build({"X", "Y", "Z"});
+  EXPECT_EQ(clusters.size(), 3u);
+}
+
+// Transitive combination: A~B and B~C at kn puts A and C in one cluster
+// even with no direct relationship (as in the paper's walkthrough).
+TEST(Clustering, TransitiveCombine) {
+  ClusterHarness h;
+  h.Relate("A", "B", 6);
+  h.Relate("B", "C", 6);
+  const auto clusters = h.Build({"A", "B", "C"});
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_TRUE(HasCluster(clusters, {"A", "B", "C"}));
+}
+
+// Shared-neighbor counting through the relation table: two files whose
+// lists overlap in at least kn entries combine.
+TEST(Clustering, SharedNeighborsFromRelationTable) {
+  SeerParams params = ClusterHarness::MakeParams();
+  params.cluster_near = 3;
+  params.cluster_far = 2;
+  ClusterHarness h(params);
+
+  // A and B each list N1..N3 as close neighbors; A also lists B.
+  for (const std::string nb : {"N1", "N2", "N3"}) {
+    h.relations().Observe(h.Id("A"), h.Id(nb), 1.0);
+    h.relations().Observe(h.Id("B"), h.Id(nb), 1.0);
+  }
+  h.relations().Observe(h.Id("A"), h.Id("B"), 1.0);
+
+  const auto clusters = h.Build({"A", "B", "N1", "N2", "N3"});
+  // A and B share 3 >= kn neighbors -> combined.
+  bool combined = false;
+  for (const auto& c : clusters) {
+    if (c.count("A") != 0 && c.count("B") != 0) {
+      combined = true;
+    }
+  }
+  EXPECT_TRUE(combined);
+}
+
+// Directory distance is subtracted from the shared-neighbor count
+// (Section 3.3.3): widely separated files need more evidence.
+TEST(Clustering, DirectoryDistancePenalty) {
+  SeerParams params = ClusterHarness::MakeParams();
+  params.dir_distance_weight = 1.0;
+  FileTable files;
+  RelationTable relations(params, &files);
+  ClusterBuilder builder(params, &files, &relations);
+
+  const FileId near_a = files.Intern("/p/a");
+  const FileId near_b = files.Intern("/p/b");
+  const FileId far_b = files.Intern("/q/r/s/b");
+  builder.AddInvestigatedPair(near_a, near_b, 6.0);
+  builder.AddInvestigatedPair(near_a, far_b, 6.0);
+
+  // Same evidence, but the far pair is 4 tree edges apart: 6 - 4 = 2 < kf.
+  EXPECT_GE(builder.AdjustedSharedCount(near_a, near_b), 6.0);
+  EXPECT_LT(builder.AdjustedSharedCount(near_a, far_b), 3.0);
+}
+
+// A sufficiently strong investigator forces clustering regardless of
+// semantic distances (Section 3.3.3).
+TEST(Clustering, InvestigatorCanForceCluster) {
+  ClusterHarness h;
+  h.Relate("lonely1", "lonely2", 100);
+  const auto clusters = h.Build({"lonely1", "lonely2"});
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_TRUE(HasCluster(clusters, {"lonely1", "lonely2"}));
+}
+
+TEST(Clustering, InvestigatedStrengthsAccumulate) {
+  ClusterHarness h;
+  h.Relate("A", "B", 2);
+  h.Relate("A", "B", 2);  // two investigators each contribute 2: total 4 >= kf
+  const auto clusters = h.Build({"A", "B"});
+  // kf overlap of two singletons produces identical clusters, deduplicated.
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_TRUE(HasCluster(clusters, {"A", "B"}));
+}
+
+TEST(Clustering, ClearInvestigatedPairsResets) {
+  ClusterHarness h;
+  h.Relate("A", "B", 100);
+  h.builder().ClearInvestigatedPairs();
+  const auto clusters = h.Build({"A", "B"});
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+// Every file appears in at least one cluster, and membership indices are
+// consistent with cluster contents.
+TEST(Clustering, MembershipInvariants) {
+  ClusterHarness h;
+  h.Relate("A", "B", 6);
+  h.Relate("B", "C", 3);
+  h.Relate("D", "E", 4);
+
+  std::vector<FileId> ids;
+  for (const std::string n : {"A", "B", "C", "D", "E", "F"}) {
+    ids.push_back(h.Id(n));
+  }
+  const ClusterSet set = h.builder().Build(ids);
+  for (const FileId id : ids) {
+    const auto& clusters_of = set.ClustersOf(id);
+    ASSERT_FALSE(clusters_of.empty());
+    for (const uint32_t c : clusters_of) {
+      const auto& members = set.clusters[c].members;
+      EXPECT_TRUE(std::find(members.begin(), members.end(), id) != members.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seer

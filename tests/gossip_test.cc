@@ -1,0 +1,100 @@
+// Tests for peer-to-peer anti-entropy reconciliation (the RUMOR model).
+#include "src/replication/gossip.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace seer {
+namespace {
+
+TEST(Gossip, PairwiseUpdatePropagates) {
+  GossipNetwork net(2);
+  net.Update(0, "/a");
+  net.ReconcilePair(0, 1);
+  EXPECT_TRUE(net.Converged("/a"));
+  EXPECT_EQ(net.Version(1, "/a").Get(0), 1u);
+}
+
+TEST(Gossip, EpidemicPropagationThroughRing) {
+  GossipNetwork net(5);
+  net.Update(2, "/a");
+  const int sweeps = net.SweepsToConverge(10);
+  ASSERT_GT(sweeps, 0);
+  for (ReplicaId r = 0; r < 5; ++r) {
+    EXPECT_EQ(net.Version(r, "/a").Get(2), 1u) << r;
+  }
+}
+
+TEST(Gossip, ConcurrentUpdatesResolveOnce) {
+  GossipNetwork net(4);
+  net.Update(0, "/a");
+  net.Update(3, "/a");
+  const int sweeps = net.SweepsToConverge(10);
+  ASSERT_GT(sweeps, 0);
+  EXPECT_EQ(net.stats().conflicts_detected, 1u)
+      << "the resolution event must dominate everywhere; no re-conflicts";
+  EXPECT_EQ(net.stats().conflicts_resolved, 1u);
+}
+
+TEST(Gossip, ResolutionIsDeterministic) {
+  // Same updates, two reconciliation orders, same final version.
+  GossipNetwork a(3);
+  a.Update(0, "/f");
+  a.Update(2, "/f");
+  a.ReconcilePair(0, 2);  // conflict here
+
+  GossipNetwork b(3);
+  b.Update(0, "/f");
+  b.Update(2, "/f");
+  b.ReconcilePair(2, 0);  // opposite direction
+
+  EXPECT_EQ(a.Version(0, "/f").ToString(), b.Version(0, "/f").ToString());
+}
+
+TEST(Gossip, ManyFilesManyReplicasConverge) {
+  GossipNetwork net(8);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    net.Update(static_cast<ReplicaId>(rng.NextBounded(8)),
+               "/f" + std::to_string(rng.NextBounded(40)));
+  }
+  const int sweeps = net.SweepsToConverge(20);
+  EXPECT_GT(sweeps, 0);
+  EXPECT_TRUE(net.FullyConverged());
+  EXPECT_EQ(net.KnownFiles().size(), net.KnownFiles().size());
+  EXPECT_EQ(net.stats().conflicts_detected, net.stats().conflicts_resolved);
+}
+
+TEST(Gossip, ConvergenceNeedsAtMostReplicaCountSweeps) {
+  // Ring anti-entropy moves information at least one hop per sweep in each
+  // direction, so N replicas converge within N sweeps.
+  for (int n = 2; n <= 9; ++n) {
+    GossipNetwork net(n);
+    net.Update(0, "/a");
+    const int sweeps = net.SweepsToConverge(n);
+    EXPECT_GT(sweeps, 0) << "n=" << n;
+  }
+}
+
+TEST(Gossip, InterleavedUpdatesAndReconciles) {
+  GossipNetwork net(3);
+  net.Update(0, "/a");
+  net.ReconcilePair(0, 1);
+  net.Update(1, "/a");  // builds on the propagated version: NOT a conflict
+  net.ReconcilePair(1, 2);
+  net.ReconcilePair(0, 1);
+  EXPECT_EQ(net.stats().conflicts_detected, 0u);
+  EXPECT_TRUE(net.FullyConverged());
+  EXPECT_EQ(net.Version(2, "/a").Get(0), 1u);
+  EXPECT_EQ(net.Version(2, "/a").Get(1), 1u);
+}
+
+TEST(Gossip, UnknownFileVersionIsEmpty) {
+  GossipNetwork net(2);
+  EXPECT_TRUE(net.Version(0, "/nope").Empty());
+  EXPECT_TRUE(net.FullyConverged());  // vacuously
+}
+
+}  // namespace
+}  // namespace seer

@@ -1,0 +1,143 @@
+// Tests for automated periodic hoard filling (Section 2).
+#include "src/core/hoard_daemon.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace seer {
+namespace {
+
+FileReference Ref(Pid pid, RefKind kind, const std::string& path, Time time) {
+  FileReference r;
+  r.pid = pid;
+  r.kind = kind;
+  r.path = path;
+  r.time = time;
+  return r;
+}
+
+class HoardDaemonTest : public ::testing::Test {
+ protected:
+  HoardDaemonTest()
+      : observer_(ObserverConfig{}, nullptr),
+        manager_(1'000'000),
+        daemon_(&correlator_, &observer_, &manager_, &miss_log_,
+                [this](const std::set<std::string>& target) {
+                  installed_ = target;
+                  ++installs_;
+                },
+                [](const std::string&) -> uint64_t { return 100; }, MakeConfig()) {
+    // A small active project.
+    for (int i = 0; i < 3; ++i) {
+      InvestigatedRelation rel;
+      rel.files = {"/p/a", "/p/b"};
+      rel.strength = 50.0;
+      correlator_.AddInvestigatedRelation(rel);
+      correlator_.OnReference(Ref(1, RefKind::kPoint, "/p/a", i * 10 + 1));
+      correlator_.OnReference(Ref(1, RefKind::kPoint, "/p/b", i * 10 + 2));
+    }
+  }
+
+  static HoardDaemon::Config MakeConfig() {
+    HoardDaemon::Config config;
+    config.interval = kMicrosPerHour;
+    return config;
+  }
+
+  Correlator correlator_;
+  Observer observer_;
+  HoardManager manager_;
+  MissLog miss_log_;
+  std::set<std::string> installed_;
+  size_t installs_ = 0;
+  HoardDaemon daemon_;
+};
+
+TEST_F(HoardDaemonTest, FirstTickFills) {
+  EXPECT_TRUE(daemon_.MaybeRefill(0));
+  EXPECT_EQ(installs_, 1u);
+  EXPECT_EQ(installed_.count("/p/a"), 1u);
+  EXPECT_EQ(installed_.count("/p/b"), 1u);
+}
+
+TEST_F(HoardDaemonTest, RespectsInterval) {
+  EXPECT_TRUE(daemon_.MaybeRefill(0));
+  EXPECT_FALSE(daemon_.MaybeRefill(kMicrosPerHour / 2));
+  EXPECT_FALSE(daemon_.MaybeRefill(kMicrosPerHour - 1));
+  EXPECT_TRUE(daemon_.MaybeRefill(kMicrosPerHour));
+  EXPECT_EQ(daemon_.refill_count(), 2u);
+}
+
+TEST_F(HoardDaemonTest, ForceRefillIgnoresInterval) {
+  daemon_.MaybeRefill(0);
+  const auto selection = daemon_.ForceRefill(1);
+  EXPECT_EQ(installs_, 2u);
+  EXPECT_TRUE(selection.Contains("/p/a"));
+}
+
+TEST_F(HoardDaemonTest, PendingMissesGetPinned) {
+  miss_log_.RecordManual("/elsewhere/needed", 5, MissSeverity::kTaskChange);
+  daemon_.ForceRefill(10);
+  EXPECT_EQ(installed_.count("/elsewhere/needed"), 1u)
+      << "a missed file must be pinned into the next hoard";
+  EXPECT_EQ(manager_.pinned().count("/elsewhere/needed"), 1u);
+}
+
+TEST_F(HoardDaemonTest, LastSelectionRecorded) {
+  daemon_.ForceRefill(10);
+  EXPECT_GT(daemon_.last_selection().files.size(), 0u);
+  EXPECT_EQ(daemon_.last_fill_time(), 10);
+}
+
+TEST(HoardDaemonInvestigators, RunsInvestigatorsWhenConfigured) {
+  SimFilesystem fs;
+  fs.MkdirAll("/p");
+  fs.CreateFile("/p/m.c", 0);
+  fs.CreateFile("/p/h.h", 100);
+  fs.WriteContent("/p/m.c", "#include \"h.h\"\n");
+
+  Correlator correlator;
+  correlator.AddInvestigator(std::make_unique<IncludeScanner>(20.0));
+  // The two files were referenced by different processes: no semantic
+  // distance exists, so only the investigator can bind them.
+  FileReference a;
+  a.pid = 1;
+  a.kind = RefKind::kPoint;
+  a.path = "/p/m.c";
+  a.time = 1;
+  correlator.OnReference(a);
+  FileReference b = a;
+  b.pid = 2;
+  b.path = "/p/h.h";
+  b.time = 2;
+  correlator.OnReference(b);
+
+  Observer observer(ObserverConfig{}, &fs);
+  HoardManager manager(1'000'000);
+  MissLog miss_log;
+  std::set<std::string> installed;
+  HoardDaemon::Config config;
+  config.investigate_fs = &fs;
+  HoardDaemon daemon(
+      &correlator, &observer, &manager, &miss_log,
+      [&installed](const std::set<std::string>& target) { installed = target; },
+      [](const std::string&) -> uint64_t { return 10; }, config);
+
+  const HoardSelection sel = daemon.ForceRefill(1);
+  EXPECT_TRUE(sel.Contains("/p/m.c"));
+  EXPECT_TRUE(sel.Contains("/p/h.h"));
+  // And the investigator actually bound them into one project.
+  const ClusterSet clusters = correlator.BuildClusters();
+  const FileId m = correlator.files().Find("/p/m.c");
+  const FileId h = correlator.files().Find("/p/h.h");
+  bool together = false;
+  for (const uint32_t c : clusters.ClustersOf(m)) {
+    const auto& members = clusters.clusters[c].members;
+    together |= std::find(members.begin(), members.end(), h) != members.end();
+  }
+  EXPECT_TRUE(together);
+}
+
+}  // namespace
+}  // namespace seer

@@ -1,0 +1,218 @@
+// Tests for hoard selection (whole projects only, activity priority,
+// unconditional contents) and the miss log (Section 4.4 severities, manual
+// + automatic paths).
+#include "src/core/hoard.h"
+
+#include <gtest/gtest.h>
+
+namespace seer {
+namespace {
+
+FileReference Ref(Pid pid, RefKind kind, const std::string& path, Time time) {
+  FileReference r;
+  r.pid = pid;
+  r.kind = kind;
+  r.path = path;
+  r.time = time;
+  return r;
+}
+
+class HoardTest : public ::testing::Test {
+ protected:
+  HoardTest() : correlator_(MakeParams()) {}
+
+  static SeerParams MakeParams() {
+    SeerParams p;
+    p.dir_distance_weight = 0.0;
+    return p;
+  }
+
+  // Registers a project of `files` with pairwise investigator relations so
+  // it clusters, and touches it at the given time (later = higher
+  // priority).
+  void MakeProject(const std::vector<std::string>& files, Time time) {
+    for (const auto& f : files) {
+      correlator_.OnReference(Ref(1, RefKind::kPoint, f, time));
+    }
+    InvestigatedRelation rel;
+    rel.files = files;
+    rel.strength = 50.0;
+    correlator_.AddInvestigatedRelation(rel);
+  }
+
+  static uint64_t FixedSize(const std::string&) { return 10; }
+
+  Correlator correlator_;
+};
+
+TEST_F(HoardTest, WholeProjectsOnly) {
+  MakeProject({"/p1/a", "/p1/b", "/p1/c"}, 100);  // 30 bytes
+  MakeProject({"/p2/x", "/p2/y"}, 200);           // 20 bytes, more recent
+
+  HoardManager manager(25);
+  const auto clusters = correlator_.BuildClusters();
+  const auto sel = manager.ChooseHoard(correlator_, clusters, {}, FixedSize);
+
+  // p2 (more recent) fits; p1 would overflow 25 bytes and is skipped whole.
+  EXPECT_TRUE(sel.Contains("/p2/x"));
+  EXPECT_TRUE(sel.Contains("/p2/y"));
+  EXPECT_FALSE(sel.Contains("/p1/a"));
+  EXPECT_FALSE(sel.Contains("/p1/b"));
+  EXPECT_EQ(sel.projects_skipped, 1u);
+  EXPECT_GE(sel.projects_hoarded, 1u);
+}
+
+TEST_F(HoardTest, HigherActivityWins) {
+  MakeProject({"/old/a", "/old/b"}, 100);
+  MakeProject({"/new/a", "/new/b"}, 500);
+
+  HoardManager manager(20);
+  const auto sel =
+      manager.ChooseHoard(correlator_, correlator_.BuildClusters(), {}, FixedSize);
+  EXPECT_TRUE(sel.Contains("/new/a"));
+  EXPECT_FALSE(sel.Contains("/old/a"));
+}
+
+TEST_F(HoardTest, BothProjectsWhenBudgetAllows) {
+  MakeProject({"/p1/a", "/p1/b"}, 100);
+  MakeProject({"/p2/x", "/p2/y"}, 200);
+  HoardManager manager(1000);
+  const auto sel =
+      manager.ChooseHoard(correlator_, correlator_.BuildClusters(), {}, FixedSize);
+  EXPECT_TRUE(sel.Contains("/p1/a"));
+  EXPECT_TRUE(sel.Contains("/p2/x"));
+  EXPECT_EQ(sel.projects_skipped, 0u);
+}
+
+TEST_F(HoardTest, AlwaysHoardIncludedRegardlessOfBudget) {
+  MakeProject({"/p/a"}, 100);
+  HoardManager manager(5);  // too small for anything
+  const std::set<std::string> always = {"/lib/libc.so", "/etc/passwd"};
+  const auto sel =
+      manager.ChooseHoard(correlator_, correlator_.BuildClusters(), always, FixedSize);
+  EXPECT_TRUE(sel.Contains("/lib/libc.so"));
+  EXPECT_TRUE(sel.Contains("/etc/passwd"));
+}
+
+TEST_F(HoardTest, PinnedFilesIncluded) {
+  MakeProject({"/p/a"}, 100);
+  HoardManager manager(1000);
+  manager.Pin("/special/file");
+  const auto sel =
+      manager.ChooseHoard(correlator_, correlator_.BuildClusters(), {}, FixedSize);
+  EXPECT_TRUE(sel.Contains("/special/file"));
+  manager.Unpin("/special/file");
+  const auto sel2 =
+      manager.ChooseHoard(correlator_, correlator_.BuildClusters(), {}, FixedSize);
+  EXPECT_FALSE(sel2.Contains("/special/file"));
+}
+
+TEST_F(HoardTest, DeletedFilesNotHoarded) {
+  MakeProject({"/p/a", "/p/b"}, 100);
+  correlator_.OnFileDeleted("/p/b", 150);
+  HoardManager manager(1000);
+  const auto sel =
+      manager.ChooseHoard(correlator_, correlator_.BuildClusters(), {}, FixedSize);
+  EXPECT_TRUE(sel.Contains("/p/a"));
+  EXPECT_FALSE(sel.Contains("/p/b"));
+}
+
+TEST_F(HoardTest, BytesAccounting) {
+  MakeProject({"/p/a", "/p/b"}, 100);
+  HoardManager manager(1000);
+  const auto sel =
+      manager.ChooseHoard(correlator_, correlator_.BuildClusters(), {"/x"}, FixedSize);
+  EXPECT_EQ(sel.bytes_used, 30u);  // /x + /p/a + /p/b
+  EXPECT_EQ(sel.budget_bytes, 1000u);
+}
+
+TEST_F(HoardTest, PartialModeFillsFromOversizedProject) {
+  MakeProject({"/big/a", "/big/b", "/big/c", "/big/d"}, 500);  // 40 bytes
+  HoardManager manager(25);
+  manager.set_allow_partial_projects(true);
+  const auto sel =
+      manager.ChooseHoard(correlator_, correlator_.BuildClusters(), {}, FixedSize);
+  // Whole project (40) exceeds the budget (25); partial mode takes what
+  // fits instead of skipping.
+  EXPECT_EQ(sel.projects_skipped, 0u);
+  EXPECT_GE(sel.files.size(), 2u);
+  EXPECT_LE(sel.bytes_used, 25u);
+}
+
+TEST_F(HoardTest, WholeProjectModeSkipsSameProject) {
+  MakeProject({"/big/a", "/big/b", "/big/c", "/big/d"}, 500);
+  HoardManager manager(25);
+  const auto sel =
+      manager.ChooseHoard(correlator_, correlator_.BuildClusters(), {}, FixedSize);
+  EXPECT_EQ(sel.projects_skipped, 1u);
+  EXPECT_FALSE(sel.Contains("/big/a"));
+}
+
+TEST_F(HoardTest, ReservedBytesChargeTheBudget) {
+  MakeProject({"/p/a", "/p/b"}, 100);  // 20 bytes
+  HoardManager manager(25);
+  manager.set_reserved_bytes(10);  // directory overhead (Section 4.6)
+  const auto sel =
+      manager.ChooseHoard(correlator_, correlator_.BuildClusters(), {}, FixedSize);
+  // 20-byte project + 10 reserved > 25: skipped.
+  EXPECT_FALSE(sel.Contains("/p/a"));
+  EXPECT_EQ(sel.projects_skipped, 1u);
+
+  manager.set_reserved_bytes(5);
+  const auto sel2 =
+      manager.ChooseHoard(correlator_, correlator_.BuildClusters(), {}, FixedSize);
+  EXPECT_TRUE(sel2.Contains("/p/a"));
+}
+
+// --- MissLog -------------------------------------------------------------------
+
+TEST(MissLog, ManualRecordingWithSeverity) {
+  MissLog log;
+  log.RecordManual("/p/file", 10, MissSeverity::kTaskChange);
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.records()[0].severity, MissSeverity::kTaskChange);
+  EXPECT_FALSE(log.records()[0].automatic);
+  EXPECT_EQ(log.CountAtSeverity(MissSeverity::kTaskChange), 1u);
+  EXPECT_EQ(log.CountAtSeverity(MissSeverity::kUnusable), 0u);
+}
+
+TEST(MissLog, AutomaticDetectionDedupedPerDisconnection) {
+  MissLog log;
+  log.StartDisconnection(0);
+  log.OnNotLocalAccess("/p/file", 1, 10);
+  log.OnNotLocalAccess("/p/file", 1, 20);  // same file again: ignored
+  log.OnNotLocalAccess("/p/other", 1, 30);
+  EXPECT_EQ(log.automatic_count(), 2u);
+  EXPECT_EQ(log.CurrentDisconnectionMissCount(), 2u);
+
+  log.EndDisconnection();
+  log.StartDisconnection(100);
+  log.OnNotLocalAccess("/p/file", 1, 110);  // new disconnection: recorded
+  EXPECT_EQ(log.automatic_count(), 3u);
+  EXPECT_EQ(log.CurrentDisconnectionMissCount(), 1u);
+}
+
+TEST(MissLog, MissedFilesScheduledForHoarding) {
+  MissLog log;
+  log.RecordManual("/p/a", 10, MissSeverity::kMinor);
+  log.StartDisconnection(0);
+  log.OnNotLocalAccess("/p/b", 1, 20);
+  auto to_hoard = log.TakeFilesToHoard();
+  ASSERT_EQ(to_hoard.size(), 2u);
+  EXPECT_TRUE(log.TakeFilesToHoard().empty()) << "taking clears the set";
+}
+
+TEST(MissLog, SeverityScaleCoversPaperCodes) {
+  MissLog log;
+  log.RecordManual("/a", 1, MissSeverity::kUnusable);
+  log.RecordManual("/b", 2, MissSeverity::kTaskChange);
+  log.RecordManual("/c", 3, MissSeverity::kActivityChange);
+  log.RecordManual("/d", 4, MissSeverity::kMinor);
+  log.RecordManual("/e", 5, MissSeverity::kPreload);
+  for (int s = 0; s <= 4; ++s) {
+    EXPECT_EQ(log.CountAtSeverity(static_cast<MissSeverity>(s)), 1u) << s;
+  }
+}
+
+}  // namespace
+}  // namespace seer

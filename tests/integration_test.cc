@@ -1,0 +1,173 @@
+// End-to-end integration tests: full SEER stack against the synthetic
+// workload, checking the *direction* of the paper's headline results
+// (Section 5.2): SEER's miss-free hoard tracks the working set while LRU
+// needs more; live usage completes with sensible miss accounting and no
+// severity-0 failures.
+#include <gtest/gtest.h>
+
+#include "src/sim/live_sim.h"
+#include "src/sim/machine_sim.h"
+
+namespace seer {
+namespace {
+
+// A small machine so the test stays fast: ~2 weeks of daily periods.
+MachineProfile TestProfile() {
+  MachineProfile p = GetMachineProfile('D');
+  p.days_measured = 16;
+  p.active_hours_per_day = 0.4;
+  p.env.num_projects = 5;
+  p.env.size_scale = 3.0;
+  return p;
+}
+
+TEST(Integration, MissFreeSimulationProducesSaneNumbers) {
+  MissFreeSimConfig config;
+  config.seed = 11;
+  const MissFreeSimResult r = RunMissFreeSimulation(TestProfile(), config);
+
+  ASSERT_GE(r.periods.size(), 10u);
+  EXPECT_GT(r.trace_events, 1'000u);
+  EXPECT_GT(r.files_tracked, 50u);
+
+  for (const auto& p : r.periods) {
+    // The working set is a lower bound for every algorithm.
+    EXPECT_GE(p.seer_mb, p.working_set_mb - 1e-6);
+    EXPECT_GE(p.lru_mb, p.working_set_mb - 1e-6);
+    EXPECT_EQ(p.uncovered_seer, 0u);
+    EXPECT_EQ(p.uncovered_lru, 0u);
+  }
+}
+
+TEST(Integration, SeerBeatsLruOnAverage) {
+  MissFreeSimConfig config;
+  config.seed = 12;
+  const MissFreeSimResult r = RunMissFreeSimulation(TestProfile(), config);
+  ASSERT_GT(r.periods.size(), 0u);
+  // The paper's central claim, directionally: the clustering manager needs
+  // less space than strict LRU, and stays near the working set.
+  EXPECT_LT(r.seer_mb.mean, r.lru_mb.mean);
+  EXPECT_LT(r.seer_mb.mean, 3.0 * r.working_set_mb.mean + 1.0);
+}
+
+TEST(Integration, WeeklyPeriodsAggregateDays) {
+  MachineProfile p = TestProfile();
+  p.days_measured = 21;
+  MissFreeSimConfig daily;
+  daily.seed = 13;
+  MissFreeSimConfig weekly;
+  weekly.seed = 13;
+  weekly.period = 7 * kMicrosPerDay;
+  const auto rd = RunMissFreeSimulation(p, daily);
+  const auto rw = RunMissFreeSimulation(p, weekly);
+  ASSERT_GT(rw.periods.size(), 0u);
+  // Weekly working sets are at least as large as daily ones on average.
+  EXPECT_GE(rw.working_set_mb.mean, rd.working_set_mb.mean * 0.9);
+  EXPECT_EQ(rw.periods.size(), 2u);  // 21 days, one warmup week
+}
+
+TEST(Integration, InvestigatorsRunWithoutBreakingResults) {
+  MissFreeSimConfig with;
+  with.seed = 14;
+  with.use_investigators = true;
+  const auto r = RunMissFreeSimulation(TestProfile(), with);
+  ASSERT_GT(r.periods.size(), 0u);
+  for (const auto& p : r.periods) {
+    EXPECT_EQ(p.uncovered_seer, 0u);
+  }
+}
+
+TEST(Integration, LiveUsageRunsAndAccountsMisses) {
+  MachineProfile p = TestProfile();
+  LiveSimConfig config;
+  config.seed = 15;
+  config.disconnections_override = 12;
+  const LiveSimResult r = RunLiveUsage(p, config);
+
+  ASSERT_EQ(r.disconnections.size(), 12u);
+  EXPECT_GT(r.trace_events, 1'000u);
+  EXPECT_GT(r.replication.files_fetched, 0u);
+  for (const auto& d : r.disconnections) {
+    EXPECT_GT(d.wall_hours, 0.0);
+    EXPECT_LE(d.active_hours, d.wall_hours + 1e-9);
+    for (const auto& m : d.misses) {
+      EXPECT_GE(m.time, 0);  // offsets into the disconnection
+    }
+  }
+  // The paper observed no severity-0 (machine unusable) misses, ever;
+  // critical files are always hoarded, so none should appear here either.
+  EXPECT_EQ(r.failures_by_severity()[0], 0u);
+}
+
+TEST(Integration, TinyHoardForcesMisses) {
+  MachineProfile p = TestProfile();
+  LiveSimConfig config;
+  config.seed = 16;
+  config.disconnections_override = 15;
+  config.hoard_mb_override = 0.2;  // absurdly small: projects cannot fit
+  const LiveSimResult r = RunLiveUsage(p, config);
+  size_t total_misses = 0;
+  for (const auto& d : r.disconnections) {
+    total_misses += d.misses.size();
+  }
+  EXPECT_GT(total_misses, 0u);
+}
+
+TEST(Integration, GenerousHoardIsMissFree) {
+  MachineProfile p = TestProfile();
+  LiveSimConfig config;
+  config.seed = 17;
+  config.disconnections_override = 10;
+  config.hoard_mb_override = 10'000.0;  // everything fits
+  const LiveSimResult r = RunLiveUsage(p, config);
+  EXPECT_EQ(r.failures_any_severity(), 0u);
+}
+
+TEST(Integration, CodaSubstrateServicesConnectedMissesRemotely) {
+  MachineProfile p = TestProfile();
+  LiveSimConfig config;
+  config.seed = 18;
+  config.disconnections_override = 6;
+  config.replicator = ReplicatorKind::kCoda;
+  const LiveSimResult r = RunLiveUsage(p, config);
+  EXPECT_EQ(r.disconnections.size(), 6u);
+}
+
+TEST(Integration, CodaBaselineTracked) {
+  MissFreeSimConfig config;
+  config.seed = 21;
+  config.include_coda = true;
+  const MissFreeSimResult r = RunMissFreeSimulation(TestProfile(), config);
+  ASSERT_GT(r.periods.size(), 0u);
+  EXPECT_GT(r.coda_mb.count, 0u);
+  for (const auto& p : r.periods) {
+    EXPECT_GE(p.coda_mb, p.working_set_mb - 1e-6)
+        << "the working set lower-bounds every manager";
+  }
+}
+
+TEST(Integration, PartialHoardPolicyRuns) {
+  MachineProfile p = TestProfile();
+  LiveSimConfig config;
+  config.seed = 22;
+  config.disconnections_override = 8;
+  config.hoard_mb_override = 2.0;  // force pressure
+  config.allow_partial_projects = true;
+  const LiveSimResult r = RunLiveUsage(p, config);
+  EXPECT_EQ(r.disconnections.size(), 8u);
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  MissFreeSimConfig config;
+  config.seed = 19;
+  const auto a = RunMissFreeSimulation(TestProfile(), config);
+  const auto b = RunMissFreeSimulation(TestProfile(), config);
+  ASSERT_EQ(a.periods.size(), b.periods.size());
+  for (size_t i = 0; i < a.periods.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.periods[i].seer_mb, b.periods[i].seer_mb);
+    EXPECT_DOUBLE_EQ(a.periods[i].lru_mb, b.periods[i].lru_mb);
+  }
+}
+
+}  // namespace
+}  // namespace seer

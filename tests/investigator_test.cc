@@ -1,0 +1,144 @@
+// Tests for external investigators (Sections 3.2, 3.3.3).
+#include "src/core/investigator.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace seer {
+namespace {
+
+class InvestigatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs_.MkdirAll("/home/u/proj");
+    fs_.CreateFile("/home/u/proj/main.c", 0);
+    fs_.CreateFile("/home/u/proj/util.h", 0);
+    fs_.CreateFile("/home/u/proj/io.h", 0);
+    fs_.WriteContent("/home/u/proj/main.c",
+                     "#include \"util.h\"\n"
+                     "#include \"io.h\"\n"
+                     "#include <stdio.h>\n"
+                     "int main() { return 0; }\n");
+  }
+  SimFilesystem fs_;
+};
+
+TEST_F(InvestigatorTest, ParseIncludesQuotedOnly) {
+  const auto includes = IncludeScanner::ParseIncludes(
+      "#include \"a.h\"\n"
+      "  #  include   \"sub/b.h\"\n"
+      "#include <system.h>\n"
+      "// #include \"commented-out.h\" is skipped (line starts with //)\n"
+      "int x;\n");
+  ASSERT_GE(includes.size(), 2u);
+  EXPECT_EQ(includes[0], "a.h");
+  EXPECT_EQ(includes[1], "sub/b.h");
+  EXPECT_TRUE(std::find(includes.begin(), includes.end(), "system.h") == includes.end());
+}
+
+TEST_F(InvestigatorTest, IncludeScannerFindsRelations) {
+  IncludeScanner scanner(4.0);
+  const auto relations = scanner.Investigate(
+      fs_, {"/home/u/proj/main.c", "/home/u/proj/util.h", "/home/u/proj/io.h"});
+  ASSERT_EQ(relations.size(), 1u);
+  const auto& rel = relations[0];
+  EXPECT_DOUBLE_EQ(rel.strength, 4.0);
+  ASSERT_EQ(rel.files.size(), 3u);
+  EXPECT_EQ(rel.files[0], "/home/u/proj/main.c");
+  EXPECT_TRUE(std::find(rel.files.begin(), rel.files.end(), "/home/u/proj/util.h") !=
+              rel.files.end());
+  EXPECT_TRUE(std::find(rel.files.begin(), rel.files.end(), "/home/u/proj/io.h") !=
+              rel.files.end());
+}
+
+TEST_F(InvestigatorTest, IncludeScannerSkipsMissingTargets) {
+  fs_.CreateFile("/home/u/proj/dangling.c", 0);
+  fs_.WriteContent("/home/u/proj/dangling.c", "#include \"ghost.h\"\n");
+  IncludeScanner scanner;
+  const auto relations = scanner.Investigate(fs_, {"/home/u/proj/dangling.c"});
+  EXPECT_TRUE(relations.empty());  // no existing target -> no relation
+}
+
+TEST_F(InvestigatorTest, IncludeScannerIgnoresNonSources) {
+  fs_.CreateFile("/home/u/proj/data.txt", 0);
+  fs_.WriteContent("/home/u/proj/data.txt", "#include \"util.h\"\n");
+  IncludeScanner scanner;
+  EXPECT_TRUE(scanner.Investigate(fs_, {"/home/u/proj/data.txt"}).empty());
+}
+
+TEST_F(InvestigatorTest, MakefileParseRules) {
+  const auto rules = MakefileInvestigator::ParseRules(
+      "# comment\n"
+      "prog: main.o util.o\n"
+      "\tcc -o prog main.o util.o\n"
+      "main.o: main.c util.h\n"
+      "\tcc -c main.c\n"
+      ".PHONY: clean\n"
+      "clean:\n"
+      "\trm -f *.o\n");
+  ASSERT_EQ(rules.size(), 3u);  // prog, main.o, clean (.PHONY skipped)
+  EXPECT_EQ(rules[0].first, "prog");
+  EXPECT_EQ(rules[0].second, (std::vector<std::string>{"main.o", "util.o"}));
+  EXPECT_EQ(rules[1].first, "main.o");
+  EXPECT_EQ(rules[2].first, "clean");
+  EXPECT_TRUE(rules[2].second.empty());
+}
+
+TEST_F(InvestigatorTest, MakefileInvestigatorBuildsGroups) {
+  fs_.CreateFile("/home/u/proj/Makefile", 0);
+  fs_.CreateFile("/home/u/proj/main.o", 0);
+  fs_.WriteContent("/home/u/proj/Makefile",
+                   "main.o: main.c util.h\n"
+                   "\tcc -c main.c\n");
+  MakefileInvestigator inv(6.0);
+  const auto relations = inv.Investigate(fs_, {"/home/u/proj/Makefile"});
+  ASSERT_EQ(relations.size(), 1u);
+  const auto& files = relations[0].files;
+  // Makefile + target + both deps.
+  EXPECT_EQ(files.size(), 4u);
+  EXPECT_EQ(files[0], "/home/u/proj/Makefile");
+}
+
+TEST_F(InvestigatorTest, MakefileInvestigatorOnlyReadsMakefiles) {
+  MakefileInvestigator inv;
+  EXPECT_TRUE(inv.Investigate(fs_, {"/home/u/proj/main.c"}).empty());
+}
+
+TEST_F(InvestigatorTest, HotLinkParse) {
+  const auto links = HotLinkInvestigator::ParseLinks(
+      "Title page\n"
+      "LINK: figures/plot1.fig\n"
+      "  LINK: /abs/target.dat\n"
+      "LINK:\n"
+      "not a LINK: line\n");
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0], "figures/plot1.fig");
+  EXPECT_EQ(links[1], "/abs/target.dat");
+}
+
+TEST_F(InvestigatorTest, HotLinkInvestigatorResolvesTargets) {
+  fs_.MkdirAll("/home/u/doc");
+  fs_.CreateFile("/home/u/doc/report.ms", 0);
+  fs_.CreateFile("/home/u/doc/fig1.fig", 500);
+  fs_.WriteContent("/home/u/doc/report.ms",
+                   "LINK: fig1.fig\n"
+                   "LINK: missing.fig\n"
+                   "body text\n");
+  HotLinkInvestigator inv(5.0);
+  const auto relations = inv.Investigate(fs_, {"/home/u/doc/report.ms"});
+  ASSERT_EQ(relations.size(), 1u);
+  ASSERT_EQ(relations[0].files.size(), 2u);
+  EXPECT_EQ(relations[0].files[0], "/home/u/doc/report.ms");
+  EXPECT_EQ(relations[0].files[1], "/home/u/doc/fig1.fig");
+  EXPECT_DOUBLE_EQ(relations[0].strength, 5.0);
+}
+
+TEST_F(InvestigatorTest, HotLinkInvestigatorSkipsPlainFiles) {
+  HotLinkInvestigator inv;
+  EXPECT_TRUE(inv.Investigate(fs_, {"/home/u/proj/main.c"}).empty())
+      << "no LINK: markers, no relation";
+}
+
+}  // namespace
+}  // namespace seer

@@ -1,0 +1,180 @@
+// Tests reproducing the paper's evaluation of the four meaningless-process
+// detection approaches (Section 4.1): the simple approaches fail in exactly
+// the ways the paper describes, and the ratio heuristic gets both cases
+// right.
+#include <gtest/gtest.h>
+
+#include "src/observer/observer.h"
+#include "src/process/syscall_tracer.h"
+#include "src/vfs/sim_filesystem.h"
+
+namespace seer {
+namespace {
+
+class CountingSink : public ReferenceSink {
+ public:
+  void OnReference(const FileReference& ref) override {
+    if (ref.kind != RefKind::kEnd) {
+      ++refs;
+      last_path = ref.path;
+    }
+  }
+  void OnProcessFork(Pid, Pid) override {}
+  void OnProcessExit(Pid) override {}
+  void OnFileDeleted(const std::string&, Time) override {}
+  void OnFileRenamed(const std::string&, const std::string&, Time) override {}
+  void OnFileExcluded(const std::string&) override {}
+
+  size_t refs = 0;
+  std::string last_path;
+};
+
+class ModeHarness {
+ public:
+  explicit ModeHarness(MeaninglessMode mode) : tracer_(&fs_, &procs_, &clock_) {
+    ObserverConfig config;
+    config.meaningless_mode = mode;
+    config.meaningless_min_potential = 5;
+    observer_ = std::make_unique<Observer>(config, &fs_);
+    observer_->set_sink(&sink_);
+    tracer_.AddSink(observer_.get());
+
+    fs_.MkdirAll("/bin");
+    fs_.CreateFile("/bin/editor", 1000);
+    fs_.CreateFile("/bin/find", 1000);
+    fs_.MkdirAll("/home/u/proj");
+    for (int i = 0; i < 20; ++i) {
+      fs_.CreateFile("/home/u/proj/f" + std::to_string(i), 100);
+    }
+    user_ = procs_.SpawnInit(1000, "/home/u");
+  }
+
+  // An editor session: read the directory for completion (open/read/close),
+  // then edit one file. Returns references emitted for the edited file.
+  size_t EditorSession() {
+    const Pid ed = tracer_.Fork(user_).pid;
+    tracer_.Exec(ed, "/bin/editor");
+    const auto d = tracer_.OpenDir(ed, "/home/u/proj");
+    tracer_.ReadDir(ed, d.fd);
+    tracer_.CloseDir(ed, d.fd);
+    const size_t before = sink_.refs;
+    const auto r = tracer_.Open(ed, "/home/u/proj/f1", false);
+    tracer_.Close(ed, r.fd);
+    tracer_.Exit(ed);
+    return sink_.refs - before;
+  }
+
+  // A find scan: read the directory, CLOSE it, then stat every entry (the
+  // order that defeated approach #3). Returns stat references emitted.
+  size_t FindScan() {
+    const Pid find = tracer_.Fork(user_).pid;
+    tracer_.Exec(find, "/bin/find");
+    const auto d = tracer_.OpenDir(find, "/home/u/proj");
+    tracer_.ReadDir(find, d.fd);
+    tracer_.CloseDir(find, d.fd);
+    const size_t before = sink_.refs;
+    for (int i = 0; i < 20; ++i) {
+      tracer_.Stat(find, "/home/u/proj/f" + std::to_string(i));
+    }
+    // Flush the last pending stat by exiting.
+    tracer_.Exit(find);
+    return sink_.refs - before;
+  }
+
+  SimFilesystem fs_;
+  ProcessTable procs_;
+  SimClock clock_;
+  SyscallTracer tracer_;
+  CountingSink sink_;
+  std::unique_ptr<Observer> observer_;
+  Pid user_ = 0;
+};
+
+// Approach 2 wrongly silences the editor (the paper: "many meaningful
+// programs read directories ... filename completion").
+TEST(MeaninglessModes, AnyDirectoryReadSilencesEditors) {
+  ModeHarness h(MeaninglessMode::kAnyDirectoryRead);
+  EXPECT_EQ(h.EditorSession(), 0u) << "approach #2 filters the editor's real work";
+}
+
+// ...while the ratio heuristic keeps the editor meaningful.
+TEST(MeaninglessModes, RatioKeepsEditors) {
+  ModeHarness h(MeaninglessMode::kRatioHeuristic);
+  EXPECT_GT(h.EditorSession(), 0u);
+}
+
+// Approach 3 fails to catch find, because find closes the directory before
+// visiting the entries (the paper: "this assumption turned out to be
+// false").
+TEST(MeaninglessModes, WhileDirectoryOpenMissesFind) {
+  ModeHarness h(MeaninglessMode::kWhileDirectoryOpen);
+  EXPECT_GT(h.FindScan(), 10u) << "approach #3 lets the scan pollute the correlator";
+}
+
+// The ratio heuristic shuts find down (mostly mid-run on first execution,
+// completely on the second).
+TEST(MeaninglessModes, RatioCatchesFind) {
+  ModeHarness h(MeaninglessMode::kRatioHeuristic);
+  h.FindScan();  // first run: learning
+  EXPECT_TRUE(h.observer_->IsMeaninglessProgram("/bin/find"));
+  EXPECT_EQ(h.FindScan(), 0u) << "second run must be fully filtered";
+}
+
+// ...but approach 3 does suppress references made WHILE a directory is
+// actually open.
+TEST(MeaninglessModes, WhileDirectoryOpenSuppressesDuringOpen) {
+  ModeHarness h(MeaninglessMode::kWhileDirectoryOpen);
+  const Pid p = h.tracer_.Fork(h.user_).pid;
+  h.tracer_.Exec(p, "/bin/editor");
+  const auto d = h.tracer_.OpenDir(p, "/home/u/proj");
+  const size_t before = h.sink_.refs;
+  const auto r = h.tracer_.Open(p, "/home/u/proj/f1", false);  // dir still open
+  h.tracer_.Close(p, r.fd);
+  EXPECT_EQ(h.sink_.refs, before);
+  h.tracer_.CloseDir(p, d.fd);
+  const auto r2 = h.tracer_.Open(p, "/home/u/proj/f2", false);  // dir closed
+  h.tracer_.Close(p, r2.fd);
+  EXPECT_GT(h.sink_.refs, before);
+}
+
+// Approach 1 (control list only) passes both editor and find — unless the
+// administrator lists find by hand.
+TEST(MeaninglessModes, ControlListOnlyNeedsHandListing) {
+  ModeHarness unlisted(MeaninglessMode::kControlListOnly);
+  EXPECT_GT(unlisted.FindScan(), 10u);
+
+  ObserverConfig config;
+  config.meaningless_mode = MeaninglessMode::kControlListOnly;
+  config.meaningless_programs.insert("/bin/find");
+  // Fresh harness with the hand-listed config.
+  SimFilesystem fs;
+  ProcessTable procs;
+  SimClock clock;
+  SyscallTracer tracer(&fs, &procs, &clock);
+  Observer observer(config, &fs);
+  CountingSink sink;
+  observer.set_sink(&sink);
+  tracer.AddSink(&observer);
+  fs.MkdirAll("/bin");
+  fs.CreateFile("/bin/find", 1000);
+  fs.MkdirAll("/home/u/proj");
+  fs.CreateFile("/home/u/proj/f1", 100);
+  const Pid user = procs.SpawnInit(1000, "/home/u");
+  const Pid find = tracer.Fork(user).pid;
+  tracer.Exec(find, "/bin/find");
+  const size_t before = sink.refs;
+  tracer.Stat(find, "/home/u/proj/f1");
+  tracer.Exit(find);
+  EXPECT_EQ(sink.refs - before, 0u);
+}
+
+// PretrainProgramHistory makes the very first traced run of a scanner
+// silent under the ratio heuristic.
+TEST(MeaninglessModes, PretrainedHistorySilencesFirstRun) {
+  ModeHarness h(MeaninglessMode::kRatioHeuristic);
+  h.observer_->PretrainProgramHistory("/bin/find", 10'000, 9'000);
+  EXPECT_EQ(h.FindScan(), 0u);
+}
+
+}  // namespace
+}  // namespace seer

@@ -1,0 +1,387 @@
+// Tests for the observer's Section 4 heuristics: meaningless processes,
+// getcwd detection, frequent files, critical files, temporaries, non-files,
+// stat-open collapse, and miss surfacing.
+#include "src/observer/observer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/process/syscall_tracer.h"
+#include "src/vfs/sim_filesystem.h"
+
+namespace seer {
+namespace {
+
+// Records everything the observer emits.
+class RecordingSink : public ReferenceSink {
+ public:
+  void OnReference(const FileReference& ref) override { refs.push_back(ref); }
+  void OnProcessFork(Pid parent, Pid child) override { forks.emplace_back(parent, child); }
+  void OnProcessExit(Pid pid) override { exits.push_back(pid); }
+  void OnFileDeleted(const std::string& path, Time) override { deleted.push_back(path); }
+  void OnFileRenamed(const std::string& from, const std::string& to, Time) override {
+    renamed.emplace_back(from, to);
+  }
+  void OnFileExcluded(const std::string& path) override { excluded.push_back(path); }
+
+  size_t CountRefsTo(const std::string& path) const {
+    size_t n = 0;
+    for (const auto& r : refs) {
+      if (r.path == path) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  std::vector<FileReference> refs;
+  std::vector<std::pair<Pid, Pid>> forks;
+  std::vector<Pid> exits;
+  std::vector<std::string> deleted;
+  std::vector<std::pair<std::string, std::string>> renamed;
+  std::vector<std::string> excluded;
+};
+
+class RecordingMissListener : public MissListener {
+ public:
+  void OnNotLocalAccess(const std::string& path, Pid, Time) override { misses.push_back(path); }
+  std::vector<std::string> misses;
+};
+
+class ObserverHarness {
+ public:
+  explicit ObserverHarness(ObserverConfig config = MakeConfig())
+      : tracer_(&fs_, &processes_, &clock_), observer_(config, &fs_) {
+    observer_.set_sink(&sink_);
+    observer_.set_miss_listener(&misses_);
+    tracer_.AddSink(&observer_);
+    fs_.MkdirAll("/home/u/proj");
+    fs_.MkdirAll("/bin");
+    fs_.MkdirAll("/tmp");
+    fs_.MkdirAll("/etc");
+    fs_.CreateFile("/bin/prog", 1000);
+    fs_.CreateFile("/bin/editor", 1000);
+    fs_.CreateFile("/bin/find", 1000);
+    user_ = processes_.SpawnInit(1000, "/home/u");
+  }
+
+  static ObserverConfig MakeConfig() {
+    ObserverConfig c;
+    c.frequent_min_total = 20;     // small thresholds for testing
+    c.meaningless_min_potential = 5;
+    return c;
+  }
+
+  Pid NewProcess(const std::string& program) {
+    const Pid pid = tracer_.Fork(user_).pid;
+    tracer_.Exec(pid, program);
+    return pid;
+  }
+
+  SimFilesystem fs_;
+  ProcessTable processes_;
+  SimClock clock_;
+  SyscallTracer tracer_;
+  RecordingSink sink_;
+  RecordingMissListener misses_;
+  Observer observer_;
+  Pid user_;
+};
+
+TEST(Observer, OpenCloseEmitsBeginEnd) {
+  ObserverHarness h;
+  h.fs_.CreateFile("/home/u/proj/a.c", 100);
+  const Pid p = h.NewProcess("/bin/prog");
+  const auto r = h.tracer_.Open(p, "/home/u/proj/a.c", false);
+  h.tracer_.Close(p, r.fd);
+
+  ASSERT_GE(h.sink_.refs.size(), 2u);
+  bool saw_begin = false;
+  bool saw_end = false;
+  for (const auto& ref : h.sink_.refs) {
+    if (ref.path == "/home/u/proj/a.c") {
+      saw_begin |= ref.kind == RefKind::kBegin;
+      saw_end |= ref.kind == RefKind::kEnd;
+    }
+  }
+  EXPECT_TRUE(saw_begin);
+  EXPECT_TRUE(saw_end);
+}
+
+TEST(Observer, ExecIsBeginReferenceToProgram) {
+  ObserverHarness h;
+  const Pid p = h.NewProcess("/bin/prog");
+  (void)p;
+  EXPECT_GE(h.sink_.CountRefsTo("/bin/prog"), 1u);
+}
+
+TEST(Observer, ExitEmitsEndAndForwardsLifecycle) {
+  ObserverHarness h;
+  const Pid p = h.NewProcess("/bin/prog");
+  h.tracer_.Exit(p);
+  EXPECT_FALSE(h.sink_.exits.empty());
+  EXPECT_EQ(h.sink_.exits.back(), p);
+}
+
+TEST(Observer, ForkForwarded) {
+  ObserverHarness h;
+  const Pid p = h.NewProcess("/bin/prog");
+  const Pid child = h.tracer_.Fork(p).pid;
+  ASSERT_FALSE(h.sink_.forks.empty());
+  EXPECT_EQ(h.sink_.forks.back().first, p);
+  EXPECT_EQ(h.sink_.forks.back().second, child);
+}
+
+// Section 4.5: files in transient directories are ignored outright.
+TEST(Observer, TransientDirectoryIgnored) {
+  ObserverHarness h;
+  const Pid p = h.NewProcess("/bin/prog");
+  h.tracer_.Create(p, "/tmp/scratch", 10);
+  EXPECT_EQ(h.sink_.CountRefsTo("/tmp/scratch"), 0u);
+}
+
+// Section 4.3: critical prefixes and dot files are always-hoard, never fed.
+TEST(Observer, CriticalPrefixAlwaysHoardedNeverEmitted) {
+  ObserverHarness h;
+  h.fs_.CreateFile("/etc/passwd", 100);
+  const Pid p = h.NewProcess("/bin/prog");
+  const auto r = h.tracer_.Open(p, "/etc/passwd", false);
+  h.tracer_.Close(p, r.fd);
+  EXPECT_EQ(h.sink_.CountRefsTo("/etc/passwd"), 0u);
+  EXPECT_EQ(h.observer_.always_hoard().count("/etc/passwd"), 1u);
+}
+
+TEST(Observer, DotFileTreatedAsCritical) {
+  ObserverHarness h;
+  h.fs_.CreateFile("/home/u/.cshrc", 100);
+  const Pid p = h.NewProcess("/bin/prog");
+  const auto r = h.tracer_.Open(p, "/home/u/.cshrc", false);
+  h.tracer_.Close(p, r.fd);
+  EXPECT_EQ(h.sink_.CountRefsTo("/home/u/.cshrc"), 0u);
+  EXPECT_EQ(h.observer_.always_hoard().count("/home/u/.cshrc"), 1u);
+}
+
+// Section 4.6: devices are always hoarded, never fed to the correlator.
+TEST(Observer, DeviceNodesAlwaysHoarded) {
+  ObserverHarness h;
+  h.fs_.MkdirAll("/dev");
+  h.fs_.CreateSpecial("/dev/tty9", NodeKind::kDevice);
+  const Pid p = h.NewProcess("/bin/prog");
+  h.tracer_.Stat(p, "/dev/tty9");
+  EXPECT_EQ(h.sink_.CountRefsTo("/dev/tty9"), 0u);
+  EXPECT_EQ(h.observer_.always_hoard().count("/dev/tty9"), 1u);
+}
+
+// Section 4.2: a file exceeding 1% of all accesses becomes frequent: it is
+// excluded from distances and hoarded unconditionally.
+TEST(Observer, FrequentFileExcludedAndAlwaysHoarded) {
+  ObserverHarness h;
+  h.fs_.CreateFile("/home/u/proj/libc.so", 100);
+  for (int i = 0; i < 60; ++i) {
+    h.fs_.CreateFile("/home/u/proj/f" + std::to_string(i) + ".c", 10);
+  }
+  const Pid p = h.NewProcess("/bin/prog");
+  // The shared object is touched constantly, everything else once.
+  for (int i = 0; i < 60; ++i) {
+    auto r = h.tracer_.Open(p, "/home/u/proj/libc.so", false);
+    h.tracer_.Close(p, r.fd);
+    r = h.tracer_.Open(p, "/home/u/proj/f" + std::to_string(i) + ".c", false);
+    h.tracer_.Close(p, r.fd);
+  }
+  EXPECT_EQ(h.observer_.frequent_files().count("/home/u/proj/libc.so"), 1u);
+  EXPECT_EQ(h.observer_.always_hoard().count("/home/u/proj/libc.so"), 1u);
+  ASSERT_FALSE(h.sink_.excluded.empty());
+  EXPECT_EQ(h.sink_.excluded.front(), "/home/u/proj/libc.so");
+}
+
+// Section 4.1 heuristic #4: a program that touches (nearly) every file it
+// learns about from reading directories becomes meaningless.
+TEST(Observer, FindLikeProgramBecomesMeaningless) {
+  ObserverHarness h;
+  for (int i = 0; i < 20; ++i) {
+    h.fs_.CreateFile("/home/u/proj/s" + std::to_string(i), 10);
+  }
+  const Pid find = h.NewProcess("/bin/find");
+  const auto d = h.tracer_.OpenDir(find, "/home/u/proj");
+  h.tracer_.ReadDir(find, d.fd);
+  for (int i = 0; i < 20; ++i) {
+    h.tracer_.Stat(find, "/home/u/proj/s" + std::to_string(i));
+  }
+  h.tracer_.CloseDir(find, d.fd);
+  h.tracer_.Exit(find);
+  EXPECT_TRUE(h.observer_.IsMeaninglessProgram("/bin/find"));
+
+  // A later run emits nothing.
+  const size_t before = h.sink_.refs.size();
+  const Pid find2 = h.NewProcess("/bin/find");
+  for (int i = 0; i < 5; ++i) {
+    h.tracer_.Stat(find2, "/home/u/proj/s" + std::to_string(i));
+  }
+  size_t emitted = 0;
+  for (size_t i = before; i < h.sink_.refs.size(); ++i) {
+    if (h.sink_.refs[i].path.find("/home/u/proj/s") == 0) {
+      ++emitted;
+    }
+  }
+  EXPECT_EQ(emitted, 0u);
+}
+
+// An editor that reads a directory for filename completion but touches only
+// a couple of files stays meaningful (the failure of approach #2).
+TEST(Observer, EditorReadingDirectoryStaysMeaningful) {
+  ObserverHarness h;
+  for (int i = 0; i < 30; ++i) {
+    h.fs_.CreateFile("/home/u/proj/s" + std::to_string(i), 10);
+  }
+  const Pid ed = h.NewProcess("/bin/editor");
+  const auto d = h.tracer_.OpenDir(ed, "/home/u/proj");
+  h.tracer_.ReadDir(ed, d.fd);
+  h.tracer_.CloseDir(ed, d.fd);
+  const auto r = h.tracer_.Open(ed, "/home/u/proj/s1", false);
+  h.tracer_.Close(ed, r.fd);
+  h.tracer_.Exit(ed);
+  EXPECT_FALSE(h.observer_.IsMeaninglessProgram("/bin/editor"));
+  EXPECT_GE(h.sink_.CountRefsTo("/home/u/proj/s1"), 1u);
+}
+
+// The control-file list (approach #1, retained for a few programs).
+TEST(Observer, ControlListProgramIgnored) {
+  ObserverHarness h;
+  h.fs_.MkdirAll("/usr/bin");
+  h.fs_.CreateFile("/usr/bin/xargs", 100);
+  h.fs_.CreateFile("/home/u/proj/x.c", 10);
+  ObserverConfig config = ObserverHarness::MakeConfig();
+  // default config already lists /usr/bin/xargs
+  const Pid p = h.NewProcess("/usr/bin/xargs");
+  const auto r = h.tracer_.Open(p, "/home/u/proj/x.c", false);
+  h.tracer_.Close(p, r.fd);
+  EXPECT_EQ(h.sink_.CountRefsTo("/home/u/proj/x.c"), 0u);
+  (void)config;
+}
+
+// Section 4.1: the getcwd climb pattern suppresses references and does not
+// poison the potential-access counters.
+TEST(Observer, GetcwdClimbDetected) {
+  ObserverHarness h;
+  h.fs_.MkdirAll("/home/u/proj/deep");
+  h.fs_.CreateFile("/home/u/proj/deep/file", 10);
+  const Pid ed = h.NewProcess("/bin/editor");
+
+  // Climb: deep -> proj -> u -> home -> /
+  for (const char* dir : {"/home/u/proj/deep", "/home/u/proj", "/home/u", "/home", "/"}) {
+    const auto d = h.tracer_.OpenDir(ed, dir);
+    if (d.ok()) {
+      h.tracer_.ReadDir(ed, d.fd);
+      h.tracer_.CloseDir(ed, d.fd);
+    }
+  }
+  // After the climb the editor opens a real file; once it does something
+  // other than climbing, tracking resumes.
+  const auto r = h.tracer_.Open(ed, "/home/u/proj/deep/file", false);
+  h.tracer_.Close(ed, r.fd);
+  h.tracer_.Exit(ed);
+  EXPECT_FALSE(h.observer_.IsMeaninglessProgram("/bin/editor"));
+  EXPECT_GE(h.sink_.CountRefsTo("/home/u/proj/deep/file"), 1u);
+}
+
+// Section 4.8: a stat immediately followed by an open of the same file is a
+// single access.
+TEST(Observer, StatThenOpenCollapsed) {
+  ObserverHarness h;
+  h.fs_.CreateFile("/home/u/proj/a.c", 10);
+  const Pid p = h.NewProcess("/bin/prog");
+  h.tracer_.Stat(p, "/home/u/proj/a.c");
+  const auto r = h.tracer_.Open(p, "/home/u/proj/a.c", false);
+  h.tracer_.Close(p, r.fd);
+
+  size_t points = 0;
+  for (const auto& ref : h.sink_.refs) {
+    if (ref.path == "/home/u/proj/a.c" && ref.kind == RefKind::kPoint) {
+      ++points;
+    }
+  }
+  EXPECT_EQ(points, 0u) << "the stat should have been absorbed by the open";
+}
+
+TEST(Observer, StatAloneEmitsPointEventually) {
+  ObserverHarness h;
+  h.fs_.CreateFile("/home/u/proj/a.c", 10);
+  h.fs_.CreateFile("/home/u/proj/b.c", 10);
+  const Pid p = h.NewProcess("/bin/prog");
+  h.tracer_.Stat(p, "/home/u/proj/a.c");
+  // A different action flushes the pending stat.
+  const auto r = h.tracer_.Open(p, "/home/u/proj/b.c", false);
+  h.tracer_.Close(p, r.fd);
+
+  size_t points = 0;
+  for (const auto& ref : h.sink_.refs) {
+    if (ref.path == "/home/u/proj/a.c" && ref.kind == RefKind::kPoint) {
+      ++points;
+    }
+  }
+  EXPECT_EQ(points, 1u);
+}
+
+TEST(Observer, UnlinkForwardsDeletion) {
+  ObserverHarness h;
+  h.fs_.CreateFile("/home/u/proj/dead.c", 10);
+  const Pid p = h.NewProcess("/bin/prog");
+  h.tracer_.Unlink(p, "/home/u/proj/dead.c");
+  ASSERT_EQ(h.sink_.deleted.size(), 1u);
+  EXPECT_EQ(h.sink_.deleted[0], "/home/u/proj/dead.c");
+}
+
+TEST(Observer, RenameForwarded) {
+  ObserverHarness h;
+  h.fs_.CreateFile("/home/u/proj/old.c", 10);
+  const Pid p = h.NewProcess("/bin/prog");
+  h.tracer_.Rename(p, "/home/u/proj/old.c", "/home/u/proj/new.c");
+  ASSERT_EQ(h.sink_.renamed.size(), 1u);
+  EXPECT_EQ(h.sink_.renamed[0].first, "/home/u/proj/old.c");
+  EXPECT_EQ(h.sink_.renamed[0].second, "/home/u/proj/new.c");
+}
+
+// Section 4.4: failed accesses are not references; ENOENT is silent but
+// kNotLocal reaches the miss listener.
+TEST(Observer, FailedOpenNotAReference) {
+  ObserverHarness h;
+  const Pid p = h.NewProcess("/bin/prog");
+  h.tracer_.Open(p, "/home/u/proj/nonexistent", false);
+  EXPECT_EQ(h.sink_.CountRefsTo("/home/u/proj/nonexistent"), 0u);
+  EXPECT_TRUE(h.misses_.misses.empty());
+}
+
+TEST(Observer, NotLocalOpenReachesMissListener) {
+  ObserverHarness h;
+  h.fs_.CreateFile("/home/u/proj/away.c", 10);
+  h.tracer_.set_availability_filter(
+      [](const std::string& path) { return path != "/home/u/proj/away.c"; });
+  const Pid p = h.NewProcess("/bin/prog");
+  h.tracer_.Open(p, "/home/u/proj/away.c", false);
+  ASSERT_EQ(h.misses_.misses.size(), 1u);
+  EXPECT_EQ(h.misses_.misses[0], "/home/u/proj/away.c");
+  EXPECT_EQ(h.sink_.CountRefsTo("/home/u/proj/away.c"), 0u);
+}
+
+// Superuser calls are not traced (Section 4.10).
+TEST(Observer, SuperuserNotTraced) {
+  ObserverHarness h;
+  h.fs_.CreateFile("/home/u/proj/rootfile", 10);
+  const Pid root = h.processes_.SpawnInit(0, "/");
+  const auto r = h.tracer_.Open(root, "/home/u/proj/rootfile", false);
+  h.tracer_.Close(root, r.fd);
+  EXPECT_EQ(h.sink_.CountRefsTo("/home/u/proj/rootfile"), 0u);
+}
+
+// SEER's own daemons are exempt from tracing (Section 4.10).
+TEST(Observer, UntracedPidInvisible) {
+  ObserverHarness h;
+  h.fs_.CreateFile("/home/u/proj/seerdata", 10);
+  const Pid daemon = h.NewProcess("/bin/prog");
+  h.tracer_.MarkUntraced(daemon);
+  const auto r = h.tracer_.Open(daemon, "/home/u/proj/seerdata", false);
+  h.tracer_.Close(daemon, r.fd);
+  EXPECT_EQ(h.sink_.CountRefsTo("/home/u/proj/seerdata"), 0u);
+}
+
+}  // namespace
+}  // namespace seer

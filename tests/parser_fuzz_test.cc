@@ -1,0 +1,134 @@
+// Robustness fuzzing for every textual input surface: the trace format,
+// the control file, the parameter file, and the persisted database. None
+// of them may crash, hang, or accept-and-corrupt on arbitrary bytes.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/correlator.h"
+#include "src/core/params_io.h"
+#include "src/observer/control_file.h"
+#include "src/trace/trace_io.h"
+#include "src/util/rng.h"
+
+namespace seer {
+namespace {
+
+std::string RandomText(Rng* rng, size_t max_len) {
+  std::string out;
+  const size_t len = rng->NextBounded(max_len);
+  for (size_t i = 0; i < len; ++i) {
+    const int roll = static_cast<int>(rng->NextBounded(100));
+    if (roll < 70) {
+      out += static_cast<char>(' ' + rng->NextBounded(95));  // printable
+    } else if (roll < 85) {
+      out += '\n';
+    } else if (roll < 95) {
+      // Format-relevant tokens, to get past the first parse stages.
+      const char* tokens[] = {"SEERDB",  "files",  "list", "end",   "params",
+                              "open",    "ok",     "-",    "0x1.8p+1", "meaningless",
+                              "critical", "kn",    "42",   "-7",    "relations"};
+      out += tokens[rng->NextBounded(15)];
+      out += ' ';
+    } else {
+      out += static_cast<char>(rng->NextBounded(256));  // raw bytes
+    }
+  }
+  return out;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<int> {
+ protected:
+  uint64_t Seed() const { return static_cast<uint64_t>(GetParam()) * 48271 + 11; }
+};
+
+TEST_P(ParserFuzz, TraceLinesNeverCrash) {
+  Rng rng(Seed());
+  for (int i = 0; i < 300; ++i) {
+    const std::string text = RandomText(&rng, 200);
+    std::istringstream in(text);
+    TraceReader reader(in);
+    size_t events = 0;
+    while (reader.Next().has_value()) {
+      ++events;
+    }
+    // Parsed or rejected — either is fine; no crash is the property.
+    EXPECT_LE(events, 300u);
+  }
+}
+
+TEST_P(ParserFuzz, ControlFileNeverCrashes) {
+  Rng rng(Seed() ^ 1);
+  for (int i = 0; i < 300; ++i) {
+    std::string error;
+    const auto config = ParseObserverControlFile(RandomText(&rng, 300), {}, &error);
+    if (!config.has_value()) {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+TEST_P(ParserFuzz, ParamsFileNeverCrashes) {
+  Rng rng(Seed() ^ 2);
+  for (int i = 0; i < 300; ++i) {
+    std::string error;
+    const auto params = ParseSeerParams(RandomText(&rng, 300), {}, &error);
+    if (params.has_value()) {
+      // Anything accepted must still satisfy the structural constraint.
+      EXPECT_LT(params->cluster_far, params->cluster_near);
+    }
+  }
+}
+
+TEST_P(ParserFuzz, DatabaseLoaderNeverCrashes) {
+  Rng rng(Seed() ^ 3);
+  for (int i = 0; i < 200; ++i) {
+    std::istringstream in(RandomText(&rng, 500));
+    std::string error;
+    const auto loaded = Correlator::LoadFrom(in, &error);
+    if (loaded == nullptr) {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+// Mutate a VALID database at random positions: the loader must either
+// reject it or produce a structurally sound correlator (never crash).
+TEST_P(ParserFuzz, MutatedDatabaseHandled) {
+  Correlator original;
+  for (int i = 0; i < 60; ++i) {
+    FileReference ref;
+    ref.pid = 1;
+    ref.kind = RefKind::kPoint;
+    ref.path = "/m/f" + std::to_string(i % 9);
+    ref.time = i + 1;
+    original.OnReference(ref);
+  }
+  std::stringstream buffer;
+  original.SaveTo(buffer);
+  const std::string valid = buffer.str();
+
+  Rng rng(Seed() ^ 4);
+  for (int i = 0; i < 100; ++i) {
+    std::string mutated = valid;
+    const int mutations = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int m = 0; m < mutations; ++m) {
+      mutated[rng.NextBounded(mutated.size())] =
+          static_cast<char>(' ' + rng.NextBounded(95));
+    }
+    std::istringstream in(mutated);
+    const auto loaded = Correlator::LoadFrom(in);
+    if (loaded != nullptr) {
+      // Accepted: must still be usable.
+      const ClusterSet clusters = loaded->BuildClusters();
+      for (const Cluster& c : clusters.clusters) {
+        EXPECT_FALSE(c.members.empty());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace seer

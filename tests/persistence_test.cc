@@ -1,0 +1,175 @@
+// Tests for the correlator database save/load format.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/correlator.h"
+
+namespace seer {
+namespace {
+
+FileReference Ref(Pid pid, RefKind kind, const std::string& path, Time time) {
+  FileReference r;
+  r.pid = pid;
+  r.kind = kind;
+  r.path = path;
+  r.time = time;
+  return r;
+}
+
+// Loads the correlator with a couple of projects' worth of relations.
+void Populate(Correlator* correlator) {
+  Time t = 0;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int proj = 0; proj < 2; ++proj) {
+      for (int f = 0; f < 6; ++f) {
+        correlator->OnReference(Ref(proj + 1, RefKind::kPoint,
+                                    "/p" + std::to_string(proj) + "/f" + std::to_string(f),
+                                    t += kMicrosPerSecond));
+      }
+    }
+  }
+  correlator->OnFileDeleted("/p0/f5", t);
+}
+
+TEST(Persistence, SaveLoadRoundTrip) {
+  SeerParams params;
+  params.max_neighbors = 12;
+  params.cluster_near = 7;
+  params.cluster_far = 4;
+  Correlator original(params);
+  Populate(&original);
+
+  std::stringstream buffer;
+  original.SaveTo(buffer);
+
+  std::string error;
+  const auto loaded = Correlator::LoadFrom(buffer, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+
+  // Same parameters.
+  EXPECT_EQ(loaded->params().max_neighbors, 12);
+  EXPECT_EQ(loaded->params().cluster_near, 7);
+
+  // Same files (including the deleted mark).
+  ASSERT_EQ(loaded->files().size(), original.files().size());
+  const FileId deleted = loaded->files().Find("/p0/f5");
+  ASSERT_NE(deleted, kInvalidFileId);
+  EXPECT_TRUE(loaded->files().Get(deleted).deleted);
+
+  // Identical distances for every tracked pair.
+  for (int f = 1; f < 5; ++f) {
+    const std::string from = "/p0/f0";
+    const std::string to = "/p0/f" + std::to_string(f);
+    EXPECT_DOUBLE_EQ(loaded->Distance(from, to), original.Distance(from, to)) << to;
+  }
+
+  // Identical clustering.
+  const ClusterSet a = original.BuildClusters();
+  const ClusterSet b = loaded->BuildClusters();
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (size_t i = 0; i < a.clusters.size(); ++i) {
+    EXPECT_EQ(a.clusters[i].members, b.clusters[i].members) << i;
+  }
+}
+
+TEST(Persistence, LoadedCorrelatorKeepsLearning) {
+  Correlator original;
+  Populate(&original);
+  std::stringstream buffer;
+  original.SaveTo(buffer);
+  const auto loaded = Correlator::LoadFrom(buffer);
+  ASSERT_NE(loaded, nullptr);
+
+  // New references extend the old database; the global sequence resumes
+  // past the saved point so recency ordering stays monotone.
+  const uint64_t before = loaded->files().Get(loaded->files().Find("/p0/f0")).last_ref_seq;
+  loaded->OnReference(Ref(1, RefKind::kPoint, "/p0/f0", 999 * kMicrosPerSecond));
+  EXPECT_GT(loaded->files().Get(loaded->files().Find("/p0/f0")).last_ref_seq, before);
+  loaded->OnReference(Ref(1, RefKind::kPoint, "/p0/new", 1000 * kMicrosPerSecond));
+  EXPECT_NE(loaded->files().Find("/p0/new"), kInvalidFileId);
+}
+
+TEST(Persistence, DeletionDelayResumesAfterLoad) {
+  SeerParams params;
+  params.delete_delay = 2;
+  Correlator original(params);
+  Populate(&original);  // one deletion recorded
+
+  std::stringstream buffer;
+  original.SaveTo(buffer);
+  const auto loaded = Correlator::LoadFrom(buffer);
+  ASSERT_NE(loaded, nullptr);
+
+  // Two more deletions expire /p0/f5's grace period in the LOADED instance.
+  loaded->OnReference(Ref(1, RefKind::kPoint, "/x1", 1));
+  loaded->OnFileDeleted("/x1", 2);
+  loaded->OnReference(Ref(1, RefKind::kPoint, "/x2", 3));
+  loaded->OnFileDeleted("/x2", 4);
+  EXPECT_LT(loaded->Distance("/p0/f0", "/p0/f5"), 0.0)
+      << "purge queue should survive the reload";
+}
+
+TEST(Persistence, PathsWithSpacesSurvive) {
+  Correlator original;
+  original.OnReference(Ref(1, RefKind::kPoint, "/docs/My Report.doc", 1));
+  original.OnReference(Ref(1, RefKind::kPoint, "/docs/figure one.fig", 2));
+  std::stringstream buffer;
+  original.SaveTo(buffer);
+  const auto loaded = Correlator::LoadFrom(buffer);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_NE(loaded->files().Find("/docs/My Report.doc"), kInvalidFileId);
+  EXPECT_GE(loaded->Distance("/docs/My Report.doc", "/docs/figure one.fig"), 0.0);
+}
+
+TEST(Persistence, RejectsGarbage) {
+  std::string error;
+  {
+    std::stringstream s("not a database\n");
+    EXPECT_EQ(Correlator::LoadFrom(s, &error), nullptr);
+    EXPECT_NE(error.find("header"), std::string::npos);
+  }
+  {
+    std::stringstream s("SEERDB 99\n");
+    EXPECT_EQ(Correlator::LoadFrom(s, &error), nullptr);
+  }
+  {
+    std::stringstream s;  // empty
+    EXPECT_EQ(Correlator::LoadFrom(s, &error), nullptr);
+  }
+}
+
+TEST(Persistence, RejectsTruncation) {
+  Correlator original;
+  Populate(&original);
+  std::stringstream buffer;
+  original.SaveTo(buffer);
+  const std::string full = buffer.str();
+
+  // Chop the file at several points; every prefix must be rejected (except
+  // none — the format ends with an explicit end marker).
+  for (const double frac : {0.2, 0.5, 0.9}) {
+    std::stringstream cut(full.substr(0, static_cast<size_t>(full.size() * frac)));
+    std::string error;
+    EXPECT_EQ(Correlator::LoadFrom(cut, &error), nullptr) << frac;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(Persistence, HexFloatExactness) {
+  Correlator original;
+  // Distances with awkward log values.
+  for (int i = 0; i < 50; ++i) {
+    original.OnReference(Ref(1, RefKind::kPoint, "/a", i * 2 + 1));
+    original.OnReference(Ref(1, RefKind::kPoint, "/b", i * 2 + 2));
+  }
+  std::stringstream buffer;
+  original.SaveTo(buffer);
+  const auto loaded = Correlator::LoadFrom(buffer);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->Distance("/a", "/b"), original.Distance("/a", "/b"))
+      << "hex-float serialisation must be bit-exact";
+}
+
+}  // namespace
+}  // namespace seer

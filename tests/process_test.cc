@@ -1,0 +1,262 @@
+// Tests for the process table and the simulated syscall-tracing hook
+// (Section 4.10/4.11 semantics).
+#include <gtest/gtest.h>
+
+#include "src/process/process_table.h"
+#include "src/process/syscall_tracer.h"
+#include "src/vfs/sim_filesystem.h"
+
+namespace seer {
+namespace {
+
+class CollectingSink : public TraceSink {
+ public:
+  void OnEvent(const TraceEvent& e) override { events.push_back(e); }
+
+  const TraceEvent* Last(Op op) const {
+    for (auto it = events.rbegin(); it != events.rend(); ++it) {
+      if (it->op == op) {
+        return &*it;
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<TraceEvent> events;
+};
+
+class TracerTest : public ::testing::Test {
+ protected:
+  TracerTest() : tracer_(&fs_, &procs_, &clock_) {
+    tracer_.AddSink(&sink_);
+    fs_.MkdirAll("/home/u");
+    fs_.MkdirAll("/bin");
+    fs_.CreateFile("/bin/sh", 1000);
+    fs_.CreateFile("/home/u/f", 100);
+    user_ = procs_.SpawnInit(1000, "/home/u");
+  }
+
+  SimFilesystem fs_;
+  ProcessTable procs_;
+  SimClock clock_;
+  SyscallTracer tracer_;
+  CollectingSink sink_;
+  Pid user_;
+};
+
+// --- ProcessTable -------------------------------------------------------------
+
+TEST(ProcessTable, ForkInheritsAttributes) {
+  ProcessTable t;
+  const Pid parent = t.SpawnInit(1000, "/home/u");
+  t.Exec(parent, "/bin/sh");
+  const Pid child = t.Fork(parent);
+  ASSERT_GT(child, 0);
+  EXPECT_EQ(t.Get(child)->uid, 1000);
+  EXPECT_EQ(t.Get(child)->cwd, "/home/u");
+  EXPECT_EQ(t.Get(child)->program, "/bin/sh");
+  EXPECT_EQ(t.Get(child)->ppid, parent);
+}
+
+TEST(ProcessTable, ForkOfDeadProcessFails) {
+  ProcessTable t;
+  const Pid p = t.SpawnInit(1000, "/");
+  t.Exit(p);
+  EXPECT_LT(t.Fork(p), 0);
+}
+
+TEST(ProcessTable, ExitClosesFds) {
+  ProcessTable t;
+  const Pid p = t.SpawnInit(1000, "/");
+  t.AllocateFd(p, OpenFile{"/a", false, false});
+  t.AllocateFd(p, OpenFile{"/b", false, true});
+  const auto leaked = t.Exit(p);
+  EXPECT_EQ(leaked.size(), 2u);
+  EXPECT_FALSE(t.Alive(p));
+}
+
+TEST(ProcessTable, FdLifecycle) {
+  ProcessTable t;
+  const Pid p = t.SpawnInit(1000, "/");
+  const Fd fd = t.AllocateFd(p, OpenFile{"/a", false, false});
+  ASSERT_GE(fd, 3);
+  EXPECT_EQ(t.LookupFd(p, fd)->path, "/a");
+  const auto closed = t.CloseFd(p, fd);
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_EQ(closed->path, "/a");
+  EXPECT_FALSE(t.CloseFd(p, fd).has_value());
+}
+
+// --- SyscallTracer -------------------------------------------------------------
+
+TEST_F(TracerTest, OpenResolvesRelativePath) {
+  const auto r = tracer_.Open(user_, "f", false);
+  ASSERT_TRUE(r.ok());
+  const TraceEvent* e = sink_.Last(Op::kOpen);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->path, "/home/u/f");
+}
+
+TEST_F(TracerTest, OpenMissingFileFailsWithEvent) {
+  const auto r = tracer_.Open(user_, "missing", false);
+  EXPECT_EQ(r.status, OpStatus::kNoEnt);
+  const TraceEvent* e = sink_.Last(Op::kOpen);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->status, OpStatus::kNoEnt);
+}
+
+TEST_F(TracerTest, CloseCarriesPath) {
+  const auto r = tracer_.Open(user_, "f", true);
+  tracer_.Close(user_, r.fd);
+  const TraceEvent* e = sink_.Last(Op::kClose);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->path, "/home/u/f");
+  EXPECT_TRUE(e->write);
+}
+
+TEST_F(TracerTest, OpenOfDirectoryRejected) {
+  const auto r = tracer_.Open(user_, "/home", false);
+  EXPECT_EQ(r.status, OpStatus::kAccess);
+}
+
+TEST_F(TracerTest, ForkEmitsChildPid) {
+  const auto r = tracer_.Fork(user_);
+  ASSERT_TRUE(r.ok());
+  const TraceEvent* e = sink_.Last(Op::kFork);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->detail, r.pid);
+}
+
+TEST_F(TracerTest, ExecUpdatesProgram) {
+  const auto r = tracer_.Exec(user_, "/bin/sh");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(procs_.Get(user_)->program, "/bin/sh");
+  const TraceEvent* e = sink_.Last(Op::kExec);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->path, "/bin/sh");
+}
+
+TEST_F(TracerTest, ExecOfMissingProgramFails) {
+  EXPECT_EQ(tracer_.Exec(user_, "/bin/nope").status, OpStatus::kNoEnt);
+  EXPECT_NE(procs_.Get(user_)->program, "/bin/nope");
+}
+
+TEST_F(TracerTest, ExitTracedBeforeDestruction) {
+  tracer_.Exit(user_);
+  EXPECT_FALSE(procs_.Alive(user_));
+  EXPECT_NE(sink_.Last(Op::kExit), nullptr);
+}
+
+TEST_F(TracerTest, CreateNewFileAllocatesFd) {
+  const auto r = tracer_.Create(user_, "new.c", 123);
+  ASSERT_GE(r.fd, 0);
+  EXPECT_TRUE(fs_.Exists("/home/u/new.c"));
+  EXPECT_EQ(fs_.Stat("/home/u/new.c")->size, 123u);
+}
+
+TEST_F(TracerTest, CreateExistingTruncatesAndOpens) {
+  const auto r = tracer_.Create(user_, "f", 7);
+  ASSERT_GE(r.fd, 0);
+  EXPECT_EQ(fs_.Stat("/home/u/f")->size, 7u);
+  const TraceEvent* e = sink_.Last(Op::kOpen);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->write);
+}
+
+TEST_F(TracerTest, RenameMovesAndEmitsBothPaths) {
+  const auto r = tracer_.Rename(user_, "f", "g");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(fs_.Exists("/home/u/g"));
+  const TraceEvent* e = sink_.Last(Op::kRename);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->path, "/home/u/f");
+  EXPECT_EQ(e->path2, "/home/u/g");
+}
+
+TEST_F(TracerTest, UnlinkRemoves) {
+  ASSERT_TRUE(tracer_.Unlink(user_, "f").ok());
+  EXPECT_FALSE(fs_.Exists("/home/u/f"));
+}
+
+TEST_F(TracerTest, DirectoryReadReportsEntryCount) {
+  fs_.CreateFile("/home/u/g", 1);
+  const auto d = tracer_.OpenDir(user_, "/home/u");
+  ASSERT_TRUE(d.ok());
+  const auto r = tracer_.ReadDir(user_, d.fd);
+  ASSERT_TRUE(r.ok());
+  const TraceEvent* e = sink_.Last(Op::kReadDir);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->detail, 2);  // f and g
+  tracer_.CloseDir(user_, d.fd);
+  EXPECT_NE(sink_.Last(Op::kCloseDir), nullptr);
+}
+
+TEST_F(TracerTest, ChdirChangesResolutionBase) {
+  fs_.MkdirAll("/home/u/sub");
+  fs_.CreateFile("/home/u/sub/inner", 1);
+  ASSERT_TRUE(tracer_.Chdir(user_, "sub").ok());
+  const auto r = tracer_.Open(user_, "inner", false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(sink_.Last(Op::kOpen)->path, "/home/u/sub/inner");
+}
+
+TEST_F(TracerTest, SymlinkResolvedAtOpen) {
+  fs_.CreateSymlink("/home/u/alias", "f");
+  const auto r = tracer_.Open(user_, "alias", false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(sink_.Last(Op::kOpen)->path, "/home/u/f");
+}
+
+TEST_F(TracerTest, AvailabilityFilterProducesNotLocal) {
+  tracer_.set_availability_filter([](const std::string&) { return false; });
+  const auto r = tracer_.Open(user_, "f", false);
+  EXPECT_EQ(r.status, OpStatus::kNotLocal);
+  EXPECT_EQ(sink_.Last(Op::kOpen)->status, OpStatus::kNotLocal);
+}
+
+TEST_F(TracerTest, ReadDirHidesUnavailableFiles) {
+  fs_.CreateFile("/home/u/g", 1);
+  fs_.MkdirAll("/home/u/sub");
+  // Without a filter: f, g, sub = 3 entries.
+  {
+    const auto d = tracer_.OpenDir(user_, "/home/u");
+    tracer_.ReadDir(user_, d.fd);
+    EXPECT_EQ(sink_.Last(Op::kReadDir)->detail, 3);
+    tracer_.CloseDir(user_, d.fd);
+  }
+  // Disconnected with only /home/u/f hoarded: the listing shows f and the
+  // directory, not g — the raw material for implied misses (Section 4.4).
+  tracer_.set_availability_filter(
+      [](const std::string& path) { return path == "/home/u/f"; });
+  const auto d = tracer_.OpenDir(user_, "/home/u");
+  tracer_.ReadDir(user_, d.fd);
+  EXPECT_EQ(sink_.Last(Op::kReadDir)->detail, 2);
+  tracer_.CloseDir(user_, d.fd);
+}
+
+TEST_F(TracerTest, SuperuserCallsNotTraced) {
+  const Pid root = procs_.SpawnInit(0, "/");
+  const size_t before = sink_.events.size();
+  tracer_.Stat(root, "/home/u/f");
+  EXPECT_EQ(sink_.events.size(), before);
+
+  tracer_.set_trace_superuser(true);
+  tracer_.Stat(root, "/home/u/f");
+  EXPECT_EQ(sink_.events.size(), before + 1);
+}
+
+TEST_F(TracerTest, ClockAdvancesPerSyscall) {
+  const Time before = clock_.now();
+  tracer_.Stat(user_, "f");
+  EXPECT_GT(clock_.now(), before);
+}
+
+TEST_F(TracerTest, SequenceNumbersIncrease) {
+  tracer_.Stat(user_, "f");
+  tracer_.Stat(user_, "f");
+  ASSERT_GE(sink_.events.size(), 2u);
+  EXPECT_GT(sink_.events.back().seq, sink_.events[sink_.events.size() - 2].seq);
+}
+
+}  // namespace
+}  // namespace seer

@@ -1,0 +1,139 @@
+// Tests for directory reorganisation suggestions (Section 7).
+#include "src/core/reorganizer.h"
+
+#include <gtest/gtest.h>
+
+namespace seer {
+namespace {
+
+FileReference Ref(Pid pid, const std::string& path, Time time) {
+  FileReference r;
+  r.pid = pid;
+  r.kind = RefKind::kPoint;
+  r.path = path;
+  r.time = time;
+  return r;
+}
+
+class ReorganizerTest : public ::testing::Test {
+ protected:
+  ReorganizerTest() : correlator_(MakeParams()) {}
+
+  static SeerParams MakeParams() {
+    SeerParams p;
+    p.dir_distance_weight = 0.0;  // let the stray file cluster across dirs
+    return p;
+  }
+
+  // A project in /home/u/proj with one member stranded in /home/u/misc.
+  void BuildStrayScenario() {
+    const std::vector<std::string> members = {
+        "/home/u/proj/a.c", "/home/u/proj/b.c", "/home/u/proj/c.c",
+        "/home/u/proj/d.h", "/home/u/proj/e.h", "/home/u/misc/stray.c",
+    };
+    InvestigatedRelation rel;
+    rel.files = members;
+    rel.strength = 50.0;
+    correlator_.AddInvestigatedRelation(rel);
+    Time t = 0;
+    for (const auto& m : members) {
+      correlator_.OnReference(Ref(1, m, t += kMicrosPerSecond));
+    }
+  }
+
+  Correlator correlator_;
+};
+
+TEST_F(ReorganizerTest, SuggestsMovingTheStray) {
+  BuildStrayScenario();
+  const auto suggestions =
+      SuggestReorganization(correlator_, correlator_.BuildClusters());
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].path, "/home/u/misc/stray.c");
+  EXPECT_EQ(suggestions[0].from_dir, "/home/u/misc");
+  EXPECT_EQ(suggestions[0].to_dir, "/home/u/proj");
+  EXPECT_DOUBLE_EQ(suggestions[0].confidence, 1.0);
+  EXPECT_EQ(suggestions[0].cluster_size, 6u);
+}
+
+TEST_F(ReorganizerTest, WellFiledProjectYieldsNothing) {
+  const std::vector<std::string> members = {
+      "/home/u/proj/a.c", "/home/u/proj/b.c", "/home/u/proj/c.c",
+      "/home/u/proj/d.h", "/home/u/proj/e.h",
+  };
+  InvestigatedRelation rel;
+  rel.files = members;
+  rel.strength = 50.0;
+  correlator_.AddInvestigatedRelation(rel);
+  Time t = 0;
+  for (const auto& m : members) {
+    correlator_.OnReference(Ref(1, m, t += kMicrosPerSecond));
+  }
+  EXPECT_TRUE(SuggestReorganization(correlator_, correlator_.BuildClusters()).empty());
+}
+
+TEST_F(ReorganizerTest, FrozenPrefixesAreNeverMoved) {
+  const std::vector<std::string> members = {
+      "/home/u/proj/a.c", "/home/u/proj/b.c", "/home/u/proj/c.c",
+      "/home/u/proj/d.h", "/home/u/proj/e.h", "/usr/include/shared.h",
+  };
+  InvestigatedRelation rel;
+  rel.files = members;
+  rel.strength = 50.0;
+  correlator_.AddInvestigatedRelation(rel);
+  Time t = 0;
+  for (const auto& m : members) {
+    correlator_.OnReference(Ref(1, m, t += kMicrosPerSecond));
+  }
+  for (const auto& s : SuggestReorganization(correlator_, correlator_.BuildClusters())) {
+    EXPECT_NE(s.path, "/usr/include/shared.h")
+        << "system headers belong to packaging, not projects";
+  }
+}
+
+TEST_F(ReorganizerTest, ConfidenceThresholdFilters) {
+  BuildStrayScenario();
+  ReorganizerConfig config;
+  config.min_confidence = 1.01;  // impossible
+  EXPECT_TRUE(
+      SuggestReorganization(correlator_, correlator_.BuildClusters(), config).empty());
+}
+
+TEST_F(ReorganizerTest, TinyClustersCarryNoSignal) {
+  InvestigatedRelation rel;
+  rel.files = {"/home/u/a/x", "/home/u/b/y"};
+  rel.strength = 50.0;
+  correlator_.AddInvestigatedRelation(rel);
+  correlator_.OnReference(Ref(1, "/home/u/a/x", 1));
+  correlator_.OnReference(Ref(1, "/home/u/b/y", 2));
+  EXPECT_TRUE(SuggestReorganization(correlator_, correlator_.BuildClusters()).empty());
+}
+
+TEST_F(ReorganizerTest, OrderedByConfidence) {
+  BuildStrayScenario();
+  // A second, weaker stray: its cluster is split 3/2 across directories.
+  const std::vector<std::string> second = {
+      "/home/u/docs/r1", "/home/u/docs/r2", "/home/u/docs/r3",
+      "/home/u/old/r4",  "/home/u/old/weak",
+  };
+  InvestigatedRelation rel;
+  rel.files = second;
+  rel.strength = 60.0;
+  correlator_.AddInvestigatedRelation(rel);
+  Time t = 100 * kMicrosPerSecond;
+  for (const auto& m : second) {
+    correlator_.OnReference(Ref(2, m, t += kMicrosPerSecond));
+  }
+  ReorganizerConfig config;
+  config.min_confidence = 0.5;
+  const auto suggestions =
+      SuggestReorganization(correlator_, correlator_.BuildClusters(), config);
+  ASSERT_GE(suggestions.size(), 2u);
+  for (size_t i = 1; i < suggestions.size(); ++i) {
+    EXPECT_GE(suggestions[i - 1].confidence, suggestions[i].confidence) << i;
+  }
+  EXPECT_EQ(suggestions[0].path, "/home/u/misc/stray.c");
+}
+
+}  // namespace
+}  // namespace seer

@@ -1,0 +1,237 @@
+// Tests for the replication substrate: version vectors, hoard transport,
+// and the three simulated replicators' reconciliation semantics.
+#include <gtest/gtest.h>
+
+#include "src/replication/replicators.h"
+#include "src/replication/version_vector.h"
+
+namespace seer {
+namespace {
+
+uint64_t TenBytes(const std::string&) { return 10; }
+
+// --- version vectors -----------------------------------------------------------
+
+TEST(VersionVector, FreshVectorsEqual) {
+  VersionVector a;
+  VersionVector b;
+  EXPECT_EQ(a.Compare(b), VectorOrder::kEqual);
+}
+
+TEST(VersionVector, IncrementDominates) {
+  VersionVector a;
+  VersionVector b;
+  a.Increment(0);
+  EXPECT_EQ(a.Compare(b), VectorOrder::kDominates);
+  EXPECT_EQ(b.Compare(a), VectorOrder::kDominated);
+}
+
+TEST(VersionVector, ConcurrentUpdatesConflict) {
+  VersionVector a;
+  VersionVector b;
+  a.Increment(0);
+  b.Increment(1);
+  EXPECT_EQ(a.Compare(b), VectorOrder::kConcurrent);
+  EXPECT_EQ(b.Compare(a), VectorOrder::kConcurrent);
+}
+
+TEST(VersionVector, MergeTakesComponentwiseMax) {
+  VersionVector a;
+  VersionVector b;
+  a.Increment(0);
+  a.Increment(0);
+  b.Increment(1);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Get(0), 2u);
+  EXPECT_EQ(a.Get(1), 1u);
+  EXPECT_EQ(a.Compare(b), VectorOrder::kDominates);
+}
+
+TEST(VersionVector, ToStringReadable) {
+  VersionVector a;
+  a.Increment(0);
+  a.Increment(1);
+  EXPECT_EQ(a.ToString(), "{0:1,1:1}");
+}
+
+// --- hoard transport ------------------------------------------------------------
+
+TEST(ReplicationSystem, SetHoardFetchesAndEvicts) {
+  RumorReplicator repl(TenBytes);
+  repl.SetHoard({"/a", "/b"});
+  EXPECT_TRUE(repl.IsLocal("/a"));
+  EXPECT_TRUE(repl.IsLocal("/b"));
+  EXPECT_EQ(repl.stats().files_fetched, 2u);
+  EXPECT_EQ(repl.stats().bytes_fetched, 20u);
+
+  repl.SetHoard({"/b", "/c"});
+  EXPECT_FALSE(repl.IsLocal("/a"));
+  EXPECT_TRUE(repl.IsLocal("/c"));
+  EXPECT_EQ(repl.stats().files_evicted, 1u);
+}
+
+TEST(ReplicationSystem, DirtyFilesNeverEvicted) {
+  RumorReplicator repl(TenBytes);
+  repl.SetHoard({"/a"});
+  repl.RecordLocalUpdate("/a", 1);
+  repl.SetHoard({"/b"});
+  EXPECT_TRUE(repl.IsLocal("/a")) << "the only up-to-date copy is local";
+}
+
+TEST(ReplicationSystem, NoFetchWhileDisconnected) {
+  RumorReplicator repl(TenBytes);
+  repl.OnDisconnect(0);
+  repl.SetHoard({"/a"});
+  EXPECT_FALSE(repl.IsLocal("/a"));
+}
+
+TEST(ReplicationSystem, AccessSemanticsByCapability) {
+  RumorReplicator rumor(TenBytes);
+  CodaReplicator coda(TenBytes);
+  rumor.SetHoard({"/hoarded"});
+  coda.SetHoard({"/hoarded"});
+
+  // Connected: Rumor serves only local replicas; Coda fetches remotely.
+  EXPECT_TRUE(rumor.Access("/hoarded"));
+  EXPECT_FALSE(rumor.Access("/elsewhere"));
+  EXPECT_TRUE(coda.Access("/elsewhere"));
+  EXPECT_EQ(coda.stats().remote_accesses, 1u);
+  EXPECT_TRUE(coda.IsLocal("/elsewhere")) << "remote access caches the object";
+
+  // Disconnected: nobody can service a non-local access.
+  rumor.OnDisconnect(0);
+  coda.OnDisconnect(0);
+  EXPECT_FALSE(rumor.Access("/other"));
+  EXPECT_FALSE(coda.Access("/other2"));
+}
+
+TEST(ReplicationSystem, CapabilityProbes) {
+  RumorReplicator rumor(TenBytes);
+  CheapRumorReplicator cheap(TenBytes);
+  CodaReplicator coda(TenBytes);
+  EXPECT_FALSE(rumor.SupportsRemoteAccess());
+  EXPECT_FALSE(cheap.SupportsRemoteAccess());
+  EXPECT_TRUE(coda.SupportsRemoteAccess());
+  EXPECT_FALSE(rumor.CanDetectMisses());
+  EXPECT_TRUE(coda.CanDetectMisses());
+}
+
+// --- Rumor reconciliation -------------------------------------------------------
+
+TEST(RumorReplicator, LocalUpdatePushedAtReconnect) {
+  RumorReplicator repl(TenBytes);
+  repl.SetHoard({"/a"});
+  repl.OnDisconnect(0);
+  repl.RecordLocalUpdate("/a", 1);
+  repl.OnReconnect(10);
+  EXPECT_EQ(repl.stats().pushed_updates, 1u);
+  EXPECT_EQ(repl.stats().conflicts_detected, 0u);
+}
+
+TEST(RumorReplicator, RemoteUpdatePulled) {
+  RumorReplicator repl(TenBytes);
+  repl.SetHoard({"/a"});
+  repl.RecordRemoteUpdate("/a", 1);
+  const auto result = repl.Reconcile(2);
+  ASSERT_EQ(result.pulled.size(), 1u);
+  EXPECT_EQ(result.pulled[0], "/a");
+}
+
+TEST(RumorReplicator, ConcurrentUpdateIsConflict) {
+  RumorReplicator repl(TenBytes);
+  repl.SetHoard({"/a"});
+  repl.OnDisconnect(0);
+  repl.RecordLocalUpdate("/a", 1);
+  repl.RecordRemoteUpdate("/a", 2);
+  const auto result = repl.Reconcile(3);
+  ASSERT_EQ(result.conflicts.size(), 1u);
+  EXPECT_EQ(repl.stats().conflicts_detected, 1u);
+  EXPECT_EQ(repl.stats().conflicts_resolved, 1u);
+  // After resolution the vectors converge: a second reconcile is a no-op.
+  const auto again = repl.Reconcile(4);
+  EXPECT_TRUE(again.conflicts.empty());
+}
+
+TEST(RumorReplicator, ConflictResolverChoosesWinner) {
+  bool called = false;
+  RumorReplicator repl(TenBytes, [&called](const std::string&) {
+    called = true;
+    return false;  // peer wins
+  });
+  repl.SetHoard({"/a"});
+  repl.RecordLocalUpdate("/a", 1);
+  repl.RecordRemoteUpdate("/a", 2);
+  repl.Reconcile(3);
+  EXPECT_TRUE(called);
+}
+
+TEST(RumorReplicator, DeleteUpdateConflictRevives) {
+  RumorReplicator repl(TenBytes);
+  repl.SetHoard({"/a"});
+  repl.RecordLocalDelete("/a", 1);
+  repl.RecordRemoteUpdate("/a", 2);
+  const auto result = repl.Reconcile(3);
+  ASSERT_EQ(result.conflicts.size(), 1u);
+  EXPECT_TRUE(repl.IsLocal("/a")) << "the peer's updated version survives";
+}
+
+TEST(RumorReplicator, PlainDeletePropagates) {
+  RumorReplicator repl(TenBytes);
+  repl.SetHoard({"/a"});
+  repl.RecordLocalDelete("/a", 1);
+  const auto result = repl.Reconcile(2);
+  ASSERT_EQ(result.pushed.size(), 1u);
+  EXPECT_FALSE(repl.IsLocal("/a"));
+}
+
+// --- CheapRumor (master-slave) --------------------------------------------------
+
+TEST(CheapRumorReplicator, MasterWinsConflicts) {
+  CheapRumorReplicator repl(TenBytes);
+  repl.SetHoard({"/a"});
+  repl.RecordLocalUpdate("/a", 1);
+  repl.RecordRemoteUpdate("/a", 2);
+  const auto result = repl.Reconcile(3);
+  ASSERT_EQ(result.conflicts.size(), 1u);
+  ASSERT_EQ(repl.saved_conflict_copies().size(), 1u);
+  EXPECT_EQ(repl.saved_conflict_copies()[0], "/a.conflict");
+  // The master's version is pulled back.
+  ASSERT_EQ(result.pulled.size(), 1u);
+}
+
+TEST(CheapRumorReplicator, CleanPushAndPull) {
+  CheapRumorReplicator repl(TenBytes);
+  repl.SetHoard({"/mine", "/theirs"});
+  repl.RecordLocalUpdate("/mine", 1);
+  repl.RecordRemoteUpdate("/theirs", 2);
+  const auto result = repl.Reconcile(3);
+  EXPECT_EQ(result.pushed.size(), 1u);
+  EXPECT_EQ(result.pulled.size(), 1u);
+  EXPECT_TRUE(result.conflicts.empty());
+}
+
+// --- Coda ------------------------------------------------------------------------
+
+TEST(CodaReplicator, BrokenCallbacksRefreshCache) {
+  CodaReplicator repl(TenBytes);
+  repl.SetHoard({"/cached"});
+  repl.RecordRemoteUpdate("/cached", 1);
+  repl.RecordRemoteUpdate("/uncached", 2);
+  const auto result = repl.Reconcile(3);
+  EXPECT_EQ(repl.callbacks_broken(), 1u);  // only the cached file
+  ASSERT_EQ(result.pulled.size(), 1u);
+  EXPECT_EQ(result.pulled[0], "/cached");
+}
+
+TEST(CodaReplicator, DisconnectedConflictDetected) {
+  CodaReplicator repl(TenBytes);
+  repl.SetHoard({"/a"});
+  repl.OnDisconnect(0);
+  repl.RecordLocalUpdate("/a", 1);
+  repl.RecordRemoteUpdate("/a", 2);
+  repl.OnReconnect(3);
+  EXPECT_EQ(repl.stats().conflicts_detected, 1u);
+}
+
+}  // namespace
+}  // namespace seer

@@ -1,0 +1,261 @@
+// Tests for per-process reference streams and the three semantic-distance
+// definitions of Section 3.1.1, including the paper's worked example
+// (Figure 1).
+#include "src/core/reference_streams.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace seer {
+namespace {
+
+constexpr Pid kPid = 42;
+
+class StreamHarness {
+ public:
+  explicit StreamHarness(SeerParams params = {}) : streams_(params) {}
+
+  // Interns a single-letter file name.
+  FileId Id(char name) {
+    const auto it = ids_.find(name);
+    if (it != ids_.end()) {
+      return it->second;
+    }
+    const FileId id = files_.Intern(std::string("/f/") + name);
+    ids_.emplace(name, id);
+    return id;
+  }
+
+  std::map<char, double> Open(char name, Pid pid = kPid) {
+    return Collect(streams_.OnBegin(pid, Id(name), NextTime()));
+  }
+
+  std::map<char, double> Point(char name, Pid pid = kPid) {
+    return Collect(streams_.OnPoint(pid, Id(name), NextTime()));
+  }
+
+  void Close(char name, Pid pid = kPid) { streams_.OnEnd(pid, Id(name)); }
+
+  ReferenceStreams& streams() { return streams_; }
+
+ private:
+  std::map<char, double> Collect(const std::vector<DistanceObservation>& obs) {
+    std::map<char, double> out;
+    for (const auto& o : obs) {
+      for (const auto& [name, id] : ids_) {
+        if (id == o.from) {
+          out[name] = o.distance;
+        }
+      }
+    }
+    return out;
+  }
+
+  Time NextTime() { return time_ += kMicrosPerSecond; }
+
+  FileTable files_;
+  ReferenceStreams streams_;
+  std::map<char, FileId> ids_;
+  Time time_ = 0;
+};
+
+// The paper's Figure 1 sequence: {Ao, Bo, Bc, Co, Cc, Ac, Do, Dc}.
+// Expected lifetime distances: A->B = 0, A->C = 0, A->D = 3,
+// B->C = 1, B->D = 2, C->D = 1.
+TEST(LifetimeDistance, PaperFigure1Example) {
+  StreamHarness h;
+  EXPECT_TRUE(h.Open('A').empty());
+
+  const auto at_b = h.Open('B');
+  EXPECT_DOUBLE_EQ(at_b.at('A'), 0.0);  // A still open
+  h.Close('B');
+
+  const auto at_c = h.Open('C');
+  EXPECT_DOUBLE_EQ(at_c.at('A'), 0.0);  // A still open
+  EXPECT_DOUBLE_EQ(at_c.at('B'), 1.0);
+  h.Close('C');
+  h.Close('A');
+
+  const auto at_d = h.Open('D');
+  EXPECT_DOUBLE_EQ(at_d.at('A'), 3.0);  // A closed before D opened
+  EXPECT_DOUBLE_EQ(at_d.at('B'), 2.0);
+  EXPECT_DOUBLE_EQ(at_d.at('C'), 1.0);
+  h.Close('D');
+}
+
+// Footnote 1: in {A, C, C, C, B} the strict sequence distance A->B is 3 —
+// repeated references are counted, capturing intensive work on one file.
+TEST(SequenceDistance, StrictRepeatCounting) {
+  SeerParams params;
+  params.distance_kind = DistanceKind::kSequence;
+  StreamHarness h(params);
+  h.Point('A');
+  h.Point('C');
+  h.Point('C');
+  h.Point('C');
+  const auto at_b = h.Point('B');
+  EXPECT_DOUBLE_EQ(at_b.at('A'), 3.0);
+  // The closest pair rule: distance from C uses C's most recent reference.
+  EXPECT_DOUBLE_EQ(at_b.at('C'), 0.0);
+}
+
+TEST(SequenceDistance, ClosestPairRule) {
+  SeerParams params;
+  params.distance_kind = DistanceKind::kSequence;
+  StreamHarness h(params);
+  h.Point('A');
+  h.Point('B');
+  h.Point('A');  // A again: the later reference is the relevant one
+  const auto at_c = h.Point('C');
+  EXPECT_DOUBLE_EQ(at_c.at('A'), 0.0);
+  EXPECT_DOUBLE_EQ(at_c.at('B'), 1.0);
+}
+
+TEST(TemporalDistance, ElapsedClockTime) {
+  SeerParams params;
+  params.distance_kind = DistanceKind::kTemporal;
+  StreamHarness h(params);
+  h.Point('A');  // t = 1s
+  h.Point('B');  // t = 2s
+  const auto at_c = h.Point('C');  // t = 3s
+  EXPECT_DOUBLE_EQ(at_c.at('A'), 2.0);
+  EXPECT_DOUBLE_EQ(at_c.at('B'), 1.0);
+}
+
+TEST(TemporalDistance, CappedAtHorizon) {
+  SeerParams params;
+  params.distance_kind = DistanceKind::kTemporal;
+  params.temporal_horizon_seconds = 1.5;
+  StreamHarness h(params);
+  h.Point('A');
+  h.Point('B');
+  const auto at_c = h.Point('C');
+  EXPECT_DOUBLE_EQ(at_c.at('A'), 1.5);  // 2s clamped to the horizon
+}
+
+// The compilation motif: the source file stays open while headers cycle, so
+// every header is at distance 0 from the source regardless of position.
+TEST(LifetimeDistance, HeldOpenFileIsDistanceZeroToAll) {
+  StreamHarness h;
+  h.Open('S');
+  for (char header : {'1', '2', '3', '4', '5', '6', '7', '8', '9'}) {
+    const auto obs = h.Open(header);
+    EXPECT_DOUBLE_EQ(obs.at('S'), 0.0) << "header " << header;
+    h.Close(header);
+  }
+  h.Close('S');
+}
+
+TEST(LifetimeDistance, DistancesCappedAtHorizonM) {
+  SeerParams params;
+  params.distance_horizon = 10;
+  StreamHarness h(params);
+  h.Point('A');
+  for (int i = 0; i < 9; ++i) {
+    h.Point('x');  // same filler file keeps A inside the window
+    h.Point('y');
+  }
+  // A's last open is beyond 10 opens ago now; it must have been pruned.
+  const auto obs = h.Point('B');
+  EXPECT_EQ(obs.count('A'), 0u);
+}
+
+// Compensation (Section 3.1.3): a file held open past the horizon reports
+// exactly M when it finally participates again.
+TEST(LifetimeDistance, CompensationInsertsM) {
+  SeerParams params;
+  params.distance_horizon = 10;
+  StreamHarness h(params);
+  h.Open('A');
+  for (int i = 0; i < 15; ++i) {
+    h.Point('x');
+    h.Point('y');
+    h.Point('z');
+  }
+  h.Close('A');  // open was 45 references ago: true distance > M
+  const auto obs = h.Point('B');
+  ASSERT_EQ(obs.count('A'), 1u);
+  EXPECT_DOUBLE_EQ(obs.at('A'), 10.0);
+}
+
+// Section 4.7: separate streams per process; no cross-process distances.
+TEST(ReferenceStreams, PerProcessSeparation) {
+  StreamHarness h;
+  h.Point('A', 1);
+  const auto obs = h.Point('B', 2);
+  EXPECT_TRUE(obs.empty());
+}
+
+TEST(ReferenceStreams, GlobalStreamWhenDisabled) {
+  SeerParams params;
+  params.per_process_streams = false;
+  StreamHarness h(params);
+  h.Point('A', 1);
+  const auto obs = h.Point('B', 2);
+  ASSERT_EQ(obs.count('A'), 1u);
+  EXPECT_DOUBLE_EQ(obs.at('A'), 1.0);
+}
+
+// Fork: the child inherits the parent's history.
+TEST(ReferenceStreams, ForkInheritsHistory) {
+  StreamHarness h;
+  h.Point('A', 1);
+  h.streams().OnFork(1, 2);
+  const auto obs = h.Point('B', 2);
+  ASSERT_EQ(obs.count('A'), 1u);
+  EXPECT_DOUBLE_EQ(obs.at('A'), 1.0);
+}
+
+// A file held open by the parent is not "open" in the child.
+TEST(ReferenceStreams, ForkDoesNotInheritOpenState) {
+  StreamHarness h;
+  h.Open('A', 1);
+  h.streams().OnFork(1, 2);
+  const auto obs = h.Point('B', 2);
+  ASSERT_EQ(obs.count('A'), 1u);
+  EXPECT_GT(obs.at('A'), 0.0);  // would be 0 if still considered open
+}
+
+// Exit: the child's recent files become visible to the parent's future
+// references (merge, Section 4.7).
+TEST(ReferenceStreams, ExitMergesChildHistoryIntoParent) {
+  StreamHarness h;
+  h.Point('P', 1);                 // parent activity so the stream exists
+  h.streams().OnFork(1, 2);
+  h.Point('C', 2);                 // child references C
+  h.streams().OnExit(2);
+  const auto obs = h.Point('B', 1);
+  EXPECT_EQ(obs.count('C'), 1u) << "child history should merge into parent";
+}
+
+TEST(ReferenceStreams, ExitWithoutParentIsSafe) {
+  StreamHarness h;
+  h.Point('A', 7);
+  h.streams().OnExit(7);   // parent 0 does not exist
+  h.streams().OnExit(99);  // never seen at all
+  SUCCEED();
+}
+
+TEST(ReferenceStreams, CloseWithoutOpenIgnored) {
+  StreamHarness h;
+  h.Close('Z');
+  const auto obs = h.Point('A');
+  EXPECT_TRUE(obs.empty());
+}
+
+// Nested opens: the file stays at distance 0 until the last close.
+TEST(LifetimeDistance, NestedOpensStayOpen) {
+  StreamHarness h;
+  h.Open('A');
+  h.Open('A');
+  h.Close('A');  // still open once
+  const auto obs = h.Point('B');
+  EXPECT_DOUBLE_EQ(obs.at('A'), 0.0);
+  h.Close('A');
+  const auto obs2 = h.Point('C');
+  EXPECT_GT(obs2.at('A'), 0.0);
+}
+
+}  // namespace
+}  // namespace seer

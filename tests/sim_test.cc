@@ -1,0 +1,184 @@
+// Tests for the simulation layer: miss-free computation, coverage orders,
+// working-set tracking, the disconnection filter pipeline, and the
+// calibrated duration sampler.
+#include <gtest/gtest.h>
+
+#include "src/sim/disconnect_model.h"
+#include "src/sim/machine_sim.h"
+#include "src/sim/missfree.h"
+#include "src/sim/trackers.h"
+
+namespace seer {
+namespace {
+
+uint64_t TenBytes(const std::string&) { return 10; }
+
+// --- ComputeMissFree ----------------------------------------------------------
+
+TEST(MissFree, EmptyReferenceSetIsFree) {
+  const auto r = ComputeMissFree({"/a", "/b"}, {}, TenBytes);
+  EXPECT_EQ(r.bytes, 0u);
+  EXPECT_EQ(r.uncovered, 0u);
+}
+
+TEST(MissFree, StopsAtDeepestReferencedFile) {
+  const auto r = ComputeMissFree({"/a", "/b", "/c", "/d"}, {"/b"}, TenBytes);
+  EXPECT_EQ(r.bytes, 20u);  // /a + /b
+}
+
+TEST(MissFree, DuplicatesInOrderCountedOnce) {
+  const auto r = ComputeMissFree({"/a", "/a", "/b"}, {"/b"}, TenBytes);
+  EXPECT_EQ(r.bytes, 20u);
+}
+
+TEST(MissFree, WorkingSetBytesSums) {
+  EXPECT_EQ(WorkingSetBytes({"/a", "/b", "/c"}, TenBytes), 30u);
+}
+
+TEST(MissFree, WithTailAppendsMissingUniverse) {
+  const auto order = WithTail({"/b"}, {"/a", "/b", "/c"});
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "/b");
+  EXPECT_EQ(order[1], "/a");
+  EXPECT_EQ(order[2], "/c");
+}
+
+TEST(MissFree, GeometricSizeDeterministicPerPath) {
+  EXPECT_EQ(GeometricSizeForPath("/x/y", 7), GeometricSizeForPath("/x/y", 7));
+  EXPECT_NE(GeometricSizeForPath("/x/y", 7), GeometricSizeForPath("/x/z", 7));
+}
+
+// --- WorkingSetTracker ----------------------------------------------------------
+
+TEST(WorkingSetTracker, TracksReferencesAndCreations) {
+  WorkingSetTracker ws;
+  TraceEvent open;
+  open.op = Op::kOpen;
+  open.path = "/old";
+  ws.OnEvent(open);
+  TraceEvent create;
+  create.op = Op::kCreate;
+  create.path = "/fresh";
+  ws.OnEvent(create);
+
+  EXPECT_EQ(ws.referenced().size(), 2u);
+  const auto pre = ws.ReferencedPreexisting();
+  ASSERT_EQ(pre.size(), 1u);
+  EXPECT_EQ(*pre.begin(), "/old");
+
+  ws.Reset();
+  EXPECT_TRUE(ws.referenced().empty());
+}
+
+TEST(WorkingSetTracker, FailedEventsIgnored) {
+  WorkingSetTracker ws;
+  TraceEvent open;
+  open.op = Op::kOpen;
+  open.path = "/a";
+  open.status = OpStatus::kNoEnt;
+  ws.OnEvent(open);
+  EXPECT_TRUE(ws.referenced().empty());
+}
+
+TEST(WorkingSetTracker, RenameTargetCountsAsCreated) {
+  WorkingSetTracker ws;
+  TraceEvent mv;
+  mv.op = Op::kRename;
+  mv.path = "/old";
+  mv.path2 = "/new";
+  ws.OnEvent(mv);
+  const auto pre = ws.ReferencedPreexisting();
+  EXPECT_EQ(pre.count("/old"), 1u);
+  EXPECT_EQ(pre.count("/new"), 0u);
+}
+
+// --- disconnection filtering (Section 5.1.1) ------------------------------------
+
+constexpr Time kMin15 = 15 * 60 * kMicrosPerSecond;
+
+TEST(DisconnectFilter, UnreachableIntervalsFromPings) {
+  std::vector<PingSample> pings = {
+      {0, true}, {100, false}, {200, false}, {300, true}, {400, false},
+  };
+  const auto intervals = UnreachableIntervals(pings);
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0].begin, 100);
+  EXPECT_EQ(intervals[0].end, 300);
+  EXPECT_EQ(intervals[1].begin, 400);
+}
+
+TEST(DisconnectFilter, ShortDisconnectionsDropped) {
+  const auto filtered = FilterDisconnections({{0, kMin15 / 2}}, {});
+  EXPECT_TRUE(filtered.empty());
+}
+
+TEST(DisconnectFilter, ShortReconnectionsMerge) {
+  // Two 20-minute disconnections separated by a 5-minute reconnection
+  // merge into one 45-minute disconnection.
+  const Time m = 60 * kMicrosPerSecond;
+  const auto filtered = FilterDisconnections({{0, 20 * m}, {25 * m, 45 * m}}, {});
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].interval.begin, 0);
+  EXPECT_EQ(filtered[0].interval.end, 45 * m);
+}
+
+TEST(DisconnectFilter, LongReconnectionsKeepSeparate) {
+  const Time m = 60 * kMicrosPerSecond;
+  const auto filtered = FilterDisconnections({{0, 20 * m}, {40 * m, 60 * m}}, {});
+  EXPECT_EQ(filtered.size(), 2u);
+}
+
+TEST(DisconnectFilter, SuspensionsSubtracted) {
+  const Time h = kMicrosPerHour;
+  // A 16-hour overnight disconnection with 14 hours suspended: 2 active.
+  const auto filtered = FilterDisconnections({{0, 16 * h}}, {{1 * h, 15 * h}});
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].active_duration, 2 * h);
+}
+
+TEST(DisconnectFilter, FullySuspendedExcluded) {
+  const Time h = kMicrosPerHour;
+  const auto filtered = FilterDisconnections({{0, 10 * h}}, {{0, 10 * h}});
+  EXPECT_TRUE(filtered.empty());  // vacations don't count
+}
+
+// --- calibrated sampler ----------------------------------------------------------
+
+TEST(DisconnectionSampler, MatchesTable3Shape) {
+  // Machine F: mean 9.30, median 2.00, max 90.62 hours.
+  DisconnectionSampler sampler(9.30, 2.00, 90.62);
+  Rng rng(42);
+  std::vector<double> samples;
+  for (int i = 0; i < 20'000; ++i) {
+    samples.push_back(sampler.SampleHours(rng));
+  }
+  const Summary s = Summarize(samples);
+  EXPECT_NEAR(s.median, 2.0, 0.3);
+  // Clamping at max biases the mean down a little; accept a band.
+  EXPECT_GT(s.mean, 5.0);
+  EXPECT_LT(s.mean, 12.0);
+  EXPECT_GE(s.min, 0.25);
+  EXPECT_LE(s.max, 90.62);
+}
+
+TEST(DisconnectionSampler, HeavyTailForMachineB) {
+  // B: mean 43.2, median 0.57 — extremely skewed.
+  DisconnectionSampler sampler(43.20, 0.57, 404.94);
+  Rng rng(7);
+  int over_100h = 0;
+  for (int i = 0; i < 5'000; ++i) {
+    if (sampler.SampleHours(rng) > 100.0) {
+      ++over_100h;
+    }
+  }
+  EXPECT_GT(over_100h, 50);  // the tail really is heavy
+}
+
+TEST(DisconnectionSampler, ProfileFactory) {
+  const auto profile = GetMachineProfile('F');
+  const auto sampler = SamplerFor(profile);
+  EXPECT_NEAR(std::exp(sampler.mu()), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace seer

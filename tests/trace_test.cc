@@ -1,0 +1,151 @@
+// Tests for the trace event model and on-disk format.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/trace/event.h"
+#include "src/trace/trace_io.h"
+#include "src/util/rng.h"
+
+namespace seer {
+namespace {
+
+TraceEvent SampleEvent() {
+  TraceEvent e;
+  e.seq = 42;
+  e.time = 1'000'000;
+  e.pid = 7;
+  e.uid = 1000;
+  e.op = Op::kOpen;
+  e.status = OpStatus::kOk;
+  e.path = "/home/u/a.c";
+  e.fd = 5;
+  e.write = true;
+  e.detail = 0;
+  return e;
+}
+
+TEST(Event, OpNamesRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(Op::kChdir); ++i) {
+    const Op op = static_cast<Op>(i);
+    Op parsed;
+    ASSERT_TRUE(ParseOp(OpName(op), &parsed)) << OpName(op);
+    EXPECT_EQ(parsed, op);
+  }
+  Op unused;
+  EXPECT_FALSE(ParseOp("bogus", &unused));
+}
+
+TEST(Event, StatusNamesRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(OpStatus::kNotLocal); ++i) {
+    const OpStatus st = static_cast<OpStatus>(i);
+    OpStatus parsed;
+    ASSERT_TRUE(ParseOpStatus(OpStatusName(st), &parsed));
+    EXPECT_EQ(parsed, st);
+  }
+}
+
+TEST(Event, PointReferenceClassification) {
+  EXPECT_TRUE(IsPointReference(Op::kStat));
+  EXPECT_TRUE(IsPointReference(Op::kRename));
+  EXPECT_FALSE(IsPointReference(Op::kOpen));
+  EXPECT_FALSE(IsPointReference(Op::kClose));
+}
+
+TEST(TraceIo, EscapeRoundTrip) {
+  const std::string nasty = "/home/u/my file %20\twith\nnoise";
+  EXPECT_EQ(UnescapePath(EscapePath(nasty)), nasty);
+  EXPECT_EQ(EscapePath(nasty).find(' '), std::string::npos);
+  EXPECT_EQ(EscapePath(nasty).find('\n'), std::string::npos);
+}
+
+TEST(TraceIo, FormatParseRoundTrip) {
+  const TraceEvent e = SampleEvent();
+  const auto parsed = ParseEventLine(FormatEvent(e));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->seq, e.seq);
+  EXPECT_EQ(parsed->time, e.time);
+  EXPECT_EQ(parsed->pid, e.pid);
+  EXPECT_EQ(parsed->uid, e.uid);
+  EXPECT_EQ(parsed->op, e.op);
+  EXPECT_EQ(parsed->status, e.status);
+  EXPECT_EQ(parsed->path, e.path);
+  EXPECT_EQ(parsed->path2, e.path2);
+  EXPECT_EQ(parsed->fd, e.fd);
+  EXPECT_EQ(parsed->write, e.write);
+}
+
+TEST(TraceIo, MalformedLinesRejected) {
+  EXPECT_FALSE(ParseEventLine("").has_value());
+  EXPECT_FALSE(ParseEventLine("1 2 3").has_value());
+  EXPECT_FALSE(ParseEventLine("x 0 7 1000 open ok /a - -1 0 0").has_value());
+  EXPECT_FALSE(ParseEventLine("1 0 7 1000 bogus ok /a - -1 0 0").has_value());
+}
+
+TEST(TraceIo, ReaderSkipsCommentsAndBlanks) {
+  std::stringstream s;
+  s << "# a trace\n\n" << FormatEvent(SampleEvent()) << "\ngarbage line here bla bla\n";
+  TraceReader reader(s);
+  const auto e = reader.Next();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->path, "/home/u/a.c");
+  EXPECT_FALSE(reader.Next().has_value());
+  EXPECT_EQ(reader.malformed_lines(), 1u);
+}
+
+TEST(TraceIo, WriteReadAllEvents) {
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 50; ++i) {
+    TraceEvent e = SampleEvent();
+    e.seq = static_cast<uint64_t>(i);
+    e.path = "/f/" + std::to_string(i);
+    events.push_back(e);
+  }
+  std::stringstream s;
+  WriteAllEvents(s, events);
+  const auto back = ReadAllEvents(s);
+  ASSERT_EQ(back.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(back[i].path, events[i].path);
+    EXPECT_EQ(back[i].seq, events[i].seq);
+  }
+}
+
+// Property-style fuzz: random events round-trip through the text format.
+class TraceIoFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceIoFuzzTest, RandomEventRoundTrip) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 1);
+  for (int i = 0; i < 200; ++i) {
+    TraceEvent e;
+    e.seq = rng.Next();
+    e.time = static_cast<Time>(rng.NextBounded(1'000'000'000));
+    e.pid = static_cast<Pid>(rng.NextBounded(30'000));
+    e.uid = static_cast<Uid>(rng.NextBounded(3));
+    e.op = static_cast<Op>(rng.NextBounded(17));
+    e.status = static_cast<OpStatus>(rng.NextBounded(4));
+    e.fd = static_cast<Fd>(rng.NextInRange(-1, 100));
+    e.write = rng.NextBool(0.5);
+    e.detail = static_cast<int32_t>(rng.NextBounded(1000));
+    std::string path = "/";
+    const int len = static_cast<int>(rng.NextBounded(30));
+    for (int c = 0; c < len; ++c) {
+      path += static_cast<char>(rng.NextBounded(96) + 32);  // printable + space
+    }
+    e.path = path;
+    if (rng.NextBool(0.3)) {
+      e.path2 = path + "2";
+    }
+    const auto parsed = ParseEventLine(FormatEvent(e));
+    ASSERT_TRUE(parsed.has_value()) << FormatEvent(e);
+    EXPECT_EQ(parsed->path, e.path);
+    EXPECT_EQ(parsed->path2, e.path2);
+    EXPECT_EQ(parsed->op, e.op);
+    EXPECT_EQ(parsed->seq, e.seq);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceIoFuzzTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace seer

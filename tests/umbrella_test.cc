@@ -1,0 +1,37 @@
+// The umbrella header must pull in the entire public API and compile
+// cleanly; this test exercises one symbol from each major area to keep the
+// include list honest.
+#include "src/seer.h"
+
+#include <gtest/gtest.h>
+
+namespace seer {
+namespace {
+
+TEST(Umbrella, EveryAreaReachable) {
+  Rng rng(1);
+  (void)rng.Next();
+  EXPECT_EQ(NormalizePath("/a//b"), "/a/b");
+  EXPECT_EQ(OpName(Op::kOpen), "open");
+  SimFilesystem fs;
+  EXPECT_TRUE(fs.Exists("/"));
+  ProcessTable processes;
+  SimClock clock;
+  SyscallTracer tracer(&fs, &processes, &clock);
+  Observer observer(ObserverConfig{}, &fs);
+  Correlator correlator;
+  HoardManager hoard(1);
+  MissLog miss_log;
+  AccessPredictor predictor;
+  VersionVector vv;
+  EXPECT_TRUE(vv.Empty());
+  GossipNetwork gossip(2);
+  EXPECT_EQ(gossip.replica_count(), 2);
+  LruTracker lru;
+  EXPECT_EQ(lru.tracked_files(), 0u);
+  EXPECT_EQ(GetMachineProfile('A').name, 'A');
+  EXPECT_EQ(ComputeMissFree({}, {}, [](const std::string&) { return 0ull; }).bytes, 0ull);
+}
+
+}  // namespace
+}  // namespace seer

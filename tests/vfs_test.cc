@@ -1,0 +1,177 @@
+// Tests for the simulated filesystem substrate.
+#include "src/vfs/sim_filesystem.h"
+
+#include <gtest/gtest.h>
+
+namespace seer {
+namespace {
+
+class VfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(fs_.MkdirAll("/home/u/proj"), VfsStatus::kOk);
+    ASSERT_EQ(fs_.CreateFile("/home/u/proj/a.c", 100), VfsStatus::kOk);
+  }
+  SimFilesystem fs_;
+};
+
+TEST_F(VfsTest, RootAlwaysExists) {
+  SimFilesystem fresh;
+  EXPECT_TRUE(fresh.Exists("/"));
+  EXPECT_EQ(fresh.Stat("/")->kind, NodeKind::kDirectory);
+}
+
+TEST_F(VfsTest, CreateRequiresParent) {
+  EXPECT_EQ(fs_.CreateFile("/no/such/dir/f", 1), VfsStatus::kNoEnt);
+}
+
+TEST_F(VfsTest, CreateRejectsDuplicate) {
+  EXPECT_EQ(fs_.CreateFile("/home/u/proj/a.c", 1), VfsStatus::kExists);
+}
+
+TEST_F(VfsTest, CreateUnderFileIsNotDir) {
+  EXPECT_EQ(fs_.CreateFile("/home/u/proj/a.c/x", 1), VfsStatus::kNotDir);
+}
+
+TEST_F(VfsTest, MkdirAllIdempotent) {
+  EXPECT_EQ(fs_.MkdirAll("/home/u/proj"), VfsStatus::kOk);
+  EXPECT_EQ(fs_.MkdirAll("/home/u/proj/deep/deeper"), VfsStatus::kOk);
+  EXPECT_TRUE(fs_.Exists("/home/u/proj/deep/deeper"));
+}
+
+TEST_F(VfsTest, StatReportsSizeAndKind) {
+  const auto info = fs_.Stat("/home/u/proj/a.c");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->kind, NodeKind::kRegular);
+  EXPECT_EQ(info->size, 100u);
+  EXPECT_FALSE(fs_.Stat("/nope").has_value());
+}
+
+TEST_F(VfsTest, DirectorySizeScalesWithEntries) {
+  const uint64_t before = fs_.Stat("/home/u/proj")->size;
+  fs_.CreateFile("/home/u/proj/b.c", 1);
+  fs_.CreateFile("/home/u/proj/c.c", 1);
+  EXPECT_GT(fs_.Stat("/home/u/proj")->size, before);
+}
+
+TEST_F(VfsTest, RemoveFileAndRmdir) {
+  EXPECT_EQ(fs_.Remove("/home/u/proj/a.c"), VfsStatus::kOk);
+  EXPECT_FALSE(fs_.Exists("/home/u/proj/a.c"));
+  EXPECT_EQ(fs_.Remove("/home/u/proj/a.c"), VfsStatus::kNoEnt);
+  EXPECT_EQ(fs_.Rmdir("/home/u/proj"), VfsStatus::kOk);
+  EXPECT_EQ(fs_.Rmdir("/home"), VfsStatus::kNotEmpty);  // /home/u still inside
+}
+
+TEST_F(VfsTest, RmdirRefusesNonEmpty) {
+  EXPECT_EQ(fs_.Rmdir("/home/u/proj"), VfsStatus::kNotEmpty);
+  EXPECT_EQ(fs_.Remove("/home/u/proj"), VfsStatus::kIsDir);
+}
+
+TEST_F(VfsTest, RenameFile) {
+  EXPECT_EQ(fs_.Rename("/home/u/proj/a.c", "/home/u/proj/b.c"), VfsStatus::kOk);
+  EXPECT_FALSE(fs_.Exists("/home/u/proj/a.c"));
+  EXPECT_EQ(fs_.Stat("/home/u/proj/b.c")->size, 100u);
+}
+
+TEST_F(VfsTest, RenameOverExistingReplaces) {
+  fs_.CreateFile("/home/u/proj/b.c", 5);
+  EXPECT_EQ(fs_.Rename("/home/u/proj/a.c", "/home/u/proj/b.c"), VfsStatus::kOk);
+  EXPECT_EQ(fs_.Stat("/home/u/proj/b.c")->size, 100u);
+}
+
+TEST_F(VfsTest, RenameDirectoryMovesSubtree) {
+  fs_.MkdirAll("/home/u/proj/sub");
+  fs_.CreateFile("/home/u/proj/sub/x", 7);
+  fs_.WriteContent("/home/u/proj/sub/x", "hello");
+  EXPECT_EQ(fs_.Rename("/home/u/proj", "/home/u/newproj"), VfsStatus::kOk);
+  EXPECT_TRUE(fs_.Exists("/home/u/newproj/a.c"));
+  EXPECT_TRUE(fs_.Exists("/home/u/newproj/sub/x"));
+  EXPECT_FALSE(fs_.Exists("/home/u/proj"));
+  EXPECT_EQ(fs_.ReadContent("/home/u/newproj/sub/x").value_or(""), "hello");
+}
+
+TEST_F(VfsTest, RenameIntoOwnSubtreeRejected) {
+  fs_.MkdirAll("/home/u/proj/sub");
+  EXPECT_NE(fs_.Rename("/home/u/proj", "/home/u/proj/sub/inner"), VfsStatus::kOk);
+}
+
+TEST_F(VfsTest, SymlinkResolution) {
+  fs_.CreateSymlink("/home/u/link", "proj/a.c");
+  const auto resolved = fs_.Resolve("/home/u/link");
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(*resolved, "/home/u/proj/a.c");
+}
+
+TEST_F(VfsTest, SymlinkChainAndLoop) {
+  fs_.CreateSymlink("/home/u/l1", "l2");
+  fs_.CreateSymlink("/home/u/l2", "proj/a.c");
+  EXPECT_EQ(fs_.Resolve("/home/u/l1").value_or(""), "/home/u/proj/a.c");
+
+  fs_.CreateSymlink("/home/u/loop1", "loop2");
+  fs_.CreateSymlink("/home/u/loop2", "loop1");
+  EXPECT_FALSE(fs_.Resolve("/home/u/loop1").has_value());
+}
+
+TEST_F(VfsTest, ListDirAndEntryCount) {
+  fs_.CreateFile("/home/u/proj/b.c", 1);
+  fs_.MkdirAll("/home/u/proj/sub");
+  fs_.CreateFile("/home/u/proj/sub/deep.c", 1);
+  const auto entries = fs_.ListDir("/home/u/proj");
+  EXPECT_EQ(entries.size(), 3u);  // a.c, b.c, sub — not deep.c
+  EXPECT_EQ(fs_.DirEntryCount("/home/u/proj"), 3u);
+  EXPECT_TRUE(fs_.ListDir("/home/u/proj/a.c").empty());
+}
+
+TEST_F(VfsTest, ListRootDir) {
+  const auto entries = fs_.ListDir("/");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0], "home");
+}
+
+TEST_F(VfsTest, AllRegularFilesAndTotals) {
+  fs_.CreateFile("/home/u/proj/b.c", 50);
+  fs_.CreateSpecial("/home/u/proj/dev", NodeKind::kDevice);
+  const auto files = fs_.AllRegularFiles();
+  EXPECT_EQ(files.size(), 2u);
+  EXPECT_EQ(fs_.TotalRegularBytes(), 150u);
+}
+
+TEST_F(VfsTest, ContentRoundTripUpdatesSize) {
+  EXPECT_EQ(fs_.WriteContent("/home/u/proj/a.c", "#include \"x.h\"\n"), VfsStatus::kOk);
+  EXPECT_EQ(fs_.Stat("/home/u/proj/a.c")->size, 15u);
+  EXPECT_EQ(fs_.ReadContent("/home/u/proj/a.c").value_or(""), "#include \"x.h\"\n");
+  EXPECT_FALSE(fs_.ReadContent("/nope").has_value());
+}
+
+TEST_F(VfsTest, RemoveDropsContent) {
+  fs_.WriteContent("/home/u/proj/a.c", "data");
+  fs_.Remove("/home/u/proj/a.c");
+  fs_.CreateFile("/home/u/proj/a.c", 1);
+  EXPECT_FALSE(fs_.ReadContent("/home/u/proj/a.c").has_value());
+}
+
+TEST_F(VfsTest, RenameMovesContent) {
+  fs_.WriteContent("/home/u/proj/a.c", "data");
+  fs_.Rename("/home/u/proj/a.c", "/home/u/proj/b.c");
+  EXPECT_EQ(fs_.ReadContent("/home/u/proj/b.c").value_or(""), "data");
+  EXPECT_FALSE(fs_.ReadContent("/home/u/proj/a.c").has_value());
+}
+
+TEST_F(VfsTest, TruncateAndTouch) {
+  EXPECT_EQ(fs_.Truncate("/home/u/proj/a.c", 5'000, 99), VfsStatus::kOk);
+  EXPECT_EQ(fs_.Stat("/home/u/proj/a.c")->size, 5'000u);
+  EXPECT_EQ(fs_.Touch("/home/u/proj/a.c", 123), VfsStatus::kOk);
+  EXPECT_EQ(fs_.Stat("/home/u/proj/a.c")->mtime, 123);
+  EXPECT_EQ(fs_.Truncate("/nope", 1, 0), VfsStatus::kNoEnt);
+}
+
+TEST_F(VfsTest, SpecialNodeKinds) {
+  fs_.MkdirAll("/dev");
+  fs_.CreateSpecial("/dev/null", NodeKind::kDevice);
+  fs_.CreateSpecial("/dev/proc0", NodeKind::kPseudo);
+  EXPECT_EQ(fs_.Stat("/dev/null")->kind, NodeKind::kDevice);
+  EXPECT_EQ(fs_.Stat("/dev/proc0")->kind, NodeKind::kPseudo);
+}
+
+}  // namespace
+}  // namespace seer

@@ -1,0 +1,262 @@
+// Tests for the synthetic environment and user-behaviour model.
+#include <gtest/gtest.h>
+
+#include "src/core/investigator.h"
+#include "src/workload/environment.h"
+#include "src/workload/machine_profile.h"
+#include "src/workload/user_model.h"
+
+namespace seer {
+namespace {
+
+class EnvironmentTest : public ::testing::Test {
+ protected:
+  EnvironmentTest() : rng_(1) { env_ = BuildEnvironment(&fs_, EnvironmentConfig{}, &rng_); }
+
+  SimFilesystem fs_;
+  Rng rng_;
+  UserEnvironment env_;
+};
+
+TEST_F(EnvironmentTest, SystemTreePresent) {
+  EXPECT_TRUE(fs_.Exists("/lib/libc.so"));
+  EXPECT_TRUE(fs_.Exists("/usr/bin/cc"));
+  EXPECT_TRUE(fs_.Exists("/etc/passwd"));
+  EXPECT_EQ(fs_.Stat("/dev/console")->kind, NodeKind::kDevice);
+  EXPECT_EQ(fs_.Stat("/proc/meminfo")->kind, NodeKind::kPseudo);
+}
+
+TEST_F(EnvironmentTest, ProjectsHaveRealIncludeStructure) {
+  ASSERT_FALSE(env_.projects.empty());
+  const ProjectInfo& proj = env_.projects[0];
+  ASSERT_FALSE(proj.sources.empty());
+  const auto content = fs_.ReadContent(proj.sources[0]);
+  ASSERT_TRUE(content.has_value());
+  const auto includes = IncludeScanner::ParseIncludes(*content);
+  EXPECT_FALSE(includes.empty()) << "sources must carry quoted includes";
+  // Every quoted include resolves to an existing project header.
+  for (const auto& inc : includes) {
+    EXPECT_TRUE(fs_.Exists(proj.dir + "/" + inc)) << inc;
+  }
+}
+
+TEST_F(EnvironmentTest, MakefilesParseable) {
+  const ProjectInfo& proj = env_.projects[0];
+  const auto content = fs_.ReadContent(proj.makefile);
+  ASSERT_TRUE(content.has_value());
+  const auto rules = MakefileInvestigator::ParseRules(*content);
+  EXPECT_GE(rules.size(), proj.sources.size());  // prog rule + one per object
+  EXPECT_EQ(rules[0].first, "prog");
+}
+
+TEST_F(EnvironmentTest, DocumentsCarryHotLinks) {
+  ASSERT_FALSE(env_.documents.empty());
+  const auto content = fs_.ReadContent(env_.documents[0].path);
+  ASSERT_TRUE(content.has_value());
+  const auto links = HotLinkInvestigator::ParseLinks(*content);
+  ASSERT_EQ(links.size(), env_.documents[0].support.size());
+  for (const auto& link : links) {
+    EXPECT_TRUE(fs_.Exists(link)) << link;
+  }
+}
+
+TEST_F(EnvironmentTest, DotFilesExist) {
+  ASSERT_FALSE(env_.dot_files.empty());
+  for (const auto& dot : env_.dot_files) {
+    EXPECT_TRUE(fs_.Exists(dot));
+  }
+}
+
+TEST_F(EnvironmentTest, ObjectsNotYetBuilt) {
+  // Objects and binaries appear only after the first simulated build.
+  EXPECT_FALSE(fs_.Exists(env_.projects[0].objects[0]));
+  EXPECT_FALSE(fs_.Exists(env_.projects[0].binary));
+}
+
+TEST_F(EnvironmentTest, ScaleGrowsSizes) {
+  SimFilesystem big_fs;
+  Rng rng(1);
+  EnvironmentConfig big;
+  big.size_scale = 10.0;
+  BuildEnvironment(&big_fs, big, &rng);
+  EXPECT_GT(big_fs.TotalRegularBytes(), fs_.TotalRegularBytes());
+}
+
+class UserModelTest : public ::testing::Test {
+ protected:
+  UserModelTest() : tracer_(&fs_, &procs_, &clock_), env_rng_(2) {
+    env_ = BuildEnvironment(&fs_, EnvironmentConfig{}, &env_rng_);
+  }
+
+  SimFilesystem fs_;
+  ProcessTable procs_;
+  SimClock clock_;
+  SyscallTracer tracer_;
+  Rng env_rng_;
+  UserEnvironment env_;
+};
+
+TEST_F(UserModelTest, SessionsGenerateEventsAndAdvanceClock) {
+  UserModel user(&tracer_, &env_, UserModelConfig{}, 3);
+  const Time before = clock_.now();
+  user.RunActiveHours(0.5);
+  EXPECT_GT(tracer_.events_emitted(), 100u);
+  EXPECT_GE(clock_.now() - before, static_cast<Time>(0.5 * 3600) * kMicrosPerSecond);
+  EXPECT_GT(user.sessions_run(), 0u);
+}
+
+TEST_F(UserModelTest, BuildsProduceObjectsEventually) {
+  UserModelConfig config;
+  config.dev_weight = 1.0;
+  config.doc_weight = 0.0;
+  config.mail_weight = 0.0;
+  UserModel user(&tracer_, &env_, config, 4);
+  for (int i = 0; i < 10; ++i) {
+    user.RunOneSession();
+  }
+  bool any_object = false;
+  for (const auto& proj : env_.projects) {
+    for (const auto& obj : proj.objects) {
+      any_object |= fs_.Exists(obj);
+    }
+  }
+  EXPECT_TRUE(any_object);
+}
+
+TEST_F(UserModelTest, DeterministicForSeed) {
+  SimFilesystem fs_a;
+  SimFilesystem fs_b;
+  Rng ra(9);
+  Rng rb(9);
+  const UserEnvironment env_a = BuildEnvironment(&fs_a, EnvironmentConfig{}, &ra);
+  const UserEnvironment env_b = BuildEnvironment(&fs_b, EnvironmentConfig{}, &rb);
+  ProcessTable pa;
+  ProcessTable pb;
+  SimClock ca;
+  SimClock cb;
+  SyscallTracer ta(&fs_a, &pa, &ca);
+  SyscallTracer tb(&fs_b, &pb, &cb);
+  UserModel ua(&ta, &env_a, UserModelConfig{}, 5);
+  UserModel ub(&tb, &env_b, UserModelConfig{}, 5);
+  for (int i = 0; i < 5; ++i) {
+    ua.RunOneSession();
+    ub.RunOneSession();
+  }
+  EXPECT_EQ(ta.events_emitted(), tb.events_emitted());
+  EXPECT_EQ(ca.now(), cb.now());
+}
+
+TEST_F(UserModelTest, DisconnectedUserAvoidsUnavailableProjects) {
+  UserModelConfig config;
+  config.attention_shift_prob = 1.0;        // shift every session
+  config.unavailable_attempt_prob = 0.0;    // perfectly disciplined user
+  UserModel user(&tracer_, &env_, config, 6);
+
+  // Only project 0 is "hoarded": a path is available iff it is outside
+  // every other project's directory.
+  user.set_availability([this](const std::string& path) {
+    for (size_t p = 1; p < env_.projects.size(); ++p) {
+      const auto& dir = env_.projects[p].dir;
+      if (path.compare(0, dir.size(), dir) == 0) {
+        return false;
+      }
+    }
+    return true;
+  });
+  for (int i = 0; i < 20; ++i) {
+    user.RunOneSession();
+    EXPECT_EQ(user.current_project(), 0);
+  }
+}
+
+TEST_F(UserModelTest, MissReportedWhenTrippingOverUnavailableFile) {
+  UserModelConfig config;
+  config.dev_weight = 1.0;
+  config.doc_weight = 0.0;
+  config.mail_weight = 0.0;
+  config.attention_shift_prob = 1.0;
+  config.unavailable_attempt_prob = 1.0;  // always forgets
+  UserModel user(&tracer_, &env_, config, 7);
+  MissLog log;
+  user.set_miss_log(&log);
+  // Nothing under any project is available.
+  user.set_availability([this](const std::string& path) {
+    for (const auto& proj : env_.projects) {
+      if (path.compare(0, proj.dir.size(), proj.dir) == 0) {
+        return false;
+      }
+    }
+    return true;
+  });
+  tracer_.set_availability_filter([this](const std::string& path) {
+    for (const auto& proj : env_.projects) {
+      if (path.compare(0, proj.dir.size(), proj.dir) == 0) {
+        return false;
+      }
+    }
+    return true;
+  });
+  for (int i = 0; i < 10; ++i) {
+    user.RunOneSession();
+  }
+  EXPECT_FALSE(log.records().empty());
+}
+
+TEST_F(UserModelTest, LsSessionRecordsImpliedMisses) {
+  UserModelConfig config;
+  config.ls_prob = 1.0;  // list the project directory every session
+  config.dev_weight = 0.0;
+  config.doc_weight = 0.0;
+  config.mail_weight = 1.0;  // keep sessions away from the project files
+  config.attention_shift_prob = 0.0;
+  UserModel user(&tracer_, &env_, config, 8);
+  MissLog log;
+  user.set_miss_log(&log);
+  // The current project's notes are not hoarded; everything else is.
+  const std::string missing = env_.projects[0].notes[0];
+  user.set_availability([&missing](const std::string& path) { return path != missing; });
+  tracer_.set_availability_filter(
+      [&missing](const std::string& path) { return path != missing; });
+  for (int i = 0; i < 5; ++i) {
+    user.RunOneSession();
+  }
+  bool implied = false;
+  for (const auto& rec : log.records()) {
+    implied |= rec.path == missing && !rec.automatic;
+  }
+  EXPECT_TRUE(implied) << "the user should notice the short directory listing";
+}
+
+TEST(MachineProfiles, AllNinePresent) {
+  const auto all = AllMachineProfiles();
+  ASSERT_EQ(all.size(), 9u);
+  EXPECT_EQ(all[0].name, 'A');
+  EXPECT_EQ(all[8].name, 'I');
+}
+
+TEST(MachineProfiles, Table3ValuesEncoded) {
+  const auto f = GetMachineProfile('F');
+  EXPECT_EQ(f.days_measured, 252);
+  EXPECT_EQ(f.disconnections, 184);
+  EXPECT_DOUBLE_EQ(f.mean_disc_hours, 9.30);
+  EXPECT_DOUBLE_EQ(f.median_disc_hours, 2.00);
+  EXPECT_DOUBLE_EQ(f.hoard_mb, 50.0);
+  EXPECT_TRUE(f.investigator_variant);
+
+  const auto g = GetMachineProfile('G');
+  EXPECT_DOUBLE_EQ(g.hoard_mb, 98.0);
+
+  const auto b = GetMachineProfile('B');
+  EXPECT_EQ(b.disconnections, 10);
+  EXPECT_DOUBLE_EQ(b.max_disc_hours, 404.94);
+}
+
+TEST(MachineProfiles, RelativeUsageLevels) {
+  // F and G were the heavy users; C and H the lightest.
+  const auto f = GetMachineProfile('F');
+  const auto c = GetMachineProfile('C');
+  EXPECT_GT(f.active_hours_per_day, 5 * c.active_hours_per_day);
+}
+
+}  // namespace
+}  // namespace seer

@@ -1,0 +1,463 @@
+// seerctl — command-line front end to the SEER library.
+//
+//   seerctl gen-trace --machine F --hours 2 --seed 7 -o trace.txt
+//       Generate a synthetic reference trace for one of the paper's nine
+//       machine profiles.
+//
+//   seerctl stats trace.txt
+//       Per-operation and per-file statistics for a trace.
+//
+//   seerctl replay trace.txt [--params params.txt] [--control control.txt]
+//           [--save db.seer]
+//       Replay a trace through the observer and correlator (the paper's
+//       "simulation mode"), print what was learned, optionally save the
+//       database.
+//
+//   seerctl clusters db.seer [--min-size N]
+//       Dump the project clusters of a saved database.
+//
+//   seerctl hoard db.seer --budget-mb 50
+//       Compute hoard contents from a saved database.
+//
+//   seerctl check-config control.txt
+//       Validate a system control file.
+#include <cstdio>
+#include <optional>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/correlator.h"
+#include "src/core/hoard.h"
+#include "src/core/params_io.h"
+#include "src/core/reorganizer.h"
+#include "src/observer/control_file.h"
+#include "src/observer/observer.h"
+#include "src/process/syscall_tracer.h"
+#include "src/sim/machine_sim.h"
+#include "src/trace/binary_trace.h"
+#include "src/trace/trace_io.h"
+#include "src/workload/environment.h"
+#include "src/workload/machine_profile.h"
+#include "src/workload/user_model.h"
+
+namespace seer {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  seerctl gen-trace [--machine A..I] [--hours H] [--seed S] [--binary] -o FILE\n"
+               "  seerctl stats TRACE\n"
+               "  seerctl replay TRACE [--params FILE] [--control FILE] [--save FILE]\n"
+               "  seerctl clusters DB [--min-size N]\n"
+               "  seerctl hoard DB --budget-mb MB\n"
+               "  seerctl check-config FILE\n"
+               "  seerctl suggest-reorg DB [--min-confidence F]\n");
+  return 2;
+}
+
+// Minimal flag scanner: returns the value following `flag`, or nullptr.
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return argv[i + 1];
+    }
+  }
+  return nullptr;
+}
+
+// First non-flag positional argument after the subcommand.
+const char* Positional(int argc, char** argv) {
+  for (int i = 2; i < argc; ++i) {
+    if (argv[i][0] == '-') {
+      ++i;  // skip the flag's value
+      continue;
+    }
+    return argv[i];
+  }
+  return nullptr;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "seerctl: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Applies `fn` to every event of a trace file, auto-detecting the text or
+// binary format from the magic header.
+template <typename Fn>
+bool ForEachTraceEvent(const char* path, Fn&& fn, size_t* malformed = nullptr) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "seerctl: cannot open %s\n", path);
+    return false;
+  }
+  char magic[8] = {};
+  in.read(magic, 8);
+  in.seekg(0);
+  if (std::string_view(magic, 8) == "SEERBT1\n") {
+    BinaryTraceReader reader(in);
+    while (auto event = reader.Next()) {
+      fn(*event);
+    }
+  } else {
+    TraceReader reader(in);
+    while (auto event = reader.Next()) {
+      fn(*event);
+    }
+    if (malformed != nullptr) {
+      *malformed = reader.malformed_lines();
+    }
+  }
+  return true;
+}
+
+// --- gen-trace ----------------------------------------------------------------
+
+class TraceFileSink : public TraceSink {
+ public:
+  TraceFileSink(std::ostream& out, bool binary) {
+    if (binary) {
+      binary_.emplace(out);
+    } else {
+      text_.emplace(out);
+    }
+  }
+  void OnEvent(const TraceEvent& event) override {
+    if (binary_.has_value()) {
+      binary_->Write(event);
+    } else {
+      text_->Write(event);
+    }
+  }
+  size_t count() const {
+    return binary_.has_value() ? binary_->events_written() : text_->events_written();
+  }
+
+ private:
+  std::optional<TraceWriter> text_;
+  std::optional<BinaryTraceWriter> binary_;
+};
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int GenTrace(int argc, char** argv) {
+  const char* machine = FlagValue(argc, argv, "--machine");
+  const char* hours = FlagValue(argc, argv, "--hours");
+  const char* seed = FlagValue(argc, argv, "--seed");
+  const char* out_path = FlagValue(argc, argv, "-o");
+  if (out_path == nullptr) {
+    return Usage();
+  }
+  const MachineProfile profile = GetMachineProfile(machine != nullptr ? machine[0] : 'D');
+  const double active_hours = hours != nullptr ? std::atof(hours) : 1.0;
+  const uint64_t seed_value = seed != nullptr ? std::strtoull(seed, nullptr, 10) : 1;
+
+  SimFilesystem fs;
+  Rng rng(seed_value ^ profile.seed_base);
+  const UserEnvironment env = BuildEnvironment(&fs, profile.env, &rng);
+  ProcessTable processes;
+  SimClock clock;
+  SyscallTracer tracer(&fs, &processes, &clock);
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "seerctl: cannot write %s\n", out_path);
+    return 1;
+  }
+  TraceFileSink sink(out, HasFlag(argc, argv, "--binary"));
+  tracer.AddSink(&sink);
+  UserModel user(&tracer, &env, profile.user, seed_value);
+  user.SeedHistory();
+  user.RunActiveHours(active_hours);
+  std::printf("wrote %zu events (%c profile, %.1f active hours, seed %llu) to %s\n",
+              sink.count(), profile.name, active_hours,
+              static_cast<unsigned long long>(seed_value), out_path);
+  return 0;
+}
+
+// --- stats ---------------------------------------------------------------------
+
+int Stats(int argc, char** argv) {
+  const char* path = Positional(argc, argv);
+  if (path == nullptr) {
+    return Usage();
+  }
+  std::map<Op, size_t> by_op;
+  std::map<OpStatus, size_t> by_status;
+  std::map<std::string, size_t> by_file;
+  std::map<Pid, size_t> by_pid;
+  size_t total = 0;
+  Time first = 0;
+  Time last = 0;
+  size_t malformed = 0;
+  const bool opened = ForEachTraceEvent(path, [&](const TraceEvent& event) {
+    ++total;
+    ++by_op[event.op];
+    ++by_status[event.status];
+    ++by_pid[event.pid];
+    if (!event.path.empty()) {
+      ++by_file[event.path];
+    }
+    if (total == 1) {
+      first = event.time;
+    }
+    last = event.time;
+  }, &malformed);
+  if (!opened) {
+    return 1;
+  }
+  std::printf("%zu events over %.2f hours, %zu processes, %zu distinct files"
+              " (%zu malformed lines)\n\n",
+              total, static_cast<double>(last - first) / kMicrosPerHour, by_pid.size(),
+              by_file.size(), malformed);
+  std::printf("by operation:\n");
+  for (const auto& [op, count] : by_op) {
+    std::printf("  %-9s %8zu\n", std::string(OpName(op)).c_str(), count);
+  }
+  std::printf("by status:\n");
+  for (const auto& [status, count] : by_status) {
+    std::printf("  %-9s %8zu\n", std::string(OpStatusName(status)).c_str(), count);
+  }
+  std::printf("busiest files:\n");
+  std::vector<std::pair<size_t, std::string>> busiest;
+  for (const auto& [file, count] : by_file) {
+    busiest.emplace_back(count, file);
+  }
+  std::sort(busiest.rbegin(), busiest.rend());
+  for (size_t i = 0; i < busiest.size() && i < 10; ++i) {
+    std::printf("  %6zu  %s\n", busiest[i].first, busiest[i].second.c_str());
+  }
+  return 0;
+}
+
+// --- replay ---------------------------------------------------------------------
+
+int Replay(int argc, char** argv) {
+  const char* path = Positional(argc, argv);
+  if (path == nullptr) {
+    return Usage();
+  }
+
+  SeerParams params;
+  if (const char* params_path = FlagValue(argc, argv, "--params")) {
+    std::string error;
+    const auto parsed = ParseSeerParams(ReadFileOrDie(params_path), {}, &error);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "seerctl: %s: %s\n", params_path, error.c_str());
+      return 1;
+    }
+    params = *parsed;
+  }
+  ObserverConfig observer_config;
+  if (const char* control_path = FlagValue(argc, argv, "--control")) {
+    std::string error;
+    const auto parsed = ParseObserverControlFile(ReadFileOrDie(control_path), {}, &error);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "seerctl: %s: %s\n", control_path, error.c_str());
+      return 1;
+    }
+    observer_config = *parsed;
+  }
+
+  Observer observer(observer_config, nullptr);
+  Correlator correlator(params);
+  observer.set_sink(&correlator);
+  size_t events = 0;
+  if (!ForEachTraceEvent(path, [&](const TraceEvent& event) {
+        observer.OnEvent(event);
+        ++events;
+      })) {
+    return 1;
+  }
+  std::printf("replayed %zu events: %llu references kept, %llu filtered\n", events,
+              static_cast<unsigned long long>(observer.references_emitted()),
+              static_cast<unsigned long long>(observer.references_filtered()));
+  std::printf("%zu files tracked, %zu always-hoard, ~%zu KB database\n",
+              correlator.files().size(), observer.always_hoard().size(),
+              correlator.MemoryBytes() / 1024);
+  const ClusterSet clusters = correlator.BuildClusters();
+  size_t multi = 0;
+  for (const Cluster& c : clusters.clusters) {
+    if (c.members.size() > 1) {
+      ++multi;
+    }
+  }
+  std::printf("%zu clusters (%zu multi-file)\n", clusters.clusters.size(), multi);
+
+  if (const char* save_path = FlagValue(argc, argv, "--save")) {
+    std::ofstream out(save_path);
+    if (!out) {
+      std::fprintf(stderr, "seerctl: cannot write %s\n", save_path);
+      return 1;
+    }
+    correlator.SaveTo(out);
+    std::printf("database saved to %s\n", save_path);
+  }
+  return 0;
+}
+
+// --- clusters --------------------------------------------------------------------
+
+std::unique_ptr<Correlator> LoadDbOrDie(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "seerctl: cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::string error;
+  auto correlator = Correlator::LoadFrom(in, &error);
+  if (correlator == nullptr) {
+    std::fprintf(stderr, "seerctl: %s: %s\n", path, error.c_str());
+    std::exit(1);
+  }
+  return correlator;
+}
+
+int Clusters(int argc, char** argv) {
+  const char* path = Positional(argc, argv);
+  if (path == nullptr) {
+    return Usage();
+  }
+  const auto correlator = LoadDbOrDie(path);
+  const char* min_size_arg = FlagValue(argc, argv, "--min-size");
+  const size_t min_size = min_size_arg != nullptr ? std::strtoull(min_size_arg, nullptr, 10) : 2;
+
+  const ClusterSet clusters = correlator->BuildClusters();
+  size_t shown = 0;
+  for (size_t i = 0; i < clusters.clusters.size(); ++i) {
+    const Cluster& c = clusters.clusters[i];
+    if (c.members.size() < min_size) {
+      continue;
+    }
+    uint64_t priority = 0;
+    for (const FileId id : c.members) {
+      priority = std::max(priority, correlator->files().Get(id).last_ref_seq);
+    }
+    std::printf("cluster %zu (%zu files, activity %llu):\n", i, c.members.size(),
+                static_cast<unsigned long long>(priority));
+    for (const FileId id : c.members) {
+      std::printf("  %s\n", correlator->files().Get(id).path.c_str());
+    }
+    ++shown;
+  }
+  std::printf("%zu clusters with >= %zu members (of %zu total)\n", shown, min_size,
+              clusters.clusters.size());
+  return 0;
+}
+
+// --- hoard -----------------------------------------------------------------------
+
+int Hoard(int argc, char** argv) {
+  const char* path = Positional(argc, argv);
+  const char* budget_arg = FlagValue(argc, argv, "--budget-mb");
+  if (path == nullptr || budget_arg == nullptr) {
+    return Usage();
+  }
+  const auto correlator = LoadDbOrDie(path);
+  const double budget_mb = std::atof(budget_arg);
+
+  HoardManager manager(static_cast<uint64_t>(budget_mb * 1024.0 * 1024.0));
+  const ClusterSet clusters = correlator->BuildClusters();
+  // Sizes are not stored in the database; fall back to the paper's
+  // geometric distribution, deterministic per path.
+  const auto size_of = [](const std::string& p) { return GeometricSizeForPath(p, 1); };
+  const HoardSelection sel = manager.ChooseHoard(*correlator, clusters, {}, size_of);
+  std::printf("# hoard: %.2f of %.2f MB, %zu projects (%zu skipped)\n",
+              static_cast<double>(sel.bytes_used) / 1048576.0, budget_mb, sel.projects_hoarded,
+              sel.projects_skipped);
+  for (const auto& file : sel.files) {
+    std::printf("%s\n", file.c_str());
+  }
+  return 0;
+}
+
+// --- suggest-reorg ----------------------------------------------------------------
+
+int SuggestReorg(int argc, char** argv) {
+  const char* path = Positional(argc, argv);
+  if (path == nullptr) {
+    return Usage();
+  }
+  const auto correlator = LoadDbOrDie(path);
+  ReorganizerConfig config;
+  if (const char* min_conf = FlagValue(argc, argv, "--min-confidence")) {
+    config.min_confidence = std::atof(min_conf);
+  }
+  const auto suggestions =
+      SuggestReorganization(*correlator, correlator->BuildClusters(), config);
+  for (const auto& s : suggestions) {
+    std::printf("%.0f%%  %-40s ->  %s/   (cluster of %zu)\n", s.confidence * 100.0,
+                s.path.c_str(), s.to_dir.c_str(), s.cluster_size);
+  }
+  std::printf("# %zu suggestions\n", suggestions.size());
+  return 0;
+}
+
+// --- check-config ---------------------------------------------------------------
+
+int CheckConfig(int argc, char** argv) {
+  const char* path = Positional(argc, argv);
+  if (path == nullptr) {
+    return Usage();
+  }
+  std::string error;
+  const auto config = ParseObserverControlFile(ReadFileOrDie(path), {}, &error);
+  if (!config.has_value()) {
+    std::fprintf(stderr, "seerctl: %s: %s\n", path, error.c_str());
+    return 1;
+  }
+  std::printf("%s: OK\n", path);
+  std::printf("%s", FormatObserverControlFile(*config).c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  if (command == "gen-trace") {
+    return GenTrace(argc, argv);
+  }
+  if (command == "stats") {
+    return Stats(argc, argv);
+  }
+  if (command == "replay") {
+    return Replay(argc, argv);
+  }
+  if (command == "clusters") {
+    return Clusters(argc, argv);
+  }
+  if (command == "hoard") {
+    return Hoard(argc, argv);
+  }
+  if (command == "check-config") {
+    return CheckConfig(argc, argv);
+  }
+  if (command == "suggest-reorg") {
+    return SuggestReorg(argc, argv);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace seer
+
+int main(int argc, char** argv) { return seer::Main(argc, argv); }
