@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hoard_policy.dir/ablation_hoard_policy.cc.o"
+  "CMakeFiles/ablation_hoard_policy.dir/ablation_hoard_policy.cc.o.d"
+  "ablation_hoard_policy"
+  "ablation_hoard_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hoard_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

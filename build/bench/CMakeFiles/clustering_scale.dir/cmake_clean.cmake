@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_scale.dir/clustering_scale.cc.o"
+  "CMakeFiles/clustering_scale.dir/clustering_scale.cc.o.d"
+  "clustering_scale"
+  "clustering_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

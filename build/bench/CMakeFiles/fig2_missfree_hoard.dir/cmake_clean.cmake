@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_missfree_hoard.dir/fig2_missfree_hoard.cc.o"
+  "CMakeFiles/fig2_missfree_hoard.dir/fig2_missfree_hoard.cc.o.d"
+  "fig2_missfree_hoard"
+  "fig2_missfree_hoard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_missfree_hoard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

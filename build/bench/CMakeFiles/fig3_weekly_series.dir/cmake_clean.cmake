@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_weekly_series.dir/fig3_weekly_series.cc.o"
+  "CMakeFiles/fig3_weekly_series.dir/fig3_weekly_series.cc.o.d"
+  "fig3_weekly_series"
+  "fig3_weekly_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_weekly_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

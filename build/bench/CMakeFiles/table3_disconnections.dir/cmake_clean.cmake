@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_disconnections.dir/table3_disconnections.cc.o"
+  "CMakeFiles/table3_disconnections.dir/table3_disconnections.cc.o.d"
+  "table3_disconnections"
+  "table3_disconnections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_disconnections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_failures.dir/table4_failures.cc.o"
+  "CMakeFiles/table4_failures.dir/table4_failures.cc.o.d"
+  "table4_failures"
+  "table4_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

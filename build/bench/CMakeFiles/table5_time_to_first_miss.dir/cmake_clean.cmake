@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_time_to_first_miss.dir/table5_time_to_first_miss.cc.o"
+  "CMakeFiles/table5_time_to_first_miss.dir/table5_time_to_first_miss.cc.o.d"
+  "table5_time_to_first_miss"
+  "table5_time_to_first_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_time_to_first_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_time_to_first_miss.
+# This may be replaced when dependencies are built.

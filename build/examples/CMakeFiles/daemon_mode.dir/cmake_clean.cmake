@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daemon_mode.dir/daemon_mode.cpp.o"
+  "CMakeFiles/daemon_mode.dir/daemon_mode.cpp.o.d"
+  "daemon_mode"
+  "daemon_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daemon_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

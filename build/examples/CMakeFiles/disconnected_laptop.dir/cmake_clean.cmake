@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disconnected_laptop.dir/disconnected_laptop.cpp.o"
+  "CMakeFiles/disconnected_laptop.dir/disconnected_laptop.cpp.o.d"
+  "disconnected_laptop"
+  "disconnected_laptop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disconnected_laptop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

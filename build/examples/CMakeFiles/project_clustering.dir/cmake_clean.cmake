@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/project_clustering.dir/project_clustering.cpp.o"
+  "CMakeFiles/project_clustering.dir/project_clustering.cpp.o.d"
+  "project_clustering"
+  "project_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/project_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/web_prefetch.cpp" "examples/CMakeFiles/web_prefetch.dir/web_prefetch.cpp.o" "gcc" "examples/CMakeFiles/web_prefetch.dir/web_prefetch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/seer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/seer_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/seer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/observer/CMakeFiles/seer_observer.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/seer_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/seer_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/seer_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/seer_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/seer_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

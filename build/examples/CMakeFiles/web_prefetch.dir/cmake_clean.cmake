@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_prefetch.dir/web_prefetch.cpp.o"
+  "CMakeFiles/web_prefetch.dir/web_prefetch.cpp.o.d"
+  "web_prefetch"
+  "web_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/coda_priority.cc" "src/baselines/CMakeFiles/seer_baselines.dir/coda_priority.cc.o" "gcc" "src/baselines/CMakeFiles/seer_baselines.dir/coda_priority.cc.o.d"
+  "/root/repo/src/baselines/lru.cc" "src/baselines/CMakeFiles/seer_baselines.dir/lru.cc.o" "gcc" "src/baselines/CMakeFiles/seer_baselines.dir/lru.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/seer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/seer_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/seer_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/seer_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_baselines.dir/coda_priority.cc.o"
+  "CMakeFiles/seer_baselines.dir/coda_priority.cc.o.d"
+  "CMakeFiles/seer_baselines.dir/lru.cc.o"
+  "CMakeFiles/seer_baselines.dir/lru.cc.o.d"
+  "libseer_baselines.a"
+  "libseer_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

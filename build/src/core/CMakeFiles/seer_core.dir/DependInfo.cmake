@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_predictor.cc" "src/core/CMakeFiles/seer_core.dir/access_predictor.cc.o" "gcc" "src/core/CMakeFiles/seer_core.dir/access_predictor.cc.o.d"
+  "/root/repo/src/core/async_pipeline.cc" "src/core/CMakeFiles/seer_core.dir/async_pipeline.cc.o" "gcc" "src/core/CMakeFiles/seer_core.dir/async_pipeline.cc.o.d"
+  "/root/repo/src/core/clustering.cc" "src/core/CMakeFiles/seer_core.dir/clustering.cc.o" "gcc" "src/core/CMakeFiles/seer_core.dir/clustering.cc.o.d"
+  "/root/repo/src/core/correlator.cc" "src/core/CMakeFiles/seer_core.dir/correlator.cc.o" "gcc" "src/core/CMakeFiles/seer_core.dir/correlator.cc.o.d"
+  "/root/repo/src/core/file_table.cc" "src/core/CMakeFiles/seer_core.dir/file_table.cc.o" "gcc" "src/core/CMakeFiles/seer_core.dir/file_table.cc.o.d"
+  "/root/repo/src/core/hoard.cc" "src/core/CMakeFiles/seer_core.dir/hoard.cc.o" "gcc" "src/core/CMakeFiles/seer_core.dir/hoard.cc.o.d"
+  "/root/repo/src/core/hoard_daemon.cc" "src/core/CMakeFiles/seer_core.dir/hoard_daemon.cc.o" "gcc" "src/core/CMakeFiles/seer_core.dir/hoard_daemon.cc.o.d"
+  "/root/repo/src/core/investigator.cc" "src/core/CMakeFiles/seer_core.dir/investigator.cc.o" "gcc" "src/core/CMakeFiles/seer_core.dir/investigator.cc.o.d"
+  "/root/repo/src/core/params_io.cc" "src/core/CMakeFiles/seer_core.dir/params_io.cc.o" "gcc" "src/core/CMakeFiles/seer_core.dir/params_io.cc.o.d"
+  "/root/repo/src/core/persistence.cc" "src/core/CMakeFiles/seer_core.dir/persistence.cc.o" "gcc" "src/core/CMakeFiles/seer_core.dir/persistence.cc.o.d"
+  "/root/repo/src/core/reference_streams.cc" "src/core/CMakeFiles/seer_core.dir/reference_streams.cc.o" "gcc" "src/core/CMakeFiles/seer_core.dir/reference_streams.cc.o.d"
+  "/root/repo/src/core/relation_table.cc" "src/core/CMakeFiles/seer_core.dir/relation_table.cc.o" "gcc" "src/core/CMakeFiles/seer_core.dir/relation_table.cc.o.d"
+  "/root/repo/src/core/reorganizer.cc" "src/core/CMakeFiles/seer_core.dir/reorganizer.cc.o" "gcc" "src/core/CMakeFiles/seer_core.dir/reorganizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/seer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/seer_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/seer_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/observer/CMakeFiles/seer_observer.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/seer_process.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

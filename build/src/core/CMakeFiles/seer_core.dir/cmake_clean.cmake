@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_core.dir/access_predictor.cc.o"
+  "CMakeFiles/seer_core.dir/access_predictor.cc.o.d"
+  "CMakeFiles/seer_core.dir/async_pipeline.cc.o"
+  "CMakeFiles/seer_core.dir/async_pipeline.cc.o.d"
+  "CMakeFiles/seer_core.dir/clustering.cc.o"
+  "CMakeFiles/seer_core.dir/clustering.cc.o.d"
+  "CMakeFiles/seer_core.dir/correlator.cc.o"
+  "CMakeFiles/seer_core.dir/correlator.cc.o.d"
+  "CMakeFiles/seer_core.dir/file_table.cc.o"
+  "CMakeFiles/seer_core.dir/file_table.cc.o.d"
+  "CMakeFiles/seer_core.dir/hoard.cc.o"
+  "CMakeFiles/seer_core.dir/hoard.cc.o.d"
+  "CMakeFiles/seer_core.dir/hoard_daemon.cc.o"
+  "CMakeFiles/seer_core.dir/hoard_daemon.cc.o.d"
+  "CMakeFiles/seer_core.dir/investigator.cc.o"
+  "CMakeFiles/seer_core.dir/investigator.cc.o.d"
+  "CMakeFiles/seer_core.dir/params_io.cc.o"
+  "CMakeFiles/seer_core.dir/params_io.cc.o.d"
+  "CMakeFiles/seer_core.dir/persistence.cc.o"
+  "CMakeFiles/seer_core.dir/persistence.cc.o.d"
+  "CMakeFiles/seer_core.dir/reference_streams.cc.o"
+  "CMakeFiles/seer_core.dir/reference_streams.cc.o.d"
+  "CMakeFiles/seer_core.dir/relation_table.cc.o"
+  "CMakeFiles/seer_core.dir/relation_table.cc.o.d"
+  "CMakeFiles/seer_core.dir/reorganizer.cc.o"
+  "CMakeFiles/seer_core.dir/reorganizer.cc.o.d"
+  "libseer_core.a"
+  "libseer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_observer.dir/control_file.cc.o"
+  "CMakeFiles/seer_observer.dir/control_file.cc.o.d"
+  "CMakeFiles/seer_observer.dir/observer.cc.o"
+  "CMakeFiles/seer_observer.dir/observer.cc.o.d"
+  "libseer_observer.a"
+  "libseer_observer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_observer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/process/process_table.cc" "src/process/CMakeFiles/seer_process.dir/process_table.cc.o" "gcc" "src/process/CMakeFiles/seer_process.dir/process_table.cc.o.d"
+  "/root/repo/src/process/syscall_tracer.cc" "src/process/CMakeFiles/seer_process.dir/syscall_tracer.cc.o" "gcc" "src/process/CMakeFiles/seer_process.dir/syscall_tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/seer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/seer_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/seer_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_process.dir/process_table.cc.o"
+  "CMakeFiles/seer_process.dir/process_table.cc.o.d"
+  "CMakeFiles/seer_process.dir/syscall_tracer.cc.o"
+  "CMakeFiles/seer_process.dir/syscall_tracer.cc.o.d"
+  "libseer_process.a"
+  "libseer_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

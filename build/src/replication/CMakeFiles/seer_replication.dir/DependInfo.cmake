@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replication/gossip.cc" "src/replication/CMakeFiles/seer_replication.dir/gossip.cc.o" "gcc" "src/replication/CMakeFiles/seer_replication.dir/gossip.cc.o.d"
+  "/root/repo/src/replication/replication_system.cc" "src/replication/CMakeFiles/seer_replication.dir/replication_system.cc.o" "gcc" "src/replication/CMakeFiles/seer_replication.dir/replication_system.cc.o.d"
+  "/root/repo/src/replication/replicators.cc" "src/replication/CMakeFiles/seer_replication.dir/replicators.cc.o" "gcc" "src/replication/CMakeFiles/seer_replication.dir/replicators.cc.o.d"
+  "/root/repo/src/replication/version_vector.cc" "src/replication/CMakeFiles/seer_replication.dir/version_vector.cc.o" "gcc" "src/replication/CMakeFiles/seer_replication.dir/version_vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/seer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/seer_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_replication.dir/gossip.cc.o"
+  "CMakeFiles/seer_replication.dir/gossip.cc.o.d"
+  "CMakeFiles/seer_replication.dir/replication_system.cc.o"
+  "CMakeFiles/seer_replication.dir/replication_system.cc.o.d"
+  "CMakeFiles/seer_replication.dir/replicators.cc.o"
+  "CMakeFiles/seer_replication.dir/replicators.cc.o.d"
+  "CMakeFiles/seer_replication.dir/version_vector.cc.o"
+  "CMakeFiles/seer_replication.dir/version_vector.cc.o.d"
+  "libseer_replication.a"
+  "libseer_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

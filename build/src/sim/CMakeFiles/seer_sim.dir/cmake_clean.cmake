@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_sim.dir/disconnect_model.cc.o"
+  "CMakeFiles/seer_sim.dir/disconnect_model.cc.o.d"
+  "CMakeFiles/seer_sim.dir/live_sim.cc.o"
+  "CMakeFiles/seer_sim.dir/live_sim.cc.o.d"
+  "CMakeFiles/seer_sim.dir/machine_sim.cc.o"
+  "CMakeFiles/seer_sim.dir/machine_sim.cc.o.d"
+  "CMakeFiles/seer_sim.dir/missfree.cc.o"
+  "CMakeFiles/seer_sim.dir/missfree.cc.o.d"
+  "CMakeFiles/seer_sim.dir/trackers.cc.o"
+  "CMakeFiles/seer_sim.dir/trackers.cc.o.d"
+  "libseer_sim.a"
+  "libseer_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_trace.dir/binary_trace.cc.o"
+  "CMakeFiles/seer_trace.dir/binary_trace.cc.o.d"
+  "CMakeFiles/seer_trace.dir/event.cc.o"
+  "CMakeFiles/seer_trace.dir/event.cc.o.d"
+  "CMakeFiles/seer_trace.dir/trace_io.cc.o"
+  "CMakeFiles/seer_trace.dir/trace_io.cc.o.d"
+  "libseer_trace.a"
+  "libseer_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

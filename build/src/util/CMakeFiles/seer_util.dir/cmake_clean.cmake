@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_util.dir/path.cc.o"
+  "CMakeFiles/seer_util.dir/path.cc.o.d"
+  "CMakeFiles/seer_util.dir/rng.cc.o"
+  "CMakeFiles/seer_util.dir/rng.cc.o.d"
+  "CMakeFiles/seer_util.dir/stats.cc.o"
+  "CMakeFiles/seer_util.dir/stats.cc.o.d"
+  "libseer_util.a"
+  "libseer_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_vfs.dir/sim_filesystem.cc.o"
+  "CMakeFiles/seer_vfs.dir/sim_filesystem.cc.o.d"
+  "libseer_vfs.a"
+  "libseer_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_workload.dir/environment.cc.o"
+  "CMakeFiles/seer_workload.dir/environment.cc.o.d"
+  "CMakeFiles/seer_workload.dir/machine_profile.cc.o"
+  "CMakeFiles/seer_workload.dir/machine_profile.cc.o.d"
+  "CMakeFiles/seer_workload.dir/user_model.cc.o"
+  "CMakeFiles/seer_workload.dir/user_model.cc.o.d"
+  "libseer_workload.a"
+  "libseer_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/access_predictor_test.cc" "tests/CMakeFiles/seer_tests.dir/access_predictor_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/access_predictor_test.cc.o.d"
+  "/root/repo/tests/async_pipeline_test.cc" "tests/CMakeFiles/seer_tests.dir/async_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/async_pipeline_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/seer_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/binary_trace_test.cc" "tests/CMakeFiles/seer_tests.dir/binary_trace_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/binary_trace_test.cc.o.d"
+  "/root/repo/tests/clustering_test.cc" "tests/CMakeFiles/seer_tests.dir/clustering_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/clustering_test.cc.o.d"
+  "/root/repo/tests/control_file_test.cc" "tests/CMakeFiles/seer_tests.dir/control_file_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/control_file_test.cc.o.d"
+  "/root/repo/tests/correlator_test.cc" "tests/CMakeFiles/seer_tests.dir/correlator_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/correlator_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/seer_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/gossip_test.cc" "tests/CMakeFiles/seer_tests.dir/gossip_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/gossip_test.cc.o.d"
+  "/root/repo/tests/hoard_daemon_test.cc" "tests/CMakeFiles/seer_tests.dir/hoard_daemon_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/hoard_daemon_test.cc.o.d"
+  "/root/repo/tests/hoard_test.cc" "tests/CMakeFiles/seer_tests.dir/hoard_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/hoard_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/seer_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/investigator_test.cc" "tests/CMakeFiles/seer_tests.dir/investigator_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/investigator_test.cc.o.d"
+  "/root/repo/tests/meaningless_modes_test.cc" "tests/CMakeFiles/seer_tests.dir/meaningless_modes_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/meaningless_modes_test.cc.o.d"
+  "/root/repo/tests/observer_test.cc" "tests/CMakeFiles/seer_tests.dir/observer_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/observer_test.cc.o.d"
+  "/root/repo/tests/parser_fuzz_test.cc" "tests/CMakeFiles/seer_tests.dir/parser_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/parser_fuzz_test.cc.o.d"
+  "/root/repo/tests/persistence_test.cc" "tests/CMakeFiles/seer_tests.dir/persistence_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/persistence_test.cc.o.d"
+  "/root/repo/tests/process_test.cc" "tests/CMakeFiles/seer_tests.dir/process_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/process_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/seer_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/relation_table_test.cc" "tests/CMakeFiles/seer_tests.dir/relation_table_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/relation_table_test.cc.o.d"
+  "/root/repo/tests/reorganizer_test.cc" "tests/CMakeFiles/seer_tests.dir/reorganizer_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/reorganizer_test.cc.o.d"
+  "/root/repo/tests/replication_test.cc" "tests/CMakeFiles/seer_tests.dir/replication_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/replication_test.cc.o.d"
+  "/root/repo/tests/semantic_distance_test.cc" "tests/CMakeFiles/seer_tests.dir/semantic_distance_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/semantic_distance_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/seer_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/seer_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/umbrella_test.cc" "tests/CMakeFiles/seer_tests.dir/umbrella_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/umbrella_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/seer_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/vfs_test.cc" "tests/CMakeFiles/seer_tests.dir/vfs_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/vfs_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/seer_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/seer_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/seer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/seer_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/seer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/observer/CMakeFiles/seer_observer.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/seer_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/seer_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/process/CMakeFiles/seer_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/seer_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/seer_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seerctl.dir/seerctl.cc.o"
+  "CMakeFiles/seerctl.dir/seerctl.cc.o.d"
+  "seerctl"
+  "seerctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seerctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

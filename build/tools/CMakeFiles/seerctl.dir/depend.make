@@ -1,0 +1,2 @@
+# Empty dependencies file for seerctl.
+# This may be replaced when dependencies are built.
