@@ -23,7 +23,8 @@ std::unique_ptr<Correlator> LoadedCorrelator(int n_files, int project_size) {
       FileReference ref;
       ref.pid = 1 + f / project_size;  // one process stream per project
       ref.kind = RefKind::kPoint;
-      ref.path = "/p" + std::to_string(f / project_size) + "/f" + std::to_string(f % project_size);
+      ref.path = GlobalPaths().Intern("/p" + std::to_string(f / project_size) + "/f" +
+                                      std::to_string(f % project_size));
       ref.time = (t += 1000);
       correlator->OnReference(ref);
     }

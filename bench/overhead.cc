@@ -8,16 +8,71 @@
 // *relationship* (tracing nanoseconds-to-microseconds per call, clustering
 // seconds-scale at tens of thousands of files, memory ~hundreds of bytes
 // to ~1KB per file), not the absolute 1997 numbers.
+//
+// In addition to the interactive tables, the binary always writes
+// BENCH_overhead.json: ns/reference and allocations/reference for the old
+// string-identity data plane (emulated) versus the interned-PathId plane,
+// plus the async queue's high-water mark, so future changes have a
+// machine-readable perf trajectory to compare against.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <new>
+#include <string>
+#include <unordered_map>
 
+#include "src/core/async_pipeline.h"
 #include "src/core/correlator.h"
 #include "src/core/hoard.h"
 #include "src/observer/observer.h"
+#include "src/observer/sink_chain.h"
 #include "src/process/syscall_tracer.h"
 #include "src/workload/environment.h"
 #include "src/workload/user_model.h"
+
+// --- allocation counting -----------------------------------------------------
+//
+// Per-thread counter bumped by the replaced global operator new. Thread-local
+// so the producer side of the async pipeline can be measured in isolation:
+// the consumer thread's table updates are allowed to allocate, the enqueue
+// path is not.
+namespace {
+std::atomic<bool> g_count_allocations{false};
+thread_local uint64_t t_allocation_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    ++t_allocation_count;
+  }
+  void* p = std::malloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    ++t_allocation_count;
+  }
+  void* p = std::malloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace seer {
 namespace {
@@ -75,7 +130,8 @@ std::unique_ptr<Correlator> LoadedCorrelator(int n_files) {
       FileReference ref;
       ref.pid = 1 + project;
       ref.kind = RefKind::kPoint;
-      ref.path = "/p" + std::to_string(project) + "/f" + std::to_string(f % 16);
+      ref.path =
+          GlobalPaths().Intern("/p" + std::to_string(project) + "/f" + std::to_string(f % 16));
       ref.time = (t += 1000);
       correlator->OnReference(ref);
     }
@@ -101,10 +157,10 @@ void BM_ChooseHoard(benchmark::State& state) {
   auto correlator = LoadedCorrelator(4096);
   const ClusterSet clusters = correlator->BuildClusters();
   HoardManager manager(64ull << 20);
-  const std::set<std::string> always;
+  const std::set<PathId> always;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(manager.ChooseHoard(*correlator, clusters, always,
-                                                 [](const std::string&) { return 14'000ull; }));
+    benchmark::DoNotOptimize(
+        manager.ChooseHoard(*correlator, clusters, always, [](PathId) { return 14'000ull; }));
   }
 }
 BENCHMARK(BM_ChooseHoard);
@@ -144,7 +200,191 @@ void BM_WorkloadGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
 
+// --- BENCH_overhead.json -----------------------------------------------------
+
+constexpr int kJsonFiles = 1024;       // distinct paths in the working set
+constexpr int kJsonPasses = 64;        // measured references = files * passes
+
+// Realistic-length absolute paths: long enough that the string plane's
+// per-reference copy cannot hide in the small-string optimisation.
+std::string JsonPath(int f) {
+  return "/home/user/projects/project" + std::to_string(f / 16) + "/src/module/file" +
+         std::to_string(f % 16) + "_" + std::to_string(f) + ".c";
+}
+
+struct PlaneCost {
+  double ns_per_reference = 0.0;
+  double allocations_per_reference = 0.0;
+};
+
+// Emulates the pre-refactor data plane: every reference carries its path as
+// a std::string across the sink boundary, and the consumer resolves file
+// identity with a string-keyed hash map. The measured loop is the producer
+// side: build the message (string copy), queue it (mutex + deque of
+// string-bearing messages), resolve identity by string hash.
+PlaneCost MeasureStringPlane() {
+  struct StringMessage {
+    Pid pid = 0;
+    std::string path;
+    Time time = 0;
+  };
+  std::unordered_map<std::string, uint32_t> identity;
+  std::mutex queue_mutex;
+  std::deque<StringMessage> queue;
+  uint32_t next_id = 0;
+
+  // Warm-up pass: identity map fully populated, as in steady state.
+  for (int f = 0; f < kJsonFiles; ++f) {
+    identity.emplace(JsonPath(f), next_id++);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  t_allocation_count = 0;
+  g_count_allocations.store(true, std::memory_order_relaxed);
+  uint64_t sink = 0;
+  for (int pass = 0; pass < kJsonPasses; ++pass) {
+    for (int f = 0; f < kJsonFiles; ++f) {
+      StringMessage m;
+      m.pid = 1;
+      m.path = JsonPath(f);  // the per-reference string copy of the old plane
+      m.time = static_cast<Time>(pass) * kJsonFiles + f;
+      sink += identity.find(m.path)->second;
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex);
+        queue.push_back(std::move(m));
+        if (queue.size() > 64) {
+          queue.pop_front();
+        }
+      }
+    }
+  }
+  g_count_allocations.store(false, std::memory_order_relaxed);
+  const uint64_t allocations = t_allocation_count;
+  const auto stop = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(sink);
+
+  const double refs = static_cast<double>(kJsonFiles) * kJsonPasses;
+  PlaneCost cost;
+  cost.ns_per_reference =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start).count()) /
+      refs;
+  cost.allocations_per_reference = static_cast<double>(allocations) / refs;
+  return cost;
+}
+
+// The interned plane as actually shipped: references carry PathIds through
+// an instrumented sink chain into the async correlator's ring buffer. The
+// measured loop is the producer side only — exactly the cost added to a
+// traced syscall; the worker thread's table updates happen concurrently.
+// Returns the cost plus the queue high-water mark over the run.
+PlaneCost MeasureIdPlane(size_t* high_water, size_t* queue_capacity) {
+  // Queue sized above the measured reference count: the producer is never
+  // blocked by backpressure, so the measurement is the enqueue cost itself
+  // and the high-water mark shows how far the worker actually lagged.
+  AsyncCorrelator correlator(SeerParams{}, 0x5ee8,
+                             /*queue_capacity=*/size_t{kJsonFiles} * (kJsonPasses + 1));
+  SinkChain chain(&correlator);
+  chain.Instrument("observer", /*measure_latency=*/false);
+  ReferenceSink* sink = chain.head();
+
+  std::vector<PathId> ids;
+  ids.reserve(kJsonFiles);
+  for (int f = 0; f < kJsonFiles; ++f) {
+    ids.push_back(GlobalPaths().Intern(JsonPath(f)));
+  }
+
+  // Warm-up pass: file table, relation lists and per-process stream reach
+  // steady state, then the queue drains fully.
+  for (int f = 0; f < kJsonFiles; ++f) {
+    FileReference ref;
+    ref.pid = 1;
+    ref.kind = RefKind::kPoint;
+    ref.path = ids[f];
+    ref.time = f + 1;
+    sink->OnReference(ref);
+  }
+  correlator.Drain();
+
+  const auto start = std::chrono::steady_clock::now();
+  t_allocation_count = 0;
+  g_count_allocations.store(true, std::memory_order_relaxed);
+  for (int pass = 0; pass < kJsonPasses; ++pass) {
+    for (int f = 0; f < kJsonFiles; ++f) {
+      FileReference ref;
+      ref.pid = 1;
+      ref.kind = RefKind::kPoint;
+      ref.path = ids[f];
+      ref.time = static_cast<Time>(kJsonFiles) * (pass + 1) + f;
+      sink->OnReference(ref);
+    }
+  }
+  g_count_allocations.store(false, std::memory_order_relaxed);
+  const uint64_t allocations = t_allocation_count;
+  const auto stop = std::chrono::steady_clock::now();
+  correlator.Drain();
+
+  *high_water = correlator.high_watermark();
+  *queue_capacity = correlator.queue_capacity();
+
+  const double refs = static_cast<double>(kJsonFiles) * kJsonPasses;
+  PlaneCost cost;
+  cost.ns_per_reference =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start).count()) /
+      refs;
+  cost.allocations_per_reference = static_cast<double>(allocations) / refs;
+  return cost;
+}
+
+void WriteOverheadJson() {
+  const PlaneCost before = MeasureStringPlane();
+  size_t high_water = 0;
+  size_t queue_capacity = 0;
+  const PlaneCost after = MeasureIdPlane(&high_water, &queue_capacity);
+
+  const char* path = "BENCH_overhead.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "overhead: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"overhead\",\n");
+  std::fprintf(out, "  \"references\": %d,\n", kJsonFiles * kJsonPasses);
+  std::fprintf(out, "  \"string_plane\": {\n");
+  std::fprintf(out, "    \"ns_per_reference\": %.2f,\n", before.ns_per_reference);
+  std::fprintf(out, "    \"allocations_per_reference\": %.4f\n",
+               before.allocations_per_reference);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"id_plane\": {\n");
+  std::fprintf(out, "    \"ns_per_reference\": %.2f,\n", after.ns_per_reference);
+  std::fprintf(out, "    \"allocations_per_reference\": %.4f\n",
+               after.allocations_per_reference);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"queue_high_water_mark\": %zu,\n", high_water);
+  std::fprintf(out, "  \"queue_capacity\": %zu\n", queue_capacity);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+
+  std::printf("\nwrote %s:\n", path);
+  std::printf("  string plane (emulated): %8.1f ns/ref  %6.3f allocs/ref\n",
+              before.ns_per_reference, before.allocations_per_reference);
+  std::printf("  id plane     (shipped):  %8.1f ns/ref  %6.3f allocs/ref\n",
+              after.ns_per_reference, after.allocations_per_reference);
+  std::printf("  queue high-water mark: %zu / %zu\n", high_water, queue_capacity);
+}
+
 }  // namespace
 }  // namespace seer
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  seer::WriteOverheadJson();
+  return 0;
+}

@@ -48,6 +48,9 @@ int main() {
     const auto info = fs.Stat(path);
     return info.has_value() ? info->size : 14'000;
   };
+  const auto size_of_id = [&size_of](PathId path) {
+    return size_of(std::string(GlobalPaths().PathOf(path)));
+  };
   RumorReplicator replication{size_of};
   ReplicationHook hook(&replication);
   tracer.AddSink(&hook);
@@ -67,8 +70,8 @@ int main() {
       }
       const ClusterSet clusters = c.BuildClusters();
       const HoardSelection sel =
-          manager.ChooseHoard(c, clusters, observer.always_hoard(), size_of);
-      replication.SetHoard(sel.files);
+          manager.ChooseHoard(c, clusters, observer.always_hoard(), size_of_id);
+      replication.SetHoard(sel.PathStrings());
       ++fills;
       std::printf("  [t=%5.1fh] hoard refill #%zu: %zu files, %.1f MB (%zu projects)\n",
                   static_cast<double>(now) / kMicrosPerHour, fills, sel.files.size(),

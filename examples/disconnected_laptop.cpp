@@ -44,6 +44,9 @@ int main() {
     const auto info = fs.Stat(path);
     return info.has_value() ? info->size : 14'000;
   };
+  const auto size_of_id = [&size_of](PathId path) {
+    return size_of(std::string(GlobalPaths().PathOf(path)));
+  };
   RumorReplicator replication{size_of};
   ReplicationHook hook(&replication);
   tracer.AddSink(&observer);
@@ -70,8 +73,8 @@ int main() {
   HoardManager hoard(40ull << 20);
   const ClusterSet clusters = correlator.BuildClusters();
   const HoardSelection sel =
-      hoard.ChooseHoard(correlator, clusters, observer.always_hoard(), size_of);
-  replication.SetHoard(sel.files);
+      hoard.ChooseHoard(correlator, clusters, observer.always_hoard(), size_of_id);
+  replication.SetHoard(sel.PathStrings());
   std::printf("%zu projects hoarded (%zu skipped), %.1f MB of %.1f MB used;\n",
               sel.projects_hoarded, sel.projects_skipped,
               static_cast<double>(sel.bytes_used) / 1048576.0,
@@ -95,7 +98,7 @@ int main() {
   std::printf("misses this disconnection: %zu\n", miss_log.CurrentDisconnectionMissCount());
   for (const auto& miss : miss_log.records()) {
     std::printf("  [%s sev=%d] %s\n", miss.automatic ? "auto  " : "manual",
-                static_cast<int>(miss.severity), miss.path.c_str());
+                static_cast<int>(miss.severity), PathString(miss.path).c_str());
   }
 
   // --- reconnection -------------------------------------------------------------

@@ -76,8 +76,8 @@ int main() {
 
   // --- the shared-library filter -------------------------------------------
   std::printf("\nfrequently-referenced files (excluded from distances, always hoarded):\n");
-  for (const auto& path : observer.frequent_files()) {
-    std::printf("  %s\n", path.c_str());
+  for (const PathId path : observer.frequent_files()) {
+    std::printf("  %s\n", PathString(path).c_str());
   }
 
   // --- clustering, with and without investigators --------------------------
@@ -91,7 +91,7 @@ int main() {
 
   // --- does project 0 cluster as one unit? ---------------------------------
   const ClusterSet clusters = correlator.BuildClusters();
-  const FileId main_id = correlator.files().Find(env.projects[0].sources[0]);
+  const FileId main_id = correlator.files().FindPath(env.projects[0].sources[0]);
   if (main_id != kInvalidFileId) {
     std::printf("\nproject 0's primary source belongs to %zu cluster(s); first contains:\n",
                 clusters.ClustersOf(main_id).size());
@@ -99,7 +99,7 @@ int main() {
       const Cluster& c = clusters.clusters[clusters.ClustersOf(main_id)[0]];
       size_t in_project = 0;
       for (const FileId id : c.members) {
-        if (correlator.files().Get(id).path.find(env.projects[0].dir) == 0) {
+        if (correlator.files().PathOf(id).find(env.projects[0].dir) == 0) {
           ++in_project;
         }
       }

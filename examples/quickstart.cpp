@@ -80,15 +80,15 @@ int main() {
   for (size_t i = 0; i < clusters.clusters.size(); ++i) {
     std::printf("  project %zu:", i);
     for (const FileId id : clusters.clusters[i].members) {
-      std::printf(" %s", correlator.files().Get(id).path.c_str());
+      std::printf(" %s", std::string(correlator.files().PathOf(id)).c_str());
     }
     std::printf("\n");
   }
 
   // 5. Fill a 100 KB hoard: whole projects, most recently active first.
   HoardManager hoard(100'000);
-  const auto size_of = [&fs](const std::string& path) {
-    const auto info = fs.Stat(path);
+  const auto size_of = [&fs](PathId path) -> uint64_t {
+    const auto info = fs.Stat(std::string(GlobalPaths().PathOf(path)));
     return info.has_value() ? info->size : 0;
   };
   const HoardSelection sel =
@@ -97,7 +97,7 @@ int main() {
               static_cast<unsigned long long>(sel.bytes_used),
               static_cast<unsigned long long>(sel.budget_bytes), sel.projects_hoarded,
               sel.projects_skipped);
-  for (const auto& path : sel.files) {
+  for (const auto& path : sel.PathStrings()) {
     std::printf("  %s\n", path.c_str());
   }
   return 0;

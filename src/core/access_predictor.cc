@@ -21,7 +21,7 @@ void AccessPredictor::OnAccess(const std::string& key, int stream, Time time) {
   FileReference ref;
   ref.pid = stream;
   ref.kind = RefKind::kPoint;
-  ref.path = key;
+  ref.path = GlobalPaths().Intern(key);
   ref.time = time;
   correlator_.OnReference(ref);
 }
@@ -29,19 +29,19 @@ void AccessPredictor::OnAccess(const std::string& key, int stream, Time time) {
 std::vector<std::string> AccessPredictor::PredictRelated(const std::string& key,
                                                          size_t limit) const {
   std::vector<std::string> out;
-  const FileId id = correlator_.files().Find(key);
+  const FileId id = correlator_.files().FindPath(key);
   if (id == kInvalidFileId) {
     return out;
   }
   struct Scored {
     double distance;
-    const std::string* key;
+    FileId id;
   };
   std::vector<Scored> scored;
   for (const Neighbor& nb : correlator_.relations().NeighborsOf(id)) {
     const FileRecord& rec = correlator_.files().Get(nb.id);
     if (!rec.deleted && !rec.excluded) {
-      scored.push_back({nb.MeanDistance(correlator_.params().mean_kind), &rec.path});
+      scored.push_back({nb.MeanDistance(correlator_.params().mean_kind), nb.id});
     }
   }
   std::sort(scored.begin(), scored.end(),
@@ -50,7 +50,7 @@ std::vector<std::string> AccessPredictor::PredictRelated(const std::string& key,
     if (out.size() >= limit) {
       break;
     }
-    out.push_back(*s.key);
+    out.emplace_back(correlator_.files().PathOf(s.id));
   }
   return out;
 }
@@ -58,7 +58,7 @@ std::vector<std::string> AccessPredictor::PredictRelated(const std::string& key,
 std::vector<std::string> AccessPredictor::PrefetchSet(const std::string& key,
                                                       size_t limit) const {
   std::vector<std::string> out;
-  const FileId id = correlator_.files().Find(key);
+  const FileId id = correlator_.files().FindPath(key);
   if (id == kInvalidFileId) {
     return out;
   }
@@ -69,8 +69,9 @@ std::vector<std::string> AccessPredictor::PrefetchSet(const std::string& key,
         continue;
       }
       const FileRecord& rec = correlator_.files().Get(member);
-      if (!rec.deleted && std::find(out.begin(), out.end(), rec.path) == out.end()) {
-        out.push_back(rec.path);
+      const std::string_view path = correlator_.files().PathOf(member);
+      if (!rec.deleted && std::find(out.begin(), out.end(), path) == out.end()) {
+        out.emplace_back(path);
       }
     }
   }

@@ -5,7 +5,9 @@
 namespace seer {
 
 AsyncCorrelator::AsyncCorrelator(const SeerParams& params, uint64_t seed, size_t queue_capacity)
-    : capacity_(queue_capacity == 0 ? 1 : queue_capacity), correlator_(params, seed) {
+    : capacity_(queue_capacity == 0 ? 1 : queue_capacity),
+      correlator_(params, seed),
+      ring_(capacity_) {
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
@@ -21,15 +23,16 @@ AsyncCorrelator::~AsyncCorrelator() {
   }
 }
 
-void AsyncCorrelator::Enqueue(Message message) {
+void AsyncCorrelator::Enqueue(const Message& message) {
   std::unique_lock<std::mutex> lock(queue_mutex_);
-  queue_not_full_.wait(lock, [this] { return queue_.size() < capacity_ || stopping_; });
+  queue_not_full_.wait(lock, [this] { return count_ < capacity_ || stopping_; });
   if (stopping_) {
     return;
   }
-  queue_.push_back(std::move(message));
+  ring_[(head_ + count_) % capacity_] = message;
+  ++count_;
   ++enqueued_;
-  high_watermark_ = std::max(high_watermark_, queue_.size());
+  high_watermark_ = std::max(high_watermark_, count_);
   lock.unlock();
   queue_not_empty_.notify_one();
 }
@@ -38,7 +41,7 @@ void AsyncCorrelator::OnReference(const FileReference& ref) {
   Message m;
   m.kind = Message::Kind::kReference;
   m.ref = ref;
-  Enqueue(std::move(m));
+  Enqueue(m);
 }
 
 void AsyncCorrelator::OnProcessFork(Pid parent, Pid child) {
@@ -46,38 +49,38 @@ void AsyncCorrelator::OnProcessFork(Pid parent, Pid child) {
   m.kind = Message::Kind::kFork;
   m.parent = parent;
   m.child = child;
-  Enqueue(std::move(m));
+  Enqueue(m);
 }
 
 void AsyncCorrelator::OnProcessExit(Pid pid) {
   Message m;
   m.kind = Message::Kind::kExit;
   m.child = pid;
-  Enqueue(std::move(m));
+  Enqueue(m);
 }
 
-void AsyncCorrelator::OnFileDeleted(const std::string& path, Time time) {
+void AsyncCorrelator::OnFileDeleted(PathId path, Time time) {
   Message m;
   m.kind = Message::Kind::kDeleted;
   m.path = path;
   m.time = time;
-  Enqueue(std::move(m));
+  Enqueue(m);
 }
 
-void AsyncCorrelator::OnFileRenamed(const std::string& from, const std::string& to, Time time) {
+void AsyncCorrelator::OnFileRenamed(PathId from, PathId to, Time time) {
   Message m;
   m.kind = Message::Kind::kRenamed;
   m.path = from;
   m.path2 = to;
   m.time = time;
-  Enqueue(std::move(m));
+  Enqueue(m);
 }
 
-void AsyncCorrelator::OnFileExcluded(const std::string& path) {
+void AsyncCorrelator::OnFileExcluded(PathId path) {
   Message m;
   m.kind = Message::Kind::kExcluded;
   m.path = path;
-  Enqueue(std::move(m));
+  Enqueue(m);
 }
 
 void AsyncCorrelator::WorkerLoop() {
@@ -85,14 +88,15 @@ void AsyncCorrelator::WorkerLoop() {
     Message message;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_not_empty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
-      if (queue_.empty()) {
+      queue_not_empty_.wait(lock, [this] { return count_ > 0 || stopping_; });
+      if (count_ == 0) {
         // stopping_ with an empty queue: signal any drain waiters and exit.
         drained_.notify_all();
         return;
       }
-      message = std::move(queue_.front());
-      queue_.pop_front();
+      message = ring_[head_];
+      head_ = (head_ + 1) % capacity_;
+      --count_;
     }
     {
       std::lock_guard<std::mutex> lock(correlator_mutex_);
@@ -120,7 +124,7 @@ void AsyncCorrelator::WorkerLoop() {
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       ++processed_;
-      if (queue_.empty()) {
+      if (count_ == 0) {
         drained_.notify_all();
       }
     }
@@ -158,6 +162,11 @@ size_t AsyncCorrelator::processed() const {
 size_t AsyncCorrelator::high_watermark() const {
   std::lock_guard<std::mutex> lock(queue_mutex_);
   return high_watermark_;
+}
+
+size_t AsyncCorrelator::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return count_;
 }
 
 }  // namespace seer

@@ -10,6 +10,11 @@
 // worker so callers always see a fully drained correlator — exactly the
 // semantics of asking the correlator daemon for a hoard fill.
 //
+// Messages carry interned PathIds, never strings, so a queued message is a
+// trivially-copyable POD and the queue itself is a fixed ring buffer
+// allocated once at construction: the per-reference producer path performs
+// no heap allocation at any queue depth.
+//
 // Backpressure: when the queue is full the enqueueing thread blocks (the
 // kernel hook in the real system buffers a bounded amount of trace data
 // and must not drop references, or lifetimes would unbalance).
@@ -17,9 +22,10 @@
 #define SRC_CORE_ASYNC_PIPELINE_H_
 
 #include <condition_variable>
-#include <deque>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <vector>
 
 #include "src/core/correlator.h"
 
@@ -41,9 +47,9 @@ class AsyncCorrelator : public ReferenceSink {
   void OnReference(const FileReference& ref) override;
   void OnProcessFork(Pid parent, Pid child) override;
   void OnProcessExit(Pid pid) override;
-  void OnFileDeleted(const std::string& path, Time time) override;
-  void OnFileRenamed(const std::string& from, const std::string& to, Time time) override;
-  void OnFileExcluded(const std::string& path) override;
+  void OnFileDeleted(PathId path, Time time) override;
+  void OnFileRenamed(PathId from, PathId to, Time time) override;
+  void OnFileExcluded(PathId path) override;
 
   // --- consumer-side queries (block until the queue is drained) -------------
 
@@ -68,6 +74,8 @@ class AsyncCorrelator : public ReferenceSink {
   size_t enqueued() const;
   size_t processed() const;
   size_t high_watermark() const;
+  size_t queue_depth() const;
+  size_t queue_capacity() const { return capacity_; }
 
  private:
   struct Message {
@@ -80,15 +88,18 @@ class AsyncCorrelator : public ReferenceSink {
       kExcluded,
     };
     Kind kind = Kind::kReference;
-    FileReference ref;       // kReference
-    Pid parent = 0;          // kFork
-    Pid child = 0;           // kFork / kExit (child doubles as the pid)
-    std::string path;        // kDeleted / kRenamed(from) / kExcluded
-    std::string path2;       // kRenamed(to)
+    FileReference ref;                 // kReference
+    Pid parent = 0;                    // kFork
+    Pid child = 0;                     // kFork / kExit (child doubles as the pid)
+    PathId path = kInvalidPathId;      // kDeleted / kRenamed(from) / kExcluded
+    PathId path2 = kInvalidPathId;     // kRenamed(to)
     Time time = 0;
   };
+  static_assert(std::is_trivially_copyable_v<Message>,
+                "queued messages must stay POD: the ring buffer is the "
+                "allocation-free hot path");
 
-  void Enqueue(Message message);
+  void Enqueue(const Message& message);
   void WorkerLoop();
 
   const size_t capacity_;
@@ -97,7 +108,10 @@ class AsyncCorrelator : public ReferenceSink {
   std::condition_variable queue_not_full_;
   std::condition_variable queue_not_empty_;
   std::condition_variable drained_;
-  std::deque<Message> queue_;
+  // Fixed ring buffer: allocated once, indices wrap modulo capacity_.
+  std::vector<Message> ring_;
+  size_t head_ = 0;   // next message to dequeue
+  size_t count_ = 0;  // messages currently queued
   bool stopping_ = false;
   size_t enqueued_ = 0;
   size_t processed_ = 0;

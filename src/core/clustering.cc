@@ -96,7 +96,7 @@ double ClusterBuilder::AdjustedSharedCount(FileId from, FileId to) const {
   // Directory distance is evidence of separation: subtract (Section 3.3.3).
   if (params_.dir_distance_weight > 0.0) {
     x -= params_.dir_distance_weight *
-         static_cast<double>(DirectoryDistance(files_->Get(from).path, files_->Get(to).path));
+         static_cast<double>(DirectoryDistance(files_->PathOf(from), files_->PathOf(to)));
   }
   // Investigator relations are evidence of closeness: add.
   x += params_.investigator_weight * InvestigatedStrength(from, to);

@@ -6,26 +6,31 @@ Correlator::Correlator(const SeerParams& params, uint64_t seed)
     : params_(params),
       relations_(params, &files_, seed),
       streams_(params),
-      clusters_(params, &files_, &relations_) {}
+      clusters_(params, &files_, &relations_) {
+  scratch_obs_.reserve(256);
+}
 
 void Correlator::OnReference(const FileReference& ref) {
   ++references_processed_;
   const FileId id = files_.Intern(ref.path);
+  if (id == kInvalidFileId) {
+    return;
+  }
   files_.RecordReference(id, ref.time, ++global_ref_seq_);
 
-  std::vector<DistanceObservation> observations;
+  scratch_obs_.clear();
   switch (ref.kind) {
     case RefKind::kBegin:
-      observations = streams_.OnBegin(ref.pid, id, ref.time);
+      streams_.OnBegin(ref.pid, id, ref.time, &scratch_obs_);
       break;
     case RefKind::kEnd:
       streams_.OnEnd(ref.pid, id);
       return;
     case RefKind::kPoint:
-      observations = streams_.OnPoint(ref.pid, id, ref.time);
+      streams_.OnPoint(ref.pid, id, ref.time, &scratch_obs_);
       break;
   }
-  for (const DistanceObservation& obs : observations) {
+  for (const DistanceObservation& obs : scratch_obs_) {
     const FileRecord& from = files_.Get(obs.from);
     if (from.deleted || from.excluded) {
       continue;
@@ -38,7 +43,7 @@ void Correlator::OnProcessFork(Pid parent, Pid child) { streams_.OnFork(parent, 
 
 void Correlator::OnProcessExit(Pid pid) { streams_.OnExit(pid); }
 
-void Correlator::OnFileDeleted(const std::string& path, Time /*time*/) {
+void Correlator::OnFileDeleted(PathId path, Time /*time*/) {
   const FileId id = files_.Find(path);
   if (id == kInvalidFileId) {
     return;
@@ -51,7 +56,7 @@ void Correlator::OnFileDeleted(const std::string& path, Time /*time*/) {
   }
 }
 
-void Correlator::OnFileRenamed(const std::string& from, const std::string& to, Time /*time*/) {
+void Correlator::OnFileRenamed(PathId from, PathId to, Time /*time*/) {
   const FileId id = files_.Find(from);
   if (id == kInvalidFileId) {
     // Renaming a file we never saw: just intern the new name.
@@ -61,7 +66,7 @@ void Correlator::OnFileRenamed(const std::string& from, const std::string& to, T
   files_.RenameFile(id, to);
 }
 
-void Correlator::OnFileExcluded(const std::string& path) {
+void Correlator::OnFileExcluded(PathId path) {
   const FileId id = files_.Find(path);
   if (id == kInvalidFileId) {
     return;
@@ -78,7 +83,7 @@ void Correlator::AddInvestigatedRelation(const InvestigatedRelation& relation) {
   std::vector<FileId> ids;
   ids.reserve(relation.files.size());
   for (const auto& path : relation.files) {
-    ids.push_back(files_.Intern(path));
+    ids.push_back(files_.Intern(GlobalPaths().Intern(path)));
   }
   for (size_t i = 0; i < ids.size(); ++i) {
     for (size_t j = i + 1; j < ids.size(); ++j) {
@@ -93,7 +98,7 @@ void Correlator::RunInvestigators(const SimFilesystem& fs) {
   }
   std::vector<std::string> candidates;
   for (const FileId id : files_.LiveIds()) {
-    candidates.push_back(files_.Get(id).path);
+    candidates.emplace_back(files_.PathOf(id));
   }
   clusters_.ClearInvestigatedPairs();
   for (const auto& inv : investigators_) {
@@ -106,8 +111,8 @@ void Correlator::RunInvestigators(const SimFilesystem& fs) {
 ClusterSet Correlator::BuildClusters() const { return clusters_.Build(files_.LiveIds()); }
 
 double Correlator::Distance(const std::string& from, const std::string& to) const {
-  const FileId a = files_.Find(from);
-  const FileId b = files_.Find(to);
+  const FileId a = files_.FindPath(from);
+  const FileId b = files_.FindPath(to);
   if (a == kInvalidFileId || b == kInvalidFileId) {
     return -1.0;
   }
@@ -116,12 +121,12 @@ double Correlator::Distance(const std::string& from, const std::string& to) cons
 
 std::vector<std::string> Correlator::NeighborPaths(const std::string& path) const {
   std::vector<std::string> out;
-  const FileId id = files_.Find(path);
+  const FileId id = files_.FindPath(path);
   if (id == kInvalidFileId) {
     return out;
   }
   for (const FileId nb : relations_.LiveNeighborIds(id)) {
-    out.push_back(files_.Get(nb).path);
+    out.emplace_back(files_.PathOf(nb));
   }
   return out;
 }
@@ -129,7 +134,7 @@ std::vector<std::string> Correlator::NeighborPaths(const std::string& path) cons
 size_t Correlator::MemoryBytes() const {
   size_t bytes = relations_.MemoryBytes() + streams_.MemoryBytes();
   for (FileId id = 0; id < files_.size(); ++id) {
-    bytes += sizeof(FileRecord) + files_.Get(id).path.size();
+    bytes += sizeof(FileRecord) + files_.PathOf(id).size();
   }
   return bytes;
 }

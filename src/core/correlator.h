@@ -6,6 +6,12 @@
 // are to be chosen — runs the clustering algorithm to group files into
 // projects (Section 2). External investigators can be registered; their
 // relations are folded into the clustering decision (Sections 3.2, 3.3.3).
+//
+// The per-reference hot path is identity-only: the observer hands over
+// interned PathIds, the file table maps them to dense FileIds with a flat
+// array, and distance observations accumulate in a reused scratch buffer —
+// no heap allocation once a path has been seen. Strings reappear only on
+// the query egress (Distance/NeighborPaths diagnostics, persistence).
 #ifndef SRC_CORE_CORRELATOR_H_
 #define SRC_CORE_CORRELATOR_H_
 
@@ -32,9 +38,9 @@ class Correlator : public ReferenceSink {
   void OnReference(const FileReference& ref) override;
   void OnProcessFork(Pid parent, Pid child) override;
   void OnProcessExit(Pid pid) override;
-  void OnFileDeleted(const std::string& path, Time time) override;
-  void OnFileRenamed(const std::string& from, const std::string& to, Time time) override;
-  void OnFileExcluded(const std::string& path) override;
+  void OnFileDeleted(PathId path, Time time) override;
+  void OnFileRenamed(PathId from, PathId to, Time time) override;
+  void OnFileExcluded(PathId path) override;
 
   // --- Investigators ------------------------------------------------------
 
@@ -56,6 +62,7 @@ class Correlator : public ReferenceSink {
   const SeerParams& params() const { return params_; }
 
   // Mean semantic distance from -> to, or negative when untracked.
+  // String-keyed diagnostic egress.
   double Distance(const std::string& from, const std::string& to) const;
 
   // Neighbor paths of a file, for diagnostics.
@@ -82,6 +89,7 @@ class Correlator : public ReferenceSink {
   ReferenceStreams streams_;
   ClusterBuilder clusters_;
   std::vector<std::unique_ptr<Investigator>> investigators_;
+  std::vector<DistanceObservation> scratch_obs_;  // reused per reference
   uint64_t references_processed_ = 0;
   uint64_t global_ref_seq_ = 0;
 };

@@ -4,28 +4,50 @@
 
 namespace seer {
 
-FileId FileTable::Intern(std::string_view path) {
-  const auto it = by_path_.find(std::string(path));
-  if (it != by_path_.end()) {
-    FileRecord& rec = records_[it->second];
+FileId FileTable::Lookup(PathId path) const {
+  return path < by_path_.size() ? by_path_[path] : kInvalidFileId;
+}
+
+void FileTable::Bind(PathId path, FileId id) {
+  if (path >= by_path_.size()) {
+    by_path_.resize(path + 1, kInvalidFileId);
+  }
+  by_path_[path] = id;
+}
+
+FileId FileTable::Intern(PathId path) {
+  if (path == kInvalidPathId) {
+    return kInvalidFileId;
+  }
+  const FileId existing = Lookup(path);
+  if (existing != kInvalidFileId) {
+    FileRecord& rec = records_[existing];
     if (rec.deleted) {
       // Name reuse after deletion: resurrect the record so relationship
       // information built under the old name survives (Section 4.8).
       rec.deleted = false;
     }
-    return it->second;
+    return existing;
   }
   const FileId id = static_cast<FileId>(records_.size());
   FileRecord rec;
-  rec.path = std::string(path);
-  records_.push_back(std::move(rec));
-  by_path_.emplace(records_.back().path, id);
+  rec.path = path;
+  records_.push_back(rec);
+  Bind(path, id);
   return id;
 }
 
-FileId FileTable::Find(std::string_view path) const {
-  const auto it = by_path_.find(std::string(path));
-  return it == by_path_.end() ? kInvalidFileId : it->second;
+FileId FileTable::Find(PathId path) const {
+  return path == kInvalidPathId ? kInvalidFileId : Lookup(path);
+}
+
+FileId FileTable::FindPath(std::string_view path) const {
+  return Find(GlobalPaths().Find(path));
+}
+
+std::string_view FileTable::PathOf(FileId id) const {
+  const PathId path = records_[id].path;
+  return path == kInvalidPathId ? std::string_view() : GlobalPaths().PathOf(path);
 }
 
 void FileTable::RecordReference(FileId id, Time time, uint64_t seq) {
@@ -61,26 +83,27 @@ std::vector<FileId> FileTable::MarkDeleted(FileId id, uint64_t delete_delay) {
   return expired;
 }
 
-void FileTable::RenameFile(FileId from, std::string_view to) {
+void FileTable::RenameFile(FileId from, PathId to) {
   FileRecord& rec = records_[from];
   // If the target name already has a record, retire it: the rename
   // replaced that file.
   const FileId existing = Find(to);
   if (existing != kInvalidFileId && existing != from) {
     records_[existing].deleted = true;
-    by_path_.erase(records_[existing].path);
-    records_[existing].path.clear();
+    records_[existing].path = kInvalidPathId;
   }
-  by_path_.erase(rec.path);
-  rec.path = std::string(to);
-  by_path_.emplace(rec.path, from);
+  if (rec.path != kInvalidPathId && rec.path < by_path_.size()) {
+    by_path_[rec.path] = kInvalidFileId;
+  }
+  rec.path = to;
+  Bind(to, from);
 }
 
 FileId FileTable::RestoreRecord(const FileRecord& record) {
   const FileId id = static_cast<FileId>(records_.size());
   records_.push_back(record);
-  if (!record.path.empty()) {
-    by_path_.emplace(records_.back().path, id);
+  if (record.path != kInvalidPathId) {
+    Bind(record.path, id);
   }
   return id;
 }
@@ -102,7 +125,8 @@ std::vector<FileId> FileTable::LiveIds() const {
   std::vector<FileId> out;
   out.reserve(records_.size());
   for (FileId id = 0; id < records_.size(); ++id) {
-    if (!records_[id].deleted && !records_[id].excluded && !records_[id].path.empty()) {
+    if (!records_[id].deleted && !records_[id].excluded &&
+        records_[id].path != kInvalidPathId) {
       out.push_back(id);
     }
   }

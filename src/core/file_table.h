@@ -2,7 +2,12 @@
 //
 // The correlator tracks tens of thousands of files (the paper's typical
 // user had ~20,000); all internal structures use dense 32-bit FileIds
-// rather than strings. The table also carries the per-file metadata SEER
+// rather than strings. Ingress identity is the observer's interned PathId:
+// the table maps PathId -> FileId with a flat array, so the per-reference
+// lookup is O(1) and allocation-free once a path has been seen. Rename is
+// an id re-binding — the new PathId is pointed at the file's existing
+// FileId — so the relation table, streams and clusters never rebuild
+// state (Section 4.8). The table also carries the per-file metadata SEER
 // needs for hoarding decisions: last-reference ordering for project
 // ranking, deletion marks with delayed purge (Section 4.8), and exclusion
 // marks for frequently-referenced files (Section 4.2).
@@ -11,12 +16,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "src/trace/event.h"
+#include "src/util/path_interner.h"
 
 namespace seer {
 
@@ -24,7 +28,7 @@ using FileId = uint32_t;
 constexpr FileId kInvalidFileId = static_cast<FileId>(-1);
 
 struct FileRecord {
-  std::string path;
+  PathId path = kInvalidPathId;  // current name; kInvalidPathId when retired
   Time last_ref_time = 0;
   uint64_t last_ref_seq = 0;  // global reference counter value at last access
   uint64_t ref_count = 0;
@@ -37,13 +41,19 @@ class FileTable {
  public:
   // Returns the id for `path`, creating a record if needed. A deleted
   // record is resurrected on re-reference (name reuse, Section 4.8).
-  FileId Intern(std::string_view path);
+  FileId Intern(PathId path);
 
   // Lookup without creating; kInvalidFileId when absent.
-  FileId Find(std::string_view path) const;
+  FileId Find(PathId path) const;
+
+  // String-ingress conveniences for query egress paths and tests.
+  FileId FindPath(std::string_view path) const;
 
   const FileRecord& Get(FileId id) const { return records_[id]; }
   FileRecord& GetMutable(FileId id) { return records_[id]; }
+
+  // Current spelling of `id` via the global interner (empty when retired).
+  std::string_view PathOf(FileId id) const;
 
   size_t size() const { return records_.size(); }
 
@@ -53,9 +63,10 @@ class FileTable {
   // the ids whose delayed purge has now expired.
   std::vector<FileId> MarkDeleted(FileId id, uint64_t delete_delay);
 
-  // Transfers the identity of `from` to the path `to` (rename keeps the
-  // relationship data, Section 4.8).
-  void RenameFile(FileId from, std::string_view to);
+  // Re-binds the identity of `from` to the interned name `to` (rename
+  // keeps the relationship data, Section 4.8). A record previously living
+  // at `to` is retired: the rename replaced that file.
+  void RenameFile(FileId from, PathId to);
 
   uint64_t deletion_count() const { return deletion_count_; }
 
@@ -74,8 +85,13 @@ class FileTable {
   void RebuildPurgeQueue();
 
  private:
+  void Bind(PathId path, FileId id);
+  FileId Lookup(PathId path) const;
+
   std::vector<FileRecord> records_;
-  std::unordered_map<std::string, FileId> by_path_;
+  // PathId -> FileId, indexed by PathId. Sparse (kInvalidFileId holes) but
+  // flat: one array read per reference.
+  std::vector<FileId> by_path_;
   uint64_t deletion_count_ = 0;
   std::deque<FileId> pending_purge_;  // deletion-marked, FIFO
 };

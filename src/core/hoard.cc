@@ -4,9 +4,17 @@
 
 namespace seer {
 
+std::set<std::string> HoardSelection::PathStrings() const {
+  std::set<std::string> out;
+  for (const PathId id : files) {
+    out.emplace(GlobalPaths().PathOf(id));
+  }
+  return out;
+}
+
 HoardSelection HoardManager::ChooseHoard(const Correlator& correlator,
                                          const ClusterSet& clusters,
-                                         const std::set<std::string>& always_hoard,
+                                         const std::set<PathId>& always_hoard,
                                          const SizeFn& size_of) const {
   HoardSelection sel;
   sel.budget_bytes = budget_bytes_;
@@ -14,8 +22,8 @@ HoardSelection HoardManager::ChooseHoard(const Correlator& correlator,
   // (Section 4.6): charged before any file competes for the budget.
   sel.bytes_used = reserved_bytes_;
 
-  auto add_file = [&](const std::string& path) {
-    if (sel.files.count(path) != 0) {
+  auto add_file = [&](PathId path) {
+    if (path == kInvalidPathId || sel.files.count(path) != 0) {
       return;
     }
     sel.bytes_used += size_of(path);
@@ -25,10 +33,10 @@ HoardSelection HoardManager::ChooseHoard(const Correlator& correlator,
   // Unconditional contents first: critical files, dot-files, non-files,
   // frequent files, and explicit user pins. These are included regardless
   // of the budget — the paper treats them as outside SEER's discretion.
-  for (const auto& path : always_hoard) {
+  for (const PathId path : always_hoard) {
     add_file(path);
   }
-  for (const auto& path : pinned_) {
+  for (const PathId path : pinned_) {
     add_file(path);
   }
 
@@ -60,7 +68,7 @@ HoardSelection HoardManager::ChooseHoard(const Correlator& correlator,
     uint64_t extra = 0;
     for (const FileId id : cluster.members) {
       const FileRecord& rec = files.Get(id);
-      if (rec.deleted || rec.path.empty()) {
+      if (rec.deleted || rec.path == kInvalidPathId) {
         continue;
       }
       if (sel.files.count(rec.path) == 0) {
@@ -77,14 +85,14 @@ HoardSelection HoardManager::ChooseHoard(const Correlator& correlator,
       std::vector<std::pair<uint64_t, FileId>> by_recency;
       for (const FileId id : cluster.members) {
         const FileRecord& rec = files.Get(id);
-        if (!rec.deleted && !rec.path.empty()) {
+        if (!rec.deleted && rec.path != kInvalidPathId) {
           by_recency.emplace_back(rec.last_ref_seq, id);
         }
       }
       std::sort(by_recency.rbegin(), by_recency.rend());
       bool took_any = false;
       for (const auto& [seq, id] : by_recency) {
-        const std::string& path = files.Get(id).path;
+        const PathId path = files.Get(id).path;
         const uint64_t bytes = sel.files.count(path) != 0 ? 0 : size_of(path);
         if (sel.bytes_used + bytes <= budget_bytes_) {
           add_file(path);
@@ -100,7 +108,7 @@ HoardSelection HoardManager::ChooseHoard(const Correlator& correlator,
     }
     for (const FileId id : cluster.members) {
       const FileRecord& rec = files.Get(id);
-      if (!rec.deleted && !rec.path.empty()) {
+      if (!rec.deleted && rec.path != kInvalidPathId) {
         add_file(rec.path);
       }
     }
@@ -109,18 +117,18 @@ HoardSelection HoardManager::ChooseHoard(const Correlator& correlator,
   return sel;
 }
 
-void MissLog::RecordManual(const std::string& path, Time time, MissSeverity severity) {
+void MissLog::RecordManual(PathId path, Time time, MissSeverity severity) {
   MissRecord rec;
   rec.path = path;
   rec.time = time;
   rec.severity = severity;
   rec.automatic = false;
-  records_.push_back(std::move(rec));
+  records_.push_back(rec);
   pending_hoard_.insert(path);
   seen_this_disconnection_.insert(path);
 }
 
-void MissLog::OnNotLocalAccess(const std::string& path, Pid /*pid*/, Time time) {
+void MissLog::OnNotLocalAccess(PathId path, Pid /*pid*/, Time time) {
   if (!seen_this_disconnection_.insert(path).second) {
     return;  // already recorded this disconnection
   }
@@ -129,7 +137,7 @@ void MissLog::OnNotLocalAccess(const std::string& path, Pid /*pid*/, Time time) 
   rec.time = time;
   rec.severity = MissSeverity::kMinor;
   rec.automatic = true;
-  records_.push_back(std::move(rec));
+  records_.push_back(rec);
   pending_hoard_.insert(path);
 }
 
@@ -148,8 +156,8 @@ size_t MissLog::CurrentDisconnectionMissCount() const {
   return records_.size() - disconnection_start_index_;
 }
 
-std::vector<std::string> MissLog::TakeFilesToHoard() {
-  std::vector<std::string> out(pending_hoard_.begin(), pending_hoard_.end());
+std::vector<PathId> MissLog::TakeFilesToHoard() {
+  std::vector<PathId> out(pending_hoard_.begin(), pending_hoard_.end());
   pending_hoard_.clear();
   return out;
 }

@@ -8,6 +8,11 @@
 // and non-file objects are included unconditionally (Sections 4.2, 4.3,
 // 4.6), as are any files the user pinned by hand (rarely needed, Section 2).
 //
+// Hoard contents are identity sets: selections, pins and miss records all
+// carry interned PathIds. Strings enter only through the ingress
+// conveniences (user pin/miss commands) and leave only when a caller
+// renders a listing or hands the set to the replication substrate.
+//
 // MissLog implements the two miss-tracking paths of Section 4.4: the manual
 // reporting program (with the 0-4 severity scale) and the automatic
 // detector that notices accesses to files that exist but are not hoarded.
@@ -17,6 +22,7 @@
 #include <functional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/clustering.h"
@@ -35,18 +41,26 @@ enum class MissSeverity : uint8_t {
 };
 
 struct HoardSelection {
-  std::set<std::string> files;
+  std::set<PathId> files;
   uint64_t bytes_used = 0;
   uint64_t budget_bytes = 0;
   size_t projects_hoarded = 0;
   size_t projects_skipped = 0;  // complete projects that did not fit
 
-  bool Contains(const std::string& path) const { return files.count(path) != 0; }
+  bool Contains(PathId path) const { return files.count(path) != 0; }
+  bool Contains(std::string_view path) const {
+    const PathId id = GlobalPaths().Find(path);
+    return id != kInvalidPathId && files.count(id) != 0;
+  }
+
+  // Egress: selection rendered as path strings (replication substrate,
+  // user-facing listings).
+  std::set<std::string> PathStrings() const;
 };
 
 class HoardManager {
  public:
-  using SizeFn = std::function<uint64_t(const std::string& path)>;
+  using SizeFn = std::function<uint64_t(PathId path)>;
 
   explicit HoardManager(uint64_t budget_bytes) : budget_bytes_(budget_bytes) {}
 
@@ -66,28 +80,36 @@ class HoardManager {
   void set_allow_partial_projects(bool allow) { allow_partial_ = allow; }
   bool allow_partial_projects() const { return allow_partial_; }
 
-  // Explicit user hoarding instructions (kept across selections).
-  void Pin(const std::string& path) { pinned_.insert(path); }
-  void Unpin(const std::string& path) { pinned_.erase(path); }
-  const std::set<std::string>& pinned() const { return pinned_; }
+  // Explicit user hoarding instructions (kept across selections). The
+  // string overload is the user-command ingress: it interns.
+  void Pin(PathId path) { pinned_.insert(path); }
+  void Pin(std::string_view path) { pinned_.insert(GlobalPaths().Intern(path)); }
+  void Unpin(PathId path) { pinned_.erase(path); }
+  void Unpin(std::string_view path) {
+    const PathId id = GlobalPaths().Find(path);
+    if (id != kInvalidPathId) {
+      pinned_.erase(id);
+    }
+  }
+  const std::set<PathId>& pinned() const { return pinned_; }
 
   // Chooses hoard contents: always-hoard and pinned files first, then whole
   // projects by descending activity until the budget is exhausted.
   // `size_of` supplies per-file sizes (unknown files may be given a
   // synthetic size by the caller).
   HoardSelection ChooseHoard(const Correlator& correlator, const ClusterSet& clusters,
-                             const std::set<std::string>& always_hoard,
+                             const std::set<PathId>& always_hoard,
                              const SizeFn& size_of) const;
 
  private:
   uint64_t budget_bytes_;
   uint64_t reserved_bytes_ = 0;
-  std::set<std::string> pinned_;
+  std::set<PathId> pinned_;
   bool allow_partial_ = false;
 };
 
 struct MissRecord {
-  std::string path;
+  PathId path = kInvalidPathId;
   Time time = 0;
   MissSeverity severity = MissSeverity::kMinor;
   bool automatic = false;
@@ -97,12 +119,15 @@ class MissLog : public MissListener {
  public:
   // Manual reporting: the user runs the miss program, which records the
   // event and arranges for the file (and its project) to be hoarded at the
-  // next reconnection.
-  void RecordManual(const std::string& path, Time time, MissSeverity severity);
+  // next reconnection. The string overload is the command-line ingress.
+  void RecordManual(PathId path, Time time, MissSeverity severity);
+  void RecordManual(std::string_view path, Time time, MissSeverity severity) {
+    RecordManual(GlobalPaths().Intern(path), time, severity);
+  }
 
   // Automatic detection (fed by the observer's kNotLocal signal). At most
   // one automatic record per path per disconnection.
-  void OnNotLocalAccess(const std::string& path, Pid pid, Time time) override;
+  void OnNotLocalAccess(PathId path, Pid pid, Time time) override;
 
   // Disconnection bracketing for per-disconnection queries.
   void StartDisconnection(Time time);
@@ -115,15 +140,15 @@ class MissLog : public MissListener {
 
   // Files to force into the hoard at the next reconnection; clears the
   // pending set.
-  std::vector<std::string> TakeFilesToHoard();
+  std::vector<PathId> TakeFilesToHoard();
 
   size_t CountAtSeverity(MissSeverity severity) const;
   size_t automatic_count() const;
 
  private:
   std::vector<MissRecord> records_;
-  std::set<std::string> pending_hoard_;
-  std::set<std::string> seen_this_disconnection_;
+  std::set<PathId> pending_hoard_;
+  std::set<PathId> seen_this_disconnection_;
   size_t disconnection_start_index_ = 0;
   bool disconnected_ = false;
 };

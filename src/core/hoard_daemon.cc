@@ -25,7 +25,7 @@ HoardSelection HoardDaemon::ForceRefill(Time now) {
   // Files the user missed since the last fill are pinned so they (and, via
   // clustering, their projects) come along this time (Section 4.4).
   if (miss_log_ != nullptr) {
-    for (const auto& path : miss_log_->TakeFilesToHoard()) {
+    for (const PathId path : miss_log_->TakeFilesToHoard()) {
       manager_->Pin(path);
     }
   }
@@ -36,7 +36,9 @@ HoardSelection HoardDaemon::ForceRefill(Time now) {
   last_selection_ =
       manager_->ChooseHoard(*correlator_, clusters, observer_->always_hoard(), size_of_);
   if (install_) {
-    install_(last_selection_.files);
+    // Egress: the replication substrate deals in pathnames, so strings
+    // reappear exactly here.
+    install_(last_selection_.PathStrings());
   }
   last_fill_ = now;
   ++refills_;

@@ -98,7 +98,8 @@ void Correlator::SaveTo(std::ostream& out) const {
       << '\n';
   for (FileId id = 0; id < files_.size(); ++id) {
     const FileRecord& rec = files_.Get(id);
-    out << (rec.path.empty() ? "-" : EscapePath(rec.path)) << ' ' << rec.last_ref_time << ' '
+    out << (rec.path == kInvalidPathId ? "-" : EscapePath(GlobalPaths().PathOf(rec.path)))
+        << ' ' << rec.last_ref_time << ' '
         << rec.last_ref_seq << ' ' << rec.ref_count << ' ' << (rec.deleted ? 1 : 0) << ' '
         << (rec.excluded ? 1 : 0) << ' ' << rec.deleted_at_deletion_count << '\n';
   }
@@ -202,7 +203,8 @@ std::unique_ptr<Correlator> Correlator::LoadFrom(std::istream& in, std::string* 
       SetError(error, "bad file record: " + line);
       return nullptr;
     }
-    rec.path = words[0] == "-" ? "" : UnescapePath(words[0]);
+    rec.path =
+        words[0] == "-" ? kInvalidPathId : GlobalPaths().Intern(UnescapePath(words[0]));
     rec.deleted = deleted != 0;
     rec.excluded = excluded != 0;
     correlator->files_.RestoreRecord(rec);

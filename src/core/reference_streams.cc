@@ -40,8 +40,8 @@ void ReferenceStreams::PruneWindow(Stream& s) {
   }
 }
 
-std::vector<DistanceObservation> ReferenceStreams::Reference(Stream& s, FileId file, Time time,
-                                                             bool keep_open) {
+void ReferenceStreams::Reference(Stream& s, FileId file, Time time, bool keep_open,
+                                 std::vector<DistanceObservation>* out) {
   const uint64_t idx = ++s.open_counter;
   const uint64_t ref = ++s.ref_counter;
   const double horizon = static_cast<double>(params_.distance_horizon);
@@ -51,7 +51,7 @@ std::vector<DistanceObservation> ReferenceStreams::Reference(Stream& s, FileId f
   // (Section 3.1.3).
   PruneWindow(s);
 
-  std::vector<DistanceObservation> obs;
+  std::vector<DistanceObservation>& obs = *out;
 
   // Distance-0 sources: files currently held open (lifetime measure only).
   // These may not have window entries any more, so walk the state map for
@@ -108,15 +108,16 @@ std::vector<DistanceObservation> ReferenceStreams::Reference(Stream& s, FileId f
   }
   s.window.emplace_back(file, idx);
   PruneWindow(s);
-  return obs;
 }
 
-std::vector<DistanceObservation> ReferenceStreams::OnBegin(Pid pid, FileId file, Time time) {
-  return Reference(GetStream(pid), file, time, /*keep_open=*/true);
+void ReferenceStreams::OnBegin(Pid pid, FileId file, Time time,
+                               std::vector<DistanceObservation>* out) {
+  Reference(GetStream(pid), file, time, /*keep_open=*/true, out);
 }
 
-std::vector<DistanceObservation> ReferenceStreams::OnPoint(Pid pid, FileId file, Time time) {
-  return Reference(GetStream(pid), file, time, /*keep_open=*/false);
+void ReferenceStreams::OnPoint(Pid pid, FileId file, Time time,
+                               std::vector<DistanceObservation>* out) {
+  Reference(GetStream(pid), file, time, /*keep_open=*/false, out);
 }
 
 void ReferenceStreams::OnEnd(Pid pid, FileId file) {

@@ -37,15 +37,17 @@ class ReferenceStreams {
  public:
   explicit ReferenceStreams(const SeerParams& params) : params_(params) {}
 
-  // An open of `file` by `pid`: returns the distance observations from every
-  // file referenced within the horizon to `file`.
-  std::vector<DistanceObservation> OnBegin(Pid pid, FileId file, Time time);
+  // An open of `file` by `pid`: appends to `out` the distance observations
+  // from every file referenced within the horizon to `file`. Out-param so
+  // the correlator can reuse one scratch buffer — the per-reference hot
+  // path allocates nothing in steady state.
+  void OnBegin(Pid pid, FileId file, Time time, std::vector<DistanceObservation>* out);
 
   // The matching close.
   void OnEnd(Pid pid, FileId file);
 
   // A point reference (open immediately followed by close).
-  std::vector<DistanceObservation> OnPoint(Pid pid, FileId file, Time time);
+  void OnPoint(Pid pid, FileId file, Time time, std::vector<DistanceObservation>* out);
 
   // Fork: the child inherits a copy of the parent's history.
   void OnFork(Pid parent, Pid child);
@@ -83,7 +85,8 @@ class ReferenceStreams {
   };
 
   Stream& GetStream(Pid pid);
-  std::vector<DistanceObservation> Reference(Stream& s, FileId file, Time time, bool keep_open);
+  void Reference(Stream& s, FileId file, Time time, bool keep_open,
+                 std::vector<DistanceObservation>* out);
   void PruneWindow(Stream& s);
 
   SeerParams params_;

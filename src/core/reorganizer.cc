@@ -9,7 +9,7 @@ namespace seer {
 
 namespace {
 
-bool Frozen(const std::string& path, const ReorganizerConfig& config) {
+bool Frozen(std::string_view path, const ReorganizerConfig& config) {
   for (const auto& prefix : config.frozen_prefixes) {
     if (IsUnder(path, prefix)) {
       return true;
@@ -27,8 +27,8 @@ std::vector<ReorgSuggestion> SuggestReorganization(const Correlator& correlator,
   std::vector<ReorgSuggestion> suggestions;
 
   for (const FileId id : files.LiveIds()) {
-    const FileRecord& rec = files.Get(id);
-    if (rec.path.empty() || Frozen(rec.path, config)) {
+    const std::string_view path = files.PathOf(id);
+    if (path.empty() || Frozen(path, config)) {
       continue;
     }
 
@@ -51,10 +51,11 @@ std::vector<ReorgSuggestion> SuggestReorganization(const Correlator& correlator,
         continue;
       }
       const FileRecord& mate_rec = files.Get(mate);
-      if (mate_rec.deleted || mate_rec.path.empty() || Frozen(mate_rec.path, config)) {
+      const std::string_view mate_path = files.PathOf(mate);
+      if (mate_rec.deleted || mate_path.empty() || Frozen(mate_path, config)) {
         continue;
       }
-      ++dir_votes[Dirname(mate_rec.path)];
+      ++dir_votes[Dirname(mate_path)];
       ++mates;
     }
     if (mates < config.min_cluster_mates) {
@@ -69,14 +70,14 @@ std::vector<ReorgSuggestion> SuggestReorganization(const Correlator& correlator,
         best_dir = dir;
       }
     }
-    const std::string home_dir = Dirname(rec.path);
+    const std::string home_dir = Dirname(path);
     const double confidence = static_cast<double>(best_votes) / static_cast<double>(mates);
     if (best_dir.empty() || best_dir == home_dir || confidence < config.min_confidence) {
       continue;
     }
 
     ReorgSuggestion s;
-    s.path = rec.path;
+    s.path = std::string(path);
     s.from_dir = home_dir;
     s.to_dir = best_dir;
     s.confidence = confidence;

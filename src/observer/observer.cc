@@ -9,6 +9,11 @@ Observer::Observer(ObserverConfig config, const SimFilesystem* fs)
 
 Observer::ProcState& Observer::Proc(Pid pid) { return procs_[pid]; }
 
+bool Observer::AlwaysHoards(std::string_view path) const {
+  const PathId id = GlobalPaths().Find(path);
+  return id != kInvalidPathId && always_hoard_.count(id) != 0;
+}
+
 bool Observer::IsMeaninglessProgram(const std::string& program) const {
   if (config_.meaningless_programs.count(program) != 0) {
     return true;
@@ -71,20 +76,39 @@ void Observer::PretrainProgramHistory(const std::string& program, uint64_t poten
   ++h.executions;
 }
 
-Observer::PathClass Observer::Classify(const std::string& path) {
-  for (const auto& dir : config_.transient_dirs) {
-    if (IsUnder(path, dir)) {
-      return PathClass::kTransient;
-    }
+Observer::PathClass Observer::Classify(PathId id, std::string_view path) {
+  if (id >= prefix_class_.size()) {
+    prefix_class_.resize(id + 1, PathClass::kUnclassified);
   }
-  for (const auto& prefix : config_.critical_prefixes) {
-    if (IsUnder(path, prefix)) {
-      always_hoard_.insert(path);
-      return PathClass::kCritical;
+  PathClass prefix = prefix_class_[id];
+  if (prefix == PathClass::kUnclassified) {
+    // Config-derived classification is a pure function of the pathname;
+    // compute it once per distinct path.
+    prefix = PathClass::kNormal;
+    for (const auto& dir : config_.transient_dirs) {
+      if (IsUnder(path, dir)) {
+        prefix = PathClass::kTransient;
+        break;
+      }
     }
+    if (prefix == PathClass::kNormal) {
+      for (const auto& pre : config_.critical_prefixes) {
+        if (IsUnder(path, pre)) {
+          prefix = PathClass::kCritical;
+          break;
+        }
+      }
+    }
+    if (prefix == PathClass::kNormal && config_.exclude_dot_files && IsDotFile(path)) {
+      prefix = PathClass::kCritical;
+    }
+    prefix_class_[id] = prefix;
   }
-  if (config_.exclude_dot_files && IsDotFile(path)) {
-    always_hoard_.insert(path);
+  if (prefix == PathClass::kTransient) {
+    return PathClass::kTransient;
+  }
+  if (prefix == PathClass::kCritical) {
+    always_hoard_.insert(id);
     return PathClass::kCritical;
   }
   if (fs_ != nullptr) {
@@ -93,17 +117,17 @@ Observer::PathClass Observer::Classify(const std::string& path) {
         info->kind != NodeKind::kDirectory) {
       // Devices, pseudo-files and symlinks: essential, nearly free to hoard,
       // and noisy as distance inputs (Section 4.6).
-      always_hoard_.insert(path);
+      always_hoard_.insert(id);
       return PathClass::kNonFile;
     }
   }
-  if (frequent_.count(path) != 0) {
+  if (frequent_.count(id) != 0) {
     return PathClass::kFrequent;
   }
   return PathClass::kNormal;
 }
 
-void Observer::CountAccess(ProcState& proc, const std::string& path) {
+void Observer::CountAccess(ProcState& proc, PathId path) {
   // heuristic-#4 "actual" counter: distinct files this process touches.
   if (proc.touched.insert(path).second) {
     ++proc.actual;
@@ -125,7 +149,7 @@ void Observer::CountAccess(ProcState& proc, const std::string& path) {
 
 void Observer::FlushPendingStat(ProcState& proc) {
   if (proc.pending_stat.has_value()) {
-    FileReference ref = std::move(*proc.pending_stat);
+    const FileReference ref = *proc.pending_stat;
     proc.pending_stat.reset();
     if (sink_ != nullptr) {
       sink_->OnReference(ref);
@@ -134,8 +158,8 @@ void Observer::FlushPendingStat(ProcState& proc) {
   }
 }
 
-void Observer::EmitReference(ProcState& proc, Pid pid, RefKind kind, const std::string& path,
-                             Time time, bool write, bool bypass_meaningless) {
+void Observer::EmitReference(ProcState& proc, Pid pid, RefKind kind, PathId path, Time time,
+                             bool write, bool bypass_meaningless) {
   if (proc.in_getcwd) {
     ++references_filtered_;
     return;
@@ -144,7 +168,7 @@ void Observer::EmitReference(ProcState& proc, Pid pid, RefKind kind, const std::
     ++references_filtered_;
     return;
   }
-  const PathClass cls = Classify(path);
+  const PathClass cls = Classify(path, GlobalPaths().PathOf(path));
   if (cls != PathClass::kNormal) {
     ++references_filtered_;
     return;
@@ -161,21 +185,21 @@ void Observer::EmitReference(ProcState& proc, Pid pid, RefKind kind, const std::
   ++references_emitted_;
 }
 
-void Observer::HandleOpen(const TraceEvent& e, ProcState& proc) {
+void Observer::HandleOpen(const TraceEvent& e, ProcState& proc, PathId path) {
   // Opening a regular file ends any getcwd climb.
   proc.in_getcwd = false;
   proc.climb_streak = 0;
 
   // A stat immediately followed by an open of the same file is a single
   // access from the user's point of view (Section 4.8).
-  if (proc.pending_stat.has_value() && proc.pending_stat->path == e.path) {
+  if (proc.pending_stat.has_value() && proc.pending_stat->path == path) {
     proc.pending_stat.reset();
   } else {
     FlushPendingStat(proc);
   }
 
-  CountAccess(proc, e.path);
-  EmitReference(proc, e.pid, RefKind::kBegin, e.path, e.time, e.write);
+  CountAccess(proc, path);
+  EmitReference(proc, e.pid, RefKind::kBegin, path, e.time, e.write);
 }
 
 void Observer::HandleDirOps(const TraceEvent& e, ProcState& proc) {
@@ -231,7 +255,7 @@ void Observer::OnEvent(const TraceEvent& e) {
   if (!e.ok()) {
     if (e.status == OpStatus::kNotLocal && miss_listener_ != nullptr &&
         (e.op == Op::kOpen || e.op == Op::kExec)) {
-      miss_listener_->OnNotLocalAccess(e.path, e.pid, e.time);
+      miss_listener_->OnNotLocalAccess(GlobalPaths().Intern(e.path), e.pid, e.time);
     }
     return;
   }
@@ -242,6 +266,7 @@ void Observer::OnEvent(const TraceEvent& e) {
       const Pid child = e.detail;
       ProcState& child_state = Proc(child);
       child_state.program = proc.program;
+      child_state.program_id = proc.program_id;
       child_state.control_meaningless = proc.control_meaningless;
       if (sink_ != nullptr) {
         sink_->OnProcessFork(e.pid, child);
@@ -251,8 +276,8 @@ void Observer::OnEvent(const TraceEvent& e) {
     case Op::kExec: {
       FlushPendingStat(proc);
       // End the previous image's lifetime reference.
-      if (!proc.program.empty()) {
-        EmitReference(proc, e.pid, RefKind::kEnd, proc.program, e.time, false,
+      if (proc.program_id != kInvalidPathId) {
+        EmitReference(proc, e.pid, RefKind::kEnd, proc.program_id, e.time, false,
                       /*bypass_meaningless=*/true);
       }
       // Fold the old image's counters into its history before switching.
@@ -262,7 +287,9 @@ void Observer::OnEvent(const TraceEvent& e) {
         h.actual += proc.actual;
         ++h.executions;
       }
+      const PathId image = GlobalPaths().Intern(e.path);
       proc.program = e.path;
+      proc.program_id = image;
       proc.control_meaningless = config_.meaningless_programs.count(e.path) != 0;
       proc.potential = 0;
       proc.actual = 0;
@@ -275,15 +302,15 @@ void Observer::OnEvent(const TraceEvent& e) {
       // (Section 4.8: "executions ... treated as opens"). This holds even
       // for a meaningless program: its *scanning* carries no information,
       // but the binary itself must be hoarded for the user to run it.
-      CountAccess(proc, e.path);
-      EmitReference(proc, e.pid, RefKind::kBegin, e.path, e.time, false,
+      CountAccess(proc, image);
+      EmitReference(proc, e.pid, RefKind::kBegin, image, e.time, false,
                     /*bypass_meaningless=*/true);
       break;
     }
     case Op::kExit: {
       FlushPendingStat(proc);
-      if (!proc.program.empty()) {
-        EmitReference(proc, e.pid, RefKind::kEnd, proc.program, e.time, false,
+      if (proc.program_id != kInvalidPathId) {
+        EmitReference(proc, e.pid, RefKind::kEnd, proc.program_id, e.time, false,
                       /*bypass_meaningless=*/true);
         ProgramHistory& h = program_history_[proc.program];
         h.potential += proc.potential;
@@ -298,30 +325,31 @@ void Observer::OnEvent(const TraceEvent& e) {
     }
     case Op::kOpen:
     case Op::kCreate: {
-      HandleOpen(e, proc);
+      HandleOpen(e, proc, GlobalPaths().Intern(e.path));
       break;
     }
     case Op::kClose: {
-      EmitReference(proc, e.pid, RefKind::kEnd, e.path, e.time, e.write);
+      EmitReference(proc, e.pid, RefKind::kEnd, GlobalPaths().Intern(e.path), e.time, e.write);
       break;
     }
     case Op::kStat: {
       proc.in_getcwd = false;
       proc.climb_streak = 0;
-      CountAccess(proc, e.path);
-      if (ProcessMeaningless(proc) || Classify(e.path) != PathClass::kNormal) {
+      const PathId path = GlobalPaths().Intern(e.path);
+      CountAccess(proc, path);
+      if (ProcessMeaningless(proc) || Classify(path, e.path) != PathClass::kNormal) {
         ++references_filtered_;
         break;
       }
       FileReference ref;
       ref.pid = e.pid;
       ref.kind = RefKind::kPoint;
-      ref.path = e.path;
+      ref.path = path;
       ref.time = e.time;
       ref.write = false;
       if (config_.collapse_stat_open) {
         FlushPendingStat(proc);
-        proc.pending_stat = std::move(ref);
+        proc.pending_stat = ref;
       } else if (sink_ != nullptr) {
         sink_->OnReference(ref);
         ++references_emitted_;
@@ -330,36 +358,41 @@ void Observer::OnEvent(const TraceEvent& e) {
     }
     case Op::kChmod: {
       FlushPendingStat(proc);
-      CountAccess(proc, e.path);
-      EmitReference(proc, e.pid, RefKind::kPoint, e.path, e.time, true);
+      const PathId path = GlobalPaths().Intern(e.path);
+      CountAccess(proc, path);
+      EmitReference(proc, e.pid, RefKind::kPoint, path, e.time, true);
       break;
     }
     case Op::kUnlink: {
       FlushPendingStat(proc);
-      CountAccess(proc, e.path);
-      EmitReference(proc, e.pid, RefKind::kPoint, e.path, e.time, true);
+      const PathId path = GlobalPaths().Intern(e.path);
+      CountAccess(proc, path);
+      EmitReference(proc, e.pid, RefKind::kPoint, path, e.time, true);
       if (sink_ != nullptr) {
-        sink_->OnFileDeleted(e.path, e.time);
+        sink_->OnFileDeleted(path, e.time);
       }
-      always_hoard_.erase(e.path);
+      always_hoard_.erase(path);
       break;
     }
     case Op::kRename: {
       FlushPendingStat(proc);
-      CountAccess(proc, e.path);
-      EmitReference(proc, e.pid, RefKind::kPoint, e.path, e.time, true);
+      const PathId from = GlobalPaths().Intern(e.path);
+      const PathId to = GlobalPaths().Intern(e.path2);
+      CountAccess(proc, from);
+      EmitReference(proc, e.pid, RefKind::kPoint, from, e.time, true);
       if (sink_ != nullptr) {
-        sink_->OnFileRenamed(e.path, e.path2, e.time);
+        sink_->OnFileRenamed(from, to, e.time);
       }
-      if (always_hoard_.erase(e.path) != 0) {
-        always_hoard_.insert(e.path2);
+      if (always_hoard_.erase(from) != 0) {
+        always_hoard_.insert(to);
       }
       break;
     }
     case Op::kLink: {
       FlushPendingStat(proc);
-      CountAccess(proc, e.path);
-      EmitReference(proc, e.pid, RefKind::kPoint, e.path, e.time, true);
+      const PathId path = GlobalPaths().Intern(e.path);
+      CountAccess(proc, path);
+      EmitReference(proc, e.pid, RefKind::kPoint, path, e.time, true);
       break;
     }
     case Op::kMkdir:

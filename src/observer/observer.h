@@ -6,6 +6,14 @@
 // information, and feeds clean per-process file references to the
 // correlator (Section 2).
 //
+// The observer is the interning boundary of the data plane: every pathname
+// is mapped to a dense PathId (GlobalPaths()) exactly once, on event
+// ingress. All internal bookkeeping — per-process touched sets, the
+// frequent-file accounting, the always-hoard set, the emitted
+// FileReferences — is keyed on PathId, so the per-syscall cost is a few
+// integer-set operations and the stable prefix classification of a path is
+// computed once per distinct path, then cached by id.
+//
 // Implemented filters, each mirroring a subsection of "Real-World
 // Intrusions" (Section 4):
 //   4.1  meaningless processes — static control list, the
@@ -28,11 +36,13 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "src/observer/observer_config.h"
 #include "src/observer/reference.h"
 #include "src/process/syscall_tracer.h"
 #include "src/trace/event.h"
+#include "src/util/path_interner.h"
 #include "src/vfs/sim_filesystem.h"
 
 namespace seer {
@@ -42,7 +52,7 @@ namespace seer {
 class MissListener {
  public:
   virtual ~MissListener() = default;
-  virtual void OnNotLocalAccess(const std::string& path, Pid pid, Time time) = 0;
+  virtual void OnNotLocalAccess(PathId path, Pid pid, Time time) = 0;
 };
 
 class Observer : public TraceSink {
@@ -59,10 +69,13 @@ class Observer : public TraceSink {
 
   // Files that must be in every hoard regardless of distance calculations:
   // critical files, dot-files, non-file objects, and frequent files.
-  const std::set<std::string>& always_hoard() const { return always_hoard_; }
+  const std::set<PathId>& always_hoard() const { return always_hoard_; }
+
+  // Diagnostic/egress convenience for the PathId set above.
+  bool AlwaysHoards(std::string_view path) const;
 
   // Current frequently-referenced set (subset of always_hoard()).
-  const std::set<std::string>& frequent_files() const { return frequent_; }
+  const std::set<PathId>& frequent_files() const { return frequent_; }
 
   // True when the given program image is currently considered meaningless,
   // either via the control file or via learned history.
@@ -82,11 +95,12 @@ class Observer : public TraceSink {
  private:
   struct ProcState {
     std::string program;
+    PathId program_id = kInvalidPathId;
     bool control_meaningless = false;  // program is on the control list
     // Current-execution counters for heuristic #4.
     uint64_t potential = 0;
     uint64_t actual = 0;
-    std::set<std::string> touched;
+    std::set<PathId> touched;
     // Approach-2/3 state (Section 4.1).
     bool has_read_directory = false;
     int open_directories = 0;
@@ -105,22 +119,23 @@ class Observer : public TraceSink {
     uint64_t executions = 0;
   };
 
-  enum class PathClass {
+  enum class PathClass : uint8_t {
     kNormal,     // feed to the correlator
     kCritical,   // always hoard, never feed
     kNonFile,    // always hoard, never feed
     kTransient,  // ignore outright
     kFrequent,   // always hoard, never feed
+    kUnclassified,  // cache sentinel: prefix class not yet computed
   };
 
   ProcState& Proc(Pid pid);
-  PathClass Classify(const std::string& path);
+  PathClass Classify(PathId id, std::string_view path);
   bool ProcessMeaningless(const ProcState& proc) const;
-  void CountAccess(ProcState& proc, const std::string& path);
+  void CountAccess(ProcState& proc, PathId path);
   void FlushPendingStat(ProcState& proc);
-  void EmitReference(ProcState& proc, Pid pid, RefKind kind, const std::string& path, Time time,
-                     bool write, bool bypass_meaningless = false);
-  void HandleOpen(const TraceEvent& e, ProcState& proc);
+  void EmitReference(ProcState& proc, Pid pid, RefKind kind, PathId path, Time time, bool write,
+                     bool bypass_meaningless = false);
+  void HandleOpen(const TraceEvent& e, ProcState& proc, PathId path);
   void HandleDirOps(const TraceEvent& e, ProcState& proc);
 
   ObserverConfig config_;
@@ -131,12 +146,18 @@ class Observer : public TraceSink {
   std::map<Pid, ProcState> procs_;
   std::map<std::string, ProgramHistory> program_history_;
 
-  // Frequent-file accounting (Section 4.2).
-  std::map<std::string, uint64_t> access_counts_;
-  uint64_t total_accesses_ = 0;
-  std::set<std::string> frequent_;
+  // Stable (config-derived) classification of each interned path: computed
+  // from the pathname once, then an O(1) array read. Dynamic facts —
+  // object kind from the filesystem, frequent-file status — are layered on
+  // top per access in Classify().
+  std::vector<PathClass> prefix_class_;
 
-  std::set<std::string> always_hoard_;
+  // Frequent-file accounting (Section 4.2).
+  std::map<PathId, uint64_t> access_counts_;
+  uint64_t total_accesses_ = 0;
+  std::set<PathId> frequent_;
+
+  std::set<PathId> always_hoard_;
 
   uint64_t events_seen_ = 0;
   uint64_t references_emitted_ = 0;

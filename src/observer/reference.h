@@ -6,12 +6,16 @@
 // point references equivalent to an open immediately followed by a close
 // (Section 4.8). Process executions/exits are begin/end references to the
 // program image. The correlator consumes this stream.
+//
+// Identity, not text, crosses this boundary: pathnames are interned into
+// dense PathIds at the observer ingress (src/util/path_interner.h), so a
+// FileReference is a small POD and every downstream table keys on the id.
+// No std::string crosses ReferenceSink on the per-reference hot path.
 #ifndef SRC_OBSERVER_REFERENCE_H_
 #define SRC_OBSERVER_REFERENCE_H_
 
-#include <string>
-
 #include "src/trace/event.h"
+#include "src/util/path_interner.h"
 
 namespace seer {
 
@@ -24,7 +28,7 @@ enum class RefKind : uint8_t {
 struct FileReference {
   Pid pid = 0;
   RefKind kind = RefKind::kPoint;
-  std::string path;  // absolute, normalised
+  PathId path = kInvalidPathId;  // interned absolute, normalised path
   Time time = 0;
   bool write = false;
 };
@@ -44,13 +48,17 @@ class ReferenceSink {
   // Namespace changes the correlator must mirror. Deletion is soft: the
   // correlator marks the file and purges it only after a delay measured in
   // total deletions (Section 4.8).
-  virtual void OnFileDeleted(const std::string& path, Time time) = 0;
-  virtual void OnFileRenamed(const std::string& from, const std::string& to, Time time) = 0;
+  virtual void OnFileDeleted(PathId path, Time time) = 0;
+
+  // Rename carries both interned names; downstream the new id is re-bound
+  // to the file's existing identity so relation data survives
+  // (Section 4.8).
+  virtual void OnFileRenamed(PathId from, PathId to, Time time) = 0;
 
   // The file has been reclassified (e.g. crossed the frequently-referenced
   // threshold, Section 4.2) and must be dropped from distance and
   // relationship calculations.
-  virtual void OnFileExcluded(const std::string& path) = 0;
+  virtual void OnFileExcluded(PathId path) = 0;
 };
 
 }  // namespace seer

@@ -1,0 +1,216 @@
+#include "src/observer/sink_chain.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace seer {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+size_t BucketOf(uint64_t ns) {
+  size_t b = 0;
+  while (ns > 1 && b + 1 < LatencyHistogram::kBuckets) {
+    ns >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(uint64_t ns) {
+  ++buckets_[BucketOf(ns)];
+  ++count_;
+  sum_ns_ += ns;
+  max_ns_ = std::max(max_ns_, ns);
+}
+
+uint64_t LatencyHistogram::PercentileNs(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(p * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= target) {
+      return 1ull << (b + 1);  // bucket upper bound
+    }
+  }
+  return max_ns_;
+}
+
+// --- InstrumentedSink ---------------------------------------------------------
+
+void InstrumentedSink::OnReference(const FileReference& ref) {
+  ++counters_.references;
+  if (measure_latency_) {
+    const uint64_t start = NowNs();
+    next_->OnReference(ref);
+    latency_.Record(NowNs() - start);
+  } else {
+    next_->OnReference(ref);
+  }
+}
+
+void InstrumentedSink::OnProcessFork(Pid parent, Pid child) {
+  ++counters_.forks;
+  next_->OnProcessFork(parent, child);
+}
+
+void InstrumentedSink::OnProcessExit(Pid pid) {
+  ++counters_.exits;
+  next_->OnProcessExit(pid);
+}
+
+void InstrumentedSink::OnFileDeleted(PathId path, Time time) {
+  ++counters_.deletes;
+  next_->OnFileDeleted(path, time);
+}
+
+void InstrumentedSink::OnFileRenamed(PathId from, PathId to, Time time) {
+  ++counters_.renames;
+  next_->OnFileRenamed(from, to, time);
+}
+
+void InstrumentedSink::OnFileExcluded(PathId path) {
+  ++counters_.exclusions;
+  next_->OnFileExcluded(path);
+}
+
+// --- FilterSink ---------------------------------------------------------------
+
+void FilterSink::OnReference(const FileReference& ref) {
+  if (keep_ && !keep_(ref)) {
+    ++dropped_;
+    return;
+  }
+  ++passed_;
+  next_->OnReference(ref);
+}
+
+void FilterSink::OnProcessFork(Pid parent, Pid child) { next_->OnProcessFork(parent, child); }
+void FilterSink::OnProcessExit(Pid pid) { next_->OnProcessExit(pid); }
+void FilterSink::OnFileDeleted(PathId path, Time time) { next_->OnFileDeleted(path, time); }
+void FilterSink::OnFileRenamed(PathId from, PathId to, Time time) {
+  next_->OnFileRenamed(from, to, time);
+}
+void FilterSink::OnFileExcluded(PathId path) { next_->OnFileExcluded(path); }
+
+// --- TeeSink ------------------------------------------------------------------
+
+void TeeSink::OnReference(const FileReference& ref) {
+  for (ReferenceSink* out : outputs_) {
+    out->OnReference(ref);
+  }
+}
+
+void TeeSink::OnProcessFork(Pid parent, Pid child) {
+  for (ReferenceSink* out : outputs_) {
+    out->OnProcessFork(parent, child);
+  }
+}
+
+void TeeSink::OnProcessExit(Pid pid) {
+  for (ReferenceSink* out : outputs_) {
+    out->OnProcessExit(pid);
+  }
+}
+
+void TeeSink::OnFileDeleted(PathId path, Time time) {
+  for (ReferenceSink* out : outputs_) {
+    out->OnFileDeleted(path, time);
+  }
+}
+
+void TeeSink::OnFileRenamed(PathId from, PathId to, Time time) {
+  for (ReferenceSink* out : outputs_) {
+    out->OnFileRenamed(from, to, time);
+  }
+}
+
+void TeeSink::OnFileExcluded(PathId path) {
+  for (ReferenceSink* out : outputs_) {
+    out->OnFileExcluded(path);
+  }
+}
+
+// --- SinkChain ----------------------------------------------------------------
+
+SinkChain& SinkChain::Instrument(std::string label, bool measure_latency) {
+  auto stage = std::make_unique<InstrumentedSink>(std::move(label), head_, measure_latency);
+  instrumented_.push_back(stage.get());
+  head_ = stage.get();
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+SinkChain& SinkChain::Filter(FilterSink::Predicate keep) {
+  auto stage = std::make_unique<FilterSink>(std::move(keep), head_);
+  filters_.push_back(stage.get());
+  head_ = stage.get();
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+SinkChain& SinkChain::TeeInto(ReferenceSink* extra) {
+  auto stage = std::make_unique<TeeSink>(std::vector<ReferenceSink*>{head_, extra});
+  head_ = stage.get();
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+std::vector<const InstrumentedSink*> SinkChain::instrumented() const {
+  // Stored in insertion (consumer-to-producer) order; report producer-first.
+  std::vector<const InstrumentedSink*> out(instrumented_.rbegin(), instrumented_.rend());
+  return out;
+}
+
+uint64_t SinkChain::total_dropped() const {
+  uint64_t dropped = 0;
+  for (const FilterSink* f : filters_) {
+    dropped += f->dropped();
+  }
+  return dropped;
+}
+
+std::string SinkChain::FormatMetrics() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-18s %10s %8s %8s %8s %9s %9s %9s\n", "stage", "refs",
+                "forks", "exits", "ns/ref", "p50", "p99", "max");
+  out += line;
+  for (const InstrumentedSink* s : instrumented()) {
+    const SinkCounters& c = s->counters();
+    const LatencyHistogram& h = s->latency();
+    std::snprintf(line, sizeof(line), "%-18s %10llu %8llu %8llu %8.0f %9llu %9llu %9llu\n",
+                  s->label().c_str(), static_cast<unsigned long long>(c.references),
+                  static_cast<unsigned long long>(c.forks),
+                  static_cast<unsigned long long>(c.exits), h.mean_ns(),
+                  static_cast<unsigned long long>(h.PercentileNs(0.50)),
+                  static_cast<unsigned long long>(h.PercentileNs(0.99)),
+                  static_cast<unsigned long long>(h.max_ns()));
+    out += line;
+  }
+  if (!filters_.empty()) {
+    uint64_t passed = 0;
+    for (const FilterSink* f : filters_) {
+      passed += f->passed();
+    }
+    std::snprintf(line, sizeof(line), "filters: %llu passed, %llu dropped\n",
+                  static_cast<unsigned long long>(passed),
+                  static_cast<unsigned long long>(total_dropped()));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace seer

@@ -1,0 +1,173 @@
+// Composable ReferenceSink decorators with a lightweight metrics layer.
+//
+// The observer-to-correlator data plane is a chain of ReferenceSinks; this
+// header provides the decorators to compose and instrument it without the
+// core stages knowing they are being watched:
+//
+//   * InstrumentedSink — per-callback-kind counters plus a log2-bucketed
+//     nanosecond latency histogram of the downstream call (the cost added
+//     to the traced syscall, Section 5.3);
+//   * FilterSink      — drops OnReference messages failing a predicate
+//     (namespace and process-lifecycle callbacks always pass, or the
+//     correlator's lifetimes would unbalance);
+//   * TeeSink         — fans one stream out to several consumers (e.g. a
+//     live correlator plus a trace archiver).
+//
+// SinkChain owns a stack of decorators terminating at a caller-provided
+// sink and renders their metrics for seerctl's `pipeline` command.
+#ifndef SRC_OBSERVER_SINK_CHAIN_H_
+#define SRC_OBSERVER_SINK_CHAIN_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/observer/reference.h"
+
+namespace seer {
+
+// Per-stage message counts, one counter per ReferenceSink callback.
+struct SinkCounters {
+  uint64_t references = 0;
+  uint64_t forks = 0;
+  uint64_t exits = 0;
+  uint64_t deletes = 0;
+  uint64_t renames = 0;
+  uint64_t exclusions = 0;
+
+  uint64_t total() const {
+    return references + forks + exits + deletes + renames + exclusions;
+  }
+};
+
+// Log2-bucketed nanosecond histogram: bucket b holds samples in
+// [2^b, 2^(b+1)) ns. Cheap enough for the per-reference hot path.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  void Record(uint64_t ns);
+
+  uint64_t count() const { return count_; }
+  uint64_t max_ns() const { return max_ns_; }
+  double mean_ns() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_ns_) / static_cast<double>(count_);
+  }
+  // Upper bound of the bucket containing the p-quantile (p in [0,1]).
+  uint64_t PercentileNs(double p) const;
+  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ns_ = 0;
+  uint64_t max_ns_ = 0;
+};
+
+// Counts every message and (optionally) times the downstream call.
+class InstrumentedSink : public ReferenceSink {
+ public:
+  InstrumentedSink(std::string label, ReferenceSink* next, bool measure_latency = true)
+      : label_(std::move(label)), next_(next), measure_latency_(measure_latency) {}
+
+  void OnReference(const FileReference& ref) override;
+  void OnProcessFork(Pid parent, Pid child) override;
+  void OnProcessExit(Pid pid) override;
+  void OnFileDeleted(PathId path, Time time) override;
+  void OnFileRenamed(PathId from, PathId to, Time time) override;
+  void OnFileExcluded(PathId path) override;
+
+  const std::string& label() const { return label_; }
+  const SinkCounters& counters() const { return counters_; }
+  const LatencyHistogram& latency() const { return latency_; }
+
+ private:
+  std::string label_;
+  ReferenceSink* next_;
+  bool measure_latency_;
+  SinkCounters counters_;
+  LatencyHistogram latency_;
+};
+
+// Forwards OnReference only when `keep` approves. Process lifecycle and
+// namespace messages are structural and always forwarded.
+class FilterSink : public ReferenceSink {
+ public:
+  using Predicate = std::function<bool(const FileReference& ref)>;
+
+  FilterSink(Predicate keep, ReferenceSink* next) : keep_(std::move(keep)), next_(next) {}
+
+  void OnReference(const FileReference& ref) override;
+  void OnProcessFork(Pid parent, Pid child) override;
+  void OnProcessExit(Pid pid) override;
+  void OnFileDeleted(PathId path, Time time) override;
+  void OnFileRenamed(PathId from, PathId to, Time time) override;
+  void OnFileExcluded(PathId path) override;
+
+  uint64_t dropped() const { return dropped_; }
+  uint64_t passed() const { return passed_; }
+
+ private:
+  Predicate keep_;
+  ReferenceSink* next_;
+  uint64_t dropped_ = 0;
+  uint64_t passed_ = 0;
+};
+
+// Replicates every message to each output, in order.
+class TeeSink : public ReferenceSink {
+ public:
+  explicit TeeSink(std::vector<ReferenceSink*> outputs) : outputs_(std::move(outputs)) {}
+
+  void OnReference(const FileReference& ref) override;
+  void OnProcessFork(Pid parent, Pid child) override;
+  void OnProcessExit(Pid pid) override;
+  void OnFileDeleted(PathId path, Time time) override;
+  void OnFileRenamed(PathId from, PathId to, Time time) override;
+  void OnFileExcluded(PathId path) override;
+
+ private:
+  std::vector<ReferenceSink*> outputs_;
+};
+
+// Owning builder: stages added later sit closer to the producer, so
+//
+//   SinkChain chain(&correlator);
+//   chain.Filter(pred);               // runs second
+//   chain.Instrument("observer");     // runs first
+//   observer.set_sink(chain.head());
+//
+// yields observer -> instrument -> filter -> correlator.
+class SinkChain {
+ public:
+  explicit SinkChain(ReferenceSink* terminal) : head_(terminal) {}
+  SinkChain(const SinkChain&) = delete;
+  SinkChain& operator=(const SinkChain&) = delete;
+
+  SinkChain& Instrument(std::string label, bool measure_latency = true);
+  SinkChain& Filter(FilterSink::Predicate keep);
+  SinkChain& TeeInto(ReferenceSink* extra);
+
+  ReferenceSink* head() const { return head_; }
+
+  // Instrumented stages in producer-to-consumer order.
+  std::vector<const InstrumentedSink*> instrumented() const;
+  uint64_t total_dropped() const;
+
+  // Human-readable per-stage metrics table (seerctl pipeline).
+  std::string FormatMetrics() const;
+
+ private:
+  ReferenceSink* head_;
+  // Producer-to-consumer order is the reverse of insertion order.
+  std::vector<std::unique_ptr<ReferenceSink>> stages_;
+  std::vector<const InstrumentedSink*> instrumented_;
+  std::vector<const FilterSink*> filters_;
+};
+
+}  // namespace seer
+
+#endif  // SRC_OBSERVER_SINK_CHAIN_H_

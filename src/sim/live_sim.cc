@@ -127,6 +127,10 @@ LiveSimResult RunLiveUsage(const MachineProfile& profile, const LiveSimConfig& c
     const auto info = fs.Stat(path);
     return info.has_value() ? info->size : GeometricSizeForPath(path, config.seed);
   };
+  // Identity-keyed flavour for the hoard manager (strings only at egress).
+  const auto size_of_id = [&size_of](PathId id) -> uint64_t {
+    return size_of(std::string(GlobalPaths().PathOf(id)));
+  };
   std::unique_ptr<ReplicationSystem> replication =
       MakeReplicator(config.replicator, size_of);
   ReplicationHook repl_hook(replication.get());
@@ -188,16 +192,16 @@ LiveSimResult RunLiveUsage(const MachineProfile& profile, const LiveSimConfig& c
     }
 
     // --- hoard fill (the user signals imminent disconnection) ---------------
-    for (const auto& path : miss_log.TakeFilesToHoard()) {
+    for (const PathId path : miss_log.TakeFilesToHoard()) {
       hoard.Pin(path);
     }
     const ClusterSet clusters = correlator.BuildClusters();
     const HoardSelection selection =
-        hoard.ChooseHoard(correlator, clusters, observer.always_hoard(), size_of);
+        hoard.ChooseHoard(correlator, clusters, observer.always_hoard(), size_of_id);
     // Spare budget keeps extra replicas (the substrate has no reason to
     // evict while space remains), so a generously sized hoard behaves like
     // a full replica.
-    std::set<std::string> target = selection.files;
+    std::set<std::string> target = selection.PathStrings();
     uint64_t used = selection.bytes_used;
     for (const auto& path : fs.AllRegularFiles()) {
       if (target.count(path) != 0) {

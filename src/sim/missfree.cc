@@ -42,17 +42,17 @@ uint64_t WorkingSetBytes(const std::set<std::string>& referenced, const SizeOfFn
 
 std::vector<std::string> SeerCoverageOrder(const Correlator& correlator,
                                            const ClusterSet& clusters,
-                                           const std::set<std::string>& always_hoard) {
+                                           const std::set<PathId>& always_hoard) {
   std::vector<std::string> order;
   std::unordered_set<std::string> emitted;
-  auto emit = [&](const std::string& path) {
-    if (!path.empty() && emitted.insert(path).second) {
-      order.push_back(path);
+  auto emit = [&](std::string_view path) {
+    if (!path.empty() && emitted.emplace(path).second) {
+      order.emplace_back(path);
     }
   };
 
-  for (const auto& path : always_hoard) {
-    emit(path);
+  for (const PathId path : always_hoard) {
+    emit(GlobalPaths().PathOf(path));
   }
 
   const FileTable& files = correlator.files();
@@ -74,26 +74,25 @@ std::vector<std::string> SeerCoverageOrder(const Correlator& correlator,
 
   for (const Ranked& r : ranked) {
     for (const FileId id : clusters.clusters[r.index].members) {
-      const FileRecord& rec = files.Get(id);
-      if (!rec.deleted) {
-        emit(rec.path);
+      if (!files.Get(id).deleted) {
+        emit(files.PathOf(id));
       }
     }
   }
 
   // Anything known to the correlator but not clustered (excluded files are
   // in always_hoard already; this catches stragglers), newest first.
-  std::vector<std::pair<uint64_t, const std::string*>> rest;
+  std::vector<std::pair<uint64_t, FileId>> rest;
   for (const FileId id : files.LiveIds()) {
-    const FileRecord& rec = files.Get(id);
-    if (emitted.count(rec.path) == 0) {
-      rest.emplace_back(rec.last_ref_seq, &rec.path);
+    const std::string_view path = files.PathOf(id);
+    if (emitted.count(std::string(path)) == 0) {
+      rest.emplace_back(files.Get(id).last_ref_seq, id);
     }
   }
   std::sort(rest.begin(), rest.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
-  for (const auto& [seq, path] : rest) {
-    emit(*path);
+  for (const auto& [seq, id] : rest) {
+    emit(files.PathOf(id));
   }
   return order;
 }

@@ -51,10 +51,12 @@ uint64_t WorkingSetBytes(const std::set<std::string>& referenced, const SizeOfFn
 
 // SEER's coverage order: always-hoard files first, then whole projects in
 // descending activity order (each file at its first appearance), then
-// known-but-unclustered files by recency.
+// known-but-unclustered files by recency. `always_hoard` is the observer's
+// interned unconditional set; the order is rendered as strings because the
+// downstream consumers (trace-driven baselines) compare pathnames.
 std::vector<std::string> SeerCoverageOrder(const Correlator& correlator,
                                            const ClusterSet& clusters,
-                                           const std::set<std::string>& always_hoard);
+                                           const std::set<PathId>& always_hoard);
 
 // Appends `universe` files missing from `order` (sorted by path) so that
 // every algorithm can eventually cover the whole disk; keeps relative

@@ -1,0 +1,52 @@
+#include "src/util/path_interner.h"
+
+#include <mutex>
+
+namespace seer {
+
+PathId PathInterner::Intern(std::string_view path) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = by_path_.find(path);
+    if (it != by_path_.end()) {
+      return it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  const auto it = by_path_.find(path);  // re-check: lost the insert race?
+  if (it != by_path_.end()) {
+    return it->second;
+  }
+  const PathId id = static_cast<PathId>(storage_.size());
+  storage_.emplace_back(path);
+  by_path_.emplace(std::string_view(storage_.back()), id);
+  return id;
+}
+
+PathId PathInterner::Find(std::string_view path) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto it = by_path_.find(path);
+  return it == by_path_.end() ? kInvalidPathId : it->second;
+}
+
+std::string_view PathInterner::PathOf(PathId id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  if (id >= storage_.size()) {
+    return {};
+  }
+  return storage_[id];
+}
+
+size_t PathInterner::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return storage_.size();
+}
+
+PathInterner& GlobalPaths() {
+  static PathInterner* interner = new PathInterner();
+  return *interner;
+}
+
+std::string PathString(PathId id) { return std::string(GlobalPaths().PathOf(id)); }
+
+}  // namespace seer

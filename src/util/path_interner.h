@@ -1,0 +1,74 @@
+// Process-wide path interning.
+//
+// SEER's observer must add "at most microseconds" to every traced syscall
+// (Sections 2, 5.3), yet a pathname crosses four layers on its way to the
+// relation table. Interning maps each normalised absolute path to a dense
+// PathId exactly once, at the observer boundary; every layer downstream of
+// the observer (ReferenceSink, the async queue, the file table, the hoard
+// and reorganizer query surfaces) carries the 32-bit id instead of the
+// string. Strings reappear only at user-facing egress (hoard listings,
+// seerctl output, the persistence format).
+//
+// The interner is append-only: a PathId, once assigned, refers to the same
+// spelling forever. Rename is NOT an interner operation — the observer
+// interns both names and emits OnFileRenamed(from_id, to_id); the
+// correlator's FileTable re-binds the new PathId to the existing FileId so
+// relation data survives (Section 4.8). Append-only storage is what makes
+// the returned string_views stable and the table safely shareable between
+// the observer thread and the async correlator's worker.
+#ifndef SRC_UTIL_PATH_INTERNER_H_
+#define SRC_UTIL_PATH_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace seer {
+
+using PathId = uint32_t;
+constexpr PathId kInvalidPathId = static_cast<PathId>(-1);
+
+class PathInterner {
+ public:
+  PathInterner() = default;
+  PathInterner(const PathInterner&) = delete;
+  PathInterner& operator=(const PathInterner&) = delete;
+
+  // Returns the id for `path`, assigning the next dense id on first sight.
+  // Steady state (path already known) takes a shared lock and allocates
+  // nothing.
+  PathId Intern(std::string_view path);
+
+  // Lookup without creating; kInvalidPathId when absent.
+  PathId Find(std::string_view path) const;
+
+  // The interned spelling. Views are stable for the interner's lifetime
+  // (storage is append-only and never moves). Empty view for
+  // kInvalidPathId or out-of-range ids.
+  std::string_view PathOf(PathId id) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  // Deque: growth never moves existing strings, so string_views into them
+  // (including the map keys below) stay valid without a second copy.
+  std::deque<std::string> storage_;
+  std::unordered_map<std::string_view, PathId> by_path_;
+};
+
+// The process-wide interner every SEER component shares. Ids are never
+// recycled, so tests constructing many observers/correlators in one
+// process simply accumulate entries.
+PathInterner& GlobalPaths();
+
+// Convenience egress helper: the interned spelling of `id` as a copyable
+// string (empty for kInvalidPathId).
+std::string PathString(PathId id);
+
+}  // namespace seer
+
+#endif  // SRC_UTIL_PATH_INTERNER_H_

@@ -13,7 +13,7 @@ FileReference Ref(Pid pid, RefKind kind, const std::string& path, Time time) {
   FileReference r;
   r.pid = pid;
   r.kind = kind;
-  r.path = path;
+  r.path = GlobalPaths().Intern(path);
   r.time = time;
   return r;
 }
@@ -32,8 +32,9 @@ TEST(AsyncCorrelator, MatchesSynchronousCorrelator) {
       async.OnReference(ref);
     }
   }
-  sync.OnFileDeleted("/p/f9", t);
-  async.OnFileDeleted("/p/f9", t);
+  const PathId f9 = GlobalPaths().Intern("/p/f9");
+  sync.OnFileDeleted(f9, t);
+  async.OnFileDeleted(f9, t);
 
   async.Drain();
   EXPECT_EQ(async.KnownFiles(), sync.files().size());

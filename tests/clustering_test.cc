@@ -27,7 +27,7 @@ class ClusterHarness {
 
   FileId Id(const std::string& name) {
     // All files share one directory so directory distance is zero.
-    return files_.Intern("/w/" + name);
+    return files_.Intern(GlobalPaths().Intern("/w/" + name));
   }
 
   // Declares that `from` lists `to` with an effective shared-neighbor count
@@ -48,7 +48,7 @@ class ClusterHarness {
     for (const Cluster& c : set.clusters) {
       std::set<std::string> members;
       for (const FileId id : c.members) {
-        const std::string& path = files_.Get(id).path;
+        const std::string path = PathString(files_.Get(id).path);
         members.insert(path.substr(3));  // strip "/w/"
       }
       out.push_back(std::move(members));
@@ -172,9 +172,9 @@ TEST(Clustering, DirectoryDistancePenalty) {
   RelationTable relations(params, &files);
   ClusterBuilder builder(params, &files, &relations);
 
-  const FileId near_a = files.Intern("/p/a");
-  const FileId near_b = files.Intern("/p/b");
-  const FileId far_b = files.Intern("/q/r/s/b");
+  const FileId near_a = files.Intern(GlobalPaths().Intern("/p/a"));
+  const FileId near_b = files.Intern(GlobalPaths().Intern("/p/b"));
+  const FileId far_b = files.Intern(GlobalPaths().Intern("/q/r/s/b"));
   builder.AddInvestigatedPair(near_a, near_b, 6.0);
   builder.AddInvestigatedPair(near_a, far_b, 6.0);
 

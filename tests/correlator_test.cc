@@ -8,11 +8,13 @@
 namespace seer {
 namespace {
 
+PathId P(std::string_view path) { return GlobalPaths().Intern(path); }
+
 FileReference Ref(Pid pid, RefKind kind, const std::string& path, Time time) {
   FileReference r;
   r.pid = pid;
   r.kind = kind;
-  r.path = path;
+  r.path = P(path);
   r.time = time;
   return r;
 }
@@ -63,9 +65,9 @@ TEST_F(CorrelatorTest, CompilePatternClustersProject) {
   }
   const ClusterSet clusters = correlator_.BuildClusters();
 
-  const FileId p1_main = correlator_.files().Find("/p1/main.c");
-  const FileId p1_a = correlator_.files().Find("/p1/a.h");
-  const FileId p2_main = correlator_.files().Find("/p2/main.c");
+  const FileId p1_main = correlator_.files().FindPath("/p1/main.c");
+  const FileId p1_a = correlator_.files().FindPath("/p1/a.h");
+  const FileId p2_main = correlator_.files().FindPath("/p2/main.c");
 
   // p1 files cluster together...
   bool together = false;
@@ -87,8 +89,8 @@ TEST_F(CorrelatorTest, DeletionDelayedThenPurged) {
   ASSERT_GE(correlator_.Distance("/p/main.c", "/p/a.h"), 0.0);
 
   // Deletion marks but does not purge (delay = 3 deletions).
-  correlator_.OnFileDeleted("/p/a.h", Now());
-  const FileId id = correlator_.files().Find("/p/a.h");
+  correlator_.OnFileDeleted(P("/p/a.h"), Now());
+  const FileId id = correlator_.files().FindPath("/p/a.h");
   EXPECT_TRUE(correlator_.files().Get(id).deleted);
 
   // Three more deletions elsewhere expire the grace period. (Deletions of
@@ -96,7 +98,7 @@ TEST_F(CorrelatorTest, DeletionDelayedThenPurged) {
   // the victims first.)
   for (const char* junk : {"/p/junk1", "/p/junk2", "/p/junk3"}) {
     correlator_.OnReference(Ref(1, RefKind::kPoint, junk, Now()));
-    correlator_.OnFileDeleted(junk, Now());
+    correlator_.OnFileDeleted(P(junk), Now());
   }
   EXPECT_LT(correlator_.Distance("/p/main.c", "/p/a.h"), 0.0) << "relations purged";
 }
@@ -105,10 +107,10 @@ TEST_F(CorrelatorTest, ImmediateRecreationKeepsRelations) {
   for (int i = 0; i < 3; ++i) {
     Compile(1, "/p/main.c", {"/p/a.h"});
   }
-  correlator_.OnFileDeleted("/p/a.h", Now());
+  correlator_.OnFileDeleted(P("/p/a.h"), Now());
   // The name is reused right away (delete + recreate, Section 4.8).
   correlator_.OnReference(Ref(1, RefKind::kPoint, "/p/a.h", Now()));
-  const FileId id = correlator_.files().Find("/p/a.h");
+  const FileId id = correlator_.files().FindPath("/p/a.h");
   EXPECT_FALSE(correlator_.files().Get(id).deleted);
   EXPECT_GE(correlator_.Distance("/p/main.c", "/p/a.h"), 0.0);
 }
@@ -117,27 +119,27 @@ TEST_F(CorrelatorTest, RenameTransfersIdentity) {
   for (int i = 0; i < 3; ++i) {
     Compile(1, "/p/main.c", {"/p/old.h"});
   }
-  correlator_.OnFileRenamed("/p/old.h", "/p/new.h", Now());
-  EXPECT_EQ(correlator_.files().Find("/p/old.h"), kInvalidFileId);
+  correlator_.OnFileRenamed(P("/p/old.h"), P("/p/new.h"), Now());
+  EXPECT_EQ(correlator_.files().FindPath("/p/old.h"), kInvalidFileId);
   EXPECT_GE(correlator_.Distance("/p/main.c", "/p/new.h"), 0.0)
       << "relationship data survives the rename";
 }
 
 TEST_F(CorrelatorTest, RenameOfUnknownFileJustInterns) {
-  correlator_.OnFileRenamed("/p/ghost", "/p/solid", Now());
-  EXPECT_NE(correlator_.files().Find("/p/solid"), kInvalidFileId);
+  correlator_.OnFileRenamed(P("/p/ghost"), P("/p/solid"), Now());
+  EXPECT_NE(correlator_.files().FindPath("/p/solid"), kInvalidFileId);
 }
 
 TEST_F(CorrelatorTest, ExclusionPurgesAndStops) {
   for (int i = 0; i < 3; ++i) {
     Compile(1, "/p/main.c", {"/p/lib.so"});
   }
-  correlator_.OnFileExcluded("/p/lib.so");
+  correlator_.OnFileExcluded(P("/p/lib.so"));
   EXPECT_LT(correlator_.Distance("/p/main.c", "/p/lib.so"), 0.0);
 
   // Further references to the excluded file must not recreate relations.
   Compile(1, "/p/main.c", {"/p/lib.so"});
-  const FileId id = correlator_.files().Find("/p/lib.so");
+  const FileId id = correlator_.files().FindPath("/p/lib.so");
   EXPECT_TRUE(correlator_.files().Get(id).excluded);
   EXPECT_TRUE(correlator_.relations().LiveNeighborIds(id).empty());
 }
@@ -151,8 +153,8 @@ TEST_F(CorrelatorTest, InvestigatedRelationFeedsClustering) {
   correlator_.AddInvestigatedRelation(rel);
 
   const ClusterSet clusters = correlator_.BuildClusters();
-  const FileId a = correlator_.files().Find("/p/a");
-  const FileId b = correlator_.files().Find("/p/b");
+  const FileId a = correlator_.files().FindPath("/p/a");
+  const FileId b = correlator_.files().FindPath("/p/b");
   bool together = false;
   for (const uint32_t c : clusters.ClustersOf(a)) {
     const auto& m = clusters.clusters[c].members;
@@ -174,8 +176,8 @@ TEST_F(CorrelatorTest, RunInvestigatorsAgainstFilesystem) {
   correlator_.RunInvestigators(fs);
 
   const ClusterSet clusters = correlator_.BuildClusters();
-  const FileId m = correlator_.files().Find("/p/m.c");
-  const FileId h = correlator_.files().Find("/p/h.h");
+  const FileId m = correlator_.files().FindPath("/p/m.c");
+  const FileId h = correlator_.files().FindPath("/p/h.h");
   bool together = false;
   for (const uint32_t c : clusters.ClustersOf(m)) {
     const auto& members = clusters.clusters[c].members;

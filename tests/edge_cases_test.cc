@@ -16,11 +16,13 @@
 namespace seer {
 namespace {
 
+PathId P(std::string_view path) { return GlobalPaths().Intern(path); }
+
 FileReference Ref(Pid pid, RefKind kind, const std::string& path, Time time) {
   FileReference r;
   r.pid = pid;
   r.kind = kind;
-  r.path = path;
+  r.path = P(path);
   r.time = time;
   return r;
 }
@@ -32,14 +34,17 @@ TEST(EdgeCases, HorizonOfOne) {
   params.distance_horizon = 1;
   FileTable files;
   ReferenceStreams streams(params);
-  const FileId a = files.Intern("/a");
-  const FileId b = files.Intern("/b");
-  const FileId c = files.Intern("/c");
-  streams.OnPoint(1, a, 1);
-  const auto at_b = streams.OnPoint(1, b, 2);  // a is exactly 1 open back
+  const FileId a = files.Intern(P("/a"));
+  const FileId b = files.Intern(P("/b"));
+  const FileId c = files.Intern(P("/c"));
+  std::vector<DistanceObservation> scratch;
+  streams.OnPoint(1, a, 1, &scratch);
+  std::vector<DistanceObservation> at_b;
+  streams.OnPoint(1, b, 2, &at_b);  // a is exactly 1 open back
   ASSERT_EQ(at_b.size(), 1u);
   EXPECT_DOUBLE_EQ(at_b[0].distance, 1.0);
-  const auto at_c = streams.OnPoint(1, c, 3);  // a now out of the window
+  std::vector<DistanceObservation> at_c;
+  streams.OnPoint(1, c, 3, &at_c);  // a now out of the window
   ASSERT_EQ(at_c.size(), 1u);
   EXPECT_EQ(at_c[0].from, b);
 }
@@ -49,9 +54,9 @@ TEST(EdgeCases, NeighborListOfOne) {
   params.max_neighbors = 1;
   FileTable files;
   RelationTable table(params, &files);
-  const FileId a = files.Intern("/a");
-  const FileId close = files.Intern("/close");
-  const FileId far = files.Intern("/far");
+  const FileId a = files.Intern(P("/a"));
+  const FileId close = files.Intern(P("/close"));
+  const FileId far = files.Intern(P("/far"));
   table.Observe(a, far, 50.0);
   table.Observe(a, close, 1.0);  // closer candidate displaces the only slot
   EXPECT_LT(table.DistanceOrNegative(a, far), 0.0);
@@ -64,12 +69,15 @@ TEST(EdgeCases, RepeatedOpenOnlyCountsClosestPair) {
   SeerParams params;
   FileTable files;
   ReferenceStreams streams(params);
-  const FileId a = files.Intern("/a");
-  const FileId b = files.Intern("/b");
+  const FileId a = files.Intern(P("/a"));
+  const FileId b = files.Intern(P("/b"));
+  std::vector<DistanceObservation> scratch;
   for (int i = 0; i < 5; ++i) {
-    streams.OnPoint(1, a, i + 1);
+    streams.OnPoint(1, a, i + 1, &scratch);
+    scratch.clear();
   }
-  const auto obs = streams.OnPoint(1, b, 10);
+  std::vector<DistanceObservation> obs;
+  streams.OnPoint(1, b, 10, &obs);
   ASSERT_EQ(obs.size(), 1u);
   EXPECT_DOUBLE_EQ(obs[0].distance, 1.0);  // from the LAST open of a
 }
@@ -82,25 +90,25 @@ TEST(EdgeCases, RenameChainPreservesIdentity) {
     correlator.OnReference(Ref(1, RefKind::kPoint, "/p/v1", i * 2 + 1));
     correlator.OnReference(Ref(1, RefKind::kPoint, "/p/partner", i * 2 + 2));
   }
-  correlator.OnFileRenamed("/p/v1", "/p/v2", 100);
-  correlator.OnFileRenamed("/p/v2", "/p/v3", 101);
-  correlator.OnFileRenamed("/p/v3", "/p/v1", 102);  // full circle
+  correlator.OnFileRenamed(P("/p/v1"), P("/p/v2"), 100);
+  correlator.OnFileRenamed(P("/p/v2"), P("/p/v3"), 101);
+  correlator.OnFileRenamed(P("/p/v3"), P("/p/v1"), 102);  // full circle
   EXPECT_GE(correlator.Distance("/p/v1", "/p/partner"), 0.0);
-  EXPECT_EQ(correlator.files().Find("/p/v2"), kInvalidFileId);
-  EXPECT_EQ(correlator.files().Find("/p/v3"), kInvalidFileId);
+  EXPECT_EQ(correlator.files().FindPath("/p/v2"), kInvalidFileId);
+  EXPECT_EQ(correlator.files().FindPath("/p/v3"), kInvalidFileId);
 }
 
 TEST(EdgeCases, RenameOntoTrackedFileRetiresTarget) {
   Correlator correlator;
   correlator.OnReference(Ref(1, RefKind::kPoint, "/p/old", 1));
   correlator.OnReference(Ref(1, RefKind::kPoint, "/p/target", 2));
-  correlator.OnFileRenamed("/p/old", "/p/target", 3);
-  const FileId id = correlator.files().Find("/p/target");
+  correlator.OnFileRenamed(P("/p/old"), P("/p/target"), 3);
+  const FileId id = correlator.files().FindPath("/p/target");
   ASSERT_NE(id, kInvalidFileId);
   // Exactly one live record answers for /p/target.
   size_t live_with_name = 0;
   for (const FileId candidate : correlator.files().LiveIds()) {
-    if (correlator.files().Get(candidate).path == "/p/target") {
+    if (correlator.files().Get(candidate).path == GlobalPaths().Find("/p/target")) {
       ++live_with_name;
     }
   }
@@ -152,9 +160,9 @@ TEST(EdgeCases, ZeroBudgetStillTakesUnconditionals) {
   Correlator correlator;
   correlator.OnReference(Ref(1, RefKind::kPoint, "/p/a", 1));
   HoardManager manager(0);
-  const std::set<std::string> always = {"/etc/passwd"};
+  const std::set<PathId> always = {P("/etc/passwd")};
   const auto sel = manager.ChooseHoard(correlator, correlator.BuildClusters(), always,
-                                       [](const std::string&) { return 100ull; });
+                                       [](PathId) { return 100ull; });
   EXPECT_TRUE(sel.Contains("/etc/passwd"));
   EXPECT_FALSE(sel.Contains("/p/a"));
 }
@@ -162,8 +170,8 @@ TEST(EdgeCases, ZeroBudgetStillTakesUnconditionals) {
 TEST(EdgeCases, EmptyCorrelatorHoardsNothingButAlways) {
   Correlator correlator;
   HoardManager manager(1'000'000);
-  const auto sel = manager.ChooseHoard(correlator, correlator.BuildClusters(), {"/x"},
-                                       [](const std::string&) { return 1ull; });
+  const auto sel = manager.ChooseHoard(correlator, correlator.BuildClusters(), {P("/x")},
+                                       [](PathId) { return 1ull; });
   EXPECT_EQ(sel.files.size(), 1u);
   EXPECT_EQ(sel.projects_hoarded, 0u);
 }

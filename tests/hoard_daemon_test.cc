@@ -12,7 +12,7 @@ FileReference Ref(Pid pid, RefKind kind, const std::string& path, Time time) {
   FileReference r;
   r.pid = pid;
   r.kind = kind;
-  r.path = path;
+  r.path = GlobalPaths().Intern(path);
   r.time = time;
   return r;
 }
@@ -27,7 +27,7 @@ class HoardDaemonTest : public ::testing::Test {
                   installed_ = target;
                   ++installs_;
                 },
-                [](const std::string&) -> uint64_t { return 100; }, MakeConfig()) {
+                [](PathId) -> uint64_t { return 100; }, MakeConfig()) {
     // A small active project.
     for (int i = 0; i < 3; ++i) {
       InvestigatedRelation rel;
@@ -81,7 +81,7 @@ TEST_F(HoardDaemonTest, PendingMissesGetPinned) {
   daemon_.ForceRefill(10);
   EXPECT_EQ(installed_.count("/elsewhere/needed"), 1u)
       << "a missed file must be pinned into the next hoard";
-  EXPECT_EQ(manager_.pinned().count("/elsewhere/needed"), 1u);
+  EXPECT_EQ(manager_.pinned().count(GlobalPaths().Intern("/elsewhere/needed")), 1u);
 }
 
 TEST_F(HoardDaemonTest, LastSelectionRecorded) {
@@ -104,12 +104,12 @@ TEST(HoardDaemonInvestigators, RunsInvestigatorsWhenConfigured) {
   FileReference a;
   a.pid = 1;
   a.kind = RefKind::kPoint;
-  a.path = "/p/m.c";
+  a.path = GlobalPaths().Intern("/p/m.c");
   a.time = 1;
   correlator.OnReference(a);
   FileReference b = a;
   b.pid = 2;
-  b.path = "/p/h.h";
+  b.path = GlobalPaths().Intern("/p/h.h");
   b.time = 2;
   correlator.OnReference(b);
 
@@ -122,15 +122,15 @@ TEST(HoardDaemonInvestigators, RunsInvestigatorsWhenConfigured) {
   HoardDaemon daemon(
       &correlator, &observer, &manager, &miss_log,
       [&installed](const std::set<std::string>& target) { installed = target; },
-      [](const std::string&) -> uint64_t { return 10; }, config);
+      [](PathId) -> uint64_t { return 10; }, config);
 
   const HoardSelection sel = daemon.ForceRefill(1);
   EXPECT_TRUE(sel.Contains("/p/m.c"));
   EXPECT_TRUE(sel.Contains("/p/h.h"));
   // And the investigator actually bound them into one project.
   const ClusterSet clusters = correlator.BuildClusters();
-  const FileId m = correlator.files().Find("/p/m.c");
-  const FileId h = correlator.files().Find("/p/h.h");
+  const FileId m = correlator.files().FindPath("/p/m.c");
+  const FileId h = correlator.files().FindPath("/p/h.h");
   bool together = false;
   for (const uint32_t c : clusters.ClustersOf(m)) {
     const auto& members = clusters.clusters[c].members;

@@ -8,11 +8,21 @@
 namespace seer {
 namespace {
 
+PathId P(std::string_view path) { return GlobalPaths().Intern(path); }
+
+std::set<PathId> Paths(std::initializer_list<std::string_view> paths) {
+  std::set<PathId> out;
+  for (const auto p : paths) {
+    out.insert(P(p));
+  }
+  return out;
+}
+
 FileReference Ref(Pid pid, RefKind kind, const std::string& path, Time time) {
   FileReference r;
   r.pid = pid;
   r.kind = kind;
-  r.path = path;
+  r.path = P(path);
   r.time = time;
   return r;
 }
@@ -40,7 +50,7 @@ class HoardTest : public ::testing::Test {
     correlator_.AddInvestigatedRelation(rel);
   }
 
-  static uint64_t FixedSize(const std::string&) { return 10; }
+  static uint64_t FixedSize(PathId) { return 10; }
 
   Correlator correlator_;
 };
@@ -87,7 +97,7 @@ TEST_F(HoardTest, BothProjectsWhenBudgetAllows) {
 TEST_F(HoardTest, AlwaysHoardIncludedRegardlessOfBudget) {
   MakeProject({"/p/a"}, 100);
   HoardManager manager(5);  // too small for anything
-  const std::set<std::string> always = {"/lib/libc.so", "/etc/passwd"};
+  const std::set<PathId> always = Paths({"/lib/libc.so", "/etc/passwd"});
   const auto sel =
       manager.ChooseHoard(correlator_, correlator_.BuildClusters(), always, FixedSize);
   EXPECT_TRUE(sel.Contains("/lib/libc.so"));
@@ -109,7 +119,7 @@ TEST_F(HoardTest, PinnedFilesIncluded) {
 
 TEST_F(HoardTest, DeletedFilesNotHoarded) {
   MakeProject({"/p/a", "/p/b"}, 100);
-  correlator_.OnFileDeleted("/p/b", 150);
+  correlator_.OnFileDeleted(P("/p/b"), 150);
   HoardManager manager(1000);
   const auto sel =
       manager.ChooseHoard(correlator_, correlator_.BuildClusters(), {}, FixedSize);
@@ -121,7 +131,7 @@ TEST_F(HoardTest, BytesAccounting) {
   MakeProject({"/p/a", "/p/b"}, 100);
   HoardManager manager(1000);
   const auto sel =
-      manager.ChooseHoard(correlator_, correlator_.BuildClusters(), {"/x"}, FixedSize);
+      manager.ChooseHoard(correlator_, correlator_.BuildClusters(), Paths({"/x"}), FixedSize);
   EXPECT_EQ(sel.bytes_used, 30u);  // /x + /p/a + /p/b
   EXPECT_EQ(sel.budget_bytes, 1000u);
 }
@@ -179,15 +189,15 @@ TEST(MissLog, ManualRecordingWithSeverity) {
 TEST(MissLog, AutomaticDetectionDedupedPerDisconnection) {
   MissLog log;
   log.StartDisconnection(0);
-  log.OnNotLocalAccess("/p/file", 1, 10);
-  log.OnNotLocalAccess("/p/file", 1, 20);  // same file again: ignored
-  log.OnNotLocalAccess("/p/other", 1, 30);
+  log.OnNotLocalAccess(P("/p/file"), 1, 10);
+  log.OnNotLocalAccess(P("/p/file"), 1, 20);  // same file again: ignored
+  log.OnNotLocalAccess(P("/p/other"), 1, 30);
   EXPECT_EQ(log.automatic_count(), 2u);
   EXPECT_EQ(log.CurrentDisconnectionMissCount(), 2u);
 
   log.EndDisconnection();
   log.StartDisconnection(100);
-  log.OnNotLocalAccess("/p/file", 1, 110);  // new disconnection: recorded
+  log.OnNotLocalAccess(P("/p/file"), 1, 110);  // new disconnection: recorded
   EXPECT_EQ(log.automatic_count(), 3u);
   EXPECT_EQ(log.CurrentDisconnectionMissCount(), 1u);
 }
@@ -196,7 +206,7 @@ TEST(MissLog, MissedFilesScheduledForHoarding) {
   MissLog log;
   log.RecordManual("/p/a", 10, MissSeverity::kMinor);
   log.StartDisconnection(0);
-  log.OnNotLocalAccess("/p/b", 1, 20);
+  log.OnNotLocalAccess(P("/p/b"), 1, 20);
   auto to_hoard = log.TakeFilesToHoard();
   ASSERT_EQ(to_hoard.size(), 2u);
   EXPECT_TRUE(log.TakeFilesToHoard().empty()) << "taking clears the set";

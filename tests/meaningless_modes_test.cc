@@ -16,14 +16,14 @@ class CountingSink : public ReferenceSink {
   void OnReference(const FileReference& ref) override {
     if (ref.kind != RefKind::kEnd) {
       ++refs;
-      last_path = ref.path;
+      last_path = PathString(ref.path);
     }
   }
   void OnProcessFork(Pid, Pid) override {}
   void OnProcessExit(Pid) override {}
-  void OnFileDeleted(const std::string&, Time) override {}
-  void OnFileRenamed(const std::string&, const std::string&, Time) override {}
-  void OnFileExcluded(const std::string&) override {}
+  void OnFileDeleted(PathId, Time) override {}
+  void OnFileRenamed(PathId, PathId, Time) override {}
+  void OnFileExcluded(PathId) override {}
 
   size_t refs = 0;
   std::string last_path;

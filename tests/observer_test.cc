@@ -11,22 +11,27 @@
 namespace seer {
 namespace {
 
+// Sinks now deal in interned ids; tests compare against literal pathnames
+// through the global interner.
+std::string PathName(PathId id) { return PathString(id); }
+
 // Records everything the observer emits.
 class RecordingSink : public ReferenceSink {
  public:
   void OnReference(const FileReference& ref) override { refs.push_back(ref); }
   void OnProcessFork(Pid parent, Pid child) override { forks.emplace_back(parent, child); }
   void OnProcessExit(Pid pid) override { exits.push_back(pid); }
-  void OnFileDeleted(const std::string& path, Time) override { deleted.push_back(path); }
-  void OnFileRenamed(const std::string& from, const std::string& to, Time) override {
-    renamed.emplace_back(from, to);
+  void OnFileDeleted(PathId path, Time) override { deleted.push_back(PathName(path)); }
+  void OnFileRenamed(PathId from, PathId to, Time) override {
+    renamed.emplace_back(PathName(from), PathName(to));
   }
-  void OnFileExcluded(const std::string& path) override { excluded.push_back(path); }
+  void OnFileExcluded(PathId path) override { excluded.push_back(PathName(path)); }
 
   size_t CountRefsTo(const std::string& path) const {
+    const PathId id = GlobalPaths().Find(path);
     size_t n = 0;
     for (const auto& r : refs) {
-      if (r.path == path) {
+      if (r.path == id && id != kInvalidPathId) {
         ++n;
       }
     }
@@ -43,7 +48,7 @@ class RecordingSink : public ReferenceSink {
 
 class RecordingMissListener : public MissListener {
  public:
-  void OnNotLocalAccess(const std::string& path, Pid, Time) override { misses.push_back(path); }
+  void OnNotLocalAccess(PathId path, Pid, Time) override { misses.push_back(PathName(path)); }
   std::vector<std::string> misses;
 };
 
@@ -98,7 +103,7 @@ TEST(Observer, OpenCloseEmitsBeginEnd) {
   bool saw_begin = false;
   bool saw_end = false;
   for (const auto& ref : h.sink_.refs) {
-    if (ref.path == "/home/u/proj/a.c") {
+    if (PathName(ref.path) == "/home/u/proj/a.c") {
       saw_begin |= ref.kind == RefKind::kBegin;
       saw_end |= ref.kind == RefKind::kEnd;
     }
@@ -147,7 +152,7 @@ TEST(Observer, CriticalPrefixAlwaysHoardedNeverEmitted) {
   const auto r = h.tracer_.Open(p, "/etc/passwd", false);
   h.tracer_.Close(p, r.fd);
   EXPECT_EQ(h.sink_.CountRefsTo("/etc/passwd"), 0u);
-  EXPECT_EQ(h.observer_.always_hoard().count("/etc/passwd"), 1u);
+  EXPECT_TRUE(h.observer_.AlwaysHoards("/etc/passwd"));
 }
 
 TEST(Observer, DotFileTreatedAsCritical) {
@@ -157,7 +162,7 @@ TEST(Observer, DotFileTreatedAsCritical) {
   const auto r = h.tracer_.Open(p, "/home/u/.cshrc", false);
   h.tracer_.Close(p, r.fd);
   EXPECT_EQ(h.sink_.CountRefsTo("/home/u/.cshrc"), 0u);
-  EXPECT_EQ(h.observer_.always_hoard().count("/home/u/.cshrc"), 1u);
+  EXPECT_TRUE(h.observer_.AlwaysHoards("/home/u/.cshrc"));
 }
 
 // Section 4.6: devices are always hoarded, never fed to the correlator.
@@ -168,7 +173,7 @@ TEST(Observer, DeviceNodesAlwaysHoarded) {
   const Pid p = h.NewProcess("/bin/prog");
   h.tracer_.Stat(p, "/dev/tty9");
   EXPECT_EQ(h.sink_.CountRefsTo("/dev/tty9"), 0u);
-  EXPECT_EQ(h.observer_.always_hoard().count("/dev/tty9"), 1u);
+  EXPECT_TRUE(h.observer_.AlwaysHoards("/dev/tty9"));
 }
 
 // Section 4.2: a file exceeding 1% of all accesses becomes frequent: it is
@@ -187,8 +192,8 @@ TEST(Observer, FrequentFileExcludedAndAlwaysHoarded) {
     r = h.tracer_.Open(p, "/home/u/proj/f" + std::to_string(i) + ".c", false);
     h.tracer_.Close(p, r.fd);
   }
-  EXPECT_EQ(h.observer_.frequent_files().count("/home/u/proj/libc.so"), 1u);
-  EXPECT_EQ(h.observer_.always_hoard().count("/home/u/proj/libc.so"), 1u);
+  EXPECT_EQ(h.observer_.frequent_files().count(GlobalPaths().Find("/home/u/proj/libc.so")), 1u);
+  EXPECT_TRUE(h.observer_.AlwaysHoards("/home/u/proj/libc.so"));
   ASSERT_FALSE(h.sink_.excluded.empty());
   EXPECT_EQ(h.sink_.excluded.front(), "/home/u/proj/libc.so");
 }
@@ -218,7 +223,7 @@ TEST(Observer, FindLikeProgramBecomesMeaningless) {
   }
   size_t emitted = 0;
   for (size_t i = before; i < h.sink_.refs.size(); ++i) {
-    if (h.sink_.refs[i].path.find("/home/u/proj/s") == 0) {
+    if (PathName(h.sink_.refs[i].path).find("/home/u/proj/s") == 0) {
       ++emitted;
     }
   }
@@ -295,7 +300,7 @@ TEST(Observer, StatThenOpenCollapsed) {
 
   size_t points = 0;
   for (const auto& ref : h.sink_.refs) {
-    if (ref.path == "/home/u/proj/a.c" && ref.kind == RefKind::kPoint) {
+    if (PathName(ref.path) == "/home/u/proj/a.c" && ref.kind == RefKind::kPoint) {
       ++points;
     }
   }
@@ -314,7 +319,7 @@ TEST(Observer, StatAloneEmitsPointEventually) {
 
   size_t points = 0;
   for (const auto& ref : h.sink_.refs) {
-    if (ref.path == "/home/u/proj/a.c" && ref.kind == RefKind::kPoint) {
+    if (PathName(ref.path) == "/home/u/proj/a.c" && ref.kind == RefKind::kPoint) {
       ++points;
     }
   }

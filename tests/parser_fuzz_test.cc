@@ -100,7 +100,7 @@ TEST_P(ParserFuzz, MutatedDatabaseHandled) {
     FileReference ref;
     ref.pid = 1;
     ref.kind = RefKind::kPoint;
-    ref.path = "/m/f" + std::to_string(i % 9);
+    ref.path = GlobalPaths().Intern("/m/f" + std::to_string(i % 9));
     ref.time = i + 1;
     original.OnReference(ref);
   }

@@ -1,0 +1,116 @@
+// Tests for the process-wide path interner: the single point where path
+// strings become PathIds on the observer boundary.
+#include "src/util/path_interner.h"
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace seer {
+namespace {
+
+TEST(PathInterner, AssignsDenseIdsInFirstSightOrder) {
+  PathInterner interner;
+  const PathId a = interner.Intern("/a");
+  const PathId b = interner.Intern("/b");
+  const PathId c = interner.Intern("/c");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(c, 2u);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(PathInterner, InternIsIdempotent) {
+  PathInterner interner;
+  const PathId first = interner.Intern("/home/u/proj/main.c");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(interner.Intern("/home/u/proj/main.c"), first);
+  }
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(PathInterner, FindDoesNotCreate) {
+  PathInterner interner;
+  EXPECT_EQ(interner.Find("/missing"), kInvalidPathId);
+  EXPECT_EQ(interner.size(), 0u);
+  const PathId id = interner.Intern("/present");
+  EXPECT_EQ(interner.Find("/present"), id);
+}
+
+TEST(PathInterner, PathOfRoundTrips) {
+  PathInterner interner;
+  const PathId id = interner.Intern("/docs/My Report.doc");
+  EXPECT_EQ(interner.PathOf(id), "/docs/My Report.doc");
+  EXPECT_TRUE(interner.PathOf(kInvalidPathId).empty());
+  EXPECT_TRUE(interner.PathOf(999).empty());
+}
+
+// The contract the whole data plane relies on: views handed out early stay
+// valid as the table grows (append-only storage never moves strings).
+TEST(PathInterner, ViewsStableAcrossGrowth) {
+  PathInterner interner;
+  const PathId first = interner.Intern("/stable/view");
+  const std::string_view early = interner.PathOf(first);
+  const char* early_data = early.data();
+  for (int i = 0; i < 10'000; ++i) {
+    interner.Intern("/filler/" + std::to_string(i));
+  }
+  const std::string_view late = interner.PathOf(first);
+  EXPECT_EQ(late.data(), early_data);
+  EXPECT_EQ(late, "/stable/view");
+}
+
+// Concurrent interning of the same and of disjoint paths: one id per
+// spelling, no id handed out twice. This is the observer-thread /
+// async-worker sharing pattern.
+TEST(PathInterner, ThreadSafeInterning) {
+  PathInterner interner;
+  constexpr int kThreads = 8;
+  constexpr int kPaths = 500;
+  std::vector<std::vector<PathId>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&interner, &per_thread, t]() {
+      per_thread[t].reserve(kPaths);
+      for (int i = 0; i < kPaths; ++i) {
+        // Every thread interns the same path set, in a different order.
+        const int p = (i * 7 + t * 13) % kPaths;
+        per_thread[t].push_back(interner.Intern("/shared/" + std::to_string(p)));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(interner.size(), static_cast<size_t>(kPaths));
+  // Same spelling -> same id regardless of the thread that won the race.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPaths; ++i) {
+      const int p = (i * 7 + t * 13) % kPaths;
+      EXPECT_EQ(interner.PathOf(per_thread[t][i]), "/shared/" + std::to_string(p));
+    }
+  }
+}
+
+TEST(PathInterner, GlobalInternerAndPathString) {
+  const PathId id = GlobalPaths().Intern("/global/egress");
+  EXPECT_EQ(GlobalPaths().Find("/global/egress"), id);
+  EXPECT_EQ(PathString(id), "/global/egress");
+  EXPECT_TRUE(PathString(kInvalidPathId).empty());
+}
+
+TEST(PathInterner, DistinctSpellingsDistinctIds) {
+  PathInterner interner;
+  // The interner does not normalise; the observer does that before ingress.
+  std::set<PathId> ids;
+  for (const char* p : {"/a/b", "/a/b/", "/a//b", "/a/./b"}) {
+    ids.insert(interner.Intern(p));
+  }
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+}  // namespace
+}  // namespace seer

@@ -8,11 +8,13 @@
 namespace seer {
 namespace {
 
+PathId P(std::string_view path) { return GlobalPaths().Intern(path); }
+
 FileReference Ref(Pid pid, RefKind kind, const std::string& path, Time time) {
   FileReference r;
   r.pid = pid;
   r.kind = kind;
-  r.path = path;
+  r.path = P(path);
   r.time = time;
   return r;
 }
@@ -29,7 +31,7 @@ void Populate(Correlator* correlator) {
       }
     }
   }
-  correlator->OnFileDeleted("/p0/f5", t);
+  correlator->OnFileDeleted(P("/p0/f5"), t);
 }
 
 TEST(Persistence, SaveLoadRoundTrip) {
@@ -53,7 +55,7 @@ TEST(Persistence, SaveLoadRoundTrip) {
 
   // Same files (including the deleted mark).
   ASSERT_EQ(loaded->files().size(), original.files().size());
-  const FileId deleted = loaded->files().Find("/p0/f5");
+  const FileId deleted = loaded->files().FindPath("/p0/f5");
   ASSERT_NE(deleted, kInvalidFileId);
   EXPECT_TRUE(loaded->files().Get(deleted).deleted);
 
@@ -83,11 +85,11 @@ TEST(Persistence, LoadedCorrelatorKeepsLearning) {
 
   // New references extend the old database; the global sequence resumes
   // past the saved point so recency ordering stays monotone.
-  const uint64_t before = loaded->files().Get(loaded->files().Find("/p0/f0")).last_ref_seq;
+  const uint64_t before = loaded->files().Get(loaded->files().FindPath("/p0/f0")).last_ref_seq;
   loaded->OnReference(Ref(1, RefKind::kPoint, "/p0/f0", 999 * kMicrosPerSecond));
-  EXPECT_GT(loaded->files().Get(loaded->files().Find("/p0/f0")).last_ref_seq, before);
+  EXPECT_GT(loaded->files().Get(loaded->files().FindPath("/p0/f0")).last_ref_seq, before);
   loaded->OnReference(Ref(1, RefKind::kPoint, "/p0/new", 1000 * kMicrosPerSecond));
-  EXPECT_NE(loaded->files().Find("/p0/new"), kInvalidFileId);
+  EXPECT_NE(loaded->files().FindPath("/p0/new"), kInvalidFileId);
 }
 
 TEST(Persistence, DeletionDelayResumesAfterLoad) {
@@ -103,9 +105,9 @@ TEST(Persistence, DeletionDelayResumesAfterLoad) {
 
   // Two more deletions expire /p0/f5's grace period in the LOADED instance.
   loaded->OnReference(Ref(1, RefKind::kPoint, "/x1", 1));
-  loaded->OnFileDeleted("/x1", 2);
+  loaded->OnFileDeleted(P("/x1"), 2);
   loaded->OnReference(Ref(1, RefKind::kPoint, "/x2", 3));
-  loaded->OnFileDeleted("/x2", 4);
+  loaded->OnFileDeleted(P("/x2"), 4);
   EXPECT_LT(loaded->Distance("/p0/f0", "/p0/f5"), 0.0)
       << "purge queue should survive the reload";
 }
@@ -118,7 +120,7 @@ TEST(Persistence, PathsWithSpacesSurvive) {
   original.SaveTo(buffer);
   const auto loaded = Correlator::LoadFrom(buffer);
   ASSERT_NE(loaded, nullptr);
-  EXPECT_NE(loaded->files().Find("/docs/My Report.doc"), kInvalidFileId);
+  EXPECT_NE(loaded->files().FindPath("/docs/My Report.doc"), kInvalidFileId);
   EXPECT_GE(loaded->Distance("/docs/My Report.doc", "/docs/figure one.fig"), 0.0);
 }
 

@@ -44,7 +44,7 @@ TEST_P(StreamProperty, DistancesAlwaysWithinHorizon) {
 
     std::vector<FileId> ids;
     for (int i = 0; i < 30; ++i) {
-      ids.push_back(files.Intern("/f/" + std::to_string(i)));
+      ids.push_back(files.Intern(GlobalPaths().Intern("/f/" + std::to_string(i))));
     }
     std::map<std::pair<Pid, FileId>, int> open_depth;
     Time t = 0;
@@ -55,10 +55,10 @@ TEST_P(StreamProperty, DistancesAlwaysWithinHorizon) {
       const int action = static_cast<int>(rng.NextBounded(3));
       std::vector<DistanceObservation> obs;
       if (action == 0) {
-        obs = streams.OnBegin(pid, id, t);
+        streams.OnBegin(pid, id, t, &obs);
         ++open_depth[{pid, id}];
       } else if (action == 1) {
-        obs = streams.OnPoint(pid, id, t);
+        streams.OnPoint(pid, id, t, &obs);
       } else {
         streams.OnEnd(pid, id);
         auto& depth = open_depth[{pid, id}];
@@ -96,8 +96,9 @@ TEST_P(StreamProperty, ForkExitChaosIsSafe) {
       streams.OnExit(pid);
       live.erase(std::find(live.begin(), live.end(), pid));
     } else {
-      const FileId id = files.Intern("/f/" + std::to_string(rng.NextBounded(20)));
-      streams.OnPoint(pid, id, static_cast<Time>(step) * kMicrosPerSecond);
+      const FileId id = files.Intern(GlobalPaths().Intern("/f/" + std::to_string(rng.NextBounded(20))));
+      std::vector<DistanceObservation> obs;
+      streams.OnPoint(pid, id, static_cast<Time>(step) * kMicrosPerSecond, &obs);
     }
   }
   EXPECT_LE(streams.stream_count(), 16u);
@@ -117,7 +118,7 @@ TEST_P(RelationProperty, ListInvariantsUnderRandomObservations) {
   Rng rng(Seed() ^ 1);
   std::vector<FileId> ids;
   for (int i = 0; i < 40; ++i) {
-    ids.push_back(files.Intern("/r/" + std::to_string(i)));
+    ids.push_back(files.Intern(GlobalPaths().Intern("/r/" + std::to_string(i))));
   }
   for (int step = 0; step < 5'000; ++step) {
     const FileId from = ids[rng.NextBounded(ids.size())];
@@ -148,7 +149,7 @@ TEST_P(RelationProperty, PurgeErasesEverywhere) {
   Rng rng(Seed() ^ 2);
   std::vector<FileId> ids;
   for (int i = 0; i < 20; ++i) {
-    ids.push_back(files.Intern("/r/" + std::to_string(i)));
+    ids.push_back(files.Intern(GlobalPaths().Intern("/r/" + std::to_string(i))));
   }
   for (int step = 0; step < 1'000; ++step) {
     table.Observe(ids[rng.NextBounded(ids.size())], ids[rng.NextBounded(ids.size())],
@@ -182,7 +183,7 @@ TEST_P(ClusteringProperty, StructuralInvariants) {
   Rng rng(Seed() ^ 3);
   std::vector<FileId> ids;
   for (int i = 0; i < 60; ++i) {
-    ids.push_back(files.Intern("/d" + std::to_string(i % 7) + "/f" + std::to_string(i)));
+    ids.push_back(files.Intern(GlobalPaths().Intern("/d" + std::to_string(i % 7) + "/f" + std::to_string(i))));
   }
   for (int step = 0; step < 3'000; ++step) {
     table.Observe(ids[rng.NextBounded(ids.size())], ids[rng.NextBounded(ids.size())],
@@ -440,14 +441,14 @@ TEST_P(CorrelatorProperty, ChaosThenPersistenceRoundTrip) {
       FileReference ref;
       ref.pid = static_cast<Pid>(1 + rng.NextBounded(2));
       ref.kind = RefKind::kPoint;
-      ref.path = path;
+      ref.path = GlobalPaths().Intern(path);
       ref.time = t;
       correlator.OnReference(ref);
     } else if (action == 7) {
-      correlator.OnFileDeleted(path, t);
+      correlator.OnFileDeleted(GlobalPaths().Intern(path), t);
     } else if (action == 8) {
-      correlator.OnFileRenamed(path, path + "x", t);
-      correlator.OnFileRenamed(path + "x", path, t);  // rename back
+      correlator.OnFileRenamed(GlobalPaths().Intern(path), GlobalPaths().Intern(path + "x"), t);
+      correlator.OnFileRenamed(GlobalPaths().Intern(path + "x"), GlobalPaths().Intern(path), t);  // rename back
     } else {
       correlator.OnProcessFork(1, static_cast<Pid>(100 + step));
       correlator.OnProcessExit(static_cast<Pid>(100 + step));

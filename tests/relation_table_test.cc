@@ -20,7 +20,7 @@ class RelationHarness {
     return p;
   }
 
-  FileId Id(const std::string& name) { return files_.Intern("/r/" + name); }
+  FileId Id(const std::string& name) { return files_.Intern(GlobalPaths().Intern("/r/" + name)); }
 
   FileTable& files() { return files_; }
   RelationTable& table() { return table_; }

@@ -10,7 +10,7 @@ FileReference Ref(Pid pid, const std::string& path, Time time) {
   FileReference r;
   r.pid = pid;
   r.kind = RefKind::kPoint;
-  r.path = path;
+  r.path = GlobalPaths().Intern(path);
   r.time = time;
   return r;
 }

@@ -22,17 +22,21 @@ class StreamHarness {
     if (it != ids_.end()) {
       return it->second;
     }
-    const FileId id = files_.Intern(std::string("/f/") + name);
+    const FileId id = files_.Intern(GlobalPaths().Intern(std::string("/f/") + name));
     ids_.emplace(name, id);
     return id;
   }
 
   std::map<char, double> Open(char name, Pid pid = kPid) {
-    return Collect(streams_.OnBegin(pid, Id(name), NextTime()));
+    std::vector<DistanceObservation> obs;
+    streams_.OnBegin(pid, Id(name), NextTime(), &obs);
+    return Collect(obs);
   }
 
   std::map<char, double> Point(char name, Pid pid = kPid) {
-    return Collect(streams_.OnPoint(pid, Id(name), NextTime()));
+    std::vector<DistanceObservation> obs;
+    streams_.OnPoint(pid, Id(name), NextTime(), &obs);
+    return Collect(obs);
   }
 
   void Close(char name, Pid pid = kPid) { streams_.OnEnd(pid, Id(name)); }

@@ -222,7 +222,7 @@ TEST_F(UserModelTest, LsSessionRecordsImpliedMisses) {
   }
   bool implied = false;
   for (const auto& rec : log.records()) {
-    implied |= rec.path == missing && !rec.automatic;
+    implied |= PathString(rec.path) == missing && !rec.automatic;
   }
   EXPECT_TRUE(implied) << "the user should notice the short directory listing";
 }

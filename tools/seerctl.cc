@@ -21,6 +21,11 @@
 //
 //   seerctl check-config control.txt
 //       Validate a system control file.
+//
+//   seerctl pipeline trace.txt
+//       Replay a trace through the instrumented observer -> sink-chain ->
+//       async-correlator data plane and print per-stage counters, latency
+//       percentiles, and queue statistics.
 #include <cstdio>
 #include <optional>
 #include <cstring>
@@ -30,12 +35,14 @@
 #include <string>
 #include <vector>
 
+#include "src/core/async_pipeline.h"
 #include "src/core/correlator.h"
 #include "src/core/hoard.h"
 #include "src/core/params_io.h"
 #include "src/core/reorganizer.h"
 #include "src/observer/control_file.h"
 #include "src/observer/observer.h"
+#include "src/observer/sink_chain.h"
 #include "src/process/syscall_tracer.h"
 #include "src/sim/machine_sim.h"
 #include "src/trace/binary_trace.h"
@@ -56,7 +63,8 @@ int Usage() {
                "  seerctl clusters DB [--min-size N]\n"
                "  seerctl hoard DB --budget-mb MB\n"
                "  seerctl check-config FILE\n"
-               "  seerctl suggest-reorg DB [--min-confidence F]\n");
+               "  seerctl suggest-reorg DB [--min-confidence F]\n"
+               "  seerctl pipeline TRACE [--control FILE]\n");
   return 2;
 }
 
@@ -353,7 +361,7 @@ int Clusters(int argc, char** argv) {
     std::printf("cluster %zu (%zu files, activity %llu):\n", i, c.members.size(),
                 static_cast<unsigned long long>(priority));
     for (const FileId id : c.members) {
-      std::printf("  %s\n", correlator->files().Get(id).path.c_str());
+      std::printf("  %s\n", std::string(correlator->files().PathOf(id)).c_str());
     }
     ++shown;
   }
@@ -377,14 +385,65 @@ int Hoard(int argc, char** argv) {
   const ClusterSet clusters = correlator->BuildClusters();
   // Sizes are not stored in the database; fall back to the paper's
   // geometric distribution, deterministic per path.
-  const auto size_of = [](const std::string& p) { return GeometricSizeForPath(p, 1); };
+  const auto size_of = [](PathId p) {
+    return GeometricSizeForPath(std::string(GlobalPaths().PathOf(p)), 1);
+  };
   const HoardSelection sel = manager.ChooseHoard(*correlator, clusters, {}, size_of);
   std::printf("# hoard: %.2f of %.2f MB, %zu projects (%zu skipped)\n",
               static_cast<double>(sel.bytes_used) / 1048576.0, budget_mb, sel.projects_hoarded,
               sel.projects_skipped);
-  for (const auto& file : sel.files) {
+  for (const auto& file : sel.PathStrings()) {
     std::printf("%s\n", file.c_str());
   }
+  return 0;
+}
+
+// --- pipeline --------------------------------------------------------------------
+
+// Replays a trace through the full instrumented data plane — observer ->
+// sink chain -> async correlator — and prints the per-stage reference
+// counters, the latency histogram, and the queue statistics. This is the
+// observability surface for the Section 5.3 overhead claims.
+int Pipeline(int argc, char** argv) {
+  const char* path = Positional(argc, argv);
+  if (path == nullptr) {
+    return Usage();
+  }
+  ObserverConfig observer_config;
+  if (const char* control_path = FlagValue(argc, argv, "--control")) {
+    std::string error;
+    const auto parsed = ParseObserverControlFile(ReadFileOrDie(control_path), {}, &error);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "seerctl: %s: %s\n", control_path, error.c_str());
+      return 1;
+    }
+    observer_config = *parsed;
+  }
+
+  AsyncCorrelator correlator;
+  SinkChain chain(&correlator);
+  chain.Instrument("correlator");
+  chain.Instrument("observer");
+  Observer observer(observer_config, nullptr);
+  observer.set_sink(chain.head());
+
+  size_t events = 0;
+  if (!ForEachTraceEvent(path, [&](const TraceEvent& event) {
+        observer.OnEvent(event);
+        ++events;
+      })) {
+    return 1;
+  }
+  correlator.Drain();
+  std::printf("replayed %zu events (%llu references kept, %llu filtered)\n\n", events,
+              static_cast<unsigned long long>(observer.references_emitted()),
+              static_cast<unsigned long long>(observer.references_filtered()));
+  std::printf("%s", chain.FormatMetrics().c_str());
+  std::printf("\nqueue: %zu enqueued, %zu processed, depth %zu, high-water %zu of %zu\n",
+              correlator.enqueued(), correlator.processed(), correlator.queue_depth(),
+              correlator.high_watermark(), correlator.queue_capacity());
+  std::printf("interned paths: %zu, files tracked: %zu\n", GlobalPaths().size(),
+              correlator.KnownFiles());
   return 0;
 }
 
@@ -453,6 +512,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "suggest-reorg") {
     return SuggestReorg(argc, argv);
+  }
+  if (command == "pipeline") {
+    return Pipeline(argc, argv);
   }
   return Usage();
 }
