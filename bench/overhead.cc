@@ -27,9 +27,14 @@
 #include <string>
 #include <unordered_map>
 
+#include <filesystem>
+
 #include "src/core/async_pipeline.h"
 #include "src/core/correlator.h"
 #include "src/core/hoard.h"
+#include "src/core/snapshot_store.h"
+#include "src/core/wal.h"
+#include "src/util/fs.h"
 #include "src/observer/observer.h"
 #include "src/observer/sink_chain.h"
 #include "src/process/syscall_tracer.h"
@@ -337,11 +342,98 @@ PlaneCost MeasureIdPlane(size_t* high_water, size_t* queue_capacity) {
   return cost;
 }
 
+// Durability cost: what a checkpoint (snapshot encode + atomic write +
+// fsync + WAL rotation), a WAL append, and crash replay actually cost, so
+// the recovery subsystem's overhead is tracked alongside the data plane's.
+struct DurabilityCost {
+  double checkpoint_ms = 0.0;
+  double snapshot_bytes = 0.0;
+  double wal_append_ns_per_record = 0.0;
+  double wal_replay_ns_per_record = 0.0;
+};
+
+DurabilityCost MeasureDurability() {
+  DurabilityCost cost;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "seer_bench_overhead_store").string();
+  std::filesystem::remove_all(dir);
+  RealFs fs;
+  SnapshotStore store(&fs, dir);
+  if (!store.Open().ok()) {
+    return cost;
+  }
+  auto correlator = LoadedCorrelator(4096);
+  cost.snapshot_bytes = static_cast<double>(correlator->EncodeSnapshot().size());
+
+  // Checkpoint: averaged over a few rounds (each snapshots, rotates the
+  // WAL, and prunes — the full periodic-checkpoint path).
+  constexpr int kCheckpoints = 5;
+  const auto cp_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kCheckpoints; ++i) {
+    const auto result = store.Checkpoint(*correlator);
+    if (!result.ok()) {
+      return cost;
+    }
+  }
+  const auto cp_stop = std::chrono::steady_clock::now();
+  cost.checkpoint_ms =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(cp_stop - cp_start).count()) /
+      1000.0 / kCheckpoints;
+
+  // WAL append throughput, through the real filesystem (buffered appends +
+  // one fsync at the end, as the daemon does between checkpoints).
+  constexpr int kWalRecords = 50'000;
+  WalWriter writer(&fs, dir + "/bench-wal", 1);
+  if (!writer.Create().ok()) {
+    return cost;
+  }
+  std::vector<PathId> ids;
+  ids.reserve(kJsonFiles);
+  for (int f = 0; f < kJsonFiles; ++f) {
+    ids.push_back(GlobalPaths().Intern(JsonPath(f)));
+  }
+  const auto wal_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kWalRecords; ++i) {
+    FileReference ref;
+    ref.pid = 1;
+    ref.kind = RefKind::kPoint;
+    ref.path = ids[i % kJsonFiles];
+    ref.time = i + 1;
+    (void)writer.AppendReference(ref);
+  }
+  (void)writer.Sync();
+  const auto wal_stop = std::chrono::steady_clock::now();
+  cost.wal_append_ns_per_record =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(wal_stop - wal_start).count()) /
+      kWalRecords;
+
+  // Replay: the recovery path's cost per logged record.
+  const auto bytes = fs.ReadFile(dir + "/bench-wal");
+  if (bytes.ok()) {
+    Correlator replayed;
+    const auto replay_start = std::chrono::steady_clock::now();
+    const auto stats = ReplayWal(*bytes, &replayed);
+    const auto replay_stop = std::chrono::steady_clock::now();
+    if (stats.ok() && stats->records_applied > 0) {
+      cost.wal_replay_ns_per_record =
+          static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  replay_stop - replay_start)
+                                  .count()) /
+          static_cast<double>(stats->records_applied);
+    }
+  }
+  std::filesystem::remove_all(dir);
+  return cost;
+}
+
 void WriteOverheadJson() {
   const PlaneCost before = MeasureStringPlane();
   size_t high_water = 0;
   size_t queue_capacity = 0;
   const PlaneCost after = MeasureIdPlane(&high_water, &queue_capacity);
+  const DurabilityCost durability = MeasureDurability();
 
   const char* path = "BENCH_overhead.json";
   std::FILE* out = std::fopen(path, "w");
@@ -363,7 +455,15 @@ void WriteOverheadJson() {
                after.allocations_per_reference);
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"queue_high_water_mark\": %zu,\n", high_water);
-  std::fprintf(out, "  \"queue_capacity\": %zu\n", queue_capacity);
+  std::fprintf(out, "  \"queue_capacity\": %zu,\n", queue_capacity);
+  std::fprintf(out, "  \"checkpoint\": {\n");
+  std::fprintf(out, "    \"snapshot_ms\": %.3f,\n", durability.checkpoint_ms);
+  std::fprintf(out, "    \"snapshot_bytes\": %.0f,\n", durability.snapshot_bytes);
+  std::fprintf(out, "    \"wal_append_ns_per_record\": %.2f,\n",
+               durability.wal_append_ns_per_record);
+  std::fprintf(out, "    \"wal_replay_ns_per_record\": %.2f\n",
+               durability.wal_replay_ns_per_record);
+  std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
 
@@ -373,6 +473,9 @@ void WriteOverheadJson() {
   std::printf("  id plane     (shipped):  %8.1f ns/ref  %6.3f allocs/ref\n",
               after.ns_per_reference, after.allocations_per_reference);
   std::printf("  queue high-water mark: %zu / %zu\n", high_water, queue_capacity);
+  std::printf("  checkpoint: %.2f ms (%.0f byte snapshot)  WAL append %.0f ns/rec  replay %.0f ns/rec\n",
+              durability.checkpoint_ms, durability.snapshot_bytes,
+              durability.wal_append_ns_per_record, durability.wal_replay_ns_per_record);
 }
 
 }  // namespace

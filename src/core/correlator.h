@@ -18,6 +18,7 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/clustering.h"
@@ -27,6 +28,7 @@
 #include "src/core/reference_streams.h"
 #include "src/core/relation_table.h"
 #include "src/observer/reference.h"
+#include "src/util/status.h"
 
 namespace seer {
 
@@ -75,12 +77,25 @@ class Correlator : public ReferenceSink {
   size_t MemoryBytes() const;
 
   // --- persistence ------------------------------------------------------------
-  // Saves the learned database (parameters, file table, relation table) in
-  // a versioned text format; per-process reference streams are transient
-  // and not saved. LoadFrom reconstructs a correlator; returns null and
-  // fills `error` on malformed input.
+  // Two formats serve two jobs:
+  //
+  //  * SaveTo/LoadFrom — the versioned *text* format: greppable, diffable,
+  //    hand-editable. Per-process reference streams and the tie-break RNG
+  //    are not saved; after a reload, distance accumulation resumes with
+  //    fresh windows. This is the portable dump (`seerctl db load -o ...`).
+  //
+  //  * EncodeSnapshot/DecodeSnapshot — the *binary* crash-consistent
+  //    snapshot used by SnapshotStore: CRC32-checksummed sections covering
+  //    params, the path table, the file table (purge queue included), the
+  //    relation table (RNG state included), and the live reference
+  //    streams. Decoding a snapshot restores the complete learning state,
+  //    so replaying the WAL on top reproduces the never-crashed
+  //    correlator byte for byte.
   void SaveTo(std::ostream& out) const;
-  static std::unique_ptr<Correlator> LoadFrom(std::istream& in, std::string* error = nullptr);
+  static StatusOr<std::unique_ptr<Correlator>> LoadFrom(std::istream& in);
+
+  std::string EncodeSnapshot() const;
+  static StatusOr<std::unique_ptr<Correlator>> DecodeSnapshot(std::string_view bytes);
 
  private:
   SeerParams params_;

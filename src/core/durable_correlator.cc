@@ -1,0 +1,81 @@
+#include "src/core/durable_correlator.h"
+
+#include <utility>
+
+namespace seer {
+
+DurableCorrelator::DurableCorrelator(SnapshotStore store, std::unique_ptr<Correlator> correlator)
+    : store_(std::move(store)), correlator_(std::move(correlator)) {}
+
+StatusOr<std::unique_ptr<DurableCorrelator>> DurableCorrelator::Open(
+    Fs* fs, std::string dir, const SeerParams& defaults, SnapshotStoreOptions options) {
+  SnapshotStore store(fs, std::move(dir), options);
+  SEER_RETURN_IF_ERROR(store.Open());
+  SEER_ASSIGN_OR_RETURN(SnapshotStore::RecoveryResult recovered, store.Recover(defaults));
+
+  auto durable = std::unique_ptr<DurableCorrelator>(
+      new DurableCorrelator(std::move(store), std::move(recovered.correlator)));
+  durable->open_stats_.recovered_generation = recovered.generation;
+  durable->open_stats_.fresh = recovered.fresh;
+  durable->open_stats_.snapshots_discarded = recovered.snapshots_discarded;
+  durable->open_stats_.wal_records_replayed = recovered.wal_records_replayed;
+  durable->open_stats_.torn_wal_tail = recovered.torn_wal_tail;
+
+  // Fold the recovered state into a fresh generation right away: the new
+  // WAL starts empty (its path dictionary must not straddle runs) and any
+  // crash wreckage is superseded before we take new references.
+  SEER_RETURN_IF_ERROR(durable->Checkpoint());
+  return durable;
+}
+
+void DurableCorrelator::OnReference(const FileReference& ref) {
+  correlator_->OnReference(ref);
+  Latch(wal_->AppendReference(ref));
+}
+
+void DurableCorrelator::OnProcessFork(Pid parent, Pid child) {
+  correlator_->OnProcessFork(parent, child);
+  Latch(wal_->AppendFork(parent, child));
+}
+
+void DurableCorrelator::OnProcessExit(Pid pid) {
+  correlator_->OnProcessExit(pid);
+  Latch(wal_->AppendExit(pid));
+}
+
+void DurableCorrelator::OnFileDeleted(PathId path, Time time) {
+  correlator_->OnFileDeleted(path, time);
+  Latch(wal_->AppendDeleted(path, time));
+}
+
+void DurableCorrelator::OnFileRenamed(PathId from, PathId to, Time time) {
+  correlator_->OnFileRenamed(from, to, time);
+  Latch(wal_->AppendRenamed(from, to, time));
+}
+
+void DurableCorrelator::OnFileExcluded(PathId path) {
+  correlator_->OnFileExcluded(path);
+  Latch(wal_->AppendExcluded(path));
+}
+
+Status DurableCorrelator::Checkpoint() {
+  if (wal_ != nullptr) {
+    // Complete the outgoing log first: the new snapshot must cover at
+    // least everything the old log holds, or a fallback to the previous
+    // generation could lose synced records.
+    SEER_RETURN_IF_ERROR(wal_->Sync());
+  }
+  SEER_ASSIGN_OR_RETURN(SnapshotStore::CheckpointResult result,
+                        store_.Checkpoint(*correlator_));
+  wal_ = std::move(result.wal);
+  generation_ = result.generation;
+  wal_status_ = Status::Ok();
+  return Status::Ok();
+}
+
+Status DurableCorrelator::Sync() {
+  SEER_RETURN_IF_ERROR(wal_status_);
+  return wal_->Sync();
+}
+
+}  // namespace seer

@@ -1,0 +1,88 @@
+// Crash-safe correlator: the in-memory Correlator plus its durability.
+//
+// DurableCorrelator is a ReferenceSink that fans every event into the
+// correlator AND the current generation's WAL, so the on-disk store always
+// holds snapshot + log for the live state. Open() recovers from whatever
+// the directory contains (including mid-crash wreckage) and immediately
+// checkpoints, so each process run works against its own fresh generation
+// and the WAL's path dictionary never straddles runs.
+//
+// Sink callbacks are void, so WAL append failures latch into wal_status()
+// (first error kept) instead of throwing; the correlator keeps learning
+// in memory either way and a later successful checkpoint re-establishes
+// durability.
+#ifndef SRC_CORE_DURABLE_CORRELATOR_H_
+#define SRC_CORE_DURABLE_CORRELATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/correlator.h"
+#include "src/core/snapshot_store.h"
+#include "src/core/wal.h"
+#include "src/util/fs.h"
+#include "src/util/status.h"
+
+namespace seer {
+
+class DurableCorrelator : public ReferenceSink {
+ public:
+  struct OpenStats {
+    // What recovery found.
+    uint64_t recovered_generation = 0;  // 0 = store was empty
+    bool fresh = false;
+    uint64_t snapshots_discarded = 0;
+    uint64_t wal_records_replayed = 0;
+    bool torn_wal_tail = false;
+  };
+
+  // Recovers (or starts fresh) and checkpoints the recovered state as a
+  // new generation.
+  static StatusOr<std::unique_ptr<DurableCorrelator>> Open(
+      Fs* fs, std::string dir, const SeerParams& defaults = {},
+      SnapshotStoreOptions options = {});
+
+  // --- ReferenceSink: forward to the correlator, append to the WAL ------
+  void OnReference(const FileReference& ref) override;
+  void OnProcessFork(Pid parent, Pid child) override;
+  void OnProcessExit(Pid pid) override;
+  void OnFileDeleted(PathId path, Time time) override;
+  void OnFileRenamed(PathId from, PathId to, Time time) override;
+  void OnFileExcluded(PathId path) override;
+
+  Correlator& correlator() { return *correlator_; }
+  const Correlator& correlator() const { return *correlator_; }
+  SnapshotStore& store() { return store_; }
+
+  // Snapshot the current state as the next generation and rotate the WAL.
+  Status Checkpoint();
+
+  // Push buffered WAL records to stable storage (durability point for
+  // everything observed so far).
+  Status Sync();
+
+  uint64_t generation() const { return generation_; }
+  uint64_t wal_bytes() const { return wal_ != nullptr ? wal_->bytes_logged() : 0; }
+  const Status& wal_status() const { return wal_status_; }
+  const OpenStats& open_stats() const { return open_stats_; }
+
+ private:
+  DurableCorrelator(SnapshotStore store, std::unique_ptr<Correlator> correlator);
+
+  void Latch(Status status) {
+    if (wal_status_.ok() && !status.ok()) {
+      wal_status_ = std::move(status);
+    }
+  }
+
+  SnapshotStore store_;
+  std::unique_ptr<Correlator> correlator_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t generation_ = 0;
+  Status wal_status_;
+  OpenStats open_stats_;
+};
+
+}  // namespace seer
+
+#endif  // SRC_CORE_DURABLE_CORRELATOR_H_

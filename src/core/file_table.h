@@ -81,8 +81,16 @@ class FileTable {
   void set_deletion_count(uint64_t count) { deletion_count_ = count; }
 
   // Rebuilds the delayed-purge queue from the deleted records' marks
-  // (called once after a reload).
+  // (called once after a text-format reload). The result can differ from
+  // the live queue when a name was deleted, resurrected, and deleted again
+  // — the binary snapshot therefore carries the queue verbatim via
+  // pending_purge()/RestorePurgeQueue instead.
   void RebuildPurgeQueue();
+
+  const std::deque<FileId>& pending_purge() const { return pending_purge_; }
+  void RestorePurgeQueue(const std::vector<FileId>& queue) {
+    pending_purge_.assign(queue.begin(), queue.end());
+  }
 
  private:
   void Bind(PathId path, FileId id);

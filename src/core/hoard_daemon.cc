@@ -15,6 +15,9 @@ HoardDaemon::HoardDaemon(Correlator* correlator, Observer* observer, HoardManage
 
 bool HoardDaemon::MaybeRefill(Time now) {
   if (last_fill_ >= 0 && now - last_fill_ < config_.interval) {
+    // No refill due, but a fat WAL still forces a compaction checkpoint so
+    // crash recovery never has to replay an unbounded log.
+    MaybeCheckpoint(/*after_refill=*/false);
     return false;
   }
   ForceRefill(now);
@@ -42,7 +45,21 @@ HoardSelection HoardDaemon::ForceRefill(Time now) {
   }
   last_fill_ = now;
   ++refills_;
+  MaybeCheckpoint(/*after_refill=*/true);
   return last_selection_;
+}
+
+void HoardDaemon::MaybeCheckpoint(bool after_refill) {
+  if (config_.durable == nullptr) {
+    return;
+  }
+  if (!after_refill && config_.durable->wal_bytes() < config_.wal_checkpoint_bytes) {
+    return;
+  }
+  last_checkpoint_status_ = config_.durable->Checkpoint();
+  if (last_checkpoint_status_.ok()) {
+    ++checkpoints_;
+  }
 }
 
 }  // namespace seer

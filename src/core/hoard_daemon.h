@@ -14,8 +14,10 @@
 #include <string>
 
 #include "src/core/correlator.h"
+#include "src/core/durable_correlator.h"
 #include "src/core/hoard.h"
 #include "src/observer/observer.h"
+#include "src/util/status.h"
 
 namespace seer {
 
@@ -24,6 +26,13 @@ struct HoardDaemonConfig {
   // When set, investigators run against this filesystem before each
   // clustering pass.
   const SimFilesystem* investigate_fs = nullptr;
+  // When set, the daemon owns checkpointing: after every refill, and
+  // whenever the current WAL outgrows wal_checkpoint_bytes (compaction —
+  // replay-on-recovery stays bounded even if refills are rare). The
+  // durable wrapper must be driving the same correlator this daemon
+  // refills from.
+  DurableCorrelator* durable = nullptr;
+  uint64_t wal_checkpoint_bytes = 4u << 20;
 };
 
 class HoardDaemon {
@@ -50,7 +59,15 @@ class HoardDaemon {
   size_t refill_count() const { return refills_; }
   const HoardSelection& last_selection() const { return last_selection_; }
 
+  size_t checkpoint_count() const { return checkpoints_; }
+  // Outcome of the most recent checkpoint attempt (OK when none ran yet).
+  // A failed checkpoint never blocks the refill itself: hoarding keeps
+  // working from memory and the next trigger retries.
+  const Status& last_checkpoint_status() const { return last_checkpoint_status_; }
+
  private:
+  void MaybeCheckpoint(bool after_refill);
+
   Correlator* correlator_;
   Observer* observer_;
   HoardManager* manager_;
@@ -60,6 +77,8 @@ class HoardDaemon {
   Config config_;
   Time last_fill_ = -1;
   size_t refills_ = 0;
+  size_t checkpoints_ = 0;
+  Status last_checkpoint_status_;
   HoardSelection last_selection_;
 };
 

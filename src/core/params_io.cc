@@ -31,18 +31,15 @@ bool ParseNum(std::string_view value, T* out) {
   return ec == std::errc() && ptr == value.data() + value.size();
 }
 
-void Fail(std::string* error, int line_number, const std::string& message) {
-  if (error != nullptr) {
-    std::ostringstream out;
-    out << "line " << line_number << ": " << message;
-    *error = out.str();
-  }
+Status Fail(int line_number, const std::string& message) {
+  std::ostringstream out;
+  out << "line " << line_number << ": " << message;
+  return Status::InvalidArgument(out.str());
 }
 
 }  // namespace
 
-std::optional<SeerParams> ParseSeerParams(std::string_view text, const SeerParams& base,
-                                          std::string* error) {
+StatusOr<SeerParams> ParseSeerParams(std::string_view text, const SeerParams& base) {
   SeerParams params = base;
   std::istringstream in{std::string(text)};
   std::string raw;
@@ -105,18 +102,15 @@ std::optional<SeerParams> ParseSeerParams(std::string_view text, const SeerParam
       ok = ParseNum(value, &params.temporal_horizon_seconds) &&
            params.temporal_horizon_seconds > 0.0;
     } else {
-      Fail(error, line_number, "unknown parameter '" + std::string(key) + "'");
-      return std::nullopt;
+      return Fail(line_number, "unknown parameter '" + std::string(key) + "'");
     }
     if (!ok) {
-      Fail(error, line_number,
-           "bad value '" + std::string(value) + "' for '" + std::string(key) + "'");
-      return std::nullopt;
+      return Fail(line_number,
+                  "bad value '" + std::string(value) + "' for '" + std::string(key) + "'");
     }
   }
   if (params.cluster_far >= params.cluster_near) {
-    Fail(error, line_number, "kf must be smaller than kn (smaller thresholds are more lenient)");
-    return std::nullopt;
+    return Fail(line_number, "kf must be smaller than kn (smaller thresholds are more lenient)");
   }
   return params;
 }

@@ -19,17 +19,17 @@
 #ifndef SRC_CORE_PARAMS_IO_H_
 #define SRC_CORE_PARAMS_IO_H_
 
-#include <optional>
 #include <string>
 #include <string_view>
 
 #include "src/core/params.h"
+#include "src/util/status.h"
 
 namespace seer {
 
-// Parses directives on top of `base`; nullopt + `error` on bad input.
-std::optional<SeerParams> ParseSeerParams(std::string_view text, const SeerParams& base = {},
-                                          std::string* error = nullptr);
+// Parses directives on top of `base`; kInvalidArgument with a
+// line-numbered message on bad input.
+StatusOr<SeerParams> ParseSeerParams(std::string_view text, const SeerParams& base = {});
 
 // Renders params as parseable text.
 std::string FormatSeerParams(const SeerParams& params);

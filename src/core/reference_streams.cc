@@ -202,6 +202,47 @@ void ReferenceStreams::OnExit(Pid pid) {
   PruneWindow(parent);
 }
 
+std::vector<ReferenceStreams::ExportedStream> ReferenceStreams::Export() const {
+  std::vector<ExportedStream> out;
+  out.reserve(streams_.size());
+  for (const auto& [pid, s] : streams_) {
+    ExportedStream e;
+    e.pid = pid;
+    e.parent = s.parent;
+    e.open_counter = s.open_counter;
+    e.ref_counter = s.ref_counter;
+    e.files.reserve(s.files.size());
+    for (const auto& [file, st] : s.files) {
+      e.files.push_back({file, st.last_open_index, st.last_ref_index, st.last_open_time,
+                         st.open_nesting, st.compensated});
+    }
+    std::sort(e.files.begin(), e.files.end(),
+              [](const ExportedFileState& a, const ExportedFileState& b) {
+                return a.file < b.file;
+              });
+    e.window.assign(s.window.begin(), s.window.end());
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ExportedStream& a, const ExportedStream& b) { return a.pid < b.pid; });
+  return out;
+}
+
+void ReferenceStreams::Restore(const std::vector<ExportedStream>& streams) {
+  streams_.clear();
+  for (const ExportedStream& e : streams) {
+    Stream& s = streams_[e.pid];
+    s.parent = e.parent;
+    s.open_counter = e.open_counter;
+    s.ref_counter = e.ref_counter;
+    for (const ExportedFileState& f : e.files) {
+      s.files[f.file] = {f.last_open_index, f.last_ref_index, f.last_open_time, f.open_nesting,
+                         f.compensated};
+    }
+    s.window.assign(e.window.begin(), e.window.end());
+  }
+}
+
 size_t ReferenceStreams::MemoryBytes() const {
   size_t bytes = 0;
   for (const auto& [pid, s] : streams_) {

@@ -62,6 +62,36 @@ class ReferenceStreams {
   // Approximate bytes used (Section 5.3 memory accounting).
   size_t MemoryBytes() const;
 
+  // --- persistence support --------------------------------------------------
+  //
+  // Streams are part of the crash-consistent snapshot: a recovered
+  // correlator must measure the same distances for post-checkpoint
+  // references as the never-crashed instance, and those distances depend on
+  // the open windows live at checkpoint time. The exported form is fully
+  // ordered (streams by pid, files by id) so snapshot bytes are
+  // deterministic regardless of hash-map iteration order.
+
+  struct ExportedFileState {
+    FileId file = kInvalidFileId;
+    uint64_t last_open_index = 0;
+    uint64_t last_ref_index = 0;
+    Time last_open_time = 0;
+    uint32_t open_nesting = 0;
+    bool compensated = false;
+  };
+
+  struct ExportedStream {
+    Pid pid = 0;
+    Pid parent = 0;
+    uint64_t open_counter = 0;
+    uint64_t ref_counter = 0;
+    std::vector<ExportedFileState> files;              // sorted by file id
+    std::vector<std::pair<FileId, uint64_t>> window;   // oldest first
+  };
+
+  std::vector<ExportedStream> Export() const;  // sorted by pid
+  void Restore(const std::vector<ExportedStream>& streams);
+
  private:
   struct FileState {
     uint64_t last_open_index = 0;

@@ -62,6 +62,12 @@ class RelationTable {
   void RestoreList(FileId from, std::vector<Neighbor> neighbors);
   void set_update_count(uint64_t count) { update_count_ = count; }
 
+  // The tie-break generator state travels with the snapshot so that
+  // updates replayed from the WAL after recovery break ties exactly as the
+  // never-crashed instance would have.
+  void GetRngState(uint64_t out[4]) const { rng_.GetState(out); }
+  void SetRngState(const uint64_t in[4]) { rng_.SetState(in); }
+
  private:
   void EnsureSize(FileId id);
 

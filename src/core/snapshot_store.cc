@@ -1,0 +1,322 @@
+#include "src/core/snapshot_store.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+namespace seer {
+
+namespace {
+
+constexpr char kSnapPrefix[] = "snap-";
+constexpr char kSnapSuffix[] = ".seersnap";
+constexpr char kWalPrefix[] = "wal-";
+constexpr char kWalSuffix[] = ".seerwal";
+constexpr char kTmpSuffix[] = ".tmp";
+
+std::string GenerationName(const char* prefix, uint64_t generation, const char* suffix) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06llu", static_cast<unsigned long long>(generation));
+  return std::string(prefix) + buf + suffix;
+}
+
+bool ParseGeneration(const std::string& name, const std::string& prefix,
+                     const std::string& suffix, uint64_t* generation) {
+  if (name.size() <= prefix.size() + suffix.size() || name.compare(0, prefix.size(), prefix) != 0 ||
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  const std::string digits = name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), *generation);
+  return ec == std::errc() && ptr == digits.data() + digits.size();
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(Fs* fs, std::string dir, SnapshotStoreOptions options)
+    : fs_(fs), dir_(std::move(dir)), options_(options) {
+  if (options_.keep_generations < 2) {
+    options_.keep_generations = 2;
+  }
+}
+
+Status SnapshotStore::Open() { return fs_->MakeDirs(dir_); }
+
+std::string SnapshotStore::SnapshotPath(uint64_t generation) const {
+  return dir_ + "/" + GenerationName(kSnapPrefix, generation, kSnapSuffix);
+}
+
+std::string SnapshotStore::WalPath(uint64_t generation) const {
+  return dir_ + "/" + GenerationName(kWalPrefix, generation, kWalSuffix);
+}
+
+StatusOr<std::vector<uint64_t>> SnapshotStore::ListByPattern(const std::string& prefix,
+                                                             const std::string& suffix) const {
+  SEER_ASSIGN_OR_RETURN(const std::vector<std::string> entries, fs_->ListDir(dir_));
+  std::vector<uint64_t> generations;
+  for (const std::string& name : entries) {
+    uint64_t generation = 0;
+    if (ParseGeneration(name, prefix, suffix, &generation)) {
+      generations.push_back(generation);
+    }
+  }
+  std::sort(generations.begin(), generations.end());
+  return generations;
+}
+
+StatusOr<std::vector<uint64_t>> SnapshotStore::ListSnapshots() const {
+  return ListByPattern(kSnapPrefix, kSnapSuffix);
+}
+
+StatusOr<std::vector<uint64_t>> SnapshotStore::ListWals() const {
+  return ListByPattern(kWalPrefix, kWalSuffix);
+}
+
+StatusOr<SnapshotStore::RecoveryResult> SnapshotStore::Recover(const SeerParams& defaults) const {
+  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> snapshots, ListSnapshots());
+  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> wals, ListWals());
+
+  RecoveryResult result;
+
+  // Newest snapshot that decodes cleanly wins; torn ones are skipped.
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    const auto bytes = fs_->ReadFile(SnapshotPath(*it));
+    if (!bytes.ok()) {
+      ++result.snapshots_discarded;
+      continue;
+    }
+    auto decoded = Correlator::DecodeSnapshot(*bytes);
+    if (!decoded.ok()) {
+      ++result.snapshots_discarded;
+      continue;
+    }
+    result.correlator = *std::move(decoded);
+    result.generation = *it;
+    break;
+  }
+  if (result.correlator == nullptr) {
+    if (!snapshots.empty()) {
+      return Status::DataLoss("every snapshot in " + dir_ + " is damaged");
+    }
+    if (!wals.empty()) {
+      // A WAL is only created after its snapshot is durable, so WALs with
+      // no snapshot at all mean the snapshots were deleted out from under
+      // us — replaying them against a fresh correlator would fabricate
+      // state we never held.
+      return Status::DataLoss("wal files without any snapshot in " + dir_);
+    }
+    result.correlator = std::make_unique<Correlator>(defaults);
+    result.fresh = true;
+    return result;
+  }
+
+  // Replay the retained chain: wal-G, wal-G+1, ... in order, stopping at
+  // the first gap or damaged record. Records in wal-K for K < the loaded
+  // generation are already baked into the snapshot.
+  uint64_t expected = result.generation;
+  for (const uint64_t generation : wals) {
+    if (generation < result.generation) {
+      continue;
+    }
+    if (generation != expected) {
+      break;  // gap — later logs assume the missing one was applied
+    }
+    const auto bytes = fs_->ReadFile(WalPath(generation));
+    if (!bytes.ok()) {
+      break;
+    }
+    const auto stats = ReplayWal(*bytes, result.correlator.get());
+    if (!stats.ok()) {
+      // Unusable header: the crash hit WAL creation itself. Nothing from
+      // this log was applied; the state is the previous durable point.
+      result.torn_wal_tail = true;
+      break;
+    }
+    if (stats->generation != generation) {
+      result.torn_wal_tail = true;
+      break;
+    }
+    ++result.wals_replayed;
+    result.wal_records_replayed += stats->records_applied;
+    if (stats->tail != WalReplayStats::Tail::kClean) {
+      result.torn_wal_tail = true;
+      break;
+    }
+    ++expected;
+  }
+  return result;
+}
+
+Status SnapshotStore::WriteSnapshot(const Correlator& correlator, uint64_t generation) {
+  const std::string path = SnapshotPath(generation);
+  if (fs_->Exists(path)) {
+    return Status::AlreadyExists("snapshot already exists: " + path);
+  }
+  const std::string tmp = path + kTmpSuffix;
+  // temp + fsync + rename + dir fsync: the target name only ever points at
+  // complete, durable bytes.
+  SEER_RETURN_IF_ERROR(fs_->WriteFile(tmp, correlator.EncodeSnapshot()));
+  SEER_RETURN_IF_ERROR(fs_->SyncFile(tmp));
+  SEER_RETURN_IF_ERROR(fs_->RenameFile(tmp, path));
+  return fs_->SyncDir(dir_);
+}
+
+StatusOr<SnapshotStore::CheckpointResult> SnapshotStore::Checkpoint(const Correlator& correlator) {
+  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> snapshots, ListSnapshots());
+  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> wals, ListWals());
+  uint64_t next = 1;
+  if (!snapshots.empty()) {
+    next = std::max(next, snapshots.back() + 1);
+  }
+  if (!wals.empty()) {
+    next = std::max(next, wals.back() + 1);
+  }
+
+  SEER_RETURN_IF_ERROR(WriteSnapshot(correlator, next));
+
+  CheckpointResult result;
+  result.generation = next;
+  result.wal = std::make_unique<WalWriter>(fs_, WalPath(next), next, options_.wal_flush_bytes);
+  SEER_RETURN_IF_ERROR(result.wal->Create());
+  SEER_RETURN_IF_ERROR(fs_->SyncFile(WalPath(next)));
+  SEER_RETURN_IF_ERROR(fs_->SyncDir(dir_));
+  SEER_RETURN_IF_ERROR(Prune());
+  return result;
+}
+
+Status SnapshotStore::Prune() {
+  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> snapshots, ListSnapshots());
+  uint64_t oldest_kept = 0;
+  if (snapshots.size() > options_.keep_generations) {
+    const size_t drop = snapshots.size() - options_.keep_generations;
+    for (size_t i = 0; i < drop; ++i) {
+      SEER_RETURN_IF_ERROR(fs_->RemoveFile(SnapshotPath(snapshots[i])));
+    }
+    oldest_kept = snapshots[drop];
+  } else if (!snapshots.empty()) {
+    oldest_kept = snapshots.front();
+  }
+
+  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> wals, ListWals());
+  for (const uint64_t generation : wals) {
+    if (generation < oldest_kept) {
+      SEER_RETURN_IF_ERROR(fs_->RemoveFile(WalPath(generation)));
+    }
+  }
+
+  // Stray temp files are dead by construction (rename is the commit).
+  SEER_ASSIGN_OR_RETURN(const std::vector<std::string> entries, fs_->ListDir(dir_));
+  for (const std::string& name : entries) {
+    if (EndsWith(name, kTmpSuffix)) {
+      SEER_RETURN_IF_ERROR(fs_->RemoveFile(dir_ + "/" + name));
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<SnapshotStore::StoreInfo> SnapshotStore::GetInfo() const {
+  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> snapshots, ListSnapshots());
+  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> wals, ListWals());
+
+  std::vector<uint64_t> all;
+  all.reserve(snapshots.size() + wals.size());
+  all.insert(all.end(), snapshots.begin(), snapshots.end());
+  all.insert(all.end(), wals.begin(), wals.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  StoreInfo info;
+  for (const uint64_t generation : all) {
+    GenerationInfo gen_info;
+    gen_info.generation = generation;
+    if (std::binary_search(snapshots.begin(), snapshots.end(), generation)) {
+      gen_info.has_snapshot = true;
+      const auto bytes = fs_->ReadFile(SnapshotPath(generation));
+      if (bytes.ok()) {
+        gen_info.snapshot_bytes = bytes->size();
+        gen_info.snapshot_ok = Correlator::DecodeSnapshot(*bytes).ok();
+      }
+    }
+    if (std::binary_search(wals.begin(), wals.end(), generation)) {
+      gen_info.has_wal = true;
+      const auto bytes = fs_->ReadFile(WalPath(generation));
+      if (bytes.ok()) {
+        gen_info.wal_bytes = bytes->size();
+        const auto stats = ReplayWal(*bytes, nullptr);
+        if (stats.ok()) {
+          gen_info.wal_records = stats->records_applied;
+          gen_info.wal_tail = stats->tail;
+        } else {
+          gen_info.wal_tail = WalReplayStats::Tail::kCorrupt;
+        }
+      }
+    }
+    info.generations.push_back(gen_info);
+  }
+  return info;
+}
+
+Status SnapshotStore::Verify() const {
+  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> snapshots, ListSnapshots());
+  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> wals, ListWals());
+  if (snapshots.empty() && wals.empty()) {
+    return Status::Ok();  // an empty store recovers to an empty correlator
+  }
+  if (snapshots.empty()) {
+    return Status::DataLoss("wal files without any snapshot in " + dir_);
+  }
+
+  // The newest snapshot must itself be good — fallback is for crash
+  // recovery, a store whose newest snapshot is torn is not healthy.
+  const uint64_t newest = snapshots.back();
+  SEER_ASSIGN_OR_RETURN(const std::string snap_bytes, fs_->ReadFile(SnapshotPath(newest)));
+  {
+    const auto decoded = Correlator::DecodeSnapshot(snap_bytes);
+    if (!decoded.ok()) {
+      return Status::DataLoss("newest snapshot damaged: " + decoded.status().message());
+    }
+  }
+
+  // Chain WALs: contiguous from the newest generation; every log but the
+  // last must be clean (it was synced before the next snapshot), the last
+  // may at worst have a torn tail.
+  std::vector<uint64_t> chain;
+  for (const uint64_t generation : wals) {
+    if (generation >= newest) {
+      chain.push_back(generation);
+    }
+  }
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (chain[i] != newest + i) {
+      return Status::DataLoss("wal chain has a gap at generation " +
+                              std::to_string(newest + i));
+    }
+    const bool last = i + 1 == chain.size();
+    SEER_ASSIGN_OR_RETURN(const std::string bytes, fs_->ReadFile(WalPath(chain[i])));
+    const auto stats = ReplayWal(bytes, nullptr);
+    if (!stats.ok()) {
+      if (last) {
+        continue;  // torn during creation — the expected crash artifact
+      }
+      return Status::DataLoss("mid-chain wal unreadable: " + stats.status().message());
+    }
+    if (stats->generation != chain[i]) {
+      return Status::DataLoss("wal header generation mismatch in " + WalPath(chain[i]));
+    }
+    if (stats->tail == WalReplayStats::Tail::kCorrupt) {
+      return Status::DataLoss("wal corrupt: " + stats->corruption);
+    }
+    if (!last && stats->tail != WalReplayStats::Tail::kClean) {
+      return Status::DataLoss("mid-chain wal has a torn tail: " + WalPath(chain[i]));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace seer

@@ -1,0 +1,126 @@
+// Generation-based durable storage for the correlator database.
+//
+// A store directory holds numbered snapshot/WAL generation pairs:
+//
+//   snap-000007.seersnap   binary snapshot (Correlator::EncodeSnapshot)
+//   wal-000007.seerwal     sink events observed after snap-000007
+//
+// Checkpointing writes snapshot N+1 via the atomic-commit protocol (temp
+// file + fsync + rename + directory fsync), opens wal-(N+1) for the
+// records that follow, and prunes old generations. Recovery loads the
+// newest snapshot that decodes cleanly — falling back generation by
+// generation past torn ones — then replays every retained WAL of that
+// generation and newer, in order. A torn WAL tail simply ends the replay:
+// the result is always a consistent state the correlator actually passed
+// through.
+//
+// Invariants the layout maintains (see DESIGN.md):
+//   * snap-N is only ever observed complete (atomic rename) and
+//     self-validating (per-section CRCs).
+//   * wal-N is created only after snap-N is durable, and snap-(N+1) is
+//     written only after wal-N is synced — so the fallback chain
+//     snap-K, wal-K, wal-K+1, ..., replayed in order, is gapless for
+//     every retained K.
+#ifndef SRC_CORE_SNAPSHOT_STORE_H_
+#define SRC_CORE_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/correlator.h"
+#include "src/core/wal.h"
+#include "src/util/fs.h"
+#include "src/util/status.h"
+
+namespace seer {
+
+struct SnapshotStoreOptions {
+  // Snapshot generations retained after a checkpoint (with their WALs).
+  // At least 2, so a torn newest snapshot always has a fallback.
+  size_t keep_generations = 2;
+  // WAL write-buffer size (bytes buffered before an Fs append).
+  size_t wal_flush_bytes = 1 << 16;
+};
+
+class SnapshotStore {
+ public:
+  SnapshotStore(Fs* fs, std::string dir, SnapshotStoreOptions options = {});
+
+  // Creates the store directory if needed.
+  Status Open();
+
+  const std::string& dir() const { return dir_; }
+
+  std::string SnapshotPath(uint64_t generation) const;
+  std::string WalPath(uint64_t generation) const;
+
+  // Present generation numbers, ascending.
+  StatusOr<std::vector<uint64_t>> ListSnapshots() const;
+  StatusOr<std::vector<uint64_t>> ListWals() const;
+
+  struct RecoveryResult {
+    std::unique_ptr<Correlator> correlator;
+    // Generation of the snapshot loaded; 0 when the store was empty and
+    // `correlator` is fresh.
+    uint64_t generation = 0;
+    bool fresh = false;
+    uint64_t snapshots_discarded = 0;  // torn/corrupt snapshots skipped
+    uint64_t wals_replayed = 0;
+    uint64_t wal_records_replayed = 0;
+    bool torn_wal_tail = false;  // replay ended at a damaged record
+  };
+  // Never writes; safe to call on a store another process produced.
+  // `defaults` seeds the correlator when the store is empty.
+  StatusOr<RecoveryResult> Recover(const SeerParams& defaults = {}) const;
+
+  // Atomically writes `generation`'s snapshot (temp + fsync + rename +
+  // dir fsync). Fails with kAlreadyExists if that generation is present.
+  Status WriteSnapshot(const Correlator& correlator, uint64_t generation);
+
+  struct CheckpointResult {
+    uint64_t generation = 0;
+    // The new generation's WAL, created and headered; subsequent sink
+    // events belong to it.
+    std::unique_ptr<WalWriter> wal;
+  };
+  // Snapshot the correlator as the next generation, open its WAL, prune.
+  StatusOr<CheckpointResult> Checkpoint(const Correlator& correlator);
+
+  // Removes snapshots beyond keep_generations (oldest first), WALs older
+  // than the oldest retained snapshot, and stray temp files.
+  Status Prune();
+
+  struct GenerationInfo {
+    uint64_t generation = 0;
+    bool has_snapshot = false;
+    uint64_t snapshot_bytes = 0;
+    bool snapshot_ok = false;  // decodes cleanly
+    bool has_wal = false;
+    uint64_t wal_bytes = 0;
+    uint64_t wal_records = 0;
+    WalReplayStats::Tail wal_tail = WalReplayStats::Tail::kClean;
+  };
+  struct StoreInfo {
+    std::vector<GenerationInfo> generations;  // ascending
+  };
+  // Inspects every artifact (decodes snapshots, scans WALs). Read-only.
+  StatusOr<StoreInfo> GetInfo() const;
+
+  // OK iff the store recovers cleanly: at least the newest retained chain
+  // is intact and WAL damage is at worst a torn tail.
+  Status Verify() const;
+
+ private:
+  StatusOr<std::vector<uint64_t>> ListByPattern(const std::string& prefix,
+                                                const std::string& suffix) const;
+
+  Fs* fs_;
+  std::string dir_;
+  SnapshotStoreOptions options_;
+};
+
+}  // namespace seer
+
+#endif  // SRC_CORE_SNAPSHOT_STORE_H_

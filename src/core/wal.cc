@@ -1,0 +1,288 @@
+#include "src/core/wal.h"
+
+#include <string>
+
+#include "src/util/crc32.h"
+#include "src/util/path_interner.h"
+
+namespace seer {
+
+namespace {
+
+constexpr std::string_view kWalMagic = "SEERWAL1";
+
+enum RecordType : uint8_t {
+  kPathDef = 0x01,    // u32 index | string path
+  kReference = 0x02,  // u32 path-index | i32 pid | u8 kind | i64 time | u8 write
+  kDeleted = 0x03,    // u32 path-index | i64 time
+  kRenamed = 0x04,    // u32 from-index | u32 to-index | i64 time
+  kExcluded = 0x05,   // u32 path-index
+  kFork = 0x06,       // i32 parent | i32 child
+  kExit = 0x07,       // i32 pid
+};
+
+constexpr size_t kRecordHeaderBytes = 1 + 4 + 4;  // type | size | crc
+
+}  // namespace
+
+WalWriter::WalWriter(Fs* fs, std::string path, uint64_t generation, size_t flush_bytes)
+    : fs_(fs), path_(std::move(path)), generation_(generation), flush_bytes_(flush_bytes) {}
+
+Status WalWriter::Create() {
+  if (fs_->Exists(path_)) {
+    return Status::AlreadyExists("wal already exists: " + path_);
+  }
+  ByteWriter header;
+  header.PutBytes(kWalMagic);
+  header.PutU64(generation_);
+  bytes_logged_ = header.size();
+  return fs_->WriteFile(path_, header.data());
+}
+
+uint32_t WalWriter::PathIndex(PathId path) {
+  const auto it = dictionary_.find(path);
+  if (it != dictionary_.end()) {
+    return it->second;
+  }
+  const uint32_t index = static_cast<uint32_t>(dictionary_.size());
+  dictionary_.emplace(path, index);
+  ByteWriter def;
+  def.PutU32(index);
+  def.PutString(GlobalPaths().PathOf(path));
+  // A failed dictionary append surfaces on the next Flush/Sync; the index
+  // stays assigned so the stream stays consistent if the write succeeds.
+  (void)AppendRecord(kPathDef, def);
+  return index;
+}
+
+Status WalWriter::AppendRecord(uint8_t type, const ByteWriter& payload) {
+  ByteWriter record;
+  record.PutU8(type);
+  record.PutU32(static_cast<uint32_t>(payload.size()));
+  record.PutU32(Crc32(payload.data()));
+  record.PutBytes(payload.data());
+  buffer_.append(record.data());
+  bytes_logged_ += record.size();
+  ++records_logged_;
+  if (buffer_.size() >= flush_bytes_) {
+    return Flush();
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::AppendReference(const FileReference& ref) {
+  const uint32_t path_index = PathIndex(ref.path);
+  ByteWriter payload;
+  payload.PutU32(path_index);
+  payload.PutI32(ref.pid);
+  payload.PutU8(static_cast<uint8_t>(ref.kind));
+  payload.PutI64(ref.time);
+  payload.PutU8(ref.write ? 1 : 0);
+  return AppendRecord(kReference, payload);
+}
+
+Status WalWriter::AppendFork(Pid parent, Pid child) {
+  ByteWriter payload;
+  payload.PutI32(parent);
+  payload.PutI32(child);
+  return AppendRecord(kFork, payload);
+}
+
+Status WalWriter::AppendExit(Pid pid) {
+  ByteWriter payload;
+  payload.PutI32(pid);
+  return AppendRecord(kExit, payload);
+}
+
+Status WalWriter::AppendDeleted(PathId path, Time time) {
+  const uint32_t path_index = PathIndex(path);
+  ByteWriter payload;
+  payload.PutU32(path_index);
+  payload.PutI64(time);
+  return AppendRecord(kDeleted, payload);
+}
+
+Status WalWriter::AppendRenamed(PathId from, PathId to, Time time) {
+  const uint32_t from_index = PathIndex(from);
+  const uint32_t to_index = PathIndex(to);
+  ByteWriter payload;
+  payload.PutU32(from_index);
+  payload.PutU32(to_index);
+  payload.PutI64(time);
+  return AppendRecord(kRenamed, payload);
+}
+
+Status WalWriter::AppendExcluded(PathId path) {
+  const uint32_t path_index = PathIndex(path);
+  ByteWriter payload;
+  payload.PutU32(path_index);
+  return AppendRecord(kExcluded, payload);
+}
+
+Status WalWriter::Flush() {
+  if (buffer_.empty()) {
+    return Status::Ok();
+  }
+  std::string pending;
+  pending.swap(buffer_);
+  const Status status = fs_->AppendFile(path_, pending);
+  if (!status.ok()) {
+    // Put the records back so a later retry does not drop them (and
+    // bytes_logged_ keeps triggering the checkpoint path).
+    pending.append(buffer_);
+    buffer_.swap(pending);
+  }
+  return status;
+}
+
+Status WalWriter::Sync() {
+  SEER_RETURN_IF_ERROR(Flush());
+  return fs_->SyncFile(path_);
+}
+
+StatusOr<WalReplayStats> ReplayWal(std::string_view bytes, ReferenceSink* sink) {
+  ByteReader reader(bytes);
+  if (reader.GetBytes(kWalMagic.size()) != kWalMagic) {
+    return Status::DataLoss("wal: bad magic");
+  }
+  WalReplayStats stats;
+  stats.generation = reader.GetU64();
+  if (!reader.ok()) {
+    return Status::DataLoss("wal: truncated header");
+  }
+  stats.bytes_applied = kWalMagic.size() + 8;
+
+  std::vector<std::string> dictionary;
+  // Interned lazily, only when a record actually applies.
+  std::vector<PathId> dictionary_ids;
+
+  const auto path_at = [&](uint32_t index) -> PathId {
+    if (dictionary_ids[index] == kInvalidPathId) {
+      dictionary_ids[index] = GlobalPaths().Intern(dictionary[index]);
+    }
+    return dictionary_ids[index];
+  };
+
+  // Applies one intact record; a non-empty return is a corruption message.
+  const auto apply = [&](uint8_t type, std::string_view payload) -> std::string {
+    ByteReader p(payload);
+    const auto check_path = [&](uint32_t index) { return index < dictionary.size(); };
+    switch (type) {
+      case kPathDef: {
+        const uint32_t index = p.GetU32();
+        const std::string_view path = p.GetString();
+        if (!p.ok() || !p.AtEnd() || index != dictionary.size()) {
+          return "bad path definition";
+        }
+        dictionary.emplace_back(path);
+        dictionary_ids.push_back(kInvalidPathId);
+        ++stats.paths_defined;
+        return {};
+      }
+      case kReference: {
+        const uint32_t index = p.GetU32();
+        FileReference ref;
+        ref.pid = p.GetI32();
+        ref.kind = static_cast<RefKind>(p.GetU8());
+        ref.time = p.GetI64();
+        ref.write = p.GetU8() != 0;
+        if (!p.ok() || !p.AtEnd() || !check_path(index) || ref.kind > RefKind::kPoint) {
+          return "bad reference record";
+        }
+        if (sink != nullptr) {
+          ref.path = path_at(index);
+          sink->OnReference(ref);
+        }
+        return {};
+      }
+      case kDeleted: {
+        const uint32_t index = p.GetU32();
+        const Time time = p.GetI64();
+        if (!p.ok() || !p.AtEnd() || !check_path(index)) {
+          return "bad delete record";
+        }
+        if (sink != nullptr) {
+          sink->OnFileDeleted(path_at(index), time);
+        }
+        return {};
+      }
+      case kRenamed: {
+        const uint32_t from = p.GetU32();
+        const uint32_t to = p.GetU32();
+        const Time time = p.GetI64();
+        if (!p.ok() || !p.AtEnd() || !check_path(from) || !check_path(to)) {
+          return "bad rename record";
+        }
+        if (sink != nullptr) {
+          sink->OnFileRenamed(path_at(from), path_at(to), time);
+        }
+        return {};
+      }
+      case kExcluded: {
+        const uint32_t index = p.GetU32();
+        if (!p.ok() || !p.AtEnd() || !check_path(index)) {
+          return "bad exclude record";
+        }
+        if (sink != nullptr) {
+          sink->OnFileExcluded(path_at(index));
+        }
+        return {};
+      }
+      case kFork: {
+        const Pid parent = p.GetI32();
+        const Pid child = p.GetI32();
+        if (!p.ok() || !p.AtEnd()) {
+          return "bad fork record";
+        }
+        if (sink != nullptr) {
+          sink->OnProcessFork(parent, child);
+        }
+        return {};
+      }
+      case kExit: {
+        const Pid pid = p.GetI32();
+        if (!p.ok() || !p.AtEnd()) {
+          return "bad exit record";
+        }
+        if (sink != nullptr) {
+          sink->OnProcessExit(pid);
+        }
+        return {};
+      }
+      default:
+        return "unknown record type " + std::to_string(type);
+    }
+  };
+
+  while (!reader.AtEnd()) {
+    if (reader.remaining() < kRecordHeaderBytes) {
+      stats.tail = WalReplayStats::Tail::kTorn;
+      break;
+    }
+    const uint8_t type = reader.GetU8();
+    const uint32_t size = reader.GetU32();
+    const uint32_t crc = reader.GetU32();
+    if (size > reader.remaining()) {
+      stats.tail = WalReplayStats::Tail::kTorn;
+      break;
+    }
+    const std::string_view payload = reader.GetBytes(size);
+    if (Crc32(payload) != crc) {
+      stats.tail = WalReplayStats::Tail::kTorn;
+      break;
+    }
+    // The record is intact; damage found inside it is corruption, not a
+    // torn tail.
+    std::string corruption = apply(type, payload);
+    if (!corruption.empty()) {
+      stats.tail = WalReplayStats::Tail::kCorrupt;
+      stats.corruption = std::move(corruption);
+      break;
+    }
+    ++stats.records_applied;
+    stats.bytes_applied = bytes.size() - reader.remaining();
+  }
+  return stats;
+}
+
+}  // namespace seer

@@ -1,0 +1,110 @@
+// Write-ahead log for the correlator's reference stream.
+//
+// Between snapshots, every sink event the correlator consumes — references,
+// forks/exits, deletes, renames, exclusions — is appended here, so a crash
+// loses at most the records not yet synced and recovery replays forward
+// from the last checkpoint. The log is a flat record stream:
+//
+//   header  "SEERWAL1" | u64 generation
+//   record  u8 type | u32 payload-size | u32 crc32(payload) | payload
+//
+// Pathnames are interned into a WAL-local dictionary: the first record
+// mentioning a path emits a kPathDef assigning it the next dense index, and
+// later records refer to the index. Replay rebuilds the dictionary as it
+// scans, so the log is self-contained — PathIds are process-local and never
+// written to disk.
+//
+// Replay is torn-tail tolerant: a truncated or CRC-damaged record ends the
+// scan (everything before it is applied, the tail is reported), because a
+// ragged final record is exactly what a crash mid-append leaves behind.
+// Damage *before* the tail — an undefined path index, an unknown record
+// type with a valid CRC — is corruption and fails with kDataLoss.
+#ifndef SRC_CORE_WAL_H_
+#define SRC_CORE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/observer/reference.h"
+#include "src/util/bytes.h"
+#include "src/util/fs.h"
+#include "src/util/status.h"
+
+namespace seer {
+
+// Appends sink events to a single log file through an Fs. Records are
+// buffered in memory and pushed to the Fs when the buffer passes
+// flush_bytes (or on Flush/Sync); Sync additionally fsyncs, which is the
+// durability point.
+class WalWriter {
+ public:
+  WalWriter(Fs* fs, std::string path, uint64_t generation, size_t flush_bytes = 1 << 16);
+
+  // Writes the header. Fails with kAlreadyExists if the file is present —
+  // a generation's log is created exactly once, at checkpoint.
+  Status Create();
+
+  Status AppendReference(const FileReference& ref);
+  Status AppendFork(Pid parent, Pid child);
+  Status AppendExit(Pid pid);
+  Status AppendDeleted(PathId path, Time time);
+  Status AppendRenamed(PathId from, PathId to, Time time);
+  Status AppendExcluded(PathId path);
+
+  // Pushes buffered records to the Fs.
+  Status Flush();
+  // Flush + fsync: records before this call survive a crash after it.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+  uint64_t generation() const { return generation_; }
+  // Logical log size (header + everything appended, buffered or not);
+  // drives the size-triggered checkpoint.
+  uint64_t bytes_logged() const { return bytes_logged_; }
+  uint64_t records_logged() const { return records_logged_; }
+
+ private:
+  // Dictionary index for `path`, emitting a kPathDef record first when new.
+  uint32_t PathIndex(PathId path);
+  Status AppendRecord(uint8_t type, const ByteWriter& payload);
+
+  Fs* fs_;
+  std::string path_;
+  uint64_t generation_;
+  size_t flush_bytes_;
+  std::unordered_map<PathId, uint32_t> dictionary_;
+  std::string buffer_;
+  uint64_t bytes_logged_ = 0;
+  uint64_t records_logged_ = 0;
+};
+
+struct WalReplayStats {
+  uint64_t generation = 0;
+  uint64_t records_applied = 0;
+  uint64_t paths_defined = 0;
+  // How the scan ended:
+  //   kClean   — the log ends exactly on a record boundary.
+  //   kTorn    — a truncated or CRC-damaged final record; the expected
+  //              artifact of a crash mid-append. The prefix was applied.
+  //   kCorrupt — an intact (CRC-valid) record whose contents are
+  //              semantically impossible (undefined path index, unknown
+  //              type). The prefix before it was applied, but this is
+  //              damage, not a crash artifact; `corruption` explains it.
+  enum class Tail { kClean, kTorn, kCorrupt };
+  Tail tail = Tail::kClean;
+  std::string corruption;
+  uint64_t bytes_applied = 0;  // offset of the first unapplied byte
+};
+
+// Applies every intact record in `bytes` to `sink` in order, stopping at a
+// torn or corrupt record (see WalReplayStats::Tail — records already
+// applied stay applied). Fails outright only when the header itself is
+// unusable, in which case nothing was applied. A null sink scans and
+// validates without applying (`seerctl db verify`).
+StatusOr<WalReplayStats> ReplayWal(std::string_view bytes, ReferenceSink* sink);
+
+}  // namespace seer
+
+#endif  // SRC_CORE_WAL_H_

@@ -81,19 +81,16 @@ std::string_view ModeName(MeaninglessMode mode) {
   return "ratio";
 }
 
-void Fail(std::string* error, int line_number, const std::string& message) {
-  if (error != nullptr) {
-    std::ostringstream out;
-    out << "line " << line_number << ": " << message;
-    *error = out.str();
-  }
+Status Fail(int line_number, const std::string& message) {
+  std::ostringstream out;
+  out << "line " << line_number << ": " << message;
+  return Status::InvalidArgument(out.str());
 }
 
 }  // namespace
 
-std::optional<ObserverConfig> ParseObserverControlFile(std::string_view text,
-                                                       const ObserverConfig& base,
-                                                       std::string* error) {
+StatusOr<ObserverConfig> ParseObserverControlFile(std::string_view text,
+                                                  const ObserverConfig& base) {
   ObserverConfig config = base;
   std::istringstream in{std::string(text)};
   std::string raw;
@@ -148,13 +145,11 @@ std::optional<ObserverConfig> ParseObserverControlFile(std::string_view text,
     } else if (key == "collapse-stat-open") {
       ok = ParseBool(value, &config.collapse_stat_open);
     } else {
-      Fail(error, line_number, "unknown directive '" + std::string(key) + "'");
-      return std::nullopt;
+      return Fail(line_number, "unknown directive '" + std::string(key) + "'");
     }
     if (!ok) {
-      Fail(error, line_number, "bad value '" + std::string(value) + "' for '" +
-                                   std::string(key) + "'");
-      return std::nullopt;
+      return Fail(line_number,
+                  "bad value '" + std::string(value) + "' for '" + std::string(key) + "'");
     }
   }
   return config;

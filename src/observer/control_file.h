@@ -26,19 +26,18 @@
 #ifndef SRC_OBSERVER_CONTROL_FILE_H_
 #define SRC_OBSERVER_CONTROL_FILE_H_
 
-#include <optional>
 #include <string>
 #include <string_view>
 
 #include "src/observer/observer_config.h"
+#include "src/util/status.h"
 
 namespace seer {
 
-// Parses `text`, applying directives on top of `base`. Returns nullopt and
-// fills `error` (if non-null) with a line-numbered message on bad input.
-std::optional<ObserverConfig> ParseObserverControlFile(std::string_view text,
-                                                       const ObserverConfig& base = {},
-                                                       std::string* error = nullptr);
+// Parses `text`, applying directives on top of `base`. Returns
+// kInvalidArgument with a line-numbered message on bad input.
+StatusOr<ObserverConfig> ParseObserverControlFile(std::string_view text,
+                                                  const ObserverConfig& base = {});
 
 // Renders a config back into control-file text (round-trips through the
 // parser).

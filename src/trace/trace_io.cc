@@ -98,19 +98,47 @@ std::string FormatEvent(const TraceEvent& e) {
   return out.str();
 }
 
-std::optional<TraceEvent> ParseEventLine(std::string_view line) {
+StatusOr<TraceEvent> ParseEventLine(std::string_view line) {
   const auto fields = SplitFields(line);
   if (fields.size() != 11) {
-    return std::nullopt;
+    return Status::InvalidArgument("expected 11 fields, got " +
+                                   std::to_string(fields.size()));
   }
   TraceEvent e;
   int write_flag = 0;
-  if (!ParseInt(fields[0], &e.seq) || !ParseInt(fields[1], &e.time) ||
-      !ParseInt(fields[2], &e.pid) || !ParseInt(fields[3], &e.uid) ||
-      !ParseOp(fields[4], &e.op) || !ParseOpStatus(fields[5], &e.status) ||
-      !ParseInt(fields[8], &e.fd) || !ParseInt(fields[9], &write_flag) ||
-      !ParseInt(fields[10], &e.detail)) {
-    return std::nullopt;
+  static constexpr const char* kFieldNames[] = {"seq",    "time", "pid", "uid",
+                                                "op",     "status", "path", "path2",
+                                                "fd",     "write",  "detail"};
+  const auto bad = [&](int i) {
+    return Status::InvalidArgument("bad " + std::string(kFieldNames[i]) + " field '" +
+                                   std::string(fields[i]) + "'");
+  };
+  if (!ParseInt(fields[0], &e.seq)) {
+    return bad(0);
+  }
+  if (!ParseInt(fields[1], &e.time)) {
+    return bad(1);
+  }
+  if (!ParseInt(fields[2], &e.pid)) {
+    return bad(2);
+  }
+  if (!ParseInt(fields[3], &e.uid)) {
+    return bad(3);
+  }
+  if (!ParseOp(fields[4], &e.op)) {
+    return bad(4);
+  }
+  if (!ParseOpStatus(fields[5], &e.status)) {
+    return bad(5);
+  }
+  if (!ParseInt(fields[8], &e.fd)) {
+    return bad(8);
+  }
+  if (!ParseInt(fields[9], &write_flag)) {
+    return bad(9);
+  }
+  if (!ParseInt(fields[10], &e.detail)) {
+    return bad(10);
   }
   e.write = write_flag != 0;
   if (fields[6] != "-") {
@@ -134,8 +162,8 @@ std::optional<TraceEvent> TraceReader::Next() {
       continue;
     }
     auto event = ParseEventLine(line);
-    if (event.has_value()) {
-      return event;
+    if (event.ok()) {
+      return *std::move(event);
     }
     ++malformed_lines_;
   }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/trace/event.h"
+#include "src/util/status.h"
 
 namespace seer {
 
@@ -29,8 +30,9 @@ std::string UnescapePath(std::string_view escaped);
 // Formats one event as a trace line (no trailing newline).
 std::string FormatEvent(const TraceEvent& event);
 
-// Parses one trace line; returns nullopt for malformed input.
-std::optional<TraceEvent> ParseEventLine(std::string_view line);
+// Parses one trace line; kInvalidArgument naming the bad field for
+// malformed input.
+StatusOr<TraceEvent> ParseEventLine(std::string_view line);
 
 // Streaming writer.
 class TraceWriter {

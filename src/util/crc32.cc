@@ -1,0 +1,32 @@
+#include "src/util/crc32.h"
+
+#include <array>
+
+namespace seer {
+
+namespace {
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(uint32_t crc, std::string_view data) {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  crc = ~crc;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace seer

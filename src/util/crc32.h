@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant).
+//
+// Every section of the binary snapshot format and every WAL record carries
+// a CRC so a torn or bit-rotted write is detected at load time instead of
+// silently corrupting the learned database. Table-driven, no external
+// dependency.
+#ifndef SRC_UTIL_CRC32_H_
+#define SRC_UTIL_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace seer {
+
+// Extends a running CRC (start with crc = 0) over `data`.
+uint32_t Crc32(uint32_t crc, std::string_view data);
+
+inline uint32_t Crc32(std::string_view data) { return Crc32(0, data); }
+
+}  // namespace seer
+
+#endif  // SRC_UTIL_CRC32_H_

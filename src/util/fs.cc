@@ -1,0 +1,259 @@
+#include "src/util/fs.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define SEER_HAVE_FSYNC 1
+#endif
+
+namespace seer {
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " " + path + ": " + std::strerror(errno));
+}
+
+// fsync by path. On platforms without fsync this is a no-op: the write
+// still happened, we just lose the durability barrier.
+Status SyncPath(const std::string& path, bool directory) {
+#ifdef SEER_HAVE_FSYNC
+  const int flags = directory ? O_RDONLY | O_DIRECTORY : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    return ErrnoStatus("open for fsync", path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return ErrnoStatus("fsync", path);
+  }
+#else
+  (void)path;
+  (void)directory;
+#endif
+  return Status::Ok();
+}
+
+Status WriteMode(const std::string& path, std::string_view data, const char* mode) {
+  std::FILE* f = std::fopen(path.c_str(), mode);
+  if (f == nullptr) {
+    return ErrnoStatus("open", path);
+  }
+  if (!data.empty() && std::fwrite(data.data(), 1, data.size(), f) != data.size()) {
+    std::fclose(f);
+    return ErrnoStatus("write", path);
+  }
+  if (std::fclose(f) != 0) {
+    return ErrnoStatus("close", path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::string> RealFs::ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return ErrnoStatus("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) {
+    return ErrnoStatus("read", path);
+  }
+  return out;
+}
+
+Status RealFs::WriteFile(const std::string& path, std::string_view data) {
+  return WriteMode(path, data, "wb");
+}
+
+Status RealFs::AppendFile(const std::string& path, std::string_view data) {
+  return WriteMode(path, data, "ab");
+}
+
+Status RealFs::RenameFile(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename", from + " -> " + to);
+  }
+  return Status::Ok();
+}
+
+Status RealFs::RemoveFile(const std::string& path) {
+  if (std::remove(path.c_str()) != 0) {
+    return ErrnoStatus("remove", path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::string>> RealFs::ListDir(const std::string& dir) {
+  std::error_code ec;
+  std::vector<std::string> out;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IoError("listdir " + dir + ": " + ec.message());
+  }
+  for (const auto& entry : it) {
+    out.push_back(entry.path().filename().string());
+  }
+  return out;
+}
+
+Status RealFs::MakeDirs(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("mkdir " + dir + ": " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Status RealFs::SyncFile(const std::string& path) { return SyncPath(path, /*directory=*/false); }
+
+Status RealFs::SyncDir(const std::string& dir) { return SyncPath(dir, /*directory=*/true); }
+
+bool RealFs::Exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+StatusOr<uint64_t> RealFs::FileSize(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return Status::IoError("stat " + path + ": " + ec.message());
+  }
+  return static_cast<uint64_t>(size);
+}
+
+Fs& DefaultFs() {
+  static RealFs* fs = new RealFs();
+  return *fs;
+}
+
+// --- FaultFs ------------------------------------------------------------------
+
+FaultFs::Action FaultFs::NextOp() {
+  const uint64_t op = op_count_++;
+  if (crashed_) {
+    return Action::kCrash;
+  }
+  if (op == plan_.short_write_at_op) {
+    crashed_ = true;
+    return Action::kShortWrite;
+  }
+  if (op == plan_.crash_at_op) {
+    crashed_ = true;
+    return Action::kCrash;
+  }
+  return Action::kProceed;
+}
+
+StatusOr<std::string> FaultFs::ReadFile(const std::string& path) {
+  if (crashed_) {
+    return CrashedStatus();
+  }
+  return base_->ReadFile(path);
+}
+
+Status FaultFs::WriteFile(const std::string& path, std::string_view data) {
+  switch (NextOp()) {
+    case Action::kCrash:
+      return CrashedStatus();
+    case Action::kShortWrite: {
+      const size_t keep = static_cast<size_t>(data.size() * plan_.short_write_fraction);
+      // The torn prefix reaches the disk; the caller sees the crash.
+      (void)base_->WriteFile(path, data.substr(0, keep));
+      return CrashedStatus();
+    }
+    case Action::kProceed:
+      return base_->WriteFile(path, data);
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FaultFs::AppendFile(const std::string& path, std::string_view data) {
+  switch (NextOp()) {
+    case Action::kCrash:
+      return CrashedStatus();
+    case Action::kShortWrite: {
+      const size_t keep = static_cast<size_t>(data.size() * plan_.short_write_fraction);
+      (void)base_->AppendFile(path, data.substr(0, keep));
+      return CrashedStatus();
+    }
+    case Action::kProceed:
+      return base_->AppendFile(path, data);
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FaultFs::RenameFile(const std::string& from, const std::string& to) {
+  if (NextOp() != Action::kProceed) {
+    return CrashedStatus();
+  }
+  return base_->RenameFile(from, to);
+}
+
+Status FaultFs::RemoveFile(const std::string& path) {
+  if (NextOp() != Action::kProceed) {
+    return CrashedStatus();
+  }
+  return base_->RemoveFile(path);
+}
+
+StatusOr<std::vector<std::string>> FaultFs::ListDir(const std::string& dir) {
+  if (crashed_) {
+    return CrashedStatus();
+  }
+  return base_->ListDir(dir);
+}
+
+Status FaultFs::MakeDirs(const std::string& dir) {
+  if (NextOp() != Action::kProceed) {
+    return CrashedStatus();
+  }
+  return base_->MakeDirs(dir);
+}
+
+Status FaultFs::SyncFile(const std::string& path) {
+  if (NextOp() != Action::kProceed) {
+    return CrashedStatus();
+  }
+  return base_->SyncFile(path);
+}
+
+Status FaultFs::SyncDir(const std::string& dir) {
+  if (NextOp() != Action::kProceed) {
+    return CrashedStatus();
+  }
+  return base_->SyncDir(dir);
+}
+
+bool FaultFs::Exists(const std::string& path) {
+  return crashed_ ? false : base_->Exists(path);
+}
+
+StatusOr<uint64_t> FaultFs::FileSize(const std::string& path) {
+  if (crashed_) {
+    return CrashedStatus();
+  }
+  return base_->FileSize(path);
+}
+
+}  // namespace seer

@@ -1,0 +1,125 @@
+// Filesystem access for the durability layer, behind a narrow interface.
+//
+// The snapshot store and WAL never touch the OS directly; they go through
+// Fs so tests can interpose FaultFs, a fault-injection shim that simulates
+// a crash at any chosen operation — including a short (torn) write that
+// leaves a partial file behind, exactly what a power cut mid-write does.
+// RealFs is the production implementation: plain files plus fsync, with
+// directory fsync after renames so the atomic-rename commit protocol is
+// durable, not just atomic.
+#ifndef SRC_UTIL_FS_H_
+#define SRC_UTIL_FS_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace seer {
+
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  virtual StatusOr<std::string> ReadFile(const std::string& path) = 0;
+  // Creates or truncates. Not atomic — callers wanting atomicity write a
+  // temp file, sync it, and RenameFile over the target.
+  virtual Status WriteFile(const std::string& path, std::string_view data) = 0;
+  // Appends, creating the file if needed.
+  virtual Status AppendFile(const std::string& path, std::string_view data) = 0;
+  // Atomic replace (POSIX rename semantics).
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  // Basenames of directory entries (files and subdirectories), unsorted.
+  virtual StatusOr<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+  // mkdir -p.
+  virtual Status MakeDirs(const std::string& dir) = 0;
+  // fsync the file / directory contents to stable storage.
+  virtual Status SyncFile(const std::string& path) = 0;
+  virtual Status SyncDir(const std::string& dir) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+  virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
+};
+
+// The real thing: <filesystem> + stdio + fsync.
+class RealFs : public Fs {
+ public:
+  StatusOr<std::string> ReadFile(const std::string& path) override;
+  Status WriteFile(const std::string& path, std::string_view data) override;
+  Status AppendFile(const std::string& path, std::string_view data) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status MakeDirs(const std::string& dir) override;
+  Status SyncFile(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+  bool Exists(const std::string& path) override;
+  StatusOr<uint64_t> FileSize(const std::string& path) override;
+};
+
+// The process-wide RealFs used when a component is handed no Fs.
+Fs& DefaultFs();
+
+// Fault-injection decorator. Mutating operations (writes, appends,
+// renames, removes, syncs) are numbered 0, 1, 2, ... in call order; the
+// plan picks one to fail. After the chosen operation the shim enters the
+// "crashed" state: every subsequent operation (reads included) fails
+// without touching the underlying filesystem, so whatever the disk held at
+// the crash point is exactly what recovery will see.
+class FaultFs : public Fs {
+ public:
+  static constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
+
+  struct Plan {
+    // Mutating op index at which the crash happens. The op itself does NOT
+    // reach the disk (crash just before the write).
+    uint64_t crash_at_op = kNever;
+    // Mutating op index at which a WriteFile/AppendFile persists only a
+    // prefix (a torn write) and then crashes. For non-write ops this
+    // behaves like crash_at_op.
+    uint64_t short_write_at_op = kNever;
+    // Fraction of the payload a short write persists.
+    double short_write_fraction = 0.5;
+  };
+
+  // Two constructors instead of `Plan plan = {}`: a `{}` default argument
+  // can't use Plan's member initializers before FaultFs is complete.
+  explicit FaultFs(Fs* base) : base_(base) {}
+  FaultFs(Fs* base, Plan plan) : base_(base), plan_(plan) {}
+
+  // Mutating operations attempted so far (counts ops that were refused
+  // after the crash point too — useful for sizing kill matrices).
+  uint64_t op_count() const { return op_count_; }
+  bool crashed() const { return crashed_; }
+
+  StatusOr<std::string> ReadFile(const std::string& path) override;
+  Status WriteFile(const std::string& path, std::string_view data) override;
+  Status AppendFile(const std::string& path, std::string_view data) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status MakeDirs(const std::string& dir) override;
+  Status SyncFile(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+  bool Exists(const std::string& path) override;
+  StatusOr<uint64_t> FileSize(const std::string& path) override;
+
+ private:
+  // Returns the action for the next mutating op and advances the counter.
+  enum class Action { kProceed, kCrash, kShortWrite };
+  Action NextOp();
+  Status CrashedStatus() const { return Status::IoError("FaultFs: simulated crash"); }
+
+  Fs* base_;
+  Plan plan_;
+  uint64_t op_count_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace seer
+
+#endif  // SRC_UTIL_FS_H_

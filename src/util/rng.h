@@ -112,6 +112,20 @@ class Rng {
   // proportional to 1/(r+1)^s. Used for skewed file popularity.
   uint64_t NextZipf(uint64_t n, double s);
 
+  // Raw generator state, for checkpointing: a recovered correlator must
+  // resume tie-breaking exactly where the crashed one left off, or replayed
+  // updates diverge from the never-crashed run.
+  void GetState(uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) {
+      out[i] = state_[i];
+    }
+  }
+  void SetState(const uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) {
+      state_[i] = in[i];
+    }
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 

@@ -1,0 +1,143 @@
+// Value-returned error handling for the persistence and I/O surfaces.
+//
+// SEER's original parsers reported failure through `std::string* error`
+// out-params, which made error paths easy to ignore and impossible to
+// compose. Status carries an error code plus a human-readable message;
+// StatusOr<T> is either a value or a non-OK Status. The durability layer
+// (snapshot store, WAL) threads these through every fallible operation so
+// a torn write surfaces as a typed kDataLoss instead of a silent nullptr.
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace seer {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,     // malformed input the caller handed us
+  kNotFound,            // named thing does not exist
+  kAlreadyExists,       // creation collided with an existing object
+  kFailedPrecondition,  // operation illegal in the current state
+  kIoError,             // the filesystem said no
+  kDataLoss,            // corruption detected (bad CRC, torn record)
+  kInternal,            // invariant violation; a bug
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) { return Status(StatusCode::kNotFound, std::move(m)); }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status IoError(std::string m) { return Status(StatusCode::kIoError, std::move(m)); }
+  static Status DataLoss(std::string m) { return Status(StatusCode::kDataLoss, std::move(m)); }
+  static Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "DATA_LOSS: files section: bad crc" — or "OK".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& out, const Status& status);
+
+// A value of type T, or the Status explaining why there is none.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  // Implicit from a non-OK Status (an OK status without a value is a bug).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok());
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  bool has_value() const { return ok(); }  // optional-style spelling
+
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      std::abort();  // accessing value() of a failed StatusOr
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK Status to the caller.
+#define SEER_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::seer::Status seer_status_macro_tmp = (expr); \
+    if (!seer_status_macro_tmp.ok()) {             \
+      return seer_status_macro_tmp;                \
+    }                                              \
+  } while (false)
+
+// Unwraps a StatusOr into `lhs`, propagating failure to the caller.
+#define SEER_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SEER_ASSIGN_OR_RETURN_IMPL_(SEER_STATUS_CONCAT_(seer_statusor_, __LINE__), lhs, rexpr)
+
+#define SEER_STATUS_CONCAT_(a, b) SEER_STATUS_CONCAT_IMPL_(a, b)
+#define SEER_STATUS_CONCAT_IMPL_(a, b) a##b
+#define SEER_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = *std::move(tmp)
+
+}  // namespace seer
+
+#endif  // SRC_UTIL_STATUS_H_

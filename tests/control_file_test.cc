@@ -26,9 +26,8 @@ meaningless-min-potential 30
 getcwd-threshold 3
 collapse-stat-open off
 )";
-  std::string error;
-  const auto config = ParseObserverControlFile(text, {}, &error);
-  ASSERT_TRUE(config.has_value()) << error;
+  const auto config = ParseObserverControlFile(text);
+  ASSERT_TRUE(config.has_value()) << config.status();
   EXPECT_EQ(config->meaningless_programs.size(), 2u);
   EXPECT_EQ(config->meaningless_programs.count("/usr/bin/xargs"), 1u);
   EXPECT_EQ(config->transient_dirs.size(), 2u);
@@ -60,18 +59,18 @@ TEST(ControlFile, ClearEmptiesListSettings) {
 }
 
 TEST(ControlFile, RejectsUnknownDirective) {
-  std::string error;
-  EXPECT_FALSE(ParseObserverControlFile("frobnicate yes\n", {}, &error).has_value());
-  EXPECT_NE(error.find("line 1"), std::string::npos);
-  EXPECT_NE(error.find("frobnicate"), std::string::npos);
+  const auto config = ParseObserverControlFile("frobnicate yes\n");
+  ASSERT_FALSE(config.has_value());
+  EXPECT_EQ(config.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(config.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(config.status().message().find("frobnicate"), std::string::npos);
 }
 
 TEST(ControlFile, RejectsBadValues) {
-  std::string error;
-  EXPECT_FALSE(ParseObserverControlFile("frequent-threshold 2.5\n", {}, &error).has_value());
-  EXPECT_FALSE(ParseObserverControlFile("dot-files maybe\n", {}, &error).has_value());
-  EXPECT_FALSE(ParseObserverControlFile("meaningless-mode psychic\n", {}, &error).has_value());
-  EXPECT_FALSE(ParseObserverControlFile("meaningless\n", {}, &error).has_value());
+  EXPECT_FALSE(ParseObserverControlFile("frequent-threshold 2.5\n").has_value());
+  EXPECT_FALSE(ParseObserverControlFile("dot-files maybe\n").has_value());
+  EXPECT_FALSE(ParseObserverControlFile("meaningless-mode psychic\n").has_value());
+  EXPECT_FALSE(ParseObserverControlFile("meaningless\n").has_value());
 }
 
 TEST(ControlFile, AllModesParse) {
@@ -102,9 +101,8 @@ TEST(ControlFile, FormatRoundTrips) {
   config.getcwd_climb_threshold = 5;
   config.collapse_stat_open = false;
 
-  std::string error;
-  const auto back = ParseObserverControlFile(FormatObserverControlFile(config), {}, &error);
-  ASSERT_TRUE(back.has_value()) << error;
+  const auto back = ParseObserverControlFile(FormatObserverControlFile(config));
+  ASSERT_TRUE(back.has_value()) << back.status();
   EXPECT_EQ(back->meaningless_programs, config.meaningless_programs);
   EXPECT_EQ(back->transient_dirs, config.transient_dirs);
   EXPECT_EQ(back->critical_prefixes, config.critical_prefixes);
@@ -133,9 +131,8 @@ dir-weight 0.5
 investigator-weight 2
 temporal-horizon 120
 )";
-  std::string error;
-  const auto params = ParseSeerParams(text, {}, &error);
-  ASSERT_TRUE(params.has_value()) << error;
+  const auto params = ParseSeerParams(text);
+  ASSERT_TRUE(params.has_value()) << params.status();
   EXPECT_EQ(params->max_neighbors, 15);
   EXPECT_EQ(params->distance_horizon, 80);
   EXPECT_EQ(params->cluster_near, 12);
@@ -151,16 +148,15 @@ temporal-horizon 120
 }
 
 TEST(ParamsIo, RejectsKfNotBelowKn) {
-  std::string error;
-  EXPECT_FALSE(ParseSeerParams("kn 5\nkf 5\n", {}, &error).has_value());
-  EXPECT_NE(error.find("kf"), std::string::npos);
+  const auto params = ParseSeerParams("kn 5\nkf 5\n");
+  ASSERT_FALSE(params.has_value());
+  EXPECT_NE(params.status().message().find("kf"), std::string::npos);
 }
 
 TEST(ParamsIo, RejectsUnknownKeyAndBadValues) {
-  std::string error;
-  EXPECT_FALSE(ParseSeerParams("bogus 1\n", {}, &error).has_value());
-  EXPECT_FALSE(ParseSeerParams("n zero\n", {}, &error).has_value());
-  EXPECT_FALSE(ParseSeerParams("distance psychic\n", {}, &error).has_value());
+  EXPECT_FALSE(ParseSeerParams("bogus 1\n").has_value());
+  EXPECT_FALSE(ParseSeerParams("n zero\n").has_value());
+  EXPECT_FALSE(ParseSeerParams("distance psychic\n").has_value());
 }
 
 TEST(ParamsIo, FormatRoundTrips) {

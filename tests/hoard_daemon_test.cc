@@ -2,8 +2,12 @@
 #include "src/core/hoard_daemon.h"
 
 #include <algorithm>
+#include <filesystem>
 
 #include <gtest/gtest.h>
+
+#include "src/core/durable_correlator.h"
+#include "src/util/fs.h"
 
 namespace seer {
 namespace {
@@ -137,6 +141,51 @@ TEST(HoardDaemonInvestigators, RunsInvestigatorsWhenConfigured) {
     together |= std::find(members.begin(), members.end(), h) != members.end();
   }
   EXPECT_TRUE(together);
+}
+
+TEST(HoardDaemonCheckpoint, RefillsAndFatWalsTriggerCheckpoints) {
+  RealFs fs;
+  const std::string dir = ::testing::TempDir() + "seer_daemon_ckpt";
+  std::filesystem::remove_all(dir);
+  auto opened = DurableCorrelator::Open(&fs, dir);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  DurableCorrelator& durable = **opened;
+  for (int i = 0; i < 4; ++i) {
+    durable.OnReference(Ref(1, RefKind::kPoint, "/p/f" + std::to_string(i), i + 1));
+  }
+
+  Observer observer(ObserverConfig{}, nullptr);
+  HoardManager manager(1'000'000);
+  MissLog miss_log;
+  HoardDaemon::Config config;
+  config.interval = kMicrosPerHour;
+  config.durable = &durable;
+  config.wal_checkpoint_bytes = 64;  // tiny threshold: a few records trip it
+  HoardDaemon daemon(
+      &durable.correlator(), &observer, &manager, &miss_log,
+      [](const std::set<std::string>&) {}, [](PathId) -> uint64_t { return 10; },
+      config);
+
+  // Every refill checkpoints, regardless of WAL size.
+  const uint64_t before = durable.generation();
+  daemon.ForceRefill(1);
+  EXPECT_EQ(daemon.checkpoint_count(), 1u);
+  EXPECT_TRUE(daemon.last_checkpoint_status().ok());
+  EXPECT_GT(durable.generation(), before);
+  EXPECT_EQ(durable.wal_bytes(), 16u) << "fresh WAL: header only";
+
+  // Between refills, only a WAL past the size threshold compacts.
+  ASSERT_FALSE(daemon.MaybeRefill(2));
+  EXPECT_EQ(daemon.checkpoint_count(), 1u) << "small WAL, no checkpoint";
+  for (int i = 0; i < 40; ++i) {
+    durable.OnReference(Ref(1, RefKind::kPoint, "/w/f" + std::to_string(i), 100 + i));
+  }
+  ASSERT_GT(durable.wal_bytes(), config.wal_checkpoint_bytes);
+  const uint64_t grown = durable.generation();
+  ASSERT_FALSE(daemon.MaybeRefill(3)) << "interval not elapsed";
+  EXPECT_EQ(daemon.checkpoint_count(), 2u) << "fat WAL forces compaction";
+  EXPECT_GT(durable.generation(), grown);
+  EXPECT_TRUE(durable.store().Verify().ok());
 }
 
 }  // namespace

@@ -60,10 +60,9 @@ TEST_P(ParserFuzz, TraceLinesNeverCrash) {
 TEST_P(ParserFuzz, ControlFileNeverCrashes) {
   Rng rng(Seed() ^ 1);
   for (int i = 0; i < 300; ++i) {
-    std::string error;
-    const auto config = ParseObserverControlFile(RandomText(&rng, 300), {}, &error);
+    const auto config = ParseObserverControlFile(RandomText(&rng, 300));
     if (!config.has_value()) {
-      EXPECT_FALSE(error.empty());
+      EXPECT_FALSE(config.status().message().empty());
     }
   }
 }
@@ -71,8 +70,7 @@ TEST_P(ParserFuzz, ControlFileNeverCrashes) {
 TEST_P(ParserFuzz, ParamsFileNeverCrashes) {
   Rng rng(Seed() ^ 2);
   for (int i = 0; i < 300; ++i) {
-    std::string error;
-    const auto params = ParseSeerParams(RandomText(&rng, 300), {}, &error);
+    const auto params = ParseSeerParams(RandomText(&rng, 300));
     if (params.has_value()) {
       // Anything accepted must still satisfy the structural constraint.
       EXPECT_LT(params->cluster_far, params->cluster_near);
@@ -84,10 +82,9 @@ TEST_P(ParserFuzz, DatabaseLoaderNeverCrashes) {
   Rng rng(Seed() ^ 3);
   for (int i = 0; i < 200; ++i) {
     std::istringstream in(RandomText(&rng, 500));
-    std::string error;
-    const auto loaded = Correlator::LoadFrom(in, &error);
-    if (loaded == nullptr) {
-      EXPECT_FALSE(error.empty());
+    const auto loaded = Correlator::LoadFrom(in);
+    if (!loaded.ok()) {
+      EXPECT_FALSE(loaded.status().message().empty());
     }
   }
 }
@@ -118,9 +115,9 @@ TEST_P(ParserFuzz, MutatedDatabaseHandled) {
     }
     std::istringstream in(mutated);
     const auto loaded = Correlator::LoadFrom(in);
-    if (loaded != nullptr) {
+    if (loaded.ok()) {
       // Accepted: must still be usable.
-      const ClusterSet clusters = loaded->BuildClusters();
+      const ClusterSet clusters = (*loaded)->BuildClusters();
       for (const Cluster& c : clusters.clusters) {
         EXPECT_FALSE(c.members.empty());
       }

@@ -1,4 +1,5 @@
 // Tests for the correlator database save/load format.
+#include <cmath>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -45,9 +46,9 @@ TEST(Persistence, SaveLoadRoundTrip) {
   std::stringstream buffer;
   original.SaveTo(buffer);
 
-  std::string error;
-  const auto loaded = Correlator::LoadFrom(buffer, &error);
-  ASSERT_NE(loaded, nullptr) << error;
+  const auto result = Correlator::LoadFrom(buffer);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto& loaded = *result;
 
   // Same parameters.
   EXPECT_EQ(loaded->params().max_neighbors, 12);
@@ -80,8 +81,9 @@ TEST(Persistence, LoadedCorrelatorKeepsLearning) {
   Populate(&original);
   std::stringstream buffer;
   original.SaveTo(buffer);
-  const auto loaded = Correlator::LoadFrom(buffer);
-  ASSERT_NE(loaded, nullptr);
+  const auto result = Correlator::LoadFrom(buffer);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto& loaded = *result;
 
   // New references extend the old database; the global sequence resumes
   // past the saved point so recency ordering stays monotone.
@@ -100,8 +102,9 @@ TEST(Persistence, DeletionDelayResumesAfterLoad) {
 
   std::stringstream buffer;
   original.SaveTo(buffer);
-  const auto loaded = Correlator::LoadFrom(buffer);
-  ASSERT_NE(loaded, nullptr);
+  const auto result = Correlator::LoadFrom(buffer);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto& loaded = *result;
 
   // Two more deletions expire /p0/f5's grace period in the LOADED instance.
   loaded->OnReference(Ref(1, RefKind::kPoint, "/x1", 1));
@@ -119,25 +122,26 @@ TEST(Persistence, PathsWithSpacesSurvive) {
   std::stringstream buffer;
   original.SaveTo(buffer);
   const auto loaded = Correlator::LoadFrom(buffer);
-  ASSERT_NE(loaded, nullptr);
-  EXPECT_NE(loaded->files().FindPath("/docs/My Report.doc"), kInvalidFileId);
-  EXPECT_GE(loaded->Distance("/docs/My Report.doc", "/docs/figure one.fig"), 0.0);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_NE((*loaded)->files().FindPath("/docs/My Report.doc"), kInvalidFileId);
+  EXPECT_GE((*loaded)->Distance("/docs/My Report.doc", "/docs/figure one.fig"), 0.0);
 }
 
 TEST(Persistence, RejectsGarbage) {
-  std::string error;
   {
     std::stringstream s("not a database\n");
-    EXPECT_EQ(Correlator::LoadFrom(s, &error), nullptr);
-    EXPECT_NE(error.find("header"), std::string::npos);
+    const auto loaded = Correlator::LoadFrom(s);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(loaded.status().message().find("header"), std::string::npos);
   }
   {
     std::stringstream s("SEERDB 99\n");
-    EXPECT_EQ(Correlator::LoadFrom(s, &error), nullptr);
+    EXPECT_FALSE(Correlator::LoadFrom(s).ok());
   }
   {
     std::stringstream s;  // empty
-    EXPECT_EQ(Correlator::LoadFrom(s, &error), nullptr);
+    EXPECT_FALSE(Correlator::LoadFrom(s).ok());
   }
 }
 
@@ -152,9 +156,9 @@ TEST(Persistence, RejectsTruncation) {
   // none — the format ends with an explicit end marker).
   for (const double frac : {0.2, 0.5, 0.9}) {
     std::stringstream cut(full.substr(0, static_cast<size_t>(full.size() * frac)));
-    std::string error;
-    EXPECT_EQ(Correlator::LoadFrom(cut, &error), nullptr) << frac;
-    EXPECT_FALSE(error.empty());
+    const auto loaded = Correlator::LoadFrom(cut);
+    EXPECT_FALSE(loaded.ok()) << frac;
+    EXPECT_FALSE(loaded.status().message().empty());
   }
 }
 
@@ -168,9 +172,54 @@ TEST(Persistence, HexFloatExactness) {
   std::stringstream buffer;
   original.SaveTo(buffer);
   const auto loaded = Correlator::LoadFrom(buffer);
-  ASSERT_NE(loaded, nullptr);
-  EXPECT_EQ(loaded->Distance("/a", "/b"), original.Distance("/a", "/b"))
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->Distance("/a", "/b"), original.Distance("/a", "/b"))
       << "hex-float serialisation must be bit-exact";
+}
+
+// Builds a minimal valid database text with one relation entry whose
+// log-sum field is `log_sum_text`.
+std::string DbWithLogSum(const std::string& log_sum_text) {
+  Correlator original;
+  original.OnReference(Ref(1, RefKind::kPoint, "/a", 1));
+  original.OnReference(Ref(1, RefKind::kPoint, "/b", 2));
+  std::stringstream buffer;
+  original.SaveTo(buffer);
+  std::string text = buffer.str();
+  // The neighbor lines are the only ones carrying hex floats; rewrite the
+  // first one's log-sum field.
+  const size_t list_pos = text.find("list ");
+  EXPECT_NE(list_pos, std::string::npos);
+  const size_t line_start = text.find('\n', list_pos) + 1;
+  const size_t field_start = text.find(' ', line_start) + 1;
+  const size_t field_end = text.find(' ', field_start);
+  return text.substr(0, field_start) + log_sum_text + text.substr(field_end);
+}
+
+TEST(Persistence, RejectsNonFiniteDistances) {
+  // from_chars happily parses "nan" and "inf", but no real accumulator sum
+  // is either — a NaN here would poison every mean distance downstream.
+  for (const char* bad : {"nan", "-nan", "inf", "-inf", "infinity"}) {
+    std::stringstream in(DbWithLogSum(bad));
+    const auto loaded = Correlator::LoadFrom(in);
+    EXPECT_FALSE(loaded.ok()) << bad;
+  }
+}
+
+TEST(Persistence, RejectsPartiallyConsumedNumbers) {
+  // Locale-style decimals and trailing junk must not half-parse: the whole
+  // word has to be consumed.
+  for (const char* bad : {"1,5", "0x1.8p+1junk", "12abc", "0x", "--3", ""}) {
+    std::stringstream in(DbWithLogSum(bad));
+    EXPECT_FALSE(Correlator::LoadFrom(in).ok()) << '"' << bad << '"';
+  }
+}
+
+TEST(Persistence, AcceptsPlainAndHexFloatSpellings) {
+  for (const char* good : {"0x1.8p+1", "-0x1.8p+1", "3.25", "-3.25", "0"}) {
+    std::stringstream in(DbWithLogSum(good));
+    EXPECT_TRUE(Correlator::LoadFrom(in).ok()) << good;
+  }
 }
 
 }  // namespace

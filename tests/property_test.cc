@@ -467,12 +467,11 @@ TEST_P(CorrelatorProperty, ChaosThenPersistenceRoundTrip) {
   // Persistence identity.
   std::stringstream buffer;
   correlator.SaveTo(buffer);
-  std::string error;
-  const auto loaded = Correlator::LoadFrom(buffer, &error);
-  ASSERT_NE(loaded, nullptr) << error;
+  const auto loaded = Correlator::LoadFrom(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
   for (int i = 0; i < 25; ++i) {
     for (int j = 0; j < 25; ++j) {
-      EXPECT_EQ(loaded->Distance(paths[i], paths[j]),
+      EXPECT_EQ((*loaded)->Distance(paths[i], paths[j]),
                 correlator.Distance(paths[i], paths[j]));
     }
   }

@@ -1,0 +1,504 @@
+// Crash-safety tests for the durability layer: FaultFs semantics, WAL
+// round-trip and torn-tail handling, SnapshotStore checkpoint/recover/
+// prune/verify, a kill-at-every-operation crash matrix, and the property
+// that snapshot + WAL replay reproduces the in-memory correlator exactly.
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/correlator.h"
+#include "src/core/durable_correlator.h"
+#include "src/core/snapshot_store.h"
+#include "src/core/wal.h"
+#include "src/util/fs.h"
+#include "src/util/status.h"
+
+namespace seer {
+namespace {
+
+PathId P(std::string_view path) { return GlobalPaths().Intern(path); }
+
+FileReference Ref(Pid pid, const std::string& path, Time time) {
+  FileReference r;
+  r.pid = pid;
+  r.kind = RefKind::kPoint;
+  r.path = P(path);
+  r.time = time;
+  return r;
+}
+
+// Fresh, empty scratch directory under the test temp root.
+std::string ScratchDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "seer_store_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Feeds a small but representative event mix: two processes, a fork, a
+// rename, a deletion, and an exclusion.
+void FeedEvents(ReferenceSink* sink, int rounds, Time* t) {
+  for (int pass = 0; pass < rounds; ++pass) {
+    for (int proj = 0; proj < 2; ++proj) {
+      for (int f = 0; f < 5; ++f) {
+        sink->OnReference(Ref(proj + 1,
+                              "/p" + std::to_string(proj) + "/f" + std::to_string(f),
+                              *t += kMicrosPerSecond));
+      }
+    }
+    sink->OnProcessFork(1, 100 + pass);
+    sink->OnReference(Ref(100 + pass, "/p0/forked", *t += kMicrosPerSecond));
+    sink->OnProcessExit(100 + pass);
+  }
+  sink->OnFileRenamed(P("/p0/f4"), P("/p0/f4-renamed"), *t += kMicrosPerSecond);
+  sink->OnFileDeleted(P("/p1/f4"), *t += kMicrosPerSecond);
+  sink->OnFileExcluded(P("/p1/f3"));
+}
+
+// --- FaultFs ---------------------------------------------------------------
+
+TEST(FaultFs, CrashAtOpSuppressesTheOpAndAllLaterOnes) {
+  const std::string dir = ScratchDir("faultfs_crash");
+  RealFs real;
+  ASSERT_TRUE(real.MakeDirs(dir).ok());
+  FaultFs fs(&real, {.crash_at_op = 1});
+
+  EXPECT_TRUE(fs.WriteFile(dir + "/a", "first").ok());   // op 0
+  EXPECT_FALSE(fs.WriteFile(dir + "/b", "second").ok());  // op 1: crash, no write
+  EXPECT_TRUE(fs.crashed());
+  EXPECT_FALSE(fs.WriteFile(dir + "/c", "third").ok());  // post-crash: refused
+  EXPECT_FALSE(fs.ReadFile(dir + "/a").ok());            // reads refused too
+
+  EXPECT_TRUE(real.Exists(dir + "/a"));
+  EXPECT_FALSE(real.Exists(dir + "/b"));
+  EXPECT_FALSE(real.Exists(dir + "/c"));
+}
+
+TEST(FaultFs, ShortWritePersistsAPrefixThenCrashes) {
+  const std::string dir = ScratchDir("faultfs_short");
+  RealFs real;
+  ASSERT_TRUE(real.MakeDirs(dir).ok());
+  FaultFs fs(&real, {.short_write_at_op = 0, .short_write_fraction = 0.5});
+
+  EXPECT_FALSE(fs.WriteFile(dir + "/torn", "0123456789").ok());
+  EXPECT_TRUE(fs.crashed());
+
+  const auto content = real.ReadFile(dir + "/torn");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "01234") << "half the payload should be on disk";
+}
+
+TEST(FaultFs, OpCountNumbersMutatingOps) {
+  const std::string dir = ScratchDir("faultfs_count");
+  RealFs real;
+  ASSERT_TRUE(real.MakeDirs(dir).ok());
+  FaultFs fs(&real);
+
+  ASSERT_TRUE(fs.WriteFile(dir + "/a", "x").ok());
+  ASSERT_TRUE(fs.AppendFile(dir + "/a", "y").ok());
+  ASSERT_TRUE(fs.SyncFile(dir + "/a").ok());
+  ASSERT_TRUE(fs.RenameFile(dir + "/a", dir + "/b").ok());
+  EXPECT_EQ(fs.op_count(), 4u);
+  EXPECT_FALSE(fs.crashed());
+  // Reads are not mutating ops.
+  ASSERT_TRUE(fs.ReadFile(dir + "/b").ok());
+  EXPECT_EQ(fs.op_count(), 4u);
+}
+
+// --- WAL -------------------------------------------------------------------
+
+TEST(Wal, RoundTripReplaysEveryRecord) {
+  const std::string dir = ScratchDir("wal_roundtrip");
+  RealFs fs;
+  ASSERT_TRUE(fs.MakeDirs(dir).ok());
+
+  WalWriter writer(&fs, dir + "/wal", 7);
+  ASSERT_TRUE(writer.Create().ok());
+  Correlator reference;
+  Time t = 0;
+  FeedEvents(&reference, 2, &t);
+  t = 0;
+  struct Tee : ReferenceSink {
+    WalWriter* w;
+    void OnReference(const FileReference& r) override { ASSERT_TRUE(w->AppendReference(r).ok()); }
+    void OnProcessFork(Pid p, Pid c) override { ASSERT_TRUE(w->AppendFork(p, c).ok()); }
+    void OnProcessExit(Pid p) override { ASSERT_TRUE(w->AppendExit(p).ok()); }
+    void OnFileDeleted(PathId p, Time tm) override { ASSERT_TRUE(w->AppendDeleted(p, tm).ok()); }
+    void OnFileRenamed(PathId f, PathId to, Time tm) override {
+      ASSERT_TRUE(w->AppendRenamed(f, to, tm).ok());
+    }
+    void OnFileExcluded(PathId p) override { ASSERT_TRUE(w->AppendExcluded(p).ok()); }
+  } tee;
+  tee.w = &writer;
+  FeedEvents(&tee, 2, &t);
+  ASSERT_TRUE(writer.Sync().ok());
+  EXPECT_GT(writer.records_logged(), 0u);
+
+  const auto bytes = fs.ReadFile(dir + "/wal");
+  ASSERT_TRUE(bytes.ok());
+  Correlator replayed;
+  const auto stats = ReplayWal(*bytes, &replayed);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->generation, 7u);
+  EXPECT_EQ(stats->tail, WalReplayStats::Tail::kClean);
+  EXPECT_GT(stats->paths_defined, 0u);
+  EXPECT_EQ(stats->bytes_applied, bytes->size());
+
+  // Replaying through the WAL must reproduce the direct-fed correlator.
+  EXPECT_EQ(replayed.EncodeSnapshot(), reference.EncodeSnapshot());
+}
+
+TEST(Wal, TruncatedTailAppliesThePrefix) {
+  const std::string dir = ScratchDir("wal_torn");
+  RealFs fs;
+  ASSERT_TRUE(fs.MakeDirs(dir).ok());
+  WalWriter writer(&fs, dir + "/wal", 1);
+  ASSERT_TRUE(writer.Create().ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(writer.AppendReference(Ref(1, "/t/f" + std::to_string(i), i + 1)).ok());
+  }
+  ASSERT_TRUE(writer.Sync().ok());
+  const auto full = fs.ReadFile(dir + "/wal");
+  ASSERT_TRUE(full.ok());
+
+  // Chop mid-record: replay applies whole records before the tear.
+  const std::string torn = full->substr(0, full->size() - 3);
+  Correlator sink;
+  const auto stats = ReplayWal(torn, &sink);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->tail, WalReplayStats::Tail::kTorn);
+  EXPECT_LT(stats->records_applied, writer.records_logged());
+  EXPECT_GT(sink.references_processed(), 0u);
+}
+
+TEST(Wal, CrcDamagedFinalRecordIsATornTail) {
+  const std::string dir = ScratchDir("wal_crc");
+  RealFs fs;
+  ASSERT_TRUE(fs.MakeDirs(dir).ok());
+  WalWriter writer(&fs, dir + "/wal", 1);
+  ASSERT_TRUE(writer.Create().ok());
+  ASSERT_TRUE(writer.AppendReference(Ref(1, "/c/a", 1)).ok());
+  ASSERT_TRUE(writer.AppendReference(Ref(1, "/c/b", 2)).ok());
+  ASSERT_TRUE(writer.Sync().ok());
+  auto bytes = fs.ReadFile(dir + "/wal");
+  ASSERT_TRUE(bytes.ok());
+
+  std::string damaged = *bytes;
+  damaged.back() ^= 0x40;  // flip a payload bit in the final record
+  const auto stats = ReplayWal(damaged, nullptr);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->tail, WalReplayStats::Tail::kTorn);
+}
+
+TEST(Wal, UnusableHeaderFailsOutright) {
+  EXPECT_FALSE(ReplayWal("", nullptr).ok());
+  EXPECT_FALSE(ReplayWal("NOTAWAL!\x01\x02\x03\x04\x05\x06\x07\x08", nullptr).ok());
+}
+
+TEST(Wal, CreateRefusesAnExistingFile) {
+  const std::string dir = ScratchDir("wal_exists");
+  RealFs fs;
+  ASSERT_TRUE(fs.MakeDirs(dir).ok());
+  ASSERT_TRUE(fs.WriteFile(dir + "/wal", "leftover").ok());
+  WalWriter writer(&fs, dir + "/wal", 1);
+  const Status status = writer.Create();
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+// --- SnapshotStore ---------------------------------------------------------
+
+TEST(SnapshotStore, EmptyStoreRecoversFresh) {
+  const std::string dir = ScratchDir("store_empty");
+  RealFs fs;
+  SnapshotStore store(&fs, dir);
+  ASSERT_TRUE(store.Open().ok());
+  const auto recovered = store.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(recovered->fresh);
+  EXPECT_EQ(recovered->generation, 0u);
+  EXPECT_EQ(recovered->correlator->references_processed(), 0u);
+  EXPECT_TRUE(store.Verify().ok());
+}
+
+TEST(SnapshotStore, CheckpointThenWalReplayRestoresEverything) {
+  const std::string dir = ScratchDir("store_checkpoint");
+  RealFs fs;
+  SnapshotStore store(&fs, dir);
+  ASSERT_TRUE(store.Open().ok());
+
+  Correlator live;
+  Time t = 0;
+  FeedEvents(&live, 2, &t);
+  auto checkpoint = store.Checkpoint(live);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status();
+  EXPECT_EQ(checkpoint->generation, 1u);
+
+  // Post-checkpoint events go to the WAL only.
+  for (int i = 0; i < 8; ++i) {
+    const auto ref = Ref(1, "/after/f" + std::to_string(i), t += kMicrosPerSecond);
+    live.OnReference(ref);
+    ASSERT_TRUE(checkpoint->wal->AppendReference(ref).ok());
+  }
+  ASSERT_TRUE(checkpoint->wal->Sync().ok());
+
+  const auto recovered = store.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_FALSE(recovered->fresh);
+  EXPECT_EQ(recovered->generation, 1u);
+  EXPECT_EQ(recovered->wal_records_replayed, 8u + /*path defs*/ 8u);
+  EXPECT_EQ(recovered->correlator->EncodeSnapshot(), live.EncodeSnapshot());
+  EXPECT_TRUE(store.Verify().ok());
+}
+
+TEST(SnapshotStore, FallsBackPastADamagedNewestSnapshot) {
+  const std::string dir = ScratchDir("store_fallback");
+  RealFs fs;
+  SnapshotStore store(&fs, dir);
+  ASSERT_TRUE(store.Open().ok());
+
+  Correlator live;
+  Time t = 0;
+  FeedEvents(&live, 1, &t);
+  auto first = store.Checkpoint(live);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->wal->Sync().ok());
+  FeedEvents(&live, 1, &t);
+  auto second = store.Checkpoint(live);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->wal->Sync().ok());
+
+  // Maul snapshot 2; generation 1 plus its (empty) WALs must still load.
+  auto snap2 = fs.ReadFile(store.SnapshotPath(2));
+  ASSERT_TRUE(snap2.ok());
+  ASSERT_TRUE(fs.WriteFile(store.SnapshotPath(2), snap2->substr(0, snap2->size() / 2)).ok());
+
+  const auto recovered = store.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->generation, 1u);
+  EXPECT_EQ(recovered->snapshots_discarded, 1u);
+  // WAL 1 is empty (checkpoint 2 happened right after), so the recovered
+  // state is the generation-1 state.
+  EXPECT_GT(recovered->correlator->references_processed(), 0u);
+}
+
+TEST(SnapshotStore, PruneKeepsTheNewestGenerations) {
+  const std::string dir = ScratchDir("store_prune");
+  RealFs fs;
+  SnapshotStore store(&fs, dir, {.keep_generations = 2});
+  ASSERT_TRUE(store.Open().ok());
+
+  Correlator live;
+  Time t = 0;
+  for (int round = 0; round < 4; ++round) {
+    FeedEvents(&live, 1, &t);
+    auto checkpoint = store.Checkpoint(live);
+    ASSERT_TRUE(checkpoint.ok()) << checkpoint.status();
+    ASSERT_TRUE(checkpoint->wal->Sync().ok());
+  }
+
+  const auto snapshots = store.ListSnapshots();
+  ASSERT_TRUE(snapshots.ok());
+  EXPECT_EQ(*snapshots, (std::vector<uint64_t>{3, 4}));
+  const auto wals = store.ListWals();
+  ASSERT_TRUE(wals.ok());
+  ASSERT_FALSE(wals->empty());
+  EXPECT_GE(wals->front(), 3u) << "WALs older than the oldest kept snapshot go too";
+  EXPECT_TRUE(store.Verify().ok());
+}
+
+TEST(SnapshotStore, AllSnapshotsDamagedIsDataLossNotFresh) {
+  const std::string dir = ScratchDir("store_all_bad");
+  RealFs fs;
+  SnapshotStore store(&fs, dir);
+  ASSERT_TRUE(store.Open().ok());
+  Correlator live;
+  Time t = 0;
+  FeedEvents(&live, 1, &t);
+  auto checkpoint = store.Checkpoint(live);
+  ASSERT_TRUE(checkpoint.ok());
+  ASSERT_TRUE(fs.WriteFile(store.SnapshotPath(1), "garbage").ok());
+
+  const auto recovered = store.Recover();
+  ASSERT_FALSE(recovered.ok())
+      << "silently starting fresh would erase the database";
+  EXPECT_EQ(recovered.status().code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(store.Verify().ok());
+}
+
+TEST(SnapshotStore, WalsWithoutAnySnapshotAreDataLoss) {
+  const std::string dir = ScratchDir("store_orphan_wal");
+  RealFs fs;
+  SnapshotStore store(&fs, dir);
+  ASSERT_TRUE(store.Open().ok());
+  WalWriter writer(&fs, store.WalPath(3), 3);
+  ASSERT_TRUE(writer.Create().ok());
+  ASSERT_TRUE(writer.AppendReference(Ref(1, "/orphan", 1)).ok());
+  ASSERT_TRUE(writer.Sync().ok());
+
+  const auto recovered = store.Recover();
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(store.Verify().ok());
+}
+
+TEST(SnapshotStore, GetInfoDescribesEveryGeneration) {
+  const std::string dir = ScratchDir("store_info");
+  RealFs fs;
+  SnapshotStore store(&fs, dir);
+  ASSERT_TRUE(store.Open().ok());
+  Correlator live;
+  Time t = 0;
+  FeedEvents(&live, 1, &t);
+  auto checkpoint = store.Checkpoint(live);
+  ASSERT_TRUE(checkpoint.ok());
+  ASSERT_TRUE(checkpoint->wal->AppendReference(Ref(1, "/x", t + 1)).ok());
+  ASSERT_TRUE(checkpoint->wal->Sync().ok());
+
+  const auto info = store.GetInfo();
+  ASSERT_TRUE(info.ok()) << info.status();
+  ASSERT_EQ(info->generations.size(), 1u);
+  const auto& gen = info->generations[0];
+  EXPECT_EQ(gen.generation, 1u);
+  EXPECT_TRUE(gen.has_snapshot);
+  EXPECT_TRUE(gen.snapshot_ok);
+  EXPECT_GT(gen.snapshot_bytes, 0u);
+  EXPECT_TRUE(gen.has_wal);
+  EXPECT_EQ(gen.wal_records, 2u);  // path def + reference
+  EXPECT_EQ(gen.wal_tail, WalReplayStats::Tail::kClean);
+}
+
+// --- DurableCorrelator + crash matrix --------------------------------------
+
+// One deterministic daemon run against `fs`: open, observe, checkpoint,
+// observe more, sync. Failure statuses are swallowed — with fault injection
+// active, failing partway IS the scenario.
+void RunScenario(Fs* fs, const std::string& dir) {
+  auto durable = DurableCorrelator::Open(fs, dir);
+  if (!durable.ok()) {
+    return;  // crashed during open/recovery; whatever hit disk, hit disk
+  }
+  Time t = 0;
+  FeedEvents((*durable).get(), 1, &t);
+  (void)(*durable)->Checkpoint();
+  FeedEvents((*durable).get(), 1, &t);
+  (void)(*durable)->Sync();
+}
+
+TEST(CrashRecovery, KillAtEveryOperationLeavesARecoverableStore) {
+  // Baseline: count the mutating ops a fault-free run performs.
+  RealFs real;
+  const std::string baseline_dir = ScratchDir("crash_baseline");
+  FaultFs counter(&real);
+  RunScenario(&counter, baseline_dir);
+  const uint64_t total_ops = counter.op_count();
+  ASSERT_FALSE(counter.crashed());
+  ASSERT_GT(total_ops, 10u) << "scenario too small to be interesting";
+
+  for (const bool short_write : {false, true}) {
+    for (uint64_t k = 0; k < total_ops; ++k) {
+      const std::string dir = ScratchDir(
+          (short_write ? std::string("crash_short_") : std::string("crash_k_")) +
+          std::to_string(k));
+      FaultFs::Plan plan;
+      if (short_write) {
+        plan.short_write_at_op = k;
+      } else {
+        plan.crash_at_op = k;
+      }
+      FaultFs faulty(&real, plan);
+      RunScenario(&faulty, dir);
+      ASSERT_TRUE(faulty.crashed()) << "op " << k << " never happened";
+
+      // The machine comes back up: recovery on the real fs must succeed
+      // and the store must verify — at any kill point. (Open re-creates
+      // the directory when the crash predated even that.)
+      SnapshotStore store(&real, dir);
+      ASSERT_TRUE(store.Open().ok());
+      const auto recovered = store.Recover();
+      ASSERT_TRUE(recovered.ok())
+          << (short_write ? "short write" : "crash") << " at op " << k << ": "
+          << recovered.status();
+      EXPECT_TRUE(store.Verify().ok())
+          << (short_write ? "short write" : "crash") << " at op " << k;
+      // Whatever state came back must be internally consistent enough to
+      // cluster and re-serialise.
+      const ClusterSet clusters = recovered->correlator->BuildClusters();
+      for (const Cluster& c : clusters.clusters) {
+        EXPECT_FALSE(c.members.empty());
+      }
+      const auto reload = Correlator::DecodeSnapshot(recovered->correlator->EncodeSnapshot());
+      ASSERT_TRUE(reload.ok()) << reload.status();
+    }
+  }
+}
+
+TEST(DurableCorrelator, RecoveredStateIsByteIdenticalToNeverCrashed) {
+  RealFs fs;
+  const std::string dir = ScratchDir("durable_identity");
+
+  // Reference: the same events fed to a plain in-memory correlator, in the
+  // same two slices the durable instance will see.
+  Correlator reference;
+  Time t = 0;
+  FeedEvents(&reference, 1, &t);
+  FeedEvents(&reference, 2, &t);
+
+  {
+    auto durable = DurableCorrelator::Open(&fs, dir);
+    ASSERT_TRUE(durable.ok()) << durable.status();
+    Time dt = 0;
+    FeedEvents((*durable).get(), 1, &dt);
+    ASSERT_TRUE((*durable)->Checkpoint().ok());  // snapshot mid-stream
+    FeedEvents((*durable).get(), 2, &dt);
+    ASSERT_TRUE((*durable)->Sync().ok());  // tail lives only in the WAL
+    ASSERT_TRUE((*durable)->wal_status().ok());
+    // The live instance matches the reference before any recovery.
+    ASSERT_EQ((*durable)->correlator().EncodeSnapshot(), reference.EncodeSnapshot());
+  }
+
+  // "Crash" (drop the instance without a final checkpoint) and recover:
+  // snapshot + WAL replay must reproduce the reference byte-for-byte.
+  SnapshotStore store(&fs, dir);
+  const auto recovered = store.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_GT(recovered->wal_records_replayed, 0u);
+  EXPECT_EQ(recovered->correlator->EncodeSnapshot(), reference.EncodeSnapshot());
+
+  // And the behavioural check: identical clustering.
+  const ClusterSet a = reference.BuildClusters();
+  const ClusterSet b = recovered->correlator->BuildClusters();
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (size_t i = 0; i < a.clusters.size(); ++i) {
+    EXPECT_EQ(a.clusters[i].members, b.clusters[i].members) << i;
+  }
+}
+
+TEST(DurableCorrelator, ReopenResumesAcrossRuns) {
+  RealFs fs;
+  const std::string dir = ScratchDir("durable_reopen");
+  Correlator reference;
+  Time t = 0;
+
+  // Three successive runs, each observing a slice and exiting uncleanly
+  // (no final checkpoint — only Sync).
+  Time dt = 0;
+  for (int run = 0; run < 3; ++run) {
+    auto durable = DurableCorrelator::Open(&fs, dir);
+    ASSERT_TRUE(durable.ok()) << "run " << run << ": " << durable.status();
+    EXPECT_EQ((*durable)->open_stats().fresh, run == 0);
+    FeedEvents((*durable).get(), 1, &dt);
+    ASSERT_TRUE((*durable)->Sync().ok());
+  }
+  for (int run = 0; run < 3; ++run) {
+    FeedEvents(&reference, 1, &t);
+  }
+
+  auto final_open = DurableCorrelator::Open(&fs, dir);
+  ASSERT_TRUE(final_open.ok()) << final_open.status();
+  EXPECT_EQ((*final_open)->correlator().EncodeSnapshot(), reference.EncodeSnapshot());
+}
+
+}  // namespace
+}  // namespace seer

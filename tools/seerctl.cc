@@ -1,36 +1,29 @@
 // seerctl — command-line front end to the SEER library.
 //
+// Commands are dispatched through a small registry; `seerctl help` lists
+// them and `seerctl help CMD` (or `seerctl CMD --help`) prints the
+// per-command reference. Highlights:
+//
 //   seerctl gen-trace --machine F --hours 2 --seed 7 -o trace.txt
 //       Generate a synthetic reference trace for one of the paper's nine
 //       machine profiles.
 //
-//   seerctl stats trace.txt
-//       Per-operation and per-file statistics for a trace.
-//
-//   seerctl replay trace.txt [--params params.txt] [--control control.txt]
-//           [--save db.seer]
+//   seerctl replay trace.txt [--params params.txt] [--save db.seer]
 //       Replay a trace through the observer and correlator (the paper's
 //       "simulation mode"), print what was learned, optionally save the
-//       database.
+//       text database.
 //
-//   seerctl clusters db.seer [--min-size N]
-//       Dump the project clusters of a saved database.
-//
-//   seerctl hoard db.seer --budget-mb 50
-//       Compute hoard contents from a saved database.
-//
-//   seerctl check-config control.txt
-//       Validate a system control file.
-//
-//   seerctl pipeline trace.txt
-//       Replay a trace through the instrumented observer -> sink-chain ->
-//       async-correlator data plane and print per-stage counters, latency
-//       percentiles, and queue statistics.
+//   seerctl db {save,load,verify,compact,info} DIR ...
+//       Operate on a crash-safe snapshot+WAL store directory (see
+//       src/core/snapshot_store.h): build one from a trace or a text
+//       database, dump one back to text, check its integrity, compact its
+//       generations, or describe its contents.
+#include <algorithm>
 #include <cstdio>
-#include <optional>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -40,6 +33,7 @@
 #include "src/core/hoard.h"
 #include "src/core/params_io.h"
 #include "src/core/reorganizer.h"
+#include "src/core/snapshot_store.h"
 #include "src/observer/control_file.h"
 #include "src/observer/observer.h"
 #include "src/observer/sink_chain.h"
@@ -47,6 +41,7 @@
 #include "src/sim/machine_sim.h"
 #include "src/trace/binary_trace.h"
 #include "src/trace/trace_io.h"
+#include "src/util/fs.h"
 #include "src/workload/environment.h"
 #include "src/workload/machine_profile.h"
 #include "src/workload/user_model.h"
@@ -54,23 +49,68 @@
 namespace seer {
 namespace {
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  seerctl gen-trace [--machine A..I] [--hours H] [--seed S] [--binary] -o FILE\n"
-               "  seerctl stats TRACE\n"
-               "  seerctl replay TRACE [--params FILE] [--control FILE] [--save FILE]\n"
-               "  seerctl clusters DB [--min-size N]\n"
-               "  seerctl hoard DB --budget-mb MB\n"
-               "  seerctl check-config FILE\n"
-               "  seerctl suggest-reorg DB [--min-confidence F]\n"
-               "  seerctl pipeline TRACE [--control FILE]\n");
+// --- subcommand registry -----------------------------------------------------
+
+// A registered subcommand. `run` receives the index of the first argument
+// after the command name(s), so nested registries (`seerctl db save`)
+// reuse the same shape one level down.
+struct Subcommand {
+  const char* name;
+  const char* synopsis;  // one line, shown by the global usage
+  const char* help;      // full reference, shown by `help CMD` / `--help`
+  int (*run)(int argc, char** argv, int start);
+  // True when `run` is itself a registry: a trailing --help then belongs
+  // to the nested sub-command (`seerctl db save --help`), so dispatch must
+  // not intercept it here.
+  bool has_subcommands = false;
+};
+
+int UsageFor(const char* program, const std::vector<Subcommand>& commands) {
+  std::fprintf(stderr, "usage:\n");
+  for (const Subcommand& command : commands) {
+    std::fprintf(stderr, "  %s %s\n", program, command.synopsis);
+  }
+  std::fprintf(stderr, "\nrun `%s help COMMAND` for details on one command\n", program);
   return 2;
 }
 
-// Minimal flag scanner: returns the value following `flag`, or nullptr.
-const char* FlagValue(int argc, char** argv, const char* flag) {
-  for (int i = 2; i + 1 < argc; ++i) {
+int RunRegistry(const char* program, const std::vector<Subcommand>& commands, int argc,
+                char** argv, int start) {
+  if (start >= argc) {
+    return UsageFor(program, commands);
+  }
+  std::string name = argv[start];
+  char** help_target = nullptr;
+  if (name == "help" || name == "--help" || name == "-h") {
+    if (start + 1 >= argc) {
+      return UsageFor(program, commands);
+    }
+    name = argv[start + 1];
+    help_target = argv + start + 1;
+  }
+  for (const Subcommand& command : commands) {
+    if (name != command.name) {
+      continue;
+    }
+    bool want_help = help_target != nullptr;
+    for (int i = start + 1; i < argc && !want_help && !command.has_subcommands; ++i) {
+      want_help = std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0;
+    }
+    if (want_help) {
+      std::printf("usage: %s %s\n\n%s", program, command.synopsis, command.help);
+      return 0;
+    }
+    return command.run(argc, argv, start + 1);
+  }
+  std::fprintf(stderr, "%s: unknown command '%s'\n\n", program, name.c_str());
+  return UsageFor(program, commands);
+}
+
+// --- argument scanning -------------------------------------------------------
+
+// Returns the value following `flag`, or nullptr.
+const char* FlagValue(int argc, char** argv, int start, const char* flag) {
+  for (int i = start; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], flag) == 0) {
       return argv[i + 1];
     }
@@ -78,11 +118,28 @@ const char* FlagValue(int argc, char** argv, const char* flag) {
   return nullptr;
 }
 
-// First non-flag positional argument after the subcommand.
-const char* Positional(int argc, char** argv) {
-  for (int i = 2; i < argc; ++i) {
+bool HasFlag(int argc, char** argv, int start, const char* flag) {
+  for (int i = start; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Flags that take no value, for positional scanning.
+bool IsBareFlag(const char* arg) {
+  return std::strcmp(arg, "--binary") == 0 || std::strcmp(arg, "--help") == 0 ||
+         std::strcmp(arg, "-h") == 0;
+}
+
+// First non-flag positional argument at or after `start`.
+const char* Positional(int argc, char** argv, int start) {
+  for (int i = start; i < argc; ++i) {
     if (argv[i][0] == '-') {
-      ++i;  // skip the flag's value
+      if (!IsBareFlag(argv[i])) {
+        ++i;  // skip the flag's value
+      }
       continue;
     }
     return argv[i];
@@ -99,6 +156,32 @@ std::string ReadFileOrDie(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
+}
+
+SeerParams ParamsFromFlagOrDie(int argc, char** argv, int start) {
+  const char* params_path = FlagValue(argc, argv, start, "--params");
+  if (params_path == nullptr) {
+    return {};
+  }
+  const auto parsed = ParseSeerParams(ReadFileOrDie(params_path));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "seerctl: %s: %s\n", params_path, parsed.status().message().c_str());
+    std::exit(1);
+  }
+  return *parsed;
+}
+
+ObserverConfig ControlFromFlagOrDie(int argc, char** argv, int start) {
+  const char* control_path = FlagValue(argc, argv, start, "--control");
+  if (control_path == nullptr) {
+    return {};
+  }
+  const auto parsed = ParseObserverControlFile(ReadFileOrDie(control_path));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "seerctl: %s: %s\n", control_path, parsed.status().message().c_str());
+    std::exit(1);
+  }
+  return *parsed;
 }
 
 // Applies `fn` to every event of a trace file, auto-detecting the text or
@@ -157,22 +240,14 @@ class TraceFileSink : public TraceSink {
   std::optional<BinaryTraceWriter> binary_;
 };
 
-bool HasFlag(int argc, char** argv, const char* flag) {
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) {
-      return true;
-    }
-  }
-  return false;
-}
-
-int GenTrace(int argc, char** argv) {
-  const char* machine = FlagValue(argc, argv, "--machine");
-  const char* hours = FlagValue(argc, argv, "--hours");
-  const char* seed = FlagValue(argc, argv, "--seed");
-  const char* out_path = FlagValue(argc, argv, "-o");
+int GenTrace(int argc, char** argv, int start) {
+  const char* machine = FlagValue(argc, argv, start, "--machine");
+  const char* hours = FlagValue(argc, argv, start, "--hours");
+  const char* seed = FlagValue(argc, argv, start, "--seed");
+  const char* out_path = FlagValue(argc, argv, start, "-o");
   if (out_path == nullptr) {
-    return Usage();
+    std::fprintf(stderr, "seerctl: gen-trace requires -o FILE\n");
+    return 2;
   }
   const MachineProfile profile = GetMachineProfile(machine != nullptr ? machine[0] : 'D');
   const double active_hours = hours != nullptr ? std::atof(hours) : 1.0;
@@ -189,7 +264,7 @@ int GenTrace(int argc, char** argv) {
     std::fprintf(stderr, "seerctl: cannot write %s\n", out_path);
     return 1;
   }
-  TraceFileSink sink(out, HasFlag(argc, argv, "--binary"));
+  TraceFileSink sink(out, HasFlag(argc, argv, start, "--binary"));
   tracer.AddSink(&sink);
   UserModel user(&tracer, &env, profile.user, seed_value);
   user.SeedHistory();
@@ -202,10 +277,11 @@ int GenTrace(int argc, char** argv) {
 
 // --- stats ---------------------------------------------------------------------
 
-int Stats(int argc, char** argv) {
-  const char* path = Positional(argc, argv);
+int Stats(int argc, char** argv, int start) {
+  const char* path = Positional(argc, argv, start);
   if (path == nullptr) {
-    return Usage();
+    std::fprintf(stderr, "seerctl: stats requires a TRACE argument\n");
+    return 2;
   }
   std::map<Op, size_t> by_op;
   std::map<OpStatus, size_t> by_status;
@@ -257,32 +333,33 @@ int Stats(int argc, char** argv) {
 
 // --- replay ---------------------------------------------------------------------
 
-int Replay(int argc, char** argv) {
-  const char* path = Positional(argc, argv);
+// Replays a trace file into a fresh observer + correlator pair.
+bool ReplayTraceInto(const char* path, const ObserverConfig& observer_config,
+                     Correlator* correlator, size_t* events_out) {
+  Observer observer(observer_config, nullptr);
+  observer.set_sink(correlator);
+  size_t events = 0;
+  if (!ForEachTraceEvent(path, [&](const TraceEvent& event) {
+        observer.OnEvent(event);
+        ++events;
+      })) {
+    return false;
+  }
+  if (events_out != nullptr) {
+    *events_out = events;
+  }
+  return true;
+}
+
+int Replay(int argc, char** argv, int start) {
+  const char* path = Positional(argc, argv, start);
   if (path == nullptr) {
-    return Usage();
+    std::fprintf(stderr, "seerctl: replay requires a TRACE argument\n");
+    return 2;
   }
 
-  SeerParams params;
-  if (const char* params_path = FlagValue(argc, argv, "--params")) {
-    std::string error;
-    const auto parsed = ParseSeerParams(ReadFileOrDie(params_path), {}, &error);
-    if (!parsed.has_value()) {
-      std::fprintf(stderr, "seerctl: %s: %s\n", params_path, error.c_str());
-      return 1;
-    }
-    params = *parsed;
-  }
-  ObserverConfig observer_config;
-  if (const char* control_path = FlagValue(argc, argv, "--control")) {
-    std::string error;
-    const auto parsed = ParseObserverControlFile(ReadFileOrDie(control_path), {}, &error);
-    if (!parsed.has_value()) {
-      std::fprintf(stderr, "seerctl: %s: %s\n", control_path, error.c_str());
-      return 1;
-    }
-    observer_config = *parsed;
-  }
+  const SeerParams params = ParamsFromFlagOrDie(argc, argv, start);
+  const ObserverConfig observer_config = ControlFromFlagOrDie(argc, argv, start);
 
   Observer observer(observer_config, nullptr);
   Correlator correlator(params);
@@ -309,7 +386,7 @@ int Replay(int argc, char** argv) {
   }
   std::printf("%zu clusters (%zu multi-file)\n", clusters.clusters.size(), multi);
 
-  if (const char* save_path = FlagValue(argc, argv, "--save")) {
+  if (const char* save_path = FlagValue(argc, argv, start, "--save")) {
     std::ofstream out(save_path);
     if (!out) {
       std::fprintf(stderr, "seerctl: cannot write %s\n", save_path);
@@ -329,22 +406,22 @@ std::unique_ptr<Correlator> LoadDbOrDie(const char* path) {
     std::fprintf(stderr, "seerctl: cannot open %s\n", path);
     std::exit(1);
   }
-  std::string error;
-  auto correlator = Correlator::LoadFrom(in, &error);
-  if (correlator == nullptr) {
-    std::fprintf(stderr, "seerctl: %s: %s\n", path, error.c_str());
+  auto correlator = Correlator::LoadFrom(in);
+  if (!correlator.ok()) {
+    std::fprintf(stderr, "seerctl: %s: %s\n", path, correlator.status().message().c_str());
     std::exit(1);
   }
-  return correlator;
+  return *std::move(correlator);
 }
 
-int Clusters(int argc, char** argv) {
-  const char* path = Positional(argc, argv);
+int Clusters(int argc, char** argv, int start) {
+  const char* path = Positional(argc, argv, start);
   if (path == nullptr) {
-    return Usage();
+    std::fprintf(stderr, "seerctl: clusters requires a DB argument\n");
+    return 2;
   }
   const auto correlator = LoadDbOrDie(path);
-  const char* min_size_arg = FlagValue(argc, argv, "--min-size");
+  const char* min_size_arg = FlagValue(argc, argv, start, "--min-size");
   const size_t min_size = min_size_arg != nullptr ? std::strtoull(min_size_arg, nullptr, 10) : 2;
 
   const ClusterSet clusters = correlator->BuildClusters();
@@ -372,11 +449,12 @@ int Clusters(int argc, char** argv) {
 
 // --- hoard -----------------------------------------------------------------------
 
-int Hoard(int argc, char** argv) {
-  const char* path = Positional(argc, argv);
-  const char* budget_arg = FlagValue(argc, argv, "--budget-mb");
+int Hoard(int argc, char** argv, int start) {
+  const char* path = Positional(argc, argv, start);
+  const char* budget_arg = FlagValue(argc, argv, start, "--budget-mb");
   if (path == nullptr || budget_arg == nullptr) {
-    return Usage();
+    std::fprintf(stderr, "seerctl: hoard requires DB and --budget-mb MB\n");
+    return 2;
   }
   const auto correlator = LoadDbOrDie(path);
   const double budget_mb = std::atof(budget_arg);
@@ -404,21 +482,13 @@ int Hoard(int argc, char** argv) {
 // sink chain -> async correlator — and prints the per-stage reference
 // counters, the latency histogram, and the queue statistics. This is the
 // observability surface for the Section 5.3 overhead claims.
-int Pipeline(int argc, char** argv) {
-  const char* path = Positional(argc, argv);
+int Pipeline(int argc, char** argv, int start) {
+  const char* path = Positional(argc, argv, start);
   if (path == nullptr) {
-    return Usage();
+    std::fprintf(stderr, "seerctl: pipeline requires a TRACE argument\n");
+    return 2;
   }
-  ObserverConfig observer_config;
-  if (const char* control_path = FlagValue(argc, argv, "--control")) {
-    std::string error;
-    const auto parsed = ParseObserverControlFile(ReadFileOrDie(control_path), {}, &error);
-    if (!parsed.has_value()) {
-      std::fprintf(stderr, "seerctl: %s: %s\n", control_path, error.c_str());
-      return 1;
-    }
-    observer_config = *parsed;
-  }
+  const ObserverConfig observer_config = ControlFromFlagOrDie(argc, argv, start);
 
   AsyncCorrelator correlator;
   SinkChain chain(&correlator);
@@ -449,14 +519,15 @@ int Pipeline(int argc, char** argv) {
 
 // --- suggest-reorg ----------------------------------------------------------------
 
-int SuggestReorg(int argc, char** argv) {
-  const char* path = Positional(argc, argv);
+int SuggestReorg(int argc, char** argv, int start) {
+  const char* path = Positional(argc, argv, start);
   if (path == nullptr) {
-    return Usage();
+    std::fprintf(stderr, "seerctl: suggest-reorg requires a DB argument\n");
+    return 2;
   }
   const auto correlator = LoadDbOrDie(path);
   ReorganizerConfig config;
-  if (const char* min_conf = FlagValue(argc, argv, "--min-confidence")) {
+  if (const char* min_conf = FlagValue(argc, argv, start, "--min-confidence")) {
     config.min_confidence = std::atof(min_conf);
   }
   const auto suggestions =
@@ -471,15 +542,15 @@ int SuggestReorg(int argc, char** argv) {
 
 // --- check-config ---------------------------------------------------------------
 
-int CheckConfig(int argc, char** argv) {
-  const char* path = Positional(argc, argv);
+int CheckConfig(int argc, char** argv, int start) {
+  const char* path = Positional(argc, argv, start);
   if (path == nullptr) {
-    return Usage();
+    std::fprintf(stderr, "seerctl: check-config requires a FILE argument\n");
+    return 2;
   }
-  std::string error;
-  const auto config = ParseObserverControlFile(ReadFileOrDie(path), {}, &error);
-  if (!config.has_value()) {
-    std::fprintf(stderr, "seerctl: %s: %s\n", path, error.c_str());
+  const auto config = ParseObserverControlFile(ReadFileOrDie(path));
+  if (!config.ok()) {
+    std::fprintf(stderr, "seerctl: %s: %s\n", path, config.status().message().c_str());
     return 1;
   }
   std::printf("%s: OK\n", path);
@@ -487,36 +558,263 @@ int CheckConfig(int argc, char** argv) {
   return 0;
 }
 
+// --- db --------------------------------------------------------------------------
+
+SnapshotStoreOptions StoreOptions(int argc, char** argv, int start) {
+  SnapshotStoreOptions options;
+  if (const char* keep = FlagValue(argc, argv, start, "--keep")) {
+    options.keep_generations = std::strtoull(keep, nullptr, 10);
+  }
+  return options;
+}
+
+int DbSave(int argc, char** argv, int start) {
+  const char* dir = Positional(argc, argv, start);
+  const char* from_trace = FlagValue(argc, argv, start, "--from-trace");
+  const char* from_db = FlagValue(argc, argv, start, "--from-db");
+  if (dir == nullptr || (from_trace == nullptr) == (from_db == nullptr)) {
+    std::fprintf(stderr,
+                 "seerctl: db save requires DIR and exactly one of --from-trace/--from-db\n");
+    return 2;
+  }
+
+  std::unique_ptr<Correlator> correlator;
+  if (from_db != nullptr) {
+    correlator = LoadDbOrDie(from_db);
+  } else {
+    correlator =
+        std::make_unique<Correlator>(ParamsFromFlagOrDie(argc, argv, start));
+    size_t events = 0;
+    if (!ReplayTraceInto(from_trace, ControlFromFlagOrDie(argc, argv, start),
+                         correlator.get(), &events)) {
+      return 1;
+    }
+    std::fprintf(stderr, "replayed %zu events from %s\n", events, from_trace);
+  }
+
+  SnapshotStore store(&DefaultFs(), dir, StoreOptions(argc, argv, start));
+  Status status = store.Open();
+  if (status.ok()) {
+    const auto result = store.Checkpoint(*correlator);
+    status = result.ok() ? Status::Ok() : result.status();
+    if (result.ok()) {
+      std::printf("%s: wrote generation %llu (%zu files tracked)\n", dir,
+                  static_cast<unsigned long long>(result->generation),
+                  correlator->files().size());
+    }
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "seerctl: %s: %s\n", dir, status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int DbLoad(int argc, char** argv, int start) {
+  const char* dir = Positional(argc, argv, start);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "seerctl: db load requires a DIR argument\n");
+    return 2;
+  }
+  SnapshotStore store(&DefaultFs(), dir, StoreOptions(argc, argv, start));
+  const auto recovered = store.Recover();
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "seerctl: %s: %s\n", dir, recovered.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "recovered generation %llu (%llu wal records replayed%s%s)\n",
+               static_cast<unsigned long long>(recovered->generation),
+               static_cast<unsigned long long>(recovered->wal_records_replayed),
+               recovered->torn_wal_tail ? ", torn wal tail" : "",
+               recovered->snapshots_discarded > 0 ? ", damaged snapshots skipped" : "");
+  if (const char* out_path = FlagValue(argc, argv, start, "-o")) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "seerctl: cannot write %s\n", out_path);
+      return 1;
+    }
+    recovered->correlator->SaveTo(out);
+    std::printf("database saved to %s\n", out_path);
+  } else {
+    std::ostringstream out;
+    recovered->correlator->SaveTo(out);
+    std::fputs(out.str().c_str(), stdout);
+  }
+  return 0;
+}
+
+int DbVerify(int argc, char** argv, int start) {
+  const char* dir = Positional(argc, argv, start);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "seerctl: db verify requires a DIR argument\n");
+    return 2;
+  }
+  SnapshotStore store(&DefaultFs(), dir);
+  const Status status = store.Verify();
+  if (!status.ok()) {
+    std::printf("%s: %s\n", dir, status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: OK\n", dir);
+  return 0;
+}
+
+int DbCompact(int argc, char** argv, int start) {
+  const char* dir = Positional(argc, argv, start);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "seerctl: db compact requires a DIR argument\n");
+    return 2;
+  }
+  SnapshotStore store(&DefaultFs(), dir, StoreOptions(argc, argv, start));
+  const auto recovered = store.Recover();
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "seerctl: %s: %s\n", dir, recovered.status().ToString().c_str());
+    return 1;
+  }
+  const auto result = store.Checkpoint(*recovered->correlator);
+  if (!result.ok()) {
+    std::fprintf(stderr, "seerctl: %s: %s\n", dir, result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: compacted into generation %llu (%llu wal records folded in)\n", dir,
+              static_cast<unsigned long long>(result->generation),
+              static_cast<unsigned long long>(recovered->wal_records_replayed));
+  return 0;
+}
+
+int DbInfo(int argc, char** argv, int start) {
+  const char* dir = Positional(argc, argv, start);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "seerctl: db info requires a DIR argument\n");
+    return 2;
+  }
+  SnapshotStore store(&DefaultFs(), dir);
+  const auto info = store.GetInfo();
+  if (!info.ok()) {
+    std::fprintf(stderr, "seerctl: %s: %s\n", dir, info.status().ToString().c_str());
+    return 1;
+  }
+  if (info->generations.empty()) {
+    std::printf("%s: empty store\n", dir);
+    return 0;
+  }
+  std::printf("%-10s  %-22s  %s\n", "generation", "snapshot", "wal");
+  for (const auto& gen : info->generations) {
+    std::string snapshot = "-";
+    if (gen.has_snapshot) {
+      snapshot = std::to_string(gen.snapshot_bytes) + " B " +
+                 (gen.snapshot_ok ? "(ok)" : "(DAMAGED)");
+    }
+    std::string wal = "-";
+    if (gen.has_wal) {
+      wal = std::to_string(gen.wal_bytes) + " B, " + std::to_string(gen.wal_records) +
+            " records";
+      switch (gen.wal_tail) {
+        case WalReplayStats::Tail::kClean:
+          break;
+        case WalReplayStats::Tail::kTorn:
+          wal += " (torn tail)";
+          break;
+        case WalReplayStats::Tail::kCorrupt:
+          wal += " (CORRUPT)";
+          break;
+      }
+    }
+    std::printf("%-10llu  %-22s  %s\n", static_cast<unsigned long long>(gen.generation),
+                snapshot.c_str(), wal.c_str());
+  }
+  return 0;
+}
+
+const std::vector<Subcommand>& DbCommands() {
+  static const std::vector<Subcommand> commands = {
+      {"save", "db save DIR (--from-trace TRACE [--params FILE] [--control FILE] | --from-db DB)"
+               " [--keep N]",
+       "Build (or extend) a snapshot store at DIR from a replayed trace or\n"
+       "an existing text database, committing one new generation.\n\n"
+       "  --from-trace TRACE  replay TRACE through observer + correlator\n"
+       "  --from-db DB        load the text database DB\n"
+       "  --params FILE       correlator parameters for --from-trace\n"
+       "  --control FILE      observer control file for --from-trace\n"
+       "  --keep N            snapshot generations to retain (default 2)\n",
+       DbSave},
+      {"load", "db load DIR [-o FILE]",
+       "Recover the newest consistent state from the store at DIR (snapshot\n"
+       "plus WAL replay, falling back past torn generations) and write it\n"
+       "as a portable text database to FILE, or stdout.\n",
+       DbLoad},
+      {"verify", "db verify DIR",
+       "Check the store's integrity: the newest snapshot must decode, the\n"
+       "WAL chain must be gapless and undamaged except for a possible torn\n"
+       "tail on the last log. Exit status 0 iff healthy.\n",
+       DbVerify},
+      {"compact", "db compact DIR [--keep N]",
+       "Fold the WAL chain into a fresh snapshot generation and prune old\n"
+       "generations, bounding recovery replay time.\n\n"
+       "  --keep N   snapshot generations to retain (default 2)\n",
+       DbCompact},
+      {"info", "db info DIR",
+       "Describe every generation in the store: snapshot size and health,\n"
+       "WAL size, record count, and tail state.\n",
+       DbInfo},
+  };
+  return commands;
+}
+
+int Db(int argc, char** argv, int start) {
+  return RunRegistry("seerctl", DbCommands(), argc, argv, start);
+}
+
+// --- registry --------------------------------------------------------------------
+
+const std::vector<Subcommand>& Commands() {
+  static const std::vector<Subcommand> commands = {
+      {"gen-trace", "gen-trace [--machine A..I] [--hours H] [--seed S] [--binary] -o FILE",
+       "Generate a synthetic reference trace for one of the paper's nine\n"
+       "machine profiles (Section 5).\n\n"
+       "  --machine A..I  machine profile (default D)\n"
+       "  --hours H       active hours to simulate (default 1.0)\n"
+       "  --seed S        RNG seed (default 1)\n"
+       "  --binary        write the compact binary trace format\n"
+       "  -o FILE         output file (required)\n",
+       GenTrace},
+      {"stats", "stats TRACE",
+       "Per-operation, per-status, and per-file statistics for a trace.\n", Stats},
+      {"replay", "replay TRACE [--params FILE] [--control FILE] [--save FILE]",
+       "Replay a trace through the observer and correlator (simulation\n"
+       "mode), print what was learned, optionally save the text database.\n\n"
+       "  --params FILE   correlator parameters\n"
+       "  --control FILE  observer control file\n"
+       "  --save FILE     save the learned database (text format)\n",
+       Replay},
+      {"clusters", "clusters DB [--min-size N]",
+       "Dump the project clusters of a saved text database.\n\n"
+       "  --min-size N   only clusters with at least N members (default 2)\n",
+       Clusters},
+      {"hoard", "hoard DB --budget-mb MB",
+       "Compute hoard contents from a saved text database under a space\n"
+       "budget.\n",
+       Hoard},
+      {"check-config", "check-config FILE",
+       "Validate a system control file and echo the parsed configuration.\n", CheckConfig},
+      {"suggest-reorg", "suggest-reorg DB [--min-confidence F]",
+       "Suggest directory reorganisations from the cluster structure.\n", SuggestReorg},
+      {"pipeline", "pipeline TRACE [--control FILE]",
+       "Replay a trace through the instrumented observer -> sink-chain ->\n"
+       "async-correlator data plane and print per-stage counters, latency\n"
+       "percentiles, and queue statistics.\n",
+       Pipeline},
+      {"db", "db {save|load|verify|compact|info} DIR ...",
+       "Operate on a crash-safe snapshot+WAL store directory.\n"
+       "Run `seerctl db` for the sub-command list.\n",
+       Db, /*has_subcommands=*/true},
+  };
+  return commands;
+}
+
 int Main(int argc, char** argv) {
-  if (argc < 2) {
-    return Usage();
-  }
-  const std::string command = argv[1];
-  if (command == "gen-trace") {
-    return GenTrace(argc, argv);
-  }
-  if (command == "stats") {
-    return Stats(argc, argv);
-  }
-  if (command == "replay") {
-    return Replay(argc, argv);
-  }
-  if (command == "clusters") {
-    return Clusters(argc, argv);
-  }
-  if (command == "hoard") {
-    return Hoard(argc, argv);
-  }
-  if (command == "check-config") {
-    return CheckConfig(argc, argv);
-  }
-  if (command == "suggest-reorg") {
-    return SuggestReorg(argc, argv);
-  }
-  if (command == "pipeline") {
-    return Pipeline(argc, argv);
-  }
-  return Usage();
+  return RunRegistry("seerctl", Commands(), argc, argv, 1);
 }
 
 }  // namespace
