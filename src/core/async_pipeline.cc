@@ -149,6 +149,15 @@ size_t AsyncCorrelator::KnownFiles() {
   return Query([](const Correlator& c) { return c.files().size(); });
 }
 
+void AsyncCorrelator::SetClusterThreads(int threads) {
+  std::lock_guard<std::mutex> lock(correlator_mutex_);
+  correlator_.SetClusterThreads(threads);
+}
+
+ClusterBuildStats AsyncCorrelator::LastClusterStats() {
+  return Query([](const Correlator& c) { return c.last_cluster_stats(); });
+}
+
 size_t AsyncCorrelator::enqueued() const {
   std::lock_guard<std::mutex> lock(queue_mutex_);
   return enqueued_;

@@ -70,6 +70,10 @@ class AsyncCorrelator : public ReferenceSink {
   double Distance(const std::string& from, const std::string& to);
   size_t KnownFiles();
 
+  // Cluster-engine controls, applied under the pipeline lock.
+  void SetClusterThreads(int threads);
+  ClusterBuildStats LastClusterStats();
+
   // Statistics.
   size_t enqueued() const;
   size_t processed() const;

@@ -1,54 +1,71 @@
 #include "src/core/clustering.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <set>
 
+#include "src/util/dsu.h"
 #include "src/util/path.h"
+#include "src/util/thread_pool.h"
 
 namespace seer {
 
 namespace {
 
-// Disjoint-set union with path halving.
-class Dsu {
- public:
-  explicit Dsu(size_t n) : parent_(n) {
-    for (size_t i = 0; i < n; ++i) {
-      parent_[i] = static_cast<uint32_t>(i);
+constexpr uint32_t kNoSlot = static_cast<uint32_t>(-1);
+
+// Per-slot rescore modes (rescore_). Partial keeps cached edges to clean
+// targets and rescores only edges touching dirty files; full rebuilds the
+// bucket from scratch.
+constexpr uint8_t kKeepBucket = 0;
+constexpr uint8_t kPartialRescore = 1;
+constexpr uint8_t kFullRescore = 2;
+
+// Candidates per work chunk. Small enough for dynamic balancing across
+// skewed neighbor lists, large enough that the claim counter is cold.
+constexpr size_t kScoreChunk = 128;
+constexpr size_t kPackChunk = 256;
+
+// Number of non-empty '/'-separated segments, as SplitPath counts them.
+size_t CountComponents(std::string_view path) {
+  size_t count = 0;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    if (i >= path.size()) {
+      break;
+    }
+    ++count;
+    while (i < path.size() && path[i] != '/') {
+      ++i;
     }
   }
-
-  uint32_t Find(uint32_t x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
-    }
-    return x;
-  }
-
-  void Union(uint32_t a, uint32_t b) {
-    a = Find(a);
-    b = Find(b);
-    if (a != b) {
-      parent_[b] = a;
-    }
-  }
-
- private:
-  std::vector<uint32_t> parent_;
-};
+  return count;
+}
 
 }  // namespace
 
-const std::vector<uint32_t>& ClusterSet::ClustersOf(FileId id) const {
-  static const std::vector<uint32_t> kEmpty;
-  const auto it = membership.find(id);
-  return it == membership.end() ? kEmpty : it->second;
+ClusterIndexSpan ClusterSet::ClustersOf(FileId id) const {
+  if (membership_offset.empty() || id + 1 >= membership_offset.size()) {
+    return ClusterIndexSpan();
+  }
+  const uint32_t begin = membership_offset[id];
+  const uint32_t end = membership_offset[id + 1];
+  return ClusterIndexSpan(membership_ids.data() + begin, end - begin);
 }
 
 ClusterBuilder::ClusterBuilder(const SeerParams& params, const FileTable* files,
                                const RelationTable* relations)
-    : params_(params), files_(files), relations_(relations) {}
+    : params_(params),
+      files_(files),
+      relations_(relations),
+      // PairKey packs lo < hi, so all-ones can never be a real key.
+      investigated_(static_cast<uint64_t>(-1)) {}
+
+ClusterBuilder::~ClusterBuilder() = default;
 
 uint64_t ClusterBuilder::PairKey(FileId a, FileId b) const {
   const FileId lo = std::min(a, b);
@@ -57,17 +74,56 @@ uint64_t ClusterBuilder::PairKey(FileId a, FileId b) const {
 }
 
 void ClusterBuilder::AddInvestigatedPair(FileId a, FileId b, double strength) {
-  if (a == b) {
+  if (a == b || a == kInvalidFileId || b == kInvalidFileId) {
     return;
   }
-  investigated_[PairKey(a, b)] += strength;
+  bool inserted = false;
+  investigated_.InsertOrGet(PairKey(a, b), &inserted) += strength;
+  if (inserted) {
+    const FileId hi = std::max(a, b);
+    if (inv_partners_.size() <= hi) {
+      inv_partners_.resize(hi + 1);
+    }
+    inv_partners_[a].push_back(b);
+    inv_partners_[b].push_back(a);
+  }
+  // Even a repeat pair changes the accumulated strength, hence both
+  // endpoints' edge scores.
+  inv_dirty_.push_back(a);
+  inv_dirty_.push_back(b);
 }
 
-void ClusterBuilder::ClearInvestigatedPairs() { investigated_.clear(); }
+void ClusterBuilder::ClearInvestigatedPairs() {
+  investigated_.Clear();
+  inv_partners_.clear();
+  inv_dirty_.clear();
+  inv_cleared_ = true;
+}
 
 double ClusterBuilder::InvestigatedStrength(FileId a, FileId b) const {
-  const auto it = investigated_.find(PairKey(a, b));
-  return it == investigated_.end() ? 0.0 : it->second;
+  const double* strength = investigated_.Find(PairKey(a, b));
+  return strength == nullptr ? 0.0 : *strength;
+}
+
+void ClusterBuilder::set_threads(int threads) {
+  threads_ = threads;
+  const int want = threads_ > 0 ? threads_ : DefaultThreadCount();
+  if (pool_ != nullptr && pool_threads_ != want) {
+    pool_.reset();
+  }
+}
+
+int ClusterBuilder::threads() const {
+  return threads_ > 0 ? threads_ : DefaultThreadCount();
+}
+
+ThreadPool* ClusterBuilder::Pool() const {
+  const int want = threads_ > 0 ? threads_ : DefaultThreadCount();
+  if (pool_ == nullptr || pool_threads_ != want) {
+    pool_ = std::make_unique<ThreadPool>(want);
+    pool_threads_ = want;
+  }
+  return pool_.get();
 }
 
 double ClusterBuilder::AdjustedSharedCount(FileId from, FileId to) const {
@@ -103,105 +159,550 @@ double ClusterBuilder::AdjustedSharedCount(FileId from, FileId to) const {
   return x;
 }
 
-ClusterSet ClusterBuilder::Build(const std::vector<FileId>& candidates) const {
-  // Dense re-index so the DSU array covers only candidate files.
-  std::unordered_map<FileId, uint32_t> index;
-  index.reserve(candidates.size());
-  for (uint32_t i = 0; i < candidates.size(); ++i) {
-    index.emplace(candidates[i], i);
+void ClusterBuilder::RefreshFileInputs(FileId f) const {
+  std::vector<FileId>& row = live_row_[f];
+  row.clear();
+  for (const Neighbor& nb : relations_->NeighborsOf(f)) {
+    const FileRecord& rec = files_->Get(nb.id);
+    if (!rec.deleted && !rec.excluded) {
+      row.push_back(nb.id);
+    }
+  }
+  std::sort(row.begin(), row.end());
+
+  // One interner shared-lock hit per refreshed file, not per scored edge;
+  // the view is stable (the interner is append-only).
+  const std::string_view path = files_->PathOf(f);
+  file_path_[f] = path;
+  std::vector<std::string_view>& dirs = file_dirs_[f];
+  dirs.clear();
+  const size_t comps = CountComponents(path);
+  const size_t want = comps > 0 ? comps - 1 : 0;  // drop the basename
+  dirs.reserve(want);
+  size_t pos = 0;
+  while (pos < path.size() && dirs.size() < want) {
+    while (pos < path.size() && path[pos] == '/') {
+      ++pos;
+    }
+    const size_t start = pos;
+    while (pos < path.size() && path[pos] != '/') {
+      ++pos;
+    }
+    if (pos > start) {
+      dirs.push_back(path.substr(start, pos - start));
+    }
+  }
+}
+
+int ClusterBuilder::DirDistance(FileId a, FileId b) const {
+  const std::vector<std::string_view>& da = file_dirs_[a];
+  const std::vector<std::string_view>& db = file_dirs_[b];
+  size_t common = 0;
+  while (common < da.size() && common < db.size() && da[common] == db[common]) {
+    ++common;
+  }
+  return static_cast<int>((da.size() - common) + (db.size() - common));
+}
+
+bool ClusterBuilder::PlanIncremental(const std::vector<FileId>& candidates) const {
+  const size_t n = candidates.size();
+  rescore_.assign(n, kFullRescore);
+  fast_union_ok_ = false;
+  stats_.dirty_files = 0;
+  if (!incremental_enabled_ || !cache_valid_ || inv_cleared_) {
+    return false;
   }
 
-  // Candidate pairs: (F, G) where G is in F's relation list, plus every
-  // investigated pair — the latter are tested regardless of whether a
-  // semantic distance was ever stored (Section 3.3.3).
-  struct Pair {
-    uint32_t a;
-    uint32_t b;
-    double x;
-  };
-  std::vector<Pair> near_pairs;
-  std::vector<Pair> far_pairs;
+  // D: files whose live neighbor sets (or investigated strengths, or
+  // candidacy) may have changed since the cached build. Files entering or
+  // leaving the candidate set dirty their reverse neighbors too: those
+  // rows gained or lost a live member without any relation-table event.
+  std::vector<FileId> dirty;
+  relations_->CollectChangedSince(built_epoch_, &dirty);
+  dirty.insert(dirty.end(), inv_dirty_.begin(), inv_dirty_.end());
+  fast_union_ok_ = true;
+  for (const FileId f : candidates) {
+    if (f >= was_candidate_.size() || !was_candidate_[f]) {
+      dirty.push_back(f);
+      const std::vector<FileId>& rev = relations_->ReverseNeighborsOf(f);
+      dirty.insert(dirty.end(), rev.begin(), rev.end());
+    }
+  }
+  for (const FileId f : cached_candidates_) {
+    if (f >= slot_of_.size() || slot_of_[f] == kNoSlot) {
+      // A removed candidate may have been the only connection between its
+      // former cluster-mates, so the cached component labels are void.
+      fast_union_ok_ = false;
+      dirty.push_back(f);
+      const std::vector<FileId>& rev = relations_->ReverseNeighborsOf(f);
+      dirty.insert(dirty.end(), rev.begin(), rev.end());
+    }
+  }
 
-  auto consider = [&](FileId f, FileId g) {
-    const auto ia = index.find(f);
-    const auto ib = index.find(g);
-    if (ia == index.end() || ib == index.end()) {
+  dirty_flag_.assign(slot_of_.size(), 0);
+  std::vector<FileId> unique_dirty;
+  unique_dirty.reserve(dirty.size());
+  for (const FileId d : dirty) {
+    if (d >= dirty_flag_.size() || dirty_flag_[d]) {
+      continue;  // beyond every table: no slot, no rows, nothing to rescore
+    }
+    dirty_flag_[d] = 1;
+    unique_dirty.push_back(d);
+  }
+  stats_.dirty_files = unique_dirty.size();
+
+  // A: candidate slots whose cached edge buckets may hold a stale score —
+  // the dirty files themselves (their own row changed: full rescore), plus
+  // every file whose list names a dirty file and every investigated
+  // partner (only edges *to* the dirty file are stale: partial rescore).
+  rescore_.assign(n, kKeepBucket);
+  size_t rescore_count = 0;
+  auto mark = [&](FileId f, uint8_t mode) {
+    if (f >= slot_of_.size()) {
       return;
     }
-    const double x = AdjustedSharedCount(f, g);
-    if (x >= static_cast<double>(params_.cluster_near)) {
-      near_pairs.push_back({ia->second, ib->second, x});
-    } else if (x >= static_cast<double>(params_.cluster_far)) {
-      far_pairs.push_back({ia->second, ib->second, x});
+    const uint32_t slot = slot_of_[f];
+    if (slot == kNoSlot) {
+      return;
+    }
+    if (rescore_[slot] == kKeepBucket) {
+      ++rescore_count;
+    }
+    if (rescore_[slot] < mode) {
+      rescore_[slot] = mode;
     }
   };
-
-  std::set<uint64_t> seen;
-  for (const FileId f : candidates) {
-    for (const FileId g : relations_->LiveNeighborIds(f)) {
-      if (f != g && seen.insert(PairKey(f, g) * 2 + (f > g ? 1 : 0)).second) {
-        consider(f, g);
+  for (const FileId d : unique_dirty) {
+    mark(d, kFullRescore);
+    for (const FileId owner : relations_->ReverseNeighborsOf(d)) {
+      mark(owner, kPartialRescore);
+    }
+    if (d < inv_partners_.size()) {
+      for (const FileId partner : inv_partners_[d]) {
+        mark(partner, kPartialRescore);
       }
     }
   }
-  for (const auto& [key, strength] : investigated_) {
-    const FileId a = static_cast<FileId>(key >> 32);
-    const FileId b = static_cast<FileId>(key & 0xffffffffu);
-    if (seen.insert(key * 2).second) {
-      consider(a, b);
+
+  if (static_cast<double>(rescore_count) >
+      kIncrementalFallbackFraction * static_cast<double>(n)) {
+    rescore_.assign(n, kFullRescore);
+    return false;
+  }
+
+  // Only dirty candidates need their cached scoring inputs rebuilt; every
+  // other candidate's row/path/dir caches are unchanged by construction.
+  refresh_.clear();
+  for (const FileId d : unique_dirty) {
+    if (slot_of_[d] != kNoSlot) {
+      refresh_.push_back(d);
     }
-    if (seen.insert(key * 2 + 1).second) {
-      consider(b, a);
+  }
+  return true;
+}
+
+struct ClusterBuilder::ScoreScratch {
+  std::vector<FileId> near;
+  std::vector<FileId> far;
+  std::vector<FileId> old_near;
+};
+
+void ClusterBuilder::ScoreSlot(uint32_t slot, const std::vector<FileId>& candidates,
+                               uint8_t mode, ScoreScratch* s, size_t* edges_scored,
+                               uint8_t* removed_flag) const {
+  const FileId f = candidates[slot];
+  std::vector<FileId>& bucket = edge_cache_[f];
+  const std::vector<FileId>& frow = live_row_[f];
+  const double near_threshold = static_cast<double>(params_.cluster_near);
+  const double far_threshold = static_cast<double>(params_.cluster_far);
+  s->near.clear();
+  s->far.clear();
+  s->old_near.clear();
+
+  // For the fast union path: remember which near edges (to still-live
+  // candidates) the cached bucket had, to detect disappearing ones below.
+  // A file re-entering the candidate set may carry a stale bucket from two
+  // builds ago; its label is unusable anyway, so don't let it flag.
+  const bool track_removal =
+      removed_flag != nullptr && f < was_candidate_.size() && was_candidate_[f];
+  if (track_removal) {
+    const uint32_t nc = std::min<uint32_t>(near_count_[f], bucket.size());
+    for (uint32_t i = 0; i < nc; ++i) {
+      const FileId g = bucket[i];
+      if (g < slot_of_.size() && slot_of_[g] != kNoSlot) {
+        s->old_near.push_back(g);
+      }
     }
   }
 
-  // Phase one: combine clusters of pairs sharing at least kn neighbors.
-  Dsu dsu(candidates.size());
-  for (const Pair& p : near_pairs) {
-    dsu.Union(p.a, p.b);
+  auto score_edge = [&](FileId g) {
+    const std::vector<FileId>& grow = live_row_[g];
+    size_t shared = 0;
+    size_t a = 0;
+    size_t b = 0;
+    while (a < frow.size() && b < grow.size()) {
+      if (frow[a] == grow[b]) {
+        ++shared;
+        ++a;
+        ++b;
+      } else if (frow[a] < grow[b]) {
+        ++a;
+      } else {
+        ++b;
+      }
+    }
+    double x = static_cast<double>(shared);
+    if (params_.dir_distance_weight > 0.0) {
+      x -= params_.dir_distance_weight * static_cast<double>(DirDistance(f, g));
+    }
+    x += params_.investigator_weight * InvestigatedStrength(f, g);
+    ++*edges_scored;
+    if (x >= near_threshold) {
+      s->near.push_back(g);
+    } else if (x >= far_threshold) {
+      s->far.push_back(g);
+    }
+  };
+
+  if (mode == kFullRescore) {
+    for (const FileId g : frow) {
+      if (g == f || g >= slot_of_.size() || slot_of_[g] == kNoSlot) {
+        continue;
+      }
+      score_edge(g);
+    }
+    if (f < inv_partners_.size()) {
+      for (const FileId partner : inv_partners_[f]) {
+        if (partner >= slot_of_.size() || slot_of_[partner] == kNoSlot) {
+          continue;
+        }
+        // Already scored through the neighbor row above.
+        if (std::binary_search(frow.begin(), frow.end(), partner)) {
+          continue;
+        }
+        score_edge(partner);
+      }
+    }
+  } else {
+    // Partial: f's own row is unchanged, so only edges touching dirty
+    // targets can have moved. Keep every clean cached edge and rescore
+    // exactly the dirty ones (dropped here, re-examined below — any edge
+    // to a dirty target must come back through f's row or partner list,
+    // both of which are stable for a clean f).
+    const uint32_t nc = std::min<uint32_t>(near_count_[f], bucket.size());
+    for (uint32_t i = 0; i < bucket.size(); ++i) {
+      const FileId g = bucket[i];
+      if (g < dirty_flag_.size() && dirty_flag_[g]) {
+        continue;
+      }
+      (i < nc ? s->near : s->far).push_back(g);
+    }
+    for (const FileId g : frow) {
+      if (g == f || g >= slot_of_.size() || slot_of_[g] == kNoSlot || !dirty_flag_[g]) {
+        continue;
+      }
+      score_edge(g);
+    }
+    if (f < inv_partners_.size()) {
+      for (const FileId partner : inv_partners_[f]) {
+        if (partner >= slot_of_.size() || slot_of_[partner] == kNoSlot ||
+            !dirty_flag_[partner]) {
+          continue;
+        }
+        if (std::binary_search(frow.begin(), frow.end(), partner)) {
+          continue;
+        }
+        score_edge(partner);
+      }
+    }
   }
 
-  // Materialise phase-one clusters.
-  std::unordered_map<uint32_t, uint32_t> root_to_cluster;
-  std::vector<std::set<FileId>> members;
-  std::vector<uint32_t> cluster_of(candidates.size());
-  for (uint32_t i = 0; i < candidates.size(); ++i) {
-    const uint32_t root = dsu.Find(i);
-    auto [it, inserted] = root_to_cluster.emplace(root, static_cast<uint32_t>(members.size()));
-    if (inserted) {
+  if (track_removal) {
+    for (const FileId g : s->old_near) {
+      if (std::find(s->near.begin(), s->near.end(), g) == s->near.end()) {
+        *removed_flag = 1;
+        break;
+      }
+    }
+  }
+
+  bucket.clear();
+  bucket.reserve(s->near.size() + s->far.size());
+  bucket.insert(bucket.end(), s->near.begin(), s->near.end());
+  bucket.insert(bucket.end(), s->far.begin(), s->far.end());
+  near_count_[f] = static_cast<uint32_t>(s->near.size());
+  has_far_[f] = s->far.empty() ? 0 : 1;
+}
+
+ClusterSet ClusterBuilder::Build(const std::vector<FileId>& candidates) const {
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t epoch_now = relations_->set_change_epoch();
+  const size_t n = candidates.size();
+
+  stats_ = ClusterBuildStats{};
+  stats_.candidates = n;
+
+  const auto MsSince = [](std::chrono::steady_clock::time_point from) {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - from)
+        .count();
+  };
+
+  auto mark = std::chrono::steady_clock::now();
+  size_t max_file = files_->size();
+  for (const FileId f : candidates) {
+    max_file = std::max(max_file, static_cast<size_t>(f) + 1);
+  }
+  slot_of_.assign(max_file, kNoSlot);
+  for (size_t i = 0; i < n; ++i) {
+    slot_of_[candidates[i]] = static_cast<uint32_t>(i);
+  }
+  if (live_row_.size() < max_file) {
+    live_row_.resize(max_file);
+    file_path_.resize(max_file);
+    file_dirs_.resize(max_file);
+  }
+  if (edge_cache_.size() < max_file) {
+    edge_cache_.resize(max_file);
+    near_count_.resize(max_file, 0);
+    has_far_.resize(max_file, 0);
+  }
+  stats_.pack_ms = MsSince(mark);
+
+  mark = std::chrono::steady_clock::now();
+  const bool incremental = PlanIncremental(candidates);
+  stats_.plan_ms = MsSince(mark);
+  stats_.incremental = incremental;
+  if (!incremental) {
+    refresh_ = candidates;  // full pass: rebuild every candidate's inputs
+  }
+
+  ThreadPool* pool = Pool();
+  stats_.threads = pool->threads();
+
+  // Input refresh: rebuild the cached live-neighbor rows / path views of
+  // refresh_ in parallel. Writes are disjoint per file and each result is a
+  // pure per-file function, so order (and thread count) cannot matter.
+  mark = std::chrono::steady_clock::now();
+  if (!refresh_.empty()) {
+    const size_t chunks = (refresh_.size() + kPackChunk - 1) / kPackChunk;
+    pool->ParallelChunks(chunks, [&](size_t c) {
+      const size_t lo = c * kPackChunk;
+      const size_t hi = std::min(refresh_.size(), lo + kPackChunk);
+      for (size_t i = lo; i < hi; ++i) {
+        RefreshFileInputs(refresh_[i]);
+      }
+    });
+  }
+  stats_.pack_ms += MsSince(mark);
+
+  // Scoring phase: recompute the edge bucket of every slot marked for
+  // rescore, in parallel. Buckets are disjoint per slot, all other state is
+  // read-only, and the bucket content is a pure function of the cached
+  // inputs — so the merge below is order-independent and the output is
+  // identical at any thread count. The removal flag is an OR over slots,
+  // equally order-independent.
+  std::vector<uint32_t> work;
+  work.reserve(n);
+  for (uint32_t slot = 0; slot < n; ++slot) {
+    if (rescore_[slot] != kKeepBucket) {
+      work.push_back(slot);
+    }
+  }
+  mark = std::chrono::steady_clock::now();
+  std::atomic<size_t> edges_scored{0};
+  std::vector<uint8_t> edge_removed(n, 0);  // per slot, disjoint writes
+  const bool fast_union = incremental && fast_union_ok_ && comp_valid_;
+  if (!work.empty()) {
+    const size_t chunks = (work.size() + kScoreChunk - 1) / kScoreChunk;
+    pool->ParallelChunks(chunks, [&](size_t c) {
+      ScoreScratch scratch;
+      size_t local = 0;
+      const size_t lo = c * kScoreChunk;
+      const size_t hi = std::min(work.size(), lo + kScoreChunk);
+      for (size_t w = lo; w < hi; ++w) {
+        ScoreSlot(work[w], candidates, rescore_[work[w]], &scratch, &local,
+                  fast_union ? &edge_removed[work[w]] : nullptr);
+      }
+      edges_scored.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  stats_.files_rescored = work.size();
+  stats_.edges_scored = edges_scored.load(std::memory_order_relaxed);
+  stats_.score_ms = MsSince(mark);
+  mark = std::chrono::steady_clock::now();
+
+  // Phase one (sequential): combine clusters across near edges. Cached
+  // buckets may name files that are no longer candidates; the slot lookup
+  // filters them. On the fast path, a component whose near edges all
+  // survived is replayed from its cached label (one trivial union per
+  // member); a component that lost a near edge may have split, so every
+  // member's bucket is rescanned — near edges never cross phase-one
+  // component boundaries, so per-component re-derivation is complete.
+  // Rescored buckets are always scanned to pick up brand-new edges.
+  // Either way the final relation equals components(current edge set), so
+  // the output matches a full scan exactly.
+  Dsu dsu(n);
+  std::vector<uint8_t> comp_dirty;  // by representative FileId
+  if (fast_union) {
+    comp_dirty.assign(comp_rep_.size(), 0);
+    for (uint32_t slot = 0; slot < n; ++slot) {
+      if (!edge_removed[slot]) {
+        continue;
+      }
+      const FileId f = candidates[slot];
+      if (f < comp_rep_.size() && comp_rep_[f] != kInvalidFileId) {
+        comp_dirty[comp_rep_[f]] = 1;
+      }
+    }
+  }
+  for (uint32_t slot = 0; slot < n; ++slot) {
+    const FileId f = candidates[slot];
+    if (fast_union) {
+      bool scan = rescore_[slot] != kKeepBucket;
+      if (f < was_candidate_.size() && was_candidate_[f]) {
+        const FileId rep = comp_rep_[f];
+        if (rep != kInvalidFileId && comp_dirty[rep]) {
+          scan = true;
+        } else if (rep != f && rep < slot_of_.size() && slot_of_[rep] != kNoSlot) {
+          dsu.Union(slot, slot_of_[rep]);
+        }
+      }
+      if (!scan) {
+        continue;
+      }
+    }
+    const std::vector<FileId>& bucket = edge_cache_[f];
+    const uint32_t nc = std::min<uint32_t>(near_count_[f], bucket.size());
+    for (uint32_t i = 0; i < nc; ++i) {
+      const FileId g = bucket[i];
+      const uint32_t other = g < slot_of_.size() ? slot_of_[g] : kNoSlot;
+      if (other != kNoSlot) {
+        dsu.Union(slot, other);
+      }
+    }
+  }
+
+  // Materialise phase-one clusters, numbered by first-touched member so the
+  // output order is independent of DSU root identity. The first member also
+  // becomes the component's cached label for the next fast union.
+  std::vector<uint32_t> root_to_cluster(n, kNoSlot);
+  std::vector<uint32_t> cluster_of(n);
+  std::vector<FileId> first_member;
+  std::vector<std::vector<FileId>> members;
+  if (comp_rep_.size() < max_file) {
+    comp_rep_.resize(max_file, kInvalidFileId);
+  }
+  for (uint32_t slot = 0; slot < n; ++slot) {
+    const uint32_t root = dsu.Find(slot);
+    if (root_to_cluster[root] == kNoSlot) {
+      root_to_cluster[root] = static_cast<uint32_t>(members.size());
       members.emplace_back();
+      first_member.push_back(candidates[slot]);
     }
-    members[it->second].insert(candidates[i]);
-    cluster_of[i] = it->second;
+    const uint32_t cluster = root_to_cluster[root];
+    members[cluster].push_back(candidates[slot]);
+    cluster_of[slot] = cluster;
+    comp_rep_[candidates[slot]] = first_member[cluster];
+  }
+  comp_valid_ = true;
+
+  // Phase two: overlap clusters across far edges — each file joins the
+  // other's phase-one cluster, with no merge. Clusters untouched here keep
+  // their phase-one member lists, which are already sorted and unique
+  // (slots are walked in order and candidates ascend), so only touched
+  // clusters need the sort/dedup below.
+  std::vector<uint8_t> cluster_touched(members.size(), 0);
+  for (uint32_t slot = 0; slot < n; ++slot) {
+    const FileId f = candidates[slot];
+    if (!has_far_[f]) {
+      continue;  // flag maintained with the bucket: skip the header load
+    }
+    const std::vector<FileId>& bucket = edge_cache_[f];
+    const uint32_t nc = std::min<uint32_t>(near_count_[f], bucket.size());
+    for (uint32_t i = nc; i < bucket.size(); ++i) {
+      const FileId g = bucket[i];
+      const uint32_t other = g < slot_of_.size() ? slot_of_[g] : kNoSlot;
+      if (other == kNoSlot || cluster_of[slot] == cluster_of[other]) {
+        continue;
+      }
+      members[cluster_of[other]].push_back(f);
+      members[cluster_of[slot]].push_back(candidates[other]);
+      cluster_touched[cluster_of[other]] = 1;
+      cluster_touched[cluster_of[slot]] = 1;
+    }
   }
 
-  // Phase two: overlap clusters of pairs sharing at least kf (but fewer
-  // than kn) neighbors — each file joins the other's cluster, with no
-  // merge.
-  for (const Pair& p : far_pairs) {
-    if (cluster_of[p.a] == cluster_of[p.b]) {
-      continue;  // already together
+  // Sort/dedup the touched clusters' members in parallel (clusters are
+  // disjoint vectors; sorting is per-cluster pure, so order cannot matter).
+  std::vector<uint32_t> touched_list;
+  for (uint32_t c = 0; c < cluster_touched.size(); ++c) {
+    if (cluster_touched[c]) {
+      touched_list.push_back(c);
     }
-    members[cluster_of[p.b]].insert(candidates[p.a]);
-    members[cluster_of[p.a]].insert(candidates[p.b]);
+  }
+  if (!touched_list.empty()) {
+    const size_t kEmitChunk = 64;
+    const size_t chunks = (touched_list.size() + kEmitChunk - 1) / kEmitChunk;
+    pool->ParallelChunks(chunks, [&](size_t c) {
+      const size_t lo = c * kEmitChunk;
+      const size_t hi = std::min(touched_list.size(), lo + kEmitChunk);
+      for (size_t i = lo; i < hi; ++i) {
+        std::vector<FileId>& m = members[touched_list[i]];
+        std::sort(m.begin(), m.end());
+        m.erase(std::unique(m.begin(), m.end()), m.end());
+      }
+    });
   }
 
+  // Identical clusters can only arise from far overlap (phase-one clusters
+  // are disjoint), so only touched clusters need the duplicate check:
+  // overlapping two singletons yields two identical clusters; keep one.
   ClusterSet out;
   out.clusters.reserve(members.size());
   std::set<std::vector<FileId>> emitted;
-  for (auto& m : members) {
-    Cluster c;
-    c.members.assign(m.begin(), m.end());
-    // Overlapping two singletons yields two identical clusters; keep one.
-    if (!emitted.insert(c.members).second) {
+  for (uint32_t c = 0; c < members.size(); ++c) {
+    std::vector<FileId>& m = members[c];
+    if (cluster_touched[c] && !emitted.insert(m).second) {
       continue;
     }
-    const uint32_t cluster_index = static_cast<uint32_t>(out.clusters.size());
-    for (const FileId id : c.members) {
-      out.membership[id].push_back(cluster_index);
-    }
-    out.clusters.push_back(std::move(c));
+    out.clusters.push_back(Cluster{std::move(m)});
   }
+
+  // Membership as CSR: count, prefix-sum, fill. Clusters are walked in
+  // ascending index order, so each file's index list comes out ascending.
+  const size_t nf = slot_of_.size();
+  out.membership_offset.assign(nf + 1, 0);
+  for (const Cluster& c : out.clusters) {
+    for (const FileId id : c.members) {
+      ++out.membership_offset[id + 1];
+    }
+  }
+  for (size_t i = 0; i < nf; ++i) {
+    out.membership_offset[i + 1] += out.membership_offset[i];
+  }
+  out.membership_ids.resize(out.membership_offset[nf]);
+  std::vector<uint32_t> cursor(out.membership_offset.begin(), out.membership_offset.end() - 1);
+  for (size_t ci = 0; ci < out.clusters.size(); ++ci) {
+    for (const FileId id : out.clusters[ci].members) {
+      out.membership_ids[cursor[id]++] = static_cast<uint32_t>(ci);
+    }
+  }
+
+  stats_.merge_ms = MsSince(mark);
+
+  cache_valid_ = true;
+  built_epoch_ = epoch_now;
+  cached_candidates_ = candidates;
+  was_candidate_.assign(slot_of_.size(), 0);
+  for (const FileId f : candidates) {
+    was_candidate_[f] = 1;
+  }
+  inv_dirty_.clear();
+  inv_cleared_ = false;
+
+  stats_.build_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
   return out;
 }
 

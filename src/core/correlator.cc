@@ -54,6 +54,10 @@ void Correlator::OnFileDeleted(PathId path, Time /*time*/) {
   for (const FileId expired : files_.MarkDeleted(id, params_.delete_delay)) {
     relations_.Purge(expired);
   }
+  // The mark flips liveness without touching any relation list: every list
+  // naming this file just lost a live member, so stamp them for the
+  // incremental recluster.
+  relations_.MarkSetChanged(id);
 }
 
 void Correlator::OnFileRenamed(PathId from, PathId to, Time /*time*/) {
@@ -63,7 +67,14 @@ void Correlator::OnFileRenamed(PathId from, PathId to, Time /*time*/) {
     files_.Intern(to);
     return;
   }
+  const FileId replaced = files_.Find(to);
   files_.RenameFile(id, to);
+  // The pathname feeds directory distance; a replaced target record flips
+  // liveness. Both dirty the file and every list naming it.
+  relations_.MarkSetChanged(id);
+  if (replaced != kInvalidFileId && replaced != id) {
+    relations_.MarkSetChanged(replaced);
+  }
 }
 
 void Correlator::OnFileExcluded(PathId path) {
@@ -72,6 +83,7 @@ void Correlator::OnFileExcluded(PathId path) {
     return;
   }
   files_.GetMutable(id).excluded = true;
+  relations_.MarkSetChanged(id);
   relations_.Purge(id);
 }
 

@@ -59,6 +59,20 @@ class Correlator : public ReferenceSink {
   // Groups all live files into (possibly overlapping) projects.
   ClusterSet BuildClusters() const;
 
+  // Scoring-phase thread count for cluster builds; 0 restores the default
+  // (SEER_THREADS / hardware concurrency).
+  void SetClusterThreads(int threads) { clusters_.set_threads(threads); }
+  int cluster_threads() const { return clusters_.threads(); }
+
+  // Incremental cluster rebuilds are on by default; benches turn them off
+  // to measure the full-build baseline.
+  void SetIncrementalClustering(bool on) { clusters_.set_incremental(on); }
+
+  // What the most recent BuildClusters actually did.
+  const ClusterBuildStats& last_cluster_stats() const {
+    return clusters_.last_build_stats();
+  }
+
   const FileTable& files() const { return files_; }
   const RelationTable& relations() const { return relations_; }
   const SeerParams& params() const { return params_; }

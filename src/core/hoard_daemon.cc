@@ -35,6 +35,9 @@ HoardSelection HoardDaemon::ForceRefill(Time now) {
   if (config_.investigate_fs != nullptr) {
     correlator_->RunInvestigators(*config_.investigate_fs);
   }
+  if (config_.cluster_threads > 0) {
+    correlator_->SetClusterThreads(config_.cluster_threads);
+  }
   const ClusterSet clusters = correlator_->BuildClusters();
   last_selection_ =
       manager_->ChooseHoard(*correlator_, clusters, observer_->always_hoard(), size_of_);

@@ -33,6 +33,9 @@ struct HoardDaemonConfig {
   // refills from.
   DurableCorrelator* durable = nullptr;
   uint64_t wal_checkpoint_bytes = 4u << 20;
+  // Scoring-phase thread count for the clustering pass of each refill;
+  // 0 keeps the engine default (SEER_THREADS / hardware concurrency).
+  int cluster_threads = 0;
 };
 
 class HoardDaemon {
@@ -58,6 +61,11 @@ class HoardDaemon {
   Time last_fill_time() const { return last_fill_; }
   size_t refill_count() const { return refills_; }
   const HoardSelection& last_selection() const { return last_selection_; }
+
+  // Stats of the clustering pass of the most recent refill.
+  const ClusterBuildStats& last_cluster_stats() const {
+    return correlator_->last_cluster_stats();
+  }
 
   size_t checkpoint_count() const { return checkpoints_; }
   // Outcome of the most recent checkpoint attempt (OK when none ran yet).

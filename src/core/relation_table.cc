@@ -20,6 +20,32 @@ RelationTable::RelationTable(const SeerParams& params, const FileTable* files, u
 void RelationTable::EnsureSize(FileId id) {
   if (lists_.size() <= id) {
     lists_.resize(id + 1);
+    reverse_.resize(id + 1);
+    set_stamp_.resize(id + 1, 0);
+  }
+}
+
+void RelationTable::Stamp(FileId id) {
+  EnsureSize(id);
+  set_stamp_[id] = ++set_change_epoch_;
+}
+
+void RelationTable::RevAdd(FileId owner, FileId neighbor) {
+  EnsureSize(neighbor);
+  reverse_[neighbor].push_back(owner);
+}
+
+void RelationTable::RevRemove(FileId owner, FileId neighbor) {
+  if (neighbor >= reverse_.size()) {
+    return;
+  }
+  std::vector<FileId>& rev = reverse_[neighbor];
+  for (size_t i = 0; i < rev.size(); ++i) {
+    if (rev[i] == owner) {
+      rev[i] = rev.back();
+      rev.pop_back();
+      return;
+    }
   }
 }
 
@@ -54,13 +80,18 @@ void RelationTable::Observe(FileId from, FileId to, double distance) {
 
   if (list.size() < static_cast<size_t>(params_.max_neighbors)) {
     list.push_back(candidate);
+    Stamp(from);
+    RevAdd(from, to);
     return;
   }
 
   // Replacement priority 1: a neighbor marked for deletion.
   for (Neighbor& nb : list) {
     if (files_->Get(nb.id).deleted) {
+      RevRemove(from, nb.id);
       nb = candidate;
+      Stamp(from);
+      RevAdd(from, to);
       return;
     }
   }
@@ -86,7 +117,10 @@ void RelationTable::Observe(FileId from, FileId to, double distance) {
   }
   const double candidate_dist = candidate.MeanDistance(params_.mean_kind);
   if (worst_dist > candidate_dist) {
+    RevRemove(from, list[worst].id);
     list[worst] = candidate;
+    Stamp(from);
+    RevAdd(from, to);
     return;
   }
 
@@ -102,7 +136,10 @@ void RelationTable::Observe(FileId from, FileId to, double distance) {
     }
   }
   if (update_count_ - oldest_update > params_.aging_updates) {
+    RevRemove(from, list[oldest].id);
     list[oldest] = candidate;
+    Stamp(from);
+    RevAdd(from, to);
   }
 }
 
@@ -134,31 +171,77 @@ double RelationTable::DistanceOrNegative(FileId from, FileId to) const {
 }
 
 void RelationTable::Purge(FileId id) {
-  if (id < lists_.size()) {
+  if (id >= lists_.size()) {
+    return;
+  }
+  // Our own list: unregister from every neighbor's reverse entry.
+  if (!lists_[id].empty()) {
+    for (const Neighbor& nb : lists_[id]) {
+      RevRemove(id, nb.id);
+    }
     lists_[id].clear();
     lists_[id].shrink_to_fit();
+    Stamp(id);
   }
-  for (auto& list : lists_) {
-    for (size_t i = 0; i < list.size();) {
+  // Every list naming us, found via the reverse index.
+  for (const FileId owner : reverse_[id]) {
+    std::vector<Neighbor>& list = lists_[owner];
+    for (size_t i = 0; i < list.size(); ++i) {
       if (list[i].id == id) {
         list[i] = list.back();
         list.pop_back();
-      } else {
-        ++i;
+        break;
       }
+    }
+    Stamp(owner);
+  }
+  reverse_[id].clear();
+}
+
+void RelationTable::CollectChangedSince(uint64_t epoch, std::vector<FileId>* out) const {
+  for (FileId id = 0; id < set_stamp_.size(); ++id) {
+    if (set_stamp_[id] > epoch) {
+      out->push_back(id);
+    }
+  }
+}
+
+const std::vector<FileId>& RelationTable::ReverseNeighborsOf(FileId id) const {
+  return id < reverse_.size() ? reverse_[id] : empty_ids_;
+}
+
+void RelationTable::MarkSetChanged(FileId id) {
+  Stamp(id);
+  if (id < reverse_.size()) {
+    // Copy: Stamp may resize the vectors reverse_ lives next to, but never
+    // reverse_ itself — still, don't iterate a member while mutating state.
+    for (const FileId owner : std::vector<FileId>(reverse_[id])) {
+      Stamp(owner);
     }
   }
 }
 
 void RelationTable::RestoreList(FileId from, std::vector<Neighbor> neighbors) {
   EnsureSize(from);
+  for (const Neighbor& nb : lists_[from]) {
+    RevRemove(from, nb.id);
+  }
   lists_[from] = std::move(neighbors);
+  for (const Neighbor& nb : lists_[from]) {
+    RevAdd(from, nb.id);
+  }
+  Stamp(from);
 }
 
 size_t RelationTable::MemoryBytes() const {
-  size_t bytes = lists_.capacity() * sizeof(std::vector<Neighbor>);
+  size_t bytes = lists_.capacity() * sizeof(std::vector<Neighbor>) +
+                 reverse_.capacity() * sizeof(std::vector<FileId>) +
+                 set_stamp_.capacity() * sizeof(uint64_t);
   for (const auto& list : lists_) {
     bytes += list.capacity() * sizeof(Neighbor);
+  }
+  for (const auto& rev : reverse_) {
+    bytes += rev.capacity() * sizeof(FileId);
   }
   return bytes;
 }

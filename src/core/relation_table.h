@@ -50,10 +50,35 @@ class RelationTable {
   double DistanceOrNegative(FileId from, FileId to) const;
 
   // Drops `id` from every list and clears its own list. Called when a file
-  // is purged after its deletion delay or excluded as frequent.
+  // is purged after its deletion delay or excluded as frequent. O(degree)
+  // via the reverse index, not a scan of every list.
   void Purge(FileId id);
 
   uint64_t update_count() const { return update_count_; }
+
+  // --- clustering support: set-change epochs + reverse index ---------------
+  //
+  // The incremental cluster rebuild needs to know which files' *live
+  // neighbor sets* may differ from the last build. The table stamps a
+  // monotonically increasing epoch on every structural list change (entry
+  // added, replaced, or removed — folding a new observation into an
+  // existing entry does not change the set and is not stamped), and the
+  // correlator calls MarkSetChanged when a file's liveness or pathname
+  // flips out-of-band (rename), which dirties the file and every list that
+  // names it.
+
+  // Current global set-change epoch (stamped value of the latest change).
+  uint64_t set_change_epoch() const { return set_change_epoch_; }
+
+  // Appends every file whose set-change stamp is newer than `epoch`.
+  void CollectChangedSince(uint64_t epoch, std::vector<FileId>* out) const;
+
+  // Files whose neighbor lists currently contain `id` (unordered).
+  const std::vector<FileId>& ReverseNeighborsOf(FileId id) const;
+
+  // Records that `id`'s liveness or pathname changed: stamps `id` and every
+  // reverse neighbor (their live sets changed too).
+  void MarkSetChanged(FileId id);
 
   // Approximate bytes used, for the Section 5.3 memory accounting bench.
   size_t MemoryBytes() const;
@@ -70,13 +95,23 @@ class RelationTable {
 
  private:
   void EnsureSize(FileId id);
+  void Stamp(FileId id);
+  void RevAdd(FileId owner, FileId neighbor);
+  void RevRemove(FileId owner, FileId neighbor);
 
   SeerParams params_;
   const FileTable* files_;
   std::vector<std::vector<Neighbor>> lists_;
+  // reverse_[id] = files whose lists contain id. Maintained by every list
+  // mutation; an id appears at most once per owner (lists are id-unique).
+  std::vector<std::vector<FileId>> reverse_;
+  // Per-file stamp of the last set change, against set_change_epoch_.
+  std::vector<uint64_t> set_stamp_;
+  uint64_t set_change_epoch_ = 0;
   uint64_t update_count_ = 0;
   mutable Rng rng_;
   std::vector<Neighbor> empty_;
+  std::vector<FileId> empty_ids_;
 };
 
 }  // namespace seer

@@ -1,0 +1,69 @@
+// Disjoint-set union with union by size and path halving.
+//
+// The clustering phase-one merge is a straight DSU pass. Path halving alone
+// is not enough: an adversarial merge order (always uniting a singleton's
+// root UNDER a long chain) keeps Find near-linear, because halving only
+// compresses the path actually walked. Union by size bounds tree height at
+// log2(n) regardless of merge order, and halving then flattens the trees
+// the walks actually touch.
+#ifndef SRC_UTIL_DSU_H_
+#define SRC_UTIL_DSU_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace seer {
+
+class Dsu {
+ public:
+  explicit Dsu(size_t n) : parent_(n), size_(n, 1) {
+    for (size_t i = 0; i < n; ++i) {
+      parent_[i] = static_cast<uint32_t>(i);
+    }
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) {
+      return;
+    }
+    // Union by size: the smaller tree hangs under the larger root, so no
+    // chain can exceed log2(n) links even before halving compresses it.
+    if (size_[a] < size_[b]) {
+      const uint32_t t = a;
+      a = b;
+      b = t;
+    }
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+  // Links from x to its root, without compressing — the regression surface
+  // for the union-by-size bound (<= log2(n) for any merge order).
+  size_t ChainLength(uint32_t x) const {
+    size_t length = 0;
+    while (parent_[x] != x) {
+      x = parent_[x];
+      ++length;
+    }
+    return length;
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+};
+
+}  // namespace seer
+
+#endif  // SRC_UTIL_DSU_H_

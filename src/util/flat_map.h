@@ -1,0 +1,126 @@
+// Open-addressing hash map for integral keys.
+//
+// The clustering engine's hot lookups (investigated-pair strengths, dense
+// scratch indices) used std::unordered_map, whose node allocations and
+// pointer chasing dominate at millions of probes per build. FlatMap is a
+// single contiguous array with linear probing and power-of-two capacity:
+// one cache line per hit in the common case, no per-entry allocation, and
+// iteration is a linear scan. Erase is not supported (the users clear
+// wholesale), which keeps probing tombstone-free.
+#ifndef SRC_UTIL_FLAT_MAP_H_
+#define SRC_UTIL_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace seer {
+
+template <typename K, typename V>
+class FlatMap {
+ public:
+  // `empty_key` is reserved to mark unused slots and must never be inserted.
+  explicit FlatMap(K empty_key, size_t initial_capacity = 16)
+      : empty_key_(empty_key) {
+    size_t capacity = 8;
+    while (capacity < initial_capacity) {
+      capacity <<= 1;
+    }
+    slots_.assign(capacity, Slot{empty_key_, V{}});
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Returns the value for `key`, default-constructing it if absent.
+  // `inserted`, when non-null, reports whether the key was new.
+  V& InsertOrGet(K key, bool* inserted = nullptr) {
+    if ((size_ + 1) * 4 >= slots_.size() * 3) {
+      Grow();
+    }
+    size_t i = Probe(key);
+    if (slots_[i].key == empty_key_) {
+      slots_[i].key = key;
+      ++size_;
+      if (inserted != nullptr) {
+        *inserted = true;
+      }
+    } else if (inserted != nullptr) {
+      *inserted = false;
+    }
+    return slots_[i].value;
+  }
+
+  V& operator[](K key) { return InsertOrGet(key); }
+
+  const V* Find(K key) const {
+    const size_t i = Probe(key);
+    return slots_[i].key == empty_key_ ? nullptr : &slots_[i].value;
+  }
+
+  void Clear() {
+    for (Slot& slot : slots_) {
+      slot.key = empty_key_;
+      slot.value = V{};
+    }
+    size_ = 0;
+  }
+
+  // Visits every (key, value) pair in slot order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.key != empty_key_) {
+        fn(slot.key, slot.value);
+      }
+    }
+  }
+
+  size_t MemoryBytes() const { return slots_.capacity() * sizeof(Slot); }
+
+ private:
+  struct Slot {
+    K key;
+    V value;
+  };
+
+  static uint64_t Hash(K key) {
+    // SplitMix64 finalizer: full avalanche for sequential ids and pair keys.
+    uint64_t x = static_cast<uint64_t>(key);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  size_t Probe(K key) const {
+    const size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(Hash(key)) & mask;
+    while (slots_[i].key != empty_key_ && slots_[i].key != key) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{empty_key_, V{}});
+    for (Slot& slot : old) {
+      if (slot.key != empty_key_) {
+        const size_t i = Probe(slot.key);
+        slots_[i] = std::move(slot);
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+  K empty_key_;
+};
+
+}  // namespace seer
+
+#endif  // SRC_UTIL_FLAT_MAP_H_

@@ -1,0 +1,103 @@
+#include "src/util/thread_pool.h"
+
+#include <cstdlib>
+
+namespace seer {
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("SEER_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) {
+      return n;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = DefaultThreadCount();
+  }
+  workers_.reserve(static_cast<size_t>(threads - 1));
+  for (int i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+void ThreadPool::ParallelChunks(size_t num_chunks, const std::function<void(size_t)>& fn) {
+  if (num_chunks == 0) {
+    return;
+  }
+  if (workers_.empty() || num_chunks == 1) {
+    for (size_t i = 0; i < num_chunks; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    total_chunks_ = num_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    active_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  for (;;) {
+    const size_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= num_chunks) {
+      break;
+    }
+    fn(chunk);
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t)>* job = nullptr;
+    size_t total = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) {
+        return;
+      }
+      seen = generation_;
+      job = job_;
+      total = total_chunks_;
+    }
+    for (;;) {
+      const size_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= total) {
+        break;
+      }
+      (*job)(chunk);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace seer

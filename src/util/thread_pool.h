@@ -1,0 +1,65 @@
+// A small chunked-parallel-for thread pool.
+//
+// SEER's batch phases (cluster scoring, CSR packing) are embarrassingly
+// parallel over files once the relation lists are fixed, so the only
+// primitive needed is a blocking parallel-for with dynamic load balancing:
+// callers split their work into chunks, workers claim chunks from a shared
+// atomic counter (cheap work stealing), and ParallelChunks returns when
+// every chunk has run. The calling thread participates, so a pool built
+// with threads == 1 spawns no workers at all and runs strictly inline —
+// the serial and parallel code paths are the same code.
+//
+// The pool is not re-entrant: one ParallelChunks call at a time.
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seer {
+
+// Worker count for a new pool: the SEER_THREADS environment variable when
+// set to a positive integer, otherwise std::thread::hardware_concurrency().
+// Honoured everywhere a pool is created (clustering, benches, seerctl).
+int DefaultThreadCount();
+
+class ThreadPool {
+ public:
+  // threads <= 0 selects DefaultThreadCount(). The pool keeps threads-1
+  // workers; the caller is the remaining thread.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs fn(chunk) for every chunk in [0, num_chunks), distributed over the
+  // pool plus the calling thread, and blocks until all chunks complete.
+  // fn must not throw.
+  void ParallelChunks(size_t num_chunks, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* job_ = nullptr;
+  std::atomic<size_t> next_chunk_{0};
+  size_t total_chunks_ = 0;
+  size_t active_ = 0;  // workers that have not finished the current job
+  uint64_t generation_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace seer
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

@@ -1,13 +1,21 @@
-// Tests for the utility layer: deterministic RNG, statistics, and path
-// handling (including the directory-distance measure of Section 3.2).
+// Tests for the utility layer: deterministic RNG, statistics, path
+// handling (including the directory-distance measure of Section 3.2), and
+// the clustering engine's support structures (DSU, FlatMap, ThreadPool).
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/util/dsu.h"
+#include "src/util/flat_map.h"
 #include "src/util/path.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
+#include "src/util/thread_pool.h"
 
 namespace seer {
 namespace {
@@ -218,6 +226,127 @@ TEST(Path, Extension) {
   EXPECT_EQ(Extension("/p/a.tar.gz"), "gz");
   EXPECT_EQ(Extension("/p/Makefile"), "");
   EXPECT_EQ(Extension("/p/.hidden"), "");
+}
+
+// --- dsu ---------------------------------------------------------------------
+
+TEST(Dsu, BasicUnionFind) {
+  Dsu dsu(8);
+  EXPECT_NE(dsu.Find(0), dsu.Find(1));
+  dsu.Union(0, 1);
+  dsu.Union(2, 3);
+  EXPECT_EQ(dsu.Find(0), dsu.Find(1));
+  EXPECT_EQ(dsu.Find(2), dsu.Find(3));
+  EXPECT_NE(dsu.Find(1), dsu.Find(2));
+  dsu.Union(1, 3);
+  EXPECT_EQ(dsu.Find(0), dsu.Find(3));
+  EXPECT_NE(dsu.Find(0), dsu.Find(7));
+  dsu.Union(4, 4);  // self-union is a no-op
+  EXPECT_EQ(dsu.Find(4), dsu.Find(4));
+}
+
+// Union by size bounds every root chain at log2(n) regardless of merge
+// order. The tournament order (merge equal-size trees pairwise) is the
+// worst case for tree height; the singleton-append order used to produce
+// near-linear chains with naive linking.
+TEST(Dsu, ChainLengthBoundedUnderPathologicalOrders) {
+  constexpr uint32_t n = 1024;
+  constexpr size_t log2_n = 10;
+
+  Dsu tournament(n);
+  for (uint32_t gap = 1; gap < n; gap *= 2) {
+    for (uint32_t i = 0; i + gap < n; i += 2 * gap) {
+      tournament.Union(i, i + gap);
+    }
+  }
+  for (uint32_t x = 0; x < n; ++x) {
+    EXPECT_LE(tournament.ChainLength(x), log2_n) << "element " << x;
+  }
+  EXPECT_EQ(tournament.Find(0), tournament.Find(n - 1));
+
+  Dsu chain(n);
+  for (uint32_t i = 1; i < n; ++i) {
+    chain.Union(i, i - 1);  // always append to the growing set
+  }
+  for (uint32_t x = 0; x < n; ++x) {
+    EXPECT_LE(chain.ChainLength(x), log2_n) << "element " << x;
+  }
+}
+
+// --- flat_map ----------------------------------------------------------------
+
+TEST(FlatMap, InsertFindGrowClear) {
+  FlatMap<uint64_t, double> map(static_cast<uint64_t>(-1));
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(42), nullptr);
+
+  // Push well past the initial capacity to exercise Grow().
+  for (uint64_t k = 0; k < 1000; ++k) {
+    bool inserted = false;
+    map.InsertOrGet(k, &inserted) = static_cast<double>(k) * 3.0;
+    EXPECT_TRUE(inserted);
+  }
+  EXPECT_EQ(map.size(), 1000u);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    const double* v = map.Find(k);
+    ASSERT_NE(v, nullptr) << "key " << k;
+    EXPECT_EQ(*v, static_cast<double>(k) * 3.0);
+  }
+  EXPECT_EQ(map.Find(1000), nullptr);
+
+  bool inserted = true;
+  map.InsertOrGet(7, &inserted) += 1.0;  // accumulate on an existing key
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(*map.Find(7), 22.0);
+  EXPECT_EQ(map.size(), 1000u);
+
+  size_t visited = 0;
+  double sum = 0.0;
+  map.ForEach([&](uint64_t, double v) {
+    ++visited;
+    sum += v;
+  });
+  EXPECT_EQ(visited, 1000u);
+  EXPECT_EQ(sum, 3.0 * (999.0 * 1000.0 / 2.0) + 1.0);
+
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(7), nullptr);
+  map[5] = 9.0;  // reusable after Clear
+  EXPECT_EQ(*map.Find(5), 9.0);
+}
+
+// --- thread_pool -------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryChunkExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.threads(), threads);
+    constexpr size_t kChunks = 257;  // not a multiple of anything convenient
+    std::unique_ptr<std::atomic<int>[]> runs(new std::atomic<int>[kChunks]);
+    for (size_t i = 0; i < kChunks; ++i) {
+      runs[i].store(0);
+    }
+    pool.ParallelChunks(kChunks, [&](size_t c) { runs[c].fetch_add(1); });
+    for (size_t i = 0; i < kChunks; ++i) {
+      EXPECT_EQ(runs[i].load(), 1) << "chunk " << i << " with " << threads << " threads";
+    }
+    // The pool is reusable for a second job.
+    std::atomic<size_t> total{0};
+    pool.ParallelChunks(64, [&](size_t c) { total.fetch_add(c); });
+    EXPECT_EQ(total.load(), 64u * 63u / 2u);
+  }
+}
+
+TEST(ThreadPool, ZeroChunksReturnsImmediately) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelChunks(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, DefaultThreadCountPositive) {
+  EXPECT_GE(DefaultThreadCount(), 1);
 }
 
 }  // namespace

@@ -127,10 +127,12 @@ bool HasFlag(int argc, char** argv, int start, const char* flag) {
   return false;
 }
 
-// Flags that take no value, for positional scanning.
+// Flags that take no value, for positional scanning. A flag spelled
+// --name=value carries its value inline and is also bare.
 bool IsBareFlag(const char* arg) {
-  return std::strcmp(arg, "--binary") == 0 || std::strcmp(arg, "--help") == 0 ||
-         std::strcmp(arg, "-h") == 0;
+  return std::strcmp(arg, "--binary") == 0 || std::strcmp(arg, "--stats") == 0 ||
+         std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0 ||
+         std::strchr(arg, '=') != nullptr;
 }
 
 // First non-flag positional argument at or after `start`.
@@ -444,6 +446,49 @@ int Clusters(int argc, char** argv, int start) {
   }
   std::printf("%zu clusters with >= %zu members (of %zu total)\n", shown, min_size,
               clusters.clusters.size());
+  return 0;
+}
+
+// --- cluster ---------------------------------------------------------------------
+
+int ClusterStats(int argc, char** argv, int start) {
+  const char* path = Positional(argc, argv, start);
+  if (path == nullptr) {
+    std::fprintf(stderr, "seerctl: cluster requires a DB argument\n");
+    return 2;
+  }
+  auto correlator = LoadDbOrDie(path);
+
+  int threads = 0;
+  for (int i = start; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    }
+  }
+  if (const char* value = FlagValue(argc, argv, start, "--threads")) {
+    threads = std::atoi(value);
+  }
+  if (threads > 0) {
+    correlator->SetClusterThreads(threads);
+  }
+
+  const ClusterSet clusters = correlator->BuildClusters();
+  const ClusterBuildStats& stats = correlator->last_cluster_stats();
+  size_t multi = 0;
+  for (const Cluster& c : clusters.clusters) {
+    if (c.members.size() > 1) {
+      ++multi;
+    }
+  }
+  std::printf("%zu clusters (%zu multi-file) from %zu candidates in %.2f ms on %d thread%s\n",
+              clusters.clusters.size(), multi, stats.candidates, stats.build_ms, stats.threads,
+              stats.threads == 1 ? "" : "s");
+  if (HasFlag(argc, argv, start, "--stats")) {
+    std::printf("  build mode:     %s\n", stats.incremental ? "incremental" : "full");
+    std::printf("  dirty files:    %zu\n", stats.dirty_files);
+    std::printf("  files rescored: %zu\n", stats.files_rescored);
+    std::printf("  edges scored:   %zu\n", stats.edges_scored);
+  }
   return 0;
 }
 
@@ -792,6 +837,13 @@ const std::vector<Subcommand>& Commands() {
        "Dump the project clusters of a saved text database.\n\n"
        "  --min-size N   only clusters with at least N members (default 2)\n",
        Clusters},
+      {"cluster", "cluster DB [--stats] [--threads K]",
+       "Build project clusters with the parallel engine and print build\n"
+       "statistics.\n\n"
+       "  --stats        also print dirty-set size, rescored files, edges\n"
+       "  --threads K    scoring threads (default: SEER_THREADS, else all\n"
+       "                 cores); --threads=K is accepted too\n",
+       ClusterStats},
       {"hoard", "hoard DB --budget-mb MB",
        "Compute hoard contents from a saved text database under a space\n"
        "budget.\n",
