@@ -16,8 +16,10 @@
 // machine-readable perf trajectory to compare against.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
@@ -25,6 +27,7 @@
 #include <mutex>
 #include <new>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
 #include <filesystem>
@@ -50,11 +53,20 @@
 namespace {
 std::atomic<bool> g_count_allocations{false};
 thread_local uint64_t t_allocation_count = 0;
+// Process-wide counter for the ingest section: the parallel measure phase
+// allocates (if at all) on pool workers, which the thread-local counter
+// cannot see. Separate flag so the single-thread plane measurements keep
+// their historical cost profile (one relaxed load, no atomic add).
+std::atomic<bool> g_count_allocations_global{false};
+std::atomic<uint64_t> g_global_allocation_count{0};
 }  // namespace
 
 void* operator new(std::size_t size) {
   if (g_count_allocations.load(std::memory_order_relaxed)) {
     ++t_allocation_count;
+  }
+  if (g_count_allocations_global.load(std::memory_order_relaxed)) {
+    g_global_allocation_count.fetch_add(1, std::memory_order_relaxed);
   }
   void* p = std::malloc(size);
   if (p == nullptr) {
@@ -66,6 +78,9 @@ void* operator new(std::size_t size) {
 void* operator new[](std::size_t size) {
   if (g_count_allocations.load(std::memory_order_relaxed)) {
     ++t_allocation_count;
+  }
+  if (g_count_allocations_global.load(std::memory_order_relaxed)) {
+    g_global_allocation_count.fetch_add(1, std::memory_order_relaxed);
   }
   void* p = std::malloc(size);
   if (p == nullptr) {
@@ -428,12 +443,281 @@ DurabilityCost MeasureDurability() {
   return cost;
 }
 
+// ---------------------------------------------------------------------------
+// Ingest throughput: the full batched pipeline (partition → parallel measure
+// → in-order fold) swept across worker counts, plus a microbench of the slab
+// neighbor layout against the pre-refactor vector-of-vectors layout.
+// ---------------------------------------------------------------------------
+
+constexpr int kIngestStreams = 8;   // distinct pids → shards per segment
+constexpr int kIngestPasses = 16;   // ingested refs = kJsonFiles * kIngestPasses
+
+// A pure-reference trace spread round-robin across kIngestStreams process
+// streams, so every segment partitions into kIngestStreams shards whose
+// distance measurement can proceed in parallel.
+std::vector<IngestEvent> BuildIngestTrace() {
+  std::vector<PathId> ids;
+  ids.reserve(kJsonFiles);
+  for (int f = 0; f < kJsonFiles; ++f) {
+    ids.push_back(GlobalPaths().Intern(JsonPath(f)));
+  }
+  std::vector<IngestEvent> events;
+  events.reserve(static_cast<size_t>(kJsonFiles) * kIngestPasses);
+  Time t = 0;
+  for (int pass = 0; pass < kIngestPasses; ++pass) {
+    for (int f = 0; f < kJsonFiles; ++f) {
+      IngestEvent e;
+      e.kind = IngestEvent::Kind::kReference;
+      e.ref.pid = 1 + static_cast<Pid>(f % kIngestStreams);
+      e.ref.kind = RefKind::kPoint;
+      e.ref.path = ids[f];
+      e.ref.time = ++t;
+      e.time = e.ref.time;
+      events.push_back(e);
+    }
+  }
+  return events;
+}
+
+struct IngestCost {
+  int threads = 0;
+  double refs_per_sec = 0.0;
+  double allocs_per_ref = 0.0;
+  IngestStats stats;
+};
+
+IngestCost MeasureIngestThroughput(int threads, const std::vector<IngestEvent>& events) {
+  Correlator correlator;
+  correlator.SetIngestThreads(threads);
+  constexpr size_t kBatch = 1024;
+  const auto replay = [&] {
+    for (size_t i = 0; i < events.size(); i += kBatch) {
+      const size_t n = std::min<size_t>(kBatch, events.size() - i);
+      correlator.IngestBatch(events.data() + i, n);
+    }
+  };
+  // Warm-up pass: file table, slab stripes, per-stream windows and shard
+  // scratch buffers all reach steady-state capacity before we measure.
+  replay();
+
+  g_global_allocation_count.store(0, std::memory_order_relaxed);
+  g_count_allocations_global.store(true, std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  replay();
+  const auto stop = std::chrono::steady_clock::now();
+  g_count_allocations_global.store(false, std::memory_order_relaxed);
+  const uint64_t allocations =
+      g_global_allocation_count.load(std::memory_order_relaxed);
+
+  const double refs = static_cast<double>(events.size());
+  const double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start).count());
+  IngestCost cost;
+  cost.threads = threads;
+  cost.refs_per_sec = ns > 0 ? refs * 1e9 / ns : 0.0;
+  cost.allocs_per_ref = static_cast<double>(allocations) / refs;
+  cost.stats = correlator.ingest_stats();
+  return cost;
+}
+
+// The pre-refactor neighbor storage: one heap-allocated std::vector<Neighbor>
+// per file, means recomputed from the accumulators on every replacement scan,
+// plus the reverse index and set-change epoch stamps the real table maintains
+// on every membership change. Replays the same observation stream as the
+// shipped slab table below so the two layouts are compared on identical work.
+class LegacyNeighborTable {
+ public:
+  explicit LegacyNeighborTable(const SeerParams& params) : params_(params) {}
+
+  void Observe(FileId from, FileId to, double distance) {
+    if (from == to) {
+      return;
+    }
+    ++update_count_;
+    if (lists_.size() <= from) {
+      lists_.resize(from + 1);
+    }
+    auto& list = lists_[from];
+    const double floored =
+        distance > 0 ? distance : params_.geometric_zero_floor;
+    const double log_d = std::log(floored);
+    for (auto& n : list) {
+      if (n.id == to) {
+        n.log_sum += log_d;
+        n.linear_sum += distance;
+        ++n.observations;
+        n.last_update = update_count_;
+        return;
+      }
+    }
+    Neighbor cand;
+    cand.id = to;
+    cand.log_sum = log_d;
+    cand.linear_sum = distance;
+    cand.observations = 1;
+    cand.last_update = update_count_;
+    if (list.size() < static_cast<size_t>(params_.max_neighbors)) {
+      list.push_back(cand);
+      Stamp(from);
+      RevAdd(from, to);
+      return;
+    }
+    size_t worst = 0;
+    double worst_dist = -1.0;
+    for (size_t i = 0; i < list.size(); ++i) {
+      const double d = list[i].MeanDistance(params_.mean_kind);
+      if (d > worst_dist) {
+        worst_dist = d;
+        worst = i;
+      }
+    }
+    if (worst_dist > cand.MeanDistance(params_.mean_kind)) {
+      RevRemove(from, list[worst].id);
+      list[worst] = cand;
+      Stamp(from);
+      RevAdd(from, to);
+    }
+  }
+
+ private:
+  void Stamp(FileId f) {
+    if (set_stamp_.size() <= f) {
+      set_stamp_.resize(f + 1, 0);
+    }
+    set_stamp_[f] = ++epoch_;
+  }
+  void RevAdd(FileId from, FileId to) {
+    if (reverse_.size() <= to) {
+      reverse_.resize(to + 1);
+    }
+    reverse_[to].push_back(from);
+  }
+  void RevRemove(FileId from, FileId to) {
+    if (to >= reverse_.size()) {
+      return;
+    }
+    auto& owners = reverse_[to];
+    for (size_t i = 0; i < owners.size(); ++i) {
+      if (owners[i] == from) {
+        owners[i] = owners.back();
+        owners.pop_back();
+        return;
+      }
+    }
+  }
+
+  SeerParams params_;
+  std::vector<std::vector<Neighbor>> lists_;
+  std::vector<std::vector<FileId>> reverse_;
+  std::vector<uint64_t> set_stamp_;
+  uint64_t epoch_ = 0;
+  uint64_t update_count_ = 0;
+};
+
+struct LayoutCost {
+  double legacy_ns_per_obs = 0.0;       // warm: lists at capacity
+  uint64_t legacy_build_allocations = 0;  // cold: growing every list from empty
+  double slab_ns_per_obs = 0.0;
+  uint64_t slab_build_allocations = 0;
+};
+
+LayoutCost MeasureNeighborLayouts() {
+  // One observation stream for both layouts: folds dominate, but each file
+  // accumulates more distinct neighbors than max_neighbors fits, so the
+  // replacement scan (the mean-recompute hot spot) runs steadily too.
+  struct Obs {
+    FileId from;
+    FileId to;
+    double distance;
+  };
+  constexpr int kFiles = 512;
+  constexpr int kRounds = 48;
+  std::vector<Obs> stream;
+  stream.reserve(static_cast<size_t>(kFiles) * kRounds * 8);
+  for (int r = 0; r < kRounds; ++r) {
+    for (int f = 0; f < kFiles; ++f) {
+      for (int k = 1; k <= 8; ++k) {
+        Obs o;
+        o.from = static_cast<FileId>(f);
+        o.to = static_cast<FileId>((f + k * (r % 3 + 1)) % kFiles);
+        o.distance = static_cast<double>(k * 7 + r % 11);
+        stream.push_back(o);
+      }
+    }
+  }
+
+  const SeerParams params;
+  LayoutCost cost;
+  const double n = static_cast<double>(stream.size());
+
+  // Both layouts reach zero allocations once at capacity, so allocation cost
+  // is counted over the cold build (every neighbor list growing from empty —
+  // the cost a growing trace pays continuously as new files appear), while
+  // ns/obs is measured warm. The emulation runs only the farthest-neighbor
+  // replacement priority (no deleted-first scan, aging, or RNG tie-breaks),
+  // so its ns/obs is a flattering lower bound for the old layout; the
+  // allocation counts are the like-for-like comparison.
+  {
+    LegacyNeighborTable legacy(params);
+    t_allocation_count = 0;
+    g_count_allocations.store(true, std::memory_order_relaxed);
+    for (const auto& o : stream) {  // cold build: count list-growth allocations
+      legacy.Observe(o.from, o.to, o.distance);
+    }
+    g_count_allocations.store(false, std::memory_order_relaxed);
+    cost.legacy_build_allocations = t_allocation_count;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& o : stream) {  // warm: lists at capacity
+      legacy.Observe(o.from, o.to, o.distance);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    cost.legacy_ns_per_obs =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start).count()) /
+        n;
+  }
+
+  {
+    FileTable files;
+    for (int f = 0; f < kFiles; ++f) {
+      files.Intern(GlobalPaths().Intern("/bench/layout/file" + std::to_string(f)));
+    }
+    RelationTable slab(params, &files);
+    t_allocation_count = 0;
+    g_count_allocations.store(true, std::memory_order_relaxed);
+    for (const auto& o : stream) {  // cold build: count slab-growth allocations
+      slab.Observe(o.from, o.to, o.distance);
+    }
+    g_count_allocations.store(false, std::memory_order_relaxed);
+    cost.slab_build_allocations = t_allocation_count;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& o : stream) {  // warm: slab stripes sized
+      slab.Observe(o.from, o.to, o.distance);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    cost.slab_ns_per_obs =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start).count()) /
+        n;
+  }
+
+  return cost;
+}
+
 void WriteOverheadJson() {
   const PlaneCost before = MeasureStringPlane();
   size_t high_water = 0;
   size_t queue_capacity = 0;
   const PlaneCost after = MeasureIdPlane(&high_water, &queue_capacity);
   const DurabilityCost durability = MeasureDurability();
+
+  const std::vector<IngestEvent> trace = BuildIngestTrace();
+  std::vector<IngestCost> ingest;
+  for (int threads : {1, 2, 4, 8}) {
+    ingest.push_back(MeasureIngestThroughput(threads, trace));
+  }
+  const LayoutCost layout = MeasureNeighborLayouts();
+  const unsigned host_cpus = std::thread::hardware_concurrency();
 
   const char* path = "BENCH_overhead.json";
   std::FILE* out = std::fopen(path, "w");
@@ -463,6 +747,33 @@ void WriteOverheadJson() {
                durability.wal_append_ns_per_record);
   std::fprintf(out, "    \"wal_replay_ns_per_record\": %.2f\n",
                durability.wal_replay_ns_per_record);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"ingest\": {\n");
+  std::fprintf(out, "    \"refs\": %zu,\n", trace.size());
+  std::fprintf(out, "    \"streams\": %d,\n", kIngestStreams);
+  std::fprintf(out, "    \"host_cpus\": %u,\n", host_cpus);
+  std::fprintf(out, "    \"threads\": [\n");
+  for (size_t i = 0; i < ingest.size(); ++i) {
+    const IngestCost& c = ingest[i];
+    std::fprintf(out,
+                 "      {\"threads\": %d, \"refs_per_sec\": %.0f, "
+                 "\"allocs_per_ref\": %.4f, \"segments\": %llu, "
+                 "\"shards\": %llu, \"max_shard_refs\": %llu}%s\n",
+                 c.threads, c.refs_per_sec, c.allocs_per_ref,
+                 static_cast<unsigned long long>(c.stats.segments),
+                 static_cast<unsigned long long>(c.stats.shards),
+                 static_cast<unsigned long long>(c.stats.max_shard_refs),
+                 i + 1 < ingest.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out, "    \"neighbor_layout\": {\n");
+  std::fprintf(out, "      \"legacy_ns_per_obs\": %.2f,\n", layout.legacy_ns_per_obs);
+  std::fprintf(out, "      \"legacy_build_allocations\": %llu,\n",
+               static_cast<unsigned long long>(layout.legacy_build_allocations));
+  std::fprintf(out, "      \"slab_ns_per_obs\": %.2f,\n", layout.slab_ns_per_obs);
+  std::fprintf(out, "      \"slab_build_allocations\": %llu\n",
+               static_cast<unsigned long long>(layout.slab_build_allocations));
+  std::fprintf(out, "    }\n");
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
@@ -476,6 +787,20 @@ void WriteOverheadJson() {
   std::printf("  checkpoint: %.2f ms (%.0f byte snapshot)  WAL append %.0f ns/rec  replay %.0f ns/rec\n",
               durability.checkpoint_ms, durability.snapshot_bytes,
               durability.wal_append_ns_per_record, durability.wal_replay_ns_per_record);
+  std::printf("  ingest (%zu refs, %d streams, host has %u cpu%s):\n", trace.size(),
+              kIngestStreams, host_cpus, host_cpus == 1 ? "" : "s");
+  for (const IngestCost& c : ingest) {
+    std::printf("    threads=%d: %10.0f refs/sec  %6.3f allocs/ref\n", c.threads,
+                c.refs_per_sec, c.allocs_per_ref);
+  }
+  if (host_cpus < 2) {
+    std::printf("    (single-cpu host: thread sweep shows overhead, not speedup)\n");
+  }
+  std::printf("  neighbor layout: legacy %6.1f ns/obs (%llu build allocs)  |  slab %6.1f ns/obs (%llu build allocs)\n",
+              layout.legacy_ns_per_obs,
+              static_cast<unsigned long long>(layout.legacy_build_allocations),
+              layout.slab_ns_per_obs,
+              static_cast<unsigned long long>(layout.slab_build_allocations));
 }
 
 }  // namespace

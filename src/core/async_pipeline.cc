@@ -84,8 +84,14 @@ void AsyncCorrelator::OnFileExcluded(PathId path) {
 }
 
 void AsyncCorrelator::WorkerLoop() {
+  // Reused drain buffer: the worker takes everything queued in one lock
+  // hold, frees the whole ring for producers, then applies the batch via
+  // the sharded ingest pipeline — a deep backlog becomes a wide batch whose
+  // distance measurement parallelises across process streams.
+  std::vector<Message> batch;
+  batch.reserve(capacity_);
   for (;;) {
-    Message message;
+    batch.clear();
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_not_empty_.wait(lock, [this] { return count_ > 0 || stopping_; });
@@ -94,41 +100,25 @@ void AsyncCorrelator::WorkerLoop() {
         drained_.notify_all();
         return;
       }
-      message = ring_[head_];
-      head_ = (head_ + 1) % capacity_;
-      --count_;
+      const size_t n = count_;
+      for (size_t i = 0; i < n; ++i) {
+        batch.push_back(ring_[head_]);
+        head_ = (head_ + 1) % capacity_;
+      }
+      count_ = 0;
     }
+    queue_not_full_.notify_all();  // a whole ring of slots just freed
     {
       std::lock_guard<std::mutex> lock(correlator_mutex_);
-      switch (message.kind) {
-        case Message::Kind::kReference:
-          correlator_.OnReference(message.ref);
-          break;
-        case Message::Kind::kFork:
-          correlator_.OnProcessFork(message.parent, message.child);
-          break;
-        case Message::Kind::kExit:
-          correlator_.OnProcessExit(message.child);
-          break;
-        case Message::Kind::kDeleted:
-          correlator_.OnFileDeleted(message.path, message.time);
-          break;
-        case Message::Kind::kRenamed:
-          correlator_.OnFileRenamed(message.path, message.path2, message.time);
-          break;
-        case Message::Kind::kExcluded:
-          correlator_.OnFileExcluded(message.path);
-          break;
-      }
+      correlator_.IngestBatch(batch.data(), batch.size());
     }
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
-      ++processed_;
+      processed_ += batch.size();
       if (count_ == 0) {
         drained_.notify_all();
       }
     }
-    queue_not_full_.notify_one();
   }
 }
 
@@ -156,6 +146,15 @@ void AsyncCorrelator::SetClusterThreads(int threads) {
 
 ClusterBuildStats AsyncCorrelator::LastClusterStats() {
   return Query([](const Correlator& c) { return c.last_cluster_stats(); });
+}
+
+void AsyncCorrelator::SetIngestThreads(int threads) {
+  std::lock_guard<std::mutex> lock(correlator_mutex_);
+  correlator_.SetIngestThreads(threads);
+}
+
+IngestStats AsyncCorrelator::LastIngestStats() {
+  return Query([](const Correlator& c) { return c.ingest_stats(); });
 }
 
 size_t AsyncCorrelator::enqueued() const {

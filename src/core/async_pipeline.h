@@ -5,8 +5,11 @@
 // syscall, while the correlator's table updates can lag behind
 // (Sections 2, 5.3). AsyncCorrelator reproduces that decoupling inside one
 // process: it is a ReferenceSink whose methods enqueue onto a bounded
-// queue and return immediately; a worker thread drains the queue into the
-// real Correlator. Queries (clustering, distances) synchronise with the
+// queue and return immediately; a worker thread drains the queue in whole
+// batches into the correlator's sharded IngestBatch pipeline, so distance
+// measurement for a backlog parallelises across process streams while the
+// applied state stays bit-identical to one-at-a-time serial delivery.
+// Queries (clustering, distances) synchronise with the
 // worker so callers always see a fully drained correlator — exactly the
 // semantics of asking the correlator daemon for a hoard fill.
 //
@@ -74,6 +77,11 @@ class AsyncCorrelator : public ReferenceSink {
   void SetClusterThreads(int threads);
   ClusterBuildStats LastClusterStats();
 
+  // Ingest-pipeline controls: measure-phase thread count for the batched
+  // drain, and the ingest counters (batches, segments, shards, barriers).
+  void SetIngestThreads(int threads);
+  IngestStats LastIngestStats();
+
   // Statistics.
   size_t enqueued() const;
   size_t processed() const;
@@ -82,23 +90,9 @@ class AsyncCorrelator : public ReferenceSink {
   size_t queue_capacity() const { return capacity_; }
 
  private:
-  struct Message {
-    enum class Kind : uint8_t {
-      kReference,
-      kFork,
-      kExit,
-      kDeleted,
-      kRenamed,
-      kExcluded,
-    };
-    Kind kind = Kind::kReference;
-    FileReference ref;                 // kReference
-    Pid parent = 0;                    // kFork
-    Pid child = 0;                     // kFork / kExit (child doubles as the pid)
-    PathId path = kInvalidPathId;      // kDeleted / kRenamed(from) / kExcluded
-    PathId path2 = kInvalidPathId;     // kRenamed(to)
-    Time time = 0;
-  };
+  // The queue carries the correlator's own batch-event POD, so a drained
+  // batch feeds IngestBatch directly — no per-message translation.
+  using Message = IngestEvent;
   static_assert(std::is_trivially_copyable_v<Message>,
                 "queued messages must stay POD: the ring buffer is the "
                 "allocation-free hot path");

@@ -129,8 +129,12 @@ ThreadPool* ClusterBuilder::Pool() const {
 double ClusterBuilder::AdjustedSharedCount(FileId from, FileId to) const {
   // Raw shared-neighbor count over the relation table's (partial)
   // knowledge.
-  std::vector<FileId> a = relations_->LiveNeighborIds(from);
-  std::vector<FileId> b = relations_->LiveNeighborIds(to);
+  std::vector<FileId> a;
+  std::vector<FileId> b;
+  a.reserve(relations_->max_neighbors());
+  b.reserve(relations_->max_neighbors());
+  relations_->LiveNeighborIds(from, &a);
+  relations_->LiveNeighborIds(to, &b);
   std::sort(a.begin(), a.end());
   std::sort(b.begin(), b.end());
   size_t shared = 0;
@@ -162,12 +166,8 @@ double ClusterBuilder::AdjustedSharedCount(FileId from, FileId to) const {
 void ClusterBuilder::RefreshFileInputs(FileId f) const {
   std::vector<FileId>& row = live_row_[f];
   row.clear();
-  for (const Neighbor& nb : relations_->NeighborsOf(f)) {
-    const FileRecord& rec = files_->Get(nb.id);
-    if (!rec.deleted && !rec.excluded) {
-      row.push_back(nb.id);
-    }
-  }
+  // Append overload: one pass over the id stripe, no temporary vector.
+  relations_->LiveNeighborIds(f, &row);
   std::sort(row.begin(), row.end());
 
   // One interner shared-lock hit per refreshed file, not per scored edge;

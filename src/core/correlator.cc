@@ -1,5 +1,7 @@
 #include "src/core/correlator.h"
 
+#include <algorithm>
+
 namespace seer {
 
 Correlator::Correlator(const SeerParams& params, uint64_t seed)
@@ -37,6 +39,177 @@ void Correlator::OnReference(const FileReference& ref) {
     }
     relations_.Observe(obs.from, obs.to, obs.distance);
   }
+}
+
+void Correlator::SetIngestThreads(int threads) {
+  ingest_threads_ = threads;
+  const int want = ingest_threads_ > 0 ? ingest_threads_ : DefaultThreadCount();
+  if (ingest_pool_ != nullptr && ingest_pool_threads_ != want) {
+    ingest_pool_.reset();
+  }
+}
+
+int Correlator::ingest_threads() const {
+  return ingest_threads_ > 0 ? ingest_threads_ : DefaultThreadCount();
+}
+
+ThreadPool* Correlator::IngestPool() {
+  const int want = ingest_threads_ > 0 ? ingest_threads_ : DefaultThreadCount();
+  if (ingest_pool_ == nullptr || ingest_pool_threads_ != want) {
+    ingest_pool_ = std::make_unique<ThreadPool>(want);
+    ingest_pool_threads_ = want;
+  }
+  return ingest_pool_.get();
+}
+
+void Correlator::AddRefToSegment(RefKind kind, Pid pid, FileId id, Time time) {
+  // Shard key mirrors the stream mapping: one shard per process, or a
+  // single shard when per-process separation is disabled.
+  const Pid key_pid = params_.per_process_streams ? pid : 0;
+  const uint64_t key = static_cast<uint64_t>(static_cast<uint32_t>(key_pid)) + 1;
+  uint32_t shard;
+  bool inserted = false;
+  uint32_t& slot = shard_of_pid_.InsertOrGet(key, &inserted);
+  if (inserted) {
+    if (active_shards_ == shards_.size()) {
+      shards_.emplace_back();
+    }
+    shard = static_cast<uint32_t>(active_shards_++);
+    slot = shard;
+    // Prepare (stream creation) happens here, on the sequential partition
+    // path — the parallel measure phase then only ever touches existing,
+    // stable Stream nodes.
+    shards_[shard].stream = streams_.Prepare(key_pid);
+  } else {
+    shard = slot;
+  }
+  IngestShard& sh = shards_[shard];
+  sh.refs.push_back({kind, id, time});
+  ref_order_.push_back({shard, static_cast<uint32_t>(sh.refs.size() - 1)});
+}
+
+void Correlator::MeasureShard(IngestShard* shard) {
+  IngestShard& sh = *shard;
+  sh.obs.clear();
+  sh.offsets.clear();
+  sh.offsets.reserve(sh.refs.size() + 1);
+  sh.offsets.push_back(0);
+  for (const PendingRef& r : sh.refs) {
+    sh.scratch.clear();
+    switch (r.kind) {
+      case RefKind::kBegin:
+        streams_.MeasureBegin(sh.stream, r.id, r.time, &sh.scratch);
+        break;
+      case RefKind::kEnd:
+        streams_.MeasureEnd(sh.stream, r.id);
+        break;
+      case RefKind::kPoint:
+        streams_.MeasurePoint(sh.stream, r.id, r.time, &sh.scratch);
+        break;
+    }
+    for (const DistanceObservation& obs : sh.scratch) {
+      // Liveness flags are frozen for the whole segment (barriers and
+      // would-resurrect references cut segments), so filtering here equals
+      // the serial per-reference filter.
+      const FileRecord& from = files_.Get(obs.from);
+      if (from.deleted || from.excluded) {
+        continue;
+      }
+      sh.obs.push_back(
+          {obs.from, obs.to, obs.distance, relations_.FindSlot(obs.from, obs.to)});
+    }
+    sh.offsets.push_back(static_cast<uint32_t>(sh.obs.size()));
+  }
+}
+
+void Correlator::FlushSegment() {
+  if (ref_order_.empty()) {
+    return;
+  }
+  ++ingest_stats_.segments;
+  ingest_stats_.shards += active_shards_;
+  ingest_stats_.refs += ref_order_.size();
+  for (size_t i = 0; i < active_shards_; ++i) {
+    ingest_stats_.max_shard_refs =
+        std::max<uint64_t>(ingest_stats_.max_shard_refs, shards_[i].refs.size());
+  }
+
+  // Phase B: measure every shard in parallel. Measurement mutates only its
+  // own stream; files_ and relations_ are read-only here (liveness filter,
+  // slot hints), so shards never race.
+  IngestPool()->ParallelChunks(active_shards_,
+                               [this](size_t sh) { MeasureShard(&shards_[sh]); });
+
+  // Phase C: fold observations into the relation table sequentially, in
+  // original trace order — update_count_, aging decisions, and RNG
+  // tie-breaks advance exactly as under serial ingest.
+  for (const RefLoc& loc : ref_order_) {
+    const IngestShard& sh = shards_[loc.shard];
+    const uint32_t begin = sh.offsets[loc.index];
+    const uint32_t end = sh.offsets[loc.index + 1];
+    for (uint32_t i = begin; i < end; ++i) {
+      const MeasuredObs& o = sh.obs[i];
+      relations_.ObserveHinted(o.from, o.to, o.distance, o.hint);
+    }
+  }
+
+  for (size_t i = 0; i < active_shards_; ++i) {
+    shards_[i].refs.clear();
+  }
+  shard_of_pid_.Clear();
+  active_shards_ = 0;
+  ref_order_.clear();
+}
+
+void Correlator::IngestBatch(const IngestEvent* events, size_t count) {
+  ++ingest_stats_.batches;
+  for (size_t i = 0; i < count; ++i) {
+    const IngestEvent& e = events[i];
+    if (e.kind == IngestEvent::Kind::kReference) {
+      // Segment cut: interning can resurrect a deleted record, flipping the
+      // liveness flag that already-pending observations must be filtered
+      // against. Flush the segment first so their filter sees the
+      // pre-resurrection flag, exactly as serial ingest would.
+      if (!ref_order_.empty()) {
+        const FileId existing = files_.Find(e.ref.path);
+        if (existing != kInvalidFileId && files_.Get(existing).deleted) {
+          FlushSegment();
+        }
+      }
+      ++references_processed_;
+      const FileId id = files_.Intern(e.ref.path);
+      if (id == kInvalidFileId) {
+        continue;
+      }
+      files_.RecordReference(id, e.ref.time, ++global_ref_seq_);
+      AddRefToSegment(e.ref.kind, e.ref.pid, id, e.ref.time);
+    } else {
+      // Barrier: stream topology or liveness changes. Apply after flushing
+      // everything measured so far.
+      FlushSegment();
+      ++ingest_stats_.barriers;
+      switch (e.kind) {
+        case IngestEvent::Kind::kFork:
+          OnProcessFork(e.parent, e.child);
+          break;
+        case IngestEvent::Kind::kExit:
+          OnProcessExit(e.child);
+          break;
+        case IngestEvent::Kind::kDeleted:
+          OnFileDeleted(e.path, e.time);
+          break;
+        case IngestEvent::Kind::kRenamed:
+          OnFileRenamed(e.path, e.path2, e.time);
+          break;
+        case IngestEvent::Kind::kExcluded:
+          OnFileExcluded(e.path);
+          break;
+        case IngestEvent::Kind::kReference:
+          break;  // unreachable
+      }
+    }
+  }
+  FlushSegment();
 }
 
 void Correlator::OnProcessFork(Pid parent, Pid child) { streams_.OnFork(parent, child); }
@@ -137,7 +310,10 @@ std::vector<std::string> Correlator::NeighborPaths(const std::string& path) cons
   if (id == kInvalidFileId) {
     return out;
   }
-  for (const FileId nb : relations_.LiveNeighborIds(id)) {
+  std::vector<FileId> ids;
+  ids.reserve(relations_.max_neighbors());
+  relations_.LiveNeighborIds(id, &ids);
+  for (const FileId nb : ids) {
     out.emplace_back(files_.PathOf(nb));
   }
   return out;

@@ -12,6 +12,17 @@
 // array, and distance observations accumulate in a reused scratch buffer —
 // no heap allocation once a path has been seen. Strings reappear only on
 // the query egress (Distance/NeighborPaths diagnostics, persistence).
+//
+// Two ingest paths produce identical state:
+//
+//  * the serial ReferenceSink methods (one event at a time), and
+//  * IngestBatch — a batched, sharded pipeline that partitions each batch
+//    of events by owning process stream, measures semantic distances for
+//    all shards in parallel (measurement is pure per-stream), and applies
+//    the observations to the relation table in a single sequential fold in
+//    original trace order. Because the fold order, the liveness filter,
+//    update_count_, aging, and the RNG tie-breaks are all identical to the
+//    serial path, the resulting state is bit-identical at any thread count.
 #ifndef SRC_CORE_CORRELATOR_H_
 #define SRC_CORE_CORRELATOR_H_
 
@@ -28,9 +39,41 @@
 #include "src/core/reference_streams.h"
 #include "src/core/relation_table.h"
 #include "src/observer/reference.h"
+#include "src/util/flat_map.h"
 #include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace seer {
+
+// One queued sink event, POD so ring buffers and batch vectors never
+// allocate per event. Shared by the AsyncCorrelator queue and IngestBatcher.
+struct IngestEvent {
+  enum class Kind : uint8_t {
+    kReference,
+    kFork,
+    kExit,
+    kDeleted,
+    kRenamed,
+    kExcluded,
+  };
+  Kind kind = Kind::kReference;
+  FileReference ref;                 // kReference
+  Pid parent = 0;                    // kFork
+  Pid child = 0;                     // kFork / kExit (child doubles as the pid)
+  PathId path = kInvalidPathId;      // kDeleted / kRenamed(from) / kExcluded
+  PathId path2 = kInvalidPathId;     // kRenamed(to)
+  Time time = 0;
+};
+
+// Counters describing what the batched ingest path actually did.
+struct IngestStats {
+  uint64_t batches = 0;         // IngestBatch calls
+  uint64_t segments = 0;        // parallel measure/fold rounds
+  uint64_t shards = 0;          // per-segment stream shards, summed
+  uint64_t refs = 0;            // reference events ingested via batches
+  uint64_t barriers = 0;        // non-reference events (segment cuts)
+  uint64_t max_shard_refs = 0;  // largest single shard seen
+};
 
 class Correlator : public ReferenceSink {
  public:
@@ -43,6 +86,24 @@ class Correlator : public ReferenceSink {
   void OnFileDeleted(PathId path, Time time) override;
   void OnFileRenamed(PathId from, PathId to, Time time) override;
   void OnFileExcluded(PathId path) override;
+
+  // --- Batched ingest ------------------------------------------------------
+
+  // Applies `count` events as the sharded pipeline: consecutive reference
+  // events form segments (cut by the non-reference barrier events and by
+  // references that would resurrect a deleted file, which flips a liveness
+  // flag mid-run); each segment is partitioned by owning stream, measured
+  // in parallel, and folded into the relation table in trace order. End
+  // state is bit-identical to feeding the same events through the serial
+  // sink methods, at any thread count.
+  void IngestBatch(const IngestEvent* events, size_t count);
+
+  // Measure-phase thread count for batched ingest; 0 restores the default
+  // (SEER_THREADS / hardware concurrency).
+  void SetIngestThreads(int threads);
+  int ingest_threads() const;
+
+  const IngestStats& ingest_stats() const { return ingest_stats_; }
 
   // --- Investigators ------------------------------------------------------
 
@@ -112,6 +173,35 @@ class Correlator : public ReferenceSink {
   static StatusOr<std::unique_ptr<Correlator>> DecodeSnapshot(std::string_view bytes);
 
  private:
+  // --- batched ingest plumbing (state reused across segments) --------------
+  struct PendingRef {
+    RefKind kind = RefKind::kPoint;
+    FileId id = kInvalidFileId;
+    Time time = 0;
+  };
+  struct MeasuredObs {
+    FileId from = kInvalidFileId;
+    FileId to = kInvalidFileId;
+    double distance = 0.0;
+    int32_t hint = -1;  // pre-computed relation-table slot of (from, to)
+  };
+  struct RefLoc {
+    uint32_t shard = 0;
+    uint32_t index = 0;  // position within the shard's ref list
+  };
+  struct IngestShard {
+    ReferenceStreams::Stream* stream = nullptr;
+    std::vector<PendingRef> refs;
+    std::vector<MeasuredObs> obs;       // filtered observations, ref-ordered
+    std::vector<uint32_t> offsets;      // obs range of ref i: [off[i], off[i+1])
+    std::vector<DistanceObservation> scratch;
+  };
+
+  void AddRefToSegment(RefKind kind, Pid pid, FileId id, Time time);
+  void FlushSegment();
+  void MeasureShard(IngestShard* shard);
+  ThreadPool* IngestPool();
+
   SeerParams params_;
   FileTable files_;
   RelationTable relations_;
@@ -121,6 +211,104 @@ class Correlator : public ReferenceSink {
   std::vector<DistanceObservation> scratch_obs_;  // reused per reference
   uint64_t references_processed_ = 0;
   uint64_t global_ref_seq_ = 0;
+
+  std::vector<IngestShard> shards_;
+  size_t active_shards_ = 0;
+  FlatMap<uint64_t, uint32_t> shard_of_pid_{0};  // key = pid + 1 (0 reserved)
+  std::vector<RefLoc> ref_order_;                // segment refs in trace order
+  IngestStats ingest_stats_;
+  int ingest_threads_ = 0;
+  std::unique_ptr<ThreadPool> ingest_pool_;
+  int ingest_pool_threads_ = 0;
+};
+
+// Accumulates sink events and applies them to a Correlator via IngestBatch
+// once `capacity` have gathered (or on explicit Flush). Not thread-safe;
+// flush before reading the correlator.
+class IngestBatcher {
+ public:
+  explicit IngestBatcher(Correlator* correlator, size_t capacity = 1024)
+      : correlator_(correlator), capacity_(capacity == 0 ? 1 : capacity) {
+    events_.reserve(capacity_);
+  }
+
+  void Add(const IngestEvent& event) {
+    events_.push_back(event);
+    if (events_.size() >= capacity_) {
+      Flush();
+    }
+  }
+
+  void Flush() {
+    if (events_.empty()) {
+      return;
+    }
+    correlator_->IngestBatch(events_.data(), events_.size());
+    events_.clear();
+  }
+
+  bool empty() const { return events_.empty(); }
+
+ private:
+  Correlator* correlator_;
+  size_t capacity_;
+  std::vector<IngestEvent> events_;
+};
+
+// ReferenceSink adapter over IngestBatcher: drop it between an observer and
+// a correlator to get batched (parallel-measure) replay with unchanged
+// semantics. The destructor flushes the tail batch.
+class BatchingSink : public ReferenceSink {
+ public:
+  explicit BatchingSink(Correlator* correlator, size_t capacity = 1024)
+      : batcher_(correlator, capacity) {}
+  ~BatchingSink() override { batcher_.Flush(); }
+
+  void OnReference(const FileReference& ref) override {
+    IngestEvent e;
+    e.kind = IngestEvent::Kind::kReference;
+    e.ref = ref;
+    batcher_.Add(e);
+  }
+  void OnProcessFork(Pid parent, Pid child) override {
+    IngestEvent e;
+    e.kind = IngestEvent::Kind::kFork;
+    e.parent = parent;
+    e.child = child;
+    batcher_.Add(e);
+  }
+  void OnProcessExit(Pid pid) override {
+    IngestEvent e;
+    e.kind = IngestEvent::Kind::kExit;
+    e.child = pid;
+    batcher_.Add(e);
+  }
+  void OnFileDeleted(PathId path, Time time) override {
+    IngestEvent e;
+    e.kind = IngestEvent::Kind::kDeleted;
+    e.path = path;
+    e.time = time;
+    batcher_.Add(e);
+  }
+  void OnFileRenamed(PathId from, PathId to, Time time) override {
+    IngestEvent e;
+    e.kind = IngestEvent::Kind::kRenamed;
+    e.path = from;
+    e.path2 = to;
+    e.time = time;
+    batcher_.Add(e);
+  }
+  void OnFileExcluded(PathId path) override {
+    IngestEvent e;
+    e.kind = IngestEvent::Kind::kExcluded;
+    e.path = path;
+    batcher_.Add(e);
+  }
+
+  void Flush() { batcher_.Flush(); }
+
+ private:
+  IngestBatcher batcher_;
 };
 
 }  // namespace seer

@@ -5,7 +5,9 @@
 namespace seer {
 
 DurableCorrelator::DurableCorrelator(SnapshotStore store, std::unique_ptr<Correlator> correlator)
-    : store_(std::move(store)), correlator_(std::move(correlator)) {}
+    : store_(std::move(store)),
+      correlator_(std::move(correlator)),
+      batcher_(correlator_.get()) {}
 
 StatusOr<std::unique_ptr<DurableCorrelator>> DurableCorrelator::Open(
     Fs* fs, std::string dir, const SeerParams& defaults, SnapshotStoreOptions options) {
@@ -28,37 +30,69 @@ StatusOr<std::unique_ptr<DurableCorrelator>> DurableCorrelator::Open(
   return durable;
 }
 
+// Each sink call appends to the WAL immediately (event order on disk is the
+// trace order) while the in-memory application rides the ingest batcher.
+// Recovery replays the WAL serially; batched and serial ingest are
+// bit-equivalent, so the recovered state matches the batched live state.
+
 void DurableCorrelator::OnReference(const FileReference& ref) {
-  correlator_->OnReference(ref);
+  IngestEvent e;
+  e.kind = IngestEvent::Kind::kReference;
+  e.ref = ref;
+  batcher_.Add(e);
   Latch(wal_->AppendReference(ref));
 }
 
 void DurableCorrelator::OnProcessFork(Pid parent, Pid child) {
-  correlator_->OnProcessFork(parent, child);
+  IngestEvent e;
+  e.kind = IngestEvent::Kind::kFork;
+  e.parent = parent;
+  e.child = child;
+  batcher_.Add(e);
   Latch(wal_->AppendFork(parent, child));
 }
 
 void DurableCorrelator::OnProcessExit(Pid pid) {
-  correlator_->OnProcessExit(pid);
+  IngestEvent e;
+  e.kind = IngestEvent::Kind::kExit;
+  e.child = pid;
+  batcher_.Add(e);
   Latch(wal_->AppendExit(pid));
 }
 
 void DurableCorrelator::OnFileDeleted(PathId path, Time time) {
-  correlator_->OnFileDeleted(path, time);
+  IngestEvent e;
+  e.kind = IngestEvent::Kind::kDeleted;
+  e.path = path;
+  e.time = time;
+  batcher_.Add(e);
   Latch(wal_->AppendDeleted(path, time));
 }
 
 void DurableCorrelator::OnFileRenamed(PathId from, PathId to, Time time) {
-  correlator_->OnFileRenamed(from, to, time);
+  IngestEvent e;
+  e.kind = IngestEvent::Kind::kRenamed;
+  e.path = from;
+  e.path2 = to;
+  e.time = time;
+  batcher_.Add(e);
   Latch(wal_->AppendRenamed(from, to, time));
 }
 
 void DurableCorrelator::OnFileExcluded(PathId path) {
-  correlator_->OnFileExcluded(path);
+  IngestEvent e;
+  e.kind = IngestEvent::Kind::kExcluded;
+  e.path = path;
+  batcher_.Add(e);
   Latch(wal_->AppendExcluded(path));
 }
 
 Status DurableCorrelator::Checkpoint() {
+  // The snapshot must cover every event handed to the sink so far: apply
+  // the batched tail before encoding. This also pins batch boundaries to
+  // checkpoint boundaries — a generation's snapshot never reflects half a
+  // batch.
+  batcher_.Flush();
   if (wal_ != nullptr) {
     // Complete the outgoing log first: the new snapshot must cover at
     // least everything the old log holds, or a fallback to the previous

@@ -50,8 +50,16 @@ class DurableCorrelator : public ReferenceSink {
   void OnFileRenamed(PathId from, PathId to, Time time) override;
   void OnFileExcluded(PathId path) override;
 
-  Correlator& correlator() { return *correlator_; }
-  const Correlator& correlator() const { return *correlator_; }
+  // Reading the correlator flushes the ingest batcher first, so callers
+  // always see every event delivered to the sink applied.
+  Correlator& correlator() {
+    batcher_.Flush();
+    return *correlator_;
+  }
+  const Correlator& correlator() const {
+    batcher_.Flush();
+    return *correlator_;
+  }
   SnapshotStore& store() { return store_; }
 
   // Snapshot the current state as the next generation and rotate the WAL.
@@ -77,6 +85,13 @@ class DurableCorrelator : public ReferenceSink {
 
   SnapshotStore store_;
   std::unique_ptr<Correlator> correlator_;
+  // Events are WAL-appended eagerly (one per sink call, order preserved)
+  // but applied to the correlator in batches through the sharded ingest
+  // pipeline; Checkpoint() and the correlator() accessors flush first, so
+  // batch boundaries always align with WAL checkpoints and recovery's
+  // serial replay reproduces the batched state exactly (the pipelines are
+  // bit-equivalent). Mutable: a const read must still be able to flush.
+  mutable IngestBatcher batcher_;
   std::unique_ptr<WalWriter> wal_;
   uint64_t generation_ = 0;
   Status wal_status_;

@@ -16,13 +16,31 @@ ReferenceStreams::Stream& ReferenceStreams::GetStream(Pid pid) {
   return streams_[params_.per_process_streams ? pid : kGlobalStream];
 }
 
+ReferenceStreams::Stream* ReferenceStreams::Prepare(Pid pid) {
+  return &GetStream(pid);
+}
+
+void ReferenceStreams::OpenAdd(Stream& s, FileId file) {
+  const auto it = std::lower_bound(s.open_files.begin(), s.open_files.end(), file);
+  if (it == s.open_files.end() || *it != file) {
+    s.open_files.insert(it, file);
+  }
+}
+
+void ReferenceStreams::OpenRemove(Stream& s, FileId file) {
+  const auto it = std::lower_bound(s.open_files.begin(), s.open_files.end(), file);
+  if (it != s.open_files.end() && *it == file) {
+    s.open_files.erase(it);
+  }
+}
+
 void ReferenceStreams::PruneWindow(Stream& s) {
   const uint64_t horizon = static_cast<uint64_t>(params_.distance_horizon);
   while (!s.window.empty()) {
-    const auto& [file, idx] = s.window.front();
-    const auto it = s.files.find(file);
-    const bool stale = it == s.files.end() || it->second.last_open_index != idx;
-    const bool expired = idx + horizon < s.open_counter;
+    const WindowRing::Entry& e = s.window.front();
+    const FileState* st = s.files.Find(e.file);
+    const bool stale = st == nullptr || st->last_open_index != e.idx;
+    const bool expired = e.idx + horizon < s.open_counter;
     if (stale) {
       s.window.pop_front();
       continue;
@@ -32,9 +50,9 @@ void ReferenceStreams::PruneWindow(Stream& s) {
     }
     // A file that is still open stays semantically at distance 0 to
     // everything; it is tracked via open_nesting and its state survives the
-    // window (see OnEnd's compensation).
-    if (it->second.open_nesting == 0) {
-      s.files.erase(it);
+    // window (see EndOn's compensation).
+    if (st->open_nesting == 0) {
+      s.files.Erase(e.file);
     }
     s.window.pop_front();
   }
@@ -54,40 +72,41 @@ void ReferenceStreams::Reference(Stream& s, FileId file, Time time, bool keep_op
   std::vector<DistanceObservation>& obs = *out;
 
   // Distance-0 sources: files currently held open (lifetime measure only).
-  // These may not have window entries any more, so walk the state map for
-  // open files first; the map stays small because closed files age out.
+  // These may not have window entries any more, so the open set is tracked
+  // separately — and kept sorted, so emission order is ascending FileId no
+  // matter what the hash layout looks like (live and snapshot-restored
+  // streams emit identically).
   if (params_.distance_kind == DistanceKind::kLifetime) {
-    for (const auto& [from, state] : s.files) {
-      if (from != file && state.open_nesting > 0) {
+    for (const FileId from : s.open_files) {
+      if (from != file) {
         obs.push_back({from, file, 0.0});
       }
     }
   }
 
-  for (const auto& [from, from_idx] : s.window) {
+  s.window.ForEach([&](FileId from, uint64_t from_idx) {
     if (from == file) {
-      continue;
+      return;
     }
-    const auto it = s.files.find(from);
-    if (it == s.files.end() || it->second.last_open_index != from_idx) {
-      continue;  // superseded by a later open of the same file
+    const FileState* st = s.files.Find(from);
+    if (st == nullptr || st->last_open_index != from_idx) {
+      return;  // superseded by a later open of the same file
     }
-    const FileState& st = it->second;
     double d = 0.0;
     switch (params_.distance_kind) {
       case DistanceKind::kLifetime: {
-        if (st.open_nesting > 0) {
-          continue;  // already emitted above
+        if (st->open_nesting > 0) {
+          return;  // already emitted above
         }
-        d = st.compensated ? horizon : static_cast<double>(idx - st.last_open_index);
+        d = st->compensated ? horizon : static_cast<double>(idx - st->last_open_index);
         break;
       }
       case DistanceKind::kSequence: {
-        d = static_cast<double>(ref - st.last_ref_index) - 1.0;
+        d = static_cast<double>(ref - st->last_ref_index) - 1.0;
         break;
       }
       case DistanceKind::kTemporal: {
-        d = static_cast<double>(time - st.last_open_time) /
+        d = static_cast<double>(time - st->last_open_time) /
             static_cast<double>(kMicrosPerSecond);
         break;
       }
@@ -96,17 +115,20 @@ void ReferenceStreams::Reference(Stream& s, FileId file, Time time, bool keep_op
                            ? params_.temporal_horizon_seconds
                            : horizon;
     obs.push_back({from, file, std::min(d, cap)});
-  }
+  });
 
-  FileState& st = s.files[file];
+  FileState& st = s.files.InsertOrGet(file);
   st.last_open_index = idx;
   st.last_ref_index = ref;
   st.last_open_time = time;
   st.compensated = false;
   if (keep_open) {
+    if (st.open_nesting == 0) {
+      OpenAdd(s, file);
+    }
     ++st.open_nesting;
   }
-  s.window.emplace_back(file, idx);
+  s.window.push_back(file, idx);
   PruneWindow(s);
 }
 
@@ -120,26 +142,27 @@ void ReferenceStreams::OnPoint(Pid pid, FileId file, Time time,
   Reference(GetStream(pid), file, time, /*keep_open=*/false, out);
 }
 
-void ReferenceStreams::OnEnd(Pid pid, FileId file) {
-  Stream& s = GetStream(pid);
-  const auto it = s.files.find(file);
-  if (it == s.files.end() || it->second.open_nesting == 0) {
+void ReferenceStreams::OnEnd(Pid pid, FileId file) { EndOn(GetStream(pid), file); }
+
+void ReferenceStreams::EndOn(Stream& s, FileId file) {
+  FileState* st = s.files.FindMutable(file);
+  if (st == nullptr || st->open_nesting == 0) {
     return;  // close of a reference we never saw open — ignore
   }
-  FileState& st = it->second;
-  --st.open_nesting;
-  if (st.open_nesting > 0) {
+  --st->open_nesting;
+  if (st->open_nesting > 0) {
     return;
   }
+  OpenRemove(s, file);
   const uint64_t horizon = static_cast<uint64_t>(params_.distance_horizon);
-  if (s.open_counter - st.last_open_index > horizon) {
+  if (s.open_counter - st->last_open_index > horizon) {
     // The open happened more than M opens ago: any true distance from it
     // would exceed M. Re-stamp the file at the close point with the
     // `compensated` flag so later references see exactly M — the paper's
     // compensation insertion (Section 3.1.3).
-    st.last_open_index = s.open_counter;
-    st.compensated = true;
-    s.window.emplace_back(file, st.last_open_index);
+    st->last_open_index = s.open_counter;
+    st->compensated = true;
+    s.window.push_back(file, st->last_open_index);
   }
 }
 
@@ -156,9 +179,8 @@ void ReferenceStreams::OnFork(Pid parent, Pid child) {
   // are not shared in our substrate.
   Stream copy = it->second;
   copy.parent = parent;
-  for (auto& [file, state] : copy.files) {
-    state.open_nesting = 0;
-  }
+  copy.files.ForEach([](FileId, FileState& state) { state.open_nesting = 0; });
+  copy.open_files.clear();
   streams_[child] = std::move(copy);
 }
 
@@ -183,22 +205,22 @@ void ReferenceStreams::OnExit(Pid pid) {
   // so future parent references can relate to the child's files
   // (Section 4.7). No observations are generated here — child-internal
   // pairs were already measured inside the child's own stream.
-  for (const auto& [file, idx] : child.window) {
-    const auto st_it = child.files.find(file);
-    if (st_it == child.files.end() || st_it->second.last_open_index != idx) {
-      continue;
+  child.window.ForEach([&](FileId file, uint64_t idx) {
+    const FileState* cst = child.files.Find(file);
+    if (cst == nullptr || cst->last_open_index != idx) {
+      return;
     }
-    FileState& pst = parent.files[file];
+    FileState& pst = parent.files.InsertOrGet(file);
     if (pst.open_nesting > 0) {
-      continue;  // the parent itself holds it open; keep that state
+      return;  // the parent itself holds it open; keep that state
     }
     pst.last_open_index = ++parent.open_counter;
     pst.last_ref_index = ++parent.ref_counter;
-    pst.last_open_time = st_it->second.last_open_time;
+    pst.last_open_time = cst->last_open_time;
     pst.open_nesting = 0;
     pst.compensated = false;
-    parent.window.emplace_back(file, pst.last_open_index);
-  }
+    parent.window.push_back(file, pst.last_open_index);
+  });
   PruneWindow(parent);
 }
 
@@ -212,15 +234,16 @@ std::vector<ReferenceStreams::ExportedStream> ReferenceStreams::Export() const {
     e.open_counter = s.open_counter;
     e.ref_counter = s.ref_counter;
     e.files.reserve(s.files.size());
-    for (const auto& [file, st] : s.files) {
+    s.files.ForEach([&](FileId file, const FileState& st) {
       e.files.push_back({file, st.last_open_index, st.last_ref_index, st.last_open_time,
                          st.open_nesting, st.compensated});
-    }
+    });
     std::sort(e.files.begin(), e.files.end(),
               [](const ExportedFileState& a, const ExportedFileState& b) {
                 return a.file < b.file;
               });
-    e.window.assign(s.window.begin(), s.window.end());
+    e.window.reserve(s.window.size());
+    s.window.ForEach([&](FileId file, uint64_t idx) { e.window.emplace_back(file, idx); });
     out.push_back(std::move(e));
   }
   std::sort(out.begin(), out.end(),
@@ -236,10 +259,15 @@ void ReferenceStreams::Restore(const std::vector<ExportedStream>& streams) {
     s.open_counter = e.open_counter;
     s.ref_counter = e.ref_counter;
     for (const ExportedFileState& f : e.files) {
-      s.files[f.file] = {f.last_open_index, f.last_ref_index, f.last_open_time, f.open_nesting,
-                         f.compensated};
+      s.files.InsertOrGet(f.file) = {f.last_open_index, f.last_ref_index, f.last_open_time,
+                                     f.open_nesting, f.compensated};
+      if (f.open_nesting > 0) {
+        s.open_files.push_back(f.file);  // e.files is sorted, so this stays sorted
+      }
     }
-    s.window.assign(e.window.begin(), e.window.end());
+    for (const auto& [file, idx] : e.window) {
+      s.window.push_back(file, idx);
+    }
   }
 }
 
@@ -247,8 +275,9 @@ size_t ReferenceStreams::MemoryBytes() const {
   size_t bytes = 0;
   for (const auto& [pid, s] : streams_) {
     bytes += sizeof(Stream);
-    bytes += s.files.size() * (sizeof(FileId) + sizeof(FileState) + 16);
-    bytes += s.window.size() * sizeof(std::pair<FileId, uint64_t>);
+    bytes += s.files.MemoryBytes();
+    bytes += s.window.MemoryBytes();
+    bytes += s.open_files.capacity() * sizeof(FileId);
   }
   return bytes;
 }

@@ -13,16 +13,24 @@
 // pair" rule of the paper's footnote). Distances larger than the horizon M
 // are clamped to M (the compensation insertion of Section 3.1.3), and only
 // files opened within the last M opens generate updates at all.
+//
+// Storage is allocation-free in steady state: per-stream file state lives in
+// an open-addressing FlatMap (no node allocation per tracked file) and the
+// recent-open window is a power-of-two ring buffer (no deque block churn).
+// Files currently held open are additionally tracked in a sorted id vector,
+// which makes the distance-0 emission order deterministic — ascending
+// FileId — rather than hash-iteration order, so a stream restored from a
+// snapshot emits byte-identical observations to the live instance.
 #ifndef SRC_CORE_REFERENCE_STREAMS_H_
 #define SRC_CORE_REFERENCE_STREAMS_H_
 
-#include <deque>
 #include <unordered_map>
 #include <vector>
 
 #include "src/core/file_table.h"
 #include "src/core/params.h"
 #include "src/trace/event.h"
+#include "src/util/flat_map.h"
 
 namespace seer {
 
@@ -35,6 +43,84 @@ struct DistanceObservation {
 
 class ReferenceStreams {
  public:
+  struct FileState {
+    uint64_t last_open_index = 0;
+    uint64_t last_ref_index = 0;
+    Time last_open_time = 0;
+    uint32_t open_nesting = 0;
+    // Set when a long-held file closed outside the horizon: its true
+    // distance to later references exceeds M, so M is reported instead
+    // (the compensation insertion of Section 3.1.3).
+    bool compensated = false;
+  };
+
+  // Fixed-stride ring of recent opens, (file, open index); oldest first.
+  // Stale entries (superseded by a more recent open of the same file) are
+  // skipped lazily by readers. Grows by linearizing into a doubled buffer.
+  class WindowRing {
+   public:
+    struct Entry {
+      FileId file = kInvalidFileId;
+      uint64_t idx = 0;
+    };
+
+    bool empty() const { return count_ == 0; }
+    size_t size() const { return count_; }
+    const Entry& front() const { return slots_[head_]; }
+
+    void push_back(FileId file, uint64_t idx) {
+      if (count_ == slots_.size()) {
+        Grow();
+      }
+      slots_[(head_ + count_) & (slots_.size() - 1)] = {file, idx};
+      ++count_;
+    }
+
+    void pop_front() {
+      head_ = (head_ + 1) & (slots_.size() - 1);
+      --count_;
+    }
+
+    // Visits (file, idx) oldest to newest.
+    template <typename Fn>
+    void ForEach(Fn&& fn) const {
+      const size_t mask = slots_.size() - 1;
+      for (size_t i = 0; i < count_; ++i) {
+        const Entry& e = slots_[(head_ + i) & mask];
+        fn(e.file, e.idx);
+      }
+    }
+
+    size_t MemoryBytes() const { return slots_.capacity() * sizeof(Entry); }
+
+   private:
+    void Grow() {
+      std::vector<Entry> bigger(slots_.size() * 2);
+      const size_t mask = slots_.size() - 1;
+      for (size_t i = 0; i < count_; ++i) {
+        bigger[i] = slots_[(head_ + i) & mask];
+      }
+      slots_ = std::move(bigger);
+      head_ = 0;
+    }
+
+    std::vector<Entry> slots_ = std::vector<Entry>(16);
+    size_t head_ = 0;
+    size_t count_ = 0;
+  };
+
+  // One process's reference history. Copyable (fork inherits by copy).
+  struct Stream {
+    Pid parent = 0;
+    uint64_t open_counter = 0;
+    uint64_t ref_counter = 0;
+    FlatMap<FileId, FileState> files{kInvalidFileId};
+    WindowRing window;
+    // Files with open_nesting > 0, sorted ascending — the deterministic
+    // iteration order for distance-0 emission.
+    std::vector<FileId> open_files;
+  };
+
   explicit ReferenceStreams(const SeerParams& params) : params_(params) {}
 
   // An open of `file` by `pid`: appends to `out` the distance observations
@@ -56,6 +142,27 @@ class ReferenceStreams {
   // (quietly — no new observations; future parent references will see the
   // child's files), then discarded.
   void OnExit(Pid pid);
+
+  // --- batched ingest support ----------------------------------------------
+  //
+  // The sharded ingest pipeline resolves each reference's stream up front
+  // (sequentially — Prepare may create the stream) and then measures whole
+  // shards in parallel. Measure* touch only the given stream plus the
+  // immutable params, so concurrent calls on distinct streams are safe.
+
+  // Stream handle for `pid` (created if absent; honors the global-stream
+  // ablation). Pointers are stable across Prepare calls for other pids.
+  Stream* Prepare(Pid pid);
+
+  void MeasureBegin(Stream* s, FileId file, Time time,
+                    std::vector<DistanceObservation>* out) {
+    Reference(*s, file, time, /*keep_open=*/true, out);
+  }
+  void MeasurePoint(Stream* s, FileId file, Time time,
+                    std::vector<DistanceObservation>* out) {
+    Reference(*s, file, time, /*keep_open=*/false, out);
+  }
+  void MeasureEnd(Stream* s, FileId file) { EndOn(*s, file); }
 
   size_t stream_count() const { return streams_.size(); }
 
@@ -93,31 +200,13 @@ class ReferenceStreams {
   void Restore(const std::vector<ExportedStream>& streams);
 
  private:
-  struct FileState {
-    uint64_t last_open_index = 0;
-    uint64_t last_ref_index = 0;
-    Time last_open_time = 0;
-    uint32_t open_nesting = 0;
-    // Set when a long-held file closed outside the horizon: its true
-    // distance to later references exceeds M, so M is reported instead
-    // (the compensation insertion of Section 3.1.3).
-    bool compensated = false;
-  };
-
-  struct Stream {
-    Pid parent = 0;
-    uint64_t open_counter = 0;
-    uint64_t ref_counter = 0;
-    std::unordered_map<FileId, FileState> files;
-    // Recent opens, (file, open index); stale entries (superseded by a more
-    // recent open of the same file) are skipped lazily.
-    std::deque<std::pair<FileId, uint64_t>> window;
-  };
-
   Stream& GetStream(Pid pid);
   void Reference(Stream& s, FileId file, Time time, bool keep_open,
                  std::vector<DistanceObservation>* out);
+  void EndOn(Stream& s, FileId file);
   void PruneWindow(Stream& s);
+  static void OpenAdd(Stream& s, FileId file);
+  static void OpenRemove(Stream& s, FileId file);
 
   SeerParams params_;
   std::unordered_map<Pid, Stream> streams_;

@@ -1,8 +1,15 @@
 #include "src/core/relation_table.h"
 
 #include <cmath>
+#include <limits>
 
 namespace seer {
+
+namespace {
+
+constexpr double kInvalidMean = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
 
 double Neighbor::MeanDistance(MeanKind kind) const {
   if (observations == 0) {
@@ -15,13 +22,21 @@ double Neighbor::MeanDistance(MeanKind kind) const {
 }
 
 RelationTable::RelationTable(const SeerParams& params, const FileTable* files, uint64_t seed)
-    : params_(params), files_(files), rng_(seed) {}
+    : params_(params), files_(files), cap_(params.max_neighbors), rng_(seed) {}
 
 void RelationTable::EnsureSize(FileId id) {
-  if (lists_.size() <= id) {
-    lists_.resize(id + 1);
-    reverse_.resize(id + 1);
-    set_stamp_.resize(id + 1, 0);
+  if (nb_count_.size() <= id) {
+    const size_t files = static_cast<size_t>(id) + 1;
+    nb_count_.resize(files, 0);
+    reverse_.resize(files);
+    set_stamp_.resize(files, 0);
+    const size_t slots = files * static_cast<size_t>(cap_);
+    nb_id_.resize(slots, kInvalidFileId);
+    nb_log_.resize(slots, 0.0);
+    nb_lin_.resize(slots, 0.0);
+    nb_obs_.resize(slots, 0);
+    nb_upd_.resize(slots, 0);
+    nb_mean_.resize(slots, kInvalidMean);
   }
 }
 
@@ -49,7 +64,64 @@ void RelationTable::RevRemove(FileId owner, FileId neighbor) {
   }
 }
 
+Neighbor RelationTable::MaterializeSlot(size_t slot) const {
+  Neighbor nb;
+  nb.id = nb_id_[slot];
+  nb.log_sum = nb_log_[slot];
+  nb.linear_sum = nb_lin_[slot];
+  nb.observations = nb_obs_[slot];
+  nb.last_update = nb_upd_[slot];
+  return nb;
+}
+
+double RelationTable::MeanOfSlot(size_t slot) const {
+  const uint32_t obs = nb_obs_[slot];
+  if (obs == 0) {
+    return 0.0;
+  }
+  if (params_.mean_kind == MeanKind::kArithmetic) {
+    return nb_lin_[slot] / static_cast<double>(obs);
+  }
+  return std::exp(nb_log_[slot] / static_cast<double>(obs));
+}
+
+double RelationTable::CachedMean(size_t slot) {
+  double m = nb_mean_[slot];
+  if (std::isnan(m)) {
+    m = MeanOfSlot(slot);
+    nb_mean_[slot] = m;
+  }
+  return m;
+}
+
+void RelationTable::WriteCandidate(size_t slot, FileId to, double cand_log, double distance) {
+  nb_id_[slot] = to;
+  nb_log_[slot] = cand_log;
+  nb_lin_[slot] = distance;
+  nb_obs_[slot] = 1;
+  nb_upd_[slot] = update_count_;
+  nb_mean_[slot] = kInvalidMean;
+}
+
+int32_t RelationTable::FindSlot(FileId from, FileId to) const {
+  if (from >= nb_count_.size()) {
+    return -1;
+  }
+  const size_t base = static_cast<size_t>(from) * cap_;
+  const uint32_t count = nb_count_[from];
+  for (uint32_t i = 0; i < count; ++i) {
+    if (nb_id_[base + i] == to) {
+      return static_cast<int32_t>(i);
+    }
+  }
+  return -1;
+}
+
 void RelationTable::Observe(FileId from, FileId to, double distance) {
+  ObserveHinted(from, to, distance, -1);
+}
+
+void RelationTable::ObserveHinted(FileId from, FileId to, double distance, int32_t hint) {
   if (from == to) {
     return;
   }
@@ -58,38 +130,52 @@ void RelationTable::Observe(FileId from, FileId to, double distance) {
 
   const double floored =
       distance > 0.0 ? distance : params_.geometric_zero_floor;
-  std::vector<Neighbor>& list = lists_[from];
+  const size_t base = static_cast<size_t>(from) * cap_;
+  const uint32_t count = nb_count_[from];
 
-  // Existing entry: fold in the new observation.
-  for (Neighbor& nb : list) {
-    if (nb.id == to) {
-      nb.log_sum += std::log(floored);
-      nb.linear_sum += distance;
-      ++nb.observations;
-      nb.last_update = update_count_;
-      return;
+  // Existing entry: fold in the new observation. A hint that still names
+  // `to` skips the membership scan (the batched ingest path pre-computes
+  // it in parallel); anything else — including hint == -1, since an
+  // earlier fold in the same batch may have inserted `to` — rescans.
+  int32_t slot = -1;
+  if (hint >= 0 && static_cast<uint32_t>(hint) < count && nb_id_[base + hint] == to) {
+    slot = hint;
+  } else {
+    for (uint32_t i = 0; i < count; ++i) {
+      if (nb_id_[base + i] == to) {
+        slot = static_cast<int32_t>(i);
+        break;
+      }
     }
   }
+  if (slot >= 0) {
+    const size_t s = base + static_cast<size_t>(slot);
+    nb_log_[s] += std::log(floored);
+    nb_lin_[s] += distance;
+    ++nb_obs_[s];
+    nb_upd_[s] = update_count_;
+    nb_mean_[s] = kInvalidMean;
+    return;
+  }
 
-  Neighbor candidate;
-  candidate.id = to;
-  candidate.log_sum = std::log(floored);
-  candidate.linear_sum = distance;
-  candidate.observations = 1;
-  candidate.last_update = update_count_;
+  const double cand_log = std::log(floored);
 
-  if (list.size() < static_cast<size_t>(params_.max_neighbors)) {
-    list.push_back(candidate);
+  if (count < static_cast<uint32_t>(cap_)) {
+    WriteCandidate(base + count, to, cand_log, distance);
+    nb_count_[from] = count + 1;
     Stamp(from);
     RevAdd(from, to);
     return;
   }
+  if (count == 0) {
+    return;  // cap of zero: nothing to track
+  }
 
   // Replacement priority 1: a neighbor marked for deletion.
-  for (Neighbor& nb : list) {
-    if (files_->Get(nb.id).deleted) {
-      RevRemove(from, nb.id);
-      nb = candidate;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (files_->Get(nb_id_[base + i]).deleted) {
+      RevRemove(from, nb_id_[base + i]);
+      WriteCandidate(base + i, to, cand_log, distance);
       Stamp(from);
       RevAdd(from, to);
       return;
@@ -97,12 +183,14 @@ void RelationTable::Observe(FileId from, FileId to, double distance) {
   }
 
   // Priority 2: the entry with the largest mean distance (random
-  // tie-break), replaced only when it is farther than the candidate.
-  size_t worst = 0;
+  // tie-break), replaced only when it is farther than the candidate. The
+  // scan reads the lazy mean cache — arithmetic only for entries whose
+  // accumulators changed since the last scan.
+  uint32_t worst = 0;
   double worst_dist = -1.0;
   size_t ties = 0;
-  for (size_t i = 0; i < list.size(); ++i) {
-    const double d = list[i].MeanDistance(params_.mean_kind);
+  for (uint32_t i = 0; i < count; ++i) {
+    const double d = CachedMean(base + i);
     if (d > worst_dist) {
       worst_dist = d;
       worst = i;
@@ -115,10 +203,12 @@ void RelationTable::Observe(FileId from, FileId to, double distance) {
       }
     }
   }
-  const double candidate_dist = candidate.MeanDistance(params_.mean_kind);
+  const double candidate_dist = params_.mean_kind == MeanKind::kArithmetic
+                                    ? distance / 1.0
+                                    : std::exp(cand_log / 1.0);
   if (worst_dist > candidate_dist) {
-    RevRemove(from, list[worst].id);
-    list[worst] = candidate;
+    RevRemove(from, nb_id_[base + worst]);
+    WriteCandidate(base + worst, to, cand_log, distance);
     Stamp(from);
     RevAdd(from, to);
     return;
@@ -127,75 +217,98 @@ void RelationTable::Observe(FileId from, FileId to, double distance) {
   // Priority 3: aging — a very old, inactive entry yields to fresh data so
   // the table can track changes in user behaviour and shed incorrectly
   // inferred relationships (Section 3.1.3).
-  size_t oldest = 0;
+  uint32_t oldest = 0;
   uint64_t oldest_update = UINT64_MAX;
-  for (size_t i = 0; i < list.size(); ++i) {
-    if (list[i].last_update < oldest_update) {
-      oldest_update = list[i].last_update;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (nb_upd_[base + i] < oldest_update) {
+      oldest_update = nb_upd_[base + i];
       oldest = i;
     }
   }
   if (update_count_ - oldest_update > params_.aging_updates) {
-    RevRemove(from, list[oldest].id);
-    list[oldest] = candidate;
+    RevRemove(from, nb_id_[base + oldest]);
+    WriteCandidate(base + oldest, to, cand_log, distance);
     Stamp(from);
     RevAdd(from, to);
   }
 }
 
-const std::vector<Neighbor>& RelationTable::NeighborsOf(FileId from) const {
-  if (from >= lists_.size()) {
-    return empty_;
+RelationTable::NeighborRange RelationTable::NeighborsOf(FileId from) const {
+  if (from >= nb_count_.size()) {
+    return NeighborRange(this, 0, 0);
   }
-  return lists_[from];
+  return NeighborRange(this, static_cast<size_t>(from) * cap_, nb_count_[from]);
 }
 
 std::vector<FileId> RelationTable::LiveNeighborIds(FileId from) const {
   std::vector<FileId> out;
-  for (const Neighbor& nb : NeighborsOf(from)) {
-    const FileRecord& rec = files_->Get(nb.id);
-    if (!rec.deleted && !rec.excluded) {
-      out.push_back(nb.id);
-    }
-  }
+  LiveNeighborIds(from, &out);
   return out;
 }
 
-double RelationTable::DistanceOrNegative(FileId from, FileId to) const {
-  for (const Neighbor& nb : NeighborsOf(from)) {
-    if (nb.id == to) {
-      return nb.MeanDistance(params_.mean_kind);
+void RelationTable::LiveNeighborIds(FileId from, std::vector<FileId>* out) const {
+  if (from >= nb_count_.size()) {
+    return;
+  }
+  const size_t base = static_cast<size_t>(from) * cap_;
+  const uint32_t count = nb_count_[from];
+  for (uint32_t i = 0; i < count; ++i) {
+    const FileId id = nb_id_[base + i];
+    const FileRecord& rec = files_->Get(id);
+    if (!rec.deleted && !rec.excluded) {
+      out->push_back(id);
     }
   }
-  return -1.0;
+}
+
+double RelationTable::DistanceOrNegative(FileId from, FileId to) const {
+  const int32_t slot = FindSlot(from, to);
+  if (slot < 0) {
+    return -1.0;
+  }
+  return MeanOfSlot(static_cast<size_t>(from) * cap_ + static_cast<size_t>(slot));
 }
 
 void RelationTable::Purge(FileId id) {
-  if (id >= lists_.size()) {
+  if (id >= nb_count_.size()) {
     return;
   }
   // Our own list: unregister from every neighbor's reverse entry.
-  if (!lists_[id].empty()) {
-    for (const Neighbor& nb : lists_[id]) {
-      RevRemove(id, nb.id);
+  const size_t base = static_cast<size_t>(id) * cap_;
+  if (nb_count_[id] > 0) {
+    const uint32_t count = nb_count_[id];
+    for (uint32_t i = 0; i < count; ++i) {
+      RevRemove(id, nb_id_[base + i]);
     }
-    lists_[id].clear();
-    lists_[id].shrink_to_fit();
+    nb_count_[id] = 0;
     Stamp(id);
   }
-  // Every list naming us, found via the reverse index.
-  for (const FileId owner : reverse_[id]) {
-    std::vector<Neighbor>& list = lists_[owner];
-    for (size_t i = 0; i < list.size(); ++i) {
-      if (list[i].id == id) {
-        list[i] = list.back();
-        list.pop_back();
+  // Every list naming us, found via the reverse index. Iterated by index:
+  // Stamp never mutates reverse_[id] (the owners already exist).
+  std::vector<FileId>& rev = reverse_[id];
+  for (size_t r = 0; r < rev.size(); ++r) {
+    const FileId owner = rev[r];
+    const size_t obase = static_cast<size_t>(owner) * cap_;
+    const uint32_t ocount = nb_count_[owner];
+    for (uint32_t i = 0; i < ocount; ++i) {
+      if (nb_id_[obase + i] == id) {
+        // Swap-remove: move the last live entry (and its cache line) down.
+        const uint32_t last = ocount - 1;
+        if (i != last) {
+          nb_id_[obase + i] = nb_id_[obase + last];
+          nb_log_[obase + i] = nb_log_[obase + last];
+          nb_lin_[obase + i] = nb_lin_[obase + last];
+          nb_obs_[obase + i] = nb_obs_[obase + last];
+          nb_upd_[obase + i] = nb_upd_[obase + last];
+          nb_mean_[obase + i] = nb_mean_[obase + last];
+        }
+        nb_count_[owner] = last;
         break;
       }
     }
     Stamp(owner);
   }
-  reverse_[id].clear();
+  rev.clear();
 }
 
 void RelationTable::CollectChangedSince(uint64_t epoch, std::vector<FileId>* out) const {
@@ -213,33 +326,52 @@ const std::vector<FileId>& RelationTable::ReverseNeighborsOf(FileId id) const {
 void RelationTable::MarkSetChanged(FileId id) {
   Stamp(id);
   if (id < reverse_.size()) {
-    // Copy: Stamp may resize the vectors reverse_ lives next to, but never
-    // reverse_ itself — still, don't iterate a member while mutating state.
-    for (const FileId owner : std::vector<FileId>(reverse_[id])) {
-      Stamp(owner);
+    // By index, not a copy: Stamp may resize the outer tables when `id`
+    // itself was new, but every owner in reverse_[id] already has a list,
+    // so the stamps below never resize — and even if they did, the fresh
+    // reverse_[id] lookup per step stays valid. Rename storms hit this
+    // path once per renamed file, so the old per-call vector copy was the
+    // dominant cost of a bulk rename.
+    for (size_t i = 0; i < reverse_[id].size(); ++i) {
+      Stamp(reverse_[id][i]);
     }
   }
 }
 
 void RelationTable::RestoreList(FileId from, std::vector<Neighbor> neighbors) {
   EnsureSize(from);
-  for (const Neighbor& nb : lists_[from]) {
-    RevRemove(from, nb.id);
+  const size_t base = static_cast<size_t>(from) * cap_;
+  const uint32_t old_count = nb_count_[from];
+  for (uint32_t i = 0; i < old_count; ++i) {
+    RevRemove(from, nb_id_[base + i]);
   }
-  lists_[from] = std::move(neighbors);
-  for (const Neighbor& nb : lists_[from]) {
-    RevAdd(from, nb.id);
+  // Entries beyond the slab capacity (a hand-edited dump whose lists
+  // exceed its own n) are dropped; files written by SaveTo never have any.
+  const uint32_t count =
+      static_cast<uint32_t>(std::min(neighbors.size(), static_cast<size_t>(cap_)));
+  nb_count_[from] = count;
+  for (uint32_t i = 0; i < count; ++i) {
+    const Neighbor& nb = neighbors[i];
+    nb_id_[base + i] = nb.id;
+    nb_log_[base + i] = nb.log_sum;
+    nb_lin_[base + i] = nb.linear_sum;
+    nb_obs_[base + i] = nb.observations;
+    nb_upd_[base + i] = nb.last_update;
+    nb_mean_[base + i] = kInvalidMean;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    RevAdd(from, nb_id_[base + i]);
   }
   Stamp(from);
 }
 
 size_t RelationTable::MemoryBytes() const {
-  size_t bytes = lists_.capacity() * sizeof(std::vector<Neighbor>) +
+  size_t bytes = nb_id_.capacity() * sizeof(FileId) + nb_log_.capacity() * sizeof(double) +
+                 nb_lin_.capacity() * sizeof(double) + nb_obs_.capacity() * sizeof(uint32_t) +
+                 nb_upd_.capacity() * sizeof(uint64_t) + nb_mean_.capacity() * sizeof(double) +
+                 nb_count_.capacity() * sizeof(uint32_t) +
                  reverse_.capacity() * sizeof(std::vector<FileId>) +
                  set_stamp_.capacity() * sizeof(uint64_t);
-  for (const auto& list : lists_) {
-    bytes += list.capacity() * sizeof(Neighbor);
-  }
   for (const auto& rev : reverse_) {
     bytes += rev.capacity() * sizeof(FileId);
   }

@@ -10,6 +10,16 @@
 //      randomly), replaced only if its mean exceeds the candidate's value;
 //   3. an aged entry — very old and inactive — may be replaced by a newer
 //      candidate regardless of distance.
+//
+// Storage is a fixed-capacity inline slab, not per-file heap vectors: each
+// file owns n slots in structure-of-arrays form, indexed
+// `from * max_neighbors + slot`, with a dense-prefix entry count per file.
+// Appends push onto the prefix, replacements overwrite a slot in place and
+// removals swap the last entry down — exactly the ordering the old
+// vector<Neighbor> lists produced, so snapshots are byte-compatible — but
+// a full-list scan is one contiguous stripe of each array (the id stripe
+// for membership, the mean stripe for replacement) and steady-state
+// ingest performs no per-list allocation at all.
 #ifndef SRC_CORE_RELATION_TABLE_H_
 #define SRC_CORE_RELATION_TABLE_H_
 
@@ -23,6 +33,7 @@
 
 namespace seer {
 
+// Materialized view of one slab entry (also the persistence carrier).
 struct Neighbor {
   FileId id = kInvalidFileId;
   double log_sum = 0.0;       // geometric-mean accumulator (log space)
@@ -35,16 +46,69 @@ struct Neighbor {
 
 class RelationTable {
  public:
+  // Lightweight view over one file's slab stripe. Iteration materializes
+  // Neighbor values, so existing consumers (`for (const Neighbor& nb : ...)`)
+  // compile unchanged; the view is invalidated by any table mutation.
+  class NeighborRange {
+   public:
+    class Iterator {
+     public:
+      Iterator(const RelationTable* table, size_t slot) : table_(table), slot_(slot) {}
+      Neighbor operator*() const { return table_->MaterializeSlot(slot_); }
+      Iterator& operator++() {
+        ++slot_;
+        return *this;
+      }
+      bool operator!=(const Iterator& other) const { return slot_ != other.slot_; }
+      bool operator==(const Iterator& other) const { return slot_ == other.slot_; }
+
+     private:
+      const RelationTable* table_;
+      size_t slot_;
+    };
+
+    NeighborRange() : table_(nullptr), base_(0), count_(0) {}
+    NeighborRange(const RelationTable* table, size_t base, uint32_t count)
+        : table_(table), base_(base), count_(count) {}
+
+    size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    Iterator begin() const { return Iterator(table_, base_); }
+    Iterator end() const { return Iterator(table_, base_ + count_); }
+    Neighbor operator[](size_t i) const { return table_->MaterializeSlot(base_ + i); }
+
+   private:
+    const RelationTable* table_;
+    size_t base_;
+    uint32_t count_;
+  };
+
   RelationTable(const SeerParams& params, const FileTable* files, uint64_t seed = 0x5ee12);
 
   // Records an observation `distance` for the ordered pair (from -> to).
   void Observe(FileId from, FileId to, double distance);
 
+  // Observe with a slot hint from FindSlot(), taken at a moment when no
+  // table mutation has intervened for entries of `from` other than batched
+  // folds: a valid hint (same id still in that slot) skips the membership
+  // scan; a stale or absent hint falls back to the full scan, so the
+  // result is always identical to Observe().
+  void ObserveHinted(FileId from, FileId to, double distance, int32_t hint);
+
+  // Slot index of `to` in `from`'s list, or -1 when untracked. Pure read —
+  // safe to call concurrently with other reads (the parallel ingest
+  // measure phase uses it to pre-compute fold hints).
+  int32_t FindSlot(FileId from, FileId to) const;
+
   // Neighbor list of `from` (unordered). Empty for unknown files.
-  const std::vector<Neighbor>& NeighborsOf(FileId from) const;
+  NeighborRange NeighborsOf(FileId from) const;
 
   // Neighbor ids only (excluding deletion-marked and excluded files).
   std::vector<FileId> LiveNeighborIds(FileId from) const;
+
+  // Allocation-free variant: appends the live neighbor ids to `out`
+  // (clustering and hoard hot loops reuse one scratch buffer).
+  void LiveNeighborIds(FileId from, std::vector<FileId>* out) const;
 
   // Mean distance from -> to, or a negative value when not tracked.
   double DistanceOrNegative(FileId from, FileId to) const;
@@ -55,6 +119,7 @@ class RelationTable {
   void Purge(FileId id);
 
   uint64_t update_count() const { return update_count_; }
+  int max_neighbors() const { return cap_; }
 
   // --- clustering support: set-change epochs + reverse index ---------------
   //
@@ -94,14 +159,42 @@ class RelationTable {
   void SetRngState(const uint64_t in[4]) { rng_.SetState(in); }
 
  private:
+  friend class NeighborRange;
+
   void EnsureSize(FileId id);
   void Stamp(FileId id);
   void RevAdd(FileId owner, FileId neighbor);
   void RevRemove(FileId owner, FileId neighbor);
 
+  Neighbor MaterializeSlot(size_t slot) const;
+
+  // Mean of slab entry `slot` computed fresh (no cache access).
+  double MeanOfSlot(size_t slot) const;
+
+  // Cached mean of slab entry `slot`: NaN marks an invalidated cache line
+  // (the entry's accumulators changed since the last read); the priority-2
+  // replacement scan recomputes lazily and then runs arithmetic-free. The
+  // cached value is bit-identical to a fresh computation, so caching never
+  // changes a replacement decision, and the cache is never serialized.
+  double CachedMean(size_t slot);
+
+  // Overwrites slab entry `slot` with a fresh single-observation candidate.
+  void WriteCandidate(size_t slot, FileId to, double cand_log, double distance);
+
   SeerParams params_;
   const FileTable* files_;
-  std::vector<std::vector<Neighbor>> lists_;
+  int cap_ = 0;  // slots per file (params_.max_neighbors)
+
+  // The slab: structure-of-arrays, file `f` owns [f * cap_, f * cap_ + cap_).
+  // Only the first nb_count_[f] slots of a stripe are live.
+  std::vector<FileId> nb_id_;
+  std::vector<double> nb_log_;
+  std::vector<double> nb_lin_;
+  std::vector<uint32_t> nb_obs_;
+  std::vector<uint64_t> nb_upd_;
+  std::vector<double> nb_mean_;  // lazy mean cache, NaN = invalid
+  std::vector<uint32_t> nb_count_;
+
   // reverse_[id] = files whose lists contain id. Maintained by every list
   // mutation; an id appears at most once per owner (lists are id-unique).
   std::vector<std::vector<FileId>> reverse_;
@@ -110,7 +203,6 @@ class RelationTable {
   uint64_t set_change_epoch_ = 0;
   uint64_t update_count_ = 0;
   mutable Rng rng_;
-  std::vector<Neighbor> empty_;
   std::vector<FileId> empty_ids_;
 };
 

@@ -5,8 +5,10 @@
 // pointer chasing dominate at millions of probes per build. FlatMap is a
 // single contiguous array with linear probing and power-of-two capacity:
 // one cache line per hit in the common case, no per-entry allocation, and
-// iteration is a linear scan. Erase is not supported (the users clear
-// wholesale), which keeps probing tombstone-free.
+// iteration is a linear scan. Erase uses backward-shift deletion (entries
+// after the hole are shifted into it until the probe chain breaks), so the
+// table stays tombstone-free and lookups never degrade under the
+// reference streams' steady insert/expire churn.
 #ifndef SRC_UTIL_FLAT_MAP_H_
 #define SRC_UTIL_FLAT_MAP_H_
 
@@ -59,6 +61,46 @@ class FlatMap {
     return slots_[i].key == empty_key_ ? nullptr : &slots_[i].value;
   }
 
+  // Mutable lookup without insertion. The pointer is invalidated by any
+  // insert (the table may grow) or erase (entries may shift).
+  V* FindMutable(K key) {
+    const size_t i = Probe(key);
+    return slots_[i].key == empty_key_ ? nullptr : &slots_[i].value;
+  }
+
+  // Removes `key`; returns whether it was present. Backward-shift
+  // deletion: every entry in the probe chain after the vacated slot that
+  // hashes at or before it is moved back, so probing stays correct with no
+  // tombstones and lookup cost is unchanged by any erase history.
+  bool Erase(K key) {
+    size_t i = Probe(key);
+    if (slots_[i].key == empty_key_) {
+      return false;
+    }
+    const size_t mask = slots_.size() - 1;
+    size_t j = i;
+    for (;;) {
+      slots_[i].key = empty_key_;
+      slots_[i].value = V{};
+      for (;;) {
+        j = (j + 1) & mask;
+        if (slots_[j].key == empty_key_) {
+          --size_;
+          return true;
+        }
+        // Entry at j may move into the hole at i only if its home slot
+        // lies cyclically outside (i, j] — i.e. probing from its home
+        // reaches i before j.
+        const size_t home = static_cast<size_t>(Hash(slots_[j].key)) & mask;
+        if (j > i ? (home <= i || home > j) : (home <= i && home > j)) {
+          break;
+        }
+      }
+      slots_[i] = std::move(slots_[j]);
+      i = j;
+    }
+  }
+
   void Clear() {
     for (Slot& slot : slots_) {
       slot.key = empty_key_;
@@ -71,6 +113,17 @@ class FlatMap {
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (const Slot& slot : slots_) {
+      if (slot.key != empty_key_) {
+        fn(slot.key, slot.value);
+      }
+    }
+  }
+
+  // Mutable visit: `fn` receives the key and a mutable value reference.
+  // Keys must not be changed; do not insert or erase during the walk.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (Slot& slot : slots_) {
       if (slot.key != empty_key_) {
         fn(slot.key, slot.value);
       }

@@ -1,0 +1,392 @@
+// Serial-vs-batched ingest equivalence.
+//
+// The sharded ingest pipeline (Correlator::IngestBatch) must produce state
+// bit-identical to one-at-a-time serial sink delivery at any thread count
+// and any batch size: same relation table (update counter, aging, RNG
+// tie-break stream), same reference streams, same file table. The binary
+// snapshot covers all of it, so equality of EncodeSnapshot() bytes is the
+// strongest practical assertion. Traces here are randomized with
+// fork/exit/delete/rename/exclude interleavings to exercise every segment
+// barrier, plus deletion→re-reference runs to exercise the resurrection
+// cut inside a single batch.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/core/async_pipeline.h"
+#include "src/core/correlator.h"
+
+namespace seer {
+namespace {
+
+PathId P(const std::string& path) { return GlobalPaths().Intern(path); }
+
+IngestEvent RefEvent(Pid pid, RefKind kind, const std::string& path, Time time) {
+  IngestEvent e;
+  e.kind = IngestEvent::Kind::kReference;
+  e.ref.pid = pid;
+  e.ref.kind = kind;
+  e.ref.path = P(path);
+  e.ref.time = time;
+  return e;
+}
+
+// Feeds events through the plain serial sink interface (works for any
+// ReferenceSink: Correlator, BatchingSink, AsyncCorrelator).
+void ApplySerial(ReferenceSink* c, const std::vector<IngestEvent>& events) {
+  for (const IngestEvent& e : events) {
+    switch (e.kind) {
+      case IngestEvent::Kind::kReference:
+        c->OnReference(e.ref);
+        break;
+      case IngestEvent::Kind::kFork:
+        c->OnProcessFork(e.parent, e.child);
+        break;
+      case IngestEvent::Kind::kExit:
+        c->OnProcessExit(e.child);
+        break;
+      case IngestEvent::Kind::kDeleted:
+        c->OnFileDeleted(e.path, e.time);
+        break;
+      case IngestEvent::Kind::kRenamed:
+        c->OnFileRenamed(e.path, e.path2, e.time);
+        break;
+      case IngestEvent::Kind::kExcluded:
+        c->OnFileExcluded(e.path);
+        break;
+    }
+  }
+}
+
+void ApplyBatched(Correlator* c, const std::vector<IngestEvent>& events, size_t batch) {
+  for (size_t i = 0; i < events.size(); i += batch) {
+    const size_t n = std::min(batch, events.size() - i);
+    c->IngestBatch(events.data() + i, n);
+  }
+}
+
+// A randomized trace over a small path universe and a churning process
+// tree. References dominate; every barrier kind appears; deleted paths get
+// re-referenced so batches hit the resurrection cut.
+std::vector<IngestEvent> RandomTrace(uint32_t seed, size_t count) {
+  std::mt19937 rng(seed);
+  std::vector<IngestEvent> events;
+  events.reserve(count);
+
+  std::vector<std::string> paths;
+  for (int i = 0; i < 40; ++i) {
+    paths.push_back("/eq/f" + std::to_string(i));
+  }
+  std::vector<Pid> pids = {1, 2, 3};
+  Pid next_pid = 100;
+  int next_rename = 0;
+  Time time = 0;
+
+  auto rand_path = [&]() -> const std::string& {
+    return paths[rng() % paths.size()];
+  };
+  auto rand_pid = [&]() { return pids[rng() % pids.size()]; };
+
+  for (size_t i = 0; i < count; ++i) {
+    time += kMicrosPerSecond / 4;
+    const uint32_t roll = rng() % 100;
+    if (roll < 85) {
+      const uint32_t kind_roll = rng() % 10;
+      const RefKind kind = kind_roll < 4   ? RefKind::kBegin
+                           : kind_roll < 7 ? RefKind::kEnd
+                                           : RefKind::kPoint;
+      events.push_back(RefEvent(rand_pid(), kind, rand_path(), time));
+    } else if (roll < 89) {
+      IngestEvent e;
+      e.kind = IngestEvent::Kind::kFork;
+      e.parent = rand_pid();
+      e.child = next_pid++;
+      pids.push_back(e.child);
+      events.push_back(e);
+    } else if (roll < 92 && pids.size() > 2) {
+      const size_t victim = rng() % pids.size();
+      IngestEvent e;
+      e.kind = IngestEvent::Kind::kExit;
+      e.child = pids[victim];
+      pids.erase(pids.begin() + victim);
+      events.push_back(e);
+    } else if (roll < 96) {
+      IngestEvent e;
+      e.kind = IngestEvent::Kind::kDeleted;
+      e.path = P(rand_path());
+      e.time = time;
+      events.push_back(e);
+    } else if (roll < 98) {
+      IngestEvent e;
+      e.kind = IngestEvent::Kind::kRenamed;
+      e.path = P(rand_path());
+      // Alternate between renaming onto an existing name (replacement) and
+      // a fresh one (plain move).
+      e.path2 = (rng() % 2 == 0)
+                    ? P(rand_path())
+                    : P("/eq/renamed" + std::to_string(next_rename++));
+      e.time = time;
+      events.push_back(e);
+    } else {
+      IngestEvent e;
+      e.kind = IngestEvent::Kind::kExcluded;
+      e.path = P(rand_path());
+      events.push_back(e);
+    }
+  }
+  return events;
+}
+
+SeerParams ChurnParams() {
+  SeerParams p;
+  p.max_neighbors = 4;      // force replacement scans + RNG tie-breaks
+  p.distance_horizon = 20;  // force window expiry + compensation
+  p.delete_delay = 3;       // force real purges
+  p.aging_updates = 500;    // force priority-3 replacements
+  return p;
+}
+
+TEST(IngestEquivalence, BatchedMatchesSerialAcrossThreadCounts) {
+  const std::vector<IngestEvent> events = RandomTrace(0xA11CE, 3000);
+
+  Correlator serial(ChurnParams());
+  ApplySerial(&serial, events);
+  const std::string want = serial.EncodeSnapshot();
+
+  for (const int threads : {1, 2, 4, 8}) {
+    Correlator batched(ChurnParams());
+    batched.SetIngestThreads(threads);
+    ApplyBatched(&batched, events, 256);
+    EXPECT_EQ(want, batched.EncodeSnapshot()) << "threads=" << threads;
+    EXPECT_EQ(serial.references_processed(), batched.references_processed());
+  }
+}
+
+TEST(IngestEquivalence, BatchedMatchesSerialAcrossBatchSizes) {
+  const std::vector<IngestEvent> events = RandomTrace(0xB0B, 2000);
+
+  Correlator serial(ChurnParams());
+  ApplySerial(&serial, events);
+  const std::string want = serial.EncodeSnapshot();
+
+  for (const size_t batch : {size_t{1}, size_t{7}, size_t{64}, size_t{4096}}) {
+    Correlator batched(ChurnParams());
+    batched.SetIngestThreads(4);
+    ApplyBatched(&batched, events, batch);
+    EXPECT_EQ(want, batched.EncodeSnapshot()) << "batch=" << batch;
+  }
+}
+
+TEST(IngestEquivalence, ManySeedsManyConfigs) {
+  for (const uint32_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    for (const bool per_process : {true, false}) {
+      SeerParams params = ChurnParams();
+      params.per_process_streams = per_process;
+
+      const std::vector<IngestEvent> events = RandomTrace(seed, 1200);
+      Correlator serial(params);
+      ApplySerial(&serial, events);
+
+      Correlator batched(params);
+      batched.SetIngestThreads(8);
+      ApplyBatched(&batched, events, 128);
+      EXPECT_EQ(serial.EncodeSnapshot(), batched.EncodeSnapshot())
+          << "seed=" << seed << " per_process=" << per_process;
+    }
+  }
+}
+
+TEST(IngestEquivalence, AlternateDistanceAndMeanKinds) {
+  for (const DistanceKind dk :
+       {DistanceKind::kLifetime, DistanceKind::kSequence, DistanceKind::kTemporal}) {
+    for (const MeanKind mk : {MeanKind::kGeometric, MeanKind::kArithmetic}) {
+      SeerParams params = ChurnParams();
+      params.distance_kind = dk;
+      params.mean_kind = mk;
+
+      const std::vector<IngestEvent> events = RandomTrace(77, 1500);
+      Correlator serial(params);
+      ApplySerial(&serial, events);
+
+      Correlator batched(params);
+      batched.SetIngestThreads(4);
+      ApplyBatched(&batched, events, 200);
+      EXPECT_EQ(serial.EncodeSnapshot(), batched.EncodeSnapshot())
+          << "distance_kind=" << static_cast<int>(dk)
+          << " mean_kind=" << static_cast<int>(mk);
+    }
+  }
+}
+
+// The resurrection cut: delete a file, then — inside ONE batch — reference
+// other files (building a pending segment) and then the deleted file again.
+// Interning resurrects it; the pending observations must still be filtered
+// against the pre-resurrection liveness flag, exactly as serial ingest
+// filters them.
+TEST(IngestEquivalence, ResurrectionWithinOneBatch) {
+  auto build = [](Time* time) {
+    std::vector<IngestEvent> events;
+    for (int round = 0; round < 5; ++round) {
+      for (int i = 0; i < 6; ++i) {
+        *time += kMicrosPerSecond;
+        events.push_back(
+            RefEvent(1, RefKind::kPoint, "/res/f" + std::to_string(i), *time));
+      }
+    }
+    IngestEvent del;
+    del.kind = IngestEvent::Kind::kDeleted;
+    del.path = P("/res/f2");
+    del.time = *time;
+    events.push_back(del);
+    // One long run with the resurrecting reference in the middle: the cut
+    // must flush the first half before interning /res/f2 again.
+    for (int i = 0; i < 4; ++i) {
+      *time += kMicrosPerSecond;
+      events.push_back(RefEvent(1, RefKind::kPoint, "/res/f" + std::to_string(i), *time));
+    }
+    *time += kMicrosPerSecond;
+    events.push_back(RefEvent(1, RefKind::kPoint, "/res/f2", *time));
+    for (int i = 0; i < 6; ++i) {
+      *time += kMicrosPerSecond;
+      events.push_back(RefEvent(1, RefKind::kPoint, "/res/f" + std::to_string(i), *time));
+    }
+    return events;
+  };
+
+  Time t1 = 0;
+  Time t2 = 0;
+  const std::vector<IngestEvent> trace_serial = build(&t1);
+  const std::vector<IngestEvent> trace_batched = build(&t2);
+
+  Correlator serial(ChurnParams());
+  ApplySerial(&serial, trace_serial);
+
+  Correlator batched(ChurnParams());
+  batched.SetIngestThreads(4);
+  // The whole trace as a single batch: the only cuts are the delete barrier
+  // and the resurrection.
+  batched.IngestBatch(trace_batched.data(), trace_batched.size());
+
+  EXPECT_EQ(serial.EncodeSnapshot(), batched.EncodeSnapshot());
+  EXPECT_GE(batched.ingest_stats().segments, 3u);  // pre-delete, pre-resurrect, rest
+}
+
+// Fork/exit under batching: the child's inherited history and the exit
+// merge-back must land between exactly the same references as under serial
+// ingest, across randomized interleavings batched at awkward sizes.
+TEST(IngestEquivalence, ForkMergeUnderBatching) {
+  std::mt19937 rng(0xF02C);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<IngestEvent> events;
+    Time time = 0;
+    const Pid parent = 1;
+    const Pid child = 50 + round;
+
+    auto ref = [&](Pid pid, int file) {
+      time += kMicrosPerSecond;
+      events.push_back(
+          RefEvent(pid, rng() % 2 == 0 ? RefKind::kPoint : RefKind::kBegin,
+                   "/fork/f" + std::to_string(file), time));
+    };
+
+    const int before = 3 + static_cast<int>(rng() % 6);
+    for (int i = 0; i < before; ++i) {
+      ref(parent, static_cast<int>(rng() % 8));
+    }
+    IngestEvent fork;
+    fork.kind = IngestEvent::Kind::kFork;
+    fork.parent = parent;
+    fork.child = child;
+    events.push_back(fork);
+    const int during = 3 + static_cast<int>(rng() % 8);
+    for (int i = 0; i < during; ++i) {
+      ref(rng() % 2 == 0 ? parent : child, static_cast<int>(rng() % 8));
+    }
+    IngestEvent exit_event;
+    exit_event.kind = IngestEvent::Kind::kExit;
+    exit_event.child = child;
+    events.push_back(exit_event);
+    const int after = 3 + static_cast<int>(rng() % 6);
+    for (int i = 0; i < after; ++i) {
+      ref(parent, static_cast<int>(rng() % 8));
+    }
+
+    Correlator serial(ChurnParams());
+    ApplySerial(&serial, events);
+
+    for (const size_t batch : {size_t{2}, size_t{5}, events.size()}) {
+      Correlator batched(ChurnParams());
+      batched.SetIngestThreads(4);
+      ApplyBatched(&batched, events, batch);
+      EXPECT_EQ(serial.EncodeSnapshot(), batched.EncodeSnapshot())
+          << "round=" << round << " batch=" << batch;
+    }
+  }
+}
+
+TEST(IngestEquivalence, BatchingSinkMatchesSerial) {
+  const std::vector<IngestEvent> events = RandomTrace(0x51Bc, 1500);
+
+  Correlator serial(ChurnParams());
+  ApplySerial(&serial, events);
+
+  Correlator batched(ChurnParams());
+  batched.SetIngestThreads(4);
+  {
+    // Tiny capacity so the sink flushes many partial batches; the tail
+    // flush rides the destructor.
+    BatchingSink sink(&batched, 17);
+    ApplySerial(&sink, events);  // BatchingSink is itself a ReferenceSink
+  }
+  EXPECT_EQ(serial.EncodeSnapshot(), batched.EncodeSnapshot());
+  EXPECT_GT(batched.ingest_stats().batches, 1u);
+}
+
+TEST(IngestEquivalence, AsyncPipelineMatchesSerial) {
+  const std::vector<IngestEvent> events = RandomTrace(0xD00D, 2000);
+
+  Correlator serial(ChurnParams());
+  ApplySerial(&serial, events);
+  const std::string want = serial.EncodeSnapshot();
+
+  // Small queue: the worker repeatedly drains full rings as batches.
+  AsyncCorrelator async(ChurnParams(), 0x5ee8, /*queue_capacity=*/64);
+  async.SetIngestThreads(4);
+  ApplySerial(&async, events);  // producer side of the pipeline
+  const std::string got =
+      async.Query([](const Correlator& c) { return c.EncodeSnapshot(); });
+  EXPECT_EQ(want, got);
+  EXPECT_EQ(events.size(), async.processed());
+}
+
+// BatchingSink::ApplySerial above relies on this: the sink forwards every
+// callback kind, and a flush mid-stream leaves no event behind.
+TEST(IngestEquivalence, IngestStatsAccounting) {
+  const std::vector<IngestEvent> events = RandomTrace(0xCAFE, 1000);
+  size_t refs = 0;
+  size_t barriers = 0;
+  for (const IngestEvent& e : events) {
+    if (e.kind == IngestEvent::Kind::kReference) {
+      ++refs;
+    } else {
+      ++barriers;
+    }
+  }
+
+  Correlator batched(ChurnParams());
+  batched.SetIngestThreads(2);
+  ApplyBatched(&batched, events, 100);
+  const IngestStats& stats = batched.ingest_stats();
+  EXPECT_EQ(10u, stats.batches);
+  EXPECT_EQ(barriers, stats.barriers);
+  // Invalid references (none here: all paths intern) all reach segments.
+  EXPECT_EQ(refs, stats.refs);
+  EXPECT_GE(stats.segments, 1u);
+  EXPECT_GE(stats.shards, stats.segments);  // at least one shard per segment
+  EXPECT_GE(stats.max_shard_refs, 1u);
+}
+
+}  // namespace
+}  // namespace seer

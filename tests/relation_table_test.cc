@@ -207,5 +207,105 @@ TEST(RelationTable, LiveNeighborIdsSkipDeletedAndExcluded) {
   EXPECT_EQ(live[0], ok);
 }
 
+TEST(RelationTable, LiveNeighborIdsAppendOverloadDoesNotClear) {
+  RelationHarness h;
+  const FileId a = h.Id("a");
+  const FileId b = h.Id("b");
+  h.table().Observe(a, b, 1.0);
+
+  std::vector<FileId> out = {kInvalidFileId};  // pre-existing scratch content
+  h.table().LiveNeighborIds(a, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], kInvalidFileId) << "append overload must not clear";
+  EXPECT_EQ(out[1], b);
+}
+
+TEST(RelationTable, FindSlotAndHintedObserve) {
+  RelationHarness h;
+  const FileId a = h.Id("a");
+  const FileId b = h.Id("b");
+  const FileId c = h.Id("c");
+  h.table().Observe(a, b, 2.0);
+  h.table().Observe(a, c, 3.0);
+
+  EXPECT_EQ(h.table().FindSlot(a, b), 0);
+  EXPECT_EQ(h.table().FindSlot(a, c), 1);
+  EXPECT_EQ(h.table().FindSlot(a, h.Id("unknown")), -1);
+  EXPECT_EQ(h.table().FindSlot(h.Id("nolist"), b), -1);
+
+  // A valid hint folds into the right entry...
+  h.table().ObserveHinted(a, b, 8.0, 0);
+  EXPECT_NEAR(h.table().DistanceOrNegative(a, b), 4.0, 1e-9);  // sqrt(2*8)
+  // ...and a stale or absent hint falls back to the scan with the same
+  // result (the batched fold relies on this when an earlier fold in the
+  // batch moved entries around).
+  h.table().ObserveHinted(a, c, 12.0, 0);    // wrong slot (points at b)
+  EXPECT_NEAR(h.table().DistanceOrNegative(a, c), 6.0, 1e-9);  // sqrt(3*12)
+  h.table().ObserveHinted(a, b, 32.0, 99);   // out of range
+  EXPECT_NEAR(h.table().DistanceOrNegative(a, b), 8.0, 1e-9);  // cbrt(2*8*32)
+  h.table().ObserveHinted(a, h.Id("d"), 1.0, 1);  // hint for a brand-new pair
+  EXPECT_GT(h.table().DistanceOrNegative(a, h.Id("d")), 0.0);
+}
+
+// The lazy mean cache must be invalidated when an entry's accumulators
+// change: a priority-2 scan after a fold has to see the new mean, or a
+// replacement decision could go the wrong way.
+TEST(RelationTable, MeanCacheInvalidatedOnFold) {
+  RelationHarness h;
+  const FileId a = h.Id("a");
+  const FileId x = h.Id("x");
+  h.table().Observe(a, x, 80.0);
+  h.table().Observe(a, h.Id("n1"), 4.0);
+  h.table().Observe(a, h.Id("n2"), 4.0);
+
+  // Full-list miss primes the cache (candidate farther than worst=80 is
+  // rejected).
+  h.table().Observe(a, h.Id("reject"), 100.0);
+  EXPECT_LT(h.table().DistanceOrNegative(a, h.Id("reject")), 0.0);
+
+  // Fold x down: its geometric mean drops from 80 to sqrt(80) ≈ 8.94.
+  h.table().Observe(a, x, 1.0);
+
+  // Candidate at 20: with a stale cache the scan would still see x at 80
+  // and replace it; with correct invalidation the worst mean is ~8.94 and
+  // the candidate is rejected.
+  h.table().Observe(a, h.Id("mid"), 20.0);
+  EXPECT_GT(h.table().DistanceOrNegative(a, x), 0.0) << "x must survive";
+  EXPECT_LT(h.table().DistanceOrNegative(a, h.Id("mid")), 0.0);
+}
+
+// Satellite regression: MarkSetChanged used to copy reverse_[id] into a
+// temporary vector on every call — a rename storm over a well-connected
+// file paid one allocation + full copy per rename. The index-based walk
+// must still stamp the file and every reverse owner, every time.
+TEST(RelationTable, RenameStormStampsAllReverseOwners) {
+  RelationHarness h;
+  const FileId hub = h.Id("hub");
+  std::vector<FileId> owners;
+  for (int i = 0; i < 200; ++i) {
+    const FileId o = h.Id("owner" + std::to_string(i));
+    h.table().Observe(o, hub, 1.0);
+    owners.push_back(o);
+  }
+
+  for (int round = 0; round < 50; ++round) {
+    const uint64_t epoch = h.table().set_change_epoch();
+    h.table().MarkSetChanged(hub);
+    std::vector<FileId> changed;
+    h.table().CollectChangedSince(epoch, &changed);
+    ASSERT_EQ(changed.size(), owners.size() + 1) << "round " << round;
+  }
+
+  // Stamping an id the table has never sized for must grow the tables and
+  // not touch anyone else.
+  const FileId fresh = h.Id("fresh-after-storm");
+  const uint64_t epoch = h.table().set_change_epoch();
+  h.table().MarkSetChanged(fresh);
+  std::vector<FileId> changed;
+  h.table().CollectChangedSince(epoch, &changed);
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], fresh);
+}
+
 }  // namespace
 }  // namespace seer

@@ -19,6 +19,7 @@
 //       database, dump one back to text, check its integrity, compact its
 //       generations, or describe its contents.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -363,16 +364,38 @@ int Replay(int argc, char** argv, int start) {
   const SeerParams params = ParamsFromFlagOrDie(argc, argv, start);
   const ObserverConfig observer_config = ControlFromFlagOrDie(argc, argv, start);
 
+  int threads = 0;
+  for (int i = start; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    }
+  }
+  if (const char* value = FlagValue(argc, argv, start, "--threads")) {
+    threads = std::atoi(value);
+  }
+
   Observer observer(observer_config, nullptr);
   Correlator correlator(params);
-  observer.set_sink(&correlator);
+  if (threads > 0) {
+    correlator.SetIngestThreads(threads);
+  }
+  // Replay through the batching sink: distance measurement for each batch
+  // is sharded across process streams and measured in parallel, and the
+  // learned state is bit-identical to serial delivery at any thread count.
+  BatchingSink batching(&correlator);
+  observer.set_sink(&batching);
   size_t events = 0;
+  const auto replay_start = std::chrono::steady_clock::now();
   if (!ForEachTraceEvent(path, [&](const TraceEvent& event) {
         observer.OnEvent(event);
         ++events;
       })) {
     return 1;
   }
+  batching.Flush();
+  const double replay_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - replay_start)
+          .count();
   std::printf("replayed %zu events: %llu references kept, %llu filtered\n", events,
               static_cast<unsigned long long>(observer.references_emitted()),
               static_cast<unsigned long long>(observer.references_filtered()));
@@ -387,6 +410,24 @@ int Replay(int argc, char** argv, int start) {
     }
   }
   std::printf("%zu clusters (%zu multi-file)\n", clusters.clusters.size(), multi);
+
+  if (HasFlag(argc, argv, start, "--stats")) {
+    const IngestStats& is = correlator.ingest_stats();
+    const double secs = replay_ms / 1000.0;
+    std::printf("ingest: %d thread%s, %.2f ms", correlator.ingest_threads(),
+                correlator.ingest_threads() == 1 ? "" : "s", replay_ms);
+    if (secs > 0.0) {
+      std::printf(" (%.0f refs/sec)", static_cast<double>(is.refs) / secs);
+    }
+    std::printf("\n");
+    std::printf("  batches:        %llu\n", static_cast<unsigned long long>(is.batches));
+    std::printf("  segments:       %llu\n", static_cast<unsigned long long>(is.segments));
+    std::printf("  shards:         %llu (%.1f per segment)\n",
+                static_cast<unsigned long long>(is.shards),
+                is.segments > 0 ? static_cast<double>(is.shards) / is.segments : 0.0);
+    std::printf("  barriers:       %llu\n", static_cast<unsigned long long>(is.barriers));
+    std::printf("  max shard refs: %llu\n", static_cast<unsigned long long>(is.max_shard_refs));
+  }
 
   if (const char* save_path = FlagValue(argc, argv, start, "--save")) {
     std::ofstream out(save_path);
@@ -826,11 +867,18 @@ const std::vector<Subcommand>& Commands() {
        GenTrace},
       {"stats", "stats TRACE",
        "Per-operation, per-status, and per-file statistics for a trace.\n", Stats},
-      {"replay", "replay TRACE [--params FILE] [--control FILE] [--save FILE]",
+      {"replay", "replay TRACE [--params FILE] [--control FILE] [--threads K] [--stats] [--save FILE]",
        "Replay a trace through the observer and correlator (simulation\n"
-       "mode), print what was learned, optionally save the text database.\n\n"
+       "mode), print what was learned, optionally save the text database.\n"
+       "Ingest runs through the batched pipeline: distance measurement is\n"
+       "sharded by process stream and measured in parallel; the learned\n"
+       "state is bit-identical to serial ingest at any thread count.\n\n"
        "  --params FILE   correlator parameters\n"
        "  --control FILE  observer control file\n"
+       "  --threads K     measure-phase threads (default: SEER_THREADS,\n"
+       "                  else all cores); --threads=K is accepted too\n"
+       "  --stats         print ingest statistics (refs/sec, batches,\n"
+       "                  segments, shards, barriers)\n"
        "  --save FILE     save the learned database (text format)\n",
        Replay},
       {"clusters", "clusters DB [--min-size N]",
