@@ -38,6 +38,7 @@
 #include "src/core/params.h"
 #include "src/core/reference_streams.h"
 #include "src/core/relation_table.h"
+#include "src/core/snapshot_codec.h"
 #include "src/observer/reference.h"
 #include "src/util/flat_map.h"
 #include "src/util/status.h"
@@ -172,7 +173,40 @@ class Correlator : public ReferenceSink {
   std::string EncodeSnapshot() const;
   static StatusOr<std::unique_ptr<Correlator>> DecodeSnapshot(std::string_view bytes);
 
+  // --- checkpoint plane ----------------------------------------------------
+  //
+  // SealSnapshot deep-copies everything a checkpoint needs (the only work
+  // done while ingest is paused); EncodeSealedSnapshot then serializes the
+  // copy off-thread. EncodeSnapshot() above is now a convenience wrapper:
+  // a full seal encoded serially, used by tests and the equality oracle.
+
+  struct SealRequest {
+    bool delta = false;
+    uint64_t base_generation = 0;  // generation the delta applies over
+    // Epoch cuts of the base generation; the seal exports only relation
+    // stripes / streams touched after them. Ignored for a full seal.
+    uint64_t relation_epoch = 0;
+    uint64_t stream_epoch = 0;
+  };
+  SealedSnapshot SealSnapshot(const SealRequest& req) const;
+  SealedSnapshot SealSnapshot() const { return SealSnapshot(SealRequest()); }
+
+  // v1 single-RELS-section encoding, kept for wire-compat tests.
+  std::string EncodeSnapshotLegacyV1() const;
+
+  // Decodes a base snapshot plus its delta chain (oldest first; a single
+  // full snapshot is the one-element chain). v2 relation stripes decode in
+  // parallel on `pool` straight into the slab; nullptr decodes serially.
+  static StatusOr<std::unique_ptr<Correlator>> DecodeSnapshotChain(
+      const std::vector<std::string_view>& chain, ThreadPool* pool = nullptr);
+
+  // Drops stream-removal log entries up to `epoch` once the checkpoint
+  // that exported them is durable.
+  void TrimStreamRemovals(uint64_t epoch) { streams_.TrimRemovalLog(epoch); }
+
  private:
+  static StatusOr<std::unique_ptr<Correlator>> DecodeSnapshotV1(std::string_view bytes);
+
   // --- batched ingest plumbing (state reused across segments) --------------
   struct PendingRef {
     RefKind kind = RefKind::kPoint;

@@ -56,12 +56,29 @@ void HoardDaemon::MaybeCheckpoint(bool after_refill) {
   if (config_.durable == nullptr) {
     return;
   }
-  if (!after_refill && config_.durable->wal_bytes() < config_.wal_checkpoint_bytes) {
+  DurableCorrelator& durable = *config_.durable;
+  // Opportunistic harvest: a background checkpoint that finished since the
+  // last tick surfaces its outcome and stats here, even when no new
+  // trigger fires this tick.
+  if (durable.CheckpointDone()) {
+    last_checkpoint_status_ = durable.FinishCheckpoint();
+    last_checkpoint_stats_ = durable.last_checkpoint_stats();
+  }
+  if (!after_refill && durable.wal_bytes() < config_.wal_checkpoint_bytes) {
     return;
   }
-  last_checkpoint_status_ = config_.durable->Checkpoint();
-  if (last_checkpoint_status_.ok()) {
+  // BeginCheckpoint settles any still-running checkpoint, stalls only for
+  // the seal + WAL rotation, and leaves encode/write running off-thread —
+  // the refill path never waits on the disk. A non-ok return is either the
+  // settled previous checkpoint's failure or a failure to rotate; either
+  // way the next trigger retries (forced full).
+  const Status begun = durable.BeginCheckpoint();
+  last_checkpoint_stats_ = durable.last_checkpoint_stats();
+  if (durable.checkpoint_in_flight()) {
     ++checkpoints_;
+  }
+  if (!begun.ok()) {
+    last_checkpoint_status_ = begun;
   }
 }
 

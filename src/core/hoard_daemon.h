@@ -68,10 +68,13 @@ class HoardDaemon {
   }
 
   size_t checkpoint_count() const { return checkpoints_; }
-  // Outcome of the most recent checkpoint attempt (OK when none ran yet).
-  // A failed checkpoint never blocks the refill itself: hoarding keeps
-  // working from memory and the next trigger retries.
+  // Outcome of the most recent harvested checkpoint (OK when none ran
+  // yet). A failed checkpoint never blocks the refill itself: hoarding
+  // keeps working from memory and the next trigger retries.
   const Status& last_checkpoint_status() const { return last_checkpoint_status_; }
+  // Stats of the most recent harvested checkpoint: generation, seal stall,
+  // encode/write time, bytes, delta ratio. Zeros until one completes.
+  const CheckpointStats& last_checkpoint_stats() const { return last_checkpoint_stats_; }
 
  private:
   void MaybeCheckpoint(bool after_refill);
@@ -87,6 +90,7 @@ class HoardDaemon {
   size_t refills_ = 0;
   size_t checkpoints_ = 0;
   Status last_checkpoint_status_;
+  CheckpointStats last_checkpoint_stats_;
   HoardSelection last_selection_;
 };
 

@@ -13,7 +13,12 @@ constexpr Pid kGlobalStream = 0;
 }  // namespace
 
 ReferenceStreams::Stream& ReferenceStreams::GetStream(Pid pid) {
-  return streams_[params_.per_process_streams ? pid : kGlobalStream];
+  Stream& s = streams_[params_.per_process_streams ? pid : kGlobalStream];
+  // Conservative dirty stamp: every sequential access that may mutate the
+  // stream marks it for the next delta checkpoint. Reads over-stamp, which
+  // only costs delta bytes, never correctness.
+  s.dirty_stamp = ++mutation_epoch_;
+  return s;
 }
 
 ReferenceStreams::Stream* ReferenceStreams::Prepare(Pid pid) {
@@ -181,6 +186,7 @@ void ReferenceStreams::OnFork(Pid parent, Pid child) {
   copy.parent = parent;
   copy.files.ForEach([](FileId, FileState& state) { state.open_nesting = 0; });
   copy.open_files.clear();
+  copy.dirty_stamp = ++mutation_epoch_;
   streams_[child] = std::move(copy);
 }
 
@@ -194,12 +200,14 @@ void ReferenceStreams::OnExit(Pid pid) {
   }
   Stream child = std::move(it->second);
   streams_.erase(it);
+  removals_.push_back({++mutation_epoch_, pid});
 
   const auto parent_it = streams_.find(child.parent);
   if (parent_it == streams_.end()) {
     return;
   }
   Stream& parent = parent_it->second;
+  parent.dirty_stamp = ++mutation_epoch_;
 
   // Merge: the child's recent history is replayed quietly into the parent
   // so future parent references can relate to the child's files
@@ -224,35 +232,75 @@ void ReferenceStreams::OnExit(Pid pid) {
   PruneWindow(parent);
 }
 
+ReferenceStreams::ExportedStream ReferenceStreams::ExportOne(Pid pid, const Stream& s) {
+  ExportedStream e;
+  e.pid = pid;
+  e.parent = s.parent;
+  e.open_counter = s.open_counter;
+  e.ref_counter = s.ref_counter;
+  e.files.reserve(s.files.size());
+  s.files.ForEach([&](FileId file, const FileState& st) {
+    e.files.push_back({file, st.last_open_index, st.last_ref_index, st.last_open_time,
+                       st.open_nesting, st.compensated});
+  });
+  std::sort(e.files.begin(), e.files.end(),
+            [](const ExportedFileState& a, const ExportedFileState& b) {
+              return a.file < b.file;
+            });
+  e.window.reserve(s.window.size());
+  s.window.ForEach([&](FileId file, uint64_t idx) { e.window.emplace_back(file, idx); });
+  return e;
+}
+
 std::vector<ReferenceStreams::ExportedStream> ReferenceStreams::Export() const {
   std::vector<ExportedStream> out;
   out.reserve(streams_.size());
   for (const auto& [pid, s] : streams_) {
-    ExportedStream e;
-    e.pid = pid;
-    e.parent = s.parent;
-    e.open_counter = s.open_counter;
-    e.ref_counter = s.ref_counter;
-    e.files.reserve(s.files.size());
-    s.files.ForEach([&](FileId file, const FileState& st) {
-      e.files.push_back({file, st.last_open_index, st.last_ref_index, st.last_open_time,
-                         st.open_nesting, st.compensated});
-    });
-    std::sort(e.files.begin(), e.files.end(),
-              [](const ExportedFileState& a, const ExportedFileState& b) {
-                return a.file < b.file;
-              });
-    e.window.reserve(s.window.size());
-    s.window.ForEach([&](FileId file, uint64_t idx) { e.window.emplace_back(file, idx); });
-    out.push_back(std::move(e));
+    out.push_back(ExportOne(pid, s));
   }
   std::sort(out.begin(), out.end(),
             [](const ExportedStream& a, const ExportedStream& b) { return a.pid < b.pid; });
   return out;
 }
 
+std::vector<ReferenceStreams::ExportedStream> ReferenceStreams::ExportDirtySince(
+    uint64_t epoch) const {
+  std::vector<ExportedStream> out;
+  for (const auto& [pid, s] : streams_) {
+    if (s.dirty_stamp > epoch) {
+      out.push_back(ExportOne(pid, s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ExportedStream& a, const ExportedStream& b) { return a.pid < b.pid; });
+  return out;
+}
+
+std::vector<Pid> ReferenceStreams::RemovedSince(uint64_t epoch) const {
+  std::vector<Pid> out;
+  for (const auto& [at, pid] : removals_) {
+    if (at > epoch) {
+      out.push_back(pid);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void ReferenceStreams::TrimRemovalLog(uint64_t epoch) {
+  // Append-ordered by epoch: drop the committed prefix.
+  size_t keep = 0;
+  while (keep < removals_.size() && removals_[keep].first <= epoch) {
+    ++keep;
+  }
+  removals_.erase(removals_.begin(), removals_.begin() + keep);
+}
+
 void ReferenceStreams::Restore(const std::vector<ExportedStream>& streams) {
   streams_.clear();
+  removals_.clear();
+  mutation_epoch_ = 0;
   for (const ExportedStream& e : streams) {
     Stream& s = streams_[e.pid];
     s.parent = e.parent;

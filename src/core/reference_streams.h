@@ -119,6 +119,11 @@ class ReferenceStreams {
     // Files with open_nesting > 0, sorted ascending — the deterministic
     // iteration order for distance-0 emission.
     std::vector<FileId> open_files;
+    // Last mutation epoch, for delta checkpoints. Stamped at the sequential
+    // entry points only (GetStream/Prepare/OnFork/OnExit): the parallel
+    // measure phase mutates streams Prepare already handed out, so the
+    // shared epoch counter is never touched off the sequential path.
+    uint64_t dirty_stamp = 0;
   };
 
   explicit ReferenceStreams(const SeerParams& params) : params_(params) {}
@@ -199,6 +204,26 @@ class ReferenceStreams {
   std::vector<ExportedStream> Export() const;  // sorted by pid
   void Restore(const std::vector<ExportedStream>& streams);
 
+  // --- delta-checkpoint support --------------------------------------------
+  //
+  // A delta snapshot carries only the streams touched since the last sealed
+  // cut, plus the pids of streams that exited since then (so recovery can
+  // drop them from the base). Stamps are conservative: a stamped stream may
+  // be byte-identical to its base copy, but an unstamped one never differs.
+
+  // Current mutation epoch (stamped value of the latest stream mutation).
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+
+  // Exported copies of streams stamped after `epoch`, sorted by pid.
+  std::vector<ExportedStream> ExportDirtySince(uint64_t epoch) const;
+
+  // Pids of streams removed (process exit) after `epoch`, sorted + deduped.
+  std::vector<Pid> RemovedSince(uint64_t epoch) const;
+
+  // Drops removal-log entries at or before `epoch` (called once the cut
+  // they were exported under is durably committed).
+  void TrimRemovalLog(uint64_t epoch);
+
  private:
   Stream& GetStream(Pid pid);
   void Reference(Stream& s, FileId file, Time time, bool keep_open,
@@ -207,9 +232,13 @@ class ReferenceStreams {
   void PruneWindow(Stream& s);
   static void OpenAdd(Stream& s, FileId file);
   static void OpenRemove(Stream& s, FileId file);
+  static ExportedStream ExportOne(Pid pid, const Stream& s);
 
   SeerParams params_;
   std::unordered_map<Pid, Stream> streams_;
+  uint64_t mutation_epoch_ = 0;
+  // (epoch, pid) per OnExit-erased stream, append-ordered (epoch ascending).
+  std::vector<std::pair<uint64_t, Pid>> removals_;
 };
 
 }  // namespace seer

@@ -1,5 +1,6 @@
 #include "src/core/relation_table.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -30,6 +31,7 @@ void RelationTable::EnsureSize(FileId id) {
     nb_count_.resize(files, 0);
     reverse_.resize(files);
     set_stamp_.resize(files, 0);
+    stripe_stamp_.resize((files + kStripeSize - 1) >> kStripeShift, 0);
     const size_t slots = files * static_cast<size_t>(cap_);
     nb_id_.resize(slots, kInvalidFileId);
     nb_log_.resize(slots, 0.0);
@@ -43,6 +45,10 @@ void RelationTable::EnsureSize(FileId id) {
 void RelationTable::Stamp(FileId id) {
   EnsureSize(id);
   set_stamp_[id] = ++set_change_epoch_;
+}
+
+void RelationTable::StampData(FileId id) {
+  stripe_stamp_[id >> kStripeShift] = ++data_epoch_;
 }
 
 void RelationTable::RevAdd(FileId owner, FileId neighbor) {
@@ -101,6 +107,7 @@ void RelationTable::WriteCandidate(size_t slot, FileId to, double cand_log, doub
   nb_obs_[slot] = 1;
   nb_upd_[slot] = update_count_;
   nb_mean_[slot] = kInvalidMean;
+  StampData(static_cast<FileId>(slot / static_cast<size_t>(cap_)));
 }
 
 int32_t RelationTable::FindSlot(FileId from, FileId to) const {
@@ -155,6 +162,7 @@ void RelationTable::ObserveHinted(FileId from, FileId to, double distance, int32
     ++nb_obs_[s];
     nb_upd_[s] = update_count_;
     nb_mean_[s] = kInvalidMean;
+    StampData(from);
     return;
   }
 
@@ -282,6 +290,7 @@ void RelationTable::Purge(FileId id) {
     }
     nb_count_[id] = 0;
     Stamp(id);
+    StampData(id);
   }
   // Every list naming us, found via the reverse index. Iterated by index:
   // Stamp never mutates reverse_[id] (the owners already exist).
@@ -303,6 +312,7 @@ void RelationTable::Purge(FileId id) {
           nb_mean_[obase + i] = nb_mean_[obase + last];
         }
         nb_count_[owner] = last;
+        StampData(owner);
         break;
       }
     }
@@ -363,6 +373,96 @@ void RelationTable::RestoreList(FileId from, std::vector<Neighbor> neighbors) {
     RevAdd(from, nb_id_[base + i]);
   }
   Stamp(from);
+  StampData(from);
+}
+
+void RelationTable::CopyStripes(bool full, uint64_t since_epoch, size_t file_count,
+                                std::vector<RelationStripeCopy>* out) const {
+  if (file_count == 0) {
+    return;
+  }
+  const size_t known = nb_count_.size();
+  const uint32_t stripes =
+      static_cast<uint32_t>((file_count + kStripeSize - 1) >> kStripeShift);
+  for (uint32_t sx = 0; sx < stripes; ++sx) {
+    const size_t begin = static_cast<size_t>(sx) << kStripeShift;
+    const size_t end = std::min(begin + kStripeSize, file_count);
+    const uint64_t stamp = sx < stripe_stamp_.size() ? stripe_stamp_[sx] : 0;
+    if (full) {
+      // A reader treats an absent stripe as all-empty, so skip stripes
+      // with no live entry at all.
+      bool any = false;
+      for (size_t f = begin; f < end && !any; ++f) {
+        any = f < known && nb_count_[f] > 0;
+      }
+      if (!any) {
+        continue;
+      }
+    } else if (stamp <= since_epoch) {
+      continue;  // untouched since the cut: base stripe is still exact
+    }
+    RelationStripeCopy copy;
+    copy.index = sx;
+    copy.begin = static_cast<uint32_t>(begin);
+    copy.files = static_cast<uint32_t>(end - begin);
+    copy.counts.resize(copy.files, 0);
+    // Pack only the live prefix of every file's slot range; the slab's
+    // reserved-but-dead capacity never gets touched, so a seal costs
+    // O(live entries), not O(files * cap).
+    size_t live = 0;
+    const size_t seen_end = std::min(end, known);
+    for (size_t f = begin; f < seen_end; ++f) {
+      copy.counts[f - begin] = nb_count_[f];
+      live += nb_count_[f];
+    }
+    copy.ids.resize(live);
+    copy.logs.resize(live);
+    copy.lins.resize(live);
+    copy.obs.resize(live);
+    copy.upds.resize(live);
+    size_t dst = 0;
+    for (size_t f = begin; f < seen_end; ++f) {
+      const uint32_t count = nb_count_[f];
+      const size_t src = f * static_cast<size_t>(cap_);
+      std::copy_n(nb_id_.begin() + src, count, copy.ids.begin() + dst);
+      std::copy_n(nb_log_.begin() + src, count, copy.logs.begin() + dst);
+      std::copy_n(nb_lin_.begin() + src, count, copy.lins.begin() + dst);
+      std::copy_n(nb_obs_.begin() + src, count, copy.obs.begin() + dst);
+      std::copy_n(nb_upd_.begin() + src, count, copy.upds.begin() + dst);
+      dst += count;
+    }
+    out->push_back(std::move(copy));
+  }
+}
+
+RelationTable::SlabAccess RelationTable::BeginRestore(size_t file_count) {
+  if (file_count > 0) {
+    EnsureSize(static_cast<FileId>(file_count - 1));
+  }
+  SlabAccess access;
+  access.ids = nb_id_.data();
+  access.logs = nb_log_.data();
+  access.lins = nb_lin_.data();
+  access.obs = nb_obs_.data();
+  access.upds = nb_upd_.data();
+  access.counts = nb_count_.data();
+  access.cap = static_cast<size_t>(cap_);
+  return access;
+}
+
+void RelationTable::FinishRestore(size_t file_count) {
+  for (size_t f = 0; f < file_count; ++f) {
+    const uint32_t count = nb_count_[f];
+    if (count == 0) {
+      continue;
+    }
+    const size_t base = f * static_cast<size_t>(cap_);
+    for (uint32_t i = 0; i < count; ++i) {
+      RevAdd(static_cast<FileId>(f), nb_id_[base + i]);
+    }
+    Stamp(static_cast<FileId>(f));
+    StampData(static_cast<FileId>(f));
+  }
 }
 
 size_t RelationTable::MemoryBytes() const {
@@ -371,7 +471,8 @@ size_t RelationTable::MemoryBytes() const {
                  nb_upd_.capacity() * sizeof(uint64_t) + nb_mean_.capacity() * sizeof(double) +
                  nb_count_.capacity() * sizeof(uint32_t) +
                  reverse_.capacity() * sizeof(std::vector<FileId>) +
-                 set_stamp_.capacity() * sizeof(uint64_t);
+                 set_stamp_.capacity() * sizeof(uint64_t) +
+                 stripe_stamp_.capacity() * sizeof(uint64_t);
   for (const auto& rev : reverse_) {
     bytes += rev.capacity() * sizeof(FileId);
   }

@@ -33,6 +33,24 @@
 
 namespace seer {
 
+// Copy of one stripe of the relation slab, taken at a checkpoint seal.
+// Entries are packed file-major — file f's neighbors occupy the range
+// [sum(counts[0..f)), +counts[f]) of each array — so the seal copies only
+// live entries, never the slab's dead capacity slots. Sealing is the only
+// work done while ingest is paused; keeping it proportional to live data
+// (not reserved capacity) is what bounds the checkpoint stall.
+struct RelationStripeCopy {
+  uint32_t index = 0;       // stripe number (file id >> kStripeShift)
+  uint32_t begin = 0;       // first file id covered
+  uint32_t files = 0;       // files covered (last stripe may be short)
+  std::vector<uint32_t> counts;   // size `files`
+  std::vector<uint32_t> ids;      // size sum(counts), packed
+  std::vector<double> logs;
+  std::vector<double> lins;
+  std::vector<uint32_t> obs;
+  std::vector<uint64_t> upds;
+};
+
 // Materialized view of one slab entry (also the persistence carrier).
 struct Neighbor {
   FileId id = kInvalidFileId;
@@ -148,8 +166,52 @@ class RelationTable {
   // Approximate bytes used, for the Section 5.3 memory accounting bench.
   size_t MemoryBytes() const;
 
+  // --- checkpoint-plane support: stripe dirty epochs + seal copies ----------
+  //
+  // Delta checkpoints need to know which parts of the *slab data* changed
+  // since the last generation. The set-change epochs above deliberately do
+  // not stamp folds (an accumulated observation changes no live set), so
+  // the table keeps a second, coarser clock: the slab is divided into
+  // stripes of kStripeSize files, and every slab mutation — fold, insert,
+  // replace, swap-remove, restore — stamps the owning file's stripe with a
+  // fresh data epoch. A stripe whose stamp is older than the last sealed
+  // cut is bit-identical to the previous snapshot and can be omitted.
+
+  static constexpr uint32_t kStripeShift = 8;
+  static constexpr uint32_t kStripeSize = 1u << kStripeShift;  // files per stripe
+
+  // Current data epoch (stamped value of the latest slab mutation).
+  uint64_t data_epoch() const { return data_epoch_; }
+
+  // Appends stripe copies covering files [0, file_count) to `out`.
+  // full: every stripe holding at least one entry (all-empty stripes are
+  // skipped — a reader treats an absent stripe as empty). Otherwise: every
+  // stripe stamped after `since_epoch`, *including* now-empty ones, so a
+  // delta can mask a stale base stripe.
+  void CopyStripes(bool full, uint64_t since_epoch, size_t file_count,
+                   std::vector<RelationStripeCopy>* out) const;
+
   // --- persistence support --------------------------------------------------
   void RestoreList(FileId from, std::vector<Neighbor> neighbors);
+
+  // In-place parallel restore (snapshot chain decode): BeginRestore sizes
+  // the slab for `file_count` files and hands back raw array pointers;
+  // workers then fill disjoint stripe ranges (ids/logs/lins/obs/upds plus
+  // the per-file counts) concurrently. FinishRestore rebuilds the reverse
+  // index and set stamps sequentially. Only valid on a freshly constructed
+  // table.
+  struct SlabAccess {
+    FileId* ids = nullptr;
+    double* logs = nullptr;
+    double* lins = nullptr;
+    uint32_t* obs = nullptr;
+    uint64_t* upds = nullptr;
+    uint32_t* counts = nullptr;
+    size_t cap = 0;
+  };
+  SlabAccess BeginRestore(size_t file_count);
+  void FinishRestore(size_t file_count);
+
   void set_update_count(uint64_t count) { update_count_ = count; }
 
   // The tie-break generator state travels with the snapshot so that
@@ -163,6 +225,7 @@ class RelationTable {
 
   void EnsureSize(FileId id);
   void Stamp(FileId id);
+  void StampData(FileId id);
   void RevAdd(FileId owner, FileId neighbor);
   void RevRemove(FileId owner, FileId neighbor);
 
@@ -201,6 +264,9 @@ class RelationTable {
   // Per-file stamp of the last set change, against set_change_epoch_.
   std::vector<uint64_t> set_stamp_;
   uint64_t set_change_epoch_ = 0;
+  // Per-stripe stamp of the last slab data mutation, against data_epoch_.
+  std::vector<uint64_t> stripe_stamp_;
+  uint64_t data_epoch_ = 0;
   uint64_t update_count_ = 0;
   mutable Rng rng_;
   std::vector<FileId> empty_ids_;

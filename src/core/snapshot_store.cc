@@ -4,11 +4,15 @@
 #include <charconv>
 #include <cstdio>
 
+#include "src/core/snapshot_codec.h"
+#include "src/util/thread_pool.h"
+
 namespace seer {
 
 namespace {
 
 constexpr char kSnapPrefix[] = "snap-";
+constexpr char kDeltaPrefix[] = "delta-";
 constexpr char kSnapSuffix[] = ".seersnap";
 constexpr char kWalPrefix[] = "wal-";
 constexpr char kWalSuffix[] = ".seerwal";
@@ -52,8 +56,16 @@ std::string SnapshotStore::SnapshotPath(uint64_t generation) const {
   return dir_ + "/" + GenerationName(kSnapPrefix, generation, kSnapSuffix);
 }
 
+std::string SnapshotStore::DeltaPath(uint64_t generation) const {
+  return dir_ + "/" + GenerationName(kDeltaPrefix, generation, kSnapSuffix);
+}
+
 std::string SnapshotStore::WalPath(uint64_t generation) const {
   return dir_ + "/" + GenerationName(kWalPrefix, generation, kWalSuffix);
+}
+
+std::string SnapshotStore::SnapshotFilePath(const SnapshotFileInfo& info) const {
+  return info.delta ? DeltaPath(info.generation) : SnapshotPath(info.generation);
 }
 
 StatusOr<std::vector<uint64_t>> SnapshotStore::ListByPattern(const std::string& prefix,
@@ -71,34 +83,112 @@ StatusOr<std::vector<uint64_t>> SnapshotStore::ListByPattern(const std::string& 
 }
 
 StatusOr<std::vector<uint64_t>> SnapshotStore::ListSnapshots() const {
-  return ListByPattern(kSnapPrefix, kSnapSuffix);
+  SEER_ASSIGN_OR_RETURN(const std::vector<SnapshotFileInfo> files, ListSnapshotFiles());
+  std::vector<uint64_t> generations;
+  generations.reserve(files.size());
+  for (const SnapshotFileInfo& f : files) {
+    generations.push_back(f.generation);
+  }
+  return generations;
+}
+
+StatusOr<std::vector<SnapshotStore::SnapshotFileInfo>> SnapshotStore::ListSnapshotFiles()
+    const {
+  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> fulls,
+                        ListByPattern(kSnapPrefix, kSnapSuffix));
+  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> deltas,
+                        ListByPattern(kDeltaPrefix, kSnapSuffix));
+  std::vector<SnapshotFileInfo> files;
+  files.reserve(fulls.size() + deltas.size());
+  for (const uint64_t g : fulls) {
+    files.push_back({g, false});
+  }
+  for (const uint64_t g : deltas) {
+    files.push_back({g, true});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SnapshotFileInfo& a, const SnapshotFileInfo& b) {
+              return a.generation < b.generation;
+            });
+  return files;
 }
 
 StatusOr<std::vector<uint64_t>> SnapshotStore::ListWals() const {
   return ListByPattern(kWalPrefix, kWalSuffix);
 }
 
+StatusOr<uint64_t> SnapshotStore::NextGeneration() const {
+  SEER_ASSIGN_OR_RETURN(const std::vector<SnapshotFileInfo> files, ListSnapshotFiles());
+  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> wals, ListWals());
+  uint64_t next = 1;
+  if (!files.empty()) {
+    next = std::max(next, files.back().generation + 1);
+  }
+  if (!wals.empty()) {
+    next = std::max(next, wals.back() + 1);
+  }
+  return next;
+}
+
+Status SnapshotStore::LoadChain(const std::vector<SnapshotFileInfo>& files,
+                                size_t head_index, std::vector<std::string>* bytes) const {
+  // Walk back from the head to the nearest full snapshot.
+  size_t first = head_index;
+  while (files[first].delta) {
+    if (first == 0) {
+      return Status::DataLoss("delta without a base full snapshot: " +
+                              SnapshotFilePath(files[head_index]));
+    }
+    --first;
+  }
+  bytes->clear();
+  for (size_t k = first; k <= head_index; ++k) {
+    SEER_ASSIGN_OR_RETURN(std::string b, fs_->ReadFile(SnapshotFilePath(files[k])));
+    bytes->push_back(std::move(b));
+  }
+  // A delta applies over exactly the snapshot file preceding it; a missing
+  // or foreign base makes the whole head unusable.
+  for (size_t k = first + 1; k <= head_index; ++k) {
+    const auto meta = ReadSnapshotMeta((*bytes)[k - first]);
+    if (!meta.ok()) {
+      return meta.status();
+    }
+    if (!meta->delta || meta->base_generation != files[k - 1].generation) {
+      return Status::DataLoss("delta chain linkage broken at " +
+                              SnapshotFilePath(files[k]));
+    }
+  }
+  return Status::Ok();
+}
+
 StatusOr<SnapshotStore::RecoveryResult> SnapshotStore::Recover(const SeerParams& defaults) const {
-  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> snapshots, ListSnapshots());
+  SEER_ASSIGN_OR_RETURN(const std::vector<SnapshotFileInfo> snapshots, ListSnapshotFiles());
   SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> wals, ListWals());
 
   RecoveryResult result;
 
-  // Newest snapshot that decodes cleanly wins; torn ones are skipped.
-  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
-    const auto bytes = fs_->ReadFile(SnapshotPath(*it));
-    if (!bytes.ok()) {
-      ++result.snapshots_discarded;
-      continue;
+  // Newest head whose chain (nearest full + deltas) folds cleanly wins;
+  // heads with torn or mislinked files are skipped. The chain decode runs
+  // relation stripes in parallel; pool workers never touch the Fs, so the
+  // fault-injection op ordering stays deterministic.
+  if (!snapshots.empty()) {
+    ThreadPool pool;
+    for (size_t h = snapshots.size(); h-- > 0;) {
+      std::vector<std::string> chain_bytes;
+      if (!LoadChain(snapshots, h, &chain_bytes).ok()) {
+        ++result.snapshots_discarded;
+        continue;
+      }
+      const std::vector<std::string_view> views(chain_bytes.begin(), chain_bytes.end());
+      auto decoded = Correlator::DecodeSnapshotChain(views, &pool);
+      if (!decoded.ok()) {
+        ++result.snapshots_discarded;
+        continue;
+      }
+      result.correlator = *std::move(decoded);
+      result.generation = snapshots[h].generation;
+      break;
     }
-    auto decoded = Correlator::DecodeSnapshot(*bytes);
-    if (!decoded.ok()) {
-      ++result.snapshots_discarded;
-      continue;
-    }
-    result.correlator = *std::move(decoded);
-    result.generation = *it;
-    break;
   }
   if (result.correlator == nullptr) {
     if (!snapshots.empty()) {
@@ -154,53 +244,66 @@ StatusOr<SnapshotStore::RecoveryResult> SnapshotStore::Recover(const SeerParams&
 }
 
 Status SnapshotStore::WriteSnapshot(const Correlator& correlator, uint64_t generation) {
-  const std::string path = SnapshotPath(generation);
-  if (fs_->Exists(path)) {
-    return Status::AlreadyExists("snapshot already exists: " + path);
+  return WriteSnapshotBytes(correlator.EncodeSnapshot(), generation, /*delta=*/false);
+}
+
+Status SnapshotStore::WriteSnapshotBytes(std::string_view bytes, uint64_t generation,
+                                         bool delta) {
+  if (fs_->Exists(SnapshotPath(generation)) || fs_->Exists(DeltaPath(generation))) {
+    return Status::AlreadyExists("snapshot already exists: " +
+                                 (delta ? DeltaPath(generation) : SnapshotPath(generation)));
   }
+  const std::string path = delta ? DeltaPath(generation) : SnapshotPath(generation);
   const std::string tmp = path + kTmpSuffix;
   // temp + fsync + rename + dir fsync: the target name only ever points at
   // complete, durable bytes.
-  SEER_RETURN_IF_ERROR(fs_->WriteFile(tmp, correlator.EncodeSnapshot()));
+  SEER_RETURN_IF_ERROR(fs_->WriteFile(tmp, bytes));
   SEER_RETURN_IF_ERROR(fs_->SyncFile(tmp));
   SEER_RETURN_IF_ERROR(fs_->RenameFile(tmp, path));
   return fs_->SyncDir(dir_);
 }
 
-StatusOr<SnapshotStore::CheckpointResult> SnapshotStore::Checkpoint(const Correlator& correlator) {
-  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> snapshots, ListSnapshots());
-  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> wals, ListWals());
-  uint64_t next = 1;
-  if (!snapshots.empty()) {
-    next = std::max(next, snapshots.back() + 1);
-  }
-  if (!wals.empty()) {
-    next = std::max(next, wals.back() + 1);
-  }
+StatusOr<std::unique_ptr<WalWriter>> SnapshotStore::CreateWal(uint64_t generation) {
+  auto wal =
+      std::make_unique<WalWriter>(fs_, WalPath(generation), generation, options_.wal_flush_bytes);
+  SEER_RETURN_IF_ERROR(wal->Create());
+  SEER_RETURN_IF_ERROR(fs_->SyncFile(WalPath(generation)));
+  SEER_RETURN_IF_ERROR(fs_->SyncDir(dir_));
+  return wal;
+}
 
+StatusOr<SnapshotStore::CheckpointResult> SnapshotStore::Checkpoint(const Correlator& correlator) {
+  SEER_ASSIGN_OR_RETURN(const uint64_t next, NextGeneration());
   SEER_RETURN_IF_ERROR(WriteSnapshot(correlator, next));
 
   CheckpointResult result;
   result.generation = next;
-  result.wal = std::make_unique<WalWriter>(fs_, WalPath(next), next, options_.wal_flush_bytes);
-  SEER_RETURN_IF_ERROR(result.wal->Create());
-  SEER_RETURN_IF_ERROR(fs_->SyncFile(WalPath(next)));
-  SEER_RETURN_IF_ERROR(fs_->SyncDir(dir_));
+  SEER_ASSIGN_OR_RETURN(result.wal, CreateWal(next));
   SEER_RETURN_IF_ERROR(Prune());
   return result;
 }
 
 Status SnapshotStore::Prune() {
-  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> snapshots, ListSnapshots());
-  uint64_t oldest_kept = 0;
-  if (snapshots.size() > options_.keep_generations) {
-    const size_t drop = snapshots.size() - options_.keep_generations;
-    for (size_t i = 0; i < drop; ++i) {
-      SEER_RETURN_IF_ERROR(fs_->RemoveFile(SnapshotPath(snapshots[i])));
+  SEER_ASSIGN_OR_RETURN(const std::vector<SnapshotFileInfo> files, ListSnapshotFiles());
+  // The cutoff is the keep_generations-th newest FULL generation: deltas and
+  // WALs below it are dead (their chains hang off pruned fulls), everything
+  // at or above it stays, keeping every retained chain whole.
+  std::vector<uint64_t> fulls;
+  for (const SnapshotFileInfo& f : files) {
+    if (!f.delta) {
+      fulls.push_back(f.generation);
     }
-    oldest_kept = snapshots[drop];
-  } else if (!snapshots.empty()) {
-    oldest_kept = snapshots.front();
+  }
+  uint64_t oldest_kept = 0;
+  if (fulls.size() > options_.keep_generations) {
+    oldest_kept = fulls[fulls.size() - options_.keep_generations];
+  } else if (!fulls.empty()) {
+    oldest_kept = fulls.front();
+  }
+  for (const SnapshotFileInfo& f : files) {
+    if (f.generation < oldest_kept) {
+      SEER_RETURN_IF_ERROR(fs_->RemoveFile(SnapshotFilePath(f)));
+    }
   }
 
   SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> wals, ListWals());
@@ -221,12 +324,14 @@ Status SnapshotStore::Prune() {
 }
 
 StatusOr<SnapshotStore::StoreInfo> SnapshotStore::GetInfo() const {
-  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> snapshots, ListSnapshots());
+  SEER_ASSIGN_OR_RETURN(const std::vector<SnapshotFileInfo> snapshots, ListSnapshotFiles());
   SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> wals, ListWals());
 
   std::vector<uint64_t> all;
   all.reserve(snapshots.size() + wals.size());
-  all.insert(all.end(), snapshots.begin(), snapshots.end());
+  for (const SnapshotFileInfo& f : snapshots) {
+    all.push_back(f.generation);
+  }
   all.insert(all.end(), wals.begin(), wals.end());
   std::sort(all.begin(), all.end());
   all.erase(std::unique(all.begin(), all.end()), all.end());
@@ -235,12 +340,20 @@ StatusOr<SnapshotStore::StoreInfo> SnapshotStore::GetInfo() const {
   for (const uint64_t generation : all) {
     GenerationInfo gen_info;
     gen_info.generation = generation;
-    if (std::binary_search(snapshots.begin(), snapshots.end(), generation)) {
+    const auto snap_it =
+        std::find_if(snapshots.begin(), snapshots.end(), [generation](const SnapshotFileInfo& f) {
+          return f.generation == generation;
+        });
+    if (snap_it != snapshots.end()) {
       gen_info.has_snapshot = true;
-      const auto bytes = fs_->ReadFile(SnapshotPath(generation));
+      gen_info.is_delta = snap_it->delta;
+      const auto bytes = fs_->ReadFile(SnapshotFilePath(*snap_it));
       if (bytes.ok()) {
         gen_info.snapshot_bytes = bytes->size();
-        gen_info.snapshot_ok = Correlator::DecodeSnapshot(*bytes).ok();
+        // A delta is not independently decodable; section CRCs are the
+        // per-file health check. Chain health is Verify's job.
+        gen_info.snapshot_ok = snap_it->delta ? VerifySnapshotSections(*bytes).ok()
+                                              : Correlator::DecodeSnapshot(*bytes).ok();
       }
     }
     if (std::binary_search(wals.begin(), wals.end(), generation)) {
@@ -262,8 +375,8 @@ StatusOr<SnapshotStore::StoreInfo> SnapshotStore::GetInfo() const {
   return info;
 }
 
-Status SnapshotStore::Verify() const {
-  SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> snapshots, ListSnapshots());
+Status SnapshotStore::Verify(bool deep) const {
+  SEER_ASSIGN_OR_RETURN(const std::vector<SnapshotFileInfo> snapshots, ListSnapshotFiles());
   SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> wals, ListWals());
   if (snapshots.empty() && wals.empty()) {
     return Status::Ok();  // an empty store recovers to an empty correlator
@@ -272,14 +385,53 @@ Status SnapshotStore::Verify() const {
     return Status::DataLoss("wal files without any snapshot in " + dir_);
   }
 
-  // The newest snapshot must itself be good — fallback is for crash
-  // recovery, a store whose newest snapshot is torn is not healthy.
-  const uint64_t newest = snapshots.back();
-  SEER_ASSIGN_OR_RETURN(const std::string snap_bytes, fs_->ReadFile(SnapshotPath(newest)));
+  // The newest chain must itself be good — fallback is for crash recovery,
+  // a store whose newest head is torn is not healthy. Per-section CRC
+  // checks run first so the error names the damaged section.
+  const uint64_t newest = snapshots.back().generation;
   {
-    const auto decoded = Correlator::DecodeSnapshot(snap_bytes);
+    std::vector<std::string> chain_bytes;
+    SEER_RETURN_IF_ERROR(LoadChain(snapshots, snapshots.size() - 1, &chain_bytes));
+    for (size_t k = 0; k < chain_bytes.size(); ++k) {
+      const Status sections = VerifySnapshotSections(chain_bytes[k]);
+      if (!sections.ok()) {
+        const size_t first = snapshots.size() - chain_bytes.size();
+        return Status::DataLoss("newest snapshot chain damaged: " +
+                                SnapshotFilePath(snapshots[first + k]) + ": " +
+                                sections.message());
+      }
+    }
+    const std::vector<std::string_view> views(chain_bytes.begin(), chain_bytes.end());
+    const auto decoded = Correlator::DecodeSnapshotChain(views, nullptr);
     if (!decoded.ok()) {
-      return Status::DataLoss("newest snapshot damaged: " + decoded.status().message());
+      return Status::DataLoss("newest snapshot chain damaged: " + decoded.status().message());
+    }
+  }
+
+  if (deep) {
+    // Every snapshot file, not just the chain recovery would use: section
+    // CRCs for all, a full decode for fulls, META linkage for deltas.
+    for (size_t i = 0; i < snapshots.size(); ++i) {
+      const std::string path = SnapshotFilePath(snapshots[i]);
+      SEER_ASSIGN_OR_RETURN(const std::string bytes, fs_->ReadFile(path));
+      const Status sections = VerifySnapshotSections(bytes);
+      if (!sections.ok()) {
+        return Status::DataLoss(path + ": " + sections.message());
+      }
+      if (!snapshots[i].delta) {
+        const auto decoded = Correlator::DecodeSnapshot(bytes);
+        if (!decoded.ok()) {
+          return Status::DataLoss(path + ": " + decoded.status().message());
+        }
+        continue;
+      }
+      const auto meta = ReadSnapshotMeta(bytes);
+      if (!meta.ok()) {
+        return Status::DataLoss(path + ": " + meta.status().message());
+      }
+      if (i == 0 || !meta->delta || meta->base_generation != snapshots[i - 1].generation) {
+        return Status::DataLoss("delta chain linkage broken at " + path);
+      }
     }
   }
 

@@ -185,6 +185,44 @@ TEST(HoardDaemonCheckpoint, RefillsAndFatWalsTriggerCheckpoints) {
   ASSERT_FALSE(daemon.MaybeRefill(3)) << "interval not elapsed";
   EXPECT_EQ(daemon.checkpoint_count(), 2u) << "fat WAL forces compaction";
   EXPECT_GT(durable.generation(), grown);
+  // Settle the in-flight encode/write before inspecting the store: Verify
+  // scanning the directory must not race the background rename/prune.
+  ASSERT_TRUE(durable.FinishCheckpoint().ok());
+  EXPECT_EQ(durable.last_checkpoint_stats().generation, durable.generation());
+  EXPECT_GT(durable.last_checkpoint_stats().bytes, 0u);
+  EXPECT_TRUE(durable.store().Verify().ok());
+}
+
+TEST(HoardDaemonCheckpoint, DaemonHarvestsCheckpointStats) {
+  RealFs fs;
+  const std::string dir = ::testing::TempDir() + "seer_daemon_ckpt_stats";
+  std::filesystem::remove_all(dir);
+  auto opened = DurableCorrelator::Open(&fs, dir);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  DurableCorrelator& durable = **opened;
+
+  Observer observer(ObserverConfig{}, nullptr);
+  HoardManager manager(1'000'000);
+  MissLog miss_log;
+  HoardDaemon::Config config;
+  config.interval = kMicrosPerHour;
+  config.durable = &durable;
+  HoardDaemon daemon(
+      &durable.correlator(), &observer, &manager, &miss_log,
+      [](const std::set<std::string>&) {}, [](PathId) -> uint64_t { return 10; },
+      config);
+
+  durable.OnReference(Ref(1, RefKind::kPoint, "/p/a", 1));
+  daemon.ForceRefill(1);
+  const uint64_t first = durable.generation();
+  // The next refill settles the first checkpoint inside BeginCheckpoint;
+  // the daemon's snapshot of the stats then names that generation.
+  durable.OnReference(Ref(1, RefKind::kPoint, "/p/b", 2));
+  daemon.ForceRefill(kMicrosPerHour + 1);
+  EXPECT_EQ(daemon.last_checkpoint_stats().generation, first);
+  EXPECT_GT(daemon.last_checkpoint_stats().bytes, 0u);
+  EXPECT_TRUE(daemon.last_checkpoint_status().ok());
+  ASSERT_TRUE(durable.FinishCheckpoint().ok());
   EXPECT_TRUE(durable.store().Verify().ok());
 }
 

@@ -434,6 +434,138 @@ TEST(CrashRecovery, KillAtEveryOperationLeavesARecoverableStore) {
   }
 }
 
+// Same matrix, but with enough checkpoints that the store holds base+delta
+// chains: every kill point must leave either the new chain or the previous
+// complete chain recoverable, and a torn (short-written) delta must fall
+// back cleanly rather than poison recovery.
+void RunDeltaScenario(Fs* fs, const std::string& dir) {
+  SnapshotStoreOptions options;
+  options.full_checkpoint_every = 3;  // genesis full, two deltas, full, ...
+  auto durable = DurableCorrelator::Open(fs, dir, {}, options);
+  if (!durable.ok()) {
+    return;
+  }
+  Time t = 0;
+  for (int round = 0; round < 4; ++round) {
+    FeedEvents((*durable).get(), 1, &t);
+    (void)(*durable)->Checkpoint();
+  }
+  FeedEvents((*durable).get(), 1, &t);
+  (void)(*durable)->Sync();
+}
+
+TEST(CrashRecovery, KillAtEveryOperationWithDeltaChains) {
+  RealFs real;
+  const std::string baseline_dir = ScratchDir("chain_baseline");
+  FaultFs counter(&real);
+  RunDeltaScenario(&counter, baseline_dir);
+  const uint64_t total_ops = counter.op_count();
+  ASSERT_FALSE(counter.crashed());
+  // The fault-free run must actually have produced deltas, or this matrix
+  // tests nothing new.
+  {
+    SnapshotStore baseline(&real, baseline_dir);
+    const auto files = baseline.ListSnapshotFiles();
+    ASSERT_TRUE(files.ok());
+    bool any_delta = false;
+    for (const auto& f : *files) {
+      any_delta |= f.delta;
+    }
+    ASSERT_TRUE(any_delta) << "scenario produced no delta checkpoints";
+  }
+
+  for (const bool short_write : {false, true}) {
+    for (uint64_t k = 0; k < total_ops; ++k) {
+      const std::string dir = ScratchDir(
+          (short_write ? std::string("chain_short_") : std::string("chain_k_")) +
+          std::to_string(k));
+      FaultFs::Plan plan;
+      if (short_write) {
+        plan.short_write_at_op = k;  // torn file: partial bytes land
+      } else {
+        plan.crash_at_op = k;
+      }
+      FaultFs faulty(&real, plan);
+      RunDeltaScenario(&faulty, dir);
+      ASSERT_TRUE(faulty.crashed()) << "op " << k << " never happened";
+
+      SnapshotStore store(&real, dir);
+      ASSERT_TRUE(store.Open().ok());
+      const auto recovered = store.Recover();
+      ASSERT_TRUE(recovered.ok())
+          << (short_write ? "short write" : "crash") << " at op " << k << ": "
+          << recovered.status();
+      EXPECT_TRUE(store.Verify().ok())
+          << (short_write ? "short write" : "crash") << " at op " << k;
+      const auto reload =
+          Correlator::DecodeSnapshot(recovered->correlator->EncodeSnapshot());
+      ASSERT_TRUE(reload.ok()) << reload.status();
+    }
+  }
+}
+
+// A delta torn after the fact (bit rot, not a crash mid-write) must fail
+// verification loudly but fall back to the last complete chain on recovery;
+// tearing the chain's base full discards every dependent delta head.
+TEST(CrashRecovery, TornDeltaFallsBackToLastCompleteChain) {
+  RealFs fs;
+  const std::string dir = ScratchDir("torn_delta");
+  SnapshotStoreOptions options;
+  options.full_checkpoint_every = 3;
+  std::string reference;
+  {
+    auto durable = DurableCorrelator::Open(&fs, dir, {}, options);
+    ASSERT_TRUE(durable.ok()) << durable.status();
+    Time t = 0;
+    // Genesis full, then deltas at 2 and 3, a full at 4, a delta head at 5.
+    for (int round = 0; round < 4; ++round) {
+      FeedEvents((*durable).get(), 1, &t);
+      ASSERT_TRUE((*durable)->Checkpoint().ok());
+    }
+  }
+
+  SnapshotStore store(&fs, dir);
+  const auto files = store.ListSnapshotFiles();
+  ASSERT_TRUE(files.ok());
+  ASSERT_TRUE(files->back().delta) << "head must be a delta for this test";
+  const std::string head_path = store.DeltaPath(files->back().generation);
+  const auto head_bytes = fs.ReadFile(head_path);
+  ASSERT_TRUE(head_bytes.ok());
+
+  // Truncate the head delta mid-file.
+  ASSERT_TRUE(fs.WriteFile(head_path, head_bytes->substr(0, head_bytes->size() / 2)).ok());
+  EXPECT_FALSE(store.Verify().ok()) << "a torn head chain must not verify";
+  auto recovered = store.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->snapshots_discarded, 1u);
+  EXPECT_LT(recovered->generation, files->back().generation)
+      << "recovery must land on the previous complete chain";
+  reference = recovered->correlator->EncodeSnapshot();
+
+  // Removing the torn head entirely yields the same state.
+  ASSERT_TRUE(fs.RemoveFile(head_path).ok());
+  recovered = store.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->correlator->EncodeSnapshot(), reference);
+
+  // Now tear the base full: every delta chained on it becomes useless, so
+  // recovery keeps discarding heads until a self-contained snapshot (the
+  // genesis full) is reached.
+  std::string full_path;
+  for (const auto& f : *files) {
+    if (!f.delta) {
+      full_path = store.SnapshotPath(f.generation);  // newest full
+    }
+  }
+  ASSERT_FALSE(full_path.empty());
+  const auto full_bytes = fs.ReadFile(full_path);
+  ASSERT_TRUE(full_bytes.ok());
+  ASSERT_TRUE(fs.WriteFile(full_path, full_bytes->substr(0, full_bytes->size() / 3)).ok());
+  recovered = store.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_GT(recovered->snapshots_discarded, 0u);
+}
+
 TEST(DurableCorrelator, RecoveredStateIsByteIdenticalToNeverCrashed) {
   RealFs fs;
   const std::string dir = ScratchDir("durable_identity");

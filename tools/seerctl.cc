@@ -34,6 +34,7 @@
 #include "src/core/hoard.h"
 #include "src/core/params_io.h"
 #include "src/core/reorganizer.h"
+#include "src/core/snapshot_codec.h"
 #include "src/core/snapshot_store.h"
 #include "src/observer/control_file.h"
 #include "src/observer/observer.h"
@@ -43,6 +44,7 @@
 #include "src/trace/binary_trace.h"
 #include "src/trace/trace_io.h"
 #include "src/util/fs.h"
+#include "src/util/thread_pool.h"
 #include "src/workload/environment.h"
 #include "src/workload/machine_profile.h"
 #include "src/workload/user_model.h"
@@ -132,8 +134,8 @@ bool HasFlag(int argc, char** argv, int start, const char* flag) {
 // --name=value carries its value inline and is also bare.
 bool IsBareFlag(const char* arg) {
   return std::strcmp(arg, "--binary") == 0 || std::strcmp(arg, "--stats") == 0 ||
-         std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0 ||
-         std::strchr(arg, '=') != nullptr;
+         std::strcmp(arg, "--deep") == 0 || std::strcmp(arg, "--help") == 0 ||
+         std::strcmp(arg, "-h") == 0 || std::strchr(arg, '=') != nullptr;
 }
 
 // First non-flag positional argument at or after `start`.
@@ -736,13 +738,14 @@ int DbVerify(int argc, char** argv, int start) {
     std::fprintf(stderr, "seerctl: db verify requires a DIR argument\n");
     return 2;
   }
+  const bool deep = HasFlag(argc, argv, start, "--deep");
   SnapshotStore store(&DefaultFs(), dir);
-  const Status status = store.Verify();
+  const Status status = store.Verify(deep);
   if (!status.ok()) {
     std::printf("%s: %s\n", dir, status.ToString().c_str());
     return 1;
   }
-  std::printf("%s: OK\n", dir);
+  std::printf("%s: OK%s\n", dir, deep ? " (deep)" : "");
   return 0;
 }
 
@@ -785,11 +788,12 @@ int DbInfo(int argc, char** argv, int start) {
     std::printf("%s: empty store\n", dir);
     return 0;
   }
-  std::printf("%-10s  %-22s  %s\n", "generation", "snapshot", "wal");
+  std::printf("%-10s  %-30s  %s\n", "generation", "snapshot", "wal");
   for (const auto& gen : info->generations) {
     std::string snapshot = "-";
     if (gen.has_snapshot) {
-      snapshot = std::to_string(gen.snapshot_bytes) + " B " +
+      snapshot = std::string(gen.is_delta ? "delta " : "full  ") +
+                 std::to_string(gen.snapshot_bytes) + " B " +
                  (gen.snapshot_ok ? "(ok)" : "(DAMAGED)");
     }
     std::string wal = "-";
@@ -807,8 +811,57 @@ int DbInfo(int argc, char** argv, int start) {
           break;
       }
     }
-    std::printf("%-10llu  %-22s  %s\n", static_cast<unsigned long long>(gen.generation),
+    std::printf("%-10llu  %-30s  %s\n", static_cast<unsigned long long>(gen.generation),
                 snapshot.c_str(), wal.c_str());
+  }
+
+  if (HasFlag(argc, argv, start, "--stats")) {
+    // On-disk delta economics from the table rows...
+    uint64_t last_full_bytes = 0;
+    uint64_t delta_bytes = 0;
+    size_t delta_count = 0;
+    for (const auto& gen : info->generations) {
+      if (!gen.has_snapshot) {
+        continue;
+      }
+      if (gen.is_delta) {
+        delta_bytes += gen.snapshot_bytes;
+        ++delta_count;
+      } else {
+        last_full_bytes = gen.snapshot_bytes;
+      }
+    }
+    // ...plus a live checkpoint-plane measurement: recover the store and
+    // time the seal (the only part that stalls ingest) and the parallel
+    // encode of a full snapshot.
+    const auto recovered = store.Recover();
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "seerctl: %s: %s\n", dir, recovered.status().ToString().c_str());
+      return 1;
+    }
+    const auto seal_begin = std::chrono::steady_clock::now();
+    const SealedSnapshot seal = recovered->correlator->SealSnapshot();
+    const auto seal_end = std::chrono::steady_clock::now();
+    ThreadPool pool;
+    const std::string encoded = EncodeSealedSnapshot(seal, &pool);
+    const auto encode_end = std::chrono::steady_clock::now();
+    const auto micros = [](auto a, auto b) {
+      return std::chrono::duration_cast<std::chrono::microseconds>(b - a).count();
+    };
+    std::printf("\ncheckpoint stats (%zu files, %d threads):\n",
+                static_cast<size_t>(seal.file_count), pool.threads());
+    std::printf("  seal stall      %lld us\n",
+                static_cast<long long>(micros(seal_begin, seal_end)));
+    std::printf("  full encode     %.3f ms (%zu B)\n",
+                static_cast<double>(micros(seal_end, encode_end)) / 1000.0, encoded.size());
+    if (delta_count > 0 && last_full_bytes > 0) {
+      std::printf("  delta ratio     %.3f (%zu deltas on disk, avg %llu B vs full %llu B)\n",
+                  static_cast<double>(delta_bytes) / static_cast<double>(delta_count) /
+                      static_cast<double>(last_full_bytes),
+                  delta_count,
+                  static_cast<unsigned long long>(delta_bytes / delta_count),
+                  static_cast<unsigned long long>(last_full_bytes));
+    }
   }
   return 0;
 }
@@ -830,19 +883,26 @@ const std::vector<Subcommand>& DbCommands() {
        "plus WAL replay, falling back past torn generations) and write it\n"
        "as a portable text database to FILE, or stdout.\n",
        DbLoad},
-      {"verify", "db verify DIR",
-       "Check the store's integrity: the newest snapshot must decode, the\n"
-       "WAL chain must be gapless and undamaged except for a possible torn\n"
-       "tail on the last log. Exit status 0 iff healthy.\n",
+      {"verify", "db verify DIR [--deep]",
+       "Check the store's integrity: the newest snapshot chain (nearest\n"
+       "full plus its deltas) must decode, the WAL chain must be gapless\n"
+       "and undamaged except for a possible torn tail on the last log.\n"
+       "Per-section CRC failures name the damaged section. Exit 0 iff\n"
+       "healthy.\n\n"
+       "  --deep   also CRC-check every snapshot file's sections, decode\n"
+       "           every full, and validate every delta's base linkage\n",
        DbVerify},
       {"compact", "db compact DIR [--keep N]",
        "Fold the WAL chain into a fresh snapshot generation and prune old\n"
        "generations, bounding recovery replay time.\n\n"
        "  --keep N   snapshot generations to retain (default 2)\n",
        DbCompact},
-      {"info", "db info DIR",
-       "Describe every generation in the store: snapshot size and health,\n"
-       "WAL size, record count, and tail state.\n",
+      {"info", "db info DIR [--stats]",
+       "Describe every generation in the store: snapshot kind (full or\n"
+       "delta), size and health, WAL size, record count, and tail state.\n\n"
+       "  --stats  also recover the store and report checkpoint-plane\n"
+       "           numbers: seal stall, parallel full-encode time, and the\n"
+       "           on-disk delta-to-full byte ratio\n",
        DbInfo},
   };
   return commands;
