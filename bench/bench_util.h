@@ -16,6 +16,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+
+#include "src/util/thread_pool.h"
 
 namespace seer {
 namespace bench {
@@ -53,6 +56,33 @@ inline void PrintHeader(const char* title) {
 
 inline void PrintRule() {
   std::printf("----------------------------------------------------------------\n");
+}
+
+// Physical CPUs of the machine running the bench (never 0; a JSON consumer
+// comparing runs needs the real denominator).
+inline int HostCpus() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+// The thread count the engine will actually use: a validated SEER_THREADS
+// override, else hardware concurrency. An invalid SEER_THREADS aborts the
+// bench — silently benchmarking at the wrong width poisons every number
+// downstream.
+inline int EffectiveSeerThreads() {
+  const StatusOr<int> env = SeerThreadsFromEnv();
+  if (!env.ok()) {
+    std::fprintf(stderr, "bench: %s\n", env.status().message().c_str());
+    std::exit(2);
+  }
+  return *env > 0 ? *env : DefaultThreadCount();
+}
+
+// Machine metadata common to every BENCH_*.json, so results from different
+// hosts/configs are never conflated. Call right after the opening brace.
+inline void WriteJsonMachineMeta(std::FILE* out) {
+  std::fprintf(out, "  \"host_cpus\": %d,\n", HostCpus());
+  std::fprintf(out, "  \"seer_threads\": %d,\n", EffectiveSeerThreads());
 }
 
 }  // namespace bench

@@ -100,7 +100,7 @@ int TouchOnePercent(Correlator* correlator, int n_files, Time* t) {
 
 int main() {
   using namespace seer;
-  const int threads = DefaultThreadCount();
+  const int threads = bench::EffectiveSeerThreads();
   bench::PrintHeader(
       "Clustering scalability (Section 3.3.2): per-file cost should stay\n"
       "roughly flat with N (the O(N) shared-neighbor variation); parallel\n"
@@ -188,6 +188,7 @@ int main() {
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"clustering_scale\",\n");
+  bench::WriteJsonMachineMeta(out);
   std::fprintf(out, "  \"threads\": %d,\n", threads);
   std::fprintf(out, "  \"outputs_identical\": %s,\n", identical ? "true" : "false");
   std::fprintf(out, "  \"rows\": [\n");

@@ -32,6 +32,7 @@
 
 #include <filesystem>
 
+#include "bench/bench_util.h"
 #include "src/core/async_pipeline.h"
 #include "src/core/correlator.h"
 #include "src/core/hoard.h"
@@ -825,6 +826,7 @@ void WriteOverheadJson() {
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"overhead\",\n");
+  bench::WriteJsonMachineMeta(out);
   std::fprintf(out, "  \"references\": %d,\n", kJsonFiles * kJsonPasses);
   std::fprintf(out, "  \"string_plane\": {\n");
   std::fprintf(out, "    \"ns_per_reference\": %.2f,\n", before.ns_per_reference);

@@ -117,7 +117,17 @@ int ClusterBuilder::threads() const {
   return threads_ > 0 ? threads_ : DefaultThreadCount();
 }
 
+void ClusterBuilder::set_shared_pool(ThreadPool* pool) {
+  shared_pool_ = pool;
+  if (pool != nullptr) {
+    pool_.reset();
+  }
+}
+
 ThreadPool* ClusterBuilder::Pool() const {
+  if (shared_pool_ != nullptr) {
+    return shared_pool_;
+  }
   const int want = threads_ > 0 ? threads_ : DefaultThreadCount();
   if (pool_ == nullptr || pool_threads_ != want) {
     pool_ = std::make_unique<ThreadPool>(want);

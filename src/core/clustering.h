@@ -123,6 +123,11 @@ class ClusterBuilder {
   void set_threads(int threads);
   int threads() const;
 
+  // Score on a caller-owned pool instead of a private one (multi-tenant
+  // pool multiplexing; see Correlator::UseSharedPool). nullptr restores
+  // the private pool.
+  void set_shared_pool(ThreadPool* pool);
+
   // Incremental rebuilds are on by default; turning them off forces every
   // Build to rescore all edges (the benches' serial/full baseline).
   void set_incremental(bool on) { incremental_enabled_ = on; }
@@ -168,6 +173,7 @@ class ClusterBuilder {
   mutable bool inv_cleared_ = false;
   bool incremental_enabled_ = true;
   int threads_ = 0;
+  ThreadPool* shared_pool_ = nullptr;  // not owned; overrides pool_
 
   // --- build-time cache & scratch (logically transparent) ------------------
   mutable std::unique_ptr<ThreadPool> pool_;

@@ -53,7 +53,18 @@ int Correlator::ingest_threads() const {
   return ingest_threads_ > 0 ? ingest_threads_ : DefaultThreadCount();
 }
 
+void Correlator::UseSharedPool(ThreadPool* pool) {
+  shared_pool_ = pool;
+  clusters_.set_shared_pool(pool);
+  if (pool != nullptr) {
+    ingest_pool_.reset();
+  }
+}
+
 ThreadPool* Correlator::IngestPool() {
+  if (shared_pool_ != nullptr) {
+    return shared_pool_;
+  }
   const int want = ingest_threads_ > 0 ? ingest_threads_ : DefaultThreadCount();
   if (ingest_pool_ == nullptr || ingest_pool_threads_ != want) {
     ingest_pool_ = std::make_unique<ThreadPool>(want);

@@ -104,6 +104,15 @@ class Correlator : public ReferenceSink {
   void SetIngestThreads(int threads);
   int ingest_threads() const;
 
+  // Run all parallel phases (ingest measurement and cluster scoring) on a
+  // caller-owned pool instead of private ones. The multi-tenant router
+  // multiplexes one pool across every resident tenant this way; per-tenant
+  // worker threads would not scale. nullptr restores private pools.
+  // Results are unchanged either way — every parallel phase is
+  // bit-identical at any thread count, and contended dispatches fall back
+  // to inline execution (see ThreadPool).
+  void UseSharedPool(ThreadPool* pool);
+
   const IngestStats& ingest_stats() const { return ingest_stats_; }
 
   // --- Investigators ------------------------------------------------------
@@ -254,6 +263,7 @@ class Correlator : public ReferenceSink {
   int ingest_threads_ = 0;
   std::unique_ptr<ThreadPool> ingest_pool_;
   int ingest_pool_threads_ = 0;
+  ThreadPool* shared_pool_ = nullptr;  // not owned; overrides ingest_pool_
 };
 
 // Accumulates sink events and applies them to a Correlator via IngestBatch

@@ -64,10 +64,13 @@ class DurableCorrelator : public ReferenceSink {
   };
 
   // Recovers (or starts fresh) and checkpoints the recovered state as a
-  // new generation.
+  // new generation. `shared_pool`, when given, runs the recovery decode,
+  // the genesis checkpoint encode, and (via UseSharedPool) all later
+  // parallel phases — the multi-tenant router opens thousands of these
+  // against one pool.
   static StatusOr<std::unique_ptr<DurableCorrelator>> Open(
       Fs* fs, std::string dir, const SeerParams& defaults = {},
-      SnapshotStoreOptions options = {});
+      SnapshotStoreOptions options = {}, ThreadPool* shared_pool = nullptr);
 
   // Joins any in-flight checkpoint (its result is discarded unharvested;
   // the snapshot it wrote — if it got that far — is still on disk).
@@ -92,6 +95,11 @@ class DurableCorrelator : public ReferenceSink {
     return *correlator_;
   }
   SnapshotStore& store() { return store_; }
+
+  // Encode snapshots (and, forwarded to the correlator, measure and score)
+  // on a caller-owned pool. Must not be called while a checkpoint is in
+  // flight. nullptr restores private pools.
+  void UseSharedPool(ThreadPool* pool);
 
   // Snapshot the current state as the next generation and rotate the WAL,
   // synchronously (seal + encode + write + prune before returning).
@@ -155,6 +163,8 @@ class DurableCorrelator : public ReferenceSink {
   // Owned lazily; encodes sealed sections in parallel. Pool workers only
   // touch memory, never the Fs.
   std::unique_ptr<ThreadPool> encode_pool_;
+  ThreadPool* shared_pool_ = nullptr;  // not owned; overrides encode_pool_
+  ThreadPool* EncodePool();
   std::thread inflight_thread_;
   bool inflight_active_ = false;           // main-thread view: join pending
   std::atomic<bool> inflight_done_{false};  // set by the background job

@@ -39,8 +39,12 @@ HoardSelection HoardDaemon::ForceRefill(Time now) {
     correlator_->SetClusterThreads(config_.cluster_threads);
   }
   const ClusterSet clusters = correlator_->BuildClusters();
-  last_selection_ =
-      manager_->ChooseHoard(*correlator_, clusters, observer_->always_hoard(), size_of_);
+  // Server-side tenants have no local Observer; the always-hoard set is
+  // then empty (that list is per-device user configuration).
+  static const std::set<PathId> kNoAlwaysHoard;
+  last_selection_ = manager_->ChooseHoard(
+      *correlator_, clusters, observer_ != nullptr ? observer_->always_hoard() : kNoAlwaysHoard,
+      size_of_);
   if (install_) {
     // Egress: the replication substrate deals in pathnames, so strings
     // reappear exactly here.

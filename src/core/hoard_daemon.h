@@ -46,6 +46,8 @@ class HoardDaemon {
 
   using Config = HoardDaemonConfig;
 
+  // `observer` may be nullptr (a server-side tenant has no local Observer);
+  // the always-hoard set is then empty.
   HoardDaemon(Correlator* correlator, Observer* observer, HoardManager* manager,
               MissLog* miss_log, InstallFn install, HoardManager::SizeFn size_of,
               Config config = {});

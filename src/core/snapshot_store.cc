@@ -161,7 +161,8 @@ Status SnapshotStore::LoadChain(const std::vector<SnapshotFileInfo>& files,
   return Status::Ok();
 }
 
-StatusOr<SnapshotStore::RecoveryResult> SnapshotStore::Recover(const SeerParams& defaults) const {
+StatusOr<SnapshotStore::RecoveryResult> SnapshotStore::Recover(const SeerParams& defaults,
+                                                               ThreadPool* pool) const {
   SEER_ASSIGN_OR_RETURN(const std::vector<SnapshotFileInfo> snapshots, ListSnapshotFiles());
   SEER_ASSIGN_OR_RETURN(const std::vector<uint64_t> wals, ListWals());
 
@@ -172,7 +173,11 @@ StatusOr<SnapshotStore::RecoveryResult> SnapshotStore::Recover(const SeerParams&
   // relation stripes in parallel; pool workers never touch the Fs, so the
   // fault-injection op ordering stays deterministic.
   if (!snapshots.empty()) {
-    ThreadPool pool;
+    std::unique_ptr<ThreadPool> own_pool;
+    if (pool == nullptr) {
+      own_pool = std::make_unique<ThreadPool>();
+      pool = own_pool.get();
+    }
     for (size_t h = snapshots.size(); h-- > 0;) {
       std::vector<std::string> chain_bytes;
       if (!LoadChain(snapshots, h, &chain_bytes).ok()) {
@@ -180,7 +185,7 @@ StatusOr<SnapshotStore::RecoveryResult> SnapshotStore::Recover(const SeerParams&
         continue;
       }
       const std::vector<std::string_view> views(chain_bytes.begin(), chain_bytes.end());
-      auto decoded = Correlator::DecodeSnapshotChain(views, &pool);
+      auto decoded = Correlator::DecodeSnapshotChain(views, pool);
       if (!decoded.ok()) {
         ++result.snapshots_discarded;
         continue;
@@ -469,6 +474,36 @@ Status SnapshotStore::Verify(bool deep) const {
     }
   }
   return Status::Ok();
+}
+
+std::string SnapshotStore::TenantDirectory(const std::string& root, TenantId tenant) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "tenant-%08u", tenant);
+  return root + "/" + buf;
+}
+
+StatusOr<std::vector<TenantId>> SnapshotStore::ListTenants(Fs* fs, const std::string& root) {
+  std::vector<TenantId> tenants;
+  if (!fs->Exists(root)) {
+    return tenants;
+  }
+  SEER_ASSIGN_OR_RETURN(const std::vector<std::string> names, fs->ListDir(root));
+  constexpr char kPrefix[] = "tenant-";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  for (const std::string& name : names) {
+    if (name.size() != kPrefixLen + 8 || name.compare(0, kPrefixLen, kPrefix) != 0) {
+      continue;
+    }
+    uint32_t id = 0;
+    const char* begin = name.data() + kPrefixLen;
+    const auto [ptr, ec] = std::from_chars(begin, name.data() + name.size(), id);
+    if (ec != std::errc() || ptr != name.data() + name.size()) {
+      continue;
+    }
+    tenants.push_back(id);
+  }
+  std::sort(tenants.begin(), tenants.end());
+  return tenants;
 }
 
 }  // namespace seer

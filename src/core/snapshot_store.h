@@ -96,8 +96,12 @@ class SnapshotStore {
     bool torn_wal_tail = false;  // replay ended at a damaged record
   };
   // Never writes; safe to call on a store another process produced.
-  // `defaults` seeds the correlator when the store is empty.
-  StatusOr<RecoveryResult> Recover(const SeerParams& defaults = {}) const;
+  // `defaults` seeds the correlator when the store is empty. `pool`, when
+  // given, runs the chain decode; otherwise a transient pool is created
+  // (the multi-tenant router restores thousands of stores and cannot
+  // afford a pool per call).
+  StatusOr<RecoveryResult> Recover(const SeerParams& defaults = {},
+                                   ThreadPool* pool = nullptr) const;
 
   // Atomically writes `generation`'s full snapshot (temp + fsync + rename
   // + dir fsync). Fails with kAlreadyExists if that generation is present.
@@ -149,6 +153,16 @@ class SnapshotStore {
   // full, and validates every delta's META linkage — not just the chain
   // recovery would use.
   Status Verify(bool deep = false) const;
+
+  // --- Multi-tenant layout ------------------------------------------------
+  // A multi-tenant store root holds one ordinary store directory per
+  // tenant, named tenant-NNNNNNNN (zero-padded decimal TenantId). Each is
+  // a self-contained single-instance store: `seerctl db ...` and a
+  // standalone DurableCorrelator read a tenant directory unchanged.
+  static std::string TenantDirectory(const std::string& root, TenantId tenant);
+  // TenantIds present under `root`, ascending. Non-conforming entries are
+  // ignored. NotFound roots yield an empty list (a fresh server).
+  static StatusOr<std::vector<TenantId>> ListTenants(Fs* fs, const std::string& root);
 
  private:
   StatusOr<std::vector<uint64_t>> ListByPattern(const std::string& prefix,

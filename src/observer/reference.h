@@ -19,6 +19,15 @@
 
 namespace seer {
 
+// Tenant tag of a reference stream in the multi-tenant server plane. The
+// per-event vocabulary below stays tenant-free (a FileReference is the same
+// POD the single-instance stack has always consumed); tenancy is carried by
+// the *channel*: each tenant's front end is a TenantScopedSink (sink_chain.h)
+// stamped with one TenantId, and the router demultiplexes whole callbacks to
+// that tenant's correlator. One laptop == one tenant is the degenerate case.
+using TenantId = uint32_t;
+constexpr TenantId kInvalidTenantId = 0xffffffffu;
+
 enum class RefKind : uint8_t {
   kBegin,  // open (or exec): the reference lifetime starts
   kEnd,    // close (or exit): the lifetime ends

@@ -105,6 +105,54 @@ void FilterSink::OnFileRenamed(PathId from, PathId to, Time time) {
 }
 void FilterSink::OnFileExcluded(PathId path) { next_->OnFileExcluded(path); }
 
+// --- TenantScopedSink ---------------------------------------------------------
+
+ReferenceSink* TenantScopedSink::Resolve() {
+  ReferenceSink* sink = route_ ? route_(tenant_) : nullptr;
+  if (sink == nullptr) {
+    ++unrouted_;
+  } else {
+    ++routed_;
+  }
+  return sink;
+}
+
+void TenantScopedSink::OnReference(const FileReference& ref) {
+  if (ReferenceSink* sink = Resolve()) {
+    sink->OnReference(ref);
+  }
+}
+
+void TenantScopedSink::OnProcessFork(Pid parent, Pid child) {
+  if (ReferenceSink* sink = Resolve()) {
+    sink->OnProcessFork(parent, child);
+  }
+}
+
+void TenantScopedSink::OnProcessExit(Pid pid) {
+  if (ReferenceSink* sink = Resolve()) {
+    sink->OnProcessExit(pid);
+  }
+}
+
+void TenantScopedSink::OnFileDeleted(PathId path, Time time) {
+  if (ReferenceSink* sink = Resolve()) {
+    sink->OnFileDeleted(path, time);
+  }
+}
+
+void TenantScopedSink::OnFileRenamed(PathId from, PathId to, Time time) {
+  if (ReferenceSink* sink = Resolve()) {
+    sink->OnFileRenamed(from, to, time);
+  }
+}
+
+void TenantScopedSink::OnFileExcluded(PathId path) {
+  if (ReferenceSink* sink = Resolve()) {
+    sink->OnFileExcluded(path);
+  }
+}
+
 // --- TeeSink ------------------------------------------------------------------
 
 void TeeSink::OnReference(const FileReference& ref) {

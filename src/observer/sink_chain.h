@@ -117,6 +117,46 @@ class FilterSink : public ReferenceSink {
   uint64_t passed_ = 0;
 };
 
+// Tags a reference stream with one TenantId and routes every callback
+// through a resolver to that tenant's current consumer. The resolver runs
+// per callback, not once: the multi-tenant router may evict a cold
+// tenant's correlator and transparently restore it on the next event, so
+// the downstream sink pointer is not stable. Messages for which the
+// resolver returns nullptr (unknown or failed tenant) are counted and
+// dropped. A TenantScopedSink is the terminal of a tenant's SinkChain:
+//
+//   TenantScopedSink scoped(tenant_id, route);
+//   SinkChain chain(&scoped);
+//   chain.Instrument("tenant-7");
+//   observer.set_sink(chain.head());
+class TenantScopedSink : public ReferenceSink {
+ public:
+  // Resolves a tenant tag to its current consumer (or nullptr to drop).
+  using RouteFn = std::function<ReferenceSink*(TenantId tenant)>;
+
+  TenantScopedSink(TenantId tenant, RouteFn route)
+      : tenant_(tenant), route_(std::move(route)) {}
+
+  void OnReference(const FileReference& ref) override;
+  void OnProcessFork(Pid parent, Pid child) override;
+  void OnProcessExit(Pid pid) override;
+  void OnFileDeleted(PathId path, Time time) override;
+  void OnFileRenamed(PathId from, PathId to, Time time) override;
+  void OnFileExcluded(PathId path) override;
+
+  TenantId tenant() const { return tenant_; }
+  uint64_t routed() const { return routed_; }
+  uint64_t unrouted() const { return unrouted_; }
+
+ private:
+  ReferenceSink* Resolve();
+
+  TenantId tenant_;
+  RouteFn route_;
+  uint64_t routed_ = 0;
+  uint64_t unrouted_ = 0;
+};
+
 // Replicates every message to each output, in order.
 class TeeSink : public ReferenceSink {
  public:

@@ -1,0 +1,370 @@
+#include "src/server/tenant_router.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace seer {
+
+TenantRouter::TenantRouter(Fs* fs, std::string root, TenantRouterConfig config)
+    : fs_(fs), root_(std::move(root)), config_(config), pool_(config.threads) {}
+
+TenantRouter::~TenantRouter() {
+  const Status status = Shutdown();
+  if (last_error_.ok() && !status.ok()) {
+    last_error_ = status;
+  }
+}
+
+TenantRouter::Tenant* TenantRouter::FindTenant(TenantId tenant) {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+const TenantRouter::Tenant* TenantRouter::FindTenant(TenantId tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+Time TenantRouter::StaggerPhase(TenantId tenant) const {
+  const size_t slots = std::max<size_t>(1, config_.stagger_slots);
+  return static_cast<Time>(tenant % slots) * (config_.checkpoint_interval / static_cast<Time>(slots));
+}
+
+ReferenceSink* TenantRouter::SinkFor(TenantId tenant) {
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  Tenant& t = it->second;
+  if (inserted) {
+    t.id = tenant;
+    t.manager.set_budget_bytes(config_.hoard_budget_bytes);
+    t.scoped = std::make_unique<TenantScopedSink>(
+        tenant, [this](TenantId id) { return Route(id); });
+  }
+  return t.scoped.get();
+}
+
+StatusOr<Correlator*> TenantRouter::CorrelatorFor(TenantId tenant) {
+  SinkFor(tenant);  // ensure the tenant exists
+  Tenant* t = ResidentTenant(tenant);
+  if (t == nullptr) {
+    return last_error_;
+  }
+  return &t->durable->correlator();
+}
+
+ReferenceSink* TenantRouter::Route(TenantId tenant) {
+  Tenant* t = ResidentTenant(tenant);
+  if (t == nullptr) {
+    return nullptr;
+  }
+  t->last_touch_seq = ++touch_seq_;
+  return t->durable.get();
+}
+
+TenantRouter::Tenant* TenantRouter::ResidentTenant(TenantId tenant) {
+  SinkFor(tenant);
+  Tenant* t = FindTenant(tenant);
+  if (t->durable == nullptr) {
+    const Status restored = Restore(t);
+    if (!restored.ok()) {
+      if (last_error_.ok()) {
+        last_error_ = restored;
+      }
+      return nullptr;
+    }
+  }
+  return t;
+}
+
+Status TenantRouter::Restore(Tenant* t) {
+  SEER_ASSIGN_OR_RETURN(
+      t->durable,
+      DurableCorrelator::Open(fs_, SnapshotStore::TenantDirectory(root_, t->id),
+                              config_.defaults, config_.store_options, &pool_));
+  // The router's scheduler owns checkpoint cadence, so the daemon gets no
+  // durable handle: its job here is purely the refill recipe.
+  HoardDaemonConfig daemon_config;
+  daemon_config.interval = config_.hoard_interval;
+  t->daemon = std::make_unique<HoardDaemon>(
+      &t->durable->correlator(), /*observer=*/nullptr, &t->manager, &t->miss_log,
+      /*install=*/nullptr, config_.size_of, daemon_config);
+  if (t->restores > 0 || t->evictions > 0) {
+    ++restores_;
+    ++t->restores;
+  } else {
+    // First materialisation counts as neither a restore nor an eviction.
+    t->restores = 1;
+  }
+  t->next_checkpoint_due = StaggerPhase(t->id);
+  t->checkpoint_inflight = false;
+  return Status::Ok();
+}
+
+void TenantRouter::HarvestCheckpoint(Tenant* t) {
+  const Status finished = t->durable->FinishCheckpoint();
+  t->checkpoint_inflight = false;
+  if (inflight_ > 0) {
+    --inflight_;
+  }
+  if (!finished.ok()) {
+    if (last_error_.ok()) {
+      last_error_ = finished;
+    }
+    return;
+  }
+  ++checkpoints_harvested_;
+  ++t->checkpoints;
+  seal_stalls_.push_back(t->durable->last_checkpoint_stats().seal_micros);
+}
+
+Status TenantRouter::SettleCheckpoint(Tenant* t) {
+  if (!t->checkpoint_inflight) {
+    return Status::Ok();
+  }
+  const Status finished = t->durable->FinishCheckpoint();
+  t->checkpoint_inflight = false;
+  if (inflight_ > 0) {
+    --inflight_;
+  }
+  if (finished.ok()) {
+    ++checkpoints_harvested_;
+    ++t->checkpoints;
+    seal_stalls_.push_back(t->durable->last_checkpoint_stats().seal_micros);
+  }
+  return finished;
+}
+
+Status TenantRouter::CheckpointTenant(TenantId tenant) {
+  Tenant* t = ResidentTenant(tenant);
+  if (t == nullptr) {
+    return last_error_;
+  }
+  SEER_RETURN_IF_ERROR(SettleCheckpoint(t));
+  SEER_RETURN_IF_ERROR(t->durable->Checkpoint());
+  ++checkpoints_started_;
+  ++checkpoints_harvested_;
+  ++t->checkpoints;
+  seal_stalls_.push_back(t->durable->last_checkpoint_stats().seal_micros);
+  return Status::Ok();
+}
+
+Status TenantRouter::EvictLocked(Tenant* t) {
+  // Settle, then fold the WAL into a final snapshot so the next restore
+  // decodes one chain and replays nothing.
+  SEER_RETURN_IF_ERROR(SettleCheckpoint(t));
+  SEER_RETURN_IF_ERROR(t->durable->Checkpoint());
+  ++checkpoints_started_;
+  ++checkpoints_harvested_;
+  ++t->checkpoints;
+  t->daemon.reset();
+  t->durable.reset();
+  t->memory_bytes = 0;
+  ++evictions_;
+  ++t->evictions;
+  return Status::Ok();
+}
+
+Status TenantRouter::EvictTenant(TenantId tenant) {
+  Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return Status::NotFound("unknown tenant " + std::to_string(tenant));
+  }
+  if (t->durable == nullptr) {
+    return Status::Ok();
+  }
+  const Status status = EvictLocked(t);
+  RefreshResidentBytes();
+  return status;
+}
+
+void TenantRouter::RefreshResidentBytes() {
+  uint64_t total = 0;
+  for (auto& [id, t] : tenants_) {
+    (void)id;
+    if (t.durable == nullptr) {
+      continue;
+    }
+    t.memory_bytes = t.durable->correlator().MemoryBytes();
+    total += t.memory_bytes;
+  }
+  resident_bytes_ = total;
+}
+
+Status TenantRouter::Tick(Time now) {
+  Status first_error;
+  const auto latch = [&first_error](const Status& status) {
+    if (first_error.ok() && !status.ok()) {
+      first_error = status;
+    }
+  };
+
+  // 1. Harvest checkpoints that finished since the last tick — frees
+  //    inflight slots before the start pass below.
+  for (auto& [id, t] : tenants_) {
+    (void)id;
+    if (t.checkpoint_inflight && t.durable->CheckpointDone()) {
+      HarvestCheckpoint(&t);
+    }
+  }
+
+  // 2. Start due checkpoints, most overdue first, within the budget.
+  std::vector<Tenant*> due;
+  for (auto& [id, t] : tenants_) {
+    (void)id;
+    if (t.durable == nullptr || t.checkpoint_inflight) {
+      continue;
+    }
+    if (now >= t.next_checkpoint_due ||
+        t.durable->wal_bytes() >= config_.wal_checkpoint_bytes) {
+      due.push_back(&t);
+    }
+  }
+  std::sort(due.begin(), due.end(), [](const Tenant* a, const Tenant* b) {
+    return a->next_checkpoint_due != b->next_checkpoint_due
+               ? a->next_checkpoint_due < b->next_checkpoint_due
+               : a->id < b->id;
+  });
+  for (Tenant* t : due) {
+    if (inflight_ >= config_.max_checkpoints_inflight) {
+      break;
+    }
+    const Status begun = t->durable->BeginCheckpoint();
+    latch(begun);
+    if (t->durable->checkpoint_in_flight()) {
+      t->checkpoint_inflight = true;
+      ++inflight_;
+      ++checkpoints_started_;
+    }
+    t->next_checkpoint_due = now + config_.checkpoint_interval;
+  }
+
+  // 3. Due hoard refills (bounded per tick; the selection runs inline).
+  if (config_.hoard_budget_bytes > 0) {
+    size_t refilled = 0;
+    for (auto& [id, t] : tenants_) {
+      (void)id;
+      if (refilled >= config_.max_refills_per_tick) {
+        break;
+      }
+      if (t.durable == nullptr || t.daemon == nullptr) {
+        continue;
+      }
+      if (t.last_refill >= 0 && now - t.last_refill < config_.hoard_interval) {
+        continue;
+      }
+      t.daemon->ForceRefill(now);
+      t.last_refill = now;
+      ++t.refills;
+      ++refilled;
+    }
+  }
+
+  // 4. Eviction pass: recompute residency, then release the coldest
+  //    tenants until both budgets hold. Tenants with a checkpoint in
+  //    flight are skipped this round (the next tick gets them).
+  RefreshResidentBytes();
+  const bool bounded = config_.max_resident_bytes > 0 || config_.max_resident_tenants > 0;
+  if (bounded) {
+    while (true) {
+      const size_t residents = resident_tenants();
+      const bool over_bytes =
+          config_.max_resident_bytes > 0 && resident_bytes_ > config_.max_resident_bytes;
+      const bool over_count =
+          config_.max_resident_tenants > 0 && residents > config_.max_resident_tenants;
+      if (!over_bytes && !over_count) {
+        break;
+      }
+      Tenant* coldest = nullptr;
+      for (auto& [id, t] : tenants_) {
+        (void)id;
+        if (t.durable == nullptr || t.checkpoint_inflight) {
+          continue;
+        }
+        if (coldest == nullptr || t.last_touch_seq < coldest->last_touch_seq) {
+          coldest = &t;
+        }
+      }
+      if (coldest == nullptr) {
+        break;  // everything evictable is checkpointing; next tick
+      }
+      const uint64_t freed = coldest->memory_bytes;
+      latch(EvictLocked(coldest));
+      resident_bytes_ -= std::min(resident_bytes_, freed);
+    }
+  }
+  return first_error;
+}
+
+Status TenantRouter::DrainCheckpoints() {
+  Status first_error;
+  for (auto& [id, t] : tenants_) {
+    (void)id;
+    const Status status = SettleCheckpoint(&t);
+    if (first_error.ok() && !status.ok()) {
+      first_error = status;
+    }
+  }
+  return first_error;
+}
+
+Status TenantRouter::Shutdown() {
+  Status first_error;
+  for (auto& [id, t] : tenants_) {
+    (void)id;
+    if (t.durable == nullptr) {
+      continue;
+    }
+    const Status status = EvictLocked(&t);
+    if (first_error.ok() && !status.ok()) {
+      first_error = status;
+    }
+  }
+  resident_bytes_ = 0;
+  return first_error;
+}
+
+std::vector<TenantId> TenantRouter::ListTenants() const {
+  std::vector<TenantId> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, t] : tenants_) {
+    (void)t;
+    out.push_back(id);
+  }
+  return out;
+}
+
+StatusOr<TenantStats> TenantRouter::Stats(TenantId tenant) const {
+  const Tenant* t = FindTenant(tenant);
+  if (t == nullptr) {
+    return Status::NotFound("unknown tenant " + std::to_string(tenant));
+  }
+  TenantStats stats;
+  stats.tenant = tenant;
+  stats.resident = t->durable != nullptr;
+  stats.references = t->scoped != nullptr ? t->scoped->routed() : 0;
+  stats.memory_bytes = t->memory_bytes;
+  stats.checkpoints = t->checkpoints;
+  stats.evictions = t->evictions;
+  stats.restores = t->restores > 0 ? t->restores - 1 : 0;  // first open is not a restore
+  stats.refills = t->refills;
+  if (t->durable != nullptr) {
+    stats.generation = t->durable->generation();
+    stats.wal_bytes = t->durable->wal_bytes();
+  }
+  if (t->daemon != nullptr) {
+    stats.hoard_files = t->daemon->last_selection().files.size();
+  }
+  return stats;
+}
+
+size_t TenantRouter::resident_tenants() const {
+  size_t n = 0;
+  for (const auto& [id, t] : tenants_) {
+    (void)id;
+    if (t.durable != nullptr) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace seer

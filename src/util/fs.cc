@@ -147,6 +147,147 @@ Fs& DefaultFs() {
   return *fs;
 }
 
+// --- MemFs --------------------------------------------------------------------
+
+std::string MemFs::ParentOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return "";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+bool MemFs::DirExistsLocked(const std::string& dir) const {
+  return dir.empty() || dir == "/" || dir == "." || dirs_.count(dir) != 0;
+}
+
+StatusOr<std::string> MemFs::ReadFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("read " + path + ": no such file");
+  }
+  return it->second;
+}
+
+Status MemFs::WriteFile(const std::string& path, std::string_view data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!DirExistsLocked(ParentOf(path))) {
+    return Status::IoError("write " + path + ": no such directory");
+  }
+  files_[path].assign(data.data(), data.size());
+  return Status::Ok();
+}
+
+Status MemFs::AppendFile(const std::string& path, std::string_view data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!DirExistsLocked(ParentOf(path))) {
+    return Status::IoError("append " + path + ": no such directory");
+  }
+  files_[path].append(data.data(), data.size());
+  return Status::Ok();
+}
+
+Status MemFs::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = files_.find(from);
+  if (it == files_.end()) {
+    return Status::NotFound("rename " + from + ": no such file");
+  }
+  if (!DirExistsLocked(ParentOf(to))) {
+    return Status::IoError("rename to " + to + ": no such directory");
+  }
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::Ok();
+}
+
+Status MemFs::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("remove " + path + ": no such file");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::string>> MemFs::ListDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!DirExistsLocked(dir)) {
+    return Status::NotFound("list " + dir + ": no such directory");
+  }
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  std::set<std::string> names;
+  const auto collect = [&](const std::string& path) {
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix) != 0) {
+      return;
+    }
+    const std::string rest = path.substr(prefix.size());
+    names.insert(rest.substr(0, rest.find('/')));
+  };
+  for (const auto& [path, bytes] : files_) {
+    (void)bytes;
+    collect(path);
+  }
+  for (const std::string& d : dirs_) {
+    collect(d);
+  }
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+Status MemFs::MakeDirs(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string norm = dir;
+  while (norm.size() > 1 && norm.back() == '/') {
+    norm.pop_back();
+  }
+  for (size_t i = 1; i <= norm.size(); ++i) {
+    if (i == norm.size() || norm[i] == '/') {
+      const std::string prefix = norm.substr(0, i);
+      if (prefix != "/") {
+        dirs_.insert(prefix);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status MemFs::SyncFile(const std::string& path) {
+  (void)path;
+  return Status::Ok();
+}
+
+Status MemFs::SyncDir(const std::string& dir) {
+  (void)dir;
+  return Status::Ok();
+}
+
+bool MemFs::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.count(path) != 0 || dirs_.count(path) != 0;
+}
+
+StatusOr<uint64_t> MemFs::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("stat " + path + ": no such file");
+  }
+  return static_cast<uint64_t>(it->second.size());
+}
+
+uint64_t MemFs::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [path, bytes] : files_) {
+    (void)path;
+    total += bytes.size();
+  }
+  return total;
+}
+
 // --- FaultFs ------------------------------------------------------------------
 
 FaultFs::Action FaultFs::NextOp() {

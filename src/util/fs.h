@@ -12,7 +12,10 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -63,6 +66,38 @@ class RealFs : public Fs {
 
 // The process-wide RealFs used when a component is handed no Fs.
 Fs& DefaultFs();
+
+// Fully in-memory Fs: files are strings in a map, directories a set.
+// Sync operations are no-ops (there is no volatile cache to flush). Used
+// where the store protocol matters but the disk does not: the multitenant
+// bench drives thousands of per-tenant snapshot stores without turning
+// the run into an fsync benchmark, and tests avoid temp-dir churn.
+// Thread-safe: the checkpoint plane writes from background threads.
+class MemFs : public Fs {
+ public:
+  StatusOr<std::string> ReadFile(const std::string& path) override;
+  Status WriteFile(const std::string& path, std::string_view data) override;
+  Status AppendFile(const std::string& path, std::string_view data) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status MakeDirs(const std::string& dir) override;
+  Status SyncFile(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+  bool Exists(const std::string& path) override;
+  StatusOr<uint64_t> FileSize(const std::string& path) override;
+
+  // Total bytes held across all files (bench: on-disk footprint proxy).
+  uint64_t TotalBytes() const;
+
+ private:
+  bool DirExistsLocked(const std::string& dir) const;
+  static std::string ParentOf(const std::string& path);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> files_;
+  std::set<std::string> dirs_;
+};
 
 // Fault-injection decorator. Mutating operations (writes, appends,
 // renames, removes, syncs) are numbered 0, 1, 2, ... in call order; the

@@ -1,15 +1,69 @@
 #include "src/util/thread_pool.h"
 
-#include <cstdlib>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
 
 namespace seer {
 
+namespace {
+
+// Worker threads mark the pool they belong to, so a re-entrant
+// ParallelChunks from inside a chunk is detected without any lock.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
+StatusOr<int> ParseThreadCount(std::string_view text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("thread count is empty");
+  }
+  int value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::InvalidArgument("thread count '" + std::string(text) + "' overflows");
+  }
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument("thread count '" + std::string(text) +
+                                   "' is not a positive integer");
+  }
+  if (value <= 0) {
+    return Status::InvalidArgument("thread count must be positive, got '" +
+                                   std::string(text) + "'");
+  }
+  if (value > kMaxThreads) {
+    return Status::InvalidArgument("thread count '" + std::string(text) + "' exceeds the cap of " +
+                                   std::to_string(kMaxThreads));
+  }
+  return value;
+}
+
+StatusOr<int> SeerThreadsFromEnv() {
+  const char* env = std::getenv("SEER_THREADS");
+  if (env == nullptr) {
+    return 0;
+  }
+  auto parsed = ParseThreadCount(env);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("SEER_THREADS: " + std::string(parsed.status().message()));
+  }
+  return *parsed;
+}
+
 int DefaultThreadCount() {
-  if (const char* env = std::getenv("SEER_THREADS")) {
-    const int n = std::atoi(env);
-    if (n > 0) {
-      return n;
-    }
+  const auto env = SeerThreadsFromEnv();
+  if (env.ok() && *env > 0) {
+    return *env;
+  }
+  if (!env.ok()) {
+    static const bool warned = [&] {
+      std::fprintf(stderr, "seer: %s; using hardware concurrency\n",
+                   env.status().message().c_str());
+      return true;
+    }();
+    (void)warned;
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
@@ -26,6 +80,10 @@ ThreadPool::ThreadPool(int threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  // A well-formed program has no dispatch running here (ParallelChunks
+  // blocks its caller), but take the gate anyway so destruction waits out
+  // a dispatch racing on another thread instead of corrupting it.
+  std::lock_guard<std::mutex> gate(gate_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
@@ -42,7 +100,19 @@ void ThreadPool::ParallelChunks(size_t num_chunks, const std::function<void(size
   if (num_chunks == 0) {
     return;
   }
-  if (workers_.empty() || num_chunks == 1) {
+  if (workers_.empty() || num_chunks == 1 || tls_worker_pool == this) {
+    // No workers, nothing to distribute, or a re-entrant call from inside
+    // one of this pool's own chunks: run inline. A worker must never block
+    // on the gate — the dispatch it is part of is waiting on it.
+    for (size_t i = 0; i < num_chunks; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> gate(gate_, std::try_to_lock);
+  if (!gate.owns_lock()) {
+    // Another thread's dispatch owns the workers; caller-runs keeps this
+    // call lock-free and deadlock-free (shared-pool multiplexing).
     for (size_t i = 0; i < num_chunks; ++i) {
       fn(i);
     }
@@ -70,6 +140,7 @@ void ThreadPool::ParallelChunks(size_t num_chunks, const std::function<void(size
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   uint64_t seen = 0;
   for (;;) {
     const std::function<void(size_t)>* job = nullptr;

@@ -1,0 +1,137 @@
+// Shareable ThreadPool semantics and SEER_THREADS validation.
+//
+// The multi-tenant router multiplexes ONE pool across every tenant's
+// ingest, scoring, and background checkpoint encode, so the pool must
+// tolerate concurrent ParallelChunks dispatches from many threads and
+// re-entrant dispatches from inside a worker chunk — by running the
+// contended dispatch inline (the caller-runs fallback), never by
+// deadlocking and never by changing results.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace seer {
+namespace {
+
+TEST(ThreadPoolShared, ConcurrentDispatchesFromManyThreads) {
+  ThreadPool pool(4);
+  constexpr size_t kCallers = 8;
+  constexpr size_t kChunks = 211;
+  std::vector<std::vector<std::atomic<int>>> runs(kCallers);
+  for (auto& r : runs) {
+    r = std::vector<std::atomic<int>>(kChunks);
+  }
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &runs, c]() {
+      for (int round = 0; round < 20; ++round) {
+        pool.ParallelChunks(kChunks, [&runs, c](size_t i) { runs[c][i].fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : callers) {
+    t.join();
+  }
+  for (size_t c = 0; c < kCallers; ++c) {
+    for (size_t i = 0; i < kChunks; ++i) {
+      ASSERT_EQ(runs[c][i].load(), 20) << "caller " << c << " chunk " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolShared, ReentrantDispatchFromWorkerRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<size_t> inner_total{0};
+  // Each outer chunk dispatches again on the same pool from a worker
+  // thread; the inner dispatch must run inline without deadlock.
+  pool.ParallelChunks(16, [&](size_t) {
+    pool.ParallelChunks(32, [&](size_t i) { inner_total.fetch_add(i); });
+  });
+  EXPECT_EQ(inner_total.load(), 16u * (32u * 31u / 2u));
+}
+
+TEST(ThreadPoolShared, CrossPoolNesting) {
+  ThreadPool outer(4);
+  ThreadPool inner(4);
+  std::atomic<size_t> total{0};
+  outer.ParallelChunks(8, [&](size_t) {
+    inner.ParallelChunks(8, [&](size_t i) { total.fetch_add(i + 1); });
+  });
+  EXPECT_EQ(total.load(), 8u * (8u * 9u / 2u));
+}
+
+TEST(ThreadPoolShared, DestructionAfterHeavyConcurrentUse) {
+  // Destroy the pool immediately after a burst of concurrent dispatches:
+  // the destructor must drain cleanly with no worker left waiting.
+  for (int round = 0; round < 10; ++round) {
+    auto pool = std::make_unique<ThreadPool>(4);
+    std::atomic<size_t> done{0};
+    std::vector<std::thread> callers;
+    for (int c = 0; c < 4; ++c) {
+      callers.emplace_back([&]() {
+        pool->ParallelChunks(64, [&](size_t) { done.fetch_add(1); });
+      });
+    }
+    for (std::thread& t : callers) {
+      t.join();
+    }
+    EXPECT_EQ(done.load(), 4u * 64u);
+    pool.reset();  // join workers with nothing pending
+  }
+}
+
+TEST(ThreadPoolShared, SingleThreadPoolIsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  std::vector<size_t> order;
+  pool.ParallelChunks(5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));  // serial, in order
+}
+
+// --- SEER_THREADS validation --------------------------------------------------
+
+TEST(ParseThreadCount, AcceptsPlainPositiveIntegers) {
+  for (const auto& [text, want] : std::vector<std::pair<std::string, int>>{
+           {"1", 1}, {"8", 8}, {"4096", kMaxThreads}}) {
+    const auto got = ParseThreadCount(text);
+    ASSERT_TRUE(got.ok()) << text;
+    EXPECT_EQ(*got, want) << text;
+  }
+}
+
+TEST(ParseThreadCount, RejectsGarbage) {
+  for (const char* text : {"", "0", "-3", "abc", "8x", " 8", "8 ", "3.5", "0x10",
+                           "99999999999999999999", "4097"}) {
+    const auto got = ParseThreadCount(text);
+    EXPECT_FALSE(got.ok()) << "accepted: " << text;
+    EXPECT_FALSE(got.status().message().empty()) << text;
+  }
+}
+
+TEST(ParseThreadCount, SeerThreadsFromEnvReflectsVariable) {
+  // setenv/getenv in a single-threaded test context.
+  ASSERT_EQ(0, setenv("SEER_THREADS", "3", 1));
+  auto got = SeerThreadsFromEnv();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 3);
+
+  ASSERT_EQ(0, setenv("SEER_THREADS", "zebra", 1));
+  got = SeerThreadsFromEnv();
+  EXPECT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find("SEER_THREADS"), std::string::npos);
+
+  ASSERT_EQ(0, unsetenv("SEER_THREADS"));
+  got = SeerThreadsFromEnv();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 0);  // unset: caller falls back to hardware concurrency
+}
+
+}  // namespace
+}  // namespace seer

@@ -19,6 +19,7 @@
 //       database, dump one back to text, check its integrity, compact its
 //       generations, or describe its contents.
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -40,6 +41,7 @@
 #include "src/observer/observer.h"
 #include "src/observer/sink_chain.h"
 #include "src/process/syscall_tracer.h"
+#include "src/server/tenant_router.h"
 #include "src/sim/machine_sim.h"
 #include "src/trace/binary_trace.h"
 #include "src/trace/trace_io.h"
@@ -150,6 +152,47 @@ const char* Positional(int argc, char** argv, int start) {
     return argv[i];
   }
   return nullptr;
+}
+
+// The `index`-th (0-based) non-flag positional at or after `start`.
+const char* PositionalAt(int argc, char** argv, int start, int index) {
+  int seen = 0;
+  for (int i = start; i < argc; ++i) {
+    if (argv[i][0] == '-') {
+      if (!IsBareFlag(argv[i])) {
+        ++i;  // skip the flag's value
+      }
+      continue;
+    }
+    if (seen++ == index) {
+      return argv[i];
+    }
+  }
+  return nullptr;
+}
+
+// Validated value of --threads K / --threads=K at or after `start`; 0 when
+// the flag is absent. An invalid count is fatal: silently running at the
+// wrong width would change every parallel phase's sizing.
+int ThreadsFlagOrDie(int argc, char** argv, int start) {
+  const char* value = nullptr;
+  for (int i = start; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      value = argv[i] + 10;
+    }
+  }
+  if (const char* v = FlagValue(argc, argv, start, "--threads")) {
+    value = v;
+  }
+  if (value == nullptr) {
+    return 0;
+  }
+  const StatusOr<int> threads = ParseThreadCount(value);
+  if (!threads.ok()) {
+    std::fprintf(stderr, "seerctl: --threads: %s\n", threads.status().message().c_str());
+    std::exit(2);
+  }
+  return *threads;
 }
 
 std::string ReadFileOrDie(const std::string& path) {
@@ -366,15 +409,7 @@ int Replay(int argc, char** argv, int start) {
   const SeerParams params = ParamsFromFlagOrDie(argc, argv, start);
   const ObserverConfig observer_config = ControlFromFlagOrDie(argc, argv, start);
 
-  int threads = 0;
-  for (int i = start; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = std::atoi(argv[i] + 10);
-    }
-  }
-  if (const char* value = FlagValue(argc, argv, start, "--threads")) {
-    threads = std::atoi(value);
-  }
+  const int threads = ThreadsFlagOrDie(argc, argv, start);
 
   Observer observer(observer_config, nullptr);
   Correlator correlator(params);
@@ -502,15 +537,7 @@ int ClusterStats(int argc, char** argv, int start) {
   }
   auto correlator = LoadDbOrDie(path);
 
-  int threads = 0;
-  for (int i = start; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = std::atoi(argv[i] + 10);
-    }
-  }
-  if (const char* value = FlagValue(argc, argv, start, "--threads")) {
-    threads = std::atoi(value);
-  }
+  const int threads = ThreadsFlagOrDie(argc, argv, start);
   if (threads > 0) {
     correlator->SetClusterThreads(threads);
   }
@@ -912,6 +939,196 @@ int Db(int argc, char** argv, int start) {
   return RunRegistry("seerctl", DbCommands(), argc, argv, start);
 }
 
+// --- tenant ----------------------------------------------------------------------
+//
+// A multi-tenant service root (src/server/tenant_router.h) is a directory
+// of tenant-NNNNNNNN subdirectories, each an ordinary single-instance
+// snapshot+WAL store. `tenant list` and `tenant stats` are read-only;
+// `tenant checkpoint` and `tenant evict` drive a TenantRouter over the
+// root, exercising the same code paths the live service runs.
+
+TenantId TenantIdOrDie(const char* text) {
+  uint32_t id = 0;
+  const char* end = text + std::strlen(text);
+  const auto [ptr, ec] = std::from_chars(text, end, id);
+  if (ec != std::errc() || ptr != end) {
+    std::fprintf(stderr, "seerctl: invalid tenant id '%s'\n", text);
+    std::exit(2);
+  }
+  return id;
+}
+
+std::vector<TenantId> ListTenantsOrDie(Fs* fs, const std::string& root) {
+  StatusOr<std::vector<TenantId>> tenants = SnapshotStore::ListTenants(fs, root);
+  if (!tenants.ok()) {
+    std::fprintf(stderr, "seerctl: %s\n", tenants.status().message().c_str());
+    std::exit(1);
+  }
+  return *std::move(tenants);
+}
+
+// ROOT positional + the tenant whose id is the second positional, which
+// must already exist on disk (a typo'd id must not create a fresh store).
+struct TenantTarget {
+  std::string root;
+  TenantId tenant = kInvalidTenantId;
+};
+
+TenantTarget TenantTargetOrDie(const char* command, int argc, char** argv, int start) {
+  const char* root = PositionalAt(argc, argv, start, 0);
+  const char* id = PositionalAt(argc, argv, start, 1);
+  if (root == nullptr || id == nullptr) {
+    std::fprintf(stderr, "seerctl: tenant %s requires ROOT and TENANT arguments\n", command);
+    std::exit(2);
+  }
+  TenantTarget target;
+  target.root = root;
+  target.tenant = TenantIdOrDie(id);
+  const std::vector<TenantId> present = ListTenantsOrDie(&DefaultFs(), target.root);
+  if (std::find(present.begin(), present.end(), target.tenant) == present.end()) {
+    std::fprintf(stderr, "seerctl: no tenant %u under %s (try `seerctl tenant list %s`)\n",
+                 target.tenant, root, root);
+    std::exit(1);
+  }
+  return target;
+}
+
+int TenantList(int argc, char** argv, int start) {
+  const char* root = Positional(argc, argv, start);
+  if (root == nullptr) {
+    std::fprintf(stderr, "seerctl: tenant list requires a ROOT argument\n");
+    return 2;
+  }
+  const std::vector<TenantId> tenants = ListTenantsOrDie(&DefaultFs(), root);
+  for (const TenantId tenant : tenants) {
+    const std::string dir = SnapshotStore::TenantDirectory(root, tenant);
+    SnapshotStore store(&DefaultFs(), dir);
+    const auto snaps = store.ListSnapshotFiles();
+    const auto wals = store.ListWals();
+    std::printf("%10u  %s  (%zu snapshot%s, %zu wal%s)\n", tenant, dir.c_str(),
+                snaps.ok() ? snaps->size() : 0, snaps.ok() && snaps->size() == 1 ? "" : "s",
+                wals.ok() ? wals->size() : 0, wals.ok() && wals->size() == 1 ? "" : "s");
+  }
+  std::printf("# %zu tenant%s under %s\n", tenants.size(), tenants.size() == 1 ? "" : "s",
+              root);
+  return 0;
+}
+
+int TenantStatsCmd(int argc, char** argv, int start) {
+  const char* root = Positional(argc, argv, start);
+  if (root == nullptr) {
+    std::fprintf(stderr, "seerctl: tenant stats requires a ROOT argument\n");
+    return 2;
+  }
+  std::vector<TenantId> tenants;
+  if (const char* one = FlagValue(argc, argv, start, "--tenant")) {
+    tenants.push_back(TenantIdOrDie(one));
+  } else {
+    tenants = ListTenantsOrDie(&DefaultFs(), root);
+  }
+  // One pool for every recovery decode; Recover() itself never writes.
+  ThreadPool pool(ThreadsFlagOrDie(argc, argv, start));
+  std::printf("%10s %10s %8s %12s %12s %s\n", "tenant", "generation", "files",
+              "wal-records", "memory", "state");
+  int rc = 0;
+  for (const TenantId tenant : tenants) {
+    const std::string dir = SnapshotStore::TenantDirectory(root, tenant);
+    SnapshotStore store(&DefaultFs(), dir);
+    const auto recovered = store.Recover({}, &pool);
+    if (!recovered.ok()) {
+      std::printf("%10u  UNREADABLE: %s\n", tenant, recovered.status().message().c_str());
+      rc = 1;
+      continue;
+    }
+    std::printf("%10u %10llu %8zu %12llu %12zu %s\n", tenant,
+                static_cast<unsigned long long>(recovered->generation),
+                recovered->correlator->files().size(),
+                static_cast<unsigned long long>(recovered->wal_records_replayed),
+                recovered->correlator->MemoryBytes(),
+                recovered->torn_wal_tail ? "torn-wal-tail"
+                : recovered->fresh       ? "empty"
+                                         : "healthy");
+  }
+  return rc;
+}
+
+int TenantCheckpoint(int argc, char** argv, int start) {
+  const TenantTarget target = TenantTargetOrDie("checkpoint", argc, argv, start);
+  TenantRouterConfig config;
+  config.threads = ThreadsFlagOrDie(argc, argv, start);
+  TenantRouter router(&DefaultFs(), target.root, config);
+  const Status status = router.CheckpointTenant(target.tenant);
+  if (!status.ok()) {
+    std::fprintf(stderr, "seerctl: %s\n", status.message().c_str());
+    return 1;
+  }
+  const auto stats = router.Stats(target.tenant);
+  const StatusOr<Correlator*> live = router.CorrelatorFor(target.tenant);
+  if (stats.ok() && live.ok()) {
+    std::printf("tenant %u: checkpointed at generation %llu (%zu files, %zu B resident)\n",
+                target.tenant, static_cast<unsigned long long>(stats->generation),
+                (*live)->files().size(), (*live)->MemoryBytes());
+  }
+  return 0;
+}
+
+int TenantEvict(int argc, char** argv, int start) {
+  const TenantTarget target = TenantTargetOrDie("evict", argc, argv, start);
+  TenantRouterConfig config;
+  config.threads = ThreadsFlagOrDie(argc, argv, start);
+  TenantRouter router(&DefaultFs(), target.root, config);
+  // The router materialises tenants lazily; restore first so the evict
+  // path (settle -> fold WAL -> release) runs against live state.
+  const StatusOr<Correlator*> live = router.CorrelatorFor(target.tenant);
+  if (!live.ok()) {
+    std::fprintf(stderr, "seerctl: %s\n", live.status().message().c_str());
+    return 1;
+  }
+  const uint64_t memory = (*live)->MemoryBytes();
+  const Status status = router.EvictTenant(target.tenant);
+  if (!status.ok()) {
+    std::fprintf(stderr, "seerctl: %s\n", status.message().c_str());
+    return 1;
+  }
+  std::printf("tenant %u: WAL folded, %llu B of in-memory state released\n", target.tenant,
+              static_cast<unsigned long long>(memory));
+  return 0;
+}
+
+const std::vector<Subcommand>& TenantCommands() {
+  static const std::vector<Subcommand> commands = {
+      {"list", "tenant list ROOT",
+       "List the tenants under a multi-tenant service root: one\n"
+       "tenant-NNNNNNNN store directory per tenant, each an ordinary\n"
+       "single-instance store that `seerctl db` reads unchanged.\n",
+       TenantList},
+      {"stats", "tenant stats ROOT [--tenant ID] [--threads K]",
+       "Recover each tenant's store read-only and report its durable\n"
+       "generation, tracked files, WAL records replayed, resident memory\n"
+       "bytes, and health.\n\n"
+       "  --tenant ID   only this tenant\n"
+       "  --threads K   recovery-decode threads (default: SEER_THREADS,\n"
+       "                else all cores)\n",
+       TenantStatsCmd},
+      {"checkpoint", "tenant checkpoint ROOT TENANT [--threads K]",
+       "Synchronously checkpoint one tenant through the router: fold its\n"
+       "WAL into a fresh snapshot generation and prune, exactly as the\n"
+       "live service's staggered scheduler would.\n",
+       TenantCheckpoint},
+      {"evict", "tenant evict ROOT TENANT [--threads K]",
+       "Run the seal-and-release eviction path for one tenant: settle any\n"
+       "in-flight checkpoint, fold the WAL into a synchronous snapshot,\n"
+       "release the in-memory state. The store is left with an empty WAL,\n"
+       "so the next restore replays nothing.\n",
+       TenantEvict},
+  };
+  return commands;
+}
+
+int Tenant(int argc, char** argv, int start) {
+  return RunRegistry("seerctl", TenantCommands(), argc, argv, start);
+}
+
 // --- registry --------------------------------------------------------------------
 
 const std::vector<Subcommand>& Commands() {
@@ -969,11 +1186,23 @@ const std::vector<Subcommand>& Commands() {
        "Operate on a crash-safe snapshot+WAL store directory.\n"
        "Run `seerctl db` for the sub-command list.\n",
        Db, /*has_subcommands=*/true},
+      {"tenant", "tenant {list|stats|evict|checkpoint} ROOT ...",
+       "Operate on a multi-tenant hoard-service root: a directory of\n"
+       "tenant-NNNNNNNN single-instance stores driven by one TenantRouter\n"
+       "(see src/server/tenant_router.h). Run `seerctl tenant` for the\n"
+       "sub-command list.\n",
+       Tenant, /*has_subcommands=*/true},
   };
   return commands;
 }
 
 int Main(int argc, char** argv) {
+  // Fail fast on a malformed SEER_THREADS before any command sizes a pool
+  // from it — a typo'd width would silently change every parallel phase.
+  if (const StatusOr<int> env = SeerThreadsFromEnv(); !env.ok()) {
+    std::fprintf(stderr, "seerctl: %s\n", env.status().message().c_str());
+    return 2;
+  }
   return RunRegistry("seerctl", Commands(), argc, argv, 1);
 }
 
