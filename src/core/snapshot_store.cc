@@ -491,7 +491,10 @@ StatusOr<std::vector<TenantId>> SnapshotStore::ListTenants(Fs* fs, const std::st
   constexpr char kPrefix[] = "tenant-";
   constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
   for (const std::string& name : names) {
-    if (name.size() != kPrefixLen + 8 || name.compare(0, kPrefixLen, kPrefix) != 0) {
+    // TenantDirectory prints %08u: exactly 8 digits zero-padded below 1e8,
+    // 9-10 digits above. Accept the whole uint32 id range back.
+    if (name.size() < kPrefixLen + 8 || name.size() > kPrefixLen + 10 ||
+        name.compare(0, kPrefixLen, kPrefix) != 0) {
       continue;
     }
     uint32_t id = 0;

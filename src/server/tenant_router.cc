@@ -61,6 +61,15 @@ ReferenceSink* TenantRouter::Route(TenantId tenant) {
 }
 
 TenantRouter::Tenant* TenantRouter::ResidentTenant(TenantId tenant) {
+  if (tenant == kInvalidTenantId) {
+    // Never materialise a store for the sentinel id — a directory named
+    // after it would shadow a real tenant's namespace and confuse every
+    // admin surface.
+    if (last_error_.ok()) {
+      last_error_ = Status::InvalidArgument("invalid tenant id " + std::to_string(tenant));
+    }
+    return nullptr;
+  }
   SinkFor(tenant);
   Tenant* t = FindTenant(tenant);
   if (t->durable == nullptr) {
@@ -99,6 +108,15 @@ Status TenantRouter::Restore(Tenant* t) {
   return Status::Ok();
 }
 
+void TenantRouter::RecordSealStall(uint64_t micros) {
+  if (seal_stalls_.size() < kSealStallWindow) {
+    seal_stalls_.push_back(micros);
+    return;
+  }
+  seal_stalls_[seal_stall_next_] = micros;
+  seal_stall_next_ = (seal_stall_next_ + 1) % kSealStallWindow;
+}
+
 void TenantRouter::HarvestCheckpoint(Tenant* t) {
   const Status finished = t->durable->FinishCheckpoint();
   t->checkpoint_inflight = false;
@@ -113,7 +131,7 @@ void TenantRouter::HarvestCheckpoint(Tenant* t) {
   }
   ++checkpoints_harvested_;
   ++t->checkpoints;
-  seal_stalls_.push_back(t->durable->last_checkpoint_stats().seal_micros);
+  RecordSealStall(t->durable->last_checkpoint_stats().seal_micros);
 }
 
 Status TenantRouter::SettleCheckpoint(Tenant* t) {
@@ -128,7 +146,7 @@ Status TenantRouter::SettleCheckpoint(Tenant* t) {
   if (finished.ok()) {
     ++checkpoints_harvested_;
     ++t->checkpoints;
-    seal_stalls_.push_back(t->durable->last_checkpoint_stats().seal_micros);
+    RecordSealStall(t->durable->last_checkpoint_stats().seal_micros);
   }
   return finished;
 }
@@ -143,7 +161,7 @@ Status TenantRouter::CheckpointTenant(TenantId tenant) {
   ++checkpoints_started_;
   ++checkpoints_harvested_;
   ++t->checkpoints;
-  seal_stalls_.push_back(t->durable->last_checkpoint_stats().seal_micros);
+  RecordSealStall(t->durable->last_checkpoint_stats().seal_micros);
   return Status::Ok();
 }
 
@@ -287,7 +305,15 @@ Status TenantRouter::Tick(Time now) {
         break;  // everything evictable is checkpointing; next tick
       }
       const uint64_t freed = coldest->memory_bytes;
-      latch(EvictLocked(coldest));
+      const Status evicted = EvictLocked(coldest);
+      latch(evicted);
+      if (!evicted.ok()) {
+        // A failed eviction (e.g. the folding checkpoint hit a full disk)
+        // leaves the tenant resident with its LRU clock unchanged, so
+        // retrying within this pass would re-select the same victim
+        // forever. Give up for this tick; the next one retries.
+        break;
+      }
       resident_bytes_ -= std::min(resident_bytes_, freed);
     }
   }

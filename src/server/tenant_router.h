@@ -125,7 +125,9 @@ class TenantRouter {
   // Tenant t's ingress sink. The address is stable for the router's
   // lifetime — across evictions and restores — so transports bind it
   // once. Creating (or restoring) the tenant's store happens lazily on
-  // the first routed callback, not here.
+  // the first routed callback, not here. kInvalidTenantId never gets a
+  // store: its events are dropped with an InvalidArgument latched in
+  // last_error().
   ReferenceSink* SinkFor(TenantId tenant);
 
   // The tenant's live correlator, creating/restoring it if needed.
@@ -167,8 +169,12 @@ class TenantRouter {
   uint64_t checkpoints_started() const { return checkpoints_started_; }
   uint64_t checkpoints_harvested() const { return checkpoints_harvested_; }
   size_t checkpoints_inflight() const { return inflight_; }
-  // Seal stall of every harvested checkpoint (µs) — the only part of a
-  // background checkpoint the ingest path waits for.
+  // Seal stalls (µs) of the most recent kSealStallWindow harvested
+  // checkpoints — the only part of a background checkpoint the ingest path
+  // waits for. A bounded ring (oldest entries overwritten, order
+  // unspecified), so a long-lived server does not accumulate one entry
+  // per checkpoint forever; percentile summaries are order-blind anyway.
+  static constexpr size_t kSealStallWindow = 4096;
   const std::vector<uint64_t>& seal_stall_micros() const { return seal_stalls_; }
 
   // First routing/restore error latched by the event path (sink callbacks
@@ -210,6 +216,7 @@ class TenantRouter {
   Status Restore(Tenant* t);
   Status SettleCheckpoint(Tenant* t);  // join + harvest if in flight
   void HarvestCheckpoint(Tenant* t);   // stats + counters after a finish
+  void RecordSealStall(uint64_t micros);
   Status EvictLocked(Tenant* t);
   Time StaggerPhase(TenantId tenant) const;
   void RefreshResidentBytes();
@@ -226,7 +233,8 @@ class TenantRouter {
   uint64_t restores_ = 0;
   uint64_t checkpoints_started_ = 0;
   uint64_t checkpoints_harvested_ = 0;
-  std::vector<uint64_t> seal_stalls_;
+  std::vector<uint64_t> seal_stalls_;  // ring of size <= kSealStallWindow
+  size_t seal_stall_next_ = 0;         // overwrite cursor once full
   Status last_error_;
 };
 

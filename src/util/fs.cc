@@ -197,6 +197,9 @@ Status MemFs::RenameFile(const std::string& from, const std::string& to) {
   if (it == files_.end()) {
     return Status::NotFound("rename " + from + ": no such file");
   }
+  if (from == to) {
+    return Status::Ok();  // POSIX: renaming a file onto itself is a no-op
+  }
   if (!DirExistsLocked(ParentOf(to))) {
     return Status::IoError("rename to " + to + ": no such directory");
   }

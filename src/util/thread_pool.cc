@@ -118,6 +118,13 @@ void ThreadPool::ParallelChunks(size_t num_chunks, const std::function<void(size
     }
     return;
   }
+  // The dispatching thread owns gate_ for the whole span below and runs
+  // chunks itself, so a re-entrant ParallelChunks from one of its chunks
+  // must take the inline path at the top — try_lock on a mutex this
+  // thread already holds is undefined behavior. Mark the dispatcher as
+  // part of the pool for the span, the way WorkerLoop does permanently.
+  const ThreadPool* const prev_pool = tls_worker_pool;
+  tls_worker_pool = this;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;
@@ -134,9 +141,12 @@ void ThreadPool::ParallelChunks(size_t num_chunks, const std::function<void(size
     }
     fn(chunk);
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return active_ == 0; });
-  job_ = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return active_ == 0; });
+    job_ = nullptr;
+  }
+  tls_worker_pool = prev_pool;
 }
 
 void ThreadPool::WorkerLoop() {

@@ -12,8 +12,9 @@
 // The pool is shareable: ParallelChunks may be called from any thread at
 // any time. One dispatch owns the workers at a time; a call that arrives
 // while another dispatch is running — including a re-entrant call from
-// inside a worker chunk — degrades to running its chunks inline on the
-// calling thread. Inline execution is the same code as the serial path, so
+// inside any chunk, whether it ran on a worker or on the dispatching
+// thread itself — degrades to running its chunks inline on the calling
+// thread. Inline execution is the same code as the serial path, so
 // sharing one pool across subsystems (the multi-tenant router multiplexes
 // ingest, cluster scoring, and checkpoint encode over a single pool) never
 // deadlocks and never changes results, only the degree of parallelism.

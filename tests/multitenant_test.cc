@@ -9,6 +9,7 @@
 // single-instance store readable without the router.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <random>
 #include <string>
@@ -326,7 +327,8 @@ TEST(TenantRouter, StaggeredSchedulerBoundsInflightCheckpoints) {
   EXPECT_GE(router.checkpoints_harvested(), kTenants);
   EXPECT_EQ(router.checkpoints_inflight(),
             router.checkpoints_started() - router.checkpoints_harvested());
-  EXPECT_EQ(router.seal_stall_micros().size(), router.checkpoints_harvested());
+  EXPECT_EQ(router.seal_stall_micros().size(),
+            std::min<uint64_t>(router.checkpoints_harvested(), TenantRouter::kSealStallWindow));
 }
 
 TEST(TenantRouter, HoardDaemonRefillsOnRouterCadence) {
@@ -366,19 +368,84 @@ TEST(TenantRouter, HoardDaemonRefillsOnRouterCadence) {
 TEST(TenantRouter, TenantDirectoryLayout) {
   EXPECT_EQ("/srv/tenant-00000007", SnapshotStore::TenantDirectory("/srv", 7));
   EXPECT_EQ("/srv/tenant-12345678", SnapshotStore::TenantDirectory("/srv", 12345678));
+  // Ids >= 1e8 outgrow the %08u padding; the directory name simply widens
+  // and ListTenants must still round-trip the full uint32 range.
+  EXPECT_EQ("/srv/tenant-123456789", SnapshotStore::TenantDirectory("/srv", 123456789));
+  EXPECT_EQ("/srv/tenant-4294967294", SnapshotStore::TenantDirectory("/srv", 4294967294u));
 
   MemFs fs;
   ASSERT_TRUE(fs.MakeDirs("/srv/tenant-00000003").ok());
   ASSERT_TRUE(fs.MakeDirs("/srv/tenant-00000001").ok());
+  ASSERT_TRUE(fs.MakeDirs("/srv/tenant-123456789").ok());
+  ASSERT_TRUE(fs.MakeDirs("/srv/tenant-4294967294").ok());
   ASSERT_TRUE(fs.MakeDirs("/srv/not-a-tenant").ok());
   ASSERT_TRUE(fs.MakeDirs("/srv/tenant-junk").ok());
+  ASSERT_TRUE(fs.MakeDirs("/srv/tenant-99999999999").ok());  // > 10 digits: not a tenant
   const auto tenants = SnapshotStore::ListTenants(&fs, "/srv");
   ASSERT_TRUE(tenants.ok());
-  EXPECT_EQ((std::vector<TenantId>{1, 3}), *tenants);
+  EXPECT_EQ((std::vector<TenantId>{1, 3, 123456789, 4294967294u}), *tenants);
 
   const auto empty = SnapshotStore::ListTenants(&fs, "/absent");
   ASSERT_TRUE(empty.ok());
   EXPECT_TRUE(empty->empty());
+}
+
+TEST(TenantRouter, InvalidTenantIdNeverMaterialisesAStore) {
+  MemFs fs;
+  TenantRouter router(&fs, "/srv", BaseConfig(1));
+  ReferenceSink* sink = router.SinkFor(kInvalidTenantId);
+  ASSERT_NE(nullptr, sink);
+  sink->OnReference(FileReference{1, RefKind::kPoint, P("/mt/f0"), kMicrosPerSecond, false});
+  EXPECT_FALSE(router.last_error().ok());
+  EXPECT_FALSE(fs.Exists(SnapshotStore::TenantDirectory("/srv", kInvalidTenantId)));
+  EXPECT_FALSE(router.CorrelatorFor(kInvalidTenantId).ok());
+  EXPECT_FALSE(router.CheckpointTenant(kInvalidTenantId).ok());
+}
+
+TEST(TenantRouter, TickSurvivesPersistentEvictionFailure) {
+  // Count the mutating ops a clean two-tenant ingest performs, then replay
+  // the identical ingest over a filesystem that fails every op afterwards
+  // (a disk gone read-only). The eviction pass must give up for the tick —
+  // returning the error instead of re-selecting the same unevictable
+  // victim forever — and must not debit resident_bytes for memory that
+  // was never freed.
+  std::vector<std::vector<IngestEvent>> traces;
+  traces.push_back(TenantTrace(0xF00, 300));
+  traces.push_back(TenantTrace(0xF01, 300));
+
+  TenantRouterConfig config = BaseConfig(1);
+  config.max_resident_tenants = 1;
+
+  uint64_t clean_ops = 0;
+  {
+    MemFs mem;
+    FaultFs counting(&mem);
+    TenantRouter router(&counting, "/srv", config);
+    Interleave(&router, traces, 0x5eed);
+    ASSERT_TRUE(router.last_error().ok()) << router.last_error().message();
+    clean_ops = counting.op_count();
+  }
+
+  MemFs mem;
+  FaultFs::Plan plan;
+  plan.crash_at_op = clean_ops;  // the first post-ingest write fails, forever
+  FaultFs fs(&mem, plan);
+  TenantRouter router(&fs, "/srv", config);
+  Interleave(&router, traces, 0x5eed);
+  ASSERT_TRUE(router.last_error().ok()) << router.last_error().message();
+
+  const Status ticked = router.Tick(kMicrosPerSecond);
+  EXPECT_FALSE(ticked.ok());
+  EXPECT_EQ(0u, router.evictions());
+  EXPECT_EQ(2u, router.resident_tenants());
+  uint64_t sum = 0;
+  for (const TenantId tenant : {TenantId{1}, TenantId{2}}) {
+    const auto stats = router.Stats(tenant);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_TRUE(stats->resident);
+    sum += stats->memory_bytes;
+  }
+  EXPECT_EQ(router.resident_bytes(), sum);
 }
 
 TEST(TenantRouter, SinkAddressStableAcrossEviction) {

@@ -107,6 +107,18 @@ TEST(FaultFs, OpCountNumbersMutatingOps) {
   EXPECT_EQ(fs.op_count(), 4u);
 }
 
+TEST(MemFs, SelfRenameIsANoOp) {
+  MemFs fs;
+  ASSERT_TRUE(fs.MakeDirs("/d").ok());
+  ASSERT_TRUE(fs.WriteFile("/d/a", "payload").ok());
+  ASSERT_TRUE(fs.RenameFile("/d/a", "/d/a").ok());
+  const auto content = fs.ReadFile("/d/a");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "payload");
+  // A missing source is still NotFound, even when from == to.
+  EXPECT_FALSE(fs.RenameFile("/d/nope", "/d/nope").ok());
+}
+
 // --- WAL -------------------------------------------------------------------
 
 TEST(Wal, RoundTripReplaysEveryRecord) {

@@ -57,6 +57,32 @@ TEST(ThreadPoolShared, ReentrantDispatchFromWorkerRunsInline) {
   EXPECT_EQ(inner_total.load(), 16u * (32u * 31u / 2u));
 }
 
+TEST(ThreadPoolShared, ReentrantDispatchFromDispatchingThreadRunsInline) {
+  // The dispatcher participates in its own dispatch, so fn can re-enter
+  // ParallelChunks from the thread that owns the dispatch gate; that call
+  // must take the inline path rather than probe the mutex its own thread
+  // already holds (undefined behavior). Two chunks that each wait for the
+  // other to start pin one chunk on the worker and one on the dispatching
+  // thread deterministically.
+  ThreadPool pool(2);  // one worker + the dispatching caller
+  const std::thread::id caller_id = std::this_thread::get_id();
+  std::atomic<size_t> arrivals{0};
+  std::atomic<size_t> inner_total{0};
+  std::atomic<bool> caller_reentered{false};
+  pool.ParallelChunks(2, [&](size_t) {
+    arrivals.fetch_add(1);
+    while (arrivals.load() < 2) {
+      std::this_thread::yield();
+    }
+    if (std::this_thread::get_id() == caller_id) {
+      pool.ParallelChunks(16, [&](size_t i) { inner_total.fetch_add(i + 1); });
+      caller_reentered.store(true);
+    }
+  });
+  EXPECT_TRUE(caller_reentered.load());
+  EXPECT_EQ(inner_total.load(), 16u * 17u / 2u);
+}
+
 TEST(ThreadPoolShared, CrossPoolNesting) {
   ThreadPool outer(4);
   ThreadPool inner(4);
