@@ -71,8 +71,15 @@ int main(int argc, char** argv) {
 
   TraceReader reader(in);
   size_t replayed = 0;
-  while (auto event = reader.Next()) {
-    replay_observer.OnEvent(*event);
+  for (;;) {
+    auto event = reader.Next();
+    if (!event.ok()) {
+      continue;  // malformed line: counted by the reader, keep going
+    }
+    if (!event->has_value()) {
+      break;
+    }
+    replay_observer.OnEvent(**event);
     ++replayed;
   }
   std::printf("replayed %zu events (%zu malformed lines)\n", replayed,

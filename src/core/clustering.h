@@ -133,6 +133,14 @@ class ClusterBuilder {
   void set_incremental(bool on) { incremental_enabled_ = on; }
   void InvalidateCache() const { cache_valid_ = false; }
 
+  // Live-tuning override: new near/far thresholds and weights take effect
+  // on the next Build. The incremental cache is invalidated — scores
+  // computed under the old params must not survive.
+  void OverrideParams(const SeerParams& params) {
+    params_ = params;
+    InvalidateCache();
+  }
+
   const ClusterBuildStats& last_build_stats() const { return stats_; }
 
   // Rescore-set fraction above which an incremental rebuild falls back to

@@ -61,6 +61,15 @@ void Correlator::UseSharedPool(ThreadPool* pool) {
   }
 }
 
+void Correlator::OverrideTuningParams(const SeerParams& params) {
+  SeerParams effective = params;
+  effective.max_neighbors = params_.max_neighbors;  // slab geometry is baked
+  params_ = effective;
+  relations_.OverrideParams(effective);
+  streams_.OverrideParams(effective);
+  clusters_.OverrideParams(effective);
+}
+
 ThreadPool* Correlator::IngestPool() {
   if (shared_pool_ != nullptr) {
     return shared_pool_;

@@ -148,6 +148,16 @@ class Correlator : public ReferenceSink {
   const RelationTable& relations() const { return relations_; }
   const SeerParams& params() const { return params_; }
 
+  // Live-tuning override (`seerctl params set` against a running
+  // service): swaps the dynamically-read knobs on this correlator and its
+  // relation table, streams, and cluster builder. max_neighbors is pinned
+  // to the current value — it bakes the relation slab's geometry at
+  // construction, so changing it takes an evict/restore cycle with new
+  // defaults, not an override. Call with no batched ingest in flight
+  // (flush the batcher first) so the boundary between old- and new-params
+  // measurement is deterministic.
+  void OverrideTuningParams(const SeerParams& params);
+
   // Mean semantic distance from -> to, or negative when untracked.
   // String-keyed diagnostic egress.
   double Distance(const std::string& from, const std::string& to) const;

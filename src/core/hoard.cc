@@ -162,6 +162,14 @@ std::vector<PathId> MissLog::TakeFilesToHoard() {
   return out;
 }
 
+void MissLog::RestoreState(std::vector<MissRecord> records, std::set<PathId> pending_hoard) {
+  records_ = std::move(records);
+  pending_hoard_ = std::move(pending_hoard);
+  seen_this_disconnection_.clear();
+  disconnection_start_index_ = records_.size();
+  disconnected_ = false;
+}
+
 size_t MissLog::CountAtSeverity(MissSeverity severity) const {
   size_t n = 0;
   for (const auto& rec : records_) {

@@ -142,6 +142,14 @@ class MissLog : public MissListener {
   // pending set.
   std::vector<PathId> TakeFilesToHoard();
 
+  // The pending force-hoard set, without consuming it (persistence).
+  const std::set<PathId>& pending_hoard() const { return pending_hoard_; }
+
+  // Rebuilds the log from persisted state (the tenant store's aux
+  // section). Replaces current contents; disconnection bracketing resets
+  // to "connected" — a router restart ends any open disconnection.
+  void RestoreState(std::vector<MissRecord> records, std::set<PathId> pending_hoard);
+
   size_t CountAtSeverity(MissSeverity severity) const;
   size_t automatic_count() const;
 

@@ -128,6 +128,10 @@ class ReferenceStreams {
 
   explicit ReferenceStreams(const SeerParams& params) : params_(params) {}
 
+  // Live-tuning override: distance measurement picks up the new horizon /
+  // distance-kind knobs from the next reference on.
+  void OverrideParams(const SeerParams& params) { params_ = params; }
+
   // An open of `file` by `pid`: appends to `out` the distance observations
   // from every file referenced within the horizon to `file`. Out-param so
   // the correlator can reuse one scratch buffer — the per-reference hot

@@ -103,6 +103,15 @@ class RelationTable {
 
   RelationTable(const SeerParams& params, const FileTable* files, uint64_t seed = 0x5ee12);
 
+  // Live-tuning override (`params set` against a running service): swaps
+  // in the new aging/distance knobs but pins max_neighbors to the value
+  // the slab was built with — cap_ bakes the stripe geometry, so changing
+  // it takes a snapshot round-trip, not an override.
+  void OverrideParams(SeerParams params) {
+    params.max_neighbors = params_.max_neighbors;
+    params_ = params;
+  }
+
   // Records an observation `distance` for the ordered pair (from -> to).
   void Observe(FileId from, FileId to, double distance);
 

@@ -1,0 +1,166 @@
+#include "src/server/client.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "src/trace/binary_trace.h"
+
+namespace seer {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+StatusOr<SeerClient> SeerClient::Connect(const std::string& endpoint_spec,
+                                         SeerClientOptions options) {
+  SEER_ASSIGN_OR_RETURN(const net::Endpoint endpoint, net::ParseEndpoint(endpoint_spec));
+  Status last = Status::IoError("connect: no attempts made");
+  const int attempts = std::max(1, options.connect_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(options.retry_delay_ms));
+    }
+    StatusOr<net::OwnedFd> fd = net::Connect(endpoint);
+    if (fd.ok()) {
+      return SeerClient(*std::move(fd), options);
+    }
+    last = fd.status();
+  }
+  return Status(last.code(), "after " + std::to_string(attempts) +
+                                 " attempts: " + last.message());
+}
+
+Status SeerClient::StreamEvents(TenantId tenant, const std::vector<TraceEvent>& events) {
+  if (tenant == kInvalidTenantId) {
+    return Status::InvalidArgument("cannot stream events for the invalid tenant id");
+  }
+  // Keep comfortably under the frame cap even if the final event of a
+  // batch is a pathological path (kMaxPathLen plus varint overhead).
+  const size_t cut_at = std::min<size_t>(options_.batch_bytes,
+                                         wire::kMaxFramePayload - (8u << 10));
+  size_t i = 0;
+  while (i < events.size()) {
+    std::ostringstream payload;
+    BinaryTraceWriter writer(payload);
+    while (i < events.size() && static_cast<size_t>(payload.tellp()) < cut_at) {
+      writer.Write(events[i]);
+      ++i;
+    }
+    SEER_RETURN_IF_ERROR(net::SendAll(
+        fd_.get(), wire::EncodeFrame(wire::FrameType::kEvents, tenant, payload.str())));
+  }
+  return Status::Ok();
+}
+
+StatusOr<wire::ControlResponse> SeerClient::Call(const wire::ControlRequest& request) {
+  const uint32_t id = next_request_id_++;
+  SEER_RETURN_IF_ERROR(
+      net::SendAll(fd_.get(), wire::EncodeFrame(wire::FrameType::kRequest, id,
+                                                wire::EncodeControlRequest(request))));
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.response_timeout_ms);
+  char buf[65536];
+  for (;;) {
+    // Drain any complete frames first (a prior Call may have left bytes).
+    for (;;) {
+      StatusOr<std::optional<wire::Frame>> next = decoder_.Next();
+      if (!next.ok()) {
+        return next.status();
+      }
+      if (!next->has_value()) {
+        break;
+      }
+      const wire::Frame& frame = **next;
+      if (frame.type != wire::FrameType::kResponse) {
+        return Status::DataLoss("server sent a non-response frame");
+      }
+      if (frame.channel != id) {
+        continue;  // response to an earlier, abandoned request
+      }
+      return wire::DecodeControlResponse(frame.payload);
+    }
+    const auto remaining = deadline - Clock::now();
+    if (remaining <= std::chrono::milliseconds(0)) {
+      return Status::IoError(std::string("timed out awaiting response to ") +
+                             std::string(wire::ControlVerbName(request.verb)));
+    }
+    pollfd p{fd_.get(), POLLIN, 0};
+    const int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(remaining).count() + 1);
+    const int ready = ::poll(&p, 1, wait_ms);
+    if (ready < 0) {
+      return Status::IoError("poll failed awaiting control response");
+    }
+    if (ready == 0) {
+      continue;  // deadline check above fires next iteration
+    }
+    bool would_block = false;
+    SEER_ASSIGN_OR_RETURN(const size_t n,
+                          net::ReadSome(fd_.get(), buf, sizeof(buf), &would_block));
+    if (would_block) {
+      continue;
+    }
+    if (n == 0) {
+      return Status::IoError("server closed the connection before responding");
+    }
+    decoder_.Append(std::string_view(buf, n));
+  }
+}
+
+StatusOr<wire::ControlResponse> SeerClient::CallVerb(wire::ControlVerb verb,
+                                                     TenantId tenant, std::string text) {
+  wire::ControlRequest request;
+  request.verb = verb;
+  request.tenant = tenant;
+  request.text = std::move(text);
+  SEER_ASSIGN_OR_RETURN(wire::ControlResponse response, Call(request));
+  SEER_RETURN_IF_ERROR(response.ToStatus());
+  return response;
+}
+
+Status SeerClient::Ping() {
+  return CallVerb(wire::ControlVerb::kPing, kInvalidTenantId).status();
+}
+
+StatusOr<std::vector<TenantId>> SeerClient::TenantList() {
+  SEER_ASSIGN_OR_RETURN(wire::ControlResponse response,
+                        CallVerb(wire::ControlVerb::kTenantList, kInvalidTenantId));
+  return std::move(response.tenants);
+}
+
+StatusOr<std::vector<TenantStats>> SeerClient::Stats(TenantId tenant) {
+  SEER_ASSIGN_OR_RETURN(wire::ControlResponse response,
+                        CallVerb(wire::ControlVerb::kTenantStats, tenant));
+  return std::move(response.stats);
+}
+
+Status SeerClient::Evict(TenantId tenant) {
+  return CallVerb(wire::ControlVerb::kTenantEvict, tenant).status();
+}
+
+Status SeerClient::Checkpoint(TenantId tenant) {
+  return CallVerb(wire::ControlVerb::kTenantCheckpoint, tenant).status();
+}
+
+StatusOr<std::string> SeerClient::ParamsGet(TenantId tenant) {
+  SEER_ASSIGN_OR_RETURN(wire::ControlResponse response,
+                        CallVerb(wire::ControlVerb::kParamsGet, tenant));
+  return std::move(response.text);
+}
+
+Status SeerClient::ParamsSet(TenantId tenant, const std::string& text) {
+  return CallVerb(wire::ControlVerb::kParamsSet, tenant, text).status();
+}
+
+Status SeerClient::Shutdown() {
+  return CallVerb(wire::ControlVerb::kShutdown, kInvalidTenantId).status();
+}
+
+}  // namespace seer

@@ -1,0 +1,214 @@
+#include "src/server/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <string>
+
+namespace seer {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+StatusOr<OwnedFd> NewSocket(int domain) {
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Errno("socket");
+  }
+  return OwnedFd(fd);
+}
+
+Status FillUnixAddr(const std::string& path, sockaddr_un* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("socket path too long for sockaddr_un: " + path);
+  }
+  std::memcpy(addr->sun_path, path.data(), path.size());
+  return Status::Ok();
+}
+
+Status FillTcpAddr(const Endpoint& endpoint, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(endpoint.port);
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + endpoint.host);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void OwnedFd::reset(int fd) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+StatusOr<Endpoint> ParseEndpoint(std::string_view spec) {
+  Endpoint endpoint;
+  if (spec.rfind("unix:", 0) == 0) {
+    spec.remove_prefix(5);
+    endpoint.path = std::string(spec);
+  } else if (spec.rfind("tcp:", 0) == 0) {
+    spec.remove_prefix(4);
+    const size_t colon = spec.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 || colon + 1 == spec.size()) {
+      return Status::InvalidArgument("tcp endpoint must be tcp:host:port, got tcp:" +
+                                     std::string(spec));
+    }
+    endpoint.tcp = true;
+    endpoint.host = std::string(spec.substr(0, colon));
+    uint32_t port = 0;
+    for (const char c : spec.substr(colon + 1)) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("bad tcp port in endpoint");
+      }
+      port = port * 10 + static_cast<uint32_t>(c - '0');
+      if (port > 65535) {
+        return Status::InvalidArgument("tcp port out of range");
+      }
+    }
+    if (port == 0) {
+      return Status::InvalidArgument("tcp port out of range");
+    }
+    endpoint.port = static_cast<uint16_t>(port);
+    return endpoint;
+  } else {
+    endpoint.path = std::string(spec);
+  }
+  if (endpoint.path.empty()) {
+    return Status::InvalidArgument("empty socket path");
+  }
+  sockaddr_un probe;
+  SEER_RETURN_IF_ERROR(FillUnixAddr(endpoint.path, &probe));
+  return endpoint;
+}
+
+StatusOr<OwnedFd> Listen(const Endpoint& endpoint) {
+  if (endpoint.tcp) {
+    SEER_ASSIGN_OR_RETURN(OwnedFd fd, NewSocket(AF_INET));
+    const int on = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+    sockaddr_in addr;
+    SEER_RETURN_IF_ERROR(FillTcpAddr(endpoint, &addr));
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return Errno("bind " + endpoint.host + ":" + std::to_string(endpoint.port));
+    }
+    if (::listen(fd.get(), SOMAXCONN) != 0) {
+      return Errno("listen");
+    }
+    return fd;
+  }
+  SEER_ASSIGN_OR_RETURN(OwnedFd fd, NewSocket(AF_UNIX));
+  sockaddr_un addr;
+  SEER_RETURN_IF_ERROR(FillUnixAddr(endpoint.path, &addr));
+  ::unlink(endpoint.path.c_str());  // a stale socket file from a dead server
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind " + endpoint.path);
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) {
+    return Errno("listen " + endpoint.path);
+  }
+  return fd;
+}
+
+StatusOr<OwnedFd> Connect(const Endpoint& endpoint) {
+  if (endpoint.tcp) {
+    SEER_ASSIGN_OR_RETURN(OwnedFd fd, NewSocket(AF_INET));
+    sockaddr_in addr;
+    SEER_RETURN_IF_ERROR(FillTcpAddr(endpoint, &addr));
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return Errno("connect " + endpoint.host + ":" + std::to_string(endpoint.port));
+    }
+    return fd;
+  }
+  SEER_ASSIGN_OR_RETURN(OwnedFd fd, NewSocket(AF_UNIX));
+  sockaddr_un addr;
+  SEER_RETURN_IF_ERROR(FillUnixAddr(endpoint.path, &addr));
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("connect " + endpoint.path);
+  }
+  return fd;
+}
+
+StatusOr<OwnedFd> Accept(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      return OwnedFd(fd);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::FailedPrecondition("accept: no pending connection");
+    }
+    return Errno("accept");
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl O_NONBLOCK");
+  }
+  return Status::Ok();
+}
+
+Status SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd pfd{fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) {
+        return Errno("poll POLLOUT");
+      }
+      continue;
+    }
+    return Errno("send");
+  }
+  return Status::Ok();
+}
+
+StatusOr<size_t> ReadSome(int fd, char* buf, size_t len, bool* would_block) {
+  *would_block = false;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, len);
+    if (n >= 0) {
+      return static_cast<size_t>(n);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *would_block = true;
+      return static_cast<size_t>(0);
+    }
+    return Errno("read");
+  }
+}
+
+}  // namespace net
+}  // namespace seer

@@ -1,0 +1,89 @@
+// Thin POSIX socket layer for the hoard service.
+//
+// wire.h is pure bytes (fuzzable, no syscalls); this header owns the file
+// descriptors. Endpoints are spelled as strings so seerctl flags, the
+// bench, and tests all parse the same way:
+//
+//   "unix:/run/seer.sock"  — UNIX-domain stream socket
+//   "/run/seer.sock"       — same (bare paths mean UDS)
+//   "tcp:127.0.0.1:7070"   — TCP, numeric IPv4 host
+//
+// UDS is the primary transport (the service and a laptop's observer share
+// a machine, as in the paper's deployment); TCP exists for the fleet
+// case. Everything returns Status/StatusOr with errno folded into the
+// message — no exceptions, no silent -1s.
+#ifndef SRC_SERVER_NET_H_
+#define SRC_SERVER_NET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace seer {
+namespace net {
+
+// Move-only RAII file descriptor.
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  ~OwnedFd() { reset(); }
+  OwnedFd(OwnedFd&& other) noexcept : fd_(other.release()) {}
+  OwnedFd& operator=(OwnedFd&& other) noexcept {
+    if (this != &other) {
+      reset(other.release());
+    }
+    return *this;
+  }
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+struct Endpoint {
+  bool tcp = false;
+  std::string path;  // UDS socket path
+  std::string host;  // TCP numeric IPv4
+  uint16_t port = 0;
+};
+
+// Parses an endpoint spec (see header comment). UDS paths are checked
+// against the sockaddr_un length limit here, not at bind time.
+StatusOr<Endpoint> ParseEndpoint(std::string_view spec);
+
+// socket + bind + listen. A stale UDS socket file is unlinked first (the
+// previous server is gone; its address should not brick the next one).
+StatusOr<OwnedFd> Listen(const Endpoint& endpoint);
+
+// Blocking connect. No retry here — the client library layers
+// retry/backoff on top (a refused connection is common at startup).
+StatusOr<OwnedFd> Connect(const Endpoint& endpoint);
+
+// accept(); kFailedPrecondition wrapping EAGAIN when nothing is pending
+// on a non-blocking listener.
+StatusOr<OwnedFd> Accept(int listen_fd);
+
+Status SetNonBlocking(int fd);
+
+// Writes all of `data`, polling for writability on EAGAIN; EPIPE and
+// friends surface as kIoError.
+Status SendAll(int fd, std::string_view data);
+
+// One read(): bytes read, 0 at EOF. EAGAIN on a non-blocking socket is
+// 0 bytes with `*would_block = true`.
+StatusOr<size_t> ReadSome(int fd, char* buf, size_t len, bool* would_block);
+
+}  // namespace net
+}  // namespace seer
+
+#endif  // SRC_SERVER_NET_H_

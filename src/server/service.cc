@@ -1,0 +1,328 @@
+#include "src/server/service.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "src/core/snapshot_store.h"
+
+namespace seer {
+
+HoardService::HoardService(Fs* fs, std::string root, HoardServiceConfig config)
+    : fs_(fs), config_(std::move(config)), router_(fs, std::move(root), config_.router) {
+  // Register tenants already on disk so list/stats enumerate them across
+  // a server restart. Stores stay closed: they restore lazily on first
+  // reference, exactly like an eviction.
+  const StatusOr<std::vector<TenantId>> listed =
+      SnapshotStore::ListTenants(fs_, router_.root());
+  if (listed.ok()) {
+    for (const TenantId tenant : *listed) {
+      router_.SinkFor(tenant);
+    }
+  }
+}
+
+HoardService::~HoardService() {
+  if (!uds_path_.empty()) {
+    ::unlink(uds_path_.c_str());
+  }
+}
+
+Status HoardService::Listen(const std::string& endpoint_spec) {
+  if (listener_.valid()) {
+    return Status::FailedPrecondition("hoard service: already listening");
+  }
+  SEER_ASSIGN_OR_RETURN(const net::Endpoint endpoint, net::ParseEndpoint(endpoint_spec));
+  SEER_ASSIGN_OR_RETURN(listener_, net::Listen(endpoint));
+  SEER_RETURN_IF_ERROR(net::SetNonBlocking(listener_.get()));
+  if (!endpoint.tcp) {
+    uds_path_ = endpoint.path;
+  }
+  return Status::Ok();
+}
+
+Time HoardService::Now() const {
+  if (config_.clock) {
+    return config_.clock();
+  }
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Observer* HoardService::ObserverFor(TenantId tenant) {
+  auto it = observers_.find(tenant);
+  if (it == observers_.end()) {
+    auto observer = std::make_unique<Observer>(config_.observer, /*fs=*/nullptr);
+    observer->set_sink(router_.SinkFor(tenant));
+    observer->set_miss_listener(router_.MissLogFor(tenant));
+    it = observers_.emplace(tenant, std::move(observer)).first;
+  }
+  return it->second.get();
+}
+
+void HoardService::FlushOutbox(Connection* c) {
+  if (c->outbox.empty() || !c->fd.valid()) {
+    return;
+  }
+  // SendAll polls for writability on EAGAIN, so responses flush fully
+  // here; control responses are small, so blocking the loop is bounded.
+  const Status sent = net::SendAll(c->fd.get(), c->outbox);
+  if (!sent.ok()) {
+    c->closed = true;
+  }
+  c->outbox.clear();
+}
+
+wire::ControlResponse HoardService::Dispatch(const wire::ControlRequest& request) {
+  wire::ControlResponse response;
+  response.verb = request.verb;
+  const auto fail = [&response](const Status& status) {
+    response.code = status.code();
+    response.message = status.message();
+  };
+  switch (request.verb) {
+    case wire::ControlVerb::kPing:
+      response.text = "pong";
+      return response;
+    case wire::ControlVerb::kTenantList:
+      response.tenants = router_.ListTenants();
+      return response;
+    case wire::ControlVerb::kTenantStats: {
+      std::vector<TenantId> ids;
+      if (request.tenant == kInvalidTenantId) {
+        ids = router_.ListTenants();
+      } else {
+        ids.push_back(request.tenant);
+      }
+      for (const TenantId id : ids) {
+        const StatusOr<TenantStats> stats = router_.Stats(id);
+        if (!stats.ok()) {
+          fail(stats.status());
+          return response;
+        }
+        response.stats.push_back(*stats);
+      }
+      return response;
+    }
+    case wire::ControlVerb::kTenantEvict: {
+      const Status evicted = router_.EvictTenant(request.tenant);
+      if (!evicted.ok()) {
+        fail(evicted);
+      }
+      return response;
+    }
+    case wire::ControlVerb::kTenantCheckpoint: {
+      // Checkpointing restores evicted tenants, so gate on existence —
+      // a typoed id must not materialise a fresh store.
+      const StatusOr<TenantStats> exists = router_.Stats(request.tenant);
+      if (!exists.ok()) {
+        fail(exists.status());
+        return response;
+      }
+      const Status checkpointed = router_.CheckpointTenant(request.tenant);
+      if (!checkpointed.ok()) {
+        fail(checkpointed);
+      }
+      return response;
+    }
+    case wire::ControlVerb::kParamsGet: {
+      const StatusOr<std::string> text = router_.GetTenantParams(request.tenant);
+      if (!text.ok()) {
+        fail(text.status());
+        return response;
+      }
+      response.text = *text;
+      return response;
+    }
+    case wire::ControlVerb::kParamsSet: {
+      const Status set = router_.SetTenantParams(request.tenant, request.text);
+      if (!set.ok()) {
+        fail(set);
+      }
+      return response;
+    }
+    case wire::ControlVerb::kShutdown:
+      response.text = "draining";
+      return response;
+  }
+  fail(Status::InvalidArgument("unknown control verb"));
+  return response;
+}
+
+void HoardService::HandleFrame(Connection* c, wire::Frame frame) {
+  switch (frame.type) {
+    case wire::FrameType::kEvents: {
+      const TenantId tenant = frame.channel;
+      const StatusOr<std::vector<TraceEvent>> events = wire::DecodeEvents(frame.payload);
+      if (!events.ok() || tenant == kInvalidTenantId) {
+        ++protocol_errors_;
+        c->closed = true;
+        return;
+      }
+      Observer* observer = ObserverFor(tenant);
+      for (const TraceEvent& event : *events) {
+        observer->OnEvent(event);
+      }
+      events_ingested_ += events->size();
+      return;
+    }
+    case wire::FrameType::kRequest: {
+      const StatusOr<wire::ControlRequest> request =
+          wire::DecodeControlRequest(frame.payload);
+      if (!request.ok()) {
+        ++protocol_errors_;
+        c->closed = true;
+        return;
+      }
+      const wire::ControlResponse response = Dispatch(*request);
+      c->outbox +=
+          wire::EncodeFrame(wire::FrameType::kResponse, frame.channel,
+                            wire::EncodeControlResponse(response));
+      FlushOutbox(c);
+      if (request->verb == wire::ControlVerb::kShutdown &&
+          response.code == StatusCode::kOk) {
+        stop_.store(true, std::memory_order_relaxed);
+      }
+      return;
+    }
+    case wire::FrameType::kResponse:
+      break;  // clients must not send responses
+  }
+  ++protocol_errors_;
+  c->closed = true;
+}
+
+void HoardService::ProcessFrames(Connection* c) {
+  for (;;) {
+    StatusOr<std::optional<wire::Frame>> next = c->decoder.Next();
+    if (!next.ok()) {
+      ++protocol_errors_;
+      c->closed = true;
+      return;
+    }
+    if (!next->has_value()) {
+      return;
+    }
+    ++frames_received_;
+    HandleFrame(c, std::move(**next));
+    if (c->closed) {
+      return;
+    }
+  }
+}
+
+Status HoardService::Serve() {
+  if (!listener_.valid()) {
+    return Status::FailedPrecondition("hoard service: Serve() before Listen()");
+  }
+  Status first_error;
+  const auto latch = [&first_error](const Status& status) {
+    if (first_error.ok() && !status.ok()) {
+      first_error = status;
+    }
+  };
+
+  char buf[65536];
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::vector<pollfd> fds;
+    std::vector<Connection*> polled;
+    fds.push_back({listener_.get(), POLLIN, 0});
+    for (const auto& c : connections_) {
+      short events = 0;
+      if (c->decoder.buffered() < config_.conn_buffer_limit) {
+        events |= POLLIN;  // else: backpressured, let the kernel throttle
+      }
+      fds.push_back({c->fd.get(), events, 0});
+      polled.push_back(c.get());
+    }
+    const int ready = ::poll(fds.data(), fds.size(), config_.poll_interval_ms);
+    if (ready < 0 && errno != EINTR) {
+      latch(Status::IoError("hoard service: poll failed"));
+      break;
+    }
+
+    if (fds[0].revents & POLLIN) {
+      for (;;) {
+        StatusOr<net::OwnedFd> accepted = net::Accept(listener_.get());
+        if (!accepted.ok()) {
+          break;  // kFailedPrecondition == nothing pending
+        }
+        auto conn = std::make_unique<Connection>();
+        conn->fd = std::move(*accepted);
+        (void)net::SetNonBlocking(conn->fd.get());
+        ++connections_accepted_;
+        connections_.push_back(std::move(conn));
+      }
+    }
+
+    for (size_t i = 0; i < polled.size(); ++i) {
+      Connection* c = polled[i];
+      const short revents = fds[i + 1].revents;
+      if (c->closed || (revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      // Read and process until the socket runs dry or the connection hits
+      // its buffer cap. Frames dispatch synchronously, so the ingest
+      // batcher's backpressure stalls this read loop — and, through the
+      // kernel socket buffer, the sender.
+      while (c->decoder.buffered() < config_.conn_buffer_limit) {
+        bool would_block = false;
+        const StatusOr<size_t> n = net::ReadSome(c->fd.get(), buf, sizeof(buf), &would_block);
+        if (!n.ok()) {
+          c->closed = true;
+          break;
+        }
+        if (would_block) {
+          break;
+        }
+        if (*n == 0) {  // EOF
+          if (!c->decoder.AtFrameBoundary()) {
+            ++protocol_errors_;  // mid-frame disconnect: torn frame dropped
+          }
+          c->closed = true;
+          break;
+        }
+        c->decoder.Append(std::string_view(buf, *n));
+        ProcessFrames(c);
+        if (c->closed || stop_.load(std::memory_order_relaxed)) {
+          break;
+        }
+      }
+      if (stop_.load(std::memory_order_relaxed)) {
+        break;
+      }
+    }
+
+    connections_.erase(
+        std::remove_if(connections_.begin(), connections_.end(),
+                       [](const std::unique_ptr<Connection>& c) { return c->closed; }),
+        connections_.end());
+
+    const Time now = Now();
+    if (last_tick_ < 0 || now != last_tick_) {
+      last_tick_ = now;
+      latch(router_.Tick(now));
+    }
+  }
+
+  // Graceful drain: finish frames already buffered, flush responses,
+  // close everything, then seal + checkpoint every resident tenant.
+  for (const auto& c : connections_) {
+    if (!c->closed) {
+      ProcessFrames(c.get());
+      FlushOutbox(c.get());
+    }
+  }
+  connections_.clear();
+  latch(router_.DrainCheckpoints());
+  latch(router_.Shutdown());
+  latch(router_.last_error());
+  return first_error;
+}
+
+}  // namespace seer

@@ -1,0 +1,141 @@
+// The hoard service: TenantRouter behind a socket.
+//
+// PR 6 built the tenant-routed server plane as an in-process library;
+// this is its network face. One poll()-driven thread owns a listening
+// socket (UDS primarily, TCP for the fleet case), any number of
+// client connections, and the router — preserving the router's
+// single-threaded control-plane contract by construction: every frame,
+// control verb, and Tick runs on the Serve() thread, while the
+// parallelism stays in the shared worker pool underneath.
+//
+// Data plane: kEvents frames (wire.h) carry self-contained binary
+// traces tagged with a TenantId channel. Each tenant's events pass
+// through that tenant's own Observer — the same filtering pipeline a
+// local deployment runs — and into SinkFor(tenant); kNotLocal accesses
+// feed the tenant's MissLog. Frames are processed synchronously as they
+// are read, so the ingest batcher's backpressure propagates naturally:
+// a connection whose tenant is slow to ingest simply stops being read,
+// and the kernel socket buffer throttles the sender. A connection that
+// accumulates more than conn_buffer_limit undecoded bytes (one frame
+// can be up to wire::kMaxFramePayload) is likewise not polled for more
+// input until the backlog drains.
+//
+// Control plane: kRequest frames are decoded, dispatched against the
+// router, and answered with a kResponse frame echoing the request id —
+// so a client can pipeline requests over one connection. kShutdown
+// answers first, then drains: remaining buffered frames are processed,
+// connections close, in-flight checkpoints settle, and every resident
+// tenant is sealed and checkpointed (router Shutdown) before Serve()
+// returns. A malformed frame (bad magic/version/flags, oversized
+// length, undecodable payload) closes that connection — framing has no
+// resynchronisation point — without disturbing the others.
+//
+// Tenants already on disk are registered at construction (stats and
+// list enumerate them across a server restart); their stores restore
+// lazily on first reference, exactly like an eviction.
+#ifndef SRC_SERVER_SERVICE_H_
+#define SRC_SERVER_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/observer/observer.h"
+#include "src/observer/observer_config.h"
+#include "src/server/net.h"
+#include "src/server/tenant_router.h"
+#include "src/server/wire.h"
+#include "src/util/fs.h"
+#include "src/util/status.h"
+
+namespace seer {
+
+struct HoardServiceConfig {
+  TenantRouterConfig router;
+  // Per-tenant observer pipeline (filters, frequent-file heuristic).
+  ObserverConfig observer;
+  // Undecoded bytes a connection may buffer before the service stops
+  // reading it (per-connection backpressure; must admit one max frame).
+  size_t conn_buffer_limit = wire::kMaxFramePayload + wire::kFrameHeaderSize;
+  // poll() timeout — the idle heartbeat driving router Tick cadence.
+  int poll_interval_ms = 100;
+  // Microsecond clock for Tick; null selects the monotonic clock. Tests
+  // inject a fake so checkpoint scheduling is reproducible.
+  std::function<Time()> clock;
+};
+
+class HoardService {
+ public:
+  HoardService(Fs* fs, std::string root, HoardServiceConfig config = {});
+  ~HoardService();
+
+  HoardService(const HoardService&) = delete;
+  HoardService& operator=(const HoardService&) = delete;
+
+  // Binds and listens on the endpoint (net.h spec syntax). Call once,
+  // before Serve.
+  Status Listen(const std::string& endpoint_spec);
+
+  // Runs the accept/read/dispatch loop until a kShutdown request or
+  // RequestStop(), then drains and seals every resident tenant. Returns
+  // the first error the loop or the drain latched (Ok on a clean run —
+  // per-connection protocol errors are counted, not fatal).
+  Status Serve();
+
+  // Thread-safe stop signal (signal handlers, tests). Serve notices at
+  // its next poll timeout and drains exactly like a kShutdown verb.
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+  // The router is usable (single-threaded) before Serve starts and
+  // after it returns — tests inspect tenants directly.
+  TenantRouter& router() { return router_; }
+  const TenantRouter& router() const { return router_; }
+
+  // --- counters -----------------------------------------------------------
+  uint64_t connections_accepted() const { return connections_accepted_; }
+  uint64_t frames_received() const { return frames_received_; }
+  uint64_t events_ingested() const { return events_ingested_; }
+  // Connections dropped for framing or payload decode errors.
+  uint64_t protocol_errors() const { return protocol_errors_; }
+
+ private:
+  struct Connection {
+    net::OwnedFd fd;
+    wire::FrameDecoder decoder;
+    std::string outbox;  // encoded response frames not yet written
+    bool closed = false;
+  };
+
+  Time Now() const;
+  Observer* ObserverFor(TenantId tenant);
+  // Decodes and dispatches every complete frame buffered on `c`.
+  void ProcessFrames(Connection* c);
+  void HandleFrame(Connection* c, wire::Frame frame);
+  wire::ControlResponse Dispatch(const wire::ControlRequest& request);
+  void FlushOutbox(Connection* c);
+
+  Fs* fs_;
+  HoardServiceConfig config_;
+  TenantRouter router_;
+  net::OwnedFd listener_;
+  std::string uds_path_;  // unlinked on destruction when non-empty
+  std::vector<std::unique_ptr<Connection>> connections_;
+  // One observer pipeline per tenant: filtering state (frequent files,
+  // per-process history) is tenant-local, like everything else.
+  std::map<TenantId, std::unique_ptr<Observer>> observers_;
+  std::atomic<bool> stop_{false};
+  Time last_tick_ = -1;
+
+  uint64_t connections_accepted_ = 0;
+  uint64_t frames_received_ = 0;
+  uint64_t events_ingested_ = 0;
+  uint64_t protocol_errors_ = 0;
+};
+
+}  // namespace seer
+
+#endif  // SRC_SERVER_SERVICE_H_

@@ -1,0 +1,138 @@
+#include "src/server/tenant_aux_io.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "src/trace/trace_io.h"
+
+namespace seer {
+
+namespace {
+
+constexpr char kAuxHeader[] = "# seer tenant aux v1";
+constexpr char kAuxFileName[] = "aux.seer";
+constexpr char kAuxTmpName[] = "aux.seer.tmp";
+
+template <typename T>
+bool ParseInt(std::string_view s, T* out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+std::vector<std::string_view> SplitFields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') {
+      ++i;
+    }
+    const size_t start = i;
+    while (i < line.size() && line[i] != ' ') {
+      ++i;
+    }
+    if (i > start) {
+      fields.push_back(line.substr(start, i - start));
+    }
+  }
+  return fields;
+}
+
+Status BadLine(size_t line_no, const std::string& why) {
+  return Status::InvalidArgument("tenant aux line " + std::to_string(line_no) + ": " + why);
+}
+
+}  // namespace
+
+std::string FormatTenantAux(const HoardManager& manager, const MissLog& miss_log) {
+  std::ostringstream out;
+  out << kAuxHeader << '\n';
+  for (const PathId pin : manager.pinned()) {
+    out << "pin " << EscapePath(GlobalPaths().PathOf(pin)) << '\n';
+  }
+  for (const PathId path : miss_log.pending_hoard()) {
+    out << "pending " << EscapePath(GlobalPaths().PathOf(path)) << '\n';
+  }
+  for (const MissRecord& rec : miss_log.records()) {
+    out << "miss " << rec.time << ' ' << static_cast<int>(rec.severity) << ' '
+        << (rec.automatic ? 'a' : 'm') << ' ' << EscapePath(GlobalPaths().PathOf(rec.path))
+        << '\n';
+  }
+  return out.str();
+}
+
+StatusOr<TenantAuxState> ParseTenantAux(std::string_view text) {
+  TenantAuxState state;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const auto fields = SplitFields(line);
+    if (fields.empty()) {
+      continue;
+    }
+    if (fields[0] == "pin" || fields[0] == "pending") {
+      if (fields.size() != 2) {
+        return BadLine(line_no, "expected 2 fields");
+      }
+      const PathId id = GlobalPaths().Intern(UnescapePath(fields[1]));
+      (fields[0] == "pin" ? state.pins : state.pending_hoard).insert(id);
+      continue;
+    }
+    if (fields[0] == "miss") {
+      if (fields.size() != 5) {
+        return BadLine(line_no, "expected 5 fields");
+      }
+      MissRecord rec;
+      int severity = -1;
+      if (!ParseInt(fields[1], &rec.time)) {
+        return BadLine(line_no, "bad time field");
+      }
+      if (!ParseInt(fields[2], &severity) || severity < 0 || severity > 4) {
+        return BadLine(line_no, "bad severity field");
+      }
+      if (fields[3] != "a" && fields[3] != "m") {
+        return BadLine(line_no, "bad automatic flag");
+      }
+      rec.severity = static_cast<MissSeverity>(severity);
+      rec.automatic = fields[3] == "a";
+      rec.path = GlobalPaths().Intern(UnescapePath(fields[4]));
+      state.miss_records.push_back(rec);
+      continue;
+    }
+    return BadLine(line_no, "unknown record '" + std::string(fields[0]) + "'");
+  }
+  return state;
+}
+
+Status WriteTenantAux(Fs* fs, const std::string& dir, const HoardManager& manager,
+                      const MissLog& miss_log) {
+  const std::string path = dir + "/" + kAuxFileName;
+  if (manager.pinned().empty() && miss_log.pending_hoard().empty() &&
+      miss_log.records().empty()) {
+    if (fs->Exists(path)) {
+      SEER_RETURN_IF_ERROR(fs->RemoveFile(path));
+      SEER_RETURN_IF_ERROR(fs->SyncDir(dir));
+    }
+    return Status::Ok();
+  }
+  const std::string tmp = dir + "/" + kAuxTmpName;
+  SEER_RETURN_IF_ERROR(fs->WriteFile(tmp, FormatTenantAux(manager, miss_log)));
+  SEER_RETURN_IF_ERROR(fs->SyncFile(tmp));
+  SEER_RETURN_IF_ERROR(fs->RenameFile(tmp, path));
+  return fs->SyncDir(dir);
+}
+
+StatusOr<TenantAuxState> LoadTenantAux(Fs* fs, const std::string& dir) {
+  const std::string path = dir + "/" + kAuxFileName;
+  if (!fs->Exists(path)) {
+    return TenantAuxState{};
+  }
+  SEER_ASSIGN_OR_RETURN(const std::string text, fs->ReadFile(path));
+  return ParseTenantAux(text);
+}
+
+}  // namespace seer

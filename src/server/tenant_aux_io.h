@@ -1,0 +1,62 @@
+// Per-tenant auxiliary durability: pins and the miss log.
+//
+// The snapshot store persists what the correlator *learned*; it says
+// nothing about what the user *told us* — hand-pinned files (Section 2)
+// and the hoard-miss reports of Section 4.4. PR 6 kept those in router
+// memory across evictions, which loses them on restart: exactly the data
+// a user is angriest to lose, since each record is a human action or a
+// felt failure. This module folds them into the tenant store as a small
+// text section, written through the same atomic temp+fsync+rename
+// protocol as snapshots and loaded on tenant restore.
+//
+// Format (one record per line, '#' comments, paths %-escaped as in
+// trace_io.h):
+//
+//   # seer tenant aux v1
+//   pin <path>
+//   pending <path>                      force-hoard at next reconnection
+//   miss <time> <severity> <a|m> <path>
+//
+// The file is tiny (pins and misses are human-scale), so it is rewritten
+// whole at each checkpoint/eviction rather than journaled.
+#ifndef SRC_SERVER_TENANT_AUX_IO_H_
+#define SRC_SERVER_TENANT_AUX_IO_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/hoard.h"
+#include "src/util/fs.h"
+#include "src/util/status.h"
+
+namespace seer {
+
+struct TenantAuxState {
+  std::set<PathId> pins;
+  std::vector<MissRecord> miss_records;
+  std::set<PathId> pending_hoard;
+
+  bool empty() const {
+    return pins.empty() && miss_records.empty() && pending_hoard.empty();
+  }
+};
+
+std::string FormatTenantAux(const HoardManager& manager, const MissLog& miss_log);
+
+// kInvalidArgument naming the bad line for malformed input.
+StatusOr<TenantAuxState> ParseTenantAux(std::string_view text);
+
+// Atomically (re)writes the aux file in store directory `dir`. An empty
+// state removes the file instead, so a tenant that never pinned or
+// missed carries no extra artifact.
+Status WriteTenantAux(Fs* fs, const std::string& dir, const HoardManager& manager,
+                      const MissLog& miss_log);
+
+// Loads the aux file; a missing file is an empty state, not an error.
+StatusOr<TenantAuxState> LoadTenantAux(Fs* fs, const std::string& dir);
+
+}  // namespace seer
+
+#endif  // SRC_SERVER_TENANT_AUX_IO_H_

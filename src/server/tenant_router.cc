@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/core/params_io.h"
+#include "src/server/tenant_aux_io.h"
+
 namespace seer {
 
 TenantRouter::TenantRouter(Fs* fs, std::string root, TenantRouterConfig config)
@@ -84,11 +87,47 @@ TenantRouter::Tenant* TenantRouter::ResidentTenant(TenantId tenant) {
   return t;
 }
 
+Status TenantRouter::EnsureAuxLoaded(Tenant* t) {
+  // Loaded once per router lifetime — after that the in-memory copies
+  // survive eviction and are strictly newer than disk.
+  if (t->aux_loaded) {
+    return Status::Ok();
+  }
+  SEER_ASSIGN_OR_RETURN(TenantAuxState aux,
+                        LoadTenantAux(fs_, SnapshotStore::TenantDirectory(root_, t->id)));
+  if (!aux.empty()) {
+    for (const PathId pin : aux.pins) {
+      t->manager.Pin(pin);
+    }
+    t->miss_log.RestoreState(std::move(aux.miss_records), std::move(aux.pending_hoard));
+  }
+  t->aux_loaded = true;
+  return Status::Ok();
+}
+
 Status TenantRouter::Restore(Tenant* t) {
-  SEER_ASSIGN_OR_RETURN(
-      t->durable,
-      DurableCorrelator::Open(fs_, SnapshotStore::TenantDirectory(root_, t->id),
-                              config_.defaults, config_.store_options, &pool_));
+  const std::string dir = SnapshotStore::TenantDirectory(root_, t->id);
+  // Recover the aux section (pins, miss log, pending hoards) before the
+  // store opens: a malformed aux file must fail while the tenant is still
+  // cleanly evicted.
+  SEER_RETURN_IF_ERROR(EnsureAuxLoaded(t));
+  // Per-tenant params override, layered over the fleet defaults. A fresh
+  // store seeds from it directly; a recovered snapshot's own PRMS section
+  // wins inside Open, so the override is re-applied afterwards
+  // (max_neighbors stays pinned to the slab geometry either way).
+  SeerParams effective = config_.defaults;
+  bool overridden = false;
+  const std::string params_path = ParamsPath(t->id);
+  if (fs_->Exists(params_path)) {
+    SEER_ASSIGN_OR_RETURN(const std::string text, fs_->ReadFile(params_path));
+    SEER_ASSIGN_OR_RETURN(effective, ParseSeerParams(text, config_.defaults));
+    overridden = true;
+  }
+  SEER_ASSIGN_OR_RETURN(t->durable, DurableCorrelator::Open(fs_, dir, effective,
+                                                            config_.store_options, &pool_));
+  if (overridden) {
+    t->durable->correlator().OverrideTuningParams(effective);
+  }
   // The router's scheduler owns checkpoint cadence, so the daemon gets no
   // durable handle: its job here is purely the refill recipe.
   HoardDaemonConfig daemon_config;
@@ -105,7 +144,87 @@ Status TenantRouter::Restore(Tenant* t) {
   }
   t->next_checkpoint_due = StaggerPhase(t->id);
   t->checkpoint_inflight = false;
+  t->durable_generation = t->durable->generation();
+  t->last_files = t->durable->correlator().files().size();
   return Status::Ok();
+}
+
+std::string TenantRouter::ParamsPath(TenantId tenant) const {
+  return SnapshotStore::TenantDirectory(root_, tenant) + "/params.seer";
+}
+
+Status TenantRouter::PersistTenantMeta(Tenant* t) {
+  t->durable_generation = t->durable->generation();
+  t->last_files = t->durable->correlator().files().size();
+  return WriteTenantAux(fs_, SnapshotStore::TenantDirectory(root_, t->id), t->manager,
+                        t->miss_log);
+}
+
+Status TenantRouter::SetTenantParams(TenantId tenant, const std::string& text) {
+  if (tenant == kInvalidTenantId) {
+    return Status::InvalidArgument("invalid tenant id " + std::to_string(tenant));
+  }
+  // Validate before touching disk: a bad directive must not leave a
+  // half-written override behind.
+  SEER_ASSIGN_OR_RETURN(const SeerParams effective, ParseSeerParams(text, config_.defaults));
+  SinkFor(tenant);  // materialise the tenant entry
+  const std::string dir = SnapshotStore::TenantDirectory(root_, tenant);
+  SEER_RETURN_IF_ERROR(fs_->MakeDirs(dir));
+  const std::string path = ParamsPath(tenant);
+  const std::string tmp = path + ".tmp";
+  SEER_RETURN_IF_ERROR(fs_->WriteFile(tmp, text));
+  SEER_RETURN_IF_ERROR(fs_->SyncFile(tmp));
+  SEER_RETURN_IF_ERROR(fs_->RenameFile(tmp, path));
+  SEER_RETURN_IF_ERROR(fs_->SyncDir(dir));
+  Tenant* t = FindTenant(tenant);
+  if (t != nullptr && t->durable != nullptr) {
+    t->durable->correlator().OverrideTuningParams(effective);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> TenantRouter::GetTenantParams(TenantId tenant) const {
+  const Tenant* t = FindTenant(tenant);
+  if (t != nullptr && t->durable != nullptr) {
+    return FormatSeerParams(t->durable->correlator().params());
+  }
+  const std::string path = ParamsPath(tenant);
+  SeerParams effective = config_.defaults;
+  if (fs_->Exists(path)) {
+    SEER_ASSIGN_OR_RETURN(const std::string text, fs_->ReadFile(path));
+    SEER_ASSIGN_OR_RETURN(effective, ParseSeerParams(text, config_.defaults));
+  } else if (t == nullptr) {
+    return Status::NotFound("unknown tenant " + std::to_string(tenant));
+  }
+  return FormatSeerParams(effective);
+}
+
+HoardManager* TenantRouter::HoardFor(TenantId tenant) {
+  if (tenant == kInvalidTenantId) {
+    return nullptr;
+  }
+  SinkFor(tenant);
+  Tenant* t = FindTenant(tenant);
+  // The pin set must reflect persisted state even while the tenant is
+  // evicted (no Restore has run yet on this router).
+  const Status loaded = EnsureAuxLoaded(t);
+  if (!loaded.ok() && last_error_.ok()) {
+    last_error_ = loaded;
+  }
+  return &t->manager;
+}
+
+MissLog* TenantRouter::MissLogFor(TenantId tenant) {
+  if (tenant == kInvalidTenantId) {
+    return nullptr;
+  }
+  SinkFor(tenant);
+  Tenant* t = FindTenant(tenant);
+  const Status loaded = EnsureAuxLoaded(t);
+  if (!loaded.ok() && last_error_.ok()) {
+    last_error_ = loaded;
+  }
+  return &t->miss_log;
 }
 
 void TenantRouter::RecordSealStall(uint64_t micros) {
@@ -132,6 +251,10 @@ void TenantRouter::HarvestCheckpoint(Tenant* t) {
   ++checkpoints_harvested_;
   ++t->checkpoints;
   RecordSealStall(t->durable->last_checkpoint_stats().seal_micros);
+  const Status persisted = PersistTenantMeta(t);
+  if (last_error_.ok() && !persisted.ok()) {
+    last_error_ = persisted;
+  }
 }
 
 Status TenantRouter::SettleCheckpoint(Tenant* t) {
@@ -147,6 +270,7 @@ Status TenantRouter::SettleCheckpoint(Tenant* t) {
     ++checkpoints_harvested_;
     ++t->checkpoints;
     RecordSealStall(t->durable->last_checkpoint_stats().seal_micros);
+    return PersistTenantMeta(t);
   }
   return finished;
 }
@@ -162,7 +286,7 @@ Status TenantRouter::CheckpointTenant(TenantId tenant) {
   ++checkpoints_harvested_;
   ++t->checkpoints;
   RecordSealStall(t->durable->last_checkpoint_stats().seal_micros);
-  return Status::Ok();
+  return PersistTenantMeta(t);
 }
 
 Status TenantRouter::EvictLocked(Tenant* t) {
@@ -173,6 +297,7 @@ Status TenantRouter::EvictLocked(Tenant* t) {
   ++checkpoints_started_;
   ++checkpoints_harvested_;
   ++t->checkpoints;
+  SEER_RETURN_IF_ERROR(PersistTenantMeta(t));
   t->daemon.reset();
   t->durable.reset();
   t->memory_bytes = 0;
@@ -202,6 +327,8 @@ void TenantRouter::RefreshResidentBytes() {
       continue;
     }
     t.memory_bytes = t.durable->correlator().MemoryBytes();
+    t.durable_generation = t.durable->generation();
+    t.last_files = t.durable->correlator().files().size();
     total += t.memory_bytes;
   }
   resident_bytes_ = total;
@@ -372,6 +499,8 @@ StatusOr<TenantStats> TenantRouter::Stats(TenantId tenant) const {
   stats.evictions = t->evictions;
   stats.restores = t->restores > 0 ? t->restores - 1 : 0;  // first open is not a restore
   stats.refills = t->refills;
+  stats.generation = t->durable_generation;
+  stats.files = t->last_files;
   if (t->durable != nullptr) {
     stats.generation = t->durable->generation();
     stats.wal_bytes = t->durable->wal_bytes();

@@ -107,7 +107,8 @@ struct TenantStats {
   bool resident = false;
   uint64_t references = 0;       // callbacks routed to this tenant
   uint64_t memory_bytes = 0;     // correlator resident bytes; 0 when evicted
-  uint64_t generation = 0;       // durable generation (resident tenants)
+  uint64_t generation = 0;       // durable generation (cached across eviction)
+  uint64_t files = 0;            // tracked files (cached across eviction)
   uint64_t wal_bytes = 0;
   uint64_t checkpoints = 0;      // harvested, this tenant
   uint64_t evictions = 0;
@@ -158,6 +159,28 @@ class TenantRouter {
   std::vector<TenantId> ListTenants() const;
   StatusOr<TenantStats> Stats(TenantId tenant) const;
 
+  // --- per-tenant parameter overrides -------------------------------------
+  // A tenant's SeerParams can be overridden independently of the fleet
+  // defaults. The override text (params_io format, parsed over the
+  // defaults) is persisted as params.seer in the tenant's store directory
+  // — atomically, like every other store artifact — and re-applied on
+  // every restore, so it survives eviction and router restart. Setting
+  // params on a resident tenant applies them live (max_neighbors stays
+  // pinned; see Correlator::OverrideTuningParams).
+  Status SetTenantParams(TenantId tenant, const std::string& text);
+  // Effective params rendered as params_io text: the live correlator's
+  // when resident, else override-over-defaults. NotFound for tenants the
+  // router has never seen that also have no store directory.
+  StatusOr<std::string> GetTenantParams(TenantId tenant) const;
+
+  // --- per-tenant hoard surfaces ------------------------------------------
+  // The tenant's pin set and miss log. Both live outside the evictable
+  // slab (they are human-scale and human-entered), are persisted to the
+  // store's aux section at checkpoint/eviction, and reload on restore.
+  // Creates the tenant entry; nullptr only for kInvalidTenantId.
+  HoardManager* HoardFor(TenantId tenant);
+  MissLog* MissLogFor(TenantId tenant);
+
   size_t resident_tenants() const;
   // Sum of resident correlators' MemoryBytes() as of the last Tick or
   // eviction pass (recomputing per call would flush every batcher).
@@ -200,6 +223,12 @@ class TenantRouter {
     Time last_refill = -1;
     uint64_t last_touch_seq = 0;  // LRU clock for the eviction pass
     uint64_t memory_bytes = 0;    // as of the last Tick
+    // Stats caches that survive eviction (refreshed at Tick, checkpoint,
+    // eviction, and restore), so `tenant stats` never has to re-open an
+    // evicted store.
+    uint64_t durable_generation = 0;
+    uint64_t last_files = 0;
+    bool aux_loaded = false;  // pins/misses recovered from the store once
     bool checkpoint_inflight = false;
     uint64_t checkpoints = 0;
     uint64_t evictions = 0;
@@ -220,6 +249,11 @@ class TenantRouter {
   Status EvictLocked(Tenant* t);
   Time StaggerPhase(TenantId tenant) const;
   void RefreshResidentBytes();
+  // Refreshes the eviction-surviving stats caches and rewrites the aux
+  // section; called after every successful checkpoint.
+  Status PersistTenantMeta(Tenant* t);
+  Status EnsureAuxLoaded(Tenant* t);
+  std::string ParamsPath(TenantId tenant) const;
 
   Fs* fs_;
   std::string root_;

@@ -1,0 +1,260 @@
+#include "src/server/wire.h"
+
+#include <sstream>
+
+#include "src/trace/binary_trace.h"
+#include "src/util/bytes.h"
+
+namespace seer {
+namespace wire {
+
+namespace {
+
+bool ValidFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kEvents) &&
+         type <= static_cast<uint8_t>(FrameType::kResponse);
+}
+
+bool ValidVerb(uint8_t verb) {
+  return verb >= static_cast<uint8_t>(ControlVerb::kPing) &&
+         verb <= static_cast<uint8_t>(ControlVerb::kShutdown);
+}
+
+bool ValidStatusCode(uint8_t code) {
+  return code <= static_cast<uint8_t>(StatusCode::kInternal);
+}
+
+void PutStats(ByteWriter* w, const TenantStats& s) {
+  w->PutU32(s.tenant);
+  w->PutU8(s.resident ? 1 : 0);
+  w->PutU64(s.references);
+  w->PutU64(s.memory_bytes);
+  w->PutU64(s.generation);
+  w->PutU64(s.files);
+  w->PutU64(s.wal_bytes);
+  w->PutU64(s.checkpoints);
+  w->PutU64(s.evictions);
+  w->PutU64(s.restores);
+  w->PutU64(s.refills);
+  w->PutU64(s.hoard_files);
+}
+
+TenantStats GetStats(ByteReader* r) {
+  TenantStats s;
+  s.tenant = r->GetU32();
+  s.resident = r->GetU8() != 0;
+  s.references = r->GetU64();
+  s.memory_bytes = r->GetU64();
+  s.generation = r->GetU64();
+  s.files = r->GetU64();
+  s.wal_bytes = r->GetU64();
+  s.checkpoints = r->GetU64();
+  s.evictions = r->GetU64();
+  s.restores = r->GetU64();
+  s.refills = r->GetU64();
+  s.hoard_files = r->GetU64();
+  return s;
+}
+
+// Caps a decoded count by what the remaining bytes could possibly hold,
+// so a corrupt count cannot trigger a huge allocation before the
+// bounds-checked reads fail.
+size_t PlausibleCount(uint32_t count, size_t remaining, size_t min_record_bytes) {
+  const size_t most = remaining / min_record_bytes;
+  return count <= most ? count : most + 1;
+}
+
+}  // namespace
+
+std::string_view ControlVerbName(ControlVerb verb) {
+  switch (verb) {
+    case ControlVerb::kPing:
+      return "ping";
+    case ControlVerb::kTenantList:
+      return "tenant-list";
+    case ControlVerb::kTenantStats:
+      return "tenant-stats";
+    case ControlVerb::kTenantEvict:
+      return "tenant-evict";
+    case ControlVerb::kTenantCheckpoint:
+      return "tenant-checkpoint";
+    case ControlVerb::kParamsGet:
+      return "params-get";
+    case ControlVerb::kParamsSet:
+      return "params-set";
+    case ControlVerb::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(FrameType type, uint32_t channel, std::string_view payload) {
+  ByteWriter w;
+  w.PutU32(kFrameMagic);
+  w.PutU8(kProtocolVersion);
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU8(0);  // flags lo
+  w.PutU8(0);  // flags hi
+  w.PutU32(channel);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutBytes(payload);
+  return w.Take();
+}
+
+StatusOr<std::optional<Frame>> FrameDecoder::Next() {
+  if (!status_.ok()) {
+    return status_;
+  }
+  if (buffered() < kFrameHeaderSize) {
+    return std::optional<Frame>();
+  }
+  ByteReader r(std::string_view(buffer_).substr(pos_));
+  const uint32_t magic = r.GetU32();
+  const uint8_t version = r.GetU8();
+  const uint8_t type = r.GetU8();
+  const uint8_t flags_lo = r.GetU8();
+  const uint8_t flags_hi = r.GetU8();
+  const uint32_t channel = r.GetU32();
+  const uint32_t length = r.GetU32();
+  if (magic != kFrameMagic) {
+    status_ = Status::InvalidArgument("wire: bad frame magic");
+    return status_;
+  }
+  if (version != kProtocolVersion) {
+    status_ = Status::InvalidArgument("wire: unsupported protocol version " +
+                                      std::to_string(version));
+    return status_;
+  }
+  if (!ValidFrameType(type)) {
+    status_ = Status::InvalidArgument("wire: unknown frame type " + std::to_string(type));
+    return status_;
+  }
+  if (flags_lo != 0 || flags_hi != 0) {
+    status_ = Status::InvalidArgument("wire: nonzero reserved flags");
+    return status_;
+  }
+  if (length > kMaxFramePayload) {
+    status_ = Status::InvalidArgument("wire: frame payload length " + std::to_string(length) +
+                                      " exceeds limit");
+    return status_;
+  }
+  if (buffered() < kFrameHeaderSize + length) {
+    return std::optional<Frame>();  // payload still in flight
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.channel = channel;
+  frame.payload = buffer_.substr(pos_ + kFrameHeaderSize, length);
+  pos_ += kFrameHeaderSize + length;
+  // Compact once the consumed prefix dominates, keeping the buffer from
+  // growing without bound on a long-lived connection.
+  if (pos_ > 4096 && pos_ >= buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return std::optional<Frame>(std::move(frame));
+}
+
+std::string EncodeEvents(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  BinaryTraceWriter writer(out);
+  for (const TraceEvent& e : events) {
+    writer.Write(e);
+  }
+  return out.str();
+}
+
+StatusOr<std::vector<TraceEvent>> DecodeEvents(std::string_view payload) {
+  std::istringstream in{std::string(payload)};
+  BinaryTraceReader reader(in);
+  std::vector<TraceEvent> events;
+  for (;;) {
+    SEER_ASSIGN_OR_RETURN(auto event, reader.Next());
+    if (!event.has_value()) {
+      return events;
+    }
+    events.push_back(*std::move(event));
+  }
+}
+
+std::string EncodeControlRequest(const ControlRequest& request) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(request.verb));
+  w.PutU32(request.tenant);
+  w.PutString(request.text);
+  return w.Take();
+}
+
+StatusOr<ControlRequest> DecodeControlRequest(std::string_view payload) {
+  ByteReader r(payload);
+  const uint8_t verb = r.GetU8();
+  ControlRequest request;
+  request.tenant = r.GetU32();
+  request.text = std::string(r.GetString());
+  if (!r.ok() || !r.AtEnd()) {
+    return Status::DataLoss("wire: truncated or overlong control request");
+  }
+  if (!ValidVerb(verb)) {
+    return Status::InvalidArgument("wire: unknown control verb " + std::to_string(verb));
+  }
+  request.verb = static_cast<ControlVerb>(verb);
+  return request;
+}
+
+Status ControlResponse::ToStatus() const {
+  if (code == StatusCode::kOk) {
+    return Status::Ok();
+  }
+  return Status(code, message);
+}
+
+std::string EncodeControlResponse(const ControlResponse& response) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(response.code));
+  w.PutString(response.message);
+  w.PutU8(static_cast<uint8_t>(response.verb));
+  w.PutU32(static_cast<uint32_t>(response.tenants.size()));
+  for (const TenantId t : response.tenants) {
+    w.PutU32(t);
+  }
+  w.PutU32(static_cast<uint32_t>(response.stats.size()));
+  for (const TenantStats& s : response.stats) {
+    PutStats(&w, s);
+  }
+  w.PutString(response.text);
+  return w.Take();
+}
+
+StatusOr<ControlResponse> DecodeControlResponse(std::string_view payload) {
+  ByteReader r(payload);
+  ControlResponse response;
+  const uint8_t code = r.GetU8();
+  response.message = std::string(r.GetString());
+  const uint8_t verb = r.GetU8();
+  const uint32_t tenant_count = r.GetU32();
+  response.tenants.reserve(PlausibleCount(tenant_count, r.remaining(), 4));
+  for (uint32_t i = 0; i < tenant_count && r.ok(); ++i) {
+    response.tenants.push_back(r.GetU32());
+  }
+  const uint32_t stats_count = r.GetU32();
+  response.stats.reserve(PlausibleCount(stats_count, r.remaining(), 85));
+  for (uint32_t i = 0; i < stats_count && r.ok(); ++i) {
+    response.stats.push_back(GetStats(&r));
+  }
+  response.text = std::string(r.GetString());
+  if (!r.ok() || !r.AtEnd()) {
+    return Status::DataLoss("wire: truncated or overlong control response");
+  }
+  if (!ValidStatusCode(code)) {
+    return Status::InvalidArgument("wire: unknown status code " + std::to_string(code));
+  }
+  if (!ValidVerb(verb)) {
+    return Status::InvalidArgument("wire: unknown response verb " + std::to_string(verb));
+  }
+  response.code = static_cast<StatusCode>(code);
+  response.verb = static_cast<ControlVerb>(verb);
+  return response;
+}
+
+}  // namespace wire
+}  // namespace seer

@@ -72,85 +72,119 @@ void BinaryTraceWriter::Write(const TraceEvent& e) {
 BinaryTraceReader::BinaryTraceReader(std::istream& in) : in_(in) {
   char magic[kMagicLen] = {};
   in_.read(magic, kMagicLen);
-  ok_ = in_.gcount() == static_cast<std::streamsize>(kMagicLen) &&
-        std::equal(magic, magic + kMagicLen, kMagic);
+  const auto got = static_cast<size_t>(in_.gcount());
+  if (got == kMagicLen && std::equal(magic, magic + kMagicLen, kMagic)) {
+    return;
+  }
+  // A short stream whose bytes are a prefix of the magic is truncation
+  // (a crash-cut file or torn frame), not a different format.
+  if (got < kMagicLen && std::equal(magic, magic + got, kMagic)) {
+    status_ = Status::DataLoss("binary trace: truncated magic header");
+  } else {
+    status_ = Status::InvalidArgument("binary trace: missing or bad magic header");
+  }
 }
 
-bool BinaryTraceReader::GetVarint(uint64_t* value) {
+Status BinaryTraceReader::Fail(Status status) {
+  status_ = status;
+  return status_;
+}
+
+Status BinaryTraceReader::GetVarint(const char* field, uint64_t* value) {
   *value = 0;
   int shift = 0;
   for (;;) {
     const int byte = in_.get();
-    if (byte == EOF || shift > 63) {
-      return false;
+    if (byte == EOF) {
+      return Status::DataLoss(std::string("binary trace: truncated ") + field + " after " +
+                              std::to_string(events_read_) + " events");
+    }
+    if (shift > 63) {
+      return Status::DataLoss(std::string("binary trace: oversized varint in ") + field);
     }
     *value |= static_cast<uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) {
-      return true;
+      return Status::Ok();
     }
     shift += 7;
   }
 }
 
-bool BinaryTraceReader::GetZigzag(int64_t* value) {
+Status BinaryTraceReader::GetZigzag(const char* field, int64_t* value) {
   uint64_t raw = 0;
-  if (!GetVarint(&raw)) {
-    return false;
-  }
+  SEER_RETURN_IF_ERROR(GetVarint(field, &raw));
   *value = Unzigzag(raw);
-  return true;
+  return Status::Ok();
 }
 
-bool BinaryTraceReader::GetPath(std::string* path) {
+Status BinaryTraceReader::GetPath(const char* field, std::string* path) {
   uint64_t id = 0;
-  if (!GetVarint(&id)) {
-    return false;
-  }
+  SEER_RETURN_IF_ERROR(GetVarint(field, &id));
   if (id < dictionary_.size()) {
     *path = dictionary_[id];
-    return true;
+    return Status::Ok();
   }
   if (id != dictionary_.size() || id >= kMaxDictionary) {
-    return false;  // corrupt: ids are assigned densely
+    // Ids are assigned densely; a gap means the stream is corrupt.
+    return Status::DataLoss(std::string("binary trace: non-dense dictionary id in ") + field);
   }
   uint64_t len = 0;
-  if (!GetVarint(&len) || len > kMaxPathLen) {
-    return false;
+  SEER_RETURN_IF_ERROR(GetVarint(field, &len));
+  if (len > kMaxPathLen) {
+    return Status::DataLoss(std::string("binary trace: path length ") + std::to_string(len) +
+                            " exceeds limit in " + field);
   }
   std::string bytes(len, '\0');
   in_.read(bytes.data(), static_cast<std::streamsize>(len));
   if (in_.gcount() != static_cast<std::streamsize>(len)) {
-    return false;
+    return Status::DataLoss(std::string("binary trace: truncated path bytes in ") + field);
   }
   dictionary_.push_back(bytes);
   *path = std::move(bytes);
-  return true;
+  return Status::Ok();
 }
 
-std::optional<TraceEvent> BinaryTraceReader::Next() {
-  if (!ok_) {
-    return std::nullopt;
+StatusOr<std::optional<TraceEvent>> BinaryTraceReader::Next() {
+  if (!status_.ok()) {
+    return status_;
+  }
+  if (in_.peek() == EOF) {
+    // The previous event ended exactly at end of stream: a clean end.
+    return std::optional<TraceEvent>();
   }
   TraceEvent e;
   int64_t seq_delta = 0;
   int64_t time_delta = 0;
   uint64_t pid = 0;
   int64_t uid = 0;
-  if (!GetZigzag(&seq_delta) || !GetZigzag(&time_delta) || !GetVarint(&pid) ||
-      !GetZigzag(&uid)) {
-    return std::nullopt;
+  Status s = GetZigzag("seq", &seq_delta);
+  if (s.ok()) s = GetZigzag("time", &time_delta);
+  if (s.ok()) s = GetVarint("pid", &pid);
+  if (s.ok()) s = GetZigzag("uid", &uid);
+  if (!s.ok()) {
+    return Fail(std::move(s));
   }
   const int op_and_flags = in_.get();
   const int status = in_.get();
-  if (op_and_flags == EOF || status == EOF ||
-      (op_and_flags & 0x7f) > static_cast<int>(Op::kChdir) ||
-      status > static_cast<int>(OpStatus::kNotLocal)) {
-    return std::nullopt;
+  if (op_and_flags == EOF || status == EOF) {
+    return Fail(Status::DataLoss("binary trace: truncated op/status after " +
+                                 std::to_string(events_read_) + " events"));
+  }
+  if ((op_and_flags & 0x7f) > static_cast<int>(Op::kChdir)) {
+    return Fail(Status::DataLoss("binary trace: unknown op byte " +
+                                 std::to_string(op_and_flags & 0x7f)));
+  }
+  if (status > static_cast<int>(OpStatus::kNotLocal)) {
+    return Fail(Status::DataLoss("binary trace: unknown status byte " + std::to_string(status)));
   }
   int64_t fd = 0;
   int64_t detail = 0;
-  if (!GetPath(&e.path) || !GetPath(&e.path2) || !GetZigzag(&fd) || !GetZigzag(&detail)) {
-    return std::nullopt;
+  s = GetPath("path", &e.path);
+  if (s.ok()) s = GetPath("path2", &e.path2);
+  if (s.ok()) s = GetZigzag("fd", &fd);
+  if (s.ok()) s = GetZigzag("detail", &detail);
+  if (!s.ok()) {
+    return Fail(std::move(s));
   }
   last_seq_ = static_cast<uint64_t>(static_cast<int64_t>(last_seq_) + seq_delta);
   last_time_ += time_delta;
@@ -164,7 +198,7 @@ std::optional<TraceEvent> BinaryTraceReader::Next() {
   e.fd = static_cast<Fd>(fd);
   e.detail = static_cast<int32_t>(detail);
   ++events_read_;
-  return e;
+  return std::optional<TraceEvent>(std::move(e));
 }
 
 }  // namespace seer

@@ -11,8 +11,13 @@
 //   * paths interned in a growing dictionary: an event carries only the
 //     dictionary index, with the bytes emitted once on first use.
 //
-// The reader is streaming and stops cleanly at truncation (a partial final
-// event is dropped, matching how a crash-interrupted trace file looks).
+// The reader is streaming and reports decode failures as typed Status
+// values, the same error surface as the persistence layer: a stream that
+// ends mid-event (a crash-interrupted trace, a torn network frame)
+// surfaces kDataLoss naming the field it died in, while a stream that
+// ends exactly on an event boundary is a clean end. Lenient callers
+// (seerctl replay warning about a torn tail) branch on the code; strict
+// ones (the wire decoder) propagate it.
 #ifndef SRC_TRACE_BINARY_TRACE_H_
 #define SRC_TRACE_BINARY_TRACE_H_
 
@@ -23,6 +28,7 @@
 #include <vector>
 
 #include "src/trace/event.h"
+#include "src/util/status.h"
 
 namespace seer {
 
@@ -51,23 +57,32 @@ class BinaryTraceWriter {
 
 class BinaryTraceReader {
  public:
-  // Validates the header; ok() is false on a bad magic.
+  // Validates the header; a missing or wrong magic latches
+  // kInvalidArgument (ok() stays usable as a cheap format sniff).
   explicit BinaryTraceReader(std::istream& in);
 
-  bool ok() const { return ok_; }
+  bool ok() const { return status_.ok(); }
+  // The first error encountered, or OK. Errors latch: once a decode
+  // fails, every later Next() returns the same status.
+  const Status& status() const { return status_; }
 
-  // Next event, or nullopt at end of stream / truncation.
-  std::optional<TraceEvent> Next();
+  // Three outcomes: an event; an empty optional when the stream ends
+  // exactly on an event boundary (clean end); or an error — kDataLoss
+  // when an event is cut short or carries corrupt values, naming the
+  // field, kInvalidArgument when the header was bad.
+  StatusOr<std::optional<TraceEvent>> Next();
 
   size_t events_read() const { return events_read_; }
 
  private:
-  bool GetVarint(uint64_t* value);
-  bool GetZigzag(int64_t* value);
-  bool GetPath(std::string* path);
+  Status GetVarint(const char* field, uint64_t* value);
+  Status GetZigzag(const char* field, int64_t* value);
+  Status GetPath(const char* field, std::string* path);
+  // Latches and returns the given error.
+  Status Fail(Status status);
 
   std::istream& in_;
-  bool ok_ = false;
+  Status status_;
   std::vector<std::string> dictionary_;
   uint64_t last_seq_ = 0;
   Time last_time_ = 0;

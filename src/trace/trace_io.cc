@@ -155,7 +155,7 @@ void TraceWriter::Write(const TraceEvent& event) {
   ++events_written_;
 }
 
-std::optional<TraceEvent> TraceReader::Next() {
+StatusOr<std::optional<TraceEvent>> TraceReader::Next() {
   std::string line;
   while (std::getline(in_, line)) {
     if (line.empty() || line[0] == '#') {
@@ -163,18 +163,26 @@ std::optional<TraceEvent> TraceReader::Next() {
     }
     auto event = ParseEventLine(line);
     if (event.ok()) {
-      return *std::move(event);
+      return std::optional<TraceEvent>(*std::move(event));
     }
     ++malformed_lines_;
+    return event.status();
   }
-  return std::nullopt;
+  return std::optional<TraceEvent>();
 }
 
 std::vector<TraceEvent> ReadAllEvents(std::istream& in) {
   TraceReader reader(in);
   std::vector<TraceEvent> events;
-  while (auto e = reader.Next()) {
-    events.push_back(std::move(*e));
+  for (;;) {
+    auto next = reader.Next();
+    if (!next.ok()) {
+      continue;  // skip malformed lines, as before
+    }
+    if (!next->has_value()) {
+      break;
+    }
+    events.push_back(std::move(**next));
   }
   return events;
 }

@@ -47,14 +47,17 @@ class TraceWriter {
   size_t events_written_ = 0;
 };
 
-// Streaming reader.
+// Streaming reader. Blank lines and '#'-comments are skipped silently.
 class TraceReader {
  public:
   explicit TraceReader(std::istream& in) : in_(in) {}
 
-  // Reads the next event; returns nullopt at end of stream. Malformed lines
-  // are counted and skipped.
-  std::optional<TraceEvent> Next();
+  // The next event, an empty optional at end of stream, or the parse
+  // error for a malformed line (kInvalidArgument naming the bad field).
+  // A malformed line is counted and consumed, and the reader stays
+  // usable: lenient callers log the status and call Next() again, strict
+  // ones propagate it.
+  StatusOr<std::optional<TraceEvent>> Next();
 
   size_t malformed_lines() const { return malformed_lines_; }
 

@@ -56,20 +56,24 @@ TEST(BinaryTrace, RoundTripRandomEvents) {
   ASSERT_TRUE(reader.ok());
   for (const auto& expected : events) {
     const auto got = reader.Next();
-    ASSERT_TRUE(got.has_value());
-    EXPECT_EQ(got->seq, expected.seq);
-    EXPECT_EQ(got->time, expected.time);
-    EXPECT_EQ(got->pid, expected.pid);
-    EXPECT_EQ(got->uid, expected.uid);
-    EXPECT_EQ(got->op, expected.op);
-    EXPECT_EQ(got->status, expected.status);
-    EXPECT_EQ(got->write, expected.write);
-    EXPECT_EQ(got->fd, expected.fd);
-    EXPECT_EQ(got->detail, expected.detail);
-    EXPECT_EQ(got->path, expected.path);
-    EXPECT_EQ(got->path2, expected.path2);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ASSERT_TRUE(got->has_value());
+    const TraceEvent& e = **got;
+    EXPECT_EQ(e.seq, expected.seq);
+    EXPECT_EQ(e.time, expected.time);
+    EXPECT_EQ(e.pid, expected.pid);
+    EXPECT_EQ(e.uid, expected.uid);
+    EXPECT_EQ(e.op, expected.op);
+    EXPECT_EQ(e.status, expected.status);
+    EXPECT_EQ(e.write, expected.write);
+    EXPECT_EQ(e.fd, expected.fd);
+    EXPECT_EQ(e.detail, expected.detail);
+    EXPECT_EQ(e.path, expected.path);
+    EXPECT_EQ(e.path2, expected.path2);
   }
-  EXPECT_FALSE(reader.Next().has_value());
+  const auto end = reader.Next();
+  ASSERT_TRUE(end.ok()) << end.status();
+  EXPECT_FALSE(end->has_value());
 }
 
 TEST(BinaryTrace, MuchSmallerThanText) {
@@ -112,23 +116,33 @@ TEST(BinaryTrace, MuchSmallerThanText) {
   ASSERT_TRUE(reader.ok());
   std::istringstream text_in(text.str());
   TraceReader text_reader(text_in);
-  while (auto expected = text_reader.Next()) {
+  for (;;) {
+    const auto expected = text_reader.Next();
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    if (!expected->has_value()) {
+      break;
+    }
     const auto got = reader.Next();
-    ASSERT_TRUE(got.has_value());
-    EXPECT_EQ(got->seq, expected->seq);
-    EXPECT_EQ(got->path, expected->path);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ASSERT_TRUE(got->has_value());
+    EXPECT_EQ((*got)->seq, (*expected)->seq);
+    EXPECT_EQ((*got)->path, (*expected)->path);
   }
-  EXPECT_FALSE(reader.Next().has_value());
+  const auto end = reader.Next();
+  ASSERT_TRUE(end.ok()) << end.status();
+  EXPECT_FALSE(end->has_value());
 }
 
 TEST(BinaryTrace, BadMagicRejected) {
   std::stringstream buffer("not a binary trace");
   BinaryTraceReader reader(buffer);
   EXPECT_FALSE(reader.ok());
-  EXPECT_FALSE(reader.Next().has_value());
+  const auto next = reader.Next();
+  EXPECT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(BinaryTrace, TruncationStopsCleanly) {
+TEST(BinaryTrace, TruncationSurfacesDataLoss) {
   std::stringstream buffer;
   BinaryTraceWriter writer(buffer);
   Rng rng(5);
@@ -142,10 +156,21 @@ TEST(BinaryTrace, TruncationStopsCleanly) {
     BinaryTraceReader reader(cut);
     ASSERT_TRUE(reader.ok());
     size_t read = 0;
-    while (reader.Next().has_value()) {
+    for (;;) {
+      const auto next = reader.Next();
+      if (!next.ok()) {
+        // The torn final event is a typed error, and it latches.
+        EXPECT_EQ(next.status().code(), StatusCode::kDataLoss) << next.status();
+        EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+        break;
+      }
+      if (!next->has_value()) {
+        break;  // the cut landed exactly on an event boundary: clean end
+      }
       ++read;
     }
     EXPECT_LT(read, 50u) << frac;
+    EXPECT_EQ(read, reader.events_read()) << frac;
   }
 }
 
@@ -161,8 +186,15 @@ TEST(BinaryTrace, GarbageAfterHeaderHandled) {
     BinaryTraceReader reader(buffer);
     ASSERT_TRUE(reader.ok());
     size_t read = 0;
-    while (reader.Next().has_value() && read < 10'000) {
-      ++read;  // must terminate without crashing
+    for (;;) {
+      const auto next = reader.Next();
+      if (!next.ok()) {
+        EXPECT_FALSE(next.status().message().empty());
+        break;
+      }
+      if (!next->has_value() || ++read >= 10'000) {
+        break;  // must terminate without crashing
+      }
     }
   }
 }

@@ -1,13 +1,17 @@
 // Robustness fuzzing for every textual input surface: the trace format,
 // the control file, the parameter file, and the persisted database. None
 // of them may crash, hang, or accept-and-corrupt on arbitrary bytes.
+#include <algorithm>
 #include <sstream>
+#include <string_view>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/core/correlator.h"
 #include "src/core/params_io.h"
 #include "src/observer/control_file.h"
+#include "src/server/wire.h"
 #include "src/trace/trace_io.h"
 #include "src/util/rng.h"
 
@@ -49,7 +53,15 @@ TEST_P(ParserFuzz, TraceLinesNeverCrash) {
     std::istringstream in(text);
     TraceReader reader(in);
     size_t events = 0;
-    while (reader.Next().has_value()) {
+    for (;;) {
+      const auto next = reader.Next();
+      if (!next.ok()) {
+        EXPECT_FALSE(next.status().message().empty());
+        continue;  // malformed line: reader stays usable
+      }
+      if (!next->has_value()) {
+        break;
+      }
       ++events;
     }
     // Parsed or rejected — either is fine; no crash is the property.
@@ -121,6 +133,100 @@ TEST_P(ParserFuzz, MutatedDatabaseHandled) {
       for (const Cluster& c : clusters.clusters) {
         EXPECT_FALSE(c.members.empty());
       }
+    }
+  }
+}
+
+// Random bytes through the wire-frame decoder: it must return frames,
+// "need more", or a latched typed error — never crash or hang — no matter
+// how the stream is chunked or where it is cut off.
+TEST_P(ParserFuzz, FrameDecoderNeverCrashes) {
+  Rng rng(Seed() ^ 5);
+  for (int i = 0; i < 200; ++i) {
+    // Mix of raw garbage and valid frame bytes, so the fuzz also walks the
+    // accept path and the boundary between consecutive frames.
+    std::string stream;
+    const int pieces = 1 + static_cast<int>(rng.NextBounded(6));
+    for (int p = 0; p < pieces; ++p) {
+      if (rng.NextBounded(2) == 0) {
+        stream += RandomText(&rng, 64);
+      } else {
+        const auto type = static_cast<wire::FrameType>(1 + rng.NextBounded(3));
+        stream += wire::EncodeFrame(type, static_cast<uint32_t>(rng.NextBounded(1u << 16)),
+                                    RandomText(&rng, 96));
+      }
+    }
+    // Truncate at a random point: mid-header, mid-payload, anywhere.
+    if (!stream.empty() && rng.NextBounded(2) == 0) {
+      stream.resize(rng.NextBounded(stream.size()));
+    }
+
+    wire::FrameDecoder decoder;
+    size_t pos = 0;
+    size_t frames = 0;
+    bool dead = false;
+    while (pos < stream.size() && !dead) {
+      const size_t n = std::min<size_t>(1 + rng.NextBounded(48), stream.size() - pos);
+      decoder.Append(std::string_view(stream).substr(pos, n));
+      pos += n;
+      for (;;) {
+        const auto next = decoder.Next();
+        if (!next.ok()) {
+          EXPECT_FALSE(next.status().message().empty());
+          // Latched: every later call reports the same corruption.
+          EXPECT_FALSE(decoder.Next().ok());
+          dead = true;
+          break;
+        }
+        if (!next->has_value()) {
+          break;
+        }
+        ++frames;
+        EXPECT_LE((*next)->payload.size(), wire::kMaxFramePayload);
+      }
+    }
+    EXPECT_LE(frames, static_cast<size_t>(pieces));
+  }
+}
+
+// Random bytes through the control codec and the event-payload decoder:
+// reject or accept, never crash. Event payloads additionally get valid
+// prefixes with torn tails (the crash-truncation case).
+TEST_P(ParserFuzz, ControlAndEventPayloadsNeverCrash) {
+  Rng rng(Seed() ^ 6);
+  for (int i = 0; i < 200; ++i) {
+    const std::string bytes = RandomText(&rng, 160);
+    const auto request = wire::DecodeControlRequest(bytes);
+    if (!request.ok()) {
+      EXPECT_FALSE(request.status().message().empty());
+    }
+    const auto response = wire::DecodeControlResponse(bytes);
+    if (!response.ok()) {
+      EXPECT_FALSE(response.status().message().empty());
+    }
+    const auto events = wire::DecodeEvents(bytes);
+    if (!events.ok()) {
+      EXPECT_FALSE(events.status().message().empty());
+    }
+  }
+
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 40; ++i) {
+    TraceEvent e;
+    e.seq = static_cast<uint64_t>(i);
+    e.time = i * 1000;
+    e.pid = 7;
+    e.op = Op::kOpen;
+    e.path = "/fz/f" + std::to_string(i % 5);
+    e.fd = i;
+    events.push_back(e);
+  }
+  const std::string valid = wire::EncodeEvents(events);
+  for (int i = 0; i < 100; ++i) {
+    const auto torn =
+        wire::DecodeEvents(std::string_view(valid).substr(0, rng.NextBounded(valid.size())));
+    if (!torn.ok()) {
+      EXPECT_EQ(StatusCode::kDataLoss, torn.status().code());
     }
   }
 }

@@ -87,10 +87,18 @@ TEST(TraceIo, ReaderSkipsCommentsAndBlanks) {
   s << "# a trace\n\n" << FormatEvent(SampleEvent()) << "\ngarbage line here bla bla\n";
   TraceReader reader(s);
   const auto e = reader.Next();
-  ASSERT_TRUE(e.has_value());
-  EXPECT_EQ(e->path, "/home/u/a.c");
-  EXPECT_FALSE(reader.Next().has_value());
+  ASSERT_TRUE(e.ok()) << e.status();
+  ASSERT_TRUE(e->has_value());
+  EXPECT_EQ((*e)->path, "/home/u/a.c");
+  // The garbage line surfaces as a typed parse error; the reader then
+  // continues to a clean end of stream.
+  const auto bad = reader.Next();
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(reader.malformed_lines(), 1u);
+  const auto end = reader.Next();
+  ASSERT_TRUE(end.ok()) << end.status();
+  EXPECT_FALSE(end->has_value());
 }
 
 TEST(TraceIo, WriteReadAllEvents) {

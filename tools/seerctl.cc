@@ -41,6 +41,8 @@
 #include "src/observer/observer.h"
 #include "src/observer/sink_chain.h"
 #include "src/process/syscall_tracer.h"
+#include "src/server/client.h"
+#include "src/server/service.h"
 #include "src/server/tenant_router.h"
 #include "src/sim/machine_sim.h"
 #include "src/trace/binary_trace.h"
@@ -246,13 +248,31 @@ bool ForEachTraceEvent(const char* path, Fn&& fn, size_t* malformed = nullptr) {
   in.seekg(0);
   if (std::string_view(magic, 8) == "SEERBT1\n") {
     BinaryTraceReader reader(in);
-    while (auto event = reader.Next()) {
-      fn(*event);
+    for (;;) {
+      auto event = reader.Next();
+      if (!event.ok()) {
+        // A torn tail is what a crash-interrupted trace looks like: warn
+        // and keep what decoded, mirroring WAL torn-tail recovery.
+        std::fprintf(stderr, "seerctl: %s: %s (kept %zu events)\n", path,
+                     event.status().ToString().c_str(), reader.events_read());
+        break;
+      }
+      if (!event->has_value()) {
+        break;
+      }
+      fn(**event);
     }
   } else {
     TraceReader reader(in);
-    while (auto event = reader.Next()) {
-      fn(*event);
+    for (;;) {
+      auto event = reader.Next();
+      if (!event.ok()) {
+        continue;  // malformed line: counted by the reader, keep going
+      }
+      if (!event->has_value()) {
+        break;
+      }
+      fn(**event);
     }
     if (malformed != nullptr) {
       *malformed = reader.malformed_lines();
@@ -943,9 +963,31 @@ int Db(int argc, char** argv, int start) {
 //
 // A multi-tenant service root (src/server/tenant_router.h) is a directory
 // of tenant-NNNNNNNN subdirectories, each an ordinary single-instance
-// snapshot+WAL store. `tenant list` and `tenant stats` are read-only;
-// `tenant checkpoint` and `tenant evict` drive a TenantRouter over the
-// root, exercising the same code paths the live service runs.
+// snapshot+WAL store. Every verb has two backends behind one output
+// layer: with --socket SPEC it speaks the control protocol (wire.h) to a
+// live `seerctl serve` process; without it, it works offline — read-only
+// Recover for list/stats, an ad-hoc TenantRouter for checkpoint/evict —
+// exercising the same code paths the live service runs.
+
+// --socket SPEC / --socket=SPEC: the live-service endpoint (net.h spec
+// syntax); nullptr selects the offline backend.
+const char* SocketFlag(int argc, char** argv, int start) {
+  for (int i = start; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--socket=", 9) == 0) {
+      return argv[i] + 9;
+    }
+  }
+  return FlagValue(argc, argv, start, "--socket");
+}
+
+SeerClient ConnectOrDie(const char* socket_spec) {
+  StatusOr<SeerClient> client = SeerClient::Connect(socket_spec);
+  if (!client.ok()) {
+    std::fprintf(stderr, "seerctl: %s: %s\n", socket_spec, client.status().message().c_str());
+    std::exit(1);
+  }
+  return *std::move(client);
+}
 
 TenantId TenantIdOrDie(const char* text) {
   uint32_t id = 0;
@@ -967,93 +1009,186 @@ std::vector<TenantId> ListTenantsOrDie(Fs* fs, const std::string& root) {
   return *std::move(tenants);
 }
 
-// ROOT positional + the tenant whose id is the second positional, which
-// must already exist on disk (a typo'd id must not create a fresh store).
+// The tenant whose id is the positional after ROOT (offline) or the first
+// positional (--socket). Offline, the tenant must already exist on disk —
+// a typo'd id must not create a fresh store; the live server enforces the
+// same rule itself.
 struct TenantTarget {
-  std::string root;
+  std::string root;          // empty in socket mode
+  const char* socket = nullptr;
   TenantId tenant = kInvalidTenantId;
 };
 
 TenantTarget TenantTargetOrDie(const char* command, int argc, char** argv, int start) {
-  const char* root = PositionalAt(argc, argv, start, 0);
-  const char* id = PositionalAt(argc, argv, start, 1);
-  if (root == nullptr || id == nullptr) {
-    std::fprintf(stderr, "seerctl: tenant %s requires ROOT and TENANT arguments\n", command);
-    std::exit(2);
-  }
   TenantTarget target;
-  target.root = root;
+  target.socket = SocketFlag(argc, argv, start);
+  const char* id = nullptr;
+  if (target.socket != nullptr) {
+    id = PositionalAt(argc, argv, start, 0);
+    if (id == nullptr) {
+      std::fprintf(stderr, "seerctl: tenant %s --socket requires a TENANT argument\n",
+                   command);
+      std::exit(2);
+    }
+  } else {
+    const char* root = PositionalAt(argc, argv, start, 0);
+    id = PositionalAt(argc, argv, start, 1);
+    if (root == nullptr || id == nullptr) {
+      std::fprintf(stderr, "seerctl: tenant %s requires ROOT and TENANT arguments\n", command);
+      std::exit(2);
+    }
+    target.root = root;
+  }
   target.tenant = TenantIdOrDie(id);
-  const std::vector<TenantId> present = ListTenantsOrDie(&DefaultFs(), target.root);
-  if (std::find(present.begin(), present.end(), target.tenant) == present.end()) {
-    std::fprintf(stderr, "seerctl: no tenant %u under %s (try `seerctl tenant list %s`)\n",
-                 target.tenant, root, root);
-    std::exit(1);
+  if (target.socket == nullptr) {
+    const std::vector<TenantId> present = ListTenantsOrDie(&DefaultFs(), target.root);
+    if (std::find(present.begin(), present.end(), target.tenant) == present.end()) {
+      std::fprintf(stderr, "seerctl: no tenant %u under %s (try `seerctl tenant list %s`)\n",
+                   target.tenant, target.root.c_str(), target.root.c_str());
+      std::exit(1);
+    }
   }
   return target;
 }
 
+// --- the one formatting layer both backends feed -----------------------------
+
+struct TenantRow {
+  TenantStats stats;
+  std::string state;
+};
+
+void PrintTenantRows(const std::vector<TenantRow>& rows) {
+  std::printf("%10s %10s %8s %12s %s\n", "tenant", "generation", "files", "memory", "state");
+  for (const TenantRow& row : rows) {
+    std::printf("%10u %10llu %8llu %12llu %s\n", row.stats.tenant,
+                static_cast<unsigned long long>(row.stats.generation),
+                static_cast<unsigned long long>(row.stats.files),
+                static_cast<unsigned long long>(row.stats.memory_bytes), row.state.c_str());
+  }
+}
+
+void PrintCheckpointed(TenantId tenant, const TenantStats& stats) {
+  std::printf("tenant %u: checkpointed at generation %llu (%llu files, %llu B resident)\n",
+              tenant, static_cast<unsigned long long>(stats.generation),
+              static_cast<unsigned long long>(stats.files),
+              static_cast<unsigned long long>(stats.memory_bytes));
+}
+
+void PrintEvicted(TenantId tenant, uint64_t memory) {
+  std::printf("tenant %u: WAL folded, %llu B of in-memory state released\n", tenant,
+              static_cast<unsigned long long>(memory));
+}
+
+void PrintTenantIds(const std::vector<TenantId>& tenants, const std::string& where) {
+  for (const TenantId tenant : tenants) {
+    std::printf("%10u\n", tenant);
+  }
+  std::printf("# %zu tenant%s %s\n", tenants.size(), tenants.size() == 1 ? "" : "s",
+              where.c_str());
+}
+
+// Single-tenant stats over the socket (the server's Stats view).
+StatusOr<TenantStats> LiveStatsOrDie(SeerClient& client, TenantId tenant) {
+  SEER_ASSIGN_OR_RETURN(std::vector<TenantStats> stats, client.Stats(tenant));
+  if (stats.size() != 1) {
+    return Status::Internal("server returned " + std::to_string(stats.size()) +
+                            " stats records for one tenant");
+  }
+  return stats[0];
+}
+
 int TenantList(int argc, char** argv, int start) {
+  if (const char* socket = SocketFlag(argc, argv, start)) {
+    SeerClient client = ConnectOrDie(socket);
+    const StatusOr<std::vector<TenantId>> tenants = client.TenantList();
+    if (!tenants.ok()) {
+      std::fprintf(stderr, "seerctl: %s\n", tenants.status().message().c_str());
+      return 1;
+    }
+    PrintTenantIds(*tenants, std::string("served at ") + socket);
+    return 0;
+  }
   const char* root = Positional(argc, argv, start);
   if (root == nullptr) {
-    std::fprintf(stderr, "seerctl: tenant list requires a ROOT argument\n");
+    std::fprintf(stderr, "seerctl: tenant list requires a ROOT argument (or --socket)\n");
     return 2;
   }
-  const std::vector<TenantId> tenants = ListTenantsOrDie(&DefaultFs(), root);
-  for (const TenantId tenant : tenants) {
-    const std::string dir = SnapshotStore::TenantDirectory(root, tenant);
-    SnapshotStore store(&DefaultFs(), dir);
-    const auto snaps = store.ListSnapshotFiles();
-    const auto wals = store.ListWals();
-    std::printf("%10u  %s  (%zu snapshot%s, %zu wal%s)\n", tenant, dir.c_str(),
-                snaps.ok() ? snaps->size() : 0, snaps.ok() && snaps->size() == 1 ? "" : "s",
-                wals.ok() ? wals->size() : 0, wals.ok() && wals->size() == 1 ? "" : "s");
-  }
-  std::printf("# %zu tenant%s under %s\n", tenants.size(), tenants.size() == 1 ? "" : "s",
-              root);
+  PrintTenantIds(ListTenantsOrDie(&DefaultFs(), root), std::string("under ") + root);
   return 0;
 }
 
 int TenantStatsCmd(int argc, char** argv, int start) {
+  const char* one = FlagValue(argc, argv, start, "--tenant");
+  if (const char* socket = SocketFlag(argc, argv, start)) {
+    SeerClient client = ConnectOrDie(socket);
+    const StatusOr<std::vector<TenantStats>> stats =
+        client.Stats(one != nullptr ? TenantIdOrDie(one) : kInvalidTenantId);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "seerctl: %s\n", stats.status().message().c_str());
+      return 1;
+    }
+    std::vector<TenantRow> rows;
+    for (const TenantStats& s : *stats) {
+      rows.push_back({s, s.resident ? "resident" : "evicted"});
+    }
+    PrintTenantRows(rows);
+    return 0;
+  }
   const char* root = Positional(argc, argv, start);
   if (root == nullptr) {
-    std::fprintf(stderr, "seerctl: tenant stats requires a ROOT argument\n");
+    std::fprintf(stderr, "seerctl: tenant stats requires a ROOT argument (or --socket)\n");
     return 2;
   }
   std::vector<TenantId> tenants;
-  if (const char* one = FlagValue(argc, argv, start, "--tenant")) {
+  if (one != nullptr) {
     tenants.push_back(TenantIdOrDie(one));
   } else {
     tenants = ListTenantsOrDie(&DefaultFs(), root);
   }
   // One pool for every recovery decode; Recover() itself never writes.
   ThreadPool pool(ThreadsFlagOrDie(argc, argv, start));
-  std::printf("%10s %10s %8s %12s %12s %s\n", "tenant", "generation", "files",
-              "wal-records", "memory", "state");
+  std::vector<TenantRow> rows;
   int rc = 0;
   for (const TenantId tenant : tenants) {
     const std::string dir = SnapshotStore::TenantDirectory(root, tenant);
     SnapshotStore store(&DefaultFs(), dir);
     const auto recovered = store.Recover({}, &pool);
     if (!recovered.ok()) {
-      std::printf("%10u  UNREADABLE: %s\n", tenant, recovered.status().message().c_str());
+      std::fprintf(stderr, "seerctl: tenant %u: UNREADABLE: %s\n", tenant,
+                   recovered.status().message().c_str());
       rc = 1;
       continue;
     }
-    std::printf("%10u %10llu %8zu %12llu %12zu %s\n", tenant,
-                static_cast<unsigned long long>(recovered->generation),
-                recovered->correlator->files().size(),
-                static_cast<unsigned long long>(recovered->wal_records_replayed),
-                recovered->correlator->MemoryBytes(),
-                recovered->torn_wal_tail ? "torn-wal-tail"
+    TenantRow row;
+    row.stats.tenant = tenant;
+    row.stats.generation = recovered->generation;
+    row.stats.files = recovered->correlator->files().size();
+    row.stats.memory_bytes = recovered->correlator->MemoryBytes();
+    row.state = recovered->torn_wal_tail ? "torn-wal-tail"
                 : recovered->fresh       ? "empty"
-                                         : "healthy");
+                                         : "healthy";
+    rows.push_back(std::move(row));
   }
+  PrintTenantRows(rows);
   return rc;
 }
 
 int TenantCheckpoint(int argc, char** argv, int start) {
   const TenantTarget target = TenantTargetOrDie("checkpoint", argc, argv, start);
+  if (target.socket != nullptr) {
+    SeerClient client = ConnectOrDie(target.socket);
+    const Status status = client.Checkpoint(target.tenant);
+    if (!status.ok()) {
+      std::fprintf(stderr, "seerctl: %s\n", status.message().c_str());
+      return 1;
+    }
+    const StatusOr<TenantStats> stats = LiveStatsOrDie(client, target.tenant);
+    if (stats.ok()) {
+      PrintCheckpointed(target.tenant, *stats);
+    }
+    return 0;
+  }
   TenantRouterConfig config;
   config.threads = ThreadsFlagOrDie(argc, argv, start);
   TenantRouter router(&DefaultFs(), target.root, config);
@@ -1062,18 +1197,32 @@ int TenantCheckpoint(int argc, char** argv, int start) {
     std::fprintf(stderr, "seerctl: %s\n", status.message().c_str());
     return 1;
   }
-  const auto stats = router.Stats(target.tenant);
+  auto stats = router.Stats(target.tenant);
   const StatusOr<Correlator*> live = router.CorrelatorFor(target.tenant);
   if (stats.ok() && live.ok()) {
-    std::printf("tenant %u: checkpointed at generation %llu (%zu files, %zu B resident)\n",
-                target.tenant, static_cast<unsigned long long>(stats->generation),
-                (*live)->files().size(), (*live)->MemoryBytes());
+    stats->memory_bytes = (*live)->MemoryBytes();
+    PrintCheckpointed(target.tenant, *stats);
   }
   return 0;
 }
 
 int TenantEvict(int argc, char** argv, int start) {
   const TenantTarget target = TenantTargetOrDie("evict", argc, argv, start);
+  if (target.socket != nullptr) {
+    SeerClient client = ConnectOrDie(target.socket);
+    const StatusOr<TenantStats> before = LiveStatsOrDie(client, target.tenant);
+    if (!before.ok()) {
+      std::fprintf(stderr, "seerctl: %s\n", before.status().message().c_str());
+      return 1;
+    }
+    const Status status = client.Evict(target.tenant);
+    if (!status.ok()) {
+      std::fprintf(stderr, "seerctl: %s\n", status.message().c_str());
+      return 1;
+    }
+    PrintEvicted(target.tenant, before->memory_bytes);
+    return 0;
+  }
   TenantRouterConfig config;
   config.threads = ThreadsFlagOrDie(argc, argv, start);
   TenantRouter router(&DefaultFs(), target.root, config);
@@ -1090,43 +1239,211 @@ int TenantEvict(int argc, char** argv, int start) {
     std::fprintf(stderr, "seerctl: %s\n", status.message().c_str());
     return 1;
   }
-  std::printf("tenant %u: WAL folded, %llu B of in-memory state released\n", target.tenant,
-              static_cast<unsigned long long>(memory));
+  PrintEvicted(target.tenant, memory);
+  return 0;
+}
+
+int TenantParams(int argc, char** argv, int start) {
+  const TenantTarget target = TenantTargetOrDie("params", argc, argv, start);
+  const char* set_path = FlagValue(argc, argv, start, "--set");
+  if (target.socket != nullptr) {
+    SeerClient client = ConnectOrDie(target.socket);
+    if (set_path != nullptr) {
+      const Status status = client.ParamsSet(target.tenant, ReadFileOrDie(set_path));
+      if (!status.ok()) {
+        std::fprintf(stderr, "seerctl: %s\n", status.message().c_str());
+        return 1;
+      }
+      std::printf("tenant %u: params override applied and persisted\n", target.tenant);
+      return 0;
+    }
+    const StatusOr<std::string> text = client.ParamsGet(target.tenant);
+    if (!text.ok()) {
+      std::fprintf(stderr, "seerctl: %s\n", text.status().message().c_str());
+      return 1;
+    }
+    std::fputs(text->c_str(), stdout);
+    return 0;
+  }
+  TenantRouterConfig config;
+  config.threads = ThreadsFlagOrDie(argc, argv, start);
+  TenantRouter router(&DefaultFs(), target.root, config);
+  if (set_path != nullptr) {
+    const Status status = router.SetTenantParams(target.tenant, ReadFileOrDie(set_path));
+    if (!status.ok()) {
+      std::fprintf(stderr, "seerctl: %s\n", status.message().c_str());
+      return 1;
+    }
+    std::printf("tenant %u: params override applied and persisted\n", target.tenant);
+    return 0;
+  }
+  const StatusOr<std::string> text = router.GetTenantParams(target.tenant);
+  if (!text.ok()) {
+    std::fprintf(stderr, "seerctl: %s\n", text.status().message().c_str());
+    return 1;
+  }
+  std::fputs(text->c_str(), stdout);
+  return 0;
+}
+
+int TenantShutdown(int argc, char** argv, int start) {
+  const char* socket = SocketFlag(argc, argv, start);
+  if (socket == nullptr) {
+    std::fprintf(stderr, "seerctl: tenant shutdown requires --socket SPEC\n");
+    return 2;
+  }
+  SeerClient client = ConnectOrDie(socket);
+  const Status status = client.Shutdown();
+  if (!status.ok()) {
+    std::fprintf(stderr, "seerctl: %s\n", status.message().c_str());
+    return 1;
+  }
+  std::printf("server at %s draining: sealing and checkpointing every resident tenant\n",
+              socket);
   return 0;
 }
 
 const std::vector<Subcommand>& TenantCommands() {
   static const std::vector<Subcommand> commands = {
-      {"list", "tenant list ROOT",
-       "List the tenants under a multi-tenant service root: one\n"
+      {"list", "tenant list {ROOT | --socket SPEC}",
+       "List the tenants of a multi-tenant service root: one\n"
        "tenant-NNNNNNNN store directory per tenant, each an ordinary\n"
-       "single-instance store that `seerctl db` reads unchanged.\n",
+       "single-instance store that `seerctl db` reads unchanged.\n"
+       "With --socket, ask a live `seerctl serve` process instead.\n",
        TenantList},
-      {"stats", "tenant stats ROOT [--tenant ID] [--threads K]",
-       "Recover each tenant's store read-only and report its durable\n"
-       "generation, tracked files, WAL records replayed, resident memory\n"
-       "bytes, and health.\n\n"
+      {"stats", "tenant stats {ROOT | --socket SPEC} [--tenant ID] [--threads K]",
+       "Per-tenant durable generation, tracked files, memory bytes, and\n"
+       "state. Offline, each store is recovered read-only; with --socket,\n"
+       "a live server reports the same counters from its router. On a\n"
+       "quiesced (checkpointed) tenant the two backends agree exactly.\n\n"
+       "  --socket SPEC live-service endpoint (unix:PATH, tcp:HOST:PORT)\n"
        "  --tenant ID   only this tenant\n"
-       "  --threads K   recovery-decode threads (default: SEER_THREADS,\n"
-       "                else all cores)\n",
+       "  --threads K   offline recovery-decode threads (default:\n"
+       "                SEER_THREADS, else all cores)\n",
        TenantStatsCmd},
-      {"checkpoint", "tenant checkpoint ROOT TENANT [--threads K]",
+      {"checkpoint", "tenant checkpoint {ROOT | --socket SPEC} TENANT [--threads K]",
        "Synchronously checkpoint one tenant through the router: fold its\n"
        "WAL into a fresh snapshot generation and prune, exactly as the\n"
        "live service's staggered scheduler would.\n",
        TenantCheckpoint},
-      {"evict", "tenant evict ROOT TENANT [--threads K]",
+      {"evict", "tenant evict {ROOT | --socket SPEC} TENANT [--threads K]",
        "Run the seal-and-release eviction path for one tenant: settle any\n"
        "in-flight checkpoint, fold the WAL into a synchronous snapshot,\n"
        "release the in-memory state. The store is left with an empty WAL,\n"
        "so the next restore replays nothing.\n",
        TenantEvict},
+      {"params", "tenant params {ROOT | --socket SPEC} TENANT [--set FILE]",
+       "Print one tenant's effective correlator parameters (params_io\n"
+       "text), or with --set FILE install a persisted per-tenant override\n"
+       "parsed over the service defaults. Overrides live in the tenant's\n"
+       "store directory (params.seer), survive eviction and restart, and\n"
+       "apply live when set through a running server (max_neighbors stays\n"
+       "pinned until restore; it bakes the relation-table slab geometry).\n",
+       TenantParams},
+      {"shutdown", "tenant shutdown --socket SPEC",
+       "Gracefully stop a live server: it acknowledges, drains buffered\n"
+       "frames, then seals and checkpoints every resident tenant before\n"
+       "exiting.\n",
+       TenantShutdown},
   };
   return commands;
 }
 
 int Tenant(int argc, char** argv, int start) {
   return RunRegistry("seerctl", TenantCommands(), argc, argv, start);
+}
+
+// --- serve / stream ------------------------------------------------------------
+
+uint64_t U64FlagOr(int argc, char** argv, int start, const char* flag, uint64_t fallback) {
+  const char* value = FlagValue(argc, argv, start, flag);
+  if (value == nullptr) {
+    return fallback;
+  }
+  uint64_t parsed = 0;
+  const char* end = value + std::strlen(value);
+  const auto [ptr, ec] = std::from_chars(value, end, parsed);
+  if (ec != std::errc() || ptr != end) {
+    std::fprintf(stderr, "seerctl: %s: invalid value '%s'\n", flag, value);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+int ServeCmd(int argc, char** argv, int start) {
+  const char* root = Positional(argc, argv, start);
+  const char* socket = SocketFlag(argc, argv, start);
+  if (root == nullptr || socket == nullptr) {
+    std::fprintf(stderr, "seerctl: serve requires ROOT and --socket SPEC\n");
+    return 2;
+  }
+  HoardServiceConfig config;
+  config.router.threads = ThreadsFlagOrDie(argc, argv, start);
+  config.router.defaults = ParamsFromFlagOrDie(argc, argv, start);
+  config.observer = ControlFromFlagOrDie(argc, argv, start);
+  config.router.checkpoint_interval =
+      static_cast<Time>(U64FlagOr(argc, argv, start, "--checkpoint-interval-s",
+                                  config.router.checkpoint_interval / kMicrosPerSecond)) *
+      kMicrosPerSecond;
+  config.router.max_resident_tenants = static_cast<size_t>(
+      U64FlagOr(argc, argv, start, "--max-resident", config.router.max_resident_tenants));
+  config.router.max_resident_bytes =
+      U64FlagOr(argc, argv, start, "--max-resident-mb",
+                config.router.max_resident_bytes >> 20) << 20;
+  HoardService service(&DefaultFs(), root, config);
+  const Status listening = service.Listen(socket);
+  if (!listening.ok()) {
+    std::fprintf(stderr, "seerctl: %s\n", listening.message().c_str());
+    return 1;
+  }
+  std::printf("seerctl: serving %s on %s\n", root, socket);
+  std::fflush(stdout);
+  const Status served = service.Serve();
+  std::printf("seerctl: server drained: %llu connection%s, %llu frame%s, %llu event%s, "
+              "%llu protocol error%s\n",
+              static_cast<unsigned long long>(service.connections_accepted()),
+              service.connections_accepted() == 1 ? "" : "s",
+              static_cast<unsigned long long>(service.frames_received()),
+              service.frames_received() == 1 ? "" : "s",
+              static_cast<unsigned long long>(service.events_ingested()),
+              service.events_ingested() == 1 ? "" : "s",
+              static_cast<unsigned long long>(service.protocol_errors()),
+              service.protocol_errors() == 1 ? "" : "s");
+  if (!served.ok()) {
+    std::fprintf(stderr, "seerctl: %s\n", served.message().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int StreamCmd(int argc, char** argv, int start) {
+  const char* trace = Positional(argc, argv, start);
+  const char* socket = SocketFlag(argc, argv, start);
+  const char* tenant_flag = FlagValue(argc, argv, start, "--tenant");
+  if (trace == nullptr || socket == nullptr || tenant_flag == nullptr) {
+    std::fprintf(stderr, "seerctl: stream requires TRACE, --socket SPEC, and --tenant ID\n");
+    return 2;
+  }
+  const TenantId tenant = TenantIdOrDie(tenant_flag);
+  std::vector<TraceEvent> events;
+  if (!ForEachTraceEvent(trace, [&](const TraceEvent& event) { events.push_back(event); })) {
+    return 1;
+  }
+  SeerClient client = ConnectOrDie(socket);
+  const Status streamed = client.StreamEvents(tenant, events);
+  if (!streamed.ok()) {
+    std::fprintf(stderr, "seerctl: %s\n", streamed.message().c_str());
+    return 1;
+  }
+  // Frames are processed in connection order, so a control round-trip is
+  // a delivery barrier: once it returns, every event above is ingested.
+  const Status synced = client.Ping();
+  if (!synced.ok()) {
+    std::fprintf(stderr, "seerctl: %s\n", synced.message().c_str());
+    return 1;
+  }
+  std::printf("streamed %zu events to tenant %u at %s\n", events.size(), tenant, socket);
+  return 0;
 }
 
 // --- registry --------------------------------------------------------------------
@@ -1186,12 +1503,32 @@ const std::vector<Subcommand>& Commands() {
        "Operate on a crash-safe snapshot+WAL store directory.\n"
        "Run `seerctl db` for the sub-command list.\n",
        Db, /*has_subcommands=*/true},
-      {"tenant", "tenant {list|stats|evict|checkpoint} ROOT ...",
+      {"tenant", "tenant {list|stats|evict|checkpoint|params|shutdown} ...",
        "Operate on a multi-tenant hoard-service root: a directory of\n"
        "tenant-NNNNNNNN single-instance stores driven by one TenantRouter\n"
-       "(see src/server/tenant_router.h). Run `seerctl tenant` for the\n"
-       "sub-command list.\n",
+       "(see src/server/tenant_router.h). Every verb works offline against\n"
+       "ROOT or live against a server via --socket SPEC. Run\n"
+       "`seerctl tenant` for the sub-command list.\n",
        Tenant, /*has_subcommands=*/true},
+      {"serve", "serve ROOT --socket SPEC [--threads K] [--params FILE] [--control FILE]",
+       "Run the hoard service: listen on SPEC (unix:PATH, tcp:HOST:PORT,\n"
+       "or a bare UDS path), route kEvents frames into per-tenant\n"
+       "correlators over one shared pool, and answer the control protocol\n"
+       "(src/server/service.h). Runs until `seerctl tenant shutdown\n"
+       "--socket SPEC`, then seals and checkpoints every resident tenant.\n\n"
+       "  --socket SPEC             endpoint to listen on (required)\n"
+       "  --threads K               shared worker pool width\n"
+       "  --params FILE             fleet-default correlator parameters\n"
+       "  --control FILE            observer control file\n"
+       "  --checkpoint-interval-s N per-tenant checkpoint period\n"
+       "  --max-resident N          tenant residency budget (0 = unbounded)\n"
+       "  --max-resident-mb MB      resident-memory budget (0 = unbounded)\n",
+       ServeCmd},
+      {"stream", "stream TRACE --socket SPEC --tenant ID",
+       "Stream a trace file (text or binary) to a live server as one\n"
+       "tenant's reference stream, batched into self-contained event\n"
+       "frames, and wait until every event is ingested.\n",
+       StreamCmd},
   };
   return commands;
 }
