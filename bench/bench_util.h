@@ -85,6 +85,38 @@ inline void WriteJsonMachineMeta(std::FILE* out) {
   std::fprintf(out, "  \"seer_threads\": %d,\n", EffectiveSeerThreads());
 }
 
+// A thread sweep only demonstrates *scaling* when the host actually has the
+// cores being swept; on a narrower machine the same numbers measure
+// oversubscription overhead instead. Benches that sweep thread counts must
+// record which regime they ran in so downstream consumers (tools/
+// bench_compare.py, CI perf gates) never misread a 1-cpu run as a
+// parallelism regression.
+inline bool ScalingValid(int max_threads_swept) {
+  return HostCpus() >= max_threads_swept;
+}
+
+// Emits the "scaling_valid" JSON flag. Call alongside WriteJsonMachineMeta
+// in any bench whose JSON carries a thread sweep.
+inline void WriteJsonScalingValid(std::FILE* out, int max_threads_swept) {
+  std::fprintf(out, "  \"scaling_valid\": %s,\n",
+               ScalingValid(max_threads_swept) ? "true" : "false");
+}
+
+// Loud stderr warning for humans reading the console output of an invalid
+// sweep. Returns the validity so callers can branch on it.
+inline bool WarnIfScalingInvalid(const char* bench_name, int max_threads_swept) {
+  if (ScalingValid(max_threads_swept)) {
+    return true;
+  }
+  std::fprintf(stderr,
+               "\n*** %s: host has %d cpu%s but the sweep goes to %d threads.\n"
+               "*** Multi-thread numbers measure OVERSUBSCRIPTION OVERHEAD, not\n"
+               "*** speedup; \"scaling_valid\": false is recorded in the JSON and\n"
+               "*** scaling gates must be skipped on this host.\n\n",
+               bench_name, HostCpus(), HostCpus() == 1 ? "" : "s", max_threads_swept);
+  return false;
+}
+
 }  // namespace bench
 }  // namespace seer
 

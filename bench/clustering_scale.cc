@@ -101,6 +101,12 @@ int TouchOnePercent(Correlator* correlator, int n_files, Time* t) {
 int main() {
   using namespace seer;
   const int threads = bench::EffectiveSeerThreads();
+  // The serial column pins 1 thread, so the sweep's width is the parallel
+  // column's thread count: speedup numbers are only meaningful when the
+  // host really has that many cores AND more than one thread is in play
+  // (at threads=1 the "parallel" column is just the serial build again).
+  const bool scaling_valid =
+      bench::WarnIfScalingInvalid("clustering_scale", threads) && threads >= 2;
   bench::PrintHeader(
       "Clustering scalability (Section 3.3.2): per-file cost should stay\n"
       "roughly flat with N (the O(N) shared-neighbor variation); parallel\n"
@@ -189,6 +195,7 @@ int main() {
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"clustering_scale\",\n");
   bench::WriteJsonMachineMeta(out);
+  std::fprintf(out, "  \"scaling_valid\": %s,\n", scaling_valid ? "true" : "false");
   std::fprintf(out, "  \"threads\": %d,\n", threads);
   std::fprintf(out, "  \"outputs_identical\": %s,\n", identical ? "true" : "false");
   std::fprintf(out, "  \"rows\": [\n");

@@ -174,7 +174,32 @@ int main() {
   // Interleave the fleet round-robin in chunks, ticking the control plane
   // between rounds. Chunked delivery is what a transport would do; the
   // chunk size keeps the schedule tenant-interleaved rather than serial.
+  // Each tenant's sink batches internally (IngestBatcher -> IngestBatch),
+  // so sustained streams flow through the stripe-sharded parallel fold on
+  // the router's shared pool.
   constexpr size_t kChunk = 100;
+  const auto run_fleet = [&](TenantRouter* r) -> uint64_t {
+    uint64_t delivered = 0;
+    Time now = 0;
+    for (size_t base = 0; base < refs_per_tenant; base += kChunk) {
+      const size_t n = std::min(kChunk, refs_per_tenant - base);
+      for (size_t t = 0; t < tenants; ++t) {
+        // Regenerate the stream slice from the seed: holding tenants × refs
+        // FileReferences resident would dominate the bench's own RSS.
+        const std::vector<FileReference> stream =
+            TenantStream(0x5eed + static_cast<uint32_t>(t), base + n);
+        ReferenceSink* sink = r->SinkFor(static_cast<TenantId>(t + 1));
+        for (size_t i = base; i < base + n; ++i) {
+          sink->OnReference(stream[i]);
+        }
+        delivered += n;
+      }
+      now += 5 * kMicrosPerSecond;
+      (void)r->Tick(now);
+    }
+    (void)r->DrainCheckpoints();
+    return delivered;
+  };
   uint64_t total_refs = 0;
   uint64_t resident_at_peak = 0;
   if (socket_mode) {
@@ -230,24 +255,7 @@ int main() {
       return 1;
     }
   } else {
-    Time now = 0;
-    for (size_t base = 0; base < refs_per_tenant; base += kChunk) {
-      const size_t n = std::min(kChunk, refs_per_tenant - base);
-      for (size_t t = 0; t < tenants; ++t) {
-        // Regenerate the stream slice from the seed: holding tenants × refs
-        // FileReferences resident would dominate the bench's own RSS.
-        const std::vector<FileReference> stream =
-            TenantStream(0x5eed + static_cast<uint32_t>(t), base + n);
-        ReferenceSink* sink = inproc->SinkFor(static_cast<TenantId>(t + 1));
-        for (size_t i = base; i < base + n; ++i) {
-          sink->OnReference(stream[i]);
-        }
-        total_refs += n;
-      }
-      now += 5 * kMicrosPerSecond;
-      (void)inproc->Tick(now);
-    }
-    (void)inproc->DrainCheckpoints();
+    total_refs = run_fleet(inproc.get());
   }
 
   const double elapsed =
@@ -292,6 +300,37 @@ int main() {
               tenants > 0 ? rss_delta / 1024.0 / tenants : 0.0);
   std::printf("store footprint:   %" PRIu64 " bytes in MemFs\n", fs.TotalBytes());
 
+  // Thread sweep (in-process only): the whole fleet replayed on fresh
+  // routers at pool widths 1/2/4/8. Each tenant's batched ingest rides the
+  // stripe-sharded fold, so aggregate refs/s should rise with the pool on
+  // a wide-enough host; scaling_valid records whether this host qualifies.
+  struct SweepPoint {
+    int threads = 0;
+    double refs_per_sec = 0.0;
+  };
+  constexpr int kMaxSweepThreads = 8;
+  std::vector<SweepPoint> sweep;
+  if (!socket_mode) {
+    bench::WarnIfScalingInvalid("multitenant", kMaxSweepThreads);
+    std::printf("\nfleet thread sweep (fresh router per width):\n");
+    for (const int tc : {1, 2, 4, kMaxSweepThreads}) {
+      MemFs sweep_fs;
+      TenantRouterConfig sweep_config = config;
+      sweep_config.threads = tc;
+      TenantRouter sweep_router(&sweep_fs, "/srv", sweep_config);
+      const auto sweep_start = std::chrono::steady_clock::now();
+      const uint64_t delivered = run_fleet(&sweep_router);
+      const double sweep_elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+              .count();
+      SweepPoint point;
+      point.threads = tc;
+      point.refs_per_sec = sweep_elapsed > 0 ? delivered / sweep_elapsed : 0.0;
+      sweep.push_back(point);
+      std::printf("  threads=%d: %12.0f refs/s\n", tc, point.refs_per_sec);
+    }
+  }
+
   const char* path = "BENCH_multitenant.json";
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
@@ -301,6 +340,7 @@ int main() {
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"multitenant\",\n");
   bench::WriteJsonMachineMeta(out);
+  bench::WriteJsonScalingValid(out, kMaxSweepThreads);
   std::fprintf(out, "  \"transport\": \"%s\",\n", socket_mode ? "socket" : "inproc");
   if (socket_mode) {
     std::fprintf(out, "  \"frames_received\": %" PRIu64 ",\n", service->frames_received());
@@ -322,6 +362,13 @@ int main() {
   std::fprintf(out, "  \"rss_kb_per_tenant\": %.1f,\n",
                tenants > 0 ? rss_delta / 1024.0 / tenants : 0.0);
   std::fprintf(out, "  \"store_bytes\": %" PRIu64 ",\n", fs.TotalBytes());
+  std::fprintf(out, "  \"thread_sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    std::fprintf(out, "    {\"threads\": %d, \"aggregate_refs_per_sec\": %.0f}%s\n",
+                 sweep[i].threads, sweep[i].refs_per_sec,
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"evictions\": %" PRIu64 ",\n", router.evictions());
   std::fprintf(out, "  \"restores\": %" PRIu64 "\n", router.restores());
   std::fprintf(out, "}\n");

@@ -22,10 +22,18 @@ constexpr uint8_t kKeepBucket = 0;
 constexpr uint8_t kPartialRescore = 1;
 constexpr uint8_t kFullRescore = 2;
 
-// Candidates per work chunk. Small enough for dynamic balancing across
-// skewed neighbor lists, large enough that the claim counter is cold.
-constexpr size_t kScoreChunk = 128;
-constexpr size_t kPackChunk = 256;
+// Task granularity for the parallel phases. Chunks are coarse and
+// thread-proportional — a few contiguous ranges per worker — rather than a
+// fixed small size: candidate slots ascend by FileId, so a contiguous
+// range covers whole 256-file relation stripes and each worker walks slab
+// rows it recently touched instead of interleaving cache lines with its
+// peers. kChunksPerThread > 1 keeps dynamic balancing across skewed
+// neighbor lists; kMinChunk bounds the claim-counter traffic; work below
+// kSerialCutoff items skips the pool dispatch entirely (at small N the
+// wake/join round-trip used to cost more than the scoring itself).
+constexpr size_t kChunksPerThread = 4;
+constexpr size_t kMinChunk = 64;
+constexpr size_t kSerialCutoff = 2048;
 
 // Number of non-empty '/'-separated segments, as SplitPath counts them.
 size_t CountComponents(std::string_view path) {
@@ -489,15 +497,35 @@ ClusterSet ClusterBuilder::Build(const std::vector<FileId>& candidates) const {
   ThreadPool* pool = Pool();
   stats_.threads = pool->threads();
 
+  // Shared dispatcher for the parallel phases: runs body(lo, hi) over
+  // [0, items), inline when the pool is serial or the work is under the
+  // adaptive cutoff, otherwise in coarse contiguous ranges (see the
+  // granularity constants above). Every body is a pure per-item function
+  // with disjoint writes, so the split cannot affect results.
+  const auto RunRanges = [&](size_t items, const std::function<void(size_t, size_t)>& body) {
+    const size_t workers = static_cast<size_t>(pool->threads());
+    const size_t chunks =
+        std::min(workers * kChunksPerThread, (items + kMinChunk - 1) / kMinChunk);
+    if (workers <= 1 || items <= kSerialCutoff || chunks <= 1) {
+      body(0, items);
+      return;
+    }
+    const size_t per = (items + chunks - 1) / chunks;
+    pool->ParallelChunks(chunks, [&](size_t c) {
+      const size_t lo = c * per;
+      const size_t hi = std::min(items, lo + per);
+      if (lo < hi) {
+        body(lo, hi);
+      }
+    });
+  };
+
   // Input refresh: rebuild the cached live-neighbor rows / path views of
   // refresh_ in parallel. Writes are disjoint per file and each result is a
   // pure per-file function, so order (and thread count) cannot matter.
   mark = std::chrono::steady_clock::now();
   if (!refresh_.empty()) {
-    const size_t chunks = (refresh_.size() + kPackChunk - 1) / kPackChunk;
-    pool->ParallelChunks(chunks, [&](size_t c) {
-      const size_t lo = c * kPackChunk;
-      const size_t hi = std::min(refresh_.size(), lo + kPackChunk);
+    RunRanges(refresh_.size(), [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) {
         RefreshFileInputs(refresh_[i]);
       }
@@ -523,12 +551,9 @@ ClusterSet ClusterBuilder::Build(const std::vector<FileId>& candidates) const {
   std::vector<uint8_t> edge_removed(n, 0);  // per slot, disjoint writes
   const bool fast_union = incremental && fast_union_ok_ && comp_valid_;
   if (!work.empty()) {
-    const size_t chunks = (work.size() + kScoreChunk - 1) / kScoreChunk;
-    pool->ParallelChunks(chunks, [&](size_t c) {
+    RunRanges(work.size(), [&](size_t lo, size_t hi) {
       ScoreScratch scratch;
       size_t local = 0;
-      const size_t lo = c * kScoreChunk;
-      const size_t hi = std::min(work.size(), lo + kScoreChunk);
       for (size_t w = lo; w < hi; ++w) {
         ScoreSlot(work[w], candidates, rescore_[work[w]], &scratch, &local,
                   fast_union ? &edge_removed[work[w]] : nullptr);
@@ -651,11 +676,7 @@ ClusterSet ClusterBuilder::Build(const std::vector<FileId>& candidates) const {
     }
   }
   if (!touched_list.empty()) {
-    const size_t kEmitChunk = 64;
-    const size_t chunks = (touched_list.size() + kEmitChunk - 1) / kEmitChunk;
-    pool->ParallelChunks(chunks, [&](size_t c) {
-      const size_t lo = c * kEmitChunk;
-      const size_t hi = std::min(touched_list.size(), lo + kEmitChunk);
+    RunRanges(touched_list.size(), [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) {
         std::vector<FileId>& m = members[touched_list[i]];
         std::sort(m.begin(), m.end());

@@ -1,8 +1,19 @@
 #include "src/core/correlator.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace seer {
+
+namespace {
+
+inline uint64_t MicrosSince(std::chrono::steady_clock::time_point from) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - from)
+                                   .count());
+}
+
+}  // namespace
 
 Correlator::Correlator(const SeerParams& params, uint64_t seed)
     : params_(params),
@@ -130,7 +141,13 @@ void Correlator::MeasureShard(IngestShard* shard) {
     for (const DistanceObservation& obs : sh.scratch) {
       // Liveness flags are frozen for the whole segment (barriers and
       // would-resurrect references cut segments), so filtering here equals
-      // the serial per-reference filter.
+      // the serial per-reference filter. Self-observations are dropped here
+      // too (the fold would no-op them): the sharded fold assigns one
+      // global ordinal per surviving observation, so the obs list must be
+      // exactly the updates the serial path would apply.
+      if (obs.from == obs.to) {
+        continue;
+      }
       const FileRecord& from = files_.Get(obs.from);
       if (from.deleted || from.excluded) {
         continue;
@@ -157,21 +174,36 @@ void Correlator::FlushSegment() {
   // Phase B: measure every shard in parallel. Measurement mutates only its
   // own stream; files_ and relations_ are read-only here (liveness filter,
   // slot hints), so shards never race.
+  auto mark = std::chrono::steady_clock::now();
   IngestPool()->ParallelChunks(active_shards_,
                                [this](size_t sh) { MeasureShard(&shards_[sh]); });
+  ingest_stats_.measure_us += MicrosSince(mark);
 
-  // Phase C: fold observations into the relation table sequentially, in
-  // original trace order — update_count_, aging decisions, and RNG
-  // tie-breaks advance exactly as under serial ingest.
-  for (const RefLoc& loc : ref_order_) {
-    const IngestShard& sh = shards_[loc.shard];
-    const uint32_t begin = sh.offsets[loc.index];
-    const uint32_t end = sh.offsets[loc.index + 1];
-    for (uint32_t i = begin; i < end; ++i) {
-      const MeasuredObs& o = sh.obs[i];
-      relations_.ObserveHinted(o.from, o.to, o.distance, o.hint);
+  // Phase C: fold observations into the relation table, partitioned by the
+  // table's 256-file stripes (one worker per stripe, trace order within).
+  // Small segments fold serially — same end state either way, the sharded
+  // path just isn't worth the dispatch below the cutoff.
+  mark = std::chrono::steady_clock::now();
+  size_t total_obs = 0;
+  for (size_t i = 0; i < active_shards_; ++i) {
+    total_obs += shards_[i].obs.size();
+  }
+  if (total_obs >= kParallelFoldMinObs && IngestPool()->threads() > 1) {
+    ++ingest_stats_.parallel_folds;
+    FoldSegmentSharded(total_obs);
+  } else {
+    ++ingest_stats_.serial_folds;
+    for (const RefLoc& loc : ref_order_) {
+      const IngestShard& sh = shards_[loc.shard];
+      const uint32_t begin = sh.offsets[loc.index];
+      const uint32_t end = sh.offsets[loc.index + 1];
+      for (uint32_t i = begin; i < end; ++i) {
+        const MeasuredObs& o = sh.obs[i];
+        relations_.ObserveHinted(o.from, o.to, o.distance, o.hint);
+      }
     }
   }
+  ingest_stats_.fold_us += MicrosSince(mark);
 
   for (size_t i = 0; i < active_shards_; ++i) {
     shards_[i].refs.clear();
@@ -179,6 +211,85 @@ void Correlator::FlushSegment() {
   shard_of_pid_.Clear();
   active_shards_ = 0;
   ref_order_.clear();
+}
+
+void Correlator::FoldSegmentSharded(size_t total_obs) {
+  // The relation slab must cover every id the workers will touch before
+  // they start: worker-side folds never resize shared arrays.
+  relations_.EnsureCapacity(static_cast<FileId>(files_.size() - 1));
+
+  // Count observations per 256-file stripe of their `from` file (order
+  // doesn't matter for counting), then prefix-sum into bucket offsets.
+  const size_t num_stripes =
+      (files_.size() + RelationTable::kStripeSize - 1) >> RelationTable::kStripeShift;
+  stripe_offsets_.assign(num_stripes + 1, 0);
+  for (size_t s = 0; s < active_shards_; ++s) {
+    for (const MeasuredObs& o : shards_[s].obs) {
+      ++stripe_offsets_[(o.from >> RelationTable::kStripeShift) + 1];
+    }
+  }
+  for (size_t sx = 0; sx < num_stripes; ++sx) {
+    stripe_offsets_[sx + 1] += stripe_offsets_[sx];
+  }
+
+  // Counting-sort the observations into their stripe buckets, walking
+  // ref_order_ so each bucket keeps trace order, and assign each surviving
+  // observation its global update ordinal (1-based position appended to
+  // the table's update count) — exactly the ordinal serial ingest's
+  // update_count_ increment would have given it.
+  fold_items_.resize(total_obs);
+  stripe_cursor_.assign(stripe_offsets_.begin(), stripe_offsets_.end() - 1);
+  uint32_t ord = 0;
+  for (const RefLoc& loc : ref_order_) {
+    const IngestShard& sh = shards_[loc.shard];
+    const uint32_t begin = sh.offsets[loc.index];
+    const uint32_t end = sh.offsets[loc.index + 1];
+    for (uint32_t i = begin; i < end; ++i) {
+      const uint32_t sx = sh.obs[i].from >> RelationTable::kStripeShift;
+      fold_items_[stripe_cursor_[sx]++] = {loc.shard, i, ++ord};
+    }
+  }
+
+  touched_stripes_.clear();
+  for (uint32_t sx = 0; sx < num_stripes; ++sx) {
+    if (stripe_offsets_[sx + 1] > stripe_offsets_[sx]) {
+      touched_stripes_.push_back(sx);
+    }
+  }
+  ingest_stats_.fold_stripes += touched_stripes_.size();
+
+  // Parallel fold: each worker owns whole stripes, so every slab write
+  // lands in slot ranges no other worker touches; cross-stripe effects
+  // (reverse index, epoch clocks) go into the per-stripe log. Prefetching
+  // the next observation's slab row hides the gather latency of jumping
+  // between files within a stripe.
+  const uint64_t base_count = relations_.update_count();
+  fold_logs_.assign(touched_stripes_.size(), RelationTable::StripeFoldLog{});
+  IngestPool()->ParallelChunks(touched_stripes_.size(), [&](size_t k) {
+    const uint32_t sx = touched_stripes_[k];
+    RelationTable::StripeFoldLog* log = &fold_logs_[k];
+    const uint32_t lo = stripe_offsets_[sx];
+    const uint32_t hi = stripe_offsets_[sx + 1];
+    for (uint32_t t = lo; t < hi; ++t) {
+      if (t + 1 < hi) {
+        const FoldItem& nx = fold_items_[t + 1];
+        relations_.PrefetchRow(shards_[nx.shard].obs[nx.index].from);
+      }
+      const FoldItem& item = fold_items_[t];
+      const MeasuredObs& o = shards_[item.shard].obs[item.index];
+      relations_.FoldObservation(o.from, o.to, o.distance, o.hint, base_count + item.ord,
+                                 log);
+    }
+  });
+  relations_.set_update_count(base_count + total_obs);
+
+  // Sequential replay of the deferred cross-stripe effects, in ascending
+  // stripe order. The dirty sets this produces (set stamps, stripe data
+  // stamps, reverse-index membership) equal the serial path's; only the
+  // unserialized epoch orderings differ.
+  for (size_t k = 0; k < touched_stripes_.size(); ++k) {
+    relations_.ApplyFoldLog(touched_stripes_[k], fold_logs_[k]);
+  }
 }
 
 void Correlator::IngestBatch(const IngestEvent* events, size_t count) {
@@ -275,7 +386,7 @@ void Correlator::OnFileExcluded(PathId path) {
   if (id == kInvalidFileId) {
     return;
   }
-  files_.GetMutable(id).excluded = true;
+  files_.MarkExcluded(id);
   relations_.MarkSetChanged(id);
   relations_.Purge(id);
 }

@@ -18,11 +18,16 @@
 //  * the serial ReferenceSink methods (one event at a time), and
 //  * IngestBatch — a batched, sharded pipeline that partitions each batch
 //    of events by owning process stream, measures semantic distances for
-//    all shards in parallel (measurement is pure per-stream), and applies
-//    the observations to the relation table in a single sequential fold in
-//    original trace order. Because the fold order, the liveness filter,
-//    update_count_, aging, and the RNG tie-breaks are all identical to the
-//    serial path, the resulting state is bit-identical at any thread count.
+//    all shards in parallel (measurement is pure per-stream), and folds
+//    the observations into the relation table partitioned by the table's
+//    256-file stripes: one worker folds each stripe's observations in
+//    trace order, and the cross-stripe side effects are replayed
+//    sequentially afterwards. Per-file relation state depends only on that
+//    file's own observation subsequence (same stripe, same worker, trace
+//    order), the observations' global ordinals, liveness flags frozen for
+//    the segment, and stateless tie-break draws — all invariant in the
+//    thread count — so the resulting state is bit-identical to serial
+//    ingest at any thread count (DESIGN.md §15).
 #ifndef SRC_CORE_CORRELATOR_H_
 #define SRC_CORE_CORRELATOR_H_
 
@@ -74,6 +79,13 @@ struct IngestStats {
   uint64_t refs = 0;            // reference events ingested via batches
   uint64_t barriers = 0;        // non-reference events (segment cuts)
   uint64_t max_shard_refs = 0;  // largest single shard seen
+  // Phase timing (accumulated wall time) and fold-plane shape, for the
+  // `seerctl replay --stats` per-phase breakdown.
+  uint64_t measure_us = 0;       // parallel distance measurement
+  uint64_t fold_us = 0;          // relation fold (either mode) + log replay
+  uint64_t parallel_folds = 0;   // segments folded by the sharded path
+  uint64_t serial_folds = 0;     // segments under the serial cutoff
+  uint64_t fold_stripes = 0;     // stripes folded by the sharded path, summed
 };
 
 class Correlator : public ReferenceSink {
@@ -250,8 +262,20 @@ class Correlator : public ReferenceSink {
     std::vector<DistanceObservation> scratch;
   };
 
+  // Observations below this count fold serially: dispatching a handful of
+  // folds across workers costs more than the folds themselves.
+  static constexpr size_t kParallelFoldMinObs = 512;
+
+  // One observation's position in the stripe-partitioned fold worklist.
+  struct FoldItem {
+    uint32_t shard = 0;  // owning IngestShard
+    uint32_t index = 0;  // index into that shard's obs array
+    uint32_t ord = 0;    // 1-based position in the segment's trace order
+  };
+
   void AddRefToSegment(RefKind kind, Pid pid, FileId id, Time time);
   void FlushSegment();
+  void FoldSegmentSharded(size_t total_obs);
   void MeasureShard(IngestShard* shard);
   ThreadPool* IngestPool();
 
@@ -269,6 +293,14 @@ class Correlator : public ReferenceSink {
   size_t active_shards_ = 0;
   FlatMap<uint64_t, uint32_t> shard_of_pid_{0};  // key = pid + 1 (0 reserved)
   std::vector<RefLoc> ref_order_;                // segment refs in trace order
+  // Sharded-fold scratch, reused across segments: per-stripe observation
+  // counts / bucket cursors, the stripe-partitioned worklist (trace order
+  // within each bucket), the touched-stripe list, and per-stripe logs.
+  std::vector<uint32_t> stripe_offsets_;
+  std::vector<uint32_t> stripe_cursor_;
+  std::vector<FoldItem> fold_items_;
+  std::vector<uint32_t> touched_stripes_;
+  std::vector<RelationTable::StripeFoldLog> fold_logs_;
   IngestStats ingest_stats_;
   int ingest_threads_ = 0;
   std::unique_ptr<ThreadPool> ingest_pool_;

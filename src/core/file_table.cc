@@ -26,6 +26,7 @@ FileId FileTable::Intern(PathId path) {
       // Name reuse after deletion: resurrect the record so relationship
       // information built under the old name survives (Section 4.8).
       rec.deleted = false;
+      flags_[existing] &= static_cast<uint8_t>(~kFlagDeleted);
     }
     return existing;
   }
@@ -33,6 +34,7 @@ FileId FileTable::Intern(PathId path) {
   FileRecord rec;
   rec.path = path;
   records_.push_back(rec);
+  flags_.push_back(0);
   Bind(path, id);
   return id;
 }
@@ -61,6 +63,7 @@ std::vector<FileId> FileTable::MarkDeleted(FileId id, uint64_t delete_delay) {
   FileRecord& rec = records_[id];
   if (!rec.deleted) {
     rec.deleted = true;
+    flags_[id] |= kFlagDeleted;
     rec.deleted_at_deletion_count = ++deletion_count_;
     pending_purge_.push_back(id);
   }
@@ -83,6 +86,11 @@ std::vector<FileId> FileTable::MarkDeleted(FileId id, uint64_t delete_delay) {
   return expired;
 }
 
+void FileTable::MarkExcluded(FileId id) {
+  records_[id].excluded = true;
+  flags_[id] |= kFlagExcluded;
+}
+
 void FileTable::RenameFile(FileId from, PathId to) {
   FileRecord& rec = records_[from];
   // If the target name already has a record, retire it: the rename
@@ -90,6 +98,7 @@ void FileTable::RenameFile(FileId from, PathId to) {
   const FileId existing = Find(to);
   if (existing != kInvalidFileId && existing != from) {
     records_[existing].deleted = true;
+    flags_[existing] |= kFlagDeleted;
     records_[existing].path = kInvalidPathId;
   }
   if (rec.path != kInvalidPathId && rec.path < by_path_.size()) {
@@ -102,6 +111,8 @@ void FileTable::RenameFile(FileId from, PathId to) {
 FileId FileTable::RestoreRecord(const FileRecord& record) {
   const FileId id = static_cast<FileId>(records_.size());
   records_.push_back(record);
+  flags_.push_back(static_cast<uint8_t>((record.deleted ? kFlagDeleted : 0) |
+                                        (record.excluded ? kFlagExcluded : 0)));
   if (record.path != kInvalidPathId) {
     Bind(record.path, id);
   }

@@ -39,6 +39,20 @@ struct FileRecord {
 
 class FileTable {
  public:
+  // Packed per-file liveness flags, mirrored from the FileRecord booleans.
+  // The relation table's replacement and live-neighbor scans are the
+  // hottest loops in ingest; loading one byte per neighbor id instead of a
+  // whole FileRecord keeps them cache-dense and auto-vectorizable. The
+  // mirror stays exact because every liveness flip goes through a table
+  // method (Intern resurrect, MarkDeleted, MarkExcluded, RenameFile,
+  // RestoreRecord) — never through GetMutable.
+  static constexpr uint8_t kFlagDeleted = 1u << 0;
+  static constexpr uint8_t kFlagExcluded = 1u << 1;
+
+  // Byte per FileId: 0 = live, else kFlagDeleted|kFlagExcluded bits.
+  // Valid for every id < size(); invalidated by record creation.
+  const uint8_t* liveness_flags() const { return flags_.data(); }
+
   // Returns the id for `path`, creating a record if needed. A deleted
   // record is resurrected on re-reference (name reuse, Section 4.8).
   FileId Intern(PathId path);
@@ -62,6 +76,9 @@ class FileTable {
   // Marks `id` deleted at the current global deletion count and returns
   // the ids whose delayed purge has now expired.
   std::vector<FileId> MarkDeleted(FileId id, uint64_t delete_delay);
+
+  // Marks `id` excluded from distance calculations (Section 4.2).
+  void MarkExcluded(FileId id);
 
   // Re-binds the identity of `from` to the interned name `to` (rename
   // keeps the relationship data, Section 4.8). A record previously living
@@ -97,6 +114,8 @@ class FileTable {
   FileId Lookup(PathId path) const;
 
   std::vector<FileRecord> records_;
+  // Parallel to records_: packed deleted/excluded bits (see liveness_flags).
+  std::vector<uint8_t> flags_;
   // PathId -> FileId, indexed by PathId. Sparse (kInvalidFileId holes) but
   // flat: one array read per reference.
   std::vector<FileId> by_path_;

@@ -8,7 +8,17 @@ namespace seer {
 
 namespace {
 
-constexpr double kInvalidMean = std::numeric_limits<double>::quiet_NaN();
+// A mean-cache stamp no real ordinal can take: freshly sized or restored
+// slots start invalid without the hot path ever storing a sentinel value.
+constexpr uint64_t kMeanStampInvalid = UINT64_MAX;
+
+// SplitMix64 finalizer: the stateless tie-break mixer.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 
 }  // namespace
 
@@ -23,7 +33,20 @@ double Neighbor::MeanDistance(MeanKind kind) const {
 }
 
 RelationTable::RelationTable(const SeerParams& params, const FileTable* files, uint64_t seed)
-    : params_(params), files_(files), cap_(params.max_neighbors), rng_(seed) {}
+    : params_(params), files_(files), cap_(params.max_neighbors), rng_(seed) {
+  RefreshTieKey();
+}
+
+void RelationTable::RefreshTieKey() {
+  uint64_t s[4];
+  rng_.GetState(s);
+  tie_key_ = Mix64(s[0] ^ Mix64(s[1] ^ Mix64(s[2] ^ Mix64(s[3]))));
+}
+
+uint64_t RelationTable::TieDraw(uint64_t ordinal, uint32_t slot) const {
+  return Mix64(tie_key_ ^ (ordinal * 0x9e3779b97f4a7c15ULL) ^
+               (static_cast<uint64_t>(slot) << 32));
+}
 
 void RelationTable::EnsureSize(FileId id) {
   if (nb_count_.size() <= id) {
@@ -38,7 +61,8 @@ void RelationTable::EnsureSize(FileId id) {
     nb_lin_.resize(slots, 0.0);
     nb_obs_.resize(slots, 0);
     nb_upd_.resize(slots, 0);
-    nb_mean_.resize(slots, kInvalidMean);
+    nb_mean_.resize(slots, 0.0);
+    nb_mean_upd_.resize(slots, kMeanStampInvalid);
   }
 }
 
@@ -92,22 +116,22 @@ double RelationTable::MeanOfSlot(size_t slot) const {
 }
 
 double RelationTable::CachedMean(size_t slot) {
-  double m = nb_mean_[slot];
-  if (std::isnan(m)) {
-    m = MeanOfSlot(slot);
-    nb_mean_[slot] = m;
+  if (nb_mean_upd_[slot] != nb_upd_[slot]) {
+    nb_mean_[slot] = MeanOfSlot(slot);
+    nb_mean_upd_[slot] = nb_upd_[slot];
   }
-  return m;
+  return nb_mean_[slot];
 }
 
-void RelationTable::WriteCandidate(size_t slot, FileId to, double cand_log, double distance) {
+void RelationTable::WriteCandidate(size_t slot, FileId to, double cand_log, double distance,
+                                   uint64_t ordinal) {
   nb_id_[slot] = to;
   nb_log_[slot] = cand_log;
   nb_lin_[slot] = distance;
   nb_obs_[slot] = 1;
-  nb_upd_[slot] = update_count_;
-  nb_mean_[slot] = kInvalidMean;
-  StampData(static_cast<FileId>(slot / static_cast<size_t>(cap_)));
+  // The fresh ordinal can never match the slot's mean stamp, so the cache
+  // line is invalid without an extra store.
+  nb_upd_[slot] = ordinal;
 }
 
 int32_t RelationTable::FindSlot(FileId from, FileId to) const {
@@ -134,24 +158,67 @@ void RelationTable::ObserveHinted(FileId from, FileId to, double distance, int32
   }
   EnsureSize(from);
   ++update_count_;
+  FoldObservation(from, to, distance, hint, update_count_, nullptr);
+}
 
+void RelationTable::NoteDataTouched(FileId from, StripeFoldLog* log) {
+  if (log == nullptr) {
+    StampData(from);
+  } else {
+    log->data_touched = true;
+  }
+}
+
+void RelationTable::NoteStructure(FileId from, FileId removed, FileId added,
+                                  StripeFoldLog* log) {
+  if (log == nullptr) {
+    if (removed != kInvalidFileId) {
+      RevRemove(from, removed);
+    }
+    Stamp(from);
+    RevAdd(from, added);
+    StampData(from);
+  } else {
+    log->rev_ops.push_back({from, removed, added});
+    log->data_touched = true;
+  }
+}
+
+void RelationTable::FoldObservation(FileId from, FileId to, double distance, int32_t hint,
+                                    uint64_t ordinal, StripeFoldLog* log) {
   const double floored =
       distance > 0.0 ? distance : params_.geometric_zero_floor;
   const size_t base = static_cast<size_t>(from) * cap_;
   const uint32_t count = nb_count_[from];
+  const FileId* ids = nb_id_.data() + base;
 
   // Existing entry: fold in the new observation. A hint that still names
   // `to` skips the membership scan (the batched ingest path pre-computes
   // it in parallel); anything else — including hint == -1, since an
-  // earlier fold in the same batch may have inserted `to` — rescans.
+  // earlier fold in the same batch may have inserted `to` — rescans. The
+  // scan is blocked: branchless selects inside each 8-wide block (-O3
+  // turns them into vector compares over the contiguous id stripe) with
+  // one well-predicted exit test per block, so an early hit doesn't pay
+  // for the whole stripe. Ids are unique within a list, so any match is
+  // the only match.
   int32_t slot = -1;
-  if (hint >= 0 && static_cast<uint32_t>(hint) < count && nb_id_[base + hint] == to) {
+  if (hint >= 0 && static_cast<uint32_t>(hint) < count && ids[hint] == to) {
     slot = hint;
   } else {
-    for (uint32_t i = 0; i < count; ++i) {
-      if (nb_id_[base + i] == to) {
-        slot = static_cast<int32_t>(i);
+    uint32_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+      int32_t block_hit = -1;
+      for (uint32_t j = 0; j < 8; ++j) {
+        block_hit = ids[i + j] == to ? static_cast<int32_t>(i + j) : block_hit;
+      }
+      if (block_hit >= 0) {
+        slot = block_hit;
         break;
+      }
+    }
+    if (slot < 0) {
+      for (; i < count; ++i) {
+        slot = ids[i] == to ? static_cast<int32_t>(i) : slot;
       }
     }
   }
@@ -160,53 +227,66 @@ void RelationTable::ObserveHinted(FileId from, FileId to, double distance, int32
     nb_log_[s] += std::log(floored);
     nb_lin_[s] += distance;
     ++nb_obs_[s];
-    nb_upd_[s] = update_count_;
-    nb_mean_[s] = kInvalidMean;
-    StampData(from);
+    // The new ordinal outruns the slot's mean stamp, so the cache line
+    // goes stale with no extra store (see CachedMean).
+    nb_upd_[s] = ordinal;
+    NoteDataTouched(from, log);
     return;
   }
 
   const double cand_log = std::log(floored);
 
   if (count < static_cast<uint32_t>(cap_)) {
-    WriteCandidate(base + count, to, cand_log, distance);
+    WriteCandidate(base + count, to, cand_log, distance, ordinal);
     nb_count_[from] = count + 1;
-    Stamp(from);
-    RevAdd(from, to);
+    NoteStructure(from, kInvalidFileId, to, log);
     return;
   }
   if (count == 0) {
     return;  // cap of zero: nothing to track
   }
 
-  // Replacement priority 1: a neighbor marked for deletion.
-  for (uint32_t i = 0; i < count; ++i) {
-    if (files_->Get(nb_id_[base + i]).deleted) {
-      RevRemove(from, nb_id_[base + i]);
-      WriteCandidate(base + i, to, cand_log, distance);
-      Stamp(from);
-      RevAdd(from, to);
-      return;
-    }
+  // Replacement priority 1: the first neighbor marked for deletion. One
+  // packed liveness byte per id (not a FileRecord load); the backward
+  // select keeps first-match semantics branch-free.
+  const uint8_t* flags = files_->liveness_flags();
+  int32_t dead = -1;
+  for (uint32_t i = count; i > 0; --i) {
+    dead = (flags[ids[i - 1]] & FileTable::kFlagDeleted) ? static_cast<int32_t>(i - 1) : dead;
+  }
+  if (dead >= 0) {
+    const FileId removed = ids[dead];
+    WriteCandidate(base + static_cast<size_t>(dead), to, cand_log, distance, ordinal);
+    NoteStructure(from, removed, to, log);
+    return;
   }
 
   // Priority 2: the entry with the largest mean distance (random
-  // tie-break), replaced only when it is farther than the candidate. The
-  // scan reads the lazy mean cache — arithmetic only for entries whose
-  // accumulators changed since the last scan.
+  // tie-break), replaced only when it is farther than the candidate.
+  // Pass one refreshes stale mean-cache lines (arithmetic only for entries
+  // whose accumulators changed); pass two is a branchless max over the
+  // contiguous mean stripe; pass three applies the reservoir tie-break to
+  // the (rare) slots holding the maximum.
+  for (uint32_t i = 0; i < count; ++i) {
+    const size_t s = base + i;
+    if (nb_mean_upd_[s] != nb_upd_[s]) {
+      nb_mean_[s] = MeanOfSlot(s);
+      nb_mean_upd_[s] = nb_upd_[s];
+    }
+  }
+  const double* means = nb_mean_.data() + base;
+  double worst_dist = means[0];
+  for (uint32_t i = 1; i < count; ++i) {
+    worst_dist = means[i] > worst_dist ? means[i] : worst_dist;
+  }
   uint32_t worst = 0;
-  double worst_dist = -1.0;
   size_t ties = 0;
   for (uint32_t i = 0; i < count; ++i) {
-    const double d = CachedMean(base + i);
-    if (d > worst_dist) {
-      worst_dist = d;
-      worst = i;
-      ties = 1;
-    } else if (d == worst_dist) {
-      // Reservoir-style random tie-break.
+    if (means[i] == worst_dist) {
       ++ties;
-      if (rng_.NextBounded(ties) == 0) {
+      if (ties == 1) {
+        worst = i;
+      } else if (TieDraw(ordinal, i) % ties == 0) {
         worst = i;
       }
     }
@@ -215,29 +295,44 @@ void RelationTable::ObserveHinted(FileId from, FileId to, double distance, int32
                                     ? distance / 1.0
                                     : std::exp(cand_log / 1.0);
   if (worst_dist > candidate_dist) {
-    RevRemove(from, nb_id_[base + worst]);
-    WriteCandidate(base + worst, to, cand_log, distance);
-    Stamp(from);
-    RevAdd(from, to);
+    const FileId removed = ids[worst];
+    WriteCandidate(base + worst, to, cand_log, distance, ordinal);
+    NoteStructure(from, removed, to, log);
     return;
   }
 
   // Priority 3: aging — a very old, inactive entry yields to fresh data so
   // the table can track changes in user behaviour and shed incorrectly
-  // inferred relationships (Section 3.1.3).
+  // inferred relationships (Section 3.1.3). Branchless min over the
+  // contiguous update-ordinal stripe.
+  const uint64_t* upds = nb_upd_.data() + base;
   uint32_t oldest = 0;
-  uint64_t oldest_update = UINT64_MAX;
-  for (uint32_t i = 0; i < count; ++i) {
-    if (nb_upd_[base + i] < oldest_update) {
-      oldest_update = nb_upd_[base + i];
-      oldest = i;
-    }
+  uint64_t oldest_update = upds[0];
+  for (uint32_t i = 1; i < count; ++i) {
+    const bool older = upds[i] < oldest_update;
+    oldest = older ? i : oldest;
+    oldest_update = older ? upds[i] : oldest_update;
   }
-  if (update_count_ - oldest_update > params_.aging_updates) {
-    RevRemove(from, nb_id_[base + oldest]);
-    WriteCandidate(base + oldest, to, cand_log, distance);
-    Stamp(from);
-    RevAdd(from, to);
+  if (ordinal - oldest_update > params_.aging_updates) {
+    const FileId removed = ids[oldest];
+    WriteCandidate(base + oldest, to, cand_log, distance, ordinal);
+    NoteStructure(from, removed, to, log);
+  }
+}
+
+void RelationTable::ApplyFoldLog(uint32_t stripe, const StripeFoldLog& log) {
+  for (const StripeFoldLog::RevOp& op : log.rev_ops) {
+    if (op.removed != kInvalidFileId) {
+      RevRemove(op.owner, op.removed);
+    }
+    Stamp(op.owner);
+    RevAdd(op.owner, op.added);
+  }
+  if (log.data_touched) {
+    if (stripe_stamp_.size() <= stripe) {
+      stripe_stamp_.resize(static_cast<size_t>(stripe) + 1, 0);
+    }
+    stripe_stamp_[stripe] = ++data_epoch_;
   }
 }
 
@@ -260,10 +355,14 @@ void RelationTable::LiveNeighborIds(FileId from, std::vector<FileId>* out) const
   }
   const size_t base = static_cast<size_t>(from) * cap_;
   const uint32_t count = nb_count_[from];
+  // One packed liveness byte per neighbor (zero means live), not a whole
+  // FileRecord: the scan is a contiguous id-stripe walk plus a byte-array
+  // gather, the dominant loop of cluster input refresh.
+  const uint8_t* flags = files_->liveness_flags();
+  const FileId* ids = nb_id_.data() + base;
   for (uint32_t i = 0; i < count; ++i) {
-    const FileId id = nb_id_[base + i];
-    const FileRecord& rec = files_->Get(id);
-    if (!rec.deleted && !rec.excluded) {
+    const FileId id = ids[i];
+    if (flags[id] == 0) {
       out->push_back(id);
     }
   }
@@ -310,6 +409,7 @@ void RelationTable::Purge(FileId id) {
           nb_obs_[obase + i] = nb_obs_[obase + last];
           nb_upd_[obase + i] = nb_upd_[obase + last];
           nb_mean_[obase + i] = nb_mean_[obase + last];
+          nb_mean_upd_[obase + i] = nb_mean_upd_[obase + last];
         }
         nb_count_[owner] = last;
         StampData(owner);
@@ -367,7 +467,9 @@ void RelationTable::RestoreList(FileId from, std::vector<Neighbor> neighbors) {
     nb_lin_[base + i] = nb.linear_sum;
     nb_obs_[base + i] = nb.observations;
     nb_upd_[base + i] = nb.last_update;
-    nb_mean_[base + i] = kInvalidMean;
+    // A restored ordinal may collide with a stale mean stamp at this slot;
+    // force the cache line invalid.
+    nb_mean_upd_[base + i] = kMeanStampInvalid;
   }
   for (uint32_t i = 0; i < count; ++i) {
     RevAdd(from, nb_id_[base + i]);
@@ -469,6 +571,7 @@ size_t RelationTable::MemoryBytes() const {
   size_t bytes = nb_id_.capacity() * sizeof(FileId) + nb_log_.capacity() * sizeof(double) +
                  nb_lin_.capacity() * sizeof(double) + nb_obs_.capacity() * sizeof(uint32_t) +
                  nb_upd_.capacity() * sizeof(uint64_t) + nb_mean_.capacity() * sizeof(double) +
+                 nb_mean_upd_.capacity() * sizeof(uint64_t) +
                  nb_count_.capacity() * sizeof(uint32_t) +
                  reverse_.capacity() * sizeof(std::vector<FileId>) +
                  set_stamp_.capacity() * sizeof(uint64_t) +

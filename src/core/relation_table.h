@@ -122,6 +122,60 @@ class RelationTable {
   // result is always identical to Observe().
   void ObserveHinted(FileId from, FileId to, double distance, int32_t hint);
 
+  // --- stripe-sharded fold (parallel batched ingest) ------------------------
+  //
+  // The batched ingest path folds each 256-file stripe on its own worker:
+  // every slab write of FoldObservation(from, ...) lands in `from`'s slot
+  // range, so two observations race only if their `from` files share a
+  // stripe — and one worker owns all of a stripe's observations, applied
+  // in trace order. The pieces that cross stripes (the reverse index, the
+  // set/data epoch clocks) are deferred into a per-stripe log and replayed
+  // sequentially by ApplyFoldLog. See DESIGN.md §15 for why this yields
+  // byte-identical snapshots at any thread count.
+
+  // Cross-stripe side effects deferred by one stripe's fold.
+  struct StripeFoldLog {
+    struct RevOp {
+      FileId owner = kInvalidFileId;    // file whose list changed
+      FileId removed = kInvalidFileId;  // replaced neighbor (invalid = none)
+      FileId added = kInvalidFileId;    // inserted neighbor
+    };
+    std::vector<RevOp> rev_ops;  // structural list changes, in trace order
+    bool data_touched = false;   // any slab write happened in this stripe
+  };
+
+  // Core of ObserveHinted with the global update ordinal passed in.
+  // log == nullptr applies all side effects immediately (the serial path).
+  // With a log, slab writes stay confined to `from`'s slot range and the
+  // cross-stripe effects are recorded for ApplyFoldLog. Caller contract for
+  // the parallel mode: EnsureCapacity() already covers every id involved,
+  // from != to, and ordinals are the observation's 1-based position in the
+  // global trace appended to the prior update_count().
+  void FoldObservation(FileId from, FileId to, double distance, int32_t hint,
+                       uint64_t ordinal, StripeFoldLog* log);
+
+  // Replays one stripe's deferred effects. Call sequentially, in ascending
+  // stripe order, after all workers have joined.
+  void ApplyFoldLog(uint32_t stripe, const StripeFoldLog& log);
+
+  // Pre-sizes the slab and side tables to cover ids [0, max_id]. The
+  // parallel fold requires it: workers must never resize shared arrays.
+  void EnsureCapacity(FileId max_id) { EnsureSize(max_id); }
+
+  // Prefetches `from`'s id/update rows (the fold loop hides slab-row
+  // latency by prefetching the next observation's target).
+  void PrefetchRow(FileId from) const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (from < nb_count_.size()) {
+      const size_t base = static_cast<size_t>(from) * cap_;
+      __builtin_prefetch(nb_id_.data() + base, 1, 3);
+      __builtin_prefetch(nb_upd_.data() + base, 1, 1);
+    }
+#else
+    (void)from;
+#endif
+  }
+
   // Slot index of `to` in `from`'s list, or -1 when untracked. Pure read —
   // safe to call concurrently with other reads (the parallel ingest
   // measure phase uses it to pre-compute fold hints).
@@ -223,11 +277,17 @@ class RelationTable {
 
   void set_update_count(uint64_t count) { update_count_ = count; }
 
-  // The tie-break generator state travels with the snapshot so that
-  // updates replayed from the WAL after recovery break ties exactly as the
-  // never-crashed instance would have.
+  // The tie-break key state travels with the snapshot so that updates
+  // replayed from the WAL after recovery break ties exactly as the
+  // never-crashed instance would have. The state never advances: tie
+  // decisions are a pure function (TieDraw) of this key and the
+  // observation's global ordinal, which is what lets per-stripe workers
+  // break ties identically to serial ingest without sharing a generator.
   void GetRngState(uint64_t out[4]) const { rng_.GetState(out); }
-  void SetRngState(const uint64_t in[4]) { rng_.SetState(in); }
+  void SetRngState(const uint64_t in[4]) {
+    rng_.SetState(in);
+    RefreshTieKey();
+  }
 
  private:
   friend class NeighborRange;
@@ -238,20 +298,34 @@ class RelationTable {
   void RevAdd(FileId owner, FileId neighbor);
   void RevRemove(FileId owner, FileId neighbor);
 
+  // Fold helpers: apply (serial) or defer (parallel) the cross-stripe
+  // effects of a slab mutation under `from`.
+  void NoteDataTouched(FileId from, StripeFoldLog* log);
+  void NoteStructure(FileId from, FileId removed, FileId added, StripeFoldLog* log);
+
+  // Stateless tie-break draw for the priority-2 reservoir: a pure hash of
+  // the never-advancing key, the observation's global ordinal, and the
+  // tying slot index — identical under serial and sharded folds.
+  uint64_t TieDraw(uint64_t ordinal, uint32_t slot) const;
+  void RefreshTieKey();
+
   Neighbor MaterializeSlot(size_t slot) const;
 
   // Mean of slab entry `slot` computed fresh (no cache access).
   double MeanOfSlot(size_t slot) const;
 
-  // Cached mean of slab entry `slot`: NaN marks an invalidated cache line
-  // (the entry's accumulators changed since the last read); the priority-2
-  // replacement scan recomputes lazily and then runs arithmetic-free. The
-  // cached value is bit-identical to a fresh computation, so caching never
-  // changes a replacement decision, and the cache is never serialized.
+  // Cached mean of slab entry `slot`. Validity is epoch-based: the line is
+  // current iff nb_mean_upd_[slot] equals the entry's last-update ordinal
+  // (ordinals only grow, so any fold or overwrite invalidates implicitly —
+  // the hot loop never writes a sentinel). The cached value is
+  // bit-identical to a fresh computation, so caching never changes a
+  // replacement decision, and the cache is never serialized.
   double CachedMean(size_t slot);
 
-  // Overwrites slab entry `slot` with a fresh single-observation candidate.
-  void WriteCandidate(size_t slot, FileId to, double cand_log, double distance);
+  // Overwrites slab entry `slot` with a fresh single-observation candidate
+  // stamped with the observation's global ordinal.
+  void WriteCandidate(size_t slot, FileId to, double cand_log, double distance,
+                      uint64_t ordinal);
 
   SeerParams params_;
   const FileTable* files_;
@@ -264,7 +338,8 @@ class RelationTable {
   std::vector<double> nb_lin_;
   std::vector<uint32_t> nb_obs_;
   std::vector<uint64_t> nb_upd_;
-  std::vector<double> nb_mean_;  // lazy mean cache, NaN = invalid
+  std::vector<double> nb_mean_;      // lazy mean cache (see CachedMean)
+  std::vector<uint64_t> nb_mean_upd_;  // nb_upd_ value the cache line is for
   std::vector<uint32_t> nb_count_;
 
   // reverse_[id] = files whose lists contain id. Maintained by every list
@@ -277,7 +352,8 @@ class RelationTable {
   std::vector<uint64_t> stripe_stamp_;
   uint64_t data_epoch_ = 0;
   uint64_t update_count_ = 0;
-  mutable Rng rng_;
+  mutable Rng rng_;        // serialized tie-break state; never advances
+  uint64_t tie_key_ = 0;   // derived from rng_ state (RefreshTieKey)
   std::vector<FileId> empty_ids_;
 };
 

@@ -388,5 +388,182 @@ TEST(IngestEquivalence, IngestStatsAccounting) {
   EXPECT_GE(stats.max_shard_refs, 1u);
 }
 
+// --- stripe-sharded fold -----------------------------------------------------
+//
+// The fold phase partitions observations by the relation table's 256-file
+// stripes and folds each stripe on its own worker. These traces span
+// several stripes (file ids are assigned in intern order, so referencing
+// `files` distinct paths up front populates ids [0, files)), keep barriers
+// rare enough that segments clear the parallel-fold cutoff, and still
+// include every barrier kind plus deletes/renames of files sitting right
+// at stripe boundaries.
+std::vector<IngestEvent> StripeTrace(uint32_t seed, size_t count, size_t files) {
+  std::mt19937 rng(seed);
+  std::vector<IngestEvent> events;
+  events.reserve(count + files);
+
+  std::vector<std::string> paths;
+  paths.reserve(files);
+  for (size_t i = 0; i < files; ++i) {
+    paths.push_back("/stripe/f" + std::to_string(i));
+  }
+  std::vector<Pid> pids = {1, 2, 3, 4};
+  Time time = 0;
+
+  // Touch every path once, in order: ids come out 0..files-1, so the
+  // boundary files below sit exactly at multiples of kStripeSize.
+  for (size_t i = 0; i < files; ++i) {
+    time += kMicrosPerSecond / 8;
+    events.push_back(RefEvent(pids[i % pids.size()], RefKind::kPoint, paths[i], time));
+  }
+
+  auto rand_path = [&]() -> const std::string& {
+    // Half the references cluster around stripe boundaries (ids 248..264,
+    // 504..520, ...) so observation pairs straddle stripes constantly; the
+    // rest spread over the whole universe.
+    if (rng() % 2 == 0) {
+      const size_t boundary = RelationTable::kStripeSize * (1 + rng() % (files / RelationTable::kStripeSize));
+      const size_t id = boundary - 8 + rng() % 16;
+      return paths[std::min(id, files - 1)];
+    }
+    return paths[rng() % files];
+  };
+
+  for (size_t i = 0; i < count; ++i) {
+    time += kMicrosPerSecond / 4;
+    const uint32_t roll = rng() % 1000;
+    if (roll < 975) {
+      const uint32_t kind_roll = rng() % 10;
+      const RefKind kind = kind_roll < 4   ? RefKind::kBegin
+                           : kind_roll < 6 ? RefKind::kEnd
+                                           : RefKind::kPoint;
+      events.push_back(RefEvent(pids[rng() % pids.size()], kind, rand_path(), time));
+    } else if (roll < 985) {
+      IngestEvent e;
+      e.kind = IngestEvent::Kind::kDeleted;
+      e.path = P(rand_path());
+      e.time = time;
+      events.push_back(e);
+    } else if (roll < 992) {
+      IngestEvent e;
+      e.kind = IngestEvent::Kind::kRenamed;
+      e.path = P(rand_path());
+      e.path2 = (rng() % 2 == 0) ? P(rand_path())
+                                 : P("/stripe/renamed" + std::to_string(i));
+      e.time = time;
+      events.push_back(e);
+    } else if (roll < 996) {
+      IngestEvent e;
+      e.kind = IngestEvent::Kind::kFork;
+      e.parent = pids[rng() % pids.size()];
+      e.child = static_cast<Pid>(1000 + i);
+      pids.push_back(e.child);
+      events.push_back(e);
+    } else if (roll < 998 && pids.size() > 2) {
+      const size_t victim = rng() % pids.size();
+      IngestEvent e;
+      e.kind = IngestEvent::Kind::kExit;
+      e.child = pids[victim];
+      pids.erase(pids.begin() + victim);
+      events.push_back(e);
+    } else {
+      IngestEvent e;
+      e.kind = IngestEvent::Kind::kExcluded;
+      e.path = P(rand_path());
+      events.push_back(e);
+    }
+  }
+  return events;
+}
+
+TEST(IngestEquivalence, StripeShardedFoldMatchesSerialAcrossThreadCounts) {
+  // 640 files = 2.5 stripes; long barrier-free runs so segments clear the
+  // parallel-fold cutoff.
+  const std::vector<IngestEvent> events = StripeTrace(0x57121BE, 4000, 640);
+
+  Correlator serial(ChurnParams());
+  ApplySerial(&serial, events);
+  const std::string want = serial.EncodeSnapshot();
+
+  for (const int threads : {1, 2, 4, 8}) {
+    Correlator batched(ChurnParams());
+    batched.SetIngestThreads(threads);
+    ApplyBatched(&batched, events, 4096);
+    EXPECT_EQ(want, batched.EncodeSnapshot()) << "threads=" << threads;
+    if (threads > 1) {
+      // The point of the suite: the sharded fold actually ran.
+      EXPECT_GT(batched.ingest_stats().parallel_folds, 0u) << "threads=" << threads;
+      EXPECT_GT(batched.ingest_stats().fold_stripes, 1u) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(IngestEquivalence, StripeShardedFoldAcrossBatchSizesAndSeeds) {
+  for (const uint32_t seed : {11u, 22u, 33u}) {
+    const std::vector<IngestEvent> events = StripeTrace(seed, 2500, 512);
+
+    Correlator serial(ChurnParams());
+    ApplySerial(&serial, events);
+    const std::string want = serial.EncodeSnapshot();
+
+    for (const size_t batch : {size_t{512}, size_t{4096}}) {
+      Correlator batched(ChurnParams());
+      batched.SetIngestThreads(8);
+      ApplyBatched(&batched, events, batch);
+      EXPECT_EQ(want, batched.EncodeSnapshot()) << "seed=" << seed << " batch=" << batch;
+    }
+  }
+}
+
+// Observations straddling one stripe boundary, with the boundary files
+// themselves deleted and renamed mid-trace: the from-file picks the worker,
+// the to-file lives one stripe over, and the replacement scans read
+// liveness flags of cross-stripe neighbors.
+TEST(IngestEquivalence, StripeBoundaryStraddleWithBarriers) {
+  std::vector<IngestEvent> events;
+  Time time = 0;
+  // Populate ids 0..299: the boundary of interest is 255|256.
+  for (int i = 0; i < 300; ++i) {
+    time += kMicrosPerSecond / 8;
+    events.push_back(RefEvent(1, RefKind::kPoint, "/straddle/f" + std::to_string(i), time));
+  }
+  std::mt19937 rng(0xB0DE);
+  auto boundary_path = [&](int round) {
+    // Ping-pong across the boundary with a little jitter.
+    const int id = (round % 2 == 0 ? 255 : 256) + static_cast<int>(rng() % 3) - 1;
+    return "/straddle/f" + std::to_string(id);
+  };
+  for (int burst = 0; burst < 6; ++burst) {
+    for (int i = 0; i < 220; ++i) {
+      time += kMicrosPerSecond / 4;
+      events.push_back(RefEvent(1 + (i % 2), i % 3 == 0 ? RefKind::kBegin : RefKind::kPoint,
+                                boundary_path(i), time));
+    }
+    IngestEvent barrier;
+    if (burst % 2 == 0) {
+      barrier.kind = IngestEvent::Kind::kDeleted;
+      barrier.path = P("/straddle/f" + std::to_string(255 + burst / 2));
+    } else {
+      barrier.kind = IngestEvent::Kind::kRenamed;
+      barrier.path = P("/straddle/f" + std::to_string(256 - burst / 2));
+      barrier.path2 = P("/straddle/moved" + std::to_string(burst));
+    }
+    barrier.time = time;
+    events.push_back(barrier);
+  }
+
+  Correlator serial(ChurnParams());
+  ApplySerial(&serial, events);
+  const std::string want = serial.EncodeSnapshot();
+
+  for (const int threads : {2, 8}) {
+    Correlator batched(ChurnParams());
+    batched.SetIngestThreads(threads);
+    batched.IngestBatch(events.data(), events.size());
+    EXPECT_EQ(want, batched.EncodeSnapshot()) << "threads=" << threads;
+    EXPECT_GT(batched.ingest_stats().parallel_folds, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace seer

@@ -133,7 +133,7 @@ TEST(RelationTable, DeletionMarkedEntryReplacedFirst) {
   h.table().Observe(a, h.Id("n1"), 5.0);
   h.table().Observe(a, h.Id("n2"), 9.0);
 
-  h.files().GetMutable(doomed).deleted = true;
+  h.files().MarkDeleted(doomed, /*delete_delay=*/1000);
   const FileId fresh = h.Id("fresh");
   h.table().Observe(a, fresh, 8.0);
 
@@ -199,8 +199,8 @@ TEST(RelationTable, LiveNeighborIdsSkipDeletedAndExcluded) {
   h.table().Observe(a, dead, 1.0);
   h.table().Observe(a, excl, 1.0);
   h.table().Observe(a, ok, 1.0);
-  h.files().GetMutable(dead).deleted = true;
-  h.files().GetMutable(excl).excluded = true;
+  h.files().MarkDeleted(dead, /*delete_delay=*/1000);
+  h.files().MarkExcluded(excl);
 
   const auto live = h.table().LiveNeighborIds(a);
   ASSERT_EQ(live.size(), 1u);

@@ -484,6 +484,20 @@ int Replay(int argc, char** argv, int start) {
                 is.segments > 0 ? static_cast<double>(is.shards) / is.segments : 0.0);
     std::printf("  barriers:       %llu\n", static_cast<unsigned long long>(is.barriers));
     std::printf("  max shard refs: %llu\n", static_cast<unsigned long long>(is.max_shard_refs));
+    // Phase split: measure (parallel per-stream distance scans) vs fold
+    // (stripe-sharded slab accumulation). The remainder of the wall time is
+    // trace parsing and sink plumbing outside the correlator.
+    const double wall_us = replay_ms * 1000.0;
+    const double measure_ms = static_cast<double>(is.measure_us) / 1000.0;
+    const double fold_ms = static_cast<double>(is.fold_us) / 1000.0;
+    std::printf("  measure:        %.2f ms (%.0f%% of wall)\n", measure_ms,
+                wall_us > 0.0 ? 100.0 * static_cast<double>(is.measure_us) / wall_us : 0.0);
+    std::printf("  fold:           %.2f ms (%.0f%% of wall)\n", fold_ms,
+                wall_us > 0.0 ? 100.0 * static_cast<double>(is.fold_us) / wall_us : 0.0);
+    std::printf("  folds:          %llu sharded, %llu serial (%llu stripe tasks)\n",
+                static_cast<unsigned long long>(is.parallel_folds),
+                static_cast<unsigned long long>(is.serial_folds),
+                static_cast<unsigned long long>(is.fold_stripes));
   }
 
   if (const char* save_path = FlagValue(argc, argv, start, "--save")) {
@@ -578,6 +592,17 @@ int ClusterStats(int argc, char** argv, int start) {
     std::printf("  dirty files:    %zu\n", stats.dirty_files);
     std::printf("  files rescored: %zu\n", stats.files_rescored);
     std::printf("  edges scored:   %zu\n", stats.edges_scored);
+    const auto pct = [&](double ms) {
+      return stats.build_ms > 0.0 ? 100.0 * ms / stats.build_ms : 0.0;
+    };
+    std::printf("  pack:           %.2f ms (%.0f%% of build)\n", stats.pack_ms,
+                pct(stats.pack_ms));
+    std::printf("  plan:           %.2f ms (%.0f%% of build)\n", stats.plan_ms,
+                pct(stats.plan_ms));
+    std::printf("  score:          %.2f ms (%.0f%% of build)\n", stats.score_ms,
+                pct(stats.score_ms));
+    std::printf("  merge:          %.2f ms (%.0f%% of build)\n", stats.merge_ms,
+                pct(stats.merge_ms));
   }
   return 0;
 }
