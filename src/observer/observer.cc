@@ -4,6 +4,32 @@
 
 namespace seer {
 
+namespace {
+
+// Event views: one templated pipeline body consumes both the string-path
+// TraceEvent and the pre-interned InternedEvent. The raw view interns
+// lazily, so a path is interned only at the call sites that always
+// interned it (the global id-assignment order is unchanged for string
+// ingress), while the interned view resolves spellings back out of the
+// global table only where a string is genuinely needed.
+struct RawEventView {
+  const TraceEvent& e;
+  PathId path_id() const { return GlobalPaths().Intern(e.path); }
+  std::string_view path_sv() const { return e.path; }
+  std::string path_str() const { return e.path; }
+  PathId path2_id() const { return GlobalPaths().Intern(e.path2); }
+};
+
+struct InternedEventView {
+  const InternedEvent& e;
+  PathId path_id() const { return e.path; }
+  std::string_view path_sv() const { return GlobalPaths().PathOf(e.path); }
+  std::string path_str() const { return std::string(GlobalPaths().PathOf(e.path)); }
+  PathId path2_id() const { return e.path2; }
+};
+
+}  // namespace
+
 Observer::Observer(ObserverConfig config, const SimFilesystem* fs)
     : config_(std::move(config)), fs_(fs) {}
 
@@ -185,7 +211,7 @@ void Observer::EmitReference(ProcState& proc, Pid pid, RefKind kind, PathId path
   ++references_emitted_;
 }
 
-void Observer::HandleOpen(const TraceEvent& e, ProcState& proc, PathId path) {
+void Observer::HandleOpen(Pid pid, Time time, bool write, ProcState& proc, PathId path) {
   // Opening a regular file ends any getcwd climb.
   proc.in_getcwd = false;
   proc.climb_streak = 0;
@@ -199,15 +225,15 @@ void Observer::HandleOpen(const TraceEvent& e, ProcState& proc, PathId path) {
   }
 
   CountAccess(proc, path);
-  EmitReference(proc, e.pid, RefKind::kBegin, path, e.time, e.write);
+  EmitReference(proc, pid, RefKind::kBegin, path, time, write);
 }
 
-void Observer::HandleDirOps(const TraceEvent& e, ProcState& proc) {
-  switch (e.op) {
+void Observer::HandleDirOps(Op op, std::string_view path, int32_t detail, ProcState& proc) {
+  switch (op) {
     case Op::kOpenDir: {
       ++proc.open_directories;
       // getcwd climbs: each opendir targets the parent of the previous one.
-      if (!proc.last_opendir.empty() && e.path == Dirname(proc.last_opendir)) {
+      if (!proc.last_opendir.empty() && path == Dirname(proc.last_opendir)) {
         ++proc.climb_streak;
         if (proc.climb_streak >= config_.getcwd_climb_threshold && !proc.in_getcwd) {
           proc.in_getcwd = true;
@@ -223,12 +249,12 @@ void Observer::HandleDirOps(const TraceEvent& e, ProcState& proc) {
         proc.climb_streak = 0;
         proc.in_getcwd = false;
       }
-      proc.last_opendir = e.path;
+      proc.last_opendir.assign(path);
       break;
     }
     case Op::kReadDir: {
       if (!proc.in_getcwd) {
-        const uint64_t entries = e.detail > 0 ? static_cast<uint64_t>(e.detail) : 0;
+        const uint64_t entries = detail > 0 ? static_cast<uint64_t>(detail) : 0;
         proc.potential += entries;
         proc.last_readdir_entries = entries;
         proc.has_read_directory = true;
@@ -246,7 +272,9 @@ void Observer::HandleDirOps(const TraceEvent& e, ProcState& proc) {
   }
 }
 
-void Observer::OnEvent(const TraceEvent& e) {
+template <typename View>
+void Observer::Process(const View& v) {
+  const auto& e = v.e;
   ++events_seen_;
   ProcState& proc = Proc(e.pid);
 
@@ -255,7 +283,7 @@ void Observer::OnEvent(const TraceEvent& e) {
   if (!e.ok()) {
     if (e.status == OpStatus::kNotLocal && miss_listener_ != nullptr &&
         (e.op == Op::kOpen || e.op == Op::kExec)) {
-      miss_listener_->OnNotLocalAccess(GlobalPaths().Intern(e.path), e.pid, e.time);
+      miss_listener_->OnNotLocalAccess(v.path_id(), e.pid, e.time);
     }
     return;
   }
@@ -287,10 +315,10 @@ void Observer::OnEvent(const TraceEvent& e) {
         h.actual += proc.actual;
         ++h.executions;
       }
-      const PathId image = GlobalPaths().Intern(e.path);
-      proc.program = e.path;
+      const PathId image = v.path_id();
+      proc.program = v.path_str();
       proc.program_id = image;
-      proc.control_meaningless = config_.meaningless_programs.count(e.path) != 0;
+      proc.control_meaningless = config_.meaningless_programs.count(proc.program) != 0;
       proc.potential = 0;
       proc.actual = 0;
       proc.touched.clear();
@@ -325,19 +353,19 @@ void Observer::OnEvent(const TraceEvent& e) {
     }
     case Op::kOpen:
     case Op::kCreate: {
-      HandleOpen(e, proc, GlobalPaths().Intern(e.path));
+      HandleOpen(e.pid, e.time, e.write, proc, v.path_id());
       break;
     }
     case Op::kClose: {
-      EmitReference(proc, e.pid, RefKind::kEnd, GlobalPaths().Intern(e.path), e.time, e.write);
+      EmitReference(proc, e.pid, RefKind::kEnd, v.path_id(), e.time, e.write);
       break;
     }
     case Op::kStat: {
       proc.in_getcwd = false;
       proc.climb_streak = 0;
-      const PathId path = GlobalPaths().Intern(e.path);
+      const PathId path = v.path_id();
       CountAccess(proc, path);
-      if (ProcessMeaningless(proc) || Classify(path, e.path) != PathClass::kNormal) {
+      if (ProcessMeaningless(proc) || Classify(path, v.path_sv()) != PathClass::kNormal) {
         ++references_filtered_;
         break;
       }
@@ -358,14 +386,14 @@ void Observer::OnEvent(const TraceEvent& e) {
     }
     case Op::kChmod: {
       FlushPendingStat(proc);
-      const PathId path = GlobalPaths().Intern(e.path);
+      const PathId path = v.path_id();
       CountAccess(proc, path);
       EmitReference(proc, e.pid, RefKind::kPoint, path, e.time, true);
       break;
     }
     case Op::kUnlink: {
       FlushPendingStat(proc);
-      const PathId path = GlobalPaths().Intern(e.path);
+      const PathId path = v.path_id();
       CountAccess(proc, path);
       EmitReference(proc, e.pid, RefKind::kPoint, path, e.time, true);
       if (sink_ != nullptr) {
@@ -376,8 +404,8 @@ void Observer::OnEvent(const TraceEvent& e) {
     }
     case Op::kRename: {
       FlushPendingStat(proc);
-      const PathId from = GlobalPaths().Intern(e.path);
-      const PathId to = GlobalPaths().Intern(e.path2);
+      const PathId from = v.path_id();
+      const PathId to = v.path2_id();
       CountAccess(proc, from);
       EmitReference(proc, e.pid, RefKind::kPoint, from, e.time, true);
       if (sink_ != nullptr) {
@@ -390,7 +418,7 @@ void Observer::OnEvent(const TraceEvent& e) {
     }
     case Op::kLink: {
       FlushPendingStat(proc);
-      const PathId path = GlobalPaths().Intern(e.path);
+      const PathId path = v.path_id();
       CountAccess(proc, path);
       EmitReference(proc, e.pid, RefKind::kPoint, path, e.time, true);
       break;
@@ -406,10 +434,14 @@ void Observer::OnEvent(const TraceEvent& e) {
     case Op::kOpenDir:
     case Op::kReadDir:
     case Op::kCloseDir: {
-      HandleDirOps(e, proc);
+      HandleDirOps(e.op, v.path_sv(), e.detail, proc);
       break;
     }
   }
 }
+
+void Observer::OnEvent(const TraceEvent& e) { Process(RawEventView{e}); }
+
+void Observer::OnInternedEvent(const InternedEvent& e) { Process(InternedEventView{e}); }
 
 }  // namespace seer

@@ -67,6 +67,12 @@ class Observer : public TraceSink {
   // TraceSink:
   void OnEvent(const TraceEvent& event) override;
 
+  // Zero-copy ingress: the same pipeline fed by an event whose paths are
+  // already interned (the wire decoder's arena output). Behaviour is
+  // identical to OnEvent on the equivalent TraceEvent — both funnel into
+  // one templated body — except that no path string is re-interned.
+  void OnInternedEvent(const InternedEvent& event);
+
   // Files that must be in every hoard regardless of distance calculations:
   // critical files, dot-files, non-file objects, and frequent files.
   const std::set<PathId>& always_hoard() const { return always_hoard_; }
@@ -135,8 +141,15 @@ class Observer : public TraceSink {
   void FlushPendingStat(ProcState& proc);
   void EmitReference(ProcState& proc, Pid pid, RefKind kind, PathId path, Time time, bool write,
                      bool bypass_meaningless = false);
-  void HandleOpen(const TraceEvent& e, ProcState& proc, PathId path);
-  void HandleDirOps(const TraceEvent& e, ProcState& proc);
+  void HandleOpen(Pid pid, Time time, bool write, ProcState& proc, PathId path);
+  void HandleDirOps(Op op, std::string_view path, int32_t detail, ProcState& proc);
+
+  // The shared event-processing body. `View` adapts TraceEvent (paths as
+  // strings, interned lazily at the historical call sites) or
+  // InternedEvent (paths as ready PathIds) to one interface; defined in
+  // observer.cc, instantiated only there.
+  template <typename View>
+  void Process(const View& v);
 
   ObserverConfig config_;
   const SimFilesystem* fs_;

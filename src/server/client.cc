@@ -16,6 +16,29 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+// Streambuf appending into a caller-owned string, so StreamEvents can
+// reuse one scratch buffer (capacity and all) across frames instead of
+// paying an ostringstream's internal buffer per batch.
+class StringAppendBuf : public std::streambuf {
+ public:
+  explicit StringAppendBuf(std::string* out) : out_(out) {}
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (ch != traits_type::eof()) {
+      out_->push_back(static_cast<char>(ch));
+    }
+    return ch;
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    out_->append(s, static_cast<size_t>(n));
+    return n;
+  }
+
+ private:
+  std::string* out_;
+};
+
 }  // namespace
 
 StatusOr<SeerClient> SeerClient::Connect(const std::string& endpoint_spec,
@@ -46,15 +69,24 @@ Status SeerClient::StreamEvents(TenantId tenant, const std::vector<TraceEvent>& 
   const size_t cut_at = std::min<size_t>(options_.batch_bytes,
                                          wire::kMaxFramePayload - (8u << 10));
   size_t i = 0;
+  size_t in_flight = 0;
   while (i < events.size()) {
-    std::ostringstream payload;
+    scratch_.clear();  // keeps capacity: one allocation serves the whole stream
+    StringAppendBuf buf(&scratch_);
+    std::ostream payload(&buf);
+    // A fresh writer per frame: every kEvents payload is a self-contained
+    // trace with its own path dictionary (wire invariant).
     BinaryTraceWriter writer(payload);
-    while (i < events.size() && static_cast<size_t>(payload.tellp()) < cut_at) {
+    while (i < events.size() && scratch_.size() < cut_at) {
       writer.Write(events[i]);
       ++i;
     }
     SEER_RETURN_IF_ERROR(net::SendAll(
-        fd_.get(), wire::EncodeFrame(wire::FrameType::kEvents, tenant, payload.str())));
+        fd_.get(), wire::EncodeFrame(wire::FrameType::kEvents, tenant, scratch_)));
+    if (options_.pipeline_depth > 0 && ++in_flight >= options_.pipeline_depth) {
+      SEER_RETURN_IF_ERROR(Ping());
+      in_flight = 0;
+    }
   }
   return Status::Ok();
 }

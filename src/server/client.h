@@ -38,6 +38,14 @@ struct SeerClientOptions {
   // payload reaches this size. Must leave headroom under
   // wire::kMaxFramePayload for the event that crosses the line.
   size_t batch_bytes = 256u << 10;
+  // Event frames StreamEvents may leave in flight before inserting a
+  // Ping barrier (client-side flow control for very long streams, so an
+  // unbounded burst cannot outrun the server by more than k frames).
+  // 0 = unlimited fire-and-forget, the historical behaviour: delivery
+  // is confirmed by the caller's next control call. Per-tenant delivery
+  // order is identical either way — frames travel the same connection
+  // in order; the barrier only paces them.
+  size_t pipeline_depth = 0;
 };
 
 class SeerClient {
@@ -84,6 +92,9 @@ class SeerClient {
   SeerClientOptions options_;
   wire::FrameDecoder decoder_;
   uint32_t next_request_id_ = 1;
+  // Encode scratch reused across StreamEvents batches: the payload of
+  // the frame being built, cleared (capacity kept) per frame.
+  std::string scratch_;
 };
 
 }  // namespace seer

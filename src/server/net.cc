@@ -5,12 +5,15 @@
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <string>
+#include <vector>
 
 namespace seer {
 namespace net {
@@ -37,6 +40,15 @@ Status FillUnixAddr(const std::string& path, sockaddr_un* addr) {
   }
   std::memcpy(addr->sun_path, path.data(), path.size());
   return Status::Ok();
+}
+
+// Small control responses must not sit behind Nagle waiting for an ACK;
+// the framing layer already batches, so delayed coalescing buys nothing.
+// Best-effort: on a UNIX-domain socket the option does not exist and the
+// failure (ENOTSUP/EOPNOTSUPP) is harmless.
+void DisableNagle(int fd) {
+  const int on = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
 }
 
 Status FillTcpAddr(const Endpoint& endpoint, sockaddr_in* addr) {
@@ -134,6 +146,7 @@ StatusOr<OwnedFd> Connect(const Endpoint& endpoint) {
     if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
       return Errno("connect " + endpoint.host + ":" + std::to_string(endpoint.port));
     }
+    DisableNagle(fd.get());
     return fd;
   }
   SEER_ASSIGN_OR_RETURN(OwnedFd fd, NewSocket(AF_UNIX));
@@ -149,6 +162,7 @@ StatusOr<OwnedFd> Accept(int listen_fd) {
   for (;;) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd >= 0) {
+      DisableNagle(fd);
       return OwnedFd(fd);
     }
     if (errno == EINTR) {
@@ -188,6 +202,61 @@ Status SendAll(int fd, std::string_view data) {
       continue;
     }
     return Errno("send");
+  }
+  return Status::Ok();
+}
+
+Status WriteVec(int fd, const std::vector<std::string_view>& chunks) {
+  // Bound the iovec array per sendmsg; a burst larger than this simply
+  // takes several syscalls, which is still far fewer than one per chunk.
+  constexpr size_t kMaxIov = 64;
+  iovec iov[kMaxIov];
+  size_t next = 0;        // first chunk not yet fully sent
+  size_t offset = 0;      // bytes of chunks[next] already sent
+  while (next < chunks.size()) {
+    size_t n_iov = 0;
+    for (size_t i = next; i < chunks.size() && n_iov < kMaxIov; ++i) {
+      const std::string_view chunk = chunks[i];
+      const size_t skip = i == next ? offset : 0;
+      if (chunk.size() == skip) {
+        continue;  // empty (or fully-sent head) chunk
+      }
+      iov[n_iov].iov_base = const_cast<char*>(chunk.data() + skip);
+      iov[n_iov].iov_len = chunk.size() - skip;
+      ++n_iov;
+    }
+    if (n_iov == 0) {
+      break;  // everything left was empty
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = n_iov;
+    const ssize_t sent = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd pfd{fd, POLLOUT, 0};
+        if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) {
+          return Errno("poll POLLOUT");
+        }
+        continue;
+      }
+      return Errno("sendmsg");
+    }
+    // Advance (next, offset) past the bytes the kernel took.
+    size_t remaining = static_cast<size_t>(sent);
+    while (next < chunks.size()) {
+      const size_t left = chunks[next].size() - offset;
+      if (remaining < left) {
+        offset += remaining;
+        break;
+      }
+      remaining -= left;
+      ++next;
+      offset = 0;
+    }
   }
   return Status::Ok();
 }

@@ -19,6 +19,7 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "src/util/status.h"
 
@@ -78,6 +79,11 @@ Status SetNonBlocking(int fd);
 // Writes all of `data`, polling for writability on EAGAIN; EPIPE and
 // friends surface as kIoError.
 Status SendAll(int fd, std::string_view data);
+
+// Gathered write: sends every chunk, in order, as if concatenated —
+// one sendmsg per burst instead of one send per response frame. Same
+// blocking/EAGAIN/EPIPE behaviour as SendAll. Empty chunks are allowed.
+Status WriteVec(int fd, const std::vector<std::string_view>& chunks);
 
 // One read(): bytes read, 0 at EOF. EAGAIN on a non-blocking socket is
 // 0 bytes with `*would_block = true`.

@@ -6,14 +6,20 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <future>
 #include <utility>
 
 #include "src/core/snapshot_store.h"
+#include "src/util/thread_pool.h"
 
 namespace seer {
 
 HoardService::HoardService(Fs* fs, std::string root, HoardServiceConfig config)
     : fs_(fs), config_(std::move(config)), router_(fs, std::move(root), config_.router) {
+  io_threads_ = config_.io_threads > 0 ? config_.io_threads : DefaultThreadCount();
+  if (io_threads_ < 1) {
+    io_threads_ = 1;
+  }
   // Register tenants already on disk so list/stats enumerate them across
   // a server restart. Stores stay closed: they restore lazily on first
   // reference, exactly like an eviction.
@@ -54,13 +60,21 @@ Time HoardService::Now() const {
       .count();
 }
 
-Observer* HoardService::ObserverFor(TenantId tenant) {
-  auto it = observers_.find(tenant);
-  if (it == observers_.end()) {
-    auto observer = std::make_unique<Observer>(config_.observer, /*fs=*/nullptr);
-    observer->set_sink(router_.SinkFor(tenant));
-    observer->set_miss_listener(router_.MissLogFor(tenant));
-    it = observers_.emplace(tenant, std::move(observer)).first;
+HoardService::TenantLane* HoardService::FindLane(TenantId tenant) {
+  // Safe under the shared plane lock: lanes_ gains entries only under
+  // the exclusive lock and never loses them.
+  const auto it = lanes_.find(tenant);
+  return it == lanes_.end() ? nullptr : it->second.get();
+}
+
+HoardService::TenantLane* HoardService::EnsureLane(TenantId tenant) {
+  auto it = lanes_.find(tenant);
+  if (it == lanes_.end()) {
+    auto lane = std::make_unique<TenantLane>();
+    lane->observer = std::make_unique<Observer>(config_.observer, /*fs=*/nullptr);
+    lane->observer->set_sink(router_.SinkFor(tenant));
+    lane->observer->set_miss_listener(router_.MissLogFor(tenant));
+    it = lanes_.emplace(tenant, std::move(lane)).first;
   }
   return it->second.get();
 }
@@ -69,9 +83,15 @@ void HoardService::FlushOutbox(Connection* c) {
   if (c->outbox.empty() || !c->fd.valid()) {
     return;
   }
-  // SendAll polls for writability on EAGAIN, so responses flush fully
-  // here; control responses are small, so blocking the loop is bounded.
-  const Status sent = net::SendAll(c->fd.get(), c->outbox);
+  // One gathered write per burst; WriteVec polls for writability on
+  // EAGAIN, so responses flush fully here. Control responses are small,
+  // so blocking the shard is bounded.
+  std::vector<std::string_view> chunks;
+  chunks.reserve(c->outbox.size());
+  for (const std::string& frame : c->outbox) {
+    chunks.push_back(frame);
+  }
+  const Status sent = net::WriteVec(c->fd.get(), chunks);
   if (!sent.ok()) {
     c->closed = true;
   }
@@ -79,6 +99,9 @@ void HoardService::FlushOutbox(Connection* c) {
 }
 
 wire::ControlResponse HoardService::Dispatch(const wire::ControlRequest& request) {
+  // Control verbs may create, restore, evict, or enumerate tenants:
+  // exclusive plane access, mutually excluding every shard's deliveries.
+  std::unique_lock<std::shared_mutex> plane(plane_mu_);
   wire::ControlResponse response;
   response.verb = request.verb;
   const auto fail = [&response](const Status& status) {
@@ -154,66 +177,251 @@ wire::ControlResponse HoardService::Dispatch(const wire::ControlRequest& request
   return response;
 }
 
-void HoardService::HandleFrame(Connection* c, wire::Frame frame) {
-  switch (frame.type) {
-    case wire::FrameType::kEvents: {
-      const TenantId tenant = frame.channel;
-      const StatusOr<std::vector<TraceEvent>> events = wire::DecodeEvents(frame.payload);
-      if (!events.ok() || tenant == kInvalidTenantId) {
-        ++protocol_errors_;
-        c->closed = true;
-        return;
-      }
-      Observer* observer = ObserverFor(tenant);
-      for (const TraceEvent& event : *events) {
-        observer->OnEvent(event);
-      }
-      events_ingested_ += events->size();
-      return;
-    }
-    case wire::FrameType::kRequest: {
-      const StatusOr<wire::ControlRequest> request =
-          wire::DecodeControlRequest(frame.payload);
-      if (!request.ok()) {
-        ++protocol_errors_;
-        c->closed = true;
-        return;
-      }
-      const wire::ControlResponse response = Dispatch(*request);
-      c->outbox +=
-          wire::EncodeFrame(wire::FrameType::kResponse, frame.channel,
-                            wire::EncodeControlResponse(response));
-      FlushOutbox(c);
-      if (request->verb == wire::ControlVerb::kShutdown &&
-          response.code == StatusCode::kOk) {
-        stop_.store(true, std::memory_order_relaxed);
-      }
-      return;
-    }
-    case wire::FrameType::kResponse:
-      break;  // clients must not send responses
+void HoardService::DeliverToLane(TenantLane* lane, Connection* c, Shard* shard) {
+  const std::vector<InternedEvent>& events = shard->arena.events();
+  Observer* observer = lane->observer.get();
+  for (const InternedEvent& event : events) {
+    observer->OnInternedEvent(event);
   }
-  ++protocol_errors_;
-  c->closed = true;
+  events_ingested_.fetch_add(events.size(), std::memory_order_relaxed);
+  if (config_.record_merge_log && !events.empty()) {
+    lane->merge_log.push_back({c->id, events.front().seq, static_cast<uint32_t>(events.size())});
+  }
 }
 
-void HoardService::ProcessFrames(Connection* c) {
-  for (;;) {
-    StatusOr<std::optional<wire::Frame>> next = c->decoder.Next();
-    if (!next.ok()) {
-      ++protocol_errors_;
-      c->closed = true;
-      return;
-    }
-    if (!next->has_value()) {
-      return;
-    }
-    ++frames_received_;
-    HandleFrame(c, std::move(**next));
-    if (c->closed) {
-      return;
+bool HoardService::DeliverEvents(Shard* shard, Connection* c, TenantId tenant,
+                                 std::string_view payload) {
+  if (tenant == kInvalidTenantId) {
+    return false;
+  }
+  if (!shard->arena.Decode(payload).ok()) {
+    return false;
+  }
+  {
+    // Fast path: tenant already known and resident. The shared lock
+    // pins residency (eviction/restore require exclusive), the lane
+    // mutex serializes same-tenant deliveries across shards.
+    std::shared_lock<std::shared_mutex> plane(plane_mu_);
+    TenantLane* lane = FindLane(tenant);
+    if (lane != nullptr && router_.TenantResident(tenant)) {
+      std::lock_guard<std::mutex> lock(lane->mu);
+      DeliverToLane(lane, c, shard);
+      return true;
     }
   }
+  // Slow path (first frame for a tenant, or delivery after an eviction):
+  // create the lane and let the first routed callback restore the store,
+  // all under the exclusive lock the router requires for that.
+  std::unique_lock<std::shared_mutex> plane(plane_mu_);
+  TenantLane* lane = EnsureLane(tenant);
+  std::lock_guard<std::mutex> lock(lane->mu);
+  DeliverToLane(lane, c, shard);
+  return true;
+}
+
+void HoardService::ProcessFrames(Shard* shard, Connection* c) {
+  for (;;) {
+    StatusOr<std::optional<wire::FrameView>> next = c->decoder.NextView();
+    if (!next.ok()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      c->closed = true;
+      break;
+    }
+    if (!next->has_value()) {
+      break;
+    }
+    const wire::FrameView frame = **next;
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    switch (frame.type) {
+      case wire::FrameType::kEvents: {
+        if (!DeliverEvents(shard, c, frame.channel, frame.payload)) {
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          c->closed = true;
+        }
+        break;
+      }
+      case wire::FrameType::kRequest: {
+        const StatusOr<wire::ControlRequest> request =
+            wire::DecodeControlRequest(frame.payload);
+        if (!request.ok()) {
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          c->closed = true;
+          break;
+        }
+        wire::ControlResponse response;
+        if (shard->index == 0) {
+          response = Dispatch(*request);
+        } else {
+          // Control verbs run on the designated thread. Post the
+          // request to shard 0's mailbox and block for the result; the
+          // response frame is still written by this shard, keeping
+          // per-connection ordering.
+          std::promise<wire::ControlResponse> promise;
+          std::future<wire::ControlResponse> future = promise.get_future();
+          PostJob([this, req = *request, &promise] { promise.set_value(Dispatch(req)); });
+          response = future.get();
+        }
+        c->outbox.push_back(wire::EncodeFrame(wire::FrameType::kResponse, frame.channel,
+                                              wire::EncodeControlResponse(response)));
+        if (request->verb == wire::ControlVerb::kShutdown &&
+            response.code == StatusCode::kOk) {
+          stop_.store(true, std::memory_order_relaxed);
+          for (const auto& s : shards_) {
+            if (s->index != shard->index) {
+              Wake(s.get());
+            }
+          }
+        }
+        break;
+      }
+      case wire::FrameType::kResponse: {
+        // Clients must not send responses.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        c->closed = true;
+        break;
+      }
+    }
+    if (c->closed) {
+      break;
+    }
+  }
+  FlushOutbox(c);
+}
+
+void HoardService::PostJob(std::function<void()> job) {
+  Shard* control = shards_[0].get();
+  {
+    std::lock_guard<std::mutex> lock(control->mail_mu);
+    control->jobs.push_back(std::move(job));
+  }
+  Wake(control);
+}
+
+void HoardService::Wake(Shard* shard) {
+  if (!shard->wake_w.valid()) {
+    return;
+  }
+  const char byte = 0;
+  // Nonblocking: a full pipe already guarantees a pending wake.
+  (void)!::write(shard->wake_w.get(), &byte, 1);
+}
+
+void HoardService::DrainWakePipe(Shard* shard) {
+  char bytes[256];
+  while (::read(shard->wake_r.get(), bytes, sizeof(bytes)) > 0) {
+  }
+}
+
+void HoardService::DrainMailbox(Shard* shard) {
+  std::vector<std::unique_ptr<Connection>> incoming;
+  std::vector<std::function<void()>> jobs;
+  {
+    std::lock_guard<std::mutex> lock(shard->mail_mu);
+    incoming.swap(shard->incoming);
+    jobs.swap(shard->jobs);
+  }
+  for (auto& c : incoming) {
+    shard->connections.push_back(std::move(c));
+  }
+  for (auto& job : jobs) {
+    job();
+  }
+}
+
+void HoardService::ReadBurst(Shard* shard, Connection* c) {
+  // Read and process until the socket runs dry or the connection hits
+  // its buffer cap. Frames dispatch synchronously, so the ingest
+  // batcher's backpressure stalls this read loop — and, through the
+  // kernel socket buffer, the sender.
+  char* buf = shard->read_buf.data();
+  const size_t buf_size = shard->read_buf.size();
+  while (c->decoder.buffered() < config_.conn_buffer_limit) {
+    bool would_block = false;
+    const StatusOr<size_t> n = net::ReadSome(c->fd.get(), buf, buf_size, &would_block);
+    if (!n.ok()) {
+      c->closed = true;
+      break;
+    }
+    if (would_block) {
+      break;
+    }
+    if (*n == 0) {  // EOF
+      if (!c->decoder.AtFrameBoundary()) {
+        // Mid-frame disconnect: torn frame dropped.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      c->closed = true;
+      break;
+    }
+    c->decoder.Append(std::string_view(buf, *n));
+    ProcessFrames(shard, c);
+    if (c->closed || stop_.load(std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+bool HoardService::PollAndService(Shard* shard, int extra_fd) {
+  std::vector<pollfd> fds;
+  std::vector<Connection*> polled;
+  fds.push_back({shard->wake_r.get(), POLLIN, 0});
+  if (extra_fd >= 0) {
+    fds.push_back({extra_fd, POLLIN, 0});
+  }
+  const size_t base = fds.size();
+  for (const auto& c : shard->connections) {
+    short events = 0;
+    if (c->decoder.buffered() < config_.conn_buffer_limit) {
+      events |= POLLIN;  // else: backpressured, let the kernel throttle
+    }
+    fds.push_back({c->fd.get(), events, 0});
+    polled.push_back(c.get());
+  }
+  const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), config_.poll_interval_ms);
+  if (ready < 0 && errno != EINTR) {
+    return false;
+  }
+  if (fds[0].revents & POLLIN) {
+    DrainWakePipe(shard);
+  }
+  DrainMailbox(shard);
+  for (size_t i = 0; i < polled.size(); ++i) {
+    Connection* c = polled[i];
+    const short revents = fds[base + i].revents;
+    if (c->closed || (revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+      continue;
+    }
+    ReadBurst(shard, c);
+    if (stop_.load(std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  shard->connections.erase(
+      std::remove_if(shard->connections.begin(), shard->connections.end(),
+                     [](const std::unique_ptr<Connection>& c) { return c->closed; }),
+      shard->connections.end());
+  return extra_fd >= 0 && fds.size() > 1 && (fds[1].revents & POLLIN) != 0;
+}
+
+void HoardService::DrainShardConnections(Shard* shard) {
+  // Finish frames already buffered, flush responses, close.
+  DrainMailbox(shard);
+  for (const auto& c : shard->connections) {
+    if (!c->closed) {
+      ProcessFrames(shard, c.get());
+    }
+  }
+  shard->connections.clear();
+}
+
+void HoardService::WorkerLoop(Shard* shard) {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    PollAndService(shard, /*extra_fd=*/-1);
+  }
+  DrainShardConnections(shard);
+  workers_live_.fetch_sub(1, std::memory_order_release);
+  // Shard 0 may be blocked in its wait-for-workers poll.
+  Wake(shards_[0].get());
 }
 
 Status HoardService::Serve() {
@@ -227,26 +435,33 @@ Status HoardService::Serve() {
     }
   };
 
-  char buf[65536];
-  while (!stop_.load(std::memory_order_relaxed)) {
-    std::vector<pollfd> fds;
-    std::vector<Connection*> polled;
-    fds.push_back({listener_.get(), POLLIN, 0});
-    for (const auto& c : connections_) {
-      short events = 0;
-      if (c->decoder.buffered() < config_.conn_buffer_limit) {
-        events |= POLLIN;  // else: backpressured, let the kernel throttle
-      }
-      fds.push_back({c->fd.get(), events, 0});
-      polled.push_back(c.get());
+  // Build the shard plane. Shard 0 is this thread.
+  shards_.clear();
+  for (int i = 0; i < io_threads_; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = static_cast<size_t>(i);
+    shard->read_buf.resize(64 * 1024);
+    int pipe_fds[2] = {-1, -1};
+    if (::pipe(pipe_fds) != 0) {
+      shards_.clear();
+      return Status::IoError("hoard service: wake pipe creation failed");
     }
-    const int ready = ::poll(fds.data(), fds.size(), config_.poll_interval_ms);
-    if (ready < 0 && errno != EINTR) {
-      latch(Status::IoError("hoard service: poll failed"));
-      break;
-    }
+    shard->wake_r.reset(pipe_fds[0]);
+    shard->wake_w.reset(pipe_fds[1]);
+    (void)net::SetNonBlocking(shard->wake_r.get());
+    (void)net::SetNonBlocking(shard->wake_w.get());
+    shards_.push_back(std::move(shard));
+  }
+  workers_live_.store(io_threads_ - 1, std::memory_order_relaxed);
+  for (int i = 1; i < io_threads_; ++i) {
+    Shard* shard = shards_[static_cast<size_t>(i)].get();
+    shard->thread = std::thread([this, shard] { WorkerLoop(shard); });
+  }
 
-    if (fds[0].revents & POLLIN) {
+  Shard* control = shards_[0].get();
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const bool listener_ready = PollAndService(control, listener_.get());
+    if (listener_ready && !stop_.load(std::memory_order_relaxed)) {
       for (;;) {
         StatusOr<net::OwnedFd> accepted = net::Accept(listener_.get());
         if (!accepted.ok()) {
@@ -254,75 +469,65 @@ Status HoardService::Serve() {
         }
         auto conn = std::make_unique<Connection>();
         conn->fd = std::move(*accepted);
+        conn->id = ++next_conn_id_;
         (void)net::SetNonBlocking(conn->fd.get());
-        ++connections_accepted_;
-        connections_.push_back(std::move(conn));
-      }
-    }
-
-    for (size_t i = 0; i < polled.size(); ++i) {
-      Connection* c = polled[i];
-      const short revents = fds[i + 1].revents;
-      if (c->closed || (revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
-        continue;
-      }
-      // Read and process until the socket runs dry or the connection hits
-      // its buffer cap. Frames dispatch synchronously, so the ingest
-      // batcher's backpressure stalls this read loop — and, through the
-      // kernel socket buffer, the sender.
-      while (c->decoder.buffered() < config_.conn_buffer_limit) {
-        bool would_block = false;
-        const StatusOr<size_t> n = net::ReadSome(c->fd.get(), buf, sizeof(buf), &would_block);
-        if (!n.ok()) {
-          c->closed = true;
-          break;
-        }
-        if (would_block) {
-          break;
-        }
-        if (*n == 0) {  // EOF
-          if (!c->decoder.AtFrameBoundary()) {
-            ++protocol_errors_;  // mid-frame disconnect: torn frame dropped
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+        // Round-robin shard assignment at accept: the connection's
+        // frames stay ordered because exactly one shard ever reads it.
+        Shard* target =
+            shards_[static_cast<size_t>(++next_shard_ % static_cast<uint64_t>(io_threads_))]
+                .get();
+        if (target == control) {
+          control->connections.push_back(std::move(conn));
+        } else {
+          {
+            std::lock_guard<std::mutex> lock(target->mail_mu);
+            target->incoming.push_back(std::move(conn));
           }
-          c->closed = true;
-          break;
+          Wake(target);
         }
-        c->decoder.Append(std::string_view(buf, *n));
-        ProcessFrames(c);
-        if (c->closed || stop_.load(std::memory_order_relaxed)) {
-          break;
-        }
-      }
-      if (stop_.load(std::memory_order_relaxed)) {
-        break;
       }
     }
-
-    connections_.erase(
-        std::remove_if(connections_.begin(), connections_.end(),
-                       [](const std::unique_ptr<Connection>& c) { return c->closed; }),
-        connections_.end());
 
     const Time now = Now();
     if (last_tick_ < 0 || now != last_tick_) {
       last_tick_ = now;
+      std::unique_lock<std::shared_mutex> plane(plane_mu_);
       latch(router_.Tick(now));
     }
   }
 
-  // Graceful drain: finish frames already buffered, flush responses,
-  // close everything, then seal + checkpoint every resident tenant.
-  for (const auto& c : connections_) {
-    if (!c->closed) {
-      ProcessFrames(c.get());
-      FlushOutbox(c.get());
+  // Graceful drain. Workers drain their own shards; shard 0 keeps
+  // servicing its mailbox meanwhile — a draining worker may still post
+  // control verbs it found buffered behind event frames.
+  while (workers_live_.load(std::memory_order_acquire) > 0) {
+    pollfd pfd{control->wake_r.get(), POLLIN, 0};
+    (void)::poll(&pfd, 1, 1);
+    DrainWakePipe(control);
+    DrainMailbox(control);
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) {
+      shard->thread.join();
     }
   }
-  connections_.clear();
+  DrainShardConnections(control);
+  shards_.clear();
+
   latch(router_.DrainCheckpoints());
   latch(router_.Shutdown());
   latch(router_.last_error());
   return first_error;
+}
+
+std::vector<HoardService::MergeRecord> HoardService::MergeLogFor(TenantId tenant) const {
+  std::shared_lock<std::shared_mutex> plane(plane_mu_);
+  const auto it = lanes_.find(tenant);
+  if (it == lanes_.end()) {
+    return {};
+  }
+  std::lock_guard<std::mutex> lock(it->second->mu);
+  return it->second->merge_log;
 }
 
 }  // namespace seer

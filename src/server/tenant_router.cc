@@ -59,7 +59,8 @@ ReferenceSink* TenantRouter::Route(TenantId tenant) {
   if (t == nullptr) {
     return nullptr;
   }
-  t->last_touch_seq = ++touch_seq_;
+  t->last_touch_seq.store(touch_seq_.fetch_add(1, std::memory_order_relaxed) + 1,
+                          std::memory_order_relaxed);
   return t->durable.get();
 }
 
@@ -424,7 +425,8 @@ Status TenantRouter::Tick(Time now) {
         if (t.durable == nullptr || t.checkpoint_inflight) {
           continue;
         }
-        if (coldest == nullptr || t.last_touch_seq < coldest->last_touch_seq) {
+        if (coldest == nullptr || t.last_touch_seq.load(std::memory_order_relaxed) <
+                                      coldest->last_touch_seq.load(std::memory_order_relaxed)) {
           coldest = &t;
         }
       }
@@ -509,6 +511,11 @@ StatusOr<TenantStats> TenantRouter::Stats(TenantId tenant) const {
     stats.hoard_files = t->daemon->last_selection().files.size();
   }
   return stats;
+}
+
+bool TenantRouter::TenantResident(TenantId tenant) const {
+  const Tenant* t = FindTenant(tenant);
+  return t != nullptr && t->durable != nullptr;
 }
 
 size_t TenantRouter::resident_tenants() const {

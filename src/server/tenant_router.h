@@ -35,13 +35,28 @@
 // tenant's store directory is an ordinary single-instance store that
 // `seerctl db` reads unchanged.
 //
-// Threading: the router itself is a single-threaded control plane (one
-// transport thread delivers events and calls Tick); the parallelism
-// lives in the shared pool below it. It is not safe to call two router
-// methods concurrently.
+// Threading: the router itself is a single-threaded control plane; the
+// parallelism lives in the shared pool below it. It is not safe to call
+// two router methods concurrently — with one narrowly-scoped exception
+// the sharded transport (service.h) relies on, under external locking:
+//
+//   Holding a shared (reader) lock that excludes every other router
+//   method, multiple threads may concurrently (a) call TenantResident()
+//   and (b) deliver sink callbacks to *distinct already-resident*
+//   tenants — provided each tenant's callbacks are additionally
+//   serialized by a per-tenant lock. This is sound because a routed
+//   callback on a resident tenant mutates only that tenant's own state
+//   plus the LRU clock, which is atomic (touch_seq_/last_touch_seq are
+//   relaxed atomics; the eviction scan tolerates torn ordering), and
+//   because tenants_ map nodes are pointer-stable and no method that
+//   inserts, restores, or evicts runs while the shared lock is held.
+//   Anything that might create/restore/evict a tenant — SinkFor on a new
+//   id, first delivery to a non-resident tenant, Tick, control verbs,
+//   Shutdown — must hold the exclusive side of that lock.
 #ifndef SRC_SERVER_TENANT_ROUTER_H_
 #define SRC_SERVER_TENANT_ROUTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -181,6 +196,12 @@ class TenantRouter {
   HoardManager* HoardFor(TenantId tenant);
   MissLog* MissLogFor(TenantId tenant);
 
+  // True when the tenant exists and its correlator is in memory — the
+  // sharded transport's fast-path gate (see the threading note above):
+  // callable concurrently under the shared side of the external lock,
+  // because residency can only change under the exclusive side.
+  bool TenantResident(TenantId tenant) const;
+
   size_t resident_tenants() const;
   // Sum of resident correlators' MemoryBytes() as of the last Tick or
   // eviction pass (recomputing per call would flush every batcher).
@@ -221,7 +242,11 @@ class TenantRouter {
     MissLog miss_log;
     Time next_checkpoint_due = 0;
     Time last_refill = -1;
-    uint64_t last_touch_seq = 0;  // LRU clock for the eviction pass
+    // LRU clock for the eviction pass. Atomic (relaxed) because routed
+    // callbacks bump it concurrently from shard threads under the shared
+    // external lock; the eviction scan runs exclusive and only needs a
+    // monotone-ish ordering, not cross-tenant precision.
+    std::atomic<uint64_t> last_touch_seq{0};
     uint64_t memory_bytes = 0;    // as of the last Tick
     // Stats caches that survive eviction (refreshed at Tick, checkpoint,
     // eviction, and restore), so `tenant stats` never has to re-open an
@@ -260,7 +285,7 @@ class TenantRouter {
   TenantRouterConfig config_;
   ThreadPool pool_;
   std::map<TenantId, Tenant> tenants_;  // ordered: ListTenants is sorted
-  uint64_t touch_seq_ = 0;
+  std::atomic<uint64_t> touch_seq_{0};
   uint64_t resident_bytes_ = 0;
   size_t inflight_ = 0;
   uint64_t evictions_ = 0;

@@ -101,21 +101,22 @@ std::string EncodeFrame(FrameType type, uint32_t channel, std::string_view paylo
   return w.Take();
 }
 
-StatusOr<std::optional<Frame>> FrameDecoder::Next() {
+Status FrameDecoder::Scan(FrameType* type, uint32_t* channel, uint32_t* length, bool* complete) {
+  *complete = false;
   if (!status_.ok()) {
     return status_;
   }
   if (buffered() < kFrameHeaderSize) {
-    return std::optional<Frame>();
+    return Status::Ok();
   }
   ByteReader r(std::string_view(buffer_).substr(pos_));
   const uint32_t magic = r.GetU32();
   const uint8_t version = r.GetU8();
-  const uint8_t type = r.GetU8();
+  const uint8_t raw_type = r.GetU8();
   const uint8_t flags_lo = r.GetU8();
   const uint8_t flags_hi = r.GetU8();
-  const uint32_t channel = r.GetU32();
-  const uint32_t length = r.GetU32();
+  *channel = r.GetU32();
+  *length = r.GetU32();
   if (magic != kFrameMagic) {
     status_ = Status::InvalidArgument("wire: bad frame magic");
     return status_;
@@ -125,34 +126,59 @@ StatusOr<std::optional<Frame>> FrameDecoder::Next() {
                                       std::to_string(version));
     return status_;
   }
-  if (!ValidFrameType(type)) {
-    status_ = Status::InvalidArgument("wire: unknown frame type " + std::to_string(type));
+  if (!ValidFrameType(raw_type)) {
+    status_ = Status::InvalidArgument("wire: unknown frame type " + std::to_string(raw_type));
     return status_;
   }
   if (flags_lo != 0 || flags_hi != 0) {
     status_ = Status::InvalidArgument("wire: nonzero reserved flags");
     return status_;
   }
-  if (length > kMaxFramePayload) {
-    status_ = Status::InvalidArgument("wire: frame payload length " + std::to_string(length) +
+  if (*length > kMaxFramePayload) {
+    status_ = Status::InvalidArgument("wire: frame payload length " + std::to_string(*length) +
                                       " exceeds limit");
     return status_;
   }
-  if (buffered() < kFrameHeaderSize + length) {
-    return std::optional<Frame>();  // payload still in flight
+  if (buffered() < kFrameHeaderSize + *length) {
+    return Status::Ok();  // payload still in flight
+  }
+  *type = static_cast<FrameType>(raw_type);
+  *complete = true;
+  return Status::Ok();
+}
+
+StatusOr<std::optional<Frame>> FrameDecoder::Next() {
+  FrameType type = FrameType::kEvents;
+  uint32_t channel = 0;
+  uint32_t length = 0;
+  bool complete = false;
+  SEER_RETURN_IF_ERROR(Scan(&type, &channel, &length, &complete));
+  if (!complete) {
+    return std::optional<Frame>();
   }
   Frame frame;
-  frame.type = static_cast<FrameType>(type);
+  frame.type = type;
   frame.channel = channel;
   frame.payload = buffer_.substr(pos_ + kFrameHeaderSize, length);
   pos_ += kFrameHeaderSize + length;
-  // Compact once the consumed prefix dominates, keeping the buffer from
-  // growing without bound on a long-lived connection.
-  if (pos_ > 4096 && pos_ >= buffer_.size() / 2) {
-    buffer_.erase(0, pos_);
-    pos_ = 0;
-  }
   return std::optional<Frame>(std::move(frame));
+}
+
+StatusOr<std::optional<FrameView>> FrameDecoder::NextView() {
+  FrameType type = FrameType::kEvents;
+  uint32_t channel = 0;
+  uint32_t length = 0;
+  bool complete = false;
+  SEER_RETURN_IF_ERROR(Scan(&type, &channel, &length, &complete));
+  if (!complete) {
+    return std::optional<FrameView>();
+  }
+  FrameView view;
+  view.type = type;
+  view.channel = channel;
+  view.payload = std::string_view(buffer_).substr(pos_ + kFrameHeaderSize, length);
+  pos_ += kFrameHeaderSize + length;
+  return std::optional<FrameView>(view);
 }
 
 std::string EncodeEvents(const std::vector<TraceEvent>& events) {
@@ -174,6 +200,143 @@ StatusOr<std::vector<TraceEvent>> DecodeEvents(std::string_view payload) {
       return events;
     }
     events.push_back(*std::move(event));
+  }
+}
+
+// --- EventArena ---------------------------------------------------------------
+//
+// A cursor-based re-implementation of BinaryTraceReader over a
+// string_view. Field order, bounds checks, and error strings must stay
+// in lockstep with binary_trace.cc — parser_fuzz_test pins the parity.
+
+Status EventArena::GetVarint(const char* field, uint64_t* value) {
+  *value = 0;
+  int shift = 0;
+  for (;;) {
+    if (pos_ >= data_.size()) {
+      return Status::DataLoss(std::string("binary trace: truncated ") + field + " after " +
+                              std::to_string(events_read_) + " events");
+    }
+    const uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    if (shift > 63) {
+      return Status::DataLoss(std::string("binary trace: oversized varint in ") + field);
+    }
+    *value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return Status::Ok();
+    }
+    shift += 7;
+  }
+}
+
+Status EventArena::GetZigzag(const char* field, int64_t* value) {
+  uint64_t raw = 0;
+  SEER_RETURN_IF_ERROR(GetVarint(field, &raw));
+  *value = static_cast<int64_t>(raw >> 1) ^ -static_cast<int64_t>(raw & 1);
+  return Status::Ok();
+}
+
+Status EventArena::GetPath(const char* field, PathId* out) {
+  uint64_t id = 0;
+  SEER_RETURN_IF_ERROR(GetVarint(field, &id));
+  if (id < dict_.size()) {
+    *out = dict_[id];
+    return Status::Ok();
+  }
+  if (id != dict_.size() || id >= kBinaryTraceMaxDictionary) {
+    // Ids are assigned densely; a gap means the stream is corrupt.
+    return Status::DataLoss(std::string("binary trace: non-dense dictionary id in ") + field);
+  }
+  uint64_t len = 0;
+  SEER_RETURN_IF_ERROR(GetVarint(field, &len));
+  if (len > kBinaryTraceMaxPathLen) {
+    return Status::DataLoss(std::string("binary trace: path length ") + std::to_string(len) +
+                            " exceeds limit in " + field);
+  }
+  if (data_.size() - pos_ < len) {
+    return Status::DataLoss(std::string("binary trace: truncated path bytes in ") + field);
+  }
+  const PathId interned = GlobalPaths().Intern(data_.substr(pos_, len));
+  pos_ += len;
+  dict_.push_back(interned);
+  *out = interned;
+  return Status::Ok();
+}
+
+Status EventArena::Decode(std::string_view payload) {
+  data_ = payload;
+  pos_ = 0;
+  last_seq_ = 0;
+  last_time_ = 0;
+  events_read_ = 0;
+  events_.clear();
+  dict_.clear();
+
+  const size_t got = data_.size() < kBinaryTraceMagicLen ? data_.size() : kBinaryTraceMagicLen;
+  if (got == kBinaryTraceMagicLen &&
+      data_.compare(0, kBinaryTraceMagicLen, kBinaryTraceMagic, kBinaryTraceMagicLen) == 0) {
+    pos_ = kBinaryTraceMagicLen;
+  } else if (got < kBinaryTraceMagicLen && data_.compare(0, got, kBinaryTraceMagic, got) == 0) {
+    // A short payload whose bytes are a prefix of the magic is truncation
+    // (a torn frame), not a different format.
+    return Status::DataLoss("binary trace: truncated magic header");
+  } else {
+    return Status::InvalidArgument("binary trace: missing or bad magic header");
+  }
+
+  for (;;) {
+    if (pos_ >= data_.size()) {
+      // The previous event ended exactly at end of payload: a clean end.
+      return Status::Ok();
+    }
+    int64_t seq_delta = 0;
+    int64_t time_delta = 0;
+    uint64_t pid = 0;
+    int64_t uid = 0;
+    Status s = GetZigzag("seq", &seq_delta);
+    if (s.ok()) s = GetZigzag("time", &time_delta);
+    if (s.ok()) s = GetVarint("pid", &pid);
+    if (s.ok()) s = GetZigzag("uid", &uid);
+    if (!s.ok()) {
+      return s;
+    }
+    if (data_.size() - pos_ < 2) {
+      return Status::DataLoss("binary trace: truncated op/status after " +
+                              std::to_string(events_read_) + " events");
+    }
+    const uint8_t op_and_flags = static_cast<uint8_t>(data_[pos_]);
+    const uint8_t status_byte = static_cast<uint8_t>(data_[pos_ + 1]);
+    pos_ += 2;
+    if ((op_and_flags & 0x7f) > static_cast<uint8_t>(Op::kChdir)) {
+      return Status::DataLoss("binary trace: unknown op byte " +
+                              std::to_string(op_and_flags & 0x7f));
+    }
+    if (status_byte > static_cast<uint8_t>(OpStatus::kNotLocal)) {
+      return Status::DataLoss("binary trace: unknown status byte " + std::to_string(status_byte));
+    }
+    InternedEvent e;
+    int64_t fd = 0;
+    int64_t detail = 0;
+    s = GetPath("path", &e.path);
+    if (s.ok()) s = GetPath("path2", &e.path2);
+    if (s.ok()) s = GetZigzag("fd", &fd);
+    if (s.ok()) s = GetZigzag("detail", &detail);
+    if (!s.ok()) {
+      return s;
+    }
+    last_seq_ = static_cast<uint64_t>(static_cast<int64_t>(last_seq_) + seq_delta);
+    last_time_ += time_delta;
+    e.seq = last_seq_;
+    e.time = last_time_;
+    e.pid = static_cast<Pid>(pid);
+    e.uid = static_cast<Uid>(uid);
+    e.op = static_cast<Op>(op_and_flags & 0x7f);
+    e.write = (op_and_flags & 0x80) != 0;
+    e.status = static_cast<OpStatus>(status_byte);
+    e.fd = static_cast<Fd>(fd);
+    e.detail = static_cast<int32_t>(detail);
+    events_.push_back(e);
+    ++events_read_;
   }
 }
 

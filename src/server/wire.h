@@ -65,18 +65,42 @@ struct Frame {
   std::string payload;
 };
 
+// A frame whose payload still lives in the decoder's read buffer: the
+// server's zero-copy ingest path. The view is valid until the next
+// Append() on the producing decoder — consume it before reading more
+// bytes off the socket.
+struct FrameView {
+  FrameType type = FrameType::kEvents;
+  uint32_t channel = 0;
+  std::string_view payload;
+};
+
 // Header + payload, ready to write to a socket.
 std::string EncodeFrame(FrameType type, uint32_t channel, std::string_view payload);
 
 // Incremental frame parser over a connection's byte stream.
 class FrameDecoder {
  public:
-  void Append(std::string_view bytes) { buffer_.append(bytes.data(), bytes.size()); }
+  void Append(std::string_view bytes) {
+    // Compact before growing, never after a frame is handed out: any
+    // FrameView from NextView() stays valid until this call, which is
+    // the natural consume-then-read boundary of the serve loop.
+    if (pos_ > 4096 && pos_ >= buffer_.size() / 2) {
+      buffer_.erase(0, pos_);
+      pos_ = 0;
+    }
+    buffer_.append(bytes.data(), bytes.size());
+  }
 
   // A complete frame; an empty optional when more bytes are needed; or a
   // latched typed error once the stream is malformed (bad magic/version/
   // type, nonzero flags, oversized length).
   StatusOr<std::optional<Frame>> Next();
+
+  // Like Next(), but the payload is a view into the decoder's buffer —
+  // no copy. Valid until the next Append(); Next() and NextView() may be
+  // mixed freely on one decoder (they share the same cursor).
+  StatusOr<std::optional<FrameView>> NextView();
 
   // Bytes buffered but not yet consumed by a returned frame.
   size_t buffered() const { return buffer_.size() - pos_; }
@@ -87,8 +111,13 @@ class FrameDecoder {
   const Status& status() const { return status_; }
 
  private:
+  // Shared header scan: validates and fills the header fields when a
+  // complete frame is buffered (*complete = true), reports "need more
+  // bytes" via *complete = false, or latches and returns a typed error.
+  Status Scan(FrameType* type, uint32_t* channel, uint32_t* length, bool* complete);
+
   std::string buffer_;
-  size_t pos_ = 0;  // consumed prefix; compacted as frames drain
+  size_t pos_ = 0;  // consumed prefix; compacted as bytes arrive
   Status status_;
 };
 
@@ -100,6 +129,42 @@ std::string EncodeEvents(const std::vector<TraceEvent>& events);
 // Decodes an event payload. A payload that ends mid-event is kDataLoss
 // (a torn frame), exactly like a crash-truncated trace file.
 StatusOr<std::vector<TraceEvent>> DecodeEvents(std::string_view payload);
+
+// Zero-copy kEvents decoder: parses a self-contained binary trace payload
+// straight out of the frame bytes into InternedEvents, with no
+// istringstream, no per-event path strings, and no per-frame vectors —
+// storage is reused across Decode() calls, so steady-state decoding of
+// same-shaped frames allocates nothing. Each dictionary entry is interned
+// into GlobalPaths() exactly once, at its definition; events carry the
+// resulting PathIds.
+//
+// The error surface is byte-for-byte the same as BinaryTraceReader (and
+// therefore DecodeEvents): kDataLoss naming the field for torn or corrupt
+// payloads, kInvalidArgument for a bad magic. A failed Decode() leaves
+// events() holding whatever decoded before the failure; callers treating
+// the payload as atomic (the server does) must ignore it on error.
+class EventArena {
+ public:
+  Status Decode(std::string_view payload);
+
+  const std::vector<InternedEvent>& events() const { return events_; }
+
+ private:
+  Status GetVarint(const char* field, uint64_t* value);
+  Status GetZigzag(const char* field, int64_t* value);
+  Status GetPath(const char* field, PathId* out);
+
+  // Cursor over the payload being decoded; meaningful only inside Decode.
+  std::string_view data_;
+  size_t pos_ = 0;
+  uint64_t last_seq_ = 0;
+  Time last_time_ = 0;
+  size_t events_read_ = 0;
+
+  // Reused across frames; clear() keeps capacity.
+  std::vector<InternedEvent> events_;
+  std::vector<PathId> dict_;
+};
 
 // --- control protocol ---------------------------------------------------------
 

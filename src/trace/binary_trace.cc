@@ -7,12 +7,10 @@ namespace seer {
 
 namespace {
 
-constexpr char kMagic[] = "SEERBT1\n";
-constexpr size_t kMagicLen = 8;
-
-// Paths longer than this are rejected as corruption when reading.
-constexpr uint64_t kMaxPathLen = 4096;
-constexpr uint64_t kMaxDictionary = 1u << 28;
+constexpr const char* kMagic = kBinaryTraceMagic;
+constexpr size_t kMagicLen = kBinaryTraceMagicLen;
+constexpr uint64_t kMaxPathLen = kBinaryTraceMaxPathLen;
+constexpr uint64_t kMaxDictionary = kBinaryTraceMaxDictionary;
 
 uint64_t Zigzag(int64_t v) {
   return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);

@@ -32,6 +32,14 @@
 
 namespace seer {
 
+// Format constants, shared with the zero-copy wire decoder
+// (wire::EventArena) so both readers reject the same corruption.
+inline constexpr char kBinaryTraceMagic[] = "SEERBT1\n";
+inline constexpr size_t kBinaryTraceMagicLen = 8;
+// Paths longer than this are rejected as corruption when reading.
+inline constexpr uint64_t kBinaryTraceMaxPathLen = 4096;
+inline constexpr uint64_t kBinaryTraceMaxDictionary = 1u << 28;
+
 class BinaryTraceWriter {
  public:
   // Writes the header immediately.

@@ -12,6 +12,8 @@
 #include <string>
 #include <string_view>
 
+#include "src/util/path_interner.h"
+
 namespace seer {
 
 using Pid = int32_t;
@@ -68,6 +70,28 @@ struct TraceEvent {
   Fd fd = -1;          // fd for open/close pairing; -1 when not applicable
   bool write = false;  // open-for-write intent
   int32_t detail = 0;  // op-specific: fork child pid, readdir entry count
+
+  bool ok() const { return status == OpStatus::kOk; }
+};
+
+// A TraceEvent whose paths have been resolved to process-wide interned
+// ids. The zero-copy wire decoder (wire::EventArena) produces these
+// straight out of a network frame: the path bytes are interned once per
+// dictionary entry, so replaying an event costs no string allocation.
+// Both ids are always valid — an event without a secondary path carries
+// the interned empty string, mirroring TraceEvent's empty `path2`.
+struct InternedEvent {
+  uint64_t seq = 0;
+  Time time = 0;
+  Pid pid = 0;
+  Uid uid = 0;
+  Op op = Op::kOpen;
+  OpStatus status = OpStatus::kOk;
+  PathId path = kInvalidPathId;
+  PathId path2 = kInvalidPathId;
+  Fd fd = -1;
+  bool write = false;
+  int32_t detail = 0;
 
   bool ok() const { return status == OpStatus::kOk; }
 };

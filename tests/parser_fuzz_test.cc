@@ -231,6 +231,125 @@ TEST_P(ParserFuzz, ControlAndEventPayloadsNeverCrash) {
   }
 }
 
+// The zero-copy arena decoder against the legacy DecodeEvents on the same
+// bytes: same accept/reject verdict, same typed error (code AND message —
+// the arena reimplements the binary-trace scan, and its error surface must
+// not drift), and identical decoded values on accepts. Inputs cover raw
+// garbage, torn valid payloads (including dictionary-definition
+// truncations), and bit flips inside the dictionary region.
+TEST_P(ParserFuzz, ArenaDecodeMatchesLegacy) {
+  Rng rng(Seed() ^ 7);
+  wire::EventArena arena;  // reused across every Decode, like a shard's
+
+  const auto check_parity = [&](std::string_view payload) {
+    const auto legacy = wire::DecodeEvents(payload);
+    const Status arena_status = arena.Decode(payload);
+    ASSERT_EQ(legacy.ok(), arena_status.ok()) << "payload size " << payload.size();
+    if (!legacy.ok()) {
+      EXPECT_EQ(legacy.status().code(), arena_status.code());
+      EXPECT_EQ(legacy.status().message(), arena_status.message());
+      return;
+    }
+    const std::vector<InternedEvent>& got = arena.events();
+    ASSERT_EQ(legacy->size(), got.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      const TraceEvent& want = (*legacy)[i];
+      EXPECT_EQ(want.seq, got[i].seq) << i;
+      EXPECT_EQ(want.time, got[i].time) << i;
+      EXPECT_EQ(want.pid, got[i].pid) << i;
+      EXPECT_EQ(want.uid, got[i].uid) << i;
+      EXPECT_EQ(want.op, got[i].op) << i;
+      EXPECT_EQ(want.status, got[i].status) << i;
+      EXPECT_EQ(want.path, GlobalPaths().PathOf(got[i].path)) << i;
+      EXPECT_EQ(want.path2, GlobalPaths().PathOf(got[i].path2)) << i;
+      EXPECT_EQ(want.fd, got[i].fd) << i;
+      EXPECT_EQ(want.write, got[i].write) << i;
+      EXPECT_EQ(want.detail, got[i].detail) << i;
+    }
+  };
+
+  // Raw garbage: both decoders must agree byte-for-byte on the rejection.
+  for (int i = 0; i < 150; ++i) {
+    check_parity(RandomText(&rng, 160));
+  }
+
+  // A valid payload with a path-heavy dictionary (every event defines a
+  // new entry), truncated at every interesting point — including inside
+  // dictionary definitions, the arena's trickiest region.
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 50; ++i) {
+    TraceEvent e;
+    e.seq = static_cast<uint64_t>(i);
+    e.time = i * 1000;
+    e.pid = 7;
+    e.op = i % 7 == 3 ? Op::kRename : Op::kOpen;
+    e.path = "/fz/arena-dict-" + std::to_string(i);  // always a fresh entry
+    if (e.op == Op::kRename) {
+      e.path2 = "/fz/renamed-" + std::to_string(i);
+    }
+    e.fd = i;
+    events.push_back(e);
+  }
+  const std::string valid = wire::EncodeEvents(events);
+  check_parity(valid);
+  for (size_t cut = 0; cut < valid.size(); cut += 1 + rng.NextBounded(3)) {
+    check_parity(std::string_view(valid).substr(0, cut));
+  }
+
+  // Bit flips in the dictionary region: non-dense ids, oversized lengths,
+  // bad op/status bytes — whatever the flip lands on, the two decoders
+  // must fail (or accept) identically.
+  for (int i = 0; i < 150; ++i) {
+    std::string mutated = valid;
+    const int flips = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int f = 0; f < flips; ++f) {
+      mutated[8 + rng.NextBounded(mutated.size() - 8)] ^=
+          static_cast<char>(1 << rng.NextBounded(8));
+    }
+    check_parity(mutated);
+  }
+}
+
+// NextView must hand out the same frames as Next under any chunking, with
+// payload views that stay valid until the next Append — the contract the
+// server's read loop leans on.
+TEST_P(ParserFuzz, FrameViewMatchesOwnedFrameUnderRandomChunking) {
+  Rng rng(Seed() ^ 8);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<std::string> payloads;
+    std::string stream;
+    const int count = 1 + static_cast<int>(rng.NextBounded(5));
+    for (int p = 0; p < count; ++p) {
+      payloads.push_back(RandomText(&rng, 3000));  // big enough to straddle reads
+      stream += wire::EncodeFrame(wire::FrameType::kEvents,
+                                  static_cast<uint32_t>(p + 1), payloads.back());
+    }
+    wire::FrameDecoder decoder;
+    size_t pos = 0;
+    size_t seen = 0;
+    while (pos < stream.size()) {
+      const size_t n = std::min<size_t>(1 + rng.NextBounded(512), stream.size() - pos);
+      decoder.Append(std::string_view(stream).substr(pos, n));
+      pos += n;
+      for (;;) {
+        const auto view = decoder.NextView();
+        ASSERT_TRUE(view.ok()) << view.status().message();
+        if (!view->has_value()) {
+          break;
+        }
+        ASSERT_LT(seen, payloads.size());
+        EXPECT_EQ(static_cast<uint32_t>(seen + 1), (*view)->channel);
+        // The view must survive further NextView calls (no compaction
+        // until Append) — compare after a copy taken now and again below.
+        EXPECT_EQ(payloads[seen], (*view)->payload);
+        ++seen;
+      }
+    }
+    EXPECT_EQ(payloads.size(), seen);
+    EXPECT_TRUE(decoder.AtFrameBoundary());
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0, 4));
 
 }  // namespace

@@ -597,6 +597,337 @@ TEST(HoardService, ShutdownSealsEveryResidentTenant) {
   RecoveredSnapshots(&fs, "/srv", 3);
 }
 
+// --- sharded I/O plane --------------------------------------------------------
+
+TEST(HoardService, LoopbackEquivalenceAcrossIoThreadCounts) {
+  constexpr size_t kTenants = 4;
+  std::vector<std::vector<TraceEvent>> traces;
+  size_t total_events = 0;
+  for (size_t t = 0; t < kTenants; ++t) {
+    traces.push_back(TenantEvents(0x10c0 + static_cast<uint32_t>(t), 300));
+    total_events += traces.back().size();
+  }
+
+  // The oracle: the identical Observer pipeline feeding a plain router
+  // in-process. Byte-equality against it at every I/O shard count is the
+  // §16 claim: the serving plane's threading is invisible in the stores.
+  std::vector<std::string> want;
+  {
+    MemFs fs;
+    TenantRouter router(&fs, "/srv", BaseRouterConfig(2));
+    for (size_t t = 0; t < kTenants; ++t) {
+      Observer observer(ObserverConfig{}, /*fs=*/nullptr);
+      const TenantId tenant = static_cast<TenantId>(t + 1);
+      observer.set_sink(router.SinkFor(tenant));
+      observer.set_miss_listener(router.MissLogFor(tenant));
+      for (const TraceEvent& event : traces[t]) {
+        observer.OnEvent(event);
+      }
+    }
+    ASSERT_TRUE(router.last_error().ok()) << router.last_error().message();
+    ASSERT_TRUE(router.Shutdown().ok());
+    want = RecoveredSnapshots(&fs, "/srv", kTenants);
+  }
+
+  for (const int io_threads : {1, 2, 8}) {
+    const std::string socket = SocketPath("io-loopback-" + std::to_string(io_threads));
+    MemFs fs;
+    HoardServiceConfig config = BaseServiceConfig(2);
+    config.io_threads = io_threads;
+    ServiceHarness harness(&fs, config, socket);
+    ASSERT_TRUE(harness.listen_status.ok()) << harness.listen_status.message();
+    EXPECT_EQ(io_threads, harness.service.io_threads());
+
+    // One connection per tenant, streamed concurrently: connections land
+    // on different shards, and the per-tenant order each connection
+    // carries is all the service may rely on.
+    std::vector<std::thread> streamers;
+    std::atomic<int> failures{0};
+    for (size_t t = 0; t < kTenants; ++t) {
+      streamers.emplace_back([&, t] {
+        auto client = SeerClient::Connect("unix:" + socket);
+        if (!client.ok()) {
+          ++failures;
+          return;
+        }
+        const TenantId tenant = static_cast<TenantId>(t + 1);
+        std::mt19937 rng(0xD0 + static_cast<uint32_t>(t));
+        size_t i = 0;
+        while (i < traces[t].size()) {
+          const size_t n = std::min<size_t>(1 + rng() % 97, traces[t].size() - i);
+          const std::vector<TraceEvent> chunk(traces[t].begin() + i,
+                                              traces[t].begin() + i + n);
+          if (!client->StreamEvents(tenant, chunk).ok()) {
+            ++failures;
+            return;
+          }
+          i += n;
+        }
+        if (!client->Ping().ok()) {  // per-connection delivery barrier
+          ++failures;
+        }
+      });
+    }
+    for (std::thread& s : streamers) {
+      s.join();
+    }
+    ASSERT_EQ(0, failures.load());
+
+    auto control = SeerClient::Connect("unix:" + socket);
+    ASSERT_TRUE(control.ok()) << control.status().message();
+    ASSERT_TRUE(control->Shutdown().ok());
+    harness.Join();
+    ASSERT_TRUE(harness.serve_status.ok()) << harness.serve_status.message();
+    EXPECT_EQ(total_events, harness.service.events_ingested());
+    EXPECT_EQ(0u, harness.service.protocol_errors());
+
+    const std::vector<std::string> got = RecoveredSnapshots(&fs, "/srv", kTenants);
+    for (size_t t = 0; t < kTenants; ++t) {
+      EXPECT_EQ(want[t], got[t]) << "tenant=" << t + 1 << " io_threads=" << io_threads;
+    }
+  }
+}
+
+TEST(HoardService, MultiConnectionMergeMatchesOracle) {
+  // Two connections stream ONE tenant concurrently. The server picks a
+  // frame-granularity interleaving (whichever shard wins the tenant's
+  // lane); with record_merge_log it reports the serialization it chose,
+  // and replaying exactly that order in-process must reproduce the store
+  // byte-for-byte — multi-threaded I/O adds arrival nondeterminism, never
+  // outcome nondeterminism beyond it.
+  const std::string socket = SocketPath("merge");
+  MemFs fs;
+  HoardServiceConfig config = BaseServiceConfig(2);
+  config.io_threads = 2;
+  config.record_merge_log = true;
+  ServiceHarness harness(&fs, config, socket);
+  ASSERT_TRUE(harness.listen_status.ok()) << harness.listen_status.message();
+
+  // Distinct seq ranges so every frame's origin is identifiable from its
+  // first event. (Seq is carried verbatim by the wire format.)
+  std::vector<TraceEvent> stream_a = TenantEvents(0xA, 300);
+  std::vector<TraceEvent> stream_b = TenantEvents(0xB, 300);
+  for (TraceEvent& e : stream_a) {
+    e.seq += 100'000;
+  }
+  for (TraceEvent& e : stream_b) {
+    e.seq += 200'000;
+  }
+
+  std::atomic<int> failures{0};
+  const auto stream_one = [&](const std::vector<TraceEvent>& events, uint32_t seed) {
+    auto client = SeerClient::Connect("unix:" + socket);
+    if (!client.ok()) {
+      ++failures;
+      return;
+    }
+    std::mt19937 rng(seed);
+    size_t i = 0;
+    while (i < events.size()) {
+      // One StreamEvents call per small chunk = one frame per chunk, so
+      // the two connections' frames genuinely interleave.
+      const size_t n = std::min<size_t>(1 + rng() % 53, events.size() - i);
+      const std::vector<TraceEvent> chunk(events.begin() + i, events.begin() + i + n);
+      if (!client->StreamEvents(1, chunk).ok()) {
+        ++failures;
+        return;
+      }
+      i += n;
+    }
+    if (!client->Ping().ok()) {
+      ++failures;
+    }
+  };
+  std::thread ta([&] { stream_one(stream_a, 0x11); });
+  std::thread tb([&] { stream_one(stream_b, 0x22); });
+  ta.join();
+  tb.join();
+  ASSERT_EQ(0, failures.load());
+
+  const std::vector<HoardService::MergeRecord> merge = harness.service.MergeLogFor(1);
+  ASSERT_FALSE(merge.empty());
+
+  auto control = SeerClient::Connect("unix:" + socket);
+  ASSERT_TRUE(control.ok()) << control.status().message();
+  ASSERT_TRUE(control->Shutdown().ok());
+  harness.Join();
+  ASSERT_TRUE(harness.serve_status.ok()) << harness.serve_status.message();
+  EXPECT_EQ(stream_a.size() + stream_b.size(), harness.service.events_ingested());
+  EXPECT_EQ(0u, harness.service.protocol_errors());
+
+  // Replay the server's reported merge order through the same pipeline.
+  MemFs oracle_fs;
+  {
+    TenantRouter router(&oracle_fs, "/srv", BaseRouterConfig(2));
+    Observer observer(ObserverConfig{}, /*fs=*/nullptr);
+    observer.set_sink(router.SinkFor(1));
+    observer.set_miss_listener(router.MissLogFor(1));
+    size_t cursor_a = 0;
+    size_t cursor_b = 0;
+    for (const HoardService::MergeRecord& record : merge) {
+      const bool from_a = record.first_seq < 200'000;
+      const std::vector<TraceEvent>& events = from_a ? stream_a : stream_b;
+      size_t& cursor = from_a ? cursor_a : cursor_b;
+      ASSERT_LT(cursor, events.size());
+      ASSERT_EQ(events[cursor].seq, record.first_seq);
+      for (uint32_t i = 0; i < record.count; ++i) {
+        ASSERT_LT(cursor, events.size());
+        observer.OnEvent(events[cursor]);
+        ++cursor;
+      }
+    }
+    EXPECT_EQ(stream_a.size(), cursor_a);
+    EXPECT_EQ(stream_b.size(), cursor_b);
+    ASSERT_TRUE(router.last_error().ok()) << router.last_error().message();
+    ASSERT_TRUE(router.Shutdown().ok());
+  }
+  const std::vector<std::string> want = RecoveredSnapshots(&oracle_fs, "/srv", 1);
+  const std::vector<std::string> got = RecoveredSnapshots(&fs, "/srv", 1);
+  EXPECT_EQ(want[0], got[0]);
+}
+
+TEST(HoardService, SlowConsumerBackpressureAcrossIoThreads) {
+  // A connection buffering more than conn_buffer_limit undecoded bytes
+  // stops being polled until its backlog drains. With a tiny limit and
+  // several senders blasting frames as fast as the kernel accepts them,
+  // the shards must keep cycling read -> decode -> deliver without
+  // deadlock or loss, on every shard.
+  const std::string socket = SocketPath("backpressure");
+  MemFs fs;
+  HoardServiceConfig config = BaseServiceConfig(2);
+  config.io_threads = 3;
+  config.conn_buffer_limit = 2048;  // far below a sender's burst
+  ServiceHarness harness(&fs, config, socket);
+  ASSERT_TRUE(harness.listen_status.ok()) << harness.listen_status.message();
+
+  constexpr size_t kSenders = 4;
+  constexpr size_t kEventsPerSender = 600;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> senders;
+  for (size_t s = 0; s < kSenders; ++s) {
+    senders.emplace_back([&, s] {
+      auto client = SeerClient::Connect("unix:" + socket);
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      const std::vector<TraceEvent> events =
+          TenantEvents(0xBb00 + static_cast<uint32_t>(s), kEventsPerSender / 2);
+      // Small chunks = many small frames back to back, no pacing.
+      for (size_t i = 0; i < events.size(); i += 20) {
+        const size_t n = std::min<size_t>(20, events.size() - i);
+        const std::vector<TraceEvent> chunk(events.begin() + i, events.begin() + i + n);
+        if (!client->StreamEvents(static_cast<TenantId>(s + 1), chunk).ok()) {
+          ++failures;
+          return;
+        }
+      }
+      if (!client->Ping().ok()) {
+        ++failures;
+      }
+    });
+  }
+  size_t total_events = 0;
+  for (std::thread& s : senders) {
+    s.join();
+  }
+  for (size_t s = 0; s < kSenders; ++s) {
+    total_events += TenantEvents(0xBb00 + static_cast<uint32_t>(s), kEventsPerSender / 2).size();
+  }
+  ASSERT_EQ(0, failures.load());
+
+  auto control = SeerClient::Connect("unix:" + socket);
+  ASSERT_TRUE(control.ok()) << control.status().message();
+  ASSERT_TRUE(control->Shutdown().ok());
+  harness.Join();
+  ASSERT_TRUE(harness.serve_status.ok()) << harness.serve_status.message();
+  EXPECT_EQ(total_events, harness.service.events_ingested());
+  EXPECT_EQ(0u, harness.service.protocol_errors());
+}
+
+TEST(HoardService, MidFrameDeathOnWorkerShard) {
+  // With io_threads=2 the first accepted connection is assigned to the
+  // worker shard (round-robin starts at shard 1), so this exercises the
+  // torn-frame EOF path off the Serve() thread.
+  const std::string socket = SocketPath("worker-death");
+  MemFs fs;
+  HoardServiceConfig config = BaseServiceConfig(1);
+  config.io_threads = 2;
+  ServiceHarness harness(&fs, config, socket);
+  ASSERT_TRUE(harness.listen_status.ok()) << harness.listen_status.message();
+
+  const auto endpoint = net::ParseEndpoint("unix:" + socket);
+  ASSERT_TRUE(endpoint.ok());
+  {
+    auto raw = net::Connect(*endpoint);
+    ASSERT_TRUE(raw.ok()) << raw.status().message();
+    const std::string frame =
+        wire::EncodeFrame(wire::FrameType::kEvents, 3, std::string(512, 'q'));
+    ASSERT_TRUE(net::SendAll(raw->get(), std::string_view(frame).substr(0, 40)).ok());
+    ASSERT_EQ(0, ::shutdown(raw->get(), SHUT_WR));
+    char buf[64];
+    bool would_block = false;
+    const auto n = net::ReadSome(raw->get(), buf, sizeof(buf), &would_block);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(0u, *n);  // EOF: the worker shard counted and dropped it
+  }
+
+  // The plane is healthy afterwards: a fresh connection streams and the
+  // control plane answers.
+  auto client = SeerClient::Connect("unix:" + socket);
+  ASSERT_TRUE(client.ok()) << client.status().message();
+  ASSERT_TRUE(client->StreamEvents(1, TenantEvents(0xDEAD, 50)).ok());
+  ASSERT_TRUE(client->Ping().ok());
+  ASSERT_TRUE(client->Shutdown().ok());
+  harness.Join();
+  EXPECT_TRUE(harness.serve_status.ok()) << harness.serve_status.message();
+  EXPECT_EQ(1u, harness.service.protocol_errors());
+  EXPECT_EQ(2u, harness.service.connections_accepted());
+}
+
+TEST(HoardService, PipelinedStreamPreservesDeliveryOrder) {
+  // pipeline_depth only paces StreamEvents with periodic Ping barriers;
+  // frames travel the same connection in the same order, so the stores
+  // must come out byte-identical to the unpipelined run.
+  const std::vector<TraceEvent> trace = TenantEvents(0x9199, 400);
+  std::vector<std::string> want;
+  {
+    const std::string socket = SocketPath("pipeline-off");
+    MemFs fs;
+    ServiceHarness harness(&fs, BaseServiceConfig(2), socket);
+    ASSERT_TRUE(harness.listen_status.ok()) << harness.listen_status.message();
+    auto client = SeerClient::Connect("unix:" + socket);
+    ASSERT_TRUE(client.ok()) << client.status().message();
+    ASSERT_TRUE(client->StreamEvents(1, trace).ok());
+    ASSERT_TRUE(client->Shutdown().ok());
+    harness.Join();
+    ASSERT_TRUE(harness.serve_status.ok()) << harness.serve_status.message();
+    want = RecoveredSnapshots(&fs, "/srv", 1);
+  }
+  {
+    const std::string socket = SocketPath("pipeline-on");
+    MemFs fs;
+    HoardServiceConfig config = BaseServiceConfig(2);
+    config.io_threads = 2;
+    ServiceHarness harness(&fs, config, socket);
+    ASSERT_TRUE(harness.listen_status.ok()) << harness.listen_status.message();
+    SeerClientOptions options;
+    options.pipeline_depth = 2;
+    // A small batch target so the stream cuts many frames and the Ping
+    // barrier actually fires repeatedly.
+    options.batch_bytes = 512;
+    auto client = SeerClient::Connect("unix:" + socket, options);
+    ASSERT_TRUE(client.ok()) << client.status().message();
+    ASSERT_TRUE(client->StreamEvents(1, trace).ok());
+    ASSERT_TRUE(client->Shutdown().ok());
+    harness.Join();
+    ASSERT_TRUE(harness.serve_status.ok()) << harness.serve_status.message();
+    EXPECT_EQ(trace.size(), harness.service.events_ingested());
+    const std::vector<std::string> got = RecoveredSnapshots(&fs, "/srv", 1);
+    EXPECT_EQ(want[0], got[0]);
+  }
+}
+
 // --- pin/miss-log persistence (the tenant-store aux section) ------------------
 
 TEST(TenantRouterAux, PinsAndMissLogSurviveRestart) {

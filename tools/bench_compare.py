@@ -16,6 +16,8 @@ Two modes:
                            slab ns/obs <= legacy ns/obs
         clustering_scale:  parallel speedup > 1.0 at the largest N
         multitenant:       fleet refs/s at 4 threads >= serial (warn-only)
+        service_scale:     wire refs/s at 4 I/O threads >= 2x single-thread;
+                           arena decode allocs/frame <= legacy (any host)
       Multi-core gates apply ONLY when the producing host had >= 4 CPUs and
       the bench recorded "scaling_valid": true — a 1-CPU runner measures
       oversubscription, not speedup, and must not fail the build for it.
@@ -206,10 +208,44 @@ def gate_multitenant(doc, failures):
               f"(< 4) or scaling_valid={doc.get('scaling_valid')}")
 
 
+def gate_service(doc, failures):
+    host_cpus = doc.get("host_cpus", 1)
+    if host_cpus >= 4 and doc.get("scaling_valid", False):
+        rows = doc.get("io_sweep", [])
+        serial = sweep_rate(rows, 1, "refs_per_sec")
+        wide = sweep_rate(rows, 4, "refs_per_sec")
+        if serial > 0 and wide < 2.0 * serial:
+            failures.append(
+                f"service_scale: wire ingest at 4 I/O threads is "
+                f"{wide / serial:.2f}x single-thread ({wide:.0f} vs "
+                f"{serial:.0f} refs/s), gate requires >= 2.0x")
+        elif serial > 0:
+            print(f"  PASS service 4 I/O-thread scaling: {wide / serial:.2f}x "
+                  "single-thread")
+        else:
+            print("  SKIP service scaling gate: no single-thread row")
+    else:
+        print(f"  SKIPPED service scaling gate: host_cpus={host_cpus} "
+              f"(< 4) or scaling_valid={doc.get('scaling_valid')} — "
+              "multi-thread numbers measure oversubscription on this host")
+    # The decode comparison is single-threaded and holds on any host.
+    decode = doc.get("decode", {})
+    legacy = decode.get("legacy_allocs_per_frame", 0.0)
+    arena = decode.get("arena_allocs_per_frame", 0.0)
+    if legacy > 0 and arena > legacy:
+        failures.append(
+            f"service_scale: arena decode allocates {arena:.1f}/frame, more "
+            f"than the legacy path's {legacy:.1f}/frame")
+    elif legacy > 0:
+        print(f"  PASS arena decode allocs: {arena:.1f}/frame <= legacy "
+              f"{legacy:.1f}/frame")
+
+
 GATES = {
     "overhead": gate_overhead,
     "clustering_scale": gate_clustering,
     "multitenant": gate_multitenant,
+    "service_scale": gate_service,
 }
 
 

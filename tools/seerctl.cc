@@ -197,6 +197,29 @@ int ThreadsFlagOrDie(int argc, char** argv, int start) {
   return *threads;
 }
 
+// Validated value of --io-threads K / --io-threads=K; 0 when absent
+// (serve then sizes the I/O plane with DefaultThreadCount()).
+int IoThreadsFlagOrDie(int argc, char** argv, int start) {
+  const char* value = nullptr;
+  for (int i = start; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--io-threads=", 13) == 0) {
+      value = argv[i] + 13;
+    }
+  }
+  if (const char* v = FlagValue(argc, argv, start, "--io-threads")) {
+    value = v;
+  }
+  if (value == nullptr) {
+    return 0;
+  }
+  const StatusOr<int> threads = ParseThreadCount(value);
+  if (!threads.ok()) {
+    std::fprintf(stderr, "seerctl: --io-threads: %s\n", threads.status().message().c_str());
+    std::exit(2);
+  }
+  return *threads;
+}
+
 std::string ReadFileOrDie(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -1404,6 +1427,7 @@ int ServeCmd(int argc, char** argv, int start) {
   }
   HoardServiceConfig config;
   config.router.threads = ThreadsFlagOrDie(argc, argv, start);
+  config.io_threads = IoThreadsFlagOrDie(argc, argv, start);
   config.router.defaults = ParamsFromFlagOrDie(argc, argv, start);
   config.observer = ControlFromFlagOrDie(argc, argv, start);
   config.router.checkpoint_interval =
@@ -1535,14 +1559,17 @@ const std::vector<Subcommand>& Commands() {
        "ROOT or live against a server via --socket SPEC. Run\n"
        "`seerctl tenant` for the sub-command list.\n",
        Tenant, /*has_subcommands=*/true},
-      {"serve", "serve ROOT --socket SPEC [--threads K] [--params FILE] [--control FILE]",
+      {"serve", "serve ROOT --socket SPEC [--threads K] [--io-threads K] [--params FILE] [--control FILE]",
        "Run the hoard service: listen on SPEC (unix:PATH, tcp:HOST:PORT,\n"
-       "or a bare UDS path), route kEvents frames into per-tenant\n"
-       "correlators over one shared pool, and answer the control protocol\n"
-       "(src/server/service.h). Runs until `seerctl tenant shutdown\n"
-       "--socket SPEC`, then seals and checkpoints every resident tenant.\n\n"
+       "or a bare UDS path), shard connections over the I/O threads, route\n"
+       "kEvents frames into per-tenant correlators over one shared pool,\n"
+       "and answer the control protocol (src/server/service.h). Runs until\n"
+       "`seerctl tenant shutdown --socket SPEC`, then seals and\n"
+       "checkpoints every resident tenant.\n\n"
        "  --socket SPEC             endpoint to listen on (required)\n"
        "  --threads K               shared worker pool width\n"
+       "  --io-threads K            connection shards (default: SEER_THREADS,\n"
+       "                            else all cores)\n"
        "  --params FILE             fleet-default correlator parameters\n"
        "  --control FILE            observer control file\n"
        "  --checkpoint-interval-s N per-tenant checkpoint period\n"
