@@ -699,6 +699,21 @@ ClusterSet ClusterBuilder::Build(const std::vector<FileId>& candidates) const {
     out.clusters.push_back(Cluster{std::move(m)});
   }
 
+  // Membership identity hashes for the hoard plane's aggregate cache.
+  // Members are sorted unique, so the fold is deterministic; computed here
+  // where the members are already hot in cache.
+  out.member_hash.resize(out.clusters.size());
+  for (size_t ci = 0; ci < out.clusters.size(); ++ci) {
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const FileId id : out.clusters[ci].members) {
+      uint64_t x = h ^ (static_cast<uint64_t>(id) + 0x9e3779b97f4a7c15ull);
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      h = x ^ (x >> 31);
+    }
+    out.member_hash[ci] = h;
+  }
+
   // Membership as CSR: count, prefix-sum, fill. Clusters are walked in
   // ascending index order, so each file's index list comes out ascending.
   const size_t nf = slot_of_.size();

@@ -74,6 +74,12 @@ struct ClusterSet {
   // so emitting membership costs two allocations, not one per file.
   std::vector<uint32_t> membership_offset;  // size files+1 (empty when no files)
   std::vector<uint32_t> membership_ids;
+  // Per-cluster order-sensitive hash of the sorted member list. Cluster
+  // indices are not stable across builds, so the incremental hoard-fill
+  // plane identifies a cluster by (members[0], member_hash): equal hash on
+  // the same representative means the membership is unchanged and the
+  // cached aggregate can be reused without re-walking the members.
+  std::vector<uint64_t> member_hash;
 
   // Clusters containing `id` (ascending); empty if unknown.
   ClusterIndexSpan ClustersOf(FileId id) const;

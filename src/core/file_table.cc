@@ -27,6 +27,7 @@ FileId FileTable::Intern(PathId path) {
       // information built under the old name survives (Section 4.8).
       rec.deleted = false;
       flags_[existing] &= static_cast<uint8_t>(~kFlagDeleted);
+      Touch(existing);
     }
     return existing;
   }
@@ -35,7 +36,9 @@ FileId FileTable::Intern(PathId path) {
   rec.path = path;
   records_.push_back(rec);
   flags_.push_back(0);
+  touch_stamp_.push_back(0);
   Bind(path, id);
+  Touch(id);
   return id;
 }
 
@@ -57,6 +60,7 @@ void FileTable::RecordReference(FileId id, Time time, uint64_t seq) {
   rec.last_ref_time = time;
   rec.last_ref_seq = seq;
   ++rec.ref_count;
+  Touch(id);
 }
 
 std::vector<FileId> FileTable::MarkDeleted(FileId id, uint64_t delete_delay) {
@@ -66,6 +70,7 @@ std::vector<FileId> FileTable::MarkDeleted(FileId id, uint64_t delete_delay) {
     flags_[id] |= kFlagDeleted;
     rec.deleted_at_deletion_count = ++deletion_count_;
     pending_purge_.push_back(id);
+    Touch(id);
   }
   // Expire entries whose grace period (measured in total deletions,
   // Section 4.8) has elapsed — and which are still deleted.
@@ -89,6 +94,7 @@ std::vector<FileId> FileTable::MarkDeleted(FileId id, uint64_t delete_delay) {
 void FileTable::MarkExcluded(FileId id) {
   records_[id].excluded = true;
   flags_[id] |= kFlagExcluded;
+  Touch(id);
 }
 
 void FileTable::RenameFile(FileId from, PathId to) {
@@ -100,12 +106,14 @@ void FileTable::RenameFile(FileId from, PathId to) {
     records_[existing].deleted = true;
     flags_[existing] |= kFlagDeleted;
     records_[existing].path = kInvalidPathId;
+    Touch(existing);
   }
   if (rec.path != kInvalidPathId && rec.path < by_path_.size()) {
     by_path_[rec.path] = kInvalidFileId;
   }
   rec.path = to;
   Bind(to, from);
+  Touch(from);
 }
 
 FileId FileTable::RestoreRecord(const FileRecord& record) {
@@ -113,9 +121,11 @@ FileId FileTable::RestoreRecord(const FileRecord& record) {
   records_.push_back(record);
   flags_.push_back(static_cast<uint8_t>((record.deleted ? kFlagDeleted : 0) |
                                         (record.excluded ? kFlagExcluded : 0)));
+  touch_stamp_.push_back(0);
   if (record.path != kInvalidPathId) {
     Bind(record.path, id);
   }
+  Touch(id);
   return id;
 }
 

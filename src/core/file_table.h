@@ -53,6 +53,27 @@ class FileTable {
   // Valid for every id < size(); invalidated by record creation.
   const uint8_t* liveness_flags() const { return flags_.data(); }
 
+  // --- touch epochs ---------------------------------------------------------
+  //
+  // Monotone counter bumped by every mutation that can change a file's
+  // hoarding inputs: creation, resurrection, reference recency, deletion,
+  // exclusion and rename (both ends). Consumers (the incremental hoard-fill
+  // plane) snapshot touch_epoch() after a pass and later ask which files
+  // moved since that snapshot — the same cheap-epoch idiom the relation
+  // table uses for incremental reclustering.
+  uint64_t touch_epoch() const { return touch_epoch_; }
+
+  // Appends every id whose last touch is newer than `epoch`. A flat O(size)
+  // scan over the stamp column — ~8 bytes/file of sequential reads, far
+  // cheaper than the cluster walks it lets callers skip.
+  void CollectTouchedSince(uint64_t epoch, std::vector<FileId>* out) const {
+    for (FileId id = 0; id < touch_stamp_.size(); ++id) {
+      if (touch_stamp_[id] > epoch) {
+        out->push_back(id);
+      }
+    }
+  }
+
   // Returns the id for `path`, creating a record if needed. A deleted
   // record is resurrected on re-reference (name reuse, Section 4.8).
   FileId Intern(PathId path);
@@ -112,10 +133,14 @@ class FileTable {
  private:
   void Bind(PathId path, FileId id);
   FileId Lookup(PathId path) const;
+  void Touch(FileId id) { touch_stamp_[id] = ++touch_epoch_; }
 
   std::vector<FileRecord> records_;
   // Parallel to records_: packed deleted/excluded bits (see liveness_flags).
   std::vector<uint8_t> flags_;
+  // Parallel to records_: touch_epoch_ value at the file's last mutation.
+  std::vector<uint64_t> touch_stamp_;
+  uint64_t touch_epoch_ = 0;
   // PathId -> FileId, indexed by PathId. Sparse (kInvalidFileId holes) but
   // flat: one array read per reference.
   std::vector<FileId> by_path_;

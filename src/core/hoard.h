@@ -13,6 +13,15 @@
 // conveniences (user pin/miss commands) and leave only when a caller
 // renders a listing or hands the set to the replication substrate.
 //
+// The fill plane is incremental: HoardManager caches one ClusterAggregate
+// (priority, live bytes, live count) per cluster, keyed by the cluster's
+// representative member and membership hash, and invalidated by the file
+// table's touch epoch. A refill after touching 1% of the files recomputes
+// ~1% of the aggregates; everything else is an O(1) cache hit. Dirty
+// aggregates are recomputed in parallel on a ThreadPool with a sequential
+// deterministic merge, so the selection is bit-identical at any thread
+// count — the same determinism recipe the clustering plane uses.
+//
 // MissLog implements the two miss-tracking paths of Section 4.4: the manual
 // reporting program (with the 0-4 severity scale) and the automatic
 // detector that notices accesses to files that exist but are not hoarded.
@@ -20,6 +29,7 @@
 #define SRC_CORE_HOARD_H_
 
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <string_view>
@@ -28,8 +38,11 @@
 #include "src/core/clustering.h"
 #include "src/core/correlator.h"
 #include "src/observer/observer.h"
+#include "src/util/flat_map.h"
 
 namespace seer {
+
+class ThreadPool;
 
 // Severity scale of Section 4.4 (lower is worse).
 enum class MissSeverity : uint8_t {
@@ -41,28 +54,59 @@ enum class MissSeverity : uint8_t {
 };
 
 struct HoardSelection {
-  std::set<PathId> files;
+  // Chosen paths in deterministic emission order: always-hoard (ascending),
+  // pins (ascending), then ranked clusters with members in ascending id
+  // order (most-recent-first within a cluster in partial-fill mode). The
+  // order is identical for scratch and incremental fills at any thread
+  // count, so byte-comparing two selections is a valid equivalence check.
+  std::vector<PathId> files;
+  // The same ids sorted ascending — the membership index behind Contains().
+  std::vector<PathId> sorted_ids;
   uint64_t bytes_used = 0;
   uint64_t budget_bytes = 0;
   size_t projects_hoarded = 0;
   size_t projects_skipped = 0;  // complete projects that did not fit
 
-  bool Contains(PathId path) const { return files.count(path) != 0; }
+  bool Contains(PathId path) const;
   bool Contains(std::string_view path) const {
     const PathId id = GlobalPaths().Find(path);
-    return id != kInvalidPathId && files.count(id) != 0;
+    return id != kInvalidPathId && Contains(id);
   }
 
-  // Egress: selection rendered as path strings (replication substrate,
-  // user-facing listings).
-  std::set<std::string> PathStrings() const;
+  // Egress: selection rendered as sorted path strings (replication
+  // substrate, user-facing listings).
+  std::vector<std::string> PathStrings() const;
+};
+
+// What the last ChooseHoard actually did, for the perf surfaces
+// (`seerctl hoard --stats`, bench/hoard_fill, the tenant router).
+struct HoardFillStats {
+  size_t clusters = 0;
+  size_t reused_aggregates = 0;  // cache hits (no member walk)
+  size_t dirty_clusters = 0;     // aggregates recomputed this fill
+  size_t touched_files = 0;      // files moved since the cached epoch
+  size_t sizes_resolved = 0;     // size_of calls made this fill
+  bool incremental = false;      // cached aggregates were usable
+  int threads = 1;
+  double fill_ms = 0.0;
+  // Phase split of fill_ms, mirroring ClusterBuildStats.
+  double agg_ms = 0.0;     // size column refresh + aggregate recompute
+  double rank_ms = 0.0;    // deterministic (priority, index) sort
+  double select_ms = 0.0;  // greedy budgeted selection
 };
 
 class HoardManager {
  public:
+  // Per-file size oracle. Must be pure for a given fill (same path -> same
+  // size) and thread-safe: sizes are resolved in parallel and cached in a
+  // PathId-indexed column that is refreshed only for files the file table
+  // reports touched — a size change must be accompanied by a file-table
+  // event (reference, delete, rename), which is how every ingest path
+  // already behaves.
   using SizeFn = std::function<uint64_t(PathId path)>;
 
   explicit HoardManager(uint64_t budget_bytes) : budget_bytes_(budget_bytes) {}
+  ~HoardManager();
 
   void set_budget_bytes(uint64_t bytes) { budget_bytes_ = bytes; }
   uint64_t budget_bytes() const { return budget_bytes_; }
@@ -93,19 +137,79 @@ class HoardManager {
   }
   const std::set<PathId>& pinned() const { return pinned_; }
 
+  // Aggregate-recompute thread count; 0 (the default) selects
+  // DefaultThreadCount() (the SEER_THREADS override, else hardware
+  // concurrency). Below the serial cutoff the fill never touches a pool.
+  void set_threads(int threads);
+  int threads() const;
+
+  // Recompute aggregates on a caller-owned pool instead of a private one
+  // (multi-tenant pool multiplexing, same idiom as
+  // Correlator::UseSharedPool). nullptr restores the private pool.
+  void set_shared_pool(ThreadPool* pool);
+
+  // Incremental fills are on by default; turning them off forces every
+  // ChooseHoard to re-walk all clusters (the benches' scratch baseline).
+  void set_incremental_fill(bool on) { incremental_fill_ = on; }
+  bool incremental_fill() const { return incremental_fill_; }
+  void InvalidateFillCache() const { fill_cache_valid_ = false; }
+
+  const HoardFillStats& last_fill_stats() const { return fill_stats_; }
+
   // Chooses hoard contents: always-hoard and pinned files first, then whole
   // projects by descending activity until the budget is exhausted.
   // `size_of` supplies per-file sizes (unknown files may be given a
-  // synthetic size by the caller).
+  // synthetic size by the caller). Logically const: the mutable aggregate
+  // cache it maintains is invisible in the result (callers must serialise
+  // ChooseHoard with table mutation, which every current caller does).
   HoardSelection ChooseHoard(const Correlator& correlator, const ClusterSet& clusters,
                              const std::set<PathId>& always_hoard,
                              const SizeFn& size_of) const;
 
  private:
+  // One cached per-cluster summary; identified across builds by
+  // (rep, member_hash) since cluster indices are not stable.
+  struct ClusterAggregate {
+    uint64_t priority = 0;    // max last_ref_seq over ALL members
+    uint64_t live_bytes = 0;  // size sum over live members
+    uint32_t live_count = 0;  // live members
+    FileId rep = kInvalidFileId;  // members[0] (members are sorted unique)
+    uint64_t member_hash = 0;
+  };
+
+  ThreadPool* Pool() const;
+
   uint64_t budget_bytes_;
   uint64_t reserved_bytes_ = 0;
   std::set<PathId> pinned_;
   bool allow_partial_ = false;
+  bool incremental_fill_ = true;
+
+  int threads_ = 0;
+  ThreadPool* shared_pool_ = nullptr;  // not owned; overrides pool_
+  mutable std::unique_ptr<ThreadPool> pool_;
+  mutable int pool_threads_ = 0;
+
+  // --- fill cache (valid between fills) ------------------------------------
+  mutable std::vector<ClusterAggregate> agg_cache_;    // last fill's table
+  mutable FlatMap<FileId, uint32_t> rep_index_{kInvalidFileId};  // rep -> agg_cache_ index
+  mutable std::vector<uint64_t> size_col_;  // PathId-indexed resolved sizes
+  mutable uint64_t cache_epoch_ = 0;        // touch epoch the cache covers
+  mutable const void* cache_source_ = nullptr;  // correlator identity guard
+  mutable bool fill_cache_valid_ = false;
+  mutable HoardFillStats fill_stats_;
+
+  // --- per-fill scratch (persisted to keep warm fills allocation-free) -----
+  mutable std::vector<ClusterAggregate> agg_scratch_;
+  mutable std::vector<FileId> touched_;
+  mutable std::vector<FileId> resolve_;
+  mutable std::vector<uint32_t> dirty_;
+  mutable std::vector<uint8_t> cluster_dirty_;
+  mutable std::vector<uint32_t> rank_order_;
+  mutable std::vector<uint64_t> sel_in_cluster_;
+  mutable std::vector<uint32_t> in_sel_mark_;  // PathId-indexed, == sel_mark_
+  mutable uint32_t sel_mark_ = 0;
+  mutable std::vector<std::pair<uint64_t, FileId>> by_recency_;
 };
 
 struct MissRecord {
@@ -150,15 +254,23 @@ class MissLog : public MissListener {
   // to "connected" — a router restart ends any open disconnection.
   void RestoreState(std::vector<MissRecord> records, std::set<PathId> pending_hoard);
 
-  size_t CountAtSeverity(MissSeverity severity) const;
-  size_t automatic_count() const;
+  // O(1): counters are maintained at record/restore time, not scanned.
+  size_t CountAtSeverity(MissSeverity severity) const {
+    return manual_by_severity_[static_cast<size_t>(severity)];
+  }
+  size_t automatic_count() const { return automatic_count_; }
 
  private:
+  void CountRecord(const MissRecord& rec);
+
   std::vector<MissRecord> records_;
   std::set<PathId> pending_hoard_;
   std::set<PathId> seen_this_disconnection_;
   size_t disconnection_start_index_ = 0;
   bool disconnected_ = false;
+  // Maintained counters mirroring records_ (stats calls are O(1)).
+  size_t manual_by_severity_[5] = {0, 0, 0, 0, 0};
+  size_t automatic_count_ = 0;
 };
 
 }  // namespace seer

@@ -12,6 +12,7 @@
 #include <functional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "src/core/correlator.h"
 #include "src/core/durable_correlator.h"
@@ -40,9 +41,9 @@ struct HoardDaemonConfig {
 
 class HoardDaemon {
  public:
-  // Receives the chosen hoard contents (the replication substrate's
-  // SetHoard, typically).
-  using InstallFn = std::function<void(const std::set<std::string>& target)>;
+  // Receives the chosen hoard contents as sorted path strings (the
+  // replication substrate's SetHoard, typically).
+  using InstallFn = std::function<void(const std::vector<std::string>& target)>;
 
   using Config = HoardDaemonConfig;
 

@@ -1,8 +1,9 @@
 #include "src/core/reorganizer.h"
 
 #include <algorithm>
-#include <map>
+#include <string>
 
+#include "src/util/flat_map.h"
 #include "src/util/path.h"
 
 namespace seer {
@@ -26,9 +27,27 @@ std::vector<ReorgSuggestion> SuggestReorganization(const Correlator& correlator,
   const FileTable& files = correlator.files();
   std::vector<ReorgSuggestion> suggestions;
 
+  // Intern every file's directory once up front. A file is visited as a
+  // cluster-mate of each of its neighbours, so computing (and allocating)
+  // Dirname per mate repeats the same work |cluster| times; one
+  // FileId-indexed column of interned dir ids makes each mate visit an
+  // array read, and lets votes be counted by PathId instead of by string.
+  const size_t n = files.size();
+  std::vector<PathId> dir_of(n, kInvalidPathId);
+  std::vector<uint8_t> frozen(n, 0);
+  for (FileId id = 0; id < n; ++id) {
+    const std::string_view path = files.PathOf(id);
+    if (path.empty()) {
+      continue;
+    }
+    dir_of[id] = GlobalPaths().Intern(Dirname(path));
+    frozen[id] = Frozen(path, config) ? 1 : 0;
+  }
+
+  FlatMap<PathId, uint32_t> dir_votes(kInvalidPathId);
   for (const FileId id : files.LiveIds()) {
     const std::string_view path = files.PathOf(id);
-    if (path.empty() || Frozen(path, config)) {
+    if (path.empty() || frozen[id]) {
       continue;
     }
 
@@ -44,42 +63,45 @@ std::vector<ReorgSuggestion> SuggestReorganization(const Correlator& correlator,
     }
 
     // Where do the cluster-mates live?
-    std::map<std::string, size_t> dir_votes;
+    dir_votes.Clear();
     size_t mates = 0;
     for (const FileId mate : largest->members) {
       if (mate == id) {
         continue;
       }
-      const FileRecord& mate_rec = files.Get(mate);
-      const std::string_view mate_path = files.PathOf(mate);
-      if (mate_rec.deleted || mate_path.empty() || Frozen(mate_path, config)) {
+      if (files.Get(mate).deleted || dir_of[mate] == kInvalidPathId || frozen[mate]) {
         continue;
       }
-      ++dir_votes[Dirname(mate_path)];
+      ++dir_votes.InsertOrGet(dir_of[mate]);
       ++mates;
     }
     if (mates < config.min_cluster_mates) {
       continue;
     }
 
-    std::string best_dir;
+    // Most-voted directory; ties go to the lexicographically smallest dir
+    // (the order the old std::map walk produced).
+    PathId best_dir = kInvalidPathId;
     size_t best_votes = 0;
-    for (const auto& [dir, votes] : dir_votes) {
-      if (votes > best_votes) {
+    dir_votes.ForEach([&](PathId dir, const uint32_t& votes) {
+      if (votes > best_votes ||
+          (votes == best_votes && best_dir != kInvalidPathId &&
+           GlobalPaths().PathOf(dir) < GlobalPaths().PathOf(best_dir))) {
         best_votes = votes;
         best_dir = dir;
       }
-    }
+    });
     const std::string home_dir = Dirname(path);
     const double confidence = static_cast<double>(best_votes) / static_cast<double>(mates);
-    if (best_dir.empty() || best_dir == home_dir || confidence < config.min_confidence) {
+    if (best_dir == kInvalidPathId || GlobalPaths().PathOf(best_dir) == home_dir ||
+        confidence < config.min_confidence) {
       continue;
     }
 
     ReorgSuggestion s;
     s.path = std::string(path);
     s.from_dir = home_dir;
-    s.to_dir = best_dir;
+    s.to_dir = std::string(GlobalPaths().PathOf(best_dir));
     s.confidence = confidence;
     s.cluster_size = largest->members.size();
     suggestions.push_back(std::move(s));

@@ -1,5 +1,7 @@
 #include "src/replication/replication_system.h"
 
+#include <algorithm>
+
 namespace seer {
 
 void ReplicationSystem::Fetch(const std::string& path) {
@@ -16,12 +18,13 @@ void ReplicationSystem::Evict(const std::string& path) {
   }
 }
 
-void ReplicationSystem::SetHoard(const std::set<std::string>& target) {
+void ReplicationSystem::SetHoard(const std::vector<std::string>& sorted_target) {
   // Evictions first (never a dirty file — its only up-to-date copy may be
   // local).
   std::vector<std::string> to_evict;
   for (const auto& path : local_) {
-    if (target.count(path) == 0 && dirty_local_.count(path) == 0) {
+    if (!std::binary_search(sorted_target.begin(), sorted_target.end(), path) &&
+        dirty_local_.count(path) == 0) {
       to_evict.push_back(path);
     }
   }
@@ -29,7 +32,7 @@ void ReplicationSystem::SetHoard(const std::set<std::string>& target) {
     Evict(path);
   }
   if (connected_) {
-    for (const auto& path : target) {
+    for (const auto& path : sorted_target) {
       Fetch(path);
     }
   }

@@ -67,10 +67,12 @@ class ReplicationSystem {
 
   // --- hoard control --------------------------------------------------------
 
-  // Brings the local replica set to exactly `target` (SEER's chosen hoard),
-  // fetching and evicting as needed. Files modified locally while
-  // disconnected are never evicted before reconciliation.
-  virtual void SetHoard(const std::set<std::string>& target);
+  // Brings the local replica set to exactly `sorted_target` (SEER's chosen
+  // hoard, sorted ascending — HoardSelection::PathStrings' native shape),
+  // fetching and evicting as needed; membership is tested by binary
+  // search. Files modified locally while disconnected are never evicted
+  // before reconciliation.
+  virtual void SetHoard(const std::vector<std::string>& sorted_target);
 
   bool IsLocal(const std::string& path) const { return local_.count(path) != 0; }
   const std::set<std::string>& local_set() const { return local_; }

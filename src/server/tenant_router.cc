@@ -129,6 +129,9 @@ Status TenantRouter::Restore(Tenant* t) {
   if (overridden) {
     t->durable->correlator().OverrideTuningParams(effective);
   }
+  // Hoard fills multiplex onto the router's pool (a pool per tenant would
+  // oversubscribe the host, same reasoning as the clustering plane).
+  t->manager.set_shared_pool(&pool_);
   // The router's scheduler owns checkpoint cadence, so the daemon gets no
   // durable handle: its job here is purely the refill recipe.
   HoardDaemonConfig daemon_config;
@@ -397,7 +400,13 @@ Status TenantRouter::Tick(Time now) {
       if (t.last_refill >= 0 && now - t.last_refill < config_.hoard_interval) {
         continue;
       }
+      const auto refill_start = std::chrono::steady_clock::now();
       t.daemon->ForceRefill(now);
+      t.last_refill_us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - refill_start)
+              .count());
+      t.refill_us_total += t.last_refill_us;
       t.last_refill = now;
       ++t.refills;
       ++refilled;
@@ -501,6 +510,9 @@ StatusOr<TenantStats> TenantRouter::Stats(TenantId tenant) const {
   stats.evictions = t->evictions;
   stats.restores = t->restores > 0 ? t->restores - 1 : 0;  // first open is not a restore
   stats.refills = t->refills;
+  stats.refill_us_total = t->refill_us_total;
+  stats.last_refill_us = t->last_refill_us;
+  stats.hoard_dirty_clusters = t->manager.last_fill_stats().dirty_clusters;
   stats.generation = t->durable_generation;
   stats.files = t->last_files;
   if (t->durable != nullptr) {

@@ -130,6 +130,11 @@ struct TenantStats {
   uint64_t restores = 0;
   uint64_t refills = 0;
   uint64_t hoard_files = 0;      // size of the last hoard selection
+  // Refill cost: wall time of the whole ForceRefill (investigate + cluster
+  // + choose), and how much of the last fill the aggregate cache absorbed.
+  uint64_t refill_us_total = 0;
+  uint64_t last_refill_us = 0;
+  uint64_t hoard_dirty_clusters = 0;  // aggregates recomputed, last fill
 };
 
 class TenantRouter {
@@ -259,6 +264,8 @@ class TenantRouter {
     uint64_t evictions = 0;
     uint64_t restores = 0;
     uint64_t refills = 0;
+    uint64_t refill_us_total = 0;
+    uint64_t last_refill_us = 0;
   };
 
   Tenant* FindTenant(TenantId tenant);

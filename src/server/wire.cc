@@ -37,6 +37,9 @@ void PutStats(ByteWriter* w, const TenantStats& s) {
   w->PutU64(s.restores);
   w->PutU64(s.refills);
   w->PutU64(s.hoard_files);
+  w->PutU64(s.refill_us_total);
+  w->PutU64(s.last_refill_us);
+  w->PutU64(s.hoard_dirty_clusters);
 }
 
 TenantStats GetStats(ByteReader* r) {
@@ -53,6 +56,9 @@ TenantStats GetStats(ByteReader* r) {
   s.restores = r->GetU64();
   s.refills = r->GetU64();
   s.hoard_files = r->GetU64();
+  s.refill_us_total = r->GetU64();
+  s.last_refill_us = r->GetU64();
+  s.hoard_dirty_clusters = r->GetU64();
   return s;
 }
 
@@ -400,7 +406,7 @@ StatusOr<ControlResponse> DecodeControlResponse(std::string_view payload) {
     response.tenants.push_back(r.GetU32());
   }
   const uint32_t stats_count = r.GetU32();
-  response.stats.reserve(PlausibleCount(stats_count, r.remaining(), 85));
+  response.stats.reserve(PlausibleCount(stats_count, r.remaining(), 109));
   for (uint32_t i = 0; i < stats_count && r.ok(); ++i) {
     response.stats.push_back(GetStats(&r));
   }

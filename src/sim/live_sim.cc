@@ -201,17 +201,25 @@ LiveSimResult RunLiveUsage(const MachineProfile& profile, const LiveSimConfig& c
     // Spare budget keeps extra replicas (the substrate has no reason to
     // evict while space remains), so a generously sized hoard behaves like
     // a full replica.
-    std::set<std::string> target = selection.PathStrings();
+    std::vector<std::string> target = selection.PathStrings();
     uint64_t used = selection.bytes_used;
+    // Probe only the selection (the sorted prefix): appended extras are
+    // unique already (AllRegularFiles lists each file once).
+    const size_t selection_size = target.size();
+    bool appended = false;
     for (const auto& path : fs.AllRegularFiles()) {
-      if (target.count(path) != 0) {
+      if (std::binary_search(target.begin(), target.begin() + selection_size, path)) {
         continue;
       }
       const uint64_t bytes = size_of(path);
       if (used + bytes <= hoard.budget_bytes()) {
         used += bytes;
-        target.insert(path);
+        target.push_back(path);
+        appended = true;
       }
+    }
+    if (appended) {
+      std::sort(target.begin(), target.end());
     }
     replication->SetHoard(target);
 

@@ -27,8 +27,9 @@ class HoardDaemonTest : public ::testing::Test {
       : observer_(ObserverConfig{}, nullptr),
         manager_(1'000'000),
         daemon_(&correlator_, &observer_, &manager_, &miss_log_,
-                [this](const std::set<std::string>& target) {
-                  installed_ = target;
+                [this](const std::vector<std::string>& target) {
+                  installed_.clear();
+                  installed_.insert(target.begin(), target.end());
                   ++installs_;
                 },
                 [](PathId) -> uint64_t { return 100; }, MakeConfig()) {
@@ -125,7 +126,9 @@ TEST(HoardDaemonInvestigators, RunsInvestigatorsWhenConfigured) {
   config.investigate_fs = &fs;
   HoardDaemon daemon(
       &correlator, &observer, &manager, &miss_log,
-      [&installed](const std::set<std::string>& target) { installed = target; },
+      [&installed](const std::vector<std::string>& target) {
+        installed = std::set<std::string>(target.begin(), target.end());
+      },
       [](PathId) -> uint64_t { return 10; }, config);
 
   const HoardSelection sel = daemon.ForceRefill(1);
@@ -163,7 +166,7 @@ TEST(HoardDaemonCheckpoint, RefillsAndFatWalsTriggerCheckpoints) {
   config.wal_checkpoint_bytes = 64;  // tiny threshold: a few records trip it
   HoardDaemon daemon(
       &durable.correlator(), &observer, &manager, &miss_log,
-      [](const std::set<std::string>&) {}, [](PathId) -> uint64_t { return 10; },
+      [](const std::vector<std::string>&) {}, [](PathId) -> uint64_t { return 10; },
       config);
 
   // Every refill checkpoints, regardless of WAL size.
@@ -209,7 +212,7 @@ TEST(HoardDaemonCheckpoint, DaemonHarvestsCheckpointStats) {
   config.durable = &durable;
   HoardDaemon daemon(
       &durable.correlator(), &observer, &manager, &miss_log,
-      [](const std::set<std::string>&) {}, [](PathId) -> uint64_t { return 10; },
+      [](const std::vector<std::string>&) {}, [](PathId) -> uint64_t { return 10; },
       config);
 
   durable.OnReference(Ref(1, RefKind::kPoint, "/p/a", 1));

@@ -1,0 +1,269 @@
+// Equivalence tests for the incremental hoard-fill plane: a warm
+// HoardManager (cached cluster aggregates, any thread count) must produce a
+// selection byte-identical to a cold scratch fill after arbitrary
+// touch/delete/rename churn. This is the determinism contract the bench and
+// the tenant router rely on.
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/hoard.h"
+
+namespace seer {
+namespace {
+
+PathId P(std::string_view path) { return GlobalPaths().Intern(path); }
+
+FileReference Ref(Pid pid, const std::string& path, Time time) {
+  FileReference r;
+  r.pid = pid;
+  r.kind = RefKind::kPoint;
+  r.path = P(path);
+  r.time = time;
+  return r;
+}
+
+// Pure, thread-safe size oracle (the SizeFn contract).
+uint64_t SizeOf(PathId p) {
+  return 64 + (static_cast<uint64_t>(p) * 2654435761ull) % 512;
+}
+
+// A correlator populated with `projects` investigator-bound projects, plus
+// seeded random churn (touch / delete / rename) between fills. Project
+// counts are chosen large enough that cold fills cross the serial cutoff
+// and actually dispatch to the pool.
+class ChurnHarness {
+ public:
+  ChurnHarness(uint32_t seed, size_t projects, size_t files_per,
+               const std::string& prefix)
+      : correlator_(MakeParams()), rng_(seed) {
+    for (size_t p = 0; p < projects; ++p) {
+      std::vector<std::string> files;
+      for (size_t f = 0; f < files_per; ++f) {
+        files.push_back(prefix + "/p" + std::to_string(p) + "/f" +
+                        std::to_string(f));
+      }
+      // One process per project: the reference streams of distinct
+      // projects never meet, so only the investigator binds members and
+      // the clusters stay project-shaped.
+      for (const auto& f : files) {
+        correlator_.OnReference(Ref(static_cast<Pid>(2 + p), f, now_++));
+      }
+      InvestigatedRelation rel;
+      rel.files = files;
+      rel.strength = 50.0;
+      correlator_.AddInvestigatedRelation(rel);
+      paths_.insert(paths_.end(), files.begin(), files.end());
+    }
+  }
+
+  static SeerParams MakeParams() {
+    SeerParams p;
+    p.dir_distance_weight = 0.0;
+    return p;
+  }
+
+  const Correlator& correlator() const { return correlator_; }
+  size_t file_count() const { return paths_.size(); }
+
+  void TouchRandom(size_t n) {
+    // A fresh pid per touch: recency moves without forging new
+    // cross-project relations out of the churn stream itself.
+    for (size_t i = 0; i < n; ++i) {
+      correlator_.OnReference(Ref(next_pid_++, PickPath(), now_++));
+    }
+  }
+
+  void DeleteRandom(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      correlator_.OnFileDeleted(P(PickPath()), now_++);
+    }
+  }
+
+  void RenameRandom(size_t n, int tag) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t idx = rng_() % paths_.size();
+      const std::string to = paths_[idx] + ".r" + std::to_string(tag) + "_" +
+                             std::to_string(i);
+      correlator_.OnFileRenamed(P(paths_[idx]), P(to), now_++);
+      paths_[idx] = to;
+    }
+  }
+
+ private:
+  const std::string& PickPath() { return paths_[rng_() % paths_.size()]; }
+
+  Correlator correlator_;
+  std::mt19937 rng_;
+  std::vector<std::string> paths_;
+  Time now_ = 1;
+  Pid next_pid_ = 100'000;
+};
+
+void ExpectSameSelection(const HoardSelection& want, const HoardSelection& got,
+                         const std::string& what) {
+  EXPECT_EQ(want.files, got.files) << what << ": emission order differs";
+  EXPECT_EQ(want.sorted_ids, got.sorted_ids) << what;
+  EXPECT_EQ(want.bytes_used, got.bytes_used) << what;
+  EXPECT_EQ(want.projects_hoarded, got.projects_hoarded) << what;
+  EXPECT_EQ(want.projects_skipped, got.projects_skipped) << what;
+}
+
+// A cold single-threaded fill: the ground truth each round is compared to.
+HoardSelection ScratchFill(const ChurnHarness& h, const ClusterSet& clusters,
+                           uint64_t budget, const std::set<PathId>& always,
+                           const std::set<PathId>& pins, bool partial) {
+  HoardManager scratch(budget);
+  scratch.set_threads(1);
+  scratch.set_incremental_fill(false);
+  scratch.set_allow_partial_projects(partial);
+  for (const PathId p : pins) {
+    scratch.Pin(p);
+  }
+  return scratch.ChooseHoard(h.correlator(), clusters, always, SizeOf);
+}
+
+TEST(HoardFill, IncrementalMatchesScratchUnderChurn) {
+  ChurnHarness h(0xC0FFEE, /*projects=*/600, /*files_per=*/2, "/eqchurn");
+  const uint64_t budget = 130'000;  // ~a third of the expected byte total
+  const std::set<PathId> always;
+
+  HoardManager inc1(budget), inc2(budget), inc8(budget);
+  inc1.set_threads(1);
+  inc2.set_threads(2);
+  inc8.set_threads(8);
+  HoardManager* const warm[] = {&inc1, &inc2, &inc8};
+
+  for (int round = 0; round < 8; ++round) {
+    if (round > 0) {
+      h.TouchRandom(12);  // ~1% of the files
+      if (round % 2 == 0) h.DeleteRandom(5);
+      if (round % 3 == 0) h.RenameRandom(3, round);
+    }
+    if (round == 4) {
+      // Mid-sequence cold parallel fill: the cache drop must be invisible.
+      inc8.InvalidateFillCache();
+    }
+    const ClusterSet clusters = h.correlator().BuildClusters();
+    const HoardSelection want =
+        ScratchFill(h, clusters, budget, always, {}, /*partial=*/false);
+    ASSERT_FALSE(want.files.empty());
+    for (HoardManager* m : warm) {
+      const HoardSelection got =
+          m->ChooseHoard(h.correlator(), clusters, always, SizeOf);
+      ExpectSameSelection(want, got,
+                          "round " + std::to_string(round) + " threads " +
+                              std::to_string(m->threads()));
+    }
+    if (round > 0 && round != 4) {
+      // Small churn must hit the cache: a handful of dirty clusters, the
+      // rest reused without a member walk.
+      const HoardFillStats& s = inc1.last_fill_stats();
+      EXPECT_TRUE(s.incremental) << "round " << round;
+      EXPECT_GT(s.reused_aggregates, s.dirty_clusters) << "round " << round;
+      EXPECT_LE(s.dirty_clusters, 64u) << "round " << round;
+      EXPECT_LE(s.touched_files, 64u) << "round " << round;
+    }
+  }
+}
+
+TEST(HoardFill, PartialFillAblationMatches) {
+  ChurnHarness h(0xBEEF, /*projects=*/120, /*files_per=*/5, "/eqpartial");
+  // Budget small enough that most projects only fit partially.
+  const uint64_t budget = 20'000;
+  const std::set<PathId> always;
+
+  HoardManager inc1(budget), inc8(budget);
+  inc1.set_threads(1);
+  inc8.set_threads(8);
+  inc1.set_allow_partial_projects(true);
+  inc8.set_allow_partial_projects(true);
+
+  for (int round = 0; round < 6; ++round) {
+    if (round > 0) {
+      h.TouchRandom(8);
+      if (round % 2 == 1) h.DeleteRandom(3);
+      if (round % 3 == 2) h.RenameRandom(2, round);
+    }
+    const ClusterSet clusters = h.correlator().BuildClusters();
+    const HoardSelection want =
+        ScratchFill(h, clusters, budget, always, {}, /*partial=*/true);
+    ASSERT_GT(want.files.size(), 0u);
+    for (HoardManager* m : {&inc1, &inc8}) {
+      const HoardSelection got =
+          m->ChooseHoard(h.correlator(), clusters, always, SizeOf);
+      ExpectSameSelection(want, got,
+                          "partial round " + std::to_string(round));
+    }
+  }
+}
+
+TEST(HoardFill, PinnedAndAlwaysHoardOverlapMatches) {
+  ChurnHarness h(0xD00D, /*projects=*/80, /*files_per=*/4, "/eqpin");
+  const uint64_t budget = 40'000;
+
+  // Pins and always-hoard deliberately overlap each other and project
+  // members: every overlap must be charged exactly once, identically in
+  // warm and scratch fills.
+  std::set<PathId> pins = {P("/eqpin/p0/f0"), P("/eqpin/p3/f1"),
+                           P("/eqpin/outside/pinned")};
+  std::set<PathId> always = {P("/eqpin/p0/f0"), P("/eqpin/p5/f2"),
+                             P("/eqpin/outside/critical")};
+
+  HoardManager inc2(budget);
+  inc2.set_threads(2);
+  for (const PathId p : pins) {
+    inc2.Pin(p);
+  }
+
+  for (int round = 0; round < 5; ++round) {
+    if (round > 0) {
+      h.TouchRandom(6);
+      if (round == 2) h.DeleteRandom(2);
+      if (round == 3) h.RenameRandom(2, round);
+    }
+    const ClusterSet clusters = h.correlator().BuildClusters();
+    const HoardSelection want =
+        ScratchFill(h, clusters, budget, always, pins, /*partial=*/false);
+    const HoardSelection got =
+        inc2.ChooseHoard(h.correlator(), clusters, always, SizeOf);
+    ExpectSameSelection(want, got, "pin round " + std::to_string(round));
+    for (const PathId p : pins) {
+      EXPECT_TRUE(got.Contains(p));
+    }
+    for (const PathId p : always) {
+      EXPECT_TRUE(got.Contains(p));
+    }
+  }
+}
+
+// Turning incremental fill off must force a full rewalk every time (the
+// benches' scratch baseline) while still matching results.
+TEST(HoardFill, DisabledIncrementalAlwaysRewalks) {
+  ChurnHarness h(0xABba, /*projects=*/40, /*files_per=*/3, "/eqcold");
+  const uint64_t budget = 15'000;
+  HoardManager m(budget);
+  m.set_threads(1);
+  m.set_incremental_fill(false);
+  const std::set<PathId> always;
+
+  for (int round = 0; round < 3; ++round) {
+    h.TouchRandom(2);
+    const ClusterSet clusters = h.correlator().BuildClusters();
+    const HoardSelection got =
+        m.ChooseHoard(h.correlator(), clusters, always, SizeOf);
+    const HoardFillStats& s = m.last_fill_stats();
+    EXPECT_FALSE(s.incremental);
+    EXPECT_EQ(s.reused_aggregates, 0u);
+    EXPECT_EQ(s.dirty_clusters, s.clusters);
+    const HoardSelection want =
+        ScratchFill(h, clusters, budget, always, {}, /*partial=*/false);
+    ExpectSameSelection(want, got, "cold round " + std::to_string(round));
+  }
+}
+
+}  // namespace
+}  // namespace seer

@@ -212,6 +212,44 @@ TEST(MissLog, MissedFilesScheduledForHoarding) {
   EXPECT_TRUE(log.TakeFilesToHoard().empty()) << "taking clears the set";
 }
 
+TEST(MissLog, CountersMaintainedAcrossRestore) {
+  // CountAtSeverity/automatic_count are maintained counters, not scans:
+  // they must stay consistent through every mutation path, including a
+  // RestoreState that replaces the log wholesale.
+  MissLog log;
+  log.RecordManual("/m/a", 1, MissSeverity::kUnusable);
+  log.RecordManual("/m/b", 2, MissSeverity::kUnusable);
+  log.StartDisconnection(0);
+  log.OnNotLocalAccess(P("/m/c"), 1, 3);
+  log.EndDisconnection();
+  EXPECT_EQ(log.CountAtSeverity(MissSeverity::kUnusable), 2u);
+  EXPECT_EQ(log.automatic_count(), 1u);
+
+  std::vector<MissRecord> restored;
+  MissRecord manual;
+  manual.path = P("/m/x");
+  manual.time = 10;
+  manual.severity = MissSeverity::kPreload;
+  restored.push_back(manual);
+  MissRecord automatic;
+  automatic.path = P("/m/y");
+  automatic.time = 11;
+  automatic.severity = MissSeverity::kMinor;
+  automatic.automatic = true;
+  restored.push_back(automatic);
+  restored.push_back(automatic);
+  log.RestoreState(restored, {P("/m/x")});
+  // Old counts are gone; new ones reflect exactly the restored records.
+  EXPECT_EQ(log.CountAtSeverity(MissSeverity::kUnusable), 0u);
+  EXPECT_EQ(log.CountAtSeverity(MissSeverity::kPreload), 1u);
+  EXPECT_EQ(log.CountAtSeverity(MissSeverity::kMinor), 0u)
+      << "automatic records never count toward manual severities";
+  EXPECT_EQ(log.automatic_count(), 2u);
+  // And counting resumes correctly after a restore.
+  log.RecordManual("/m/z", 20, MissSeverity::kMinor);
+  EXPECT_EQ(log.CountAtSeverity(MissSeverity::kMinor), 1u);
+}
+
 TEST(MissLog, SeverityScaleCoversPaperCodes) {
   MissLog log;
   log.RecordManual("/a", 1, MissSeverity::kUnusable);

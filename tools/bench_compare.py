@@ -18,6 +18,10 @@ Two modes:
         multitenant:       fleet refs/s at 4 threads >= serial (warn-only)
         service_scale:     wire refs/s at 4 I/O threads >= 2x single-thread;
                            arena decode allocs/frame <= legacy (any host)
+        hoard_fill:        selection identical across modes/threads (any host);
+                           incremental fill <= 0.25x scratch at 1% touch
+                           (any host); fill allocs <= legacy (any host);
+                           parallel scratch fill >= 1.5x serial at 4 threads
       Multi-core gates apply ONLY when the producing host had >= 4 CPUs and
       the bench recorded "scaling_valid": true — a 1-CPU runner measures
       oversubscription, not speedup, and must not fail the build for it.
@@ -39,7 +43,8 @@ META_KEYS = {
     "refs_per_tenant", "total_refs", "queue_capacity", "encode_threads",
     "clusters", "touched", "segments", "shards", "batches", "barriers",
     "frames_received", "events_ingested", "parallel_folds", "fold_stripes",
-    "max_shard_refs", "dirty_files", "files_rescored",
+    "max_shard_refs", "dirty_files", "files_rescored", "budget_bytes",
+    "dirty_clusters", "reused_aggregates", "touched_files",
 }
 
 HIGHER_IS_BETTER = ("_per_sec", "speedup", "stall_reduction")
@@ -241,11 +246,56 @@ def gate_service(doc, failures):
               f"{legacy:.1f}/frame")
 
 
+def gate_hoard_fill(doc, failures):
+    # Host-independent gates first: ratios and identity within one process.
+    if not doc.get("selection_identical", False):
+        failures.append(
+            "hoard_fill: selections diverged across legacy/scratch/"
+            "incremental/thread-sweep fills — the fill plane must be "
+            "bit-deterministic")
+    else:
+        print("  PASS selection identical across all modes and thread counts")
+    ratio = doc.get("incremental_vs_scratch", 1.0)
+    if ratio > 0.25:
+        failures.append(
+            f"hoard_fill: incremental fill after a 1% touch is {ratio:.3f}x "
+            "the scratch fill — gate requires <= 0.25x")
+    elif ratio > 0:
+        print(f"  PASS incremental fill: {ratio:.3f}x scratch at 1% touch")
+    legacy = doc.get("legacy", {}).get("allocs_per_fill", 0.0)
+    current = doc.get("scratch", {}).get("allocs_per_fill", 0.0)
+    if legacy > 0 and current > legacy:
+        failures.append(
+            f"hoard_fill: scratch fill allocates {current:.1f}/fill, more "
+            f"than the legacy path's {legacy:.1f}/fill")
+    elif legacy > 0:
+        print(f"  PASS fill allocations: {current:.1f}/fill <= legacy "
+              f"{legacy:.1f}/fill")
+    # Parallel scratch scaling only means speedup on a wide-enough host.
+    host_cpus = doc.get("host_cpus", 1)
+    if host_cpus >= 4 and doc.get("scaling_valid", False):
+        rows = doc.get("threads", [])
+        serial = sweep_rate(rows, 1, "fills_per_sec")
+        wide = sweep_rate(rows, 4, "fills_per_sec")
+        if serial > 0 and wide < 1.5 * serial:
+            failures.append(
+                f"hoard_fill: scratch fill at 4 threads is "
+                f"{wide / serial:.2f}x serial ({wide:.1f} vs {serial:.1f} "
+                "fills/s), gate requires >= 1.5x")
+        elif serial > 0:
+            print(f"  PASS parallel scratch fill: {wide / serial:.2f}x serial")
+    else:
+        print(f"  SKIPPED hoard_fill scaling gate: host_cpus={host_cpus} "
+              f"(< 4) or scaling_valid={doc.get('scaling_valid')} — "
+              "multi-thread numbers measure oversubscription on this host")
+
+
 GATES = {
     "overhead": gate_overhead,
     "clustering_scale": gate_clustering,
     "multitenant": gate_multitenant,
     "service_scale": gate_service,
+    "hoard_fill": gate_hoard_fill,
 }
 
 

@@ -653,6 +653,26 @@ int Hoard(int argc, char** argv, int start) {
   std::printf("# hoard: %.2f of %.2f MB, %zu projects (%zu skipped)\n",
               static_cast<double>(sel.bytes_used) / 1048576.0, budget_mb, sel.projects_hoarded,
               sel.projects_skipped);
+  if (HasFlag(argc, argv, start, "--stats")) {
+    const HoardFillStats& stats = manager.last_fill_stats();
+    std::printf("# fill: %.2f ms on %d thread%s\n", stats.fill_ms, stats.threads,
+                stats.threads == 1 ? "" : "s");
+    std::printf("#   fill mode:      %s\n", stats.incremental ? "incremental" : "scratch");
+    std::printf("#   clusters:       %zu\n", stats.clusters);
+    std::printf("#   reused aggs:    %zu\n", stats.reused_aggregates);
+    std::printf("#   dirty clusters: %zu\n", stats.dirty_clusters);
+    std::printf("#   touched files:  %zu\n", stats.touched_files);
+    std::printf("#   sizes resolved: %zu\n", stats.sizes_resolved);
+    const auto pct = [&](double ms) {
+      return stats.fill_ms > 0.0 ? 100.0 * ms / stats.fill_ms : 0.0;
+    };
+    std::printf("#   aggregate:      %.2f ms (%.0f%% of fill)\n", stats.agg_ms,
+                pct(stats.agg_ms));
+    std::printf("#   rank:           %.2f ms (%.0f%% of fill)\n", stats.rank_ms,
+                pct(stats.rank_ms));
+    std::printf("#   select:         %.2f ms (%.0f%% of fill)\n", stats.select_ms,
+                pct(stats.select_ms));
+  }
   for (const auto& file : sel.PathStrings()) {
     std::printf("%s\n", file.c_str());
   }
@@ -1107,12 +1127,17 @@ struct TenantRow {
 };
 
 void PrintTenantRows(const std::vector<TenantRow>& rows) {
-  std::printf("%10s %10s %8s %12s %s\n", "tenant", "generation", "files", "memory", "state");
+  // New columns go on the right: scripts (and CI smoke) address the
+  // generation/files columns positionally.
+  std::printf("%10s %10s %8s %12s %-9s %8s %12s\n", "tenant", "generation", "files", "memory",
+              "state", "refills", "refill_us");
   for (const TenantRow& row : rows) {
-    std::printf("%10u %10llu %8llu %12llu %s\n", row.stats.tenant,
+    std::printf("%10u %10llu %8llu %12llu %-9s %8llu %12llu\n", row.stats.tenant,
                 static_cast<unsigned long long>(row.stats.generation),
                 static_cast<unsigned long long>(row.stats.files),
-                static_cast<unsigned long long>(row.stats.memory_bytes), row.state.c_str());
+                static_cast<unsigned long long>(row.stats.memory_bytes), row.state.c_str(),
+                static_cast<unsigned long long>(row.stats.refills),
+                static_cast<unsigned long long>(row.stats.refill_us_total));
   }
 }
 
@@ -1535,9 +1560,10 @@ const std::vector<Subcommand>& Commands() {
        "  --threads K    scoring threads (default: SEER_THREADS, else all\n"
        "                 cores); --threads=K is accepted too\n",
        ClusterStats},
-      {"hoard", "hoard DB --budget-mb MB",
+      {"hoard", "hoard DB --budget-mb MB [--stats]",
        "Compute hoard contents from a saved text database under a space\n"
-       "budget.\n",
+       "budget. --stats prints the fill-plane breakdown (aggregate cache\n"
+       "hits, phase times, thread count).\n",
        Hoard},
       {"check-config", "check-config FILE",
        "Validate a system control file and echo the parsed configuration.\n", CheckConfig},
